@@ -1,0 +1,54 @@
+//===- BenchCommon.h - Shared plumbing for the table/figure benches --------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Corpus construction and formatting shared by the bench binaries that
+/// regenerate the paper's tables and figures. Every bench uses the same
+/// seeds, so all printed numbers are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_BENCH_BENCHCOMMON_H
+#define PIGEON_BENCH_BENCHCOMMON_H
+
+#include "core/Experiments.h"
+#include "core/Pipeline.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+namespace pigeon {
+namespace bench {
+
+inline constexpr uint64_t BenchSeed = 2018; // PLDI 2018.
+
+/// The evaluation corpus for one language at bench scale.
+inline core::Corpus benchCorpus(lang::Language Lang, int Projects = 48) {
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, BenchSeed);
+  Spec.NumProjects = Projects;
+  return core::parseCorpus(datagen::generateCorpus(Spec), Lang);
+}
+
+/// Standard CRF experiment options at the validation-tuned parameters.
+inline core::CrfExperimentOptions tunedOptions(lang::Language Lang,
+                                               core::Task Task) {
+  core::CrfExperimentOptions Options;
+  Options.Extraction = core::tunedExtraction(Lang, Task);
+  Options.Crf.Epochs = 4;
+  Options.Seed = BenchSeed;
+  return Options;
+}
+
+/// "length/width" cell text for the params column.
+inline std::string paramsText(const paths::ExtractionConfig &Config) {
+  return std::to_string(Config.MaxLength) + "/" +
+         std::to_string(Config.MaxWidth);
+}
+
+} // namespace bench
+} // namespace pigeon
+
+#endif // PIGEON_BENCH_BENCHCOMMON_H

@@ -1,0 +1,55 @@
+//===- bench_fig12_abstractions.cpp - Reproduces Fig. 12 -------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig. 12: accuracy vs training time for the abstraction ladder of §5.6
+/// (no-path → first-last → top → first-top-last → forget-order →
+/// no-arrows → full), for Java variable naming with the training corpus
+/// and iteration count held fixed. The paper's "sweet spot" is
+/// first-top-last: ~95% of full accuracy at half the training time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace pigeon;
+using namespace pigeon::bench;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+int main() {
+  Corpus C = benchCorpus(Language::Java, 72);
+
+  TablePrinter Table("Fig. 12: abstractions of AST paths "
+                     "(Java variable naming, CRFs)");
+  Table.setHeader({"Abstraction", "Accuracy", "Distinct paths",
+                   "Model features", "Training time (s)"});
+
+  for (paths::Abstraction A : paths::AllAbstractions) {
+    CrfExperimentOptions Options =
+        tunedOptions(Language::Java, Task::VariableNames);
+    Options.Extraction.Abst = A;
+    // §5.6's no-path rung is a bag of surrounding *identifiers*;
+    // semi-path ancestors are node kinds, not identifiers, so they are
+    // dropped for that rung (Representation::NoPaths does exactly this).
+    if (A == paths::Abstraction::NoPath)
+      Options.Repr = Representation::NoPaths;
+    ExperimentResult R =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    Table.addRow({paths::abstractionName(A),
+                  TablePrinter::percent(R.Accuracy),
+                  std::to_string(R.DistinctPaths),
+                  std::to_string(R.NumFeatures),
+                  TablePrinter::num(R.TrainSeconds, 2)});
+  }
+  Table.print(std::cout);
+  std::cout << "\nPaper's shape: accuracy grows along the ladder (no-path "
+               "~37% ... full ~58%), training time grows with the number "
+               "of distinct paths; first-top-last is the sweet spot "
+               "(~95% of full accuracy, half the training time).\n";
+  return 0;
+}

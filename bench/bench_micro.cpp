@@ -1,0 +1,141 @@
+//===- bench_micro.cpp - Microbenchmarks of the core primitives ------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenches for the throughput-critical primitives:
+/// parsing, path extraction (by length), CRF inference, and SGNS training
+/// steps. These back the §5.3 discussion of training-cost tradeoffs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "lang/js/JsParser.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::bench;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+namespace {
+
+const std::vector<datagen::SourceFile> &sources() {
+  static const std::vector<datagen::SourceFile> Files = [] {
+    datagen::CorpusSpec Spec =
+        datagen::defaultSpec(Language::JavaScript, BenchSeed);
+    Spec.NumProjects = 8;
+    return datagen::generateCorpus(Spec);
+  }();
+  return Files;
+}
+
+const Corpus &corpus() {
+  static const Corpus C = parseCorpus(sources(), Language::JavaScript);
+  return C;
+}
+
+void BM_ParseJs(benchmark::State &State) {
+  const auto &Files = sources();
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    StringInterner SI;
+    for (const datagen::SourceFile &File : Files) {
+      lang::ParseResult R = js::parse(File.Text, SI);
+      benchmark::DoNotOptimize(R.Tree);
+      Bytes += File.Text.size();
+    }
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(Bytes));
+}
+BENCHMARK(BM_ParseJs);
+
+void BM_ExtractPaths(benchmark::State &State) {
+  const Corpus &C = corpus();
+  paths::ExtractionConfig Config;
+  Config.MaxLength = static_cast<int>(State.range(0));
+  size_t Contexts = 0;
+  for (auto _ : State) {
+    paths::PathTable Table;
+    for (const ParsedFile &File : C.Files)
+      Contexts +=
+          paths::extractPathContexts(File.Tree, Config, Table).size();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Contexts));
+}
+BENCHMARK(BM_ExtractPaths)->Arg(4)->Arg(7)->Arg(10);
+
+void BM_CrfTrainEpoch(benchmark::State &State) {
+  const Corpus &C = corpus();
+  paths::PathTable Table;
+  paths::ExtractionConfig Config =
+      tunedExtraction(Language::JavaScript, Task::VariableNames);
+  crf::ElementSelector Selector = selectorFor(Task::VariableNames);
+  std::vector<crf::CrfGraph> Graphs;
+  for (const ParsedFile &File : C.Files)
+    Graphs.push_back(crf::buildGraph(
+        File.Tree, paths::extractPathContexts(File.Tree, Config, Table),
+        Selector));
+  for (auto _ : State) {
+    crf::CrfConfig CC;
+    CC.Epochs = 1;
+    crf::CrfModel Model(CC);
+    Model.train(Graphs);
+    benchmark::DoNotOptimize(Model.numFeatures());
+  }
+}
+BENCHMARK(BM_CrfTrainEpoch);
+
+void BM_CrfPredict(benchmark::State &State) {
+  const Corpus &C = corpus();
+  paths::PathTable Table;
+  paths::ExtractionConfig Config =
+      tunedExtraction(Language::JavaScript, Task::VariableNames);
+  crf::ElementSelector Selector = selectorFor(Task::VariableNames);
+  std::vector<crf::CrfGraph> Graphs;
+  for (const ParsedFile &File : C.Files)
+    Graphs.push_back(crf::buildGraph(
+        File.Tree, paths::extractPathContexts(File.Tree, Config, Table),
+        Selector));
+  crf::CrfModel Model;
+  Model.train(Graphs);
+  size_t Predictions = 0;
+  for (auto _ : State) {
+    for (const crf::CrfGraph &G : Graphs) {
+      auto Pred = Model.predict(G);
+      Predictions += G.Unknowns.size();
+      benchmark::DoNotOptimize(Pred);
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Predictions));
+}
+BENCHMARK(BM_CrfPredict);
+
+void BM_SgnsTrain(benchmark::State &State) {
+  // Synthetic pair corpus: 64 words x 8 contexts each.
+  std::vector<w2v::Pair> Pairs;
+  pigeon::Rng R(BenchSeed);
+  for (int I = 0; I < 20000; ++I) {
+    uint32_t W = static_cast<uint32_t>(R.nextBelow(64));
+    Pairs.push_back({W, 8 * W + static_cast<uint32_t>(R.nextBelow(8))});
+  }
+  for (auto _ : State) {
+    w2v::SgnsConfig Config;
+    Config.Epochs = 1;
+    w2v::Sgns Model(Config);
+    Model.train(Pairs, 64, 512);
+    benchmark::DoNotOptimize(Model.numWords());
+  }
+  State.SetItemsProcessed(
+      static_cast<int64_t>(Pairs.size() * State.iterations()));
+}
+BENCHMARK(BM_SgnsTrain);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+//===- bench_table1_datasets.cpp - Reproduces Table 1 ----------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 1 of the paper reports the data used per language (repos, files,
+/// size, train/test split). This bench prints the same columns for the
+/// synthetic corpora that substitute for the GitHub datasets. Absolute
+/// sizes are laptop-scale by design; the *relative* emphasis matches the
+/// paper (Java gets the largest corpus — the paper needed an order of
+/// magnitude more Java data to reach comparable accuracy).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace pigeon;
+using namespace pigeon::bench;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+int main() {
+  TablePrinter Table(
+      "Table 1: corpora used for the experimental evaluation");
+  Table.setHeader({"Language", "Projects", "Files", "Size (KB)",
+                   "Train files", "Test files", "Parse failures"});
+
+  struct Row {
+    Language Lang;
+    int Projects;
+  };
+  // Java gets the biggest corpus, mirroring the paper's observation that
+  // it needed far more data than the other languages.
+  const Row Rows[] = {
+      {Language::Java, 72},
+      {Language::JavaScript, 48},
+      {Language::Python, 48},
+      {Language::CSharp, 40},
+  };
+
+  for (const Row &R : Rows) {
+    Corpus C = benchCorpus(R.Lang, R.Projects);
+    Split S = splitByProject(C, 0.25, BenchSeed);
+    Table.addRow({lang::languageName(R.Lang),
+                  std::to_string(C.numProjects()),
+                  std::to_string(C.Files.size()),
+                  TablePrinter::num(static_cast<double>(C.SourceBytes) /
+                                        1024.0,
+                                    1),
+                  std::to_string(S.Train.size()),
+                  std::to_string(S.Test.size()),
+                  std::to_string(C.ParseFailures)});
+  }
+  Table.print(std::cout);
+  std::cout << "\n(Substitutes the paper's GitHub corpora: 10,081 Java "
+               "repos / 16 GB etc. Shape preserved: Java largest; "
+               "per-project train/test split.)\n";
+  return 0;
+}

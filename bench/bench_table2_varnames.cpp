@@ -1,0 +1,105 @@
+//===- bench_table2_varnames.cpp - Reproduces Table 2 (top) ----------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 2 (top): variable-name prediction accuracy with CRFs across the
+/// four languages, against the paper's baselines —
+///   JavaScript: no-paths ("bag of near identifiers") and UnuglifyJS
+///               (single-statement relations);
+///   Java:       rule-based heuristics and CRFs + 4-grams;
+///   Python:     no-paths;
+///   C#:         AST paths only (as in the paper).
+/// The params column is the validation-tuned max_length/max_width.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace pigeon;
+using namespace pigeon::bench;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+int main() {
+  TablePrinter Table("Table 2 (top): variable name prediction with CRFs");
+  Table.setHeader({"Language", "Baselines", "AST paths (this work)",
+                   "Params (len/width)"});
+
+  // JavaScript -------------------------------------------------------------
+  {
+    Corpus C = benchCorpus(Language::JavaScript);
+    CrfExperimentOptions Options =
+        tunedOptions(Language::JavaScript, Task::VariableNames);
+    ExperimentResult Paths =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    Options.Repr = Representation::NoPaths;
+    ExperimentResult NoPaths =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    Options.Repr = Representation::IntraStatement;
+    ExperimentResult Unuglify =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    Table.addRow({"JavaScript",
+                  TablePrinter::percent(NoPaths.Accuracy) + " (no-paths)  " +
+                      TablePrinter::percent(Unuglify.Accuracy) +
+                      " (UnuglifyJS)",
+                  TablePrinter::percent(Paths.Accuracy),
+                  paramsText(Options.Extraction)});
+  }
+
+  // Java --------------------------------------------------------------------
+  {
+    Corpus C = benchCorpus(Language::Java, 72);
+    CrfExperimentOptions Options =
+        tunedOptions(Language::Java, Task::VariableNames);
+    ExperimentResult Paths =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    ExperimentResult Rules = runRuleBasedJava(C, 0.25, BenchSeed);
+    Options.Repr = Representation::Ngrams;
+    Options.NgramN = 4;
+    ExperimentResult Ngrams =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    Table.addRow({"Java",
+                  TablePrinter::percent(Rules.Accuracy) + " (rule-based)  " +
+                      TablePrinter::percent(Ngrams.Accuracy) +
+                      " (CRFs+4-grams)",
+                  TablePrinter::percent(Paths.Accuracy),
+                  paramsText(Options.Extraction)});
+  }
+
+  // Python ------------------------------------------------------------------
+  {
+    Corpus C = benchCorpus(Language::Python);
+    CrfExperimentOptions Options =
+        tunedOptions(Language::Python, Task::VariableNames);
+    ExperimentResult Paths =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    Options.Repr = Representation::NoPaths;
+    ExperimentResult NoPaths =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    Table.addRow({"Python",
+                  TablePrinter::percent(NoPaths.Accuracy) + " (no-paths)",
+                  TablePrinter::percent(Paths.Accuracy),
+                  paramsText(Options.Extraction)});
+  }
+
+  // C# ----------------------------------------------------------------------
+  {
+    Corpus C = benchCorpus(Language::CSharp, 40);
+    CrfExperimentOptions Options =
+        tunedOptions(Language::CSharp, Task::VariableNames);
+    ExperimentResult Paths =
+        runCrfNameExperiment(C, Task::VariableNames, Options);
+    Table.addRow({"C#", "-", TablePrinter::percent(Paths.Accuracy),
+                  paramsText(Options.Extraction)});
+  }
+
+  Table.print(std::cout);
+  std::cout << "\nPaper's values: JS 24.9% (no-paths) / 60.0% (UnuglifyJS) "
+               "vs 67.3%; Java 23.7% (rule-based) / 50.1% (4-grams) vs "
+               "58.2%; Python 35.2% (no-paths) vs 56.7%; C# 56.1%.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- method_namer.cpp - Suggesting method names (§5.3.2) ------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's method-name task as an IDE-style assistant: train the
+/// method-name CRF on a Python corpus, then for held-out functions print
+/// the top-3 name suggestions next to the author's actual name — the
+/// "top-k candidates" extension of §5.1 in action.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "support/SubToken.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+int main() {
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Language::Python, 2018);
+  Spec.NumProjects = 40;
+  Corpus C = parseCorpus(datagen::generateCorpus(Spec), Language::Python);
+  Split S = splitByProject(C, 0.25, 2018);
+
+  // Train on the training projects only.
+  Corpus TrainOnly;
+  TrainOnly.Lang = C.Lang;
+  TrainOnly.Interner = std::move(C.Interner);
+  for (size_t I : S.Train)
+    TrainOnly.Files.push_back(std::move(C.Files[I]));
+
+  CrfExperimentOptions Options;
+  Options.Extraction = tunedExtraction(Language::Python, Task::MethodNames);
+  TrainedNameModel Model(TrainOnly, Task::MethodNames, Options);
+
+  std::cout << "method-name suggestions for held-out functions "
+               "(Python):\n\n";
+  TablePrinter Out("");
+  Out.setHeader({"Actual name", "Top-3 suggestions", ""});
+  int Shown = 0;
+  for (size_t I : S.Test) {
+    if (Shown >= 12)
+      break;
+    const Tree &T = C.Files[I].Tree;
+    for (ElementId E = 0; E < T.elements().size(); ++E) {
+      const ElementInfo &Info = T.element(E);
+      if (!Info.Predictable || Info.Kind != ElementKind::Method ||
+          T.occurrences(E).empty())
+        continue;
+      auto Top = Model.topKFor(T, E, 3);
+      std::string Suggestions;
+      for (const auto &[Name, Score] : Top) {
+        if (!Suggestions.empty())
+          Suggestions += ", ";
+        Suggestions += TrainOnly.Interner->str(Name);
+      }
+      std::string Actual = TrainOnly.Interner->str(Info.Name);
+      bool Hit = !Top.empty() &&
+                 namesMatch(TrainOnly.Interner->str(Top[0].first), Actual);
+      Out.addRow({Actual, Suggestions, Hit ? "ok" : ""});
+      ++Shown;
+      break; // One method per file is enough for the demo.
+    }
+  }
+  Out.print(std::cout);
+  std::cout << "\n(The paper's §5.1 top-k extension: when the top "
+               "candidates capture similar notions, the prediction is "
+               "stable.)\n";
+  return 0;
+}

@@ -1,0 +1,332 @@
+//===- Baselines.cpp - The paper's comparison systems -------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+
+#include "support/SubToken.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::baselines;
+using namespace pigeon::paths;
+
+//===----------------------------------------------------------------------===//
+// UnuglifyJS-style single-statement relations
+//===----------------------------------------------------------------------===//
+
+bool baselines::isBoundaryKind(const std::string &Kind) {
+  static const std::set<std::string> Boundaries = {
+      // JavaScript (UglifyJS-style).
+      "Toplevel", "Block", "If", "While", "Do", "For", "ForIn", "ForOf",
+      "Try", "Catch", "Finally", "Defun", "Function",
+      // Java (JavaParser-style).
+      "CompilationUnit", "ClassOrInterfaceDeclaration",
+      "InterfaceDeclaration", "BlockStmt", "IfStmt", "WhileStmt", "DoStmt",
+      "ForStmt", "ForEachStmt", "TryStmt", "CatchClause", "FinallyBlock",
+      "MethodDeclaration", "ConstructorDeclaration",
+      // Python (CPython-ast-style). "If"/"While"/"For"/"Try" shared above.
+      "Module", "Body", "OrElse", "ExceptHandler", "FinallyBody",
+      "FunctionDef", "ClassDef",
+      // C# (Roslyn-style).
+      "NamespaceDeclaration", "ClassDeclaration", "IfStatement",
+      "ElseClause", "WhileStatement", "DoStatement", "ForStatement",
+      "ForEachStatement", "TryStatement", "FinallyClause",
+      "PropertyDeclaration", "AccessorList", "GetAccessor", "SetAccessor",
+  };
+  return Boundaries.count(Kind) != 0;
+}
+
+namespace {
+
+/// True if any node on the chain from \p From (exclusive) up to \p To
+/// (inclusive) is a boundary.
+bool chainCrossesBoundary(const Tree &T, NodeId From, NodeId To) {
+  for (NodeId N = T.node(From).Parent;; N = T.node(N).Parent) {
+    if (N == InvalidNode)
+      return false;
+    if (isBoundaryKind(T.interner().str(T.node(N).Kind)))
+      return true;
+    if (N == To)
+      return false;
+  }
+}
+
+} // namespace
+
+std::vector<PathContext>
+baselines::filterIntraStatement(const Tree &Tree,
+                                const std::vector<PathContext> &Contexts) {
+  std::vector<PathContext> Out;
+  for (const PathContext &Ctx : Contexts) {
+    if (Ctx.Semi) {
+      // Ancestor chain must stay inside the statement, including the
+      // ancestor end itself.
+      if (isBoundaryKind(
+              Tree.interner().str(Tree.node(Ctx.End).Kind)))
+        continue;
+      if (chainCrossesBoundary(Tree, Ctx.Start, Ctx.End))
+        continue;
+      Out.push_back(Ctx);
+      continue;
+    }
+    PathShape Shape = pathShape(Tree, Ctx.Start, Ctx.End);
+    if (isBoundaryKind(Tree.interner().str(Tree.node(Shape.Pivot).Kind)))
+      continue;
+    if (chainCrossesBoundary(Tree, Ctx.Start, Shape.Pivot) ||
+        chainCrossesBoundary(Tree, Ctx.End, Shape.Pivot))
+      continue;
+    Out.push_back(Ctx);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Token n-gram factors
+//===----------------------------------------------------------------------===//
+
+std::vector<PathContext> baselines::ngramContexts(const Tree &Tree, int N,
+                                                  PathTable &Table) {
+  std::vector<PathContext> Out;
+  const std::vector<NodeId> &Leaves = Tree.terminals();
+  std::vector<PathId> DistanceIds;
+  for (int D = 1; D < N; ++D)
+    DistanceIds.push_back(Table.intern("ngram:" + std::to_string(D)));
+  for (size_t I = 0; I < Leaves.size(); ++I) {
+    for (int D = 1; D < N && I + static_cast<size_t>(D) < Leaves.size();
+         ++D) {
+      PathContext Ctx;
+      Ctx.Start = Leaves[I];
+      Ctx.End = Leaves[I + static_cast<size_t>(D)];
+      Ctx.Path = DistanceIds[static_cast<size_t>(D - 1)];
+      Out.push_back(Ctx);
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Rule-based Java namer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lowercased last sub-token of a type name: HttpClient -> client,
+/// List -> list, StringBuilder -> builder.
+std::string nameFromTypeText(const std::string &TypeText) {
+  std::vector<std::string> Parts = splitSubTokens(TypeText);
+  if (Parts.empty())
+    return "value";
+  return Parts.back();
+}
+
+/// Renders the declared-type terminal under a Type subtree.
+std::string typeTextOf(const Tree &T, NodeId TypeNode) {
+  const StringInterner &SI = T.interner();
+  const Node &N = T.node(TypeNode);
+  const std::string &Kind = SI.str(N.Kind);
+  if (Kind == "PrimitiveType" || Kind == "PredefinedType")
+    return SI.str(N.Value);
+  if (Kind == "ArrayType") {
+    auto Kids = T.children(TypeNode);
+    return Kids.empty() ? "values" : typeTextOf(T, Kids[0]) + "s";
+  }
+  if (Kind == "ClassOrInterfaceType") {
+    auto Kids = T.children(TypeNode);
+    if (!Kids.empty()) {
+      // Last segment of the (possibly dotted) TypeName.
+      std::string Full = SI.str(T.node(Kids[0]).Value);
+      size_t Dot = Full.rfind('.');
+      return Dot == std::string::npos ? Full : Full.substr(Dot + 1);
+    }
+  }
+  return "value";
+}
+
+std::string primitiveDefault(const std::string &Prim) {
+  if (Prim == "boolean" || Prim == "bool")
+    return "flag";
+  if (Prim == "char")
+    return "c";
+  return "value";
+}
+
+} // namespace
+
+std::unordered_map<ElementId, std::string>
+baselines::ruleBasedJavaNames(const Tree &T) {
+  const StringInterner &SI = T.interner();
+  std::unordered_map<ElementId, std::string> Out;
+  auto KindOf = [&](NodeId Id) -> const std::string & {
+    return SI.str(T.node(Id).Kind);
+  };
+
+  // Default: type-derived names from the declaration site.
+  for (ElementId E = 0; E < T.elements().size(); ++E) {
+    const ElementInfo &Info = T.element(E);
+    if (!Info.Predictable || (Info.Kind != ElementKind::LocalVar &&
+                              Info.Kind != ElementKind::Parameter))
+      continue;
+    auto Occs = T.occurrences(E);
+    if (Occs.empty())
+      continue;
+    NodeId Decl = Occs.front();
+    NodeId Parent = T.node(Decl).Parent;
+    if (Parent == InvalidNode)
+      continue;
+    NodeId TypeNode = InvalidNode;
+    if (KindOf(Parent) == "Parameter") {
+      TypeNode = T.children(Parent).front();
+    } else if (KindOf(Parent) == "VariableDeclarator") {
+      NodeId GrandParent = T.node(Parent).Parent;
+      if (GrandParent != InvalidNode &&
+          KindOf(GrandParent) == "VariableDeclarationExpr")
+        TypeNode = T.children(GrandParent).front();
+    }
+    if (TypeNode == InvalidNode)
+      continue;
+    std::string TypeText = typeTextOf(T, TypeNode);
+    const std::string &TypeKind = KindOf(TypeNode);
+    std::string Guess = (TypeKind == "PrimitiveType")
+                            ? primitiveDefault(TypeText)
+                            : nameFromTypeText(TypeText);
+
+    // Rule: `for (int i = ...)` — loop-header declarations are "i".
+    if (KindOf(Parent) == "VariableDeclarator") {
+      NodeId DeclExpr = T.node(Parent).Parent;
+      NodeId MaybeFor =
+          DeclExpr == InvalidNode ? InvalidNode : T.node(DeclExpr).Parent;
+      if (MaybeFor != InvalidNode && KindOf(MaybeFor) == "ForStmt" &&
+          T.node(DeclExpr).IndexInParent == 0)
+        Guess = "i";
+    }
+    // Rule: `catch (... e)`.
+    if (KindOf(Parent) == "Parameter") {
+      NodeId GrandParent = T.node(Parent).Parent;
+      if (GrandParent != InvalidNode && KindOf(GrandParent) == "CatchClause")
+        Guess = "e";
+    }
+    Out[E] = Guess;
+  }
+
+  // Rule: `this.<field> = <x>` — name x after the field. Also covers the
+  // paper's `void set<Field>(... <field>)` heuristic since our setters
+  // have exactly this body.
+  for (NodeId Id = 0; Id < T.size(); ++Id) {
+    if (KindOf(Id) != "Assign=")
+      continue;
+    auto Kids = T.children(Id);
+    if (Kids.size() != 2)
+      continue;
+    if (KindOf(Kids[0]) != "FieldAccessExpr" || KindOf(Kids[1]) != "NameExpr")
+      continue;
+    auto LhsKids = T.children(Kids[0]);
+    if (LhsKids.size() != 2 || KindOf(LhsKids[0]) != "ThisExpr")
+      continue;
+    NodeId FieldName = LhsKids[1];
+    auto RhsKids = T.children(Kids[1]);
+    if (RhsKids.empty())
+      continue;
+    const Node &Rhs = T.node(RhsKids[0]);
+    if (Rhs.Element == InvalidElement)
+      continue;
+    const ElementInfo &Info = T.element(Rhs.Element);
+    if (Info.Predictable && (Info.Kind == ElementKind::Parameter ||
+                             Info.Kind == ElementKind::LocalVar))
+      Out[Rhs.Element] = SI.str(T.node(FieldName).Value);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Sub-token bag method namer
+//===----------------------------------------------------------------------===//
+
+void SubtokenMethodNamer::train(const std::vector<Example> &Examples) {
+  Centroids.clear();
+  Norms.clear();
+  for (const Example &Ex : Examples) {
+    auto &Centroid = Centroids[Ex.Name];
+    for (const std::string &Ident : Ex.BodyIdentifiers)
+      for (const std::string &Tok : splitSubTokens(Ident))
+        Centroid[Tok] += 1.0;
+  }
+  for (const auto &[Name, Centroid] : Centroids) {
+    double Sq = 0;
+    for (const auto &[Tok, W] : Centroid)
+      Sq += W * W;
+    Norms[Name] = std::sqrt(Sq);
+  }
+}
+
+std::string SubtokenMethodNamer::predict(
+    const std::vector<std::string> &BodyIdentifiers) const {
+  if (Centroids.empty())
+    return "";
+  std::unordered_map<std::string, double> Query;
+  for (const std::string &Ident : BodyIdentifiers)
+    for (const std::string &Tok : splitSubTokens(Ident))
+      Query[Tok] += 1.0;
+  double QNorm = 0;
+  for (const auto &[Tok, W] : Query)
+    QNorm += W * W;
+  QNorm = std::sqrt(QNorm);
+
+  std::string Best;
+  double BestScore = -1;
+  for (const auto &[Name, Centroid] : Centroids) {
+    double Dot = 0;
+    for (const auto &[Tok, W] : Query) {
+      auto It = Centroid.find(Tok);
+      if (It != Centroid.end())
+        Dot += W * It->second;
+    }
+    double Denominator = Norms.at(Name) * QNorm;
+    double Score = Denominator > 0 ? Dot / Denominator : 0;
+    if (Score > BestScore || (Score == BestScore && Name < Best)) {
+      BestScore = Score;
+      Best = Name;
+    }
+  }
+  return Best;
+}
+
+std::vector<SubtokenMethodNamer::Example>
+baselines::methodExamples(const Tree &T) {
+  const StringInterner &SI = T.interner();
+  static const std::set<std::string> DefKinds = {
+      "MethodDeclaration", "ConstructorDeclaration", "Defun", "Function",
+      "FunctionDef"};
+  std::vector<SubtokenMethodNamer::Example> Out;
+  for (ElementId E = 0; E < T.elements().size(); ++E) {
+    const ElementInfo &Info = T.element(E);
+    if (!Info.Predictable || Info.Kind != ElementKind::Method)
+      continue;
+    // Find the occurrence that names a definition.
+    for (NodeId Occ : T.occurrences(E)) {
+      NodeId Def = T.node(Occ).Parent;
+      if (Def == InvalidNode || !DefKinds.count(SI.str(T.node(Def).Kind)))
+        continue;
+      SubtokenMethodNamer::Example Ex;
+      Ex.Name = SI.str(Info.Name);
+      // Preorder ids are contiguous per subtree: everything after Def
+      // until we escape its depth belongs to the definition.
+      uint32_t DefDepth = T.node(Def).Depth;
+      for (NodeId Id = Def + 1;
+           Id < T.size() && T.node(Id).Depth > DefDepth; ++Id) {
+        const Node &N = T.node(Id);
+        if (Id != Occ && N.isTerminal())
+          Ex.BodyIdentifiers.push_back(SI.str(N.Value));
+      }
+      Out.push_back(std::move(Ex));
+      break;
+    }
+  }
+  return Out;
+}

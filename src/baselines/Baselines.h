@@ -1,0 +1,120 @@
+//===- Baselines.h - The paper's comparison systems --------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementations of the baselines the paper compares against (§5.3):
+///
+///  * UnuglifyJS / Raychev et al. [40]: handcrafted relations that "span
+///    only a single statement" — modelled here by filtering AST-path
+///    contexts to those that do not cross a statement/control boundary,
+///    then feeding them to the same CRF. This preserves the baseline's
+///    defining limitation (Fig. 3's indistinguishable pair).
+///  * CRFs + n-grams: sequential token n-gram factors instead of paths.
+///  * The rule-based Java namer (§5.3.1's pattern heuristics).
+///  * A sub-token bag method namer standing in for the conv-attention
+///    model of Allamanis et al. [7].
+///
+/// The remaining baselines are representation choices reused elsewhere:
+/// "no-paths" is Abstraction::NoPath; the word2vec token-stream and
+/// path-neighbors contexts live in the core pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_BASELINES_BASELINES_H
+#define PIGEON_BASELINES_BASELINES_H
+
+#include "ast/Ast.h"
+#include "lang/common/Frontend.h"
+#include "paths/Paths.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pigeon {
+namespace baselines {
+
+//===----------------------------------------------------------------------===//
+// UnuglifyJS-style single-statement relations
+//===----------------------------------------------------------------------===//
+
+/// Keeps only path-contexts that stay within one statement: no node on
+/// the path (pivot included) is a block/control/function boundary. This
+/// is the faithful abstraction of Raychev et al.'s relations, whose
+/// "possible relationships span only a single statement, and do not
+/// include relationships that involve conditional statements or loops".
+std::vector<paths::PathContext>
+filterIntraStatement(const ast::Tree &Tree,
+                     const std::vector<paths::PathContext> &Contexts);
+
+/// \returns true if \p Kind is a statement/control boundary node kind in
+/// any of the four frontends' vocabularies.
+bool isBoundaryKind(const std::string &Kind);
+
+//===----------------------------------------------------------------------===//
+// Token n-gram factors (the paper's "CRFs + n-grams" Java baseline)
+//===----------------------------------------------------------------------===//
+
+/// Produces pseudo path-contexts connecting terminals at token distance
+/// 1..N-1, with the "path" encoding only the distance ("ngram:<d>"). Fed
+/// into the same CRF machinery so the only difference from PIGEON is the
+/// representation, as in the paper.
+std::vector<paths::PathContext> ngramContexts(const ast::Tree &Tree, int N,
+                                              paths::PathTable &Table);
+
+//===----------------------------------------------------------------------===//
+// Rule-based Java namer (§5.3.1)
+//===----------------------------------------------------------------------===//
+
+/// Predicts names for predictable locals/params of a parsed MiniJava tree
+/// using the paper's pattern heuristics: `for (int i = ...)` → i,
+/// `this.<field> = <param>` → field, `catch (... e)` → e,
+/// `void set<Field>(... x)` → field, otherwise the lowercased last word
+/// of the declared type (HttpClient client).
+/// \returns element id → predicted name.
+std::unordered_map<ast::ElementId, std::string>
+ruleBasedJavaNames(const ast::Tree &Tree);
+
+//===----------------------------------------------------------------------===//
+// Sub-token bag method namer (stand-in for Allamanis et al. [7])
+//===----------------------------------------------------------------------===//
+
+/// Predicts method names from the bag of identifier sub-tokens in the
+/// method body: each candidate name keeps a centroid of body sub-token
+/// counts from training; prediction is the cosine-nearest centroid.
+class SubtokenMethodNamer {
+public:
+  /// One training/test example: a method's gold name plus the identifier
+  /// values appearing in its body.
+  struct Example {
+    std::string Name;
+    std::vector<std::string> BodyIdentifiers;
+  };
+
+  void train(const std::vector<Example> &Examples);
+
+  /// \returns the predicted name, or "" if untrained.
+  std::string predict(const std::vector<std::string> &BodyIdentifiers) const;
+
+  size_t numNames() const { return Centroids.size(); }
+
+private:
+  // name -> (subtoken -> count), plus cached norms.
+  std::unordered_map<std::string, std::unordered_map<std::string, double>>
+      Centroids;
+  std::unordered_map<std::string, double> Norms;
+};
+
+/// Collects SubtokenMethodNamer examples from a parsed tree: one per
+/// predictable method element, with the terminal values inside the
+/// method's subtree as body identifiers.
+std::vector<SubtokenMethodNamer::Example>
+methodExamples(const ast::Tree &Tree);
+
+} // namespace baselines
+} // namespace pigeon
+
+#endif // PIGEON_BASELINES_BASELINES_H

@@ -1,0 +1,478 @@
+//===- Experiments.cpp - Experiment runners for the evaluation ---------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+
+#include "baselines/Baselines.h"
+#include "ml/common/Metrics.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::core;
+using namespace pigeon::crf;
+using namespace pigeon::paths;
+
+const char *core::representationName(Representation R) {
+  switch (R) {
+  case Representation::AstPaths:
+    return "AST paths";
+  case Representation::NoPaths:
+    return "no-paths";
+  case Representation::IntraStatement:
+    return "single-statement relations (UnuglifyJS-style)";
+  case Representation::Ngrams:
+    return "token n-grams";
+  }
+  return "invalid";
+}
+
+const char *core::w2vContextsName(W2vContexts C) {
+  switch (C) {
+  case W2vContexts::AstPaths:
+    return "AST paths";
+  case W2vContexts::TokenStream:
+    return "linear token-stream";
+  case W2vContexts::PathNeighbors:
+    return "path-neighbors, no-paths";
+  }
+  return "invalid";
+}
+
+namespace {
+
+/// Extracts the contexts a representation feeds to the CRF.
+std::vector<PathContext> contextsFor(const Tree &Tree,
+                                     const CrfExperimentOptions &Options,
+                                     PathTable &Table) {
+  switch (Options.Repr) {
+  case Representation::AstPaths:
+    return extractPathContexts(Tree, Options.Extraction, Table);
+  case Representation::NoPaths: {
+    // The paper's no-path baseline is a "bag of near identifiers": the
+    // neighbours' names without any syntactic relation. Semi-paths would
+    // leak ancestor kinds (structure) into the bag, so they are off.
+    ExtractionConfig Config = Options.Extraction;
+    Config.Abst = Abstraction::NoPath;
+    Config.IncludeSemiPaths = false;
+    return extractPathContexts(Tree, Config, Table);
+  }
+  case Representation::IntraStatement: {
+    auto All = extractPathContexts(Tree, Options.Extraction, Table);
+    return baselines::filterIntraStatement(Tree, All);
+  }
+  case Representation::Ngrams:
+    return baselines::ngramContexts(Tree, Options.NgramN, Table);
+  }
+  return {};
+}
+
+void downsample(std::vector<PathContext> &Contexts, double KeepP, Rng &R) {
+  if (KeepP >= 1.0)
+    return;
+  std::vector<PathContext> Kept;
+  Kept.reserve(Contexts.size());
+  for (const PathContext &Ctx : Contexts)
+    if (R.nextBool(KeepP))
+      Kept.push_back(Ctx);
+  Contexts = std::move(Kept);
+}
+
+} // namespace
+
+ExperimentResult
+core::runCrfNameExperiment(const Corpus &Corpus, Task Task,
+                           const CrfExperimentOptions &Options) {
+  assert(Task != Task::FullTypes && "use runCrfTypeExperiment");
+  ExperimentResult Result;
+  Split S = splitByProject(Corpus, Options.TestFraction, Options.Seed);
+  ElementSelector Selector = selectorFor(Task);
+  PathTable Table;
+  Rng Sampler = Rng::forStream(Options.Seed, "downsample");
+
+  auto BuildFor = [&](const Tree &T,
+                      std::vector<PathContext> Contexts) {
+    CrfGraph G = buildGraph(T, Contexts, Selector);
+    if (Options.TriContexts) {
+      auto Tris = extractTriContexts(T, Options.Extraction, Table);
+      addTriFactors(G, T, Tris, Selector, *Corpus.Interner);
+    }
+    return G;
+  };
+
+  Timer TrainTimer;
+  std::vector<CrfGraph> TrainGraphs;
+  TrainGraphs.reserve(S.Train.size());
+  for (size_t I : S.Train) {
+    const Tree &T = Corpus.Files[I].Tree;
+    auto Contexts = contextsFor(T, Options, Table);
+    downsample(Contexts, Options.DownsampleP, Sampler);
+    Result.TrainContexts += Contexts.size();
+    TrainGraphs.push_back(BuildFor(T, std::move(Contexts)));
+  }
+  CrfModel Model(Options.Crf);
+  Model.train(TrainGraphs);
+  Result.TrainSeconds = TrainTimer.seconds();
+  Result.NumFeatures = Model.numFeatures();
+  Result.DistinctPaths = Table.size();
+
+  ml::AccuracyMeter Meter;
+  ml::SubTokenMeter SubMeter;
+  const StringInterner &SI = *Corpus.Interner;
+  for (size_t I : S.Test) {
+    const Tree &T = Corpus.Files[I].Tree;
+    CrfGraph G = BuildFor(T, contextsFor(T, Options, Table));
+    std::vector<Symbol> Pred = Model.predict(G);
+    for (uint32_t N : G.Unknowns) {
+      const std::string &Gold = SI.str(G.Nodes[N].Gold);
+      std::string Predicted = Pred[N].isValid() ? SI.str(Pred[N]) : "";
+      Meter.add(Predicted, Gold);
+      SubMeter.add(Predicted, Gold);
+    }
+  }
+  Result.Accuracy = Meter.accuracy();
+  Result.SubtokenF1 = SubMeter.f1();
+  Result.Predictions = Meter.total();
+  return Result;
+}
+
+ExperimentResult
+core::runCrfTypeExperiment(const Corpus &Corpus,
+                           const CrfExperimentOptions &Options) {
+  ExperimentResult Result;
+  Split S = splitByProject(Corpus, Options.TestFraction, Options.Seed);
+  PathTable Table;
+
+  // Bare variable reads and arithmetic are trivially typed by a nearby
+  // declaration or operand; the regime the paper's task evaluates is
+  // API-shaped expressions whose types require signature knowledge.
+  auto IsApiTarget = [&](const Tree &T, NodeId Id) {
+    const std::string &K = Corpus.Interner->str(T.node(Id).Kind);
+    return K == "MethodCallExpr" || K == "FieldAccessExpr" ||
+           K == "ObjectCreationExpr" || K == "CastExpr" ||
+           K == "ArrayCreationExpr";
+  };
+  auto GraphsOf = [&](const std::vector<size_t> &Indices,
+                      size_t *ContextCount) {
+    std::vector<CrfGraph> Graphs;
+    for (size_t I : Indices) {
+      const Tree &T = Corpus.Files[I].Tree;
+      for (NodeId Target : T.typedNodes()) {
+        if (!IsApiTarget(T, Target))
+          continue;
+        auto Contexts =
+            extractPathsToNode(T, Target, Options.Extraction, Table);
+        if (ContextCount)
+          *ContextCount += Contexts.size();
+        Graphs.push_back(buildTypeGraph(T, Target, Contexts));
+      }
+    }
+    return Graphs;
+  };
+
+  Timer TrainTimer;
+  std::vector<CrfGraph> TrainGraphs =
+      GraphsOf(S.Train, &Result.TrainContexts);
+  CrfModel Model(Options.Crf);
+  Model.train(TrainGraphs);
+  Result.TrainSeconds = TrainTimer.seconds();
+  Result.NumFeatures = Model.numFeatures();
+  Result.DistinctPaths = Table.size();
+
+  // Types are compared by exact string ("int[]" must not match "int", so
+  // the name-normalising metric is too lenient here).
+  const StringInterner &SI = *Corpus.Interner;
+  size_t Total = 0, Correct = 0;
+  std::vector<CrfGraph> TestGraphs = GraphsOf(S.Test, nullptr);
+  for (const CrfGraph &G : TestGraphs) {
+    std::vector<Symbol> Pred = Model.predict(G);
+    for (uint32_t N : G.Unknowns) {
+      ++Total;
+      if (Pred[N].isValid() && SI.str(Pred[N]) == SI.str(G.Nodes[N].Gold))
+        ++Correct;
+    }
+  }
+  Result.Predictions = Total;
+  Result.Accuracy =
+      Total == 0 ? 0.0
+                 : static_cast<double>(Correct) / static_cast<double>(Total);
+  return Result;
+}
+
+ExperimentResult core::runRuleBasedJava(const Corpus &Corpus,
+                                        double TestFraction, uint64_t Seed) {
+  ExperimentResult Result;
+  Split S = splitByProject(Corpus, TestFraction, Seed);
+  const StringInterner &SI = *Corpus.Interner;
+  ml::AccuracyMeter Meter;
+  ElementSelector Selector = selectorFor(Task::VariableNames);
+  for (size_t I : S.Test) {
+    const Tree &T = Corpus.Files[I].Tree;
+    auto Predictions = baselines::ruleBasedJavaNames(T);
+    for (ElementId E = 0; E < T.elements().size(); ++E) {
+      const ElementInfo &Info = T.element(E);
+      if (!Selector(Info) || T.occurrences(E).empty())
+        continue;
+      auto It = Predictions.find(E);
+      Meter.add(It == Predictions.end() ? "" : It->second,
+                SI.str(Info.Name));
+    }
+  }
+  Result.Accuracy = Meter.accuracy();
+  Result.Predictions = Meter.total();
+  return Result;
+}
+
+ExperimentResult core::runSubtokenMethodNamer(const Corpus &Corpus,
+                                              double TestFraction,
+                                              uint64_t Seed) {
+  ExperimentResult Result;
+  Split S = splitByProject(Corpus, TestFraction, Seed);
+  baselines::SubtokenMethodNamer Namer;
+  std::vector<baselines::SubtokenMethodNamer::Example> TrainExamples;
+  Timer TrainTimer;
+  for (size_t I : S.Train) {
+    auto Examples = baselines::methodExamples(Corpus.Files[I].Tree);
+    TrainExamples.insert(TrainExamples.end(), Examples.begin(),
+                         Examples.end());
+  }
+  Namer.train(TrainExamples);
+  Result.TrainSeconds = TrainTimer.seconds();
+
+  ml::AccuracyMeter Meter;
+  ml::SubTokenMeter SubMeter;
+  for (size_t I : S.Test) {
+    for (const auto &Ex : baselines::methodExamples(Corpus.Files[I].Tree)) {
+      std::string Predicted = Namer.predict(Ex.BodyIdentifiers);
+      Meter.add(Predicted, Ex.Name);
+      SubMeter.add(Predicted, Ex.Name);
+    }
+  }
+  Result.Accuracy = Meter.accuracy();
+  Result.SubtokenF1 = SubMeter.f1();
+  Result.Predictions = Meter.total();
+  return Result;
+}
+
+ExperimentResult core::runStringTypeBaseline(const Corpus &Corpus,
+                                             double TestFraction,
+                                             uint64_t Seed) {
+  ExperimentResult Result;
+  Split S = splitByProject(Corpus, TestFraction, Seed);
+  const StringInterner &SI = *Corpus.Interner;
+  auto IsApiTarget = [&](const Tree &T, NodeId Id) {
+    const std::string &K = Corpus.Interner->str(T.node(Id).Kind);
+    return K == "MethodCallExpr" || K == "FieldAccessExpr" ||
+           K == "ObjectCreationExpr" || K == "CastExpr" ||
+           K == "ArrayCreationExpr";
+  };
+  size_t Total = 0, Correct = 0;
+  for (size_t I : S.Test) {
+    const Tree &T = Corpus.Files[I].Tree;
+    for (NodeId Target : T.typedNodes()) {
+      if (!IsApiTarget(T, Target))
+        continue;
+      ++Total;
+      if (SI.str(T.typeOf(Target)) == "java.lang.String")
+        ++Correct;
+    }
+  }
+  Result.Predictions = Total;
+  Result.Accuracy =
+      Total == 0 ? 0.0
+                 : static_cast<double>(Correct) / static_cast<double>(Total);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// word2vec experiments
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-element word2vec context strings under one encoding. Only contexts
+/// whose other end is *known* (not itself a prediction target) are used,
+/// in both training and testing.
+std::vector<std::pair<ElementId, std::string>>
+w2vContextsOf(const Tree &T, const ElementSelector &Selector,
+              W2vContexts Kind, const ExtractionConfig &Extraction,
+              PathTable &Table) {
+  const StringInterner &SI = T.interner();
+  std::vector<std::pair<ElementId, std::string>> Out;
+  auto SelectedElement = [&](NodeId Leaf) -> ElementId {
+    const Node &N = T.node(Leaf);
+    if (N.Element == InvalidElement || !Selector(T.element(N.Element)))
+      return InvalidElement;
+    return N.Element;
+  };
+
+  if (Kind == W2vContexts::TokenStream) {
+    const std::vector<NodeId> &Leaves = T.terminals();
+    for (size_t I = 0; I < Leaves.size(); ++I) {
+      ElementId E = SelectedElement(Leaves[I]);
+      if (E == InvalidElement)
+        continue;
+      for (int Offset = -2; Offset <= 2; ++Offset) {
+        if (Offset == 0)
+          continue;
+        long J = static_cast<long>(I) + Offset;
+        if (J < 0 || J >= static_cast<long>(Leaves.size()))
+          continue;
+        NodeId Neighbor = Leaves[static_cast<size_t>(J)];
+        // A neighbouring prediction target is itself unknown at test
+        // time; its node kind is all the information available.
+        std::string Value =
+            SelectedElement(Neighbor) != InvalidElement
+                ? SI.str(T.node(Neighbor).Kind)
+                : SI.str(T.node(Neighbor).Value);
+        // Original word2vec windows are position-free bags.
+        Out.emplace_back(E, "tok|" + Value);
+      }
+    }
+    return Out;
+  }
+
+  auto Contexts = extractPathContexts(T, Extraction, Table);
+  for (const PathContext &Ctx : Contexts) {
+    ElementId StartElem = SelectedElement(Ctx.Start);
+    ElementId EndElem = Ctx.Semi ? InvalidElement : SelectedElement(Ctx.End);
+    // Exactly one end must be a prediction target.
+    if ((StartElem == InvalidElement) == (EndElem == InvalidElement))
+      continue;
+    ElementId E = StartElem != InvalidElement ? StartElem : EndElem;
+    NodeId Other = StartElem != InvalidElement ? Ctx.End : Ctx.Start;
+    std::string OtherValue = SI.str(endValue(T, Other));
+    std::string CtxString;
+    if (Kind == W2vContexts::AstPaths) {
+      const char *Dir = StartElem != InvalidElement ? ">" : "<";
+      CtxString = Dir + Table.str(Ctx.Path) + "|" + OtherValue;
+    } else { // PathNeighbors: the same neighbours, path hidden.
+      CtxString = "nb|" + OtherValue;
+    }
+    Out.emplace_back(E, CtxString);
+  }
+  return Out;
+}
+
+} // namespace
+
+ExperimentResult
+core::runW2vNameExperiment(const Corpus &Corpus,
+                           const W2vExperimentOptions &Options) {
+  ExperimentResult Result;
+  Split S = splitByProject(Corpus, Options.TestFraction, Options.Seed);
+  ElementSelector Selector = selectorFor(Task::VariableNames);
+  const StringInterner &SI = *Corpus.Interner;
+  PathTable Table;
+
+  // Dense word/context vocabularies from the training split.
+  std::unordered_map<Symbol, uint32_t> WordIds;
+  std::vector<Symbol> Words;
+  StringInterner CtxInterner;
+  std::vector<w2v::Pair> Pairs;
+
+  Timer TrainTimer;
+  for (size_t I : S.Train) {
+    const Tree &T = Corpus.Files[I].Tree;
+    auto Contexts = w2vContextsOf(T, Selector, Options.Contexts,
+                                  Options.Extraction, Table);
+    Result.TrainContexts += Contexts.size();
+    for (const auto &[E, CtxString] : Contexts) {
+      Symbol Name = T.element(E).Name;
+      auto [It, Inserted] =
+          WordIds.emplace(Name, static_cast<uint32_t>(Words.size()));
+      if (Inserted)
+        Words.push_back(Name);
+      uint32_t Ctx = CtxInterner.intern(CtxString).index();
+      Pairs.push_back({It->second, Ctx});
+    }
+  }
+  w2v::Sgns Model(Options.Sgns);
+  Model.train(Pairs, static_cast<uint32_t>(Words.size()),
+              static_cast<uint32_t>(CtxInterner.size()));
+  Result.TrainSeconds = TrainTimer.seconds();
+  Result.DistinctPaths = Table.size();
+
+  // Evaluate: Eq. 4 over each test element's known contexts.
+  ml::AccuracyMeter Meter;
+  for (size_t I : S.Test) {
+    const Tree &T = Corpus.Files[I].Tree;
+    auto Contexts = w2vContextsOf(T, Selector, Options.Contexts,
+                                  Options.Extraction, Table);
+    std::unordered_map<ElementId, std::vector<uint32_t>> ByElement;
+    for (const auto &[E, CtxString] : Contexts) {
+      Symbol Known = CtxInterner.lookup(CtxString);
+      if (Known.isValid())
+        ByElement[E].push_back(Known.index());
+    }
+    // Every selected element with occurrences is a prediction target,
+    // whether or not any of its contexts were seen in training.
+    for (ElementId E = 0; E < T.elements().size(); ++E) {
+      if (!Selector(T.element(E)) || T.occurrences(E).empty())
+        continue;
+      const std::string &Gold = SI.str(T.element(E).Name);
+      auto It = ByElement.find(E);
+      if (It == ByElement.end()) {
+        Meter.addWrong();
+        continue;
+      }
+      uint32_t Predicted = Model.predict(It->second);
+      Meter.add(Predicted == UINT32_MAX ? "" : SI.str(Words[Predicted]),
+                Gold);
+    }
+  }
+  Result.Accuracy = Meter.accuracy();
+  Result.Predictions = Meter.total();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// TrainedNameModel
+//===----------------------------------------------------------------------===//
+
+TrainedNameModel::TrainedNameModel(const Corpus &Corpus, Task Task,
+                                   const CrfExperimentOptions &Options)
+    : TaskKind(Task), Options(Options), Model(Options.Crf) {
+  ElementSelector Selector = selectorFor(Task);
+  std::vector<CrfGraph> Graphs;
+  Graphs.reserve(Corpus.Files.size());
+  for (const ParsedFile &File : Corpus.Files) {
+    auto Contexts = contextsFor(File.Tree, Options, Table);
+    Graphs.push_back(buildGraph(File.Tree, Contexts, Selector));
+  }
+  Model.train(Graphs);
+}
+
+CrfGraph TrainedNameModel::buildFor(const Tree &Tree) const {
+  auto Contexts = contextsFor(Tree, Options, Table);
+  return buildGraph(Tree, Contexts, selectorFor(TaskKind));
+}
+
+std::map<ElementId, Symbol>
+TrainedNameModel::predict(const Tree &Tree) const {
+  CrfGraph G = buildFor(Tree);
+  std::vector<Symbol> Pred = Model.predict(G);
+  std::map<ElementId, Symbol> Out;
+  for (uint32_t N : G.Unknowns)
+    if (G.Nodes[N].Element != InvalidElement)
+      Out[G.Nodes[N].Element] = Pred[N];
+  return Out;
+}
+
+std::vector<std::pair<Symbol, double>>
+TrainedNameModel::topKFor(const Tree &Tree, ElementId Element, int K) const {
+  CrfGraph G = buildFor(Tree);
+  std::vector<Symbol> Pred = Model.predict(G);
+  for (uint32_t N : G.Unknowns)
+    if (G.Nodes[N].Element == Element)
+      return Model.topK(G, N, Pred, K);
+  return {};
+}

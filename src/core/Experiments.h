@@ -1,0 +1,148 @@
+//===- Experiments.h - Experiment runners for the evaluation ----*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reusable experiment drivers behind every table and figure of §5:
+/// CRF name prediction under interchangeable representations (AST paths,
+/// no-paths, single-statement relations, token n-grams), full-type
+/// prediction, the rule-based and sub-token baselines, and the three
+/// word2vec context encodings of Table 3. Each driver returns the metrics
+/// the paper reports (accuracy, sub-token F1, training time, model size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_CORE_EXPERIMENTS_H
+#define PIGEON_CORE_EXPERIMENTS_H
+
+#include "core/Pipeline.h"
+#include "ml/crf/Crf.h"
+#include "ml/word2vec/Sgns.h"
+#include "paths/Paths.h"
+
+#include <map>
+#include <string>
+
+namespace pigeon {
+namespace core {
+
+/// The input representation fed to the (unchanged) CRF learner — the
+/// paper's central variable.
+enum class Representation {
+  AstPaths,       ///< PIGEON: abstract AST path-contexts.
+  NoPaths,        ///< "bag of near identifiers" (α = no-path).
+  IntraStatement, ///< UnuglifyJS-style single-statement relations.
+  Ngrams,         ///< Sequential token n-gram factors.
+};
+
+const char *representationName(Representation R);
+
+/// Options shared by the CRF experiments.
+struct CrfExperimentOptions {
+  paths::ExtractionConfig Extraction;
+  crf::CrfConfig Crf;
+  Representation Repr = Representation::AstPaths;
+  /// n for Representation::Ngrams (the paper's Java baseline uses 4).
+  int NgramN = 4;
+  /// Keep-probability p for training path-context downsampling (Fig. 11).
+  double DownsampleP = 1.0;
+  /// Also add 3-wise path-context factors (§4's n-wise generalization).
+  bool TriContexts = false;
+  double TestFraction = 0.25;
+  uint64_t Seed = 42;
+};
+
+/// Metrics every experiment reports.
+struct ExperimentResult {
+  double Accuracy = 0;
+  double SubtokenF1 = 0;
+  double TrainSeconds = 0;
+  size_t NumFeatures = 0;
+  size_t TrainContexts = 0;
+  size_t Predictions = 0;
+  size_t DistinctPaths = 0;
+};
+
+/// Trains and evaluates a CRF for variable- or method-name prediction.
+ExperimentResult runCrfNameExperiment(const Corpus &Corpus, Task Task,
+                                      const CrfExperimentOptions &Options);
+
+/// Trains and evaluates the full-type CRF (paths from leaves to the
+/// expression nonterminal, §5.3.3). Types are compared by exact string.
+ExperimentResult runCrfTypeExperiment(const Corpus &Corpus,
+                                      const CrfExperimentOptions &Options);
+
+/// The rule-based Java namer on the test split (no training involved).
+ExperimentResult runRuleBasedJava(const Corpus &Corpus, double TestFraction,
+                                  uint64_t Seed);
+
+/// The sub-token bag method namer (the Allamanis et al. stand-in).
+ExperimentResult runSubtokenMethodNamer(const Corpus &Corpus,
+                                        double TestFraction, uint64_t Seed);
+
+/// The naive java.lang.String type baseline (§5.3.3).
+ExperimentResult runStringTypeBaseline(const Corpus &Corpus,
+                                       double TestFraction, uint64_t Seed);
+
+//===----------------------------------------------------------------------===//
+// word2vec experiments (Table 3)
+//===----------------------------------------------------------------------===//
+
+/// Context encodings compared in Table 3.
+enum class W2vContexts {
+  AstPaths,      ///< (path, other-end value) pairs — PIGEON.
+  TokenStream,   ///< Surrounding tokens with relative offsets.
+  PathNeighbors, ///< Path-context neighbours without the path itself.
+};
+
+const char *w2vContextsName(W2vContexts C);
+
+struct W2vExperimentOptions {
+  paths::ExtractionConfig Extraction;
+  w2v::SgnsConfig Sgns;
+  W2vContexts Contexts = W2vContexts::AstPaths;
+  double TestFraction = 0.25;
+  uint64_t Seed = 42;
+};
+
+/// Variable-name prediction with SGNS + Eq. 4 under the chosen context
+/// encoding.
+ExperimentResult runW2vNameExperiment(const Corpus &Corpus,
+                                      const W2vExperimentOptions &Options);
+
+//===----------------------------------------------------------------------===//
+// Qualitative API (Table 4, Figs. 7-9, examples)
+//===----------------------------------------------------------------------===//
+
+/// A name-prediction model trained on a whole corpus, usable on newly
+/// parsed snippets (they must share the corpus interner).
+class TrainedNameModel {
+public:
+  /// Trains on every file of \p Corpus.
+  TrainedNameModel(const Corpus &Corpus, Task Task,
+                   const CrfExperimentOptions &Options);
+
+  /// Predicts names for the selected elements of \p Tree.
+  std::map<ast::ElementId, Symbol> predict(const ast::Tree &Tree) const;
+
+  /// Top-k candidates for one element of \p Tree (Table 4a).
+  std::vector<std::pair<Symbol, double>>
+  topKFor(const ast::Tree &Tree, ast::ElementId Element, int K) const;
+
+  const crf::CrfModel &model() const { return Model; }
+
+private:
+  Task TaskKind;
+  CrfExperimentOptions Options;
+  crf::CrfModel Model;
+  mutable paths::PathTable Table;
+
+  crf::CrfGraph buildFor(const ast::Tree &Tree) const;
+};
+
+} // namespace core
+} // namespace pigeon
+
+#endif // PIGEON_CORE_EXPERIMENTS_H

@@ -1,0 +1,133 @@
+//===- ModelIO.cpp - Whole-model persistence ---------------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ModelIO.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace pigeon;
+using namespace pigeon::core;
+
+namespace {
+
+constexpr uint32_t BundleMagic = 0x50494742; // "PIGB"
+constexpr uint32_t BundleVersion = 1;
+
+template <typename T> void writePod(std::ostream &OS, const T &Value) {
+  OS.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+}
+
+template <typename T> bool readPod(std::istream &IS, T &Value) {
+  IS.read(reinterpret_cast<char *>(&Value), sizeof(Value));
+  return static_cast<bool>(IS);
+}
+
+void writeString(std::ostream &OS, const std::string &Str) {
+  writePod(OS, static_cast<uint32_t>(Str.size()));
+  OS.write(Str.data(), static_cast<std::streamsize>(Str.size()));
+}
+
+bool readString(std::istream &IS, std::string &Str) {
+  uint32_t Size = 0;
+  if (!readPod(IS, Size))
+    return false;
+  // Guard against absurd sizes from corrupted streams.
+  if (Size > (64u << 20))
+    return false;
+  Str.resize(Size);
+  IS.read(Str.data(), static_cast<std::streamsize>(Size));
+  return static_cast<bool>(IS);
+}
+
+/// Interners assign ids densely in intern order, so (re)interning the
+/// strings in index order reproduces every id.
+void writeInterner(std::ostream &OS, const StringInterner &Interner) {
+  // Index 0 is the reserved invalid slot; indices 1.. are real strings.
+  writePod(OS, static_cast<uint32_t>(Interner.size()));
+  for (uint32_t I = 1; I < Interner.size(); ++I)
+    writeString(OS, Interner.str(Symbol::fromIndex(I)));
+}
+
+bool readInterner(std::istream &IS, StringInterner &Interner) {
+  uint32_t Size = 0;
+  if (!readPod(IS, Size))
+    return false;
+  for (uint32_t I = 1; I < Size; ++I) {
+    std::string Str;
+    if (!readString(IS, Str))
+      return false;
+    Symbol S = Interner.intern(Str);
+    if (S.index() != I)
+      return false; // Duplicate string: not a saved interner.
+  }
+  return true;
+}
+
+void writePathTable(std::ostream &OS, const paths::PathTable &Table) {
+  writePod(OS, static_cast<uint32_t>(Table.size()));
+  for (uint32_t I = 1; I <= Table.size(); ++I)
+    writeString(OS, Table.str(I));
+}
+
+bool readPathTable(std::istream &IS, paths::PathTable &Table) {
+  uint32_t Size = 0;
+  if (!readPod(IS, Size))
+    return false;
+  for (uint32_t I = 1; I <= Size; ++I) {
+    std::string Str;
+    if (!readString(IS, Str))
+      return false;
+    if (Table.intern(Str) != I)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void core::saveModel(std::ostream &OS, const ModelBundle &Bundle) {
+  writePod(OS, BundleMagic);
+  writePod(OS, BundleVersion);
+  writePod(OS, static_cast<uint8_t>(Bundle.Lang));
+  writePod(OS, static_cast<uint8_t>(Bundle.TaskKind));
+  writePod(OS, static_cast<int32_t>(Bundle.Extraction.MaxLength));
+  writePod(OS, static_cast<int32_t>(Bundle.Extraction.MaxWidth));
+  writePod(OS, static_cast<uint8_t>(Bundle.Extraction.Abst));
+  writePod(OS, static_cast<uint8_t>(Bundle.Extraction.IncludeSemiPaths));
+  writeInterner(OS, *Bundle.Interner);
+  writePathTable(OS, Bundle.Table);
+  Bundle.Model.save(OS);
+}
+
+std::unique_ptr<ModelBundle> core::loadModel(std::istream &IS) {
+  uint32_t Magic = 0, Version = 0;
+  if (!readPod(IS, Magic) || Magic != BundleMagic)
+    return nullptr;
+  if (!readPod(IS, Version) || Version != BundleVersion)
+    return nullptr;
+  auto Bundle = std::make_unique<ModelBundle>();
+  Bundle->Interner = std::make_unique<StringInterner>();
+  uint8_t LangByte = 0, TaskByte = 0, AbstByte = 0, Semi = 0;
+  int32_t Length = 0, Width = 0;
+  if (!readPod(IS, LangByte) || !readPod(IS, TaskByte) ||
+      !readPod(IS, Length) ||
+      !readPod(IS, Width) || !readPod(IS, AbstByte) || !readPod(IS, Semi))
+    return nullptr;
+  Bundle->Lang = static_cast<lang::Language>(LangByte);
+  Bundle->TaskKind = static_cast<Task>(TaskByte);
+  Bundle->Extraction.MaxLength = Length;
+  Bundle->Extraction.MaxWidth = Width;
+  Bundle->Extraction.Abst = static_cast<paths::Abstraction>(AbstByte);
+  Bundle->Extraction.IncludeSemiPaths = Semi != 0;
+  if (!readInterner(IS, *Bundle->Interner))
+    return nullptr;
+  if (!readPathTable(IS, Bundle->Table))
+    return nullptr;
+  if (!Bundle->Model.load(IS))
+    return nullptr;
+  return Bundle;
+}

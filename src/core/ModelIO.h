@@ -1,0 +1,50 @@
+//===- ModelIO.h - Whole-model persistence -----------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Saves and restores a complete, usable name-prediction model: the
+/// string interner (all symbols the model's labels and values refer to),
+/// the path table (PathIds the features hash over), the extraction
+/// configuration, the task, and the trained CRF. A restored bundle can
+/// parse and predict on new files — new strings and paths intern after
+/// the saved ones, so every saved id keeps its meaning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_CORE_MODELIO_H
+#define PIGEON_CORE_MODELIO_H
+
+#include "core/Pipeline.h"
+#include "ml/crf/Crf.h"
+#include "paths/Paths.h"
+
+#include <iosfwd>
+#include <memory>
+
+namespace pigeon {
+namespace core {
+
+/// A self-contained trained model.
+struct ModelBundle {
+  lang::Language Lang = lang::Language::JavaScript;
+  std::unique_ptr<StringInterner> Interner;
+  paths::PathTable Table;
+  paths::ExtractionConfig Extraction;
+  Task TaskKind = Task::VariableNames;
+  crf::CrfModel Model;
+};
+
+/// Writes \p Bundle to \p OS (versioned binary).
+void saveModel(std::ostream &OS, const ModelBundle &Bundle);
+
+/// Restores a bundle written by saveModel(). \returns nullptr on a
+/// malformed or version-mismatched stream.
+std::unique_ptr<ModelBundle> loadModel(std::istream &IS);
+
+} // namespace core
+} // namespace pigeon
+
+#endif // PIGEON_CORE_MODELIO_H

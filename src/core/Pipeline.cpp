@@ -1,0 +1,177 @@
+//===- Pipeline.cpp - Corpus parsing, splitting, task selectors -------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "datagen/DomainClasses.h"
+#include "lang/csharp/CsParser.h"
+#include "lang/java/JavaParser.h"
+#include "lang/java/TypeChecker.h"
+#include "lang/js/JsParser.h"
+#include "lang/python/PyParser.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace pigeon;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+size_t Corpus::numProjects() const {
+  std::set<std::string> Projects;
+  for (const ParsedFile &File : Files)
+    Projects.insert(File.Project);
+  return Projects.size();
+}
+
+Corpus core::parseCorpus(const std::vector<datagen::SourceFile> &Sources,
+                         Language Lang) {
+  Corpus Out;
+  Out.Lang = Lang;
+  Out.Interner = std::make_unique<StringInterner>();
+
+  java::ClassPath CP = java::ClassPath::standard();
+  datagen::addDomainClasses(CP);
+
+  for (const datagen::SourceFile &Src : Sources) {
+    Out.SourceBytes += Src.Text.size();
+    lang::ParseResult R;
+    switch (Lang) {
+    case Language::JavaScript:
+      R = js::parse(Src.Text, *Out.Interner);
+      break;
+    case Language::Java:
+      R = java::parse(Src.Text, *Out.Interner);
+      break;
+    case Language::Python:
+      R = py::parse(Src.Text, *Out.Interner);
+      break;
+    case Language::CSharp:
+      R = cs::parse(Src.Text, *Out.Interner);
+      break;
+    }
+    if (!R.Tree || !R.Diags.empty()) {
+      ++Out.ParseFailures;
+      continue;
+    }
+    if (Lang == Language::Java)
+      java::annotateTypes(*R.Tree, CP);
+    Out.Files.push_back({Src.Project, Src.FileName, std::move(*R.Tree)});
+  }
+  return Out;
+}
+
+Split core::splitByProject(const Corpus &Corpus, double TestFraction,
+                           uint64_t Seed) {
+  // Deterministic project ordering, shuffled by seed, cut by fraction.
+  std::map<std::string, std::vector<size_t>> ByProject;
+  for (size_t I = 0; I < Corpus.Files.size(); ++I)
+    ByProject[Corpus.Files[I].Project].push_back(I);
+  std::vector<std::string> Projects;
+  Projects.reserve(ByProject.size());
+  for (const auto &[Project, Indices] : ByProject)
+    Projects.push_back(Project);
+  Rng R = Rng::forStream(Seed, "project-split");
+  R.shuffle(Projects);
+
+  size_t NumTest = std::max<size_t>(
+      1, static_cast<size_t>(TestFraction *
+                             static_cast<double>(Projects.size())));
+  NumTest = std::min(NumTest, Projects.size() > 1 ? Projects.size() - 1
+                                                  : Projects.size());
+  Split Out;
+  for (size_t P = 0; P < Projects.size(); ++P) {
+    const std::vector<size_t> &Indices = ByProject[Projects[P]];
+    auto &Dest = P < NumTest ? Out.Test : Out.Train;
+    Dest.insert(Dest.end(), Indices.begin(), Indices.end());
+  }
+  std::sort(Out.Train.begin(), Out.Train.end());
+  std::sort(Out.Test.begin(), Out.Test.end());
+  return Out;
+}
+
+const char *core::taskName(Task T) {
+  switch (T) {
+  case Task::VariableNames:
+    return "variable names";
+  case Task::MethodNames:
+    return "method names";
+  case Task::FullTypes:
+    return "full types";
+  }
+  return "invalid";
+}
+
+paths::ExtractionConfig core::tunedExtraction(Language Lang, Task T) {
+  paths::ExtractionConfig Config;
+  switch (T) {
+  case Task::VariableNames:
+    switch (Lang) {
+    case Language::JavaScript:
+      Config.MaxLength = 4;
+      Config.MaxWidth = 3;
+      break;
+    case Language::Java:
+      Config.MaxLength = 6;
+      Config.MaxWidth = 3;
+      break;
+    case Language::Python:
+      Config.MaxLength = 7;
+      Config.MaxWidth = 4;
+      break;
+    case Language::CSharp:
+      Config.MaxLength = 7;
+      Config.MaxWidth = 4;
+      break;
+    }
+    break;
+  case Task::MethodNames:
+    switch (Lang) {
+    case Language::JavaScript:
+      Config.MaxLength = 8;
+      Config.MaxWidth = 4;
+      break;
+    case Language::Java:
+      Config.MaxLength = 6;
+      Config.MaxWidth = 2;
+      break;
+    case Language::Python:
+      Config.MaxLength = 8;
+      Config.MaxWidth = 6;
+      break;
+    case Language::CSharp:
+      Config.MaxLength = 8;
+      Config.MaxWidth = 4;
+      break;
+    }
+    break;
+  case Task::FullTypes:
+    Config.MaxLength = 4;
+    Config.MaxWidth = 1;
+    break;
+  }
+  return Config;
+}
+
+crf::ElementSelector core::selectorFor(Task T) {
+  switch (T) {
+  case Task::VariableNames:
+    return [](const ast::ElementInfo &Info) {
+      return Info.Predictable &&
+             (Info.Kind == ast::ElementKind::LocalVar ||
+              Info.Kind == ast::ElementKind::Parameter);
+    };
+  case Task::MethodNames:
+    return [](const ast::ElementInfo &Info) {
+      return Info.Predictable && Info.Kind == ast::ElementKind::Method;
+    };
+  case Task::FullTypes:
+    return [](const ast::ElementInfo &) { return false; };
+  }
+  return [](const ast::ElementInfo &) { return false; };
+}

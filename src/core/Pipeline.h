@@ -1,0 +1,88 @@
+//===- Pipeline.h - Corpus parsing, splitting, task selectors ---*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PIGEON's plumbing: parse generated corpora with the right frontend,
+/// split by project (no train/test leakage, as in the paper's per-project
+/// GitHub splits), and define which program elements each prediction task
+/// targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_CORE_PIPELINE_H
+#define PIGEON_CORE_PIPELINE_H
+
+#include "ast/Ast.h"
+#include "datagen/Sketch.h"
+#include "lang/common/Frontend.h"
+#include "ml/crf/Crf.h"
+#include "paths/Paths.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pigeon {
+namespace core {
+
+/// One parsed file of a corpus.
+struct ParsedFile {
+  std::string Project;
+  std::string FileName;
+  ast::Tree Tree;
+};
+
+/// A parsed corpus. Owns the interner all its trees point into.
+struct Corpus {
+  lang::Language Lang = lang::Language::JavaScript;
+  std::unique_ptr<StringInterner> Interner;
+  std::vector<ParsedFile> Files;
+  /// Total source bytes (Table 1's size column).
+  size_t SourceBytes = 0;
+  /// Number of files that failed to parse (dropped).
+  size_t ParseFailures = 0;
+
+  size_t numProjects() const;
+};
+
+/// Parses every file of \p Sources with the frontend for \p Lang. Files
+/// with diagnostics are dropped (and counted), like unparsable GitHub
+/// files. For Java, expression types are annotated with the type oracle.
+Corpus parseCorpus(const std::vector<datagen::SourceFile> &Sources,
+                   lang::Language Lang);
+
+/// Train/test file index split, grouped by project so no project spans
+/// the boundary.
+struct Split {
+  std::vector<size_t> Train;
+  std::vector<size_t> Test;
+};
+Split splitByProject(const Corpus &Corpus, double TestFraction,
+                     uint64_t Seed);
+
+/// The paper's three prediction tasks (§5.3).
+enum class Task {
+  VariableNames, ///< Locals and parameters (§5.3.1).
+  MethodNames,   ///< Methods defined in the file (§5.3.2).
+  FullTypes,     ///< Fully-qualified expression types, Java (§5.3.3).
+};
+
+const char *taskName(Task T);
+
+/// The unknown-element selector the CRF uses for \p T (FullTypes builds
+/// per-expression graphs instead and has no selector).
+crf::ElementSelector selectorFor(Task T);
+
+/// Validation-tuned max_length/max_width per language and task — the
+/// analogue of the paper's Table 2 "Params" column. (Our optimal lengths
+/// are shorter than the paper's for some languages because the synthetic
+/// functions are smaller than real GitHub functions; see EXPERIMENTS.md.)
+paths::ExtractionConfig tunedExtraction(lang::Language Lang, Task T);
+
+} // namespace core
+} // namespace pigeon
+
+#endif // PIGEON_CORE_PIPELINE_H

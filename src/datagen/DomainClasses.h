@@ -1,0 +1,49 @@
+//===- DomainClasses.h - Classpath entries for generated code ----*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic Java corpora import a small fictional HTTP library
+/// (com.example.http.*). Registering it on the type checker's classpath
+/// plays the role of the project dependencies a real global inference
+/// engine would resolve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_DATAGEN_DOMAINCLASSES_H
+#define PIGEON_DATAGEN_DOMAINCLASSES_H
+
+#include "lang/java/ClassPath.h"
+
+namespace pigeon {
+namespace datagen {
+
+/// Adds the corpus's domain classes (com.example.http.*) to \p CP.
+inline void addDomainClasses(java::ClassPath &CP) {
+  java::ClassDef Client;
+  Client.QualifiedName = "com.example.http.HttpClient";
+  Client.Super = "java.lang.Object";
+  Client.Methods = {{"execute", "com.example.http.HttpResponse"},
+                    {"close", "void"}};
+  CP.addClass(std::move(Client));
+
+  java::ClassDef Request;
+  Request.QualifiedName = "com.example.http.HttpRequest";
+  Request.Super = "java.lang.Object";
+  Request.Methods = {{"getUrl", "java.lang.String"}};
+  CP.addClass(std::move(Request));
+
+  java::ClassDef Response;
+  Response.QualifiedName = "com.example.http.HttpResponse";
+  Response.Super = "java.lang.Object";
+  Response.Methods = {{"getBody", "java.lang.String"},
+                      {"getStatus", "int"}};
+  CP.addClass(std::move(Response));
+}
+
+} // namespace datagen
+} // namespace pigeon
+
+#endif // PIGEON_DATAGEN_DOMAINCLASSES_H

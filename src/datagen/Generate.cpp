@@ -1,0 +1,392 @@
+//===- Generate.cpp - Corpus sketch sampling ----------------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datagen/Names.h"
+#include "datagen/Sketch.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace pigeon;
+using namespace pigeon::datagen;
+using pigeon::lang::Language;
+
+const char *datagen::idiomName(IdiomKind Kind) {
+  switch (Kind) {
+  case IdiomKind::LoopFlag:
+    return "loop-flag";
+  case IdiomKind::SearchFlag:
+    return "search-flag";
+  case IdiomKind::ConfigFlag:
+    return "config-flag";
+  case IdiomKind::CountMatches:
+    return "count-matches";
+  case IdiomKind::SumValues:
+    return "sum-values";
+  case IdiomKind::FindMax:
+    return "find-max";
+  case IdiomKind::IndexOf:
+    return "index-of";
+  case IdiomKind::BuildList:
+    return "build-list";
+  case IdiomKind::JoinStrings:
+    return "join-strings";
+  case IdiomKind::HttpRequest:
+    return "http-request";
+  case IdiomKind::ParseNumber:
+    return "parse-number";
+  case IdiomKind::MapLookup:
+    return "map-lookup";
+  case IdiomKind::GetterSetter:
+    return "getter-setter";
+  case IdiomKind::ReadLines:
+    return "read-lines";
+  case IdiomKind::ScoreAccum:
+    return "score-accum";
+  }
+  return "invalid";
+}
+
+const std::string &IdiomInstance::name(const std::string &Slot) const {
+  auto It = Names.find(Slot);
+  assert(It != Names.end() && "unknown idiom slot");
+  return It->second;
+}
+
+namespace {
+
+/// Idioms available per language (JS has no classes in MiniJS; C# has no
+/// ReadLines; otherwise everything is shared).
+std::vector<IdiomKind> idiomsFor(Language Lang) {
+  std::vector<IdiomKind> Out;
+  for (IdiomKind K : AllIdioms) {
+    if (Lang == Language::JavaScript &&
+        (K == IdiomKind::GetterSetter || K == IdiomKind::ReadLines))
+      continue;
+    if (Lang == Language::CSharp && K == IdiomKind::ReadLines)
+      continue;
+    if (Lang == Language::Python && K == IdiomKind::HttpRequest)
+      continue;
+    Out.push_back(K);
+  }
+  return Out;
+}
+
+double idiomWeight(IdiomKind K) {
+  // Getter/setter names are trivially predictable; keep them a modest
+  // share so they don't inflate method-name accuracy.
+  if (K == IdiomKind::GetterSetter)
+    return 0.6;
+  // Flag loops and accumulators dominate real control-flow code; they
+  // are also the patterns whose names depend on *long-range* context
+  // (the Fig. 3 argument), so they anchor the corpus.
+  switch (K) {
+  case IdiomKind::LoopFlag:
+  case IdiomKind::SearchFlag:
+  case IdiomKind::ConfigFlag:
+  case IdiomKind::SumValues:
+  case IdiomKind::ScoreAccum:
+    return 1.8;
+  default:
+    return 1.0;
+  }
+}
+
+NamePool methodPool(IdiomKind K) {
+  using P = std::initializer_list<std::pair<const char *, double>>;
+  auto Make = [](P L) {
+    NamePool Pool;
+    for (const auto &[N, W] : L)
+      Pool.Entries.emplace_back(N, W);
+    return Pool;
+  };
+  switch (K) {
+  case IdiomKind::LoopFlag:
+    return Make({{"waitUntilReady", 4.5},
+                 {"poll", 1.6},
+                 {"waitForCompletion", 1.4},
+                 {"spin", 0.9},
+                 {"runLoop", 1.1}});
+  case IdiomKind::SearchFlag:
+    return Make({{"contains", 4.8},
+                 {"hasMatch", 1.5},
+                 {"anyMatch", 1.3},
+                 {"includes", 1.2}});
+  case IdiomKind::ConfigFlag:
+    return Make({{"configure", 4.2},
+                 {"setup", 1.8},
+                 {"init", 1.4},
+                 {"applySettings", 1.0}});
+  case IdiomKind::CountMatches:
+    return Make({{"countMatches", 4.8},
+                 {"getCount", 1.4},
+                 {"countItems", 1.2},
+                 {"tally", 0.8},
+                 {"numMatches", 0.8}});
+  case IdiomKind::SumValues:
+    return Make({{"sumValues", 4.6},
+                 {"getTotal", 1.6},
+                 {"computeSum", 1.2},
+                 {"addAll", 0.8}});
+  case IdiomKind::FindMax:
+    return Make({{"findMax", 4.6},
+                 {"getMax", 1.6},
+                 {"maxValue", 1.2},
+                 {"largest", 0.8}});
+  case IdiomKind::IndexOf:
+    return Make({{"indexOf", 4.8},
+                 {"findIndex", 1.8},
+                 {"positionOf", 0.8},
+                 {"locate", 0.8}});
+  case IdiomKind::BuildList:
+    return Make({{"filterItems", 4.2},
+                 {"collect", 1.6},
+                 {"selectAbove", 1.0},
+                 {"pickLarge", 0.6}});
+  case IdiomKind::JoinStrings:
+    return Make({{"join", 4.6},
+                 {"joinStrings", 1.4},
+                 {"concatAll", 1.0},
+                 {"buildString", 1.0}});
+  case IdiomKind::HttpRequest:
+    return Make({{"sendRequest", 4.4},
+                 {"fetchData", 1.8},
+                 {"loadUrl", 1.0},
+                 {"download", 0.8}});
+  case IdiomKind::ParseNumber:
+    return Make({{"parseNumber", 4.4},
+                 {"toInt", 1.6},
+                 {"parseValue", 1.2},
+                 {"readNumber", 0.8}});
+  case IdiomKind::MapLookup:
+    return Make({{"lookup", 4.4},
+                 {"getOrDefault", 1.8},
+                 {"findValue", 1.0},
+                 {"resolve", 0.8}});
+  case IdiomKind::GetterSetter:
+    return Make({{"get", 1.0}}); // Composed with the field name.
+  case IdiomKind::ReadLines:
+    return Make({{"readLines", 4.4},
+                 {"countLines", 1.6},
+                 {"processFile", 1.2},
+                 {"loadFile", 0.8}});
+  case IdiomKind::ScoreAccum:
+    return Make({{"computeScore", 4.4},
+                 {"rate", 1.4},
+                 {"weigh", 0.8},
+                 {"evaluate", 1.6}});
+  }
+  return Make({{"run", 1.0}});
+}
+
+std::string sampleFromPool(const NamePool &Pool, Rng &R) {
+  std::vector<double> Weights;
+  Weights.reserve(Pool.Entries.size());
+  for (const auto &[N, W] : Pool.Entries)
+    Weights.push_back(W);
+  return Pool.Entries[R.pickWeighted(Weights)].first;
+}
+
+/// Known helper-function names (never prediction targets). One shared
+/// pool for every idiom: if each idiom had its own helper vocabulary, a
+/// bag-of-identifiers baseline could read the idiom straight off the
+/// helper names, which real corpora do not allow.
+std::string sampleHelperName(Rng &R) {
+  static const char *Pool[] = {"process", "handle",  "check",  "update",
+                               "refresh", "apply",   "notify", "run",
+                               "sync",    "validate"};
+  return Pool[R.nextBelow(10)];
+}
+std::string sampleCheckName(Rng &R) { return sampleHelperName(R); }
+std::string sampleInitName(Rng &R) { return sampleHelperName(R); }
+std::string sampleUseName(Rng &R) { return sampleHelperName(R); }
+
+IdiomInstance sampleIdiom(IdiomKind K, NameSampler &Sampler, Rng &R) {
+  IdiomInstance Inst;
+  Inst.Kind = K;
+  Inst.MethodName = sampleFromPool(methodPool(K), R);
+  Inst.Variant = static_cast<int>(R.nextBelow(2));
+  Inst.ExtraLog = R.nextBool(0.35);
+  auto Set = [&](const char *Slot, Role Role,
+                 const std::string &Hint = "") {
+    Inst.Names.emplace(Slot, Sampler.sample(Role, Hint));
+  };
+  switch (K) {
+  case IdiomKind::LoopFlag:
+    Set("flag", Role::LoopFlag);
+    Inst.Names.emplace("check", sampleCheckName(R));
+    break;
+  case IdiomKind::SearchFlag:
+    Set("item", Role::Item);
+    Set("flag", Role::FoundFlag);
+    Set("items", Role::Collection, Inst.name("item"));
+    Set("target", Role::Target);
+    break;
+  case IdiomKind::ConfigFlag:
+    Set("flag", Role::ConfigFlag);
+    Inst.Names.emplace("init", sampleInitName(R));
+    Inst.Names.emplace("use", sampleUseName(R));
+    break;
+  case IdiomKind::CountMatches:
+    Set("item", Role::Item);
+    Set("counter", Role::Counter, Inst.name("item"));
+    Set("items", Role::Collection, Inst.name("item"));
+    Set("target", Role::Target);
+    break;
+  case IdiomKind::SumValues:
+    Set("acc", Role::Accumulator);
+    Set("values", Role::Collection);
+    Set("index", Role::Index);
+    Set("item", Role::Item);
+    break;
+  case IdiomKind::FindMax:
+    Set("item", Role::Item);
+    Set("best", Role::Best, Inst.name("item"));
+    Set("items", Role::Collection, Inst.name("item"));
+    break;
+  case IdiomKind::IndexOf:
+    Set("items", Role::Collection);
+    Set("index", Role::Index);
+    Set("target", Role::Target);
+    break;
+  case IdiomKind::BuildList:
+    Set("item", Role::Item);
+    Set("results", Role::Results);
+    Set("items", Role::Collection, Inst.name("item"));
+    Set("limit", Role::Limit);
+    break;
+  case IdiomKind::JoinStrings:
+    Set("builder", Role::Builder);
+    Set("items", Role::Collection);
+    Set("item", Role::Item);
+    Set("sep", Role::Separator);
+    break;
+  case IdiomKind::HttpRequest:
+    Set("request", Role::Request);
+    Set("response", Role::Response);
+    Set("url", Role::Url);
+    Set("callback", Role::Callback);
+    Set("client", Role::Client);
+    break;
+  case IdiomKind::ParseNumber:
+    Set("text", Role::Text);
+    Set("value", Role::Number);
+    Set("fallback", Role::Default);
+    Set("error", Role::Error);
+    break;
+  case IdiomKind::MapLookup:
+    Set("map", Role::Map);
+    Set("key", Role::Key);
+    Set("fallback", Role::Default);
+    break;
+  case IdiomKind::GetterSetter:
+    Set("field", Role::Field);
+    Inst.MethodName = "get" + capitalize(Inst.name("field"));
+    break;
+  case IdiomKind::ReadLines:
+    Set("reader", Role::Reader);
+    Set("line", Role::Line);
+    Set("counter", Role::Counter, Inst.name("line"));
+    break;
+  case IdiomKind::ScoreAccum:
+    // Parameters deliberately share the Item/Target pools so the bag of
+    // neighbours matches SumValues; only structure separates them.
+    Set("acc", Role::Score);
+    Set("first", Role::Item);
+    Set("second", Role::Target);
+    break;
+  }
+  return Inst;
+}
+
+std::string projectNameFor(int Index) {
+  static const char *Adjectives[] = {"rapid", "solid",  "micro", "hyper",
+                                     "quiet", "bright", "lucid", "prime"};
+  static const char *Nouns[] = {"engine", "server", "tools", "kit",
+                                "stack",  "works",  "forge", "base"};
+  return std::string(Adjectives[Index % 8]) + Nouns[(Index / 8) % 8] +
+         std::to_string(Index);
+}
+
+} // namespace
+
+std::vector<SourceFile> datagen::generateCorpus(const CorpusSpec &Spec) {
+  std::vector<SourceFile> Out;
+  std::vector<IdiomKind> Available = idiomsFor(Spec.Lang);
+  std::vector<double> IdiomWeights;
+  IdiomWeights.reserve(Available.size());
+  for (IdiomKind K : Available)
+    IdiomWeights.push_back(idiomWeight(K));
+
+  for (int P = 0; P < Spec.NumProjects; ++P) {
+    Rng ProjectRng = Rng::forStream(
+        Spec.Seed, "project-" + std::to_string(P) + "-" +
+                       lang::languageName(Spec.Lang));
+    NameSampler Sampler(Spec, static_cast<uint64_t>(P), ProjectRng);
+    std::string Project = projectNameFor(P);
+    for (int F = 0; F < Spec.FilesPerProject; ++F) {
+      FileSketch Sketch;
+      Sketch.Project = Project;
+      Sketch.FileName = Project + "_file" + std::to_string(F);
+      Sketch.ClassName = "Module" + std::to_string(P) + "x" +
+                         std::to_string(F);
+      bool HasGetter = false;
+      for (int Fn = 0; Fn < Spec.FunctionsPerFile; ++Fn) {
+        IdiomKind K = Available[ProjectRng.pickWeighted(IdiomWeights)];
+        // At most one getter/setter pair per file keeps fields tidy.
+        if (K == IdiomKind::GetterSetter) {
+          if (HasGetter) {
+            --Fn;
+            continue;
+          }
+          HasGetter = true;
+        }
+        Sketch.Functions.push_back(sampleIdiom(K, Sampler, ProjectRng));
+      }
+      SourceFile File;
+      File.Project = Project;
+      File.FileName = Sketch.FileName;
+      File.Text = render(Sketch, Spec.Lang);
+      File.Sketch = std::move(Sketch);
+      Out.push_back(std::move(File));
+    }
+  }
+  return Out;
+}
+
+CorpusSpec datagen::defaultSpec(Language Lang, uint64_t Seed) {
+  CorpusSpec Spec;
+  Spec.Lang = Lang;
+  Spec.Seed = Seed;
+  // Small single-function files: function boundaries are file boundaries,
+  // as in the per-snippet training regime; see DESIGN.md.
+  Spec.FunctionsPerFile = 1;
+  Spec.FilesPerProject = 16;
+  switch (Lang) {
+  case Language::JavaScript:
+    // Domain-specific, regular naming (§5.3: JS corpora are web-heavy and
+    // names are short and standard).
+    Spec.NoiseProb = 0.02;
+    Spec.CompoundProb = 0.0;
+    break;
+  case Language::Java:
+    // Compound, IDE-suggested names make the label space wider (§5.3).
+    Spec.NoiseProb = 0.03;
+    Spec.CompoundProb = 0.22;
+    break;
+  case Language::Python:
+    // Noisier, less standardized code (§5.3).
+    Spec.NoiseProb = 0.10;
+    Spec.CompoundProb = 0.05;
+    break;
+  case Language::CSharp:
+    Spec.NoiseProb = 0.03;
+    Spec.CompoundProb = 0.20;
+    break;
+  }
+  return Spec;
+}

@@ -1,0 +1,319 @@
+//===- Names.cpp - Role-conditioned name sampling ----------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datagen/Names.h"
+
+#include "support/SubToken.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace pigeon;
+using namespace pigeon::datagen;
+using pigeon::lang::Language;
+
+std::string datagen::capitalize(const std::string &Name) {
+  if (Name.empty())
+    return Name;
+  std::string Out = Name;
+  Out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(Out[0])));
+  return Out;
+}
+
+std::string datagen::toSnakeCase(const std::string &Name) {
+  std::vector<std::string> Parts = splitSubTokens(Name);
+  std::string Out;
+  for (const std::string &P : Parts) {
+    if (!Out.empty())
+      Out += '_';
+    Out += P;
+  }
+  return Out.empty() ? Name : Out;
+}
+
+std::string datagen::toPascalCase(const std::string &Name) {
+  std::vector<std::string> Parts = splitSubTokens(Name);
+  std::string Out;
+  for (const std::string &P : Parts)
+    Out += capitalize(P);
+  return Out.empty() ? capitalize(Name) : Out;
+}
+
+namespace {
+
+NamePool makePool(std::initializer_list<std::pair<const char *, double>> L) {
+  NamePool P;
+  for (const auto &[Name, W] : L)
+    P.Entries.emplace_back(Name, W);
+  return P;
+}
+
+} // namespace
+
+const NamePool &datagen::rolePool(Role R, Language Lang) {
+  // Shared pools; a handful of roles specialize per language below.
+  static const NamePool LoopFlagP = makePool({{"done", 8.0},
+                                              {"finished", 1.2},
+                                              {"complete", 0.9},
+                                              {"stop", 0.7},
+                                              {"ready", 0.7}});
+  static const NamePool FoundFlagP = makePool({{"found", 7.5},
+                                               {"exists", 1.3},
+                                               {"has", 0.7},
+                                               {"matched", 1.0},
+                                               {"seen", 1.0}});
+  static const NamePool ConfigFlagP = makePool({{"enabled", 7.5},
+                                                {"active", 1.6},
+                                                {"verbose", 1.0},
+                                                {"debug", 1.0},
+                                                {"strict", 0.9}});
+  static const NamePool CounterP = makePool({{"count", 8.0},
+                                             {"counter", 1.4},
+                                             {"total", 1.2},
+                                             {"num", 0.8},
+                                             {"matches", 0.6}});
+  static const NamePool IndexP = makePool({{"i", 8.5},
+                                           {"j", 0.8},
+                                           {"index", 1.4},
+                                           {"idx", 0.7},
+                                           {"pos", 0.6}});
+  static const NamePool AccumulatorP = makePool({{"sum", 7.5},
+                                                 {"total", 1.8},
+                                                 {"acc", 0.9},
+                                                 {"result", 1.3}});
+  static const NamePool BestP = makePool({{"max", 7.5},
+                                          {"best", 2.2},
+                                          {"largest", 1.0},
+                                          {"highest", 0.9},
+                                          {"top", 0.9}});
+  static const NamePool CollectionP = makePool({{"items", 7.5},
+                                                {"values", 2.2},
+                                                {"list", 1.1},
+                                                {"elements", 0.8},
+                                                {"data", 0.8},
+                                                {"entries", 0.5}});
+  static const NamePool CollectionJsP = makePool({{"items", 7.2},
+                                                  {"values", 1.0},
+                                                  {"array", 1.4},
+                                                  {"arr", 0.9},
+                                                  {"list", 0.9},
+                                                  {"data", 0.6}});
+  static const NamePool ItemP = makePool({{"item", 7.5},
+                                          {"value", 1.6},
+                                          {"element", 1.0},
+                                          {"elem", 0.6},
+                                          {"entry", 0.7},
+                                          {"v", 0.5}});
+  static const NamePool TargetP = makePool({{"target", 7.5},
+                                            {"value", 1.0},
+                                            {"wanted", 0.7},
+                                            {"needle", 0.6},
+                                            {"key", 1.0},
+                                            {"expected", 0.7}});
+  static const NamePool ResultsP = makePool({{"results", 7.5},
+                                             {"matches", 1.6},
+                                             {"filtered", 1.0},
+                                             {"output", 1.0},
+                                             {"selected", 0.8}});
+  static const NamePool BuilderP = makePool({{"result", 7.0},
+                                             {"builder", 1.4},
+                                             {"sb", 1.0},
+                                             {"buf", 0.5},
+                                             {"out", 0.8}});
+  static const NamePool SeparatorP = makePool({{"sep", 7.0},
+                                               {"delim", 1.0},
+                                               {"separator", 1.6},
+                                               {"glue", 0.5}});
+  static const NamePool TextP = makePool({{"text", 7.0},
+                                          {"str", 1.6},
+                                          {"s", 1.4},
+                                          {"input", 1.4},
+                                          {"value", 0.8},
+                                          {"raw", 0.6}});
+  static const NamePool NumberP = makePool({{"value", 7.0},
+                                            {"num", 1.2},
+                                            {"number", 1.4},
+                                            {"parsed", 1.2},
+                                            {"n", 0.8}});
+  static const NamePool RequestP = makePool({{"request", 7.0},
+                                             {"req", 2.6},
+                                             {"xhr", 0.9}});
+  static const NamePool ResponseP = makePool({{"response", 7.0},
+                                              {"res", 1.8},
+                                              {"resp", 1.2},
+                                              {"reply", 0.6}});
+  static const NamePool UrlP = makePool({{"url", 7.0},
+                                         {"uri", 1.2},
+                                         {"endpoint", 1.0},
+                                         {"address", 0.7},
+                                         {"source", 0.6}});
+  static const NamePool CallbackP = makePool({{"callback", 7.0},
+                                              {"cb", 1.6},
+                                              {"handler", 1.4},
+                                              {"fn", 0.6}});
+  static const NamePool ClientP = makePool({{"client", 7.0},
+                                            {"conn", 1.1},
+                                            {"connection", 1.6},
+                                            {"session", 0.8}});
+  static const NamePool MapP = makePool({{"map", 7.0},
+                                         {"cache", 1.4},
+                                         {"table", 1.0},
+                                         {"lookup", 0.9},
+                                         {"index", 0.7}});
+  static const NamePool MapPyP = makePool({{"cache", 6.0},
+                                           {"mapping", 1.2},
+                                           {"table", 1.2},
+                                           {"lookup", 1.0},
+                                           {"data", 1.0},
+                                           {"index", 0.8}});
+  static const NamePool KeyP = makePool({{"key", 7.5},
+                                         {"id", 1.6},
+                                         {"name", 1.4},
+                                         {"k", 0.8}});
+  static const NamePool DefaultP = makePool({{"fallback", 6.5},
+                                             {"missing", 1.4},
+                                             {"placeholder", 1.0},
+                                             {"initial", 1.2}});
+  static const NamePool ErrorP = makePool({{"e", 6.5},
+                                           {"err", 1.6},
+                                           {"error", 2.0},
+                                           {"ex", 1.2}});
+  static const NamePool LimitP = makePool({{"limit", 6.5},
+                                           {"n", 1.0},
+                                           {"size", 1.2},
+                                           {"threshold", 1.4},
+                                           {"len", 0.8}});
+  static const NamePool ReaderP = makePool({{"reader", 7.0},
+                                            {"file", 2.0},
+                                            {"stream", 1.2},
+                                            {"f", 1.0}});
+  static const NamePool LineP = makePool({{"line", 7.5},
+                                          {"row", 1.2},
+                                          {"text", 1.0},
+                                          {"entry", 0.6}});
+  static const NamePool ScoreP = makePool({{"score", 7.0},
+                                           {"rating", 1.2},
+                                           {"weight", 1.0},
+                                           {"priority", 0.8}});
+  static const NamePool FieldP = makePool({{"name", 2.0},
+                                           {"size", 1.6},
+                                           {"width", 1.2},
+                                           {"height", 1.2},
+                                           {"title", 1.2},
+                                           {"status", 1.2},
+                                           {"color", 1.0},
+                                           {"label", 1.0}});
+
+  switch (R) {
+  case Role::LoopFlag:
+    return LoopFlagP;
+  case Role::FoundFlag:
+    return FoundFlagP;
+  case Role::ConfigFlag:
+    return ConfigFlagP;
+  case Role::Counter:
+    return CounterP;
+  case Role::Index:
+    return IndexP;
+  case Role::Accumulator:
+    return AccumulatorP;
+  case Role::Best:
+    return BestP;
+  case Role::Collection:
+    return Lang == Language::JavaScript ? CollectionJsP : CollectionP;
+  case Role::Item:
+    return ItemP;
+  case Role::Target:
+    return TargetP;
+  case Role::Results:
+    return ResultsP;
+  case Role::Builder:
+    return BuilderP;
+  case Role::Separator:
+    return SeparatorP;
+  case Role::Text:
+    return TextP;
+  case Role::Number:
+    return NumberP;
+  case Role::Request:
+    return RequestP;
+  case Role::Response:
+    return ResponseP;
+  case Role::Url:
+    return UrlP;
+  case Role::Callback:
+    return CallbackP;
+  case Role::Client:
+    return ClientP;
+  case Role::Map:
+    return Lang == Language::Python ? MapPyP : MapP;
+  case Role::Key:
+    return KeyP;
+  case Role::Default:
+    return DefaultP;
+  case Role::Error:
+    return ErrorP;
+  case Role::Limit:
+    return LimitP;
+  case Role::Reader:
+    return ReaderP;
+  case Role::Line:
+    return LineP;
+  case Role::Field:
+    return FieldP;
+  case Role::Score:
+    return ScoreP;
+  }
+  return ItemP;
+}
+
+NameSampler::NameSampler(const CorpusSpec &Spec, uint64_t ProjectSalt,
+                         Rng &R)
+    : Spec(Spec), R(R) {
+  // Project drift preferences are derived from a salt so they are stable
+  // per project regardless of sampling order.
+  (void)ProjectSalt;
+}
+
+size_t NameSampler::preferredIndex(Role Role) {
+  int Key = static_cast<int>(Role);
+  auto It = Preferred.find(Key);
+  if (It != Preferred.end())
+    return It->second;
+  const NamePool &Pool = rolePool(Role, Spec.Lang);
+  std::vector<double> Weights;
+  Weights.reserve(Pool.Entries.size());
+  for (const auto &[Name, W] : Pool.Entries)
+    Weights.push_back(W);
+  size_t Idx = R.pickWeighted(Weights);
+  Preferred.emplace(Key, Idx);
+  return Idx;
+}
+
+std::string NameSampler::sample(Role Role, const std::string &CompoundHint) {
+  static const char *NoiseNames[] = {"x", "tmp", "val", "data", "obj", "a"};
+  if (R.nextBool(Spec.NoiseProb))
+    return NoiseNames[R.nextBelow(6)];
+
+  const NamePool &Pool = rolePool(Role, Spec.Lang);
+  std::string Base;
+  if (R.nextBool(Spec.DriftProb)) {
+    Base = Pool.Entries[preferredIndex(Role)].first;
+  } else {
+    std::vector<double> Weights;
+    Weights.reserve(Pool.Entries.size());
+    for (const auto &[Name, W] : Pool.Entries)
+      Weights.push_back(W);
+    Base = Pool.Entries[R.pickWeighted(Weights)].first;
+  }
+
+  // Compound composition (Java/C# IDE-style names): count -> itemCount,
+  // items -> itemList, ...
+  if (!CompoundHint.empty() && Base.size() > 1 &&
+      R.nextBool(Spec.CompoundProb))
+    return CompoundHint + capitalize(Base);
+  return Base;
+}

@@ -1,0 +1,68 @@
+//===- Names.h - Role-conditioned name sampling ------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Role → name distributions and the sampler that applies per-project
+/// drift, compound composition and noise. The modal mass of each pool is
+/// what bounds achievable prediction accuracy, so pools are tuned per
+/// language to land in the paper's accuracy bands (§5.3's discussion of
+/// why JS > Java ≈ C# ≈ Python).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_DATAGEN_NAMES_H
+#define PIGEON_DATAGEN_NAMES_H
+
+#include "datagen/Sketch.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pigeon {
+namespace datagen {
+
+/// A weighted name pool.
+struct NamePool {
+  std::vector<std::pair<std::string, double>> Entries;
+};
+
+/// The pool for \p R in language \p Lang.
+const NamePool &rolePool(Role R, lang::Language Lang);
+
+/// Samples names for one project: applies drift (a project-preferred
+/// synonym per role), compound composition and noise per the spec.
+class NameSampler {
+public:
+  NameSampler(const CorpusSpec &Spec, uint64_t ProjectSalt, Rng &R);
+
+  /// Samples a name for \p R. \p CompoundHint, when non-empty, is a
+  /// context word compound names compose with (itemCount, valueList...).
+  std::string sample(Role R, const std::string &CompoundHint = "");
+
+private:
+  const CorpusSpec &Spec;
+  Rng &R;
+  /// Project-preferred synonym index per role.
+  std::unordered_map<int, size_t> Preferred;
+
+  size_t preferredIndex(Role Role);
+};
+
+/// Capitalizes the first character ("count" -> "Count").
+std::string capitalize(const std::string &Name);
+
+/// camelCase → snake_case ("countItems" -> "count_items").
+std::string toSnakeCase(const std::string &Name);
+
+/// camelCase → PascalCase ("countItems" -> "CountItems").
+std::string toPascalCase(const std::string &Name);
+
+} // namespace datagen
+} // namespace pigeon
+
+#endif // PIGEON_DATAGEN_NAMES_H

@@ -1,0 +1,1125 @@
+//===- Render.cpp - Rendering sketches to source text --------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datagen/Names.h"
+#include "datagen/Sketch.h"
+
+#include <cassert>
+#include <set>
+
+using namespace pigeon;
+using namespace pigeon::datagen;
+using pigeon::lang::Language;
+
+namespace {
+
+/// Indentation-aware source writer.
+class Writer {
+public:
+  explicit Writer(int InitialIndent = 0) : Indent(InitialIndent) {}
+
+  void line(const std::string &Text) {
+    Out.append(2 * static_cast<size_t>(Indent), ' ');
+    Out += Text;
+    Out += '\n';
+  }
+  void blank() { Out += '\n'; }
+  void open(const std::string &Text) {
+    line(Text);
+    ++Indent;
+  }
+  void close(const std::string &Text = "}") {
+    --Indent;
+    line(Text);
+  }
+  /// Python-style: just indentation control.
+  void indent() { ++Indent; }
+  void dedent() { --Indent; }
+
+  std::string take() { return std::move(Out); }
+
+  /// Appends pre-rendered text verbatim.
+  void raw(const std::string &Text) { Out += Text; }
+
+private:
+  std::string Out;
+  int Indent = 0;
+};
+
+/// Inserts \p Statement as the first body line of a rendered function
+/// (after its header line), matching the indentation of the original
+/// first body line. Real code logs/traces on entry; structurally this
+/// keeps function boundaries apart so long-range paths between unrelated
+/// functions hit constant context rather than role variables.
+std::string withPrologue(std::string Text, const std::string &Statement) {
+  size_t HeaderEnd = Text.find('\n');
+  if (HeaderEnd == std::string::npos)
+    return Text;
+  size_t BodyStart = HeaderEnd + 1;
+  size_t IndentEnd = BodyStart;
+  while (IndentEnd < Text.size() &&
+         (Text[IndentEnd] == ' ' || Text[IndentEnd] == '\t'))
+    ++IndentEnd;
+  std::string IndentStr = Text.substr(BodyStart, IndentEnd - BodyStart);
+  Text.insert(BodyStart, IndentStr + Statement + "\n");
+  return Text;
+}
+
+/// Slots whose names are *known helpers* (external APIs), never renamed
+/// when stripping.
+bool isHelperSlot(const std::string &Slot) {
+  return Slot == "check" || Slot == "init" || Slot == "use";
+}
+
+/// Resolves slot names, optionally replacing prediction-target names with
+/// minified placeholders a, b, c, ...
+class Namer {
+public:
+  Namer(const IdiomInstance &Inst, bool Strip) : Inst(Inst), Strip(Strip) {}
+
+  std::string operator()(const std::string &Slot) {
+    const std::string &Real = Inst.name(Slot);
+    if (!Strip || isHelperSlot(Slot))
+      return Real;
+    auto It = Stripped.find(Slot);
+    if (It != Stripped.end())
+      return It->second;
+    std::string Placeholder(1, static_cast<char>('a' + Stripped.size()));
+    Stripped.emplace(Slot, Placeholder);
+    return Placeholder;
+  }
+
+private:
+  const IdiomInstance &Inst;
+  bool Strip;
+  std::map<std::string, std::string> Stripped;
+};
+
+/// C-family increment statement under a structural variant.
+std::string increment(const std::string &Var, int Variant) {
+  return Variant ? Var + " += 1;" : Var + "++;";
+}
+
+//===----------------------------------------------------------------------===//
+// JavaScript
+//===----------------------------------------------------------------------===//
+
+void renderJsFunction(Writer &W, const IdiomInstance &F, bool Strip) {
+  Namer N(F, Strip);
+  const std::string &Fn = F.MethodName;
+  switch (F.Kind) {
+  case IdiomKind::LoopFlag:
+    W.open("function " + Fn + "() {");
+    W.line("var " + N("flag") + " = false;");
+    W.open("while (!" + N("flag") + ") {");
+    if (F.ExtraLog)
+      W.line("step();");
+    W.open("if (" + F.name("check") + "()) {");
+    W.line(N("flag") + " = true;");
+    W.close();
+    W.close();
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::SearchFlag:
+    W.open("function " + Fn + "(" + N("items") + ", " + N("target") +
+           ") {");
+    W.line("var " + N("flag") + " = false;");
+    W.open("for (var " + N("item") + " of " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("log(" + N("item") + ");");
+    W.open("if (" + N("item") + " " + (F.Variant ? "==" : "===") + " " +
+           N("target") + ") {");
+    W.line(N("flag") + " = true;");
+    if (F.Variant)
+      W.line("break;");
+    W.close();
+    W.close();
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::ConfigFlag:
+    W.open("function " + Fn + "() {");
+    W.line(F.name("init") + "();");
+    W.line("var " + N("flag") + " = false;");
+    if (F.Variant) {
+      W.line(N("flag") + " = true;");
+      W.line(F.name("use") + "();");
+    } else {
+      W.line(F.name("use") + "();");
+      W.line(N("flag") + " = true;");
+    }
+    if (F.ExtraLog)
+      W.line("log(" + N("flag") + ");");
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::CountMatches:
+    W.open("function " + Fn + "(" + N("items") + ", " + N("target") +
+           ") {");
+    W.line("var " + N("counter") + " = 0;");
+    W.open("for (var " + N("item") + " of " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("log(" + N("item") + ");");
+    W.open("if (" + N("item") + " === " + N("target") + ") {");
+    W.line(increment(N("counter"), F.Variant));
+    W.close();
+    W.close();
+    W.line("return " + N("counter") + ";");
+    W.close();
+    break;
+  case IdiomKind::SumValues:
+    W.open("function " + Fn + "(" + N("values") + ") {");
+    W.line("var " + N("acc") + " = 0;");
+    if (F.Variant) {
+      W.open("for (var " + N("item") + " of " + N("values") + ") {");
+      W.line(N("acc") + " += " + N("item") + ";");
+      W.close();
+    } else {
+      W.open("for (var " + N("index") + " = 0; " + N("index") + " < " +
+             N("values") + ".length; " + N("index") + "++) {");
+      W.line(N("acc") + " += " + N("values") + "[" + N("index") + "];");
+      W.close();
+    }
+    if (F.ExtraLog)
+      W.line("emit(" + N("acc") + ");");
+    W.line("return " + N("acc") + ";");
+    W.close();
+    break;
+  case IdiomKind::FindMax:
+    W.open("function " + Fn + "(" + N("items") + ") {");
+    W.line("var " + N("best") + " = 0;");
+    W.open("for (var " + N("item") + " of " + N("items") + ") {");
+    W.open("if (" + N("item") + " " + (F.Variant ? ">=" : ">") + " " +
+           N("best") + ") {");
+    W.line(N("best") + " = " + N("item") + ";");
+    W.close();
+    W.close();
+    if (F.ExtraLog)
+      W.line("log(" + N("best") + ");");
+    W.line("return " + N("best") + ";");
+    W.close();
+    break;
+  case IdiomKind::IndexOf:
+    W.open("function " + Fn + "(" + N("items") + ", " + N("target") +
+           ") {");
+    W.open("for (var " + N("index") + " = 0; " + N("index") + " < " +
+           N("items") + ".length; " + N("index") + "++) {");
+    W.open("if (" + N("items") + "[" + N("index") + "] === " + N("target") +
+           ") {");
+    W.line("return " + N("index") + ";");
+    W.close();
+    W.close();
+    W.line("return -1;");
+    W.close();
+    break;
+  case IdiomKind::BuildList:
+    W.open("function " + Fn + "(" + N("items") + ", " + N("limit") + ") {");
+    W.line("var " + N("results") + " = [];");
+    W.open("for (var " + N("item") + " of " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("log(" + N("item") + ");");
+    W.open("if (" + N("item") + " " + (F.Variant ? ">=" : ">") + " " +
+           N("limit") + ") {");
+    W.line(N("results") + ".push(" + N("item") + ");");
+    W.close();
+    W.close();
+    W.line("return " + N("results") + ";");
+    W.close();
+    break;
+  case IdiomKind::JoinStrings:
+    W.open("function " + Fn + "(" + N("items") + ", " + N("sep") + ") {");
+    W.line("var " + N("builder") + " = '';");
+    W.open("for (var " + N("item") + " of " + N("items") + ") {");
+    if (F.Variant) {
+      W.line(N("builder") + " += " + N("item") + ";");
+      W.line(N("builder") + " += " + N("sep") + ";");
+    } else {
+      W.line(N("builder") + " += " + N("item") + " + " + N("sep") + ";");
+    }
+    W.close();
+    W.line("return " + N("builder") + ";");
+    W.close();
+    break;
+  case IdiomKind::HttpRequest:
+    W.open("function " + Fn + "(" + N("url") + ", " + N("callback") +
+           ") {");
+    W.line("var " + N("request") + " = new XMLHttpRequest();");
+    W.line(N("request") + ".open('GET', " + N("url") + ", false);");
+    W.line(N("request") + ".send(" + N("callback") + ");");
+    W.close();
+    break;
+  case IdiomKind::ParseNumber:
+    W.open("function " + Fn + "(" + N("text") + ", " + N("fallback") +
+           ") {");
+    W.line("var " + N("value") + " = parseInt(" + N("text") + ", 10);");
+    W.open("if (isNaN(" + N("value") + ")) {");
+    W.line("return " + N("fallback") + ";");
+    W.close();
+    W.line("return " + N("value") + ";");
+    W.close();
+    break;
+  case IdiomKind::MapLookup:
+    W.open("function " + Fn + "(" + N("map") + ", " + N("key") + ", " +
+           N("fallback") + ") {");
+    if (F.Variant) {
+      W.open("if (!" + N("map") + "[" + N("key") + "]) {");
+      W.line("return " + N("fallback") + ";");
+      W.close();
+      W.line("return " + N("map") + "[" + N("key") + "];");
+    } else {
+      W.open("if (" + N("map") + "[" + N("key") + "]) {");
+      W.line("return " + N("map") + "[" + N("key") + "];");
+      W.close();
+      W.line("return " + N("fallback") + ";");
+    }
+    W.close();
+    break;
+  case IdiomKind::ScoreAccum:
+    W.open("function " + Fn + "(" + N("first") + ", " + N("second") +
+           ") {");
+    W.line("var " + N("acc") + " = 0;");
+    if (F.Variant) {
+      W.line(N("acc") + " = " + N("acc") + " + " + N("first") + ";");
+      W.line(N("acc") + " = " + N("acc") + " + " + N("second") + ";");
+    } else {
+      W.line(N("acc") + " += " + N("first") + ";");
+      W.line(N("acc") + " += " + N("second") + ";");
+    }
+    if (F.ExtraLog)
+      W.line("emit(" + N("acc") + ");");
+    W.line("return " + N("acc") + ";");
+    W.close();
+    break;
+  case IdiomKind::GetterSetter:
+  case IdiomKind::ReadLines:
+    assert(false && "idiom not available in JavaScript");
+    break;
+  }
+  W.blank();
+}
+
+std::string renderJs(const FileSketch &Sketch, bool Strip) {
+  Writer W;
+  bool First = true;
+  for (const IdiomInstance &F : Sketch.Functions) {
+    // Registration calls between top-level functions, as real modules
+    // have (exports, constants, wiring). Structurally they separate
+    // adjacent functions so long paths cross them instead of role variables.
+    if (!First)
+      W.line("register('" + Sketch.Project + "');");
+    First = false;
+    Writer FW;
+    renderJsFunction(FW, F, Strip);
+    W.raw(withPrologue(FW.take(), "trace('start');"));
+  }
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Java
+//===----------------------------------------------------------------------===//
+
+void renderJavaMethod(Writer &W, const IdiomInstance &F, bool Strip) {
+  Namer N(F, Strip);
+  const std::string &Fn = F.MethodName;
+  switch (F.Kind) {
+  case IdiomKind::LoopFlag:
+    W.open("boolean " + Fn + "() {");
+    W.line("boolean " + N("flag") + " = false;");
+    W.open("while (!" + N("flag") + ") {");
+    if (F.ExtraLog)
+      W.line("step();");
+    W.open("if (" + F.name("check") + "()) {");
+    W.line(N("flag") + " = true;");
+    W.close();
+    W.close();
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::SearchFlag:
+    W.open("boolean " + Fn + "(List<Integer> " + N("items") + ", int " +
+           N("target") + ") {");
+    W.line("boolean " + N("flag") + " = false;");
+    W.open("for (int " + N("item") + " : " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("System.out.println(" + N("item") + ");");
+    W.open("if (" + N("item") + " == " + N("target") + ") {");
+    W.line(N("flag") + " = true;");
+    if (F.Variant)
+      W.line("break;");
+    W.close();
+    W.close();
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::ConfigFlag:
+    W.open("boolean " + Fn + "() {");
+    W.line(F.name("init") + "();");
+    W.line("boolean " + N("flag") + " = false;");
+    if (F.Variant) {
+      W.line(N("flag") + " = true;");
+      W.line(F.name("use") + "();");
+    } else {
+      W.line(F.name("use") + "();");
+      W.line(N("flag") + " = true;");
+    }
+    if (F.ExtraLog)
+      W.line("System.out.println(" + N("flag") + ");");
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::CountMatches:
+    W.open("int " + Fn + "(List<Integer> " + N("items") + ", int " +
+           N("target") + ") {");
+    W.line("int " + N("counter") + " = 0;");
+    W.open("for (int " + N("item") + " : " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("System.out.println(" + N("item") + ");");
+    W.open("if (" + N("item") + " == " + N("target") + ") {");
+    W.line(increment(N("counter"), F.Variant));
+    W.close();
+    W.close();
+    W.line("return " + N("counter") + ";");
+    W.close();
+    break;
+  case IdiomKind::SumValues:
+    W.open("int " + Fn + "(int[] " + N("values") + ") {");
+    W.line("int " + N("acc") + " = 0;");
+    if (F.Variant) {
+      W.open("for (int " + N("item") + " : " + N("values") + ") {");
+      W.line(N("acc") + " += " + N("item") + ";");
+      W.close();
+    } else {
+      W.open("for (int " + N("index") + " = 0; " + N("index") + " < " +
+             N("values") + ".length; " + N("index") + "++) {");
+      W.line(N("acc") + " += " + N("values") + "[" + N("index") + "];");
+      W.close();
+    }
+    if (F.ExtraLog)
+      W.line("System.out.println(" + N("acc") + ");");
+    W.line("return " + N("acc") + ";");
+    W.close();
+    break;
+  case IdiomKind::FindMax:
+    W.open("int " + Fn + "(List<Integer> " + N("items") + ") {");
+    W.line("int " + N("best") + " = 0;");
+    W.open("for (int " + N("item") + " : " + N("items") + ") {");
+    W.open("if (" + N("item") + " " + (F.Variant ? ">=" : ">") + " " +
+           N("best") + ") {");
+    W.line(N("best") + " = " + N("item") + ";");
+    W.close();
+    W.close();
+    if (F.ExtraLog)
+      W.line("System.out.println(" + N("best") + ");");
+    W.line("return " + N("best") + ";");
+    W.close();
+    break;
+  case IdiomKind::IndexOf:
+    W.open("int " + Fn + "(int[] " + N("items") + ", int " + N("target") +
+           ") {");
+    W.open("for (int " + N("index") + " = 0; " + N("index") + " < " +
+           N("items") + ".length; " + N("index") + "++) {");
+    W.open("if (" + N("items") + "[" + N("index") + "] == " + N("target") +
+           ") {");
+    W.line("return " + N("index") + ";");
+    W.close();
+    W.close();
+    W.line("return -1;");
+    W.close();
+    break;
+  case IdiomKind::BuildList:
+    W.open("List<Integer> " + Fn + "(List<Integer> " + N("items") +
+           ", int " + N("limit") + ") {");
+    W.line("List<Integer> " + N("results") +
+           " = new ArrayList<Integer>();");
+    W.open("for (int " + N("item") + " : " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("System.out.println(" + N("item") + ");");
+    W.open("if (" + N("item") + " " + (F.Variant ? ">=" : ">") + " " +
+           N("limit") + ") {");
+    W.line(N("results") + ".add(" + N("item") + ");");
+    W.close();
+    W.close();
+    W.line("return " + N("results") + ";");
+    W.close();
+    break;
+  case IdiomKind::JoinStrings:
+    W.open("String " + Fn + "(List<String> " + N("items") + ", String " +
+           N("sep") + ") {");
+    W.line("StringBuilder " + N("builder") + " = new StringBuilder();");
+    W.open("for (String " + N("item") + " : " + N("items") + ") {");
+    W.line(N("builder") + ".append(" + N("item") + ");");
+    W.line(N("builder") + ".append(" + N("sep") + ");");
+    W.close();
+    W.line("return " + N("builder") + ".toString();");
+    W.close();
+    break;
+  case IdiomKind::HttpRequest:
+    W.open("String " + Fn + "(HttpClient " + N("client") + ", String " +
+           N("url") + ") {");
+    W.line("HttpRequest " + N("request") + " = new HttpRequest(" +
+           N("url") + ");");
+    W.line("HttpResponse " + N("response") + " = " + N("client") +
+           ".execute(" + N("request") + ");");
+    W.line("return " + N("response") + ".getBody();");
+    W.close();
+    break;
+  case IdiomKind::ParseNumber:
+    W.open("int " + Fn + "(String " + N("text") + ", int " + N("fallback") +
+           ") {");
+    W.open("try {");
+    W.line("int " + N("value") + " = Integer.parseInt(" + N("text") +
+           ");");
+    W.line("return " + N("value") + ";");
+    W.close();
+    W.open("catch (NumberFormatException " + N("error") + ") {");
+    W.line("return " + N("fallback") + ";");
+    W.close();
+    W.close();
+    break;
+  case IdiomKind::MapLookup:
+  {
+    // The map's value type varies per instance, so the type of
+    // `map.get(...)` is not locally determined — the realistic hard case
+    // for the full-type task.
+    std::string ValueType = F.Variant ? "Integer" : "String";
+    std::string ReturnType = F.Variant ? "int" : "String";
+    W.open(ReturnType + " " + Fn + "(Map<String, " + ValueType + "> " +
+           N("map") + ", String " + N("key") + ", " + ReturnType + " " +
+           N("fallback") + ") {");
+    if (F.ExtraLog) {
+      W.open("if (!" + N("map") + ".containsKey(" + N("key") + ")) {");
+      W.line("return " + N("fallback") + ";");
+      W.close();
+      W.line("return " + N("map") + ".get(" + N("key") + ");");
+    } else {
+      W.open("if (" + N("map") + ".containsKey(" + N("key") + ")) {");
+      W.line("return " + N("map") + ".get(" + N("key") + ");");
+      W.close();
+      W.line("return " + N("fallback") + ";");
+    }
+    W.close();
+    break;
+  }
+  case IdiomKind::GetterSetter: {
+    std::string Field = N("field");
+    std::string Cap = capitalize(F.name("field"));
+    W.line("private int " + Field + ";");
+    W.blank();
+    W.open("int get" + Cap + "() {");
+    W.line("return " + Field + ";");
+    W.close();
+    W.blank();
+    W.open("void set" + Cap + "(int " + Field + ") {");
+    W.line("this." + F.name("field") + " = " + Field + ";");
+    W.close();
+    break;
+  }
+  case IdiomKind::ReadLines:
+    W.open("int " + Fn + "(BufferedReader " + N("reader") + ") {");
+    W.line("int " + N("counter") + " = 0;");
+    W.open("try {");
+    W.line("String " + N("line") + " = " + N("reader") + ".readLine();");
+    W.open("while (" + N("line") + " != null) {");
+    W.line(N("counter") + "++;");
+    W.line(N("line") + " = " + N("reader") + ".readLine();");
+    W.close();
+    W.close();
+    W.open("catch (IOException ioe) {");
+    W.line("return " + N("counter") + ";");
+    W.close();
+    W.line("return " + N("counter") + ";");
+    W.close();
+    break;
+  case IdiomKind::ScoreAccum:
+    W.open("int " + Fn + "(int " + N("first") + ", int " + N("second") +
+           ") {");
+    W.line("int " + N("acc") + " = 0;");
+    if (F.Variant) {
+      W.line(N("acc") + " = " + N("acc") + " + " + N("first") + ";");
+      W.line(N("acc") + " = " + N("acc") + " + " + N("second") + ";");
+    } else {
+      W.line(N("acc") + " += " + N("first") + ";");
+      W.line(N("acc") + " += " + N("second") + ";");
+    }
+    if (F.ExtraLog)
+      W.line("System.out.println(" + N("acc") + ");");
+    W.line("return " + N("acc") + ";");
+    W.close();
+    break;
+  }
+  W.blank();
+}
+
+std::string renderJava(const FileSketch &Sketch, bool Strip) {
+  std::set<std::string> Imports;
+  for (const IdiomInstance &F : Sketch.Functions) {
+    switch (F.Kind) {
+    case IdiomKind::SearchFlag:
+    case IdiomKind::CountMatches:
+    case IdiomKind::FindMax:
+      Imports.insert("java.util.List");
+      break;
+    case IdiomKind::BuildList:
+      Imports.insert("java.util.List");
+      Imports.insert("java.util.ArrayList");
+      break;
+    case IdiomKind::JoinStrings:
+      Imports.insert("java.util.List");
+      break;
+    case IdiomKind::MapLookup:
+      Imports.insert("java.util.Map");
+      break;
+    case IdiomKind::ReadLines:
+      Imports.insert("java.io.BufferedReader");
+      Imports.insert("java.io.IOException");
+      break;
+    case IdiomKind::HttpRequest:
+      Imports.insert("com.example.http.HttpClient");
+      Imports.insert("com.example.http.HttpRequest");
+      Imports.insert("com.example.http.HttpResponse");
+      break;
+    default:
+      break;
+    }
+  }
+  Writer W;
+  W.line("package com." + Sketch.Project + ";");
+  W.blank();
+  for (const std::string &Import : Imports)
+    W.line("import " + Import + ";");
+  if (!Imports.empty())
+    W.blank();
+  W.open("public class " + Sketch.ClassName + " {");
+  for (const IdiomInstance &F : Sketch.Functions) {
+    Writer FW(/*InitialIndent=*/1);
+    renderJavaMethod(FW, F, Strip);
+    std::string Text = FW.take();
+    if (F.Kind != IdiomKind::GetterSetter)
+      Text = withPrologue(Text, "System.out.println(\"start\");");
+    W.raw(Text);
+  }
+  W.close();
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Python
+//===----------------------------------------------------------------------===//
+
+void renderPyFunction(Writer &W, const IdiomInstance &F, bool Strip) {
+  Namer RawN(F, Strip);
+  auto N = [&](const std::string &Slot) { return toSnakeCase(RawN(Slot)); };
+  auto Helper = [&](const std::string &Slot) {
+    return toSnakeCase(F.name(Slot));
+  };
+  std::string Fn = toSnakeCase(F.MethodName);
+  switch (F.Kind) {
+  case IdiomKind::LoopFlag:
+    W.line("def " + Fn + "():");
+    W.indent();
+    W.line(N("flag") + " = False");
+    W.line("while not " + N("flag") + ":");
+    W.indent();
+    if (F.ExtraLog)
+      W.line("step()");
+    W.line("if " + Helper("check") + "():");
+    W.indent();
+    W.line(N("flag") + " = True");
+    W.dedent();
+    W.dedent();
+    W.line("return " + N("flag"));
+    W.dedent();
+    break;
+  case IdiomKind::SearchFlag:
+    W.line("def " + Fn + "(" + N("items") + ", " + N("target") + "):");
+    W.indent();
+    W.line(N("flag") + " = False");
+    W.line("for " + N("item") + " in " + N("items") + ":");
+    W.indent();
+    if (F.ExtraLog)
+      W.line("log(" + N("item") + ")");
+    W.line("if " + N("item") + " == " + N("target") + ":");
+    W.indent();
+    W.line(N("flag") + " = True");
+    if (F.Variant)
+      W.line("break");
+    W.dedent();
+    W.dedent();
+    W.line("return " + N("flag"));
+    W.dedent();
+    break;
+  case IdiomKind::ConfigFlag:
+    W.line("def " + Fn + "():");
+    W.indent();
+    W.line(Helper("init") + "()");
+    W.line(N("flag") + " = False");
+    if (F.Variant) {
+      W.line(N("flag") + " = True");
+      W.line(Helper("use") + "()");
+    } else {
+      W.line(Helper("use") + "()");
+      W.line(N("flag") + " = True");
+    }
+    W.line("return " + N("flag"));
+    W.dedent();
+    break;
+  case IdiomKind::CountMatches:
+    W.line("def " + Fn + "(" + N("items") + ", " + N("target") + "):");
+    W.indent();
+    W.line(N("counter") + " = 0");
+    W.line("for " + N("item") + " in " + N("items") + ":");
+    W.indent();
+    if (F.ExtraLog)
+      W.line("log(" + N("item") + ")");
+    W.line("if " + N("item") + " == " + N("target") + ":");
+    W.indent();
+    W.line(F.Variant ? N("counter") + " = " + N("counter") + " + 1"
+                     : N("counter") + " += 1");
+    W.dedent();
+    W.dedent();
+    W.line("return " + N("counter"));
+    W.dedent();
+    break;
+  case IdiomKind::SumValues:
+    W.line("def " + Fn + "(" + N("values") + "):");
+    W.indent();
+    W.line(N("acc") + " = 0");
+    if (F.Variant) {
+      W.line("for " + N("item") + " in " + N("values") + ":");
+      W.indent();
+      W.line(N("acc") + " += " + N("item"));
+      W.dedent();
+    } else {
+      W.line("for " + N("index") + " in range(len(" + N("values") +
+             ")):");
+      W.indent();
+      W.line(N("acc") + " += " + N("values") + "[" + N("index") + "]");
+      W.dedent();
+    }
+    if (F.ExtraLog)
+      W.line("emit(" + N("acc") + ")");
+    W.line("return " + N("acc"));
+    W.dedent();
+    break;
+  case IdiomKind::FindMax:
+    W.line("def " + Fn + "(" + N("items") + "):");
+    W.indent();
+    W.line(N("best") + " = 0");
+    W.line("for " + N("item") + " in " + N("items") + ":");
+    W.indent();
+    W.line("if " + N("item") + " " + (F.Variant ? ">=" : ">") + " " +
+           N("best") + ":");
+    W.indent();
+    W.line(N("best") + " = " + N("item"));
+    W.dedent();
+    W.dedent();
+    W.line("return " + N("best"));
+    W.dedent();
+    break;
+  case IdiomKind::IndexOf:
+    W.line("def " + Fn + "(" + N("items") + ", " + N("target") + "):");
+    W.indent();
+    W.line("for " + N("index") + " in range(len(" + N("items") + ")):");
+    W.indent();
+    W.line("if " + N("items") + "[" + N("index") + "] == " + N("target") +
+           ":");
+    W.indent();
+    W.line("return " + N("index"));
+    W.dedent();
+    W.dedent();
+    W.line("return -1");
+    W.dedent();
+    break;
+  case IdiomKind::BuildList:
+    W.line("def " + Fn + "(" + N("items") + ", " + N("limit") + "):");
+    W.indent();
+    W.line(N("results") + " = []");
+    W.line("for " + N("item") + " in " + N("items") + ":");
+    W.indent();
+    if (F.ExtraLog)
+      W.line("log(" + N("item") + ")");
+    W.line("if " + N("item") + " " + (F.Variant ? ">=" : ">") + " " +
+           N("limit") + ":");
+    W.indent();
+    W.line(N("results") + ".append(" + N("item") + ")");
+    W.dedent();
+    W.dedent();
+    W.line("return " + N("results"));
+    W.dedent();
+    break;
+  case IdiomKind::JoinStrings:
+    W.line("def " + Fn + "(" + N("items") + ", " + N("sep") + "):");
+    W.indent();
+    W.line(N("builder") + " = ''");
+    W.line("for " + N("item") + " in " + N("items") + ":");
+    W.indent();
+    W.line(N("builder") + " += " + N("item") + " + " + N("sep"));
+    W.dedent();
+    W.line("return " + N("builder"));
+    W.dedent();
+    break;
+  case IdiomKind::ParseNumber:
+    W.line("def " + Fn + "(" + N("text") + ", " + N("fallback") + "):");
+    W.indent();
+    W.line("try:");
+    W.indent();
+    W.line(N("value") + " = int(" + N("text") + ")");
+    W.line("return " + N("value"));
+    W.dedent();
+    W.line("except ValueError as " + N("error") + ":");
+    W.indent();
+    W.line("return " + N("fallback"));
+    W.dedent();
+    W.dedent();
+    break;
+  case IdiomKind::MapLookup:
+    W.line("def " + Fn + "(" + N("map") + ", " + N("key") + ", " +
+           N("fallback") + "):");
+    W.indent();
+    if (F.Variant) {
+      W.line("if " + N("key") + " not in " + N("map") + ":");
+      W.indent();
+      W.line("return " + N("fallback"));
+      W.dedent();
+      W.line("return " + N("map") + "[" + N("key") + "]");
+    } else {
+      W.line("if " + N("key") + " in " + N("map") + ":");
+      W.indent();
+      W.line("return " + N("map") + "[" + N("key") + "]");
+      W.dedent();
+      W.line("return " + N("fallback"));
+    }
+    W.dedent();
+    break;
+  case IdiomKind::GetterSetter: {
+    std::string Field = N("field");
+    std::string Real = toSnakeCase(F.name("field"));
+    W.line("class Holder:");
+    W.indent();
+    W.line("def __init__(self):");
+    W.indent();
+    W.line("self." + Real + " = 0");
+    W.dedent();
+    W.blank();
+    W.line("def get_" + Real + "(self):");
+    W.indent();
+    W.line("return self." + Real);
+    W.dedent();
+    W.blank();
+    W.line("def set_" + Real + "(self, " + Field + "):");
+    W.indent();
+    W.line("self." + Real + " = " + Field);
+    W.dedent();
+    W.dedent();
+    break;
+  }
+  case IdiomKind::ReadLines:
+    W.line("def " + Fn + "(" + N("reader") + "):");
+    W.indent();
+    W.line(N("counter") + " = 0");
+    W.line(N("line") + " = " + N("reader") + ".readline()");
+    W.line("while " + N("line") + ":");
+    W.indent();
+    W.line(N("counter") + " += 1");
+    W.line(N("line") + " = " + N("reader") + ".readline()");
+    W.dedent();
+    W.line("return " + N("counter"));
+    W.dedent();
+    break;
+  case IdiomKind::ScoreAccum:
+    W.line("def " + Fn + "(" + N("first") + ", " + N("second") + "):");
+    W.indent();
+    W.line(N("acc") + " = 0");
+    if (F.Variant) {
+      W.line(N("acc") + " = " + N("acc") + " + " + N("first"));
+      W.line(N("acc") + " = " + N("acc") + " + " + N("second"));
+    } else {
+      W.line(N("acc") + " += " + N("first"));
+      W.line(N("acc") + " += " + N("second"));
+    }
+    if (F.ExtraLog)
+      W.line("emit(" + N("acc") + ")");
+    W.line("return " + N("acc"));
+    W.dedent();
+    break;
+  case IdiomKind::HttpRequest:
+    assert(false && "idiom not available in Python");
+    break;
+  }
+  W.blank();
+}
+
+std::string renderPython(const FileSketch &Sketch, bool Strip) {
+  Writer W;
+  for (const IdiomInstance &F : Sketch.Functions) {
+    Writer FW;
+    renderPyFunction(FW, F, Strip);
+    std::string Text = FW.take();
+    if (F.Kind != IdiomKind::GetterSetter)
+      Text = withPrologue(Text, "print('start')");
+    W.raw(Text);
+  }
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// C#
+//===----------------------------------------------------------------------===//
+
+void renderCsMethod(Writer &W, const IdiomInstance &F, bool Strip) {
+  Namer N(F, Strip);
+  auto Helper = [&](const std::string &Slot) {
+    return toPascalCase(F.name(Slot));
+  };
+  std::string Fn = toPascalCase(F.MethodName);
+  switch (F.Kind) {
+  case IdiomKind::LoopFlag:
+    W.open("bool " + Fn + "() {");
+    W.line("bool " + N("flag") + " = false;");
+    W.open("while (!" + N("flag") + ") {");
+    if (F.ExtraLog)
+      W.line("Step();");
+    W.open("if (" + Helper("check") + "()) {");
+    W.line(N("flag") + " = true;");
+    W.close();
+    W.close();
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::SearchFlag:
+    W.open("bool " + Fn + "(List<int> " + N("items") + ", int " +
+           N("target") + ") {");
+    W.line("bool " + N("flag") + " = false;");
+    W.open("foreach (var " + N("item") + " in " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("Console.WriteLine(" + N("item") + ");");
+    W.open("if (" + N("item") + " == " + N("target") + ") {");
+    W.line(N("flag") + " = true;");
+    if (F.Variant)
+      W.line("break;");
+    W.close();
+    W.close();
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::ConfigFlag:
+    W.open("bool " + Fn + "() {");
+    W.line(Helper("init") + "();");
+    W.line("bool " + N("flag") + " = false;");
+    if (F.Variant) {
+      W.line(N("flag") + " = true;");
+      W.line(Helper("use") + "();");
+    } else {
+      W.line(Helper("use") + "();");
+      W.line(N("flag") + " = true;");
+    }
+    if (F.ExtraLog)
+      W.line("Console.WriteLine(" + N("flag") + ");");
+    W.line("return " + N("flag") + ";");
+    W.close();
+    break;
+  case IdiomKind::CountMatches:
+    W.open("int " + Fn + "(List<int> " + N("items") + ", int " +
+           N("target") + ") {");
+    W.line("int " + N("counter") + " = 0;");
+    W.open("foreach (var " + N("item") + " in " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("Console.WriteLine(" + N("item") + ");");
+    W.open("if (" + N("item") + " == " + N("target") + ") {");
+    W.line(increment(N("counter"), F.Variant));
+    W.close();
+    W.close();
+    W.line("return " + N("counter") + ";");
+    W.close();
+    break;
+  case IdiomKind::SumValues:
+    W.open("int " + Fn + "(int[] " + N("values") + ") {");
+    W.line("int " + N("acc") + " = 0;");
+    if (F.Variant) {
+      W.open("foreach (var " + N("item") + " in " + N("values") + ") {");
+      W.line(N("acc") + " += " + N("item") + ";");
+      W.close();
+    } else {
+      W.open("for (int " + N("index") + " = 0; " + N("index") + " < " +
+             N("values") + ".Length; " + N("index") + "++) {");
+      W.line(N("acc") + " += " + N("values") + "[" + N("index") + "];");
+      W.close();
+    }
+    if (F.ExtraLog)
+      W.line("Console.WriteLine(" + N("acc") + ");");
+    W.line("return " + N("acc") + ";");
+    W.close();
+    break;
+  case IdiomKind::FindMax:
+    W.open("int " + Fn + "(List<int> " + N("items") + ") {");
+    W.line("int " + N("best") + " = 0;");
+    W.open("foreach (var " + N("item") + " in " + N("items") + ") {");
+    W.open("if (" + N("item") + " " + (F.Variant ? ">=" : ">") + " " +
+           N("best") + ") {");
+    W.line(N("best") + " = " + N("item") + ";");
+    W.close();
+    W.close();
+    W.line("return " + N("best") + ";");
+    W.close();
+    break;
+  case IdiomKind::IndexOf:
+    W.open("int " + Fn + "(int[] " + N("items") + ", int " + N("target") +
+           ") {");
+    W.open("for (int " + N("index") + " = 0; " + N("index") + " < " +
+           N("items") + ".Length; " + N("index") + "++) {");
+    W.open("if (" + N("items") + "[" + N("index") + "] == " + N("target") +
+           ") {");
+    W.line("return " + N("index") + ";");
+    W.close();
+    W.close();
+    W.line("return -1;");
+    W.close();
+    break;
+  case IdiomKind::BuildList:
+    W.open("List<int> " + Fn + "(List<int> " + N("items") + ", int " +
+           N("limit") + ") {");
+    W.line("var " + N("results") + " = new List<int>();");
+    W.open("foreach (var " + N("item") + " in " + N("items") + ") {");
+    if (F.ExtraLog)
+      W.line("Console.WriteLine(" + N("item") + ");");
+    W.open("if (" + N("item") + " " + (F.Variant ? ">=" : ">") + " " +
+           N("limit") + ") {");
+    W.line(N("results") + ".Add(" + N("item") + ");");
+    W.close();
+    W.close();
+    W.line("return " + N("results") + ";");
+    W.close();
+    break;
+  case IdiomKind::JoinStrings:
+    W.open("string " + Fn + "(List<string> " + N("items") + ", string " +
+           N("sep") + ") {");
+    W.line("var " + N("builder") + " = new StringBuilder();");
+    W.open("foreach (var " + N("item") + " in " + N("items") + ") {");
+    W.line(N("builder") + ".Append(" + N("item") + ");");
+    W.line(N("builder") + ".Append(" + N("sep") + ");");
+    W.close();
+    W.line("return " + N("builder") + ".ToString();");
+    W.close();
+    break;
+  case IdiomKind::HttpRequest:
+    W.open("string " + Fn + "(HttpClient " + N("client") + ", string " +
+           N("url") + ") {");
+    W.line("var " + N("request") + " = new HttpRequest(" + N("url") +
+           ");");
+    W.line("var " + N("response") + " = " + N("client") + ".Execute(" +
+           N("request") + ");");
+    W.line("return " + N("response") + ".GetBody();");
+    W.close();
+    break;
+  case IdiomKind::ParseNumber:
+    W.open("int " + Fn + "(string " + N("text") + ", int " + N("fallback") +
+           ") {");
+    W.open("try {");
+    W.line("int " + N("value") + " = Convert.ToInt32(" + N("text") + ");");
+    W.line("return " + N("value") + ";");
+    W.close();
+    W.open("catch (FormatException " + N("error") + ") {");
+    W.line("return " + N("fallback") + ";");
+    W.close();
+    W.close();
+    break;
+  case IdiomKind::MapLookup: {
+    std::string ValueType = F.Variant ? "int" : "string";
+    W.open(ValueType + " " + Fn + "(Dictionary<string, " + ValueType +
+           "> " + N("map") + ", string " + N("key") + ", " + ValueType +
+           " " + N("fallback") + ") {");
+    if (F.ExtraLog) {
+      W.open("if (!" + N("map") + ".ContainsKey(" + N("key") + ")) {");
+      W.line("return " + N("fallback") + ";");
+      W.close();
+      W.line("return " + N("map") + "[" + N("key") + "];");
+    } else {
+      W.open("if (" + N("map") + ".ContainsKey(" + N("key") + ")) {");
+      W.line("return " + N("map") + "[" + N("key") + "];");
+      W.close();
+      W.line("return " + N("fallback") + ";");
+    }
+    W.close();
+    break;
+  }
+  case IdiomKind::GetterSetter: {
+    std::string Field = N("field");
+    std::string Cap = toPascalCase(F.name("field"));
+    W.line("private int " + Field + ";");
+    W.blank();
+    W.line("public int " + Cap + " { get; set; }");
+    W.blank();
+    W.open("int Get" + Cap + "() {");
+    W.line("return " + Field + ";");
+    W.close();
+    W.blank();
+    W.open("void Set" + Cap + "(int " + Field + ") {");
+    W.line("this." + F.name("field") + " = " + Field + ";");
+    W.close();
+    break;
+  }
+  case IdiomKind::ScoreAccum:
+    W.open("int " + Fn + "(int " + N("first") + ", int " + N("second") +
+           ") {");
+    W.line("int " + N("acc") + " = 0;");
+    if (F.Variant) {
+      W.line(N("acc") + " = " + N("acc") + " + " + N("first") + ";");
+      W.line(N("acc") + " = " + N("acc") + " + " + N("second") + ";");
+    } else {
+      W.line(N("acc") + " += " + N("first") + ";");
+      W.line(N("acc") + " += " + N("second") + ";");
+    }
+    if (F.ExtraLog)
+      W.line("Console.WriteLine(" + N("acc") + ");");
+    W.line("return " + N("acc") + ";");
+    W.close();
+    break;
+  case IdiomKind::ReadLines:
+    assert(false && "idiom not available in C#");
+    break;
+  }
+  W.blank();
+}
+
+std::string renderCs(const FileSketch &Sketch, bool Strip) {
+  Writer W;
+  W.line("using System;");
+  W.line("using System.Collections.Generic;");
+  W.line("using System.Text;");
+  W.blank();
+  W.open("namespace " + toPascalCase(Sketch.Project) + " {");
+  W.open("class " + Sketch.ClassName + " {");
+  for (const IdiomInstance &F : Sketch.Functions) {
+    Writer FW(/*InitialIndent=*/2);
+    renderCsMethod(FW, F, Strip);
+    std::string Text = FW.take();
+    if (F.Kind != IdiomKind::GetterSetter)
+      Text = withPrologue(Text, "Console.WriteLine(\"start\");");
+    W.raw(Text);
+  }
+  W.close();
+  W.close();
+  return W.take();
+}
+
+} // namespace
+
+std::string datagen::render(const FileSketch &Sketch, Language Lang,
+                            bool StripNames) {
+  switch (Lang) {
+  case Language::JavaScript:
+    return renderJs(Sketch, StripNames);
+  case Language::Java:
+    return renderJava(Sketch, StripNames);
+  case Language::Python:
+    return renderPython(Sketch, StripNames);
+  case Language::CSharp:
+    return renderCs(Sketch, StripNames);
+  }
+  return "";
+}

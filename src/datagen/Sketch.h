@@ -1,0 +1,175 @@
+//===- Sketch.h - Language-agnostic program sketches -------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corpus substrate. The paper trains on GitHub corpora; offline we
+/// synthesize them. A *sketch* is a language-agnostic program: a file of
+/// idiom instances (loop-flags, counters, accumulators, getters, request
+/// handlers, ...) whose variable and method names are drawn from
+/// role-conditioned distributions with per-project drift and noise.
+/// Renderers turn sketches into real JavaScript / Java / Python / C#
+/// source text, which the frontends then re-parse — so the learners see
+/// exactly the joint (names × syntax) distribution the paper exploits.
+///
+/// Crucially, several idiom groups are *statement-locally identical* and
+/// differ only in surrounding control flow (e.g. LoopFlag vs SearchFlag
+/// vs ConfigFlag all contain `flag = false; ...; flag = true;`). These
+/// reproduce the paper's Fig. 3 argument: single-statement relation
+/// models (UnuglifyJS) cannot separate them, AST paths can.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_DATAGEN_SKETCH_H
+#define PIGEON_DATAGEN_SKETCH_H
+
+#include "lang/common/Frontend.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pigeon {
+namespace datagen {
+
+/// Semantic role of a variable; names are sampled conditioned on role.
+enum class Role {
+  LoopFlag,   ///< done / finished / complete / stop.
+  FoundFlag,  ///< found / exists / has / matched.
+  ConfigFlag, ///< enabled / active / verbose / debug.
+  Counter,    ///< count / counter / total / num.
+  Index,      ///< i / j / index / idx / pos.
+  Accumulator,///< sum / total / acc.
+  Best,       ///< max / best / largest / highest.
+  Collection, ///< items / values / list / elements / array / data.
+  Item,       ///< item / value / element / elem / entry.
+  Target,     ///< target / value / key / wanted.
+  Results,    ///< results / matches / filtered / output.
+  Builder,    ///< sb / builder / buf / result.
+  Separator,  ///< sep / delim / separator.
+  Text,       ///< text / s / str / input / line.
+  Number,     ///< value / num / n / parsed.
+  Request,    ///< request / req.
+  Response,   ///< response / res / resp.
+  Url,        ///< url / uri / endpoint / address.
+  Callback,   ///< callback / cb / handler.
+  Client,     ///< client / conn / connection.
+  Map,        ///< map / cache / table / dict / lookup.
+  Key,        ///< key / k / id / name.
+  Default,    ///< fallback / default value names.
+  Error,      ///< e / err / error / ex.
+  Limit,      ///< n / limit / size / len.
+  Reader,     ///< reader / file / stream / f.
+  Line,       ///< line / row / text.
+  Field,      ///< width / height / name / size / color / title / status.
+  Score,      ///< score / rating / weight / priority (straight-line sums).
+};
+
+/// The idiom templates the generator composes files from.
+enum class IdiomKind {
+  LoopFlag,     ///< flag loop waiting for a condition.
+  SearchFlag,   ///< flag set when an element matches a target.
+  ConfigFlag,   ///< straight-line flag toggling (Fig. 3b's shape).
+  CountMatches, ///< count elements equal to a target.
+  SumValues,    ///< accumulate a numeric total.
+  FindMax,      ///< track the maximum element.
+  IndexOf,      ///< return the index of a target, else -1.
+  BuildList,    ///< filter elements above a limit into a result list.
+  JoinStrings,  ///< concatenate elements with a separator.
+  HttpRequest,  ///< issue a request to a url (web-flavoured).
+  ParseNumber,  ///< string → number with error handling.
+  MapLookup,    ///< guarded map lookup with a default.
+  GetterSetter, ///< field with get/set accessors (class languages).
+  ReadLines,    ///< read and process lines from a reader.
+  ScoreAccum,   ///< straight-line accumulation (no loop) — locally
+                ///< identical to SumValues' `+=` lines; only the missing
+                ///< enclosing loop (a long-range cue) tells them apart.
+};
+
+/// All idioms, for iteration.
+inline constexpr IdiomKind AllIdioms[] = {
+    IdiomKind::LoopFlag,   IdiomKind::SearchFlag,   IdiomKind::ConfigFlag,
+    IdiomKind::CountMatches, IdiomKind::SumValues,  IdiomKind::FindMax,
+    IdiomKind::IndexOf,    IdiomKind::BuildList,    IdiomKind::JoinStrings,
+    IdiomKind::HttpRequest, IdiomKind::ParseNumber, IdiomKind::MapLookup,
+    IdiomKind::GetterSetter, IdiomKind::ReadLines, IdiomKind::ScoreAccum,
+};
+
+/// \returns a short identifier for \p Kind (for logs and DESIGN docs).
+const char *idiomName(IdiomKind Kind);
+
+/// One concrete idiom instance: the sampled method name and a map from
+/// the idiom's slot names to the sampled identifier names.
+struct IdiomInstance {
+  IdiomKind Kind;
+  /// Canonical camelCase method name; renderers convert to the language's
+  /// convention (snake_case for Python, PascalCase for C# methods).
+  std::string MethodName;
+  /// Slot → sampled identifier (canonical camelCase).
+  std::map<std::string, std::string> Names;
+  /// Structural micro-variant (0/1): increment style, loop style, guard
+  /// placement. Real code varies structurally within an idiom; without
+  /// this the corpus would make even bag-of-words features deterministic
+  /// fingerprints of the idiom.
+  int Variant = 0;
+  /// Emit an extra logging call inside the loop/body.
+  bool ExtraLog = false;
+
+  /// The sampled name for \p Slot (must exist).
+  const std::string &name(const std::string &Slot) const;
+};
+
+/// One source file of a project.
+struct FileSketch {
+  std::string Project;
+  std::string FileName;
+  /// Class name used by class-based languages.
+  std::string ClassName;
+  std::vector<IdiomInstance> Functions;
+};
+
+/// Corpus generation parameters.
+struct CorpusSpec {
+  lang::Language Lang = lang::Language::JavaScript;
+  int NumProjects = 20;
+  int FilesPerProject = 6;
+  int FunctionsPerFile = 4;
+  uint64_t Seed = 42;
+  /// Probability of replacing a sampled name with an uninformative one
+  /// (x, tmp, a, data) — models low-quality code (highest for Python,
+  /// per the paper's §5.3 discussion).
+  double NoiseProb = 0.03;
+  /// Probability of compound-name composition (count → itemCount) —
+  /// models Java's IDE-driven compound naming (§5.3 discussion).
+  double CompoundProb = 0.0;
+  /// Strength of per-project synonym preference.
+  double DriftProb = 0.15;
+};
+
+/// A rendered source file plus its generating sketch.
+struct SourceFile {
+  std::string Project;
+  std::string FileName;
+  std::string Text;
+  FileSketch Sketch;
+};
+
+/// Deterministically generates a corpus for \p Spec.
+std::vector<SourceFile> generateCorpus(const CorpusSpec &Spec);
+
+/// Renders \p Sketch in the given language. \p StripNames replaces every
+/// sampled variable name with a minified placeholder (a, b, c, ...) —
+/// used by the deobfuscation examples and figures 7-9.
+std::string render(const FileSketch &Sketch, lang::Language Lang,
+                   bool StripNames = false);
+
+/// Per-language default spec tuned to land accuracies in the paper's
+/// bands (JS most regular; Java/C# compound-named; Python noisiest).
+CorpusSpec defaultSpec(lang::Language Lang, uint64_t Seed = 42);
+
+} // namespace datagen
+} // namespace pigeon
+
+#endif // PIGEON_DATAGEN_SKETCH_H

@@ -1,0 +1,57 @@
+//===- Diagnostics.h - Parse diagnostics ------------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error collection for the frontends. Library code never exits or throws;
+/// parsers report diagnostics here and return best-effort trees, and the
+/// pipeline decides whether a file is usable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_COMMON_DIAGNOSTICS_H
+#define PIGEON_LANG_COMMON_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pigeon {
+namespace lang {
+
+/// One reported problem, with a resolved line/column position.
+struct Diagnostic {
+  std::string Message;
+  uint32_t Line = 0;   ///< 1-based.
+  uint32_t Column = 0; ///< 1-based.
+
+  /// Renders as "line:col: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics for a single source buffer.
+class Diagnostics {
+public:
+  explicit Diagnostics(std::string_view Source) : Source(Source) {}
+
+  /// Reports an error at byte \p Offset of the source buffer.
+  void error(uint32_t Offset, std::string Message);
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Concatenates all diagnostics, newline-separated.
+  std::string str() const;
+
+private:
+  std::string_view Source;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace lang
+} // namespace pigeon
+
+#endif // PIGEON_LANG_COMMON_DIAGNOSTICS_H

@@ -1,0 +1,58 @@
+//===- Frontend.h - Uniform frontend interface ------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shape every language frontend exposes: parse source text into the
+/// generic AST plus diagnostics. PIGEON's pipeline only depends on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_COMMON_FRONTEND_H
+#define PIGEON_LANG_COMMON_FRONTEND_H
+
+#include "ast/Ast.h"
+#include "lang/common/Diagnostics.h"
+
+#include <optional>
+#include <vector>
+
+namespace pigeon {
+namespace lang {
+
+/// The four languages PIGEON supports (§5.1).
+enum class Language : uint8_t { JavaScript, Java, Python, CSharp };
+
+/// \returns the display name used in the paper's tables.
+const char *languageName(Language Lang);
+
+/// Outcome of parsing one source buffer. Tree is present whenever a
+/// best-effort AST could be built, even if diagnostics were reported;
+/// callers decide whether errored files are usable.
+struct ParseResult {
+  std::optional<ast::Tree> Tree;
+  std::vector<Diagnostic> Diags;
+
+  bool ok() const { return Tree.has_value() && Diags.empty(); }
+};
+
+inline const char *languageName(Language Lang) {
+  switch (Lang) {
+  case Language::JavaScript:
+    return "JavaScript";
+  case Language::Java:
+    return "Java";
+  case Language::Python:
+    return "Python";
+  case Language::CSharp:
+    return "C#";
+  }
+  return "invalid";
+}
+
+} // namespace lang
+} // namespace pigeon
+
+#endif // PIGEON_LANG_COMMON_FRONTEND_H

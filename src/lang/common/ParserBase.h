@@ -1,0 +1,111 @@
+//===- ParserBase.h - Shared recursive-descent machinery --------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token-cursor plumbing shared by the four recursive-descent parsers:
+/// lookahead, conditional consumption, expectation with diagnostics, and
+/// panic-mode recovery helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_COMMON_PARSERBASE_H
+#define PIGEON_LANG_COMMON_PARSERBASE_H
+
+#include "lang/common/Diagnostics.h"
+#include "lang/common/Token.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace pigeon {
+namespace lang {
+
+/// Base class holding the token cursor. Each frontend derives its parser
+/// from this and emits into an ast::TreeBuilder.
+class ParserBase {
+protected:
+  ParserBase(const std::vector<Token> &Tokens, Diagnostics &Diags)
+      : Tokens(Tokens), Diags(Diags) {
+    assert(!Tokens.empty() && Tokens.back().is(TokenKind::Eof) &&
+           "token stream must be Eof-terminated");
+  }
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Cursor + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+
+  bool atEnd() const { return peek().is(TokenKind::Eof); }
+
+  /// Consumes and returns the current token.
+  Token advance() {
+    Token T = peek();
+    if (Cursor + 1 < Tokens.size())
+      ++Cursor;
+    return T;
+  }
+
+  /// True if the current token is the keyword/punctuator \p Spelling.
+  bool at(std::string_view Spelling) const { return peek().is(Spelling); }
+
+  bool atKind(TokenKind Kind) const { return peek().is(Kind); }
+
+  /// Consumes the current token if it is \p Spelling.
+  bool accept(std::string_view Spelling) {
+    if (!at(Spelling))
+      return false;
+    advance();
+    return true;
+  }
+
+  /// Consumes \p Spelling or reports an error (without consuming).
+  bool expect(std::string_view Spelling) {
+    if (accept(Spelling))
+      return true;
+    error(std::string("expected '") + std::string(Spelling) + "', found '" +
+          std::string(peek().Text) + "'");
+    return false;
+  }
+
+  /// Consumes an identifier or reports an error and returns a placeholder.
+  Token expectIdentifier(const char *What = "identifier") {
+    if (atKind(TokenKind::Identifier))
+      return advance();
+    error(std::string("expected ") + What + ", found '" +
+          std::string(peek().Text) + "'");
+    Token Bad = peek();
+    Bad.Kind = TokenKind::Identifier;
+    Bad.Text = "<error>";
+    // Consume one token so panic recovery makes progress, unless we are at
+    // a closer/Eof where skipping would lose structure.
+    if (!atEnd() && !at(")") && !at("}") && !at("]") && !at(";"))
+      advance();
+    return Bad;
+  }
+
+  void error(std::string Message) { Diags.error(peek().Offset, Message); }
+
+  /// Skips tokens until one of \p Spellings or Eof; does not consume the
+  /// stop token. Used for statement-level recovery.
+  void skipUntil(std::initializer_list<std::string_view> Spellings) {
+    while (!atEnd()) {
+      for (std::string_view S : Spellings)
+        if (at(S))
+          return;
+      advance();
+    }
+  }
+
+  const std::vector<Token> &Tokens;
+  Diagnostics &Diags;
+  size_t Cursor = 0;
+};
+
+} // namespace lang
+} // namespace pigeon
+
+#endif // PIGEON_LANG_COMMON_PARSERBASE_H

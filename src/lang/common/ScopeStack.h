@@ -1,0 +1,76 @@
+//===- ScopeStack.h - Lexical scoping for element resolution ----*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps names to program-element ids through a stack of lexical scopes.
+/// Frontends use this to link every occurrence of a variable/parameter/
+/// method to one ast::ElementId, which is what makes CRF nodes (merged
+/// occurrences) and the paper's unary factors possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_COMMON_SCOPESTACK_H
+#define PIGEON_LANG_COMMON_SCOPESTACK_H
+
+#include "ast/Ast.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace pigeon {
+namespace lang {
+
+/// A stack of name->element maps with innermost-first lookup.
+class ScopeStack {
+public:
+  ScopeStack() { Scopes.emplace_back(); } // Global scope.
+
+  /// Opens a nested scope.
+  void push() { Scopes.emplace_back(); }
+
+  /// Closes the innermost scope. The global scope cannot be popped.
+  void pop() {
+    assert(Scopes.size() > 1 && "cannot pop the global scope");
+    Scopes.pop_back();
+  }
+
+  size_t depth() const { return Scopes.size(); }
+
+  /// Binds \p Name in the innermost scope, shadowing outer bindings.
+  void declare(Symbol Name, ast::ElementId Id) {
+    Scopes.back()[Name] = Id;
+  }
+
+  /// Binds \p Name in the outermost (global) scope.
+  void declareGlobal(Symbol Name, ast::ElementId Id) {
+    Scopes.front()[Name] = Id;
+  }
+
+  /// Innermost binding of \p Name, or InvalidElement.
+  ast::ElementId lookup(Symbol Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return ast::InvalidElement;
+  }
+
+  /// True if \p Name is bound in the innermost scope specifically.
+  bool declaredInCurrent(Symbol Name) const {
+    return Scopes.back().count(Name) != 0;
+  }
+
+private:
+  std::vector<std::unordered_map<Symbol, ast::ElementId>> Scopes;
+};
+
+} // namespace lang
+} // namespace pigeon
+
+#endif // PIGEON_LANG_COMMON_SCOPESTACK_H

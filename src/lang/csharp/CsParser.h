@@ -1,0 +1,39 @@
+//===- CsParser.h - MiniC# frontend ------------------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a rich C# subset (MiniC#) into the generic AST with
+/// Roslyn-flavoured node kinds. The C# trees are deliberately more
+/// elaborate than the Java ones — IdentifierName wraps its Identifier
+/// token, arguments are wrapped in ArgumentList/Argument, initializers in
+/// EqualsValueClause — mirroring the paper's observation (§5.5) that "the
+/// C# AST is slightly more elaborate than the one we used for Java", which
+/// is why its best path parameters differ.
+///
+/// Supported: namespaces, using directives, classes with fields, methods
+/// and auto-properties, predefined and generic types, var declarations,
+/// foreach, and the usual statements/expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_CSHARP_CSPARSER_H
+#define PIGEON_LANG_CSHARP_CSPARSER_H
+
+#include "lang/common/Frontend.h"
+#include "support/StringInterner.h"
+
+#include <string_view>
+
+namespace pigeon {
+namespace cs {
+
+/// Parses MiniC# \p Source into a generic AST.
+lang::ParseResult parse(std::string_view Source, StringInterner &Interner);
+
+} // namespace cs
+} // namespace pigeon
+
+#endif // PIGEON_LANG_CSHARP_CSPARSER_H

@@ -1,0 +1,261 @@
+//===- ClassPath.cpp - Known classes for the Java type checker -------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/java/ClassPath.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace pigeon;
+using namespace pigeon::java;
+
+ParsedType java::parseTypeString(const std::string &Type) {
+  ParsedType P;
+  size_t Lt = Type.find('<');
+  if (Lt == std::string::npos) {
+    P.Base = Type;
+    return P;
+  }
+  P.Base = Type.substr(0, Lt);
+  // Split the argument list on top-level commas.
+  int Depth = 0;
+  std::string Cur;
+  for (size_t I = Lt + 1; I + 1 <= Type.size(); ++I) {
+    char C = Type[I];
+    if (C == '<')
+      ++Depth;
+    else if (C == '>') {
+      if (Depth == 0)
+        break;
+      --Depth;
+    } else if (C == ',' && Depth == 0) {
+      P.Args.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur += C;
+  }
+  if (!Cur.empty())
+    P.Args.push_back(Cur);
+  return P;
+}
+
+std::string java::substituteTypeArgs(const std::string &Template,
+                                     const std::vector<std::string> &Args) {
+  std::string Out;
+  for (size_t I = 0; I < Template.size();) {
+    if (Template[I] == 'T' && I + 1 < Template.size() &&
+        (Template[I + 1] == '0' || Template[I + 1] == '1') &&
+        (I + 2 >= Template.size() ||
+         !std::isalnum(static_cast<unsigned char>(Template[I + 2])))) {
+      size_t ArgIdx = static_cast<size_t>(Template[I + 1] - '0');
+      if (ArgIdx < Args.size())
+        Out += Args[ArgIdx];
+      else
+        Out += "java.lang.Object";
+      I += 2;
+      continue;
+    }
+    Out += Template[I++];
+  }
+  return Out;
+}
+
+void ClassPath::addClass(ClassDef Def) {
+  std::string Name = Def.QualifiedName;
+  Classes[Name] = std::move(Def);
+}
+
+const ClassDef *ClassPath::find(const std::string &Qualified) const {
+  auto It = Classes.find(Qualified);
+  return It == Classes.end() ? nullptr : &It->second;
+}
+
+std::optional<std::string>
+ClassPath::methodReturn(const std::string &ReceiverType,
+                        const std::string &Method) const {
+  ParsedType P = parseTypeString(ReceiverType);
+  // Walk the super chain (bounded, in case of accidental cycles).
+  for (int Hop = 0; Hop < 8; ++Hop) {
+    const ClassDef *Def = find(P.Base);
+    if (!Def)
+      return std::nullopt;
+    auto It = Def->Methods.find(Method);
+    if (It != Def->Methods.end())
+      return substituteTypeArgs(It->second, P.Args);
+    if (Def->Super.empty())
+      return std::nullopt;
+    ParsedType SuperP =
+        parseTypeString(substituteTypeArgs(Def->Super, P.Args));
+    P = SuperP;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string>
+ClassPath::fieldType(const std::string &ReceiverType,
+                     const std::string &Field) const {
+  ParsedType P = parseTypeString(ReceiverType);
+  for (int Hop = 0; Hop < 8; ++Hop) {
+    const ClassDef *Def = find(P.Base);
+    if (!Def)
+      return std::nullopt;
+    auto It = Def->Fields.find(Field);
+    if (It != Def->Fields.end())
+      return substituteTypeArgs(It->second, P.Args);
+    if (Def->Super.empty())
+      return std::nullopt;
+    P = parseTypeString(substituteTypeArgs(Def->Super, P.Args));
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ClassPath::classNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Classes.size());
+  for (const auto &[Name, Def] : Classes)
+    Names.push_back(Name);
+  return Names;
+}
+
+ClassPath ClassPath::standard() {
+  ClassPath CP;
+  auto Add = [&](const char *Name, const char *Super,
+                 std::unordered_map<std::string, std::string> Fields,
+                 std::unordered_map<std::string, std::string> Methods) {
+    ClassDef Def;
+    Def.QualifiedName = Name;
+    Def.Super = Super;
+    Def.Fields = std::move(Fields);
+    Def.Methods = std::move(Methods);
+    CP.addClass(std::move(Def));
+  };
+
+  // java.lang --------------------------------------------------------------
+  Add("java.lang.Object", "", {},
+      {{"toString", "java.lang.String"},
+       {"equals", "boolean"},
+       {"hashCode", "int"}});
+  Add("java.lang.String", "java.lang.Object", {},
+      {{"length", "int"},
+       {"isEmpty", "boolean"},
+       {"charAt", "char"},
+       {"substring", "java.lang.String"},
+       {"indexOf", "int"},
+       {"lastIndexOf", "int"},
+       {"contains", "boolean"},
+       {"startsWith", "boolean"},
+       {"endsWith", "boolean"},
+       {"toLowerCase", "java.lang.String"},
+       {"toUpperCase", "java.lang.String"},
+       {"trim", "java.lang.String"},
+       {"replace", "java.lang.String"},
+       {"split", "java.lang.String[]"},
+       {"concat", "java.lang.String"},
+       {"compareTo", "int"}});
+  Add("java.lang.Integer", "java.lang.Object", {{"MAX_VALUE", "int"}},
+      {{"parseInt", "int"},
+       {"valueOf", "java.lang.Integer"},
+       {"intValue", "int"},
+       {"toString", "java.lang.String"}});
+  Add("java.lang.Long", "java.lang.Object", {},
+      {{"parseLong", "long"}, {"longValue", "long"}});
+  Add("java.lang.Double", "java.lang.Object", {},
+      {{"parseDouble", "double"}, {"doubleValue", "double"}});
+  Add("java.lang.Boolean", "java.lang.Object", {},
+      {{"parseBoolean", "boolean"}, {"booleanValue", "boolean"}});
+  Add("java.lang.Character", "java.lang.Object", {},
+      {{"isDigit", "boolean"}, {"isLetter", "boolean"}});
+  Add("java.lang.Math", "java.lang.Object", {{"PI", "double"}},
+      {{"abs", "int"},
+       {"max", "int"},
+       {"min", "int"},
+       {"sqrt", "double"},
+       {"pow", "double"},
+       {"floor", "double"},
+       {"ceil", "double"},
+       {"random", "double"}});
+  Add("java.lang.System", "java.lang.Object",
+      {{"out", "java.io.PrintStream"}, {"err", "java.io.PrintStream"}},
+      {{"currentTimeMillis", "long"}, {"nanoTime", "long"}});
+  Add("java.lang.StringBuilder", "java.lang.Object", {},
+      {{"append", "java.lang.StringBuilder"},
+       {"toString", "java.lang.String"},
+       {"length", "int"},
+       {"reverse", "java.lang.StringBuilder"}});
+  Add("java.lang.Exception", "java.lang.Object", {},
+      {{"getMessage", "java.lang.String"}});
+  Add("java.lang.RuntimeException", "java.lang.Exception", {}, {});
+  Add("java.lang.IllegalArgumentException", "java.lang.RuntimeException", {},
+      {});
+  Add("java.lang.NumberFormatException", "java.lang.RuntimeException", {},
+      {});
+
+  // java.io ----------------------------------------------------------------
+  Add("java.io.PrintStream", "java.lang.Object", {},
+      {{"println", "void"}, {"print", "void"},
+       {"printf", "java.io.PrintStream"}, {"flush", "void"}});
+  Add("java.io.BufferedReader", "java.lang.Object", {},
+      {{"readLine", "java.lang.String"}, {"close", "void"},
+       {"ready", "boolean"}});
+  Add("java.io.FileReader", "java.lang.Object", {}, {{"close", "void"}});
+  Add("java.io.IOException", "java.lang.Exception", {}, {});
+  Add("java.io.File", "java.lang.Object", {},
+      {{"exists", "boolean"},
+       {"getName", "java.lang.String"},
+       {"length", "long"},
+       {"isDirectory", "boolean"}});
+
+  // java.util --------------------------------------------------------------
+  Add("java.util.Collection", "java.lang.Object", {},
+      {{"size", "int"}, {"isEmpty", "boolean"},
+       {"iterator", "java.util.Iterator<T0>"}});
+  Add("java.util.List", "java.util.Collection<T0>", {},
+      {{"get", "T0"},
+       {"add", "boolean"},
+       {"set", "T0"},
+       {"remove", "T0"},
+       {"indexOf", "int"},
+       {"contains", "boolean"},
+       {"clear", "void"},
+       {"subList", "java.util.List<T0>"}});
+  Add("java.util.ArrayList", "java.util.List<T0>", {}, {});
+  Add("java.util.LinkedList", "java.util.List<T0>", {}, {});
+  Add("java.util.Map", "java.lang.Object", {},
+      {{"get", "T1"},
+       {"put", "T1"},
+       {"remove", "T1"},
+       {"containsKey", "boolean"},
+       {"containsValue", "boolean"},
+       {"size", "int"},
+       {"isEmpty", "boolean"},
+       {"clear", "void"},
+       {"keySet", "java.util.Set<T0>"},
+       {"values", "java.util.Collection<T1>"}});
+  Add("java.util.HashMap", "java.util.Map<T0,T1>", {}, {});
+  Add("java.util.TreeMap", "java.util.Map<T0,T1>", {}, {});
+  Add("java.util.Set", "java.util.Collection<T0>", {},
+      {{"add", "boolean"}, {"contains", "boolean"}, {"remove", "boolean"}});
+  Add("java.util.HashSet", "java.util.Set<T0>", {}, {});
+  Add("java.util.Iterator", "java.lang.Object", {},
+      {{"next", "T0"}, {"hasNext", "boolean"}, {"remove", "void"}});
+  Add("java.util.Random", "java.lang.Object", {},
+      {{"nextInt", "int"}, {"nextDouble", "double"},
+       {"nextBoolean", "boolean"}});
+  Add("java.util.Scanner", "java.lang.Object", {},
+      {{"nextLine", "java.lang.String"},
+       {"nextInt", "int"},
+       {"hasNext", "boolean"},
+       {"hasNextLine", "boolean"},
+       {"close", "void"}});
+  Add("java.util.Collections", "java.lang.Object", {},
+      {{"sort", "void"}, {"reverse", "void"}, {"shuffle", "void"}});
+  Add("java.util.Optional", "java.lang.Object", {},
+      {{"get", "T0"}, {"isPresent", "boolean"},
+       {"orElse", "T0"}});
+
+  return CP;
+}

@@ -1,0 +1,87 @@
+//===- ClassPath.h - Known classes for the Java type checker ----*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature "classpath": the set of classes the MiniJava type checker
+/// knows about, with field types and method return types (including
+/// generic placeholders T0/T1 referring to the receiver's type arguments).
+/// This substitutes for the global type-inference engine the paper used as
+/// its labelling oracle for the full-type prediction task (§5.3.3).
+///
+/// Types are represented as fully-qualified strings, e.g.
+/// "java.lang.String", "java.util.List<java.lang.Integer>", "int[]".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_JAVA_CLASSPATH_H
+#define PIGEON_LANG_JAVA_CLASSPATH_H
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pigeon {
+namespace java {
+
+/// A class known to the checker. Method maps hold return types; fields
+/// hold field types. Generic placeholders T0, T1 refer to the receiver's
+/// first/second type argument.
+struct ClassDef {
+  std::string QualifiedName;
+  /// Superclass as a (possibly generic) type string, e.g.
+  /// "java.util.List<T0>" for ArrayList. Empty for none.
+  std::string Super;
+  std::unordered_map<std::string, std::string> Fields;
+  std::unordered_map<std::string, std::string> Methods;
+};
+
+/// Splits "base<a,b>" into its base name and top-level type arguments.
+struct ParsedType {
+  std::string Base;
+  std::vector<std::string> Args;
+};
+ParsedType parseTypeString(const std::string &Type);
+
+/// Replaces T0/T1 placeholders in \p Template with \p Args.
+std::string substituteTypeArgs(const std::string &Template,
+                               const std::vector<std::string> &Args);
+
+/// The set of classes visible to one compilation unit's type check.
+class ClassPath {
+public:
+  /// Registers \p Def (overwrites an existing class of the same name).
+  void addClass(ClassDef Def);
+
+  /// \returns the class named \p Qualified, or nullptr.
+  const ClassDef *find(const std::string &Qualified) const;
+
+  /// \returns the return type of \p Method called on a receiver of
+  /// (possibly generic) type \p ReceiverType, walking the super chain and
+  /// substituting type arguments. nullopt if unknown.
+  std::optional<std::string> methodReturn(const std::string &ReceiverType,
+                                          const std::string &Method) const;
+
+  /// \returns the type of field \p Field on \p ReceiverType, walking the
+  /// super chain. nullopt if unknown.
+  std::optional<std::string> fieldType(const std::string &ReceiverType,
+                                       const std::string &Field) const;
+
+  /// All registered qualified names (for tests and corpus stats).
+  std::vector<std::string> classNames() const;
+
+  /// The built-in classpath: a slice of java.lang / java.util / java.io
+  /// wide enough for the generated corpora and the paper's examples.
+  static ClassPath standard();
+
+private:
+  std::unordered_map<std::string, ClassDef> Classes;
+};
+
+} // namespace java
+} // namespace pigeon
+
+#endif // PIGEON_LANG_JAVA_CLASSPATH_H

@@ -1,0 +1,38 @@
+//===- JavaParser.h - MiniJava frontend --------------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a rich Java subset (MiniJava) into the generic AST with
+/// JavaParser-flavoured node kinds: CompilationUnit, ClassOrInterface-
+/// Declaration, MethodDeclaration, Parameter, VariableDeclarationExpr,
+/// NameExpr, MethodCallExpr, FieldAccessExpr, BinaryExpr+, ...
+///
+/// Supported: packages, imports, classes with fields/methods/constructors,
+/// primitive & class types with generics-lite and arrays, the usual
+/// statements (if/while/for/foreach/try/return/...) and expressions
+/// (assignments, conditional, binary/unary, calls, field & array access,
+/// object/array creation, casts, literals, this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_JAVA_JAVAPARSER_H
+#define PIGEON_LANG_JAVA_JAVAPARSER_H
+
+#include "lang/common/Frontend.h"
+#include "support/StringInterner.h"
+
+#include <string_view>
+
+namespace pigeon {
+namespace java {
+
+/// Parses MiniJava \p Source into a generic AST.
+lang::ParseResult parse(std::string_view Source, StringInterner &Interner);
+
+} // namespace java
+} // namespace pigeon
+
+#endif // PIGEON_LANG_JAVA_JAVAPARSER_H

@@ -1,0 +1,623 @@
+//===- TypeChecker.cpp - MiniJava static type annotation -------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/java/TypeChecker.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::java;
+
+namespace {
+
+/// One checking pass over a compilation unit.
+class Checker {
+public:
+  Checker(Tree &T, const ClassPath &Base)
+      : T(T), SI(T.interner()), CP(Base) {}
+
+  size_t run() {
+    collectImports();
+    collectLocalClasses();
+    for (NodeId Id = 0; Id < T.size(); ++Id)
+      if (isKind(Id, "ClassOrInterfaceDeclaration") ||
+          isKind(Id, "InterfaceDeclaration"))
+        checkClass(Id);
+    return NumAnnotated;
+  }
+
+private:
+  Tree &T;
+  StringInterner &SI;
+  ClassPath CP;
+  std::unordered_map<std::string, std::string> Imports;
+  std::string Package;
+  std::string CurrentClass;
+  /// Local variable / parameter environment: name -> type string. Scoped
+  /// by saving/restoring size markers on block entry/exit.
+  std::vector<std::pair<std::string, std::string>> Env;
+  size_t NumAnnotated = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Tree helpers
+  //===--------------------------------------------------------------------===//
+
+  const std::string &kindOf(NodeId Id) const {
+    return SI.str(T.node(Id).Kind);
+  }
+  bool isKind(NodeId Id, std::string_view K) const { return kindOf(Id) == K; }
+  bool kindStartsWith(NodeId Id, std::string_view Prefix) const {
+    const std::string &K = kindOf(Id);
+    return K.size() >= Prefix.size() &&
+           std::string_view(K).substr(0, Prefix.size()) == Prefix;
+  }
+  const std::string &valueOf(NodeId Id) const {
+    return SI.str(T.node(Id).Value);
+  }
+  NodeId child(NodeId Id, size_t I) const {
+    auto Kids = T.children(Id);
+    return I < Kids.size() ? Kids[I] : InvalidNode;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Name resolution
+  //===--------------------------------------------------------------------===//
+
+  void collectImports() {
+    for (NodeId Id = 0; Id < T.size(); ++Id) {
+      if (isKind(Id, "PackageDeclaration")) {
+        NodeId Name = child(Id, 0);
+        if (Name != InvalidNode)
+          Package = valueOf(Name);
+      }
+      if (!isKind(Id, "ImportDeclaration"))
+        continue;
+      NodeId Name = child(Id, 0);
+      if (Name == InvalidNode)
+        continue;
+      const std::string &Qualified = valueOf(Name);
+      size_t Dot = Qualified.rfind('.');
+      if (Dot == std::string::npos)
+        continue;
+      std::string Simple = Qualified.substr(Dot + 1);
+      if (Simple == "*")
+        continue; // Wildcards resolve via the classpath probe below.
+      Imports[Simple] = Qualified;
+    }
+  }
+
+  /// Adds classes declared in this file to the classpath so intra-file
+  /// references type-check.
+  void collectLocalClasses() {
+    for (NodeId Id = 0; Id < T.size(); ++Id) {
+      if (!isKind(Id, "ClassOrInterfaceDeclaration") &&
+          !isKind(Id, "InterfaceDeclaration"))
+        continue;
+      NodeId NameNode = child(Id, 0);
+      if (NameNode == InvalidNode)
+        continue;
+      ClassDef Def;
+      std::string Simple = valueOf(NameNode);
+      Def.QualifiedName = Package.empty() ? Simple : Package + "." + Simple;
+      Imports[Simple] = Def.QualifiedName;
+      for (NodeId Member : T.children(Id)) {
+        if (isKind(Member, "ExtendedType")) {
+          NodeId SuperType = child(Member, 0);
+          if (SuperType != InvalidNode)
+            Def.Super = typeNodeToString(SuperType);
+          continue;
+        }
+        if (isKind(Member, "FieldDeclaration")) {
+          NodeId TypeNode = child(Member, 0);
+          std::string FieldType = typeNodeToString(TypeNode);
+          for (NodeId Decl : T.children(Member)) {
+            if (!isKind(Decl, "VariableDeclarator"))
+              continue;
+            NodeId FieldName = child(Decl, 0);
+            if (FieldName != InvalidNode)
+              Def.Fields[valueOf(FieldName)] = FieldType;
+          }
+          continue;
+        }
+        if (isKind(Member, "MethodDeclaration")) {
+          NodeId TypeNode = child(Member, 0);
+          NodeId MethodName = child(Member, 1);
+          if (TypeNode != InvalidNode && MethodName != InvalidNode)
+            Def.Methods[valueOf(MethodName)] = typeNodeToString(TypeNode);
+          continue;
+        }
+      }
+      if (Def.Super.empty())
+        Def.Super = "java.lang.Object";
+      CP.addClass(std::move(Def));
+    }
+  }
+
+  /// Resolves a (possibly simple) class name to a qualified one.
+  std::string resolveClassName(const std::string &Name) const {
+    if (Name.find('.') != std::string::npos)
+      return Name;
+    auto It = Imports.find(Name);
+    if (It != Imports.end())
+      return It->second;
+    std::string Lang = "java.lang." + Name;
+    if (CP.find(Lang))
+      return Lang;
+    std::string Util = "java.util." + Name;
+    if (CP.find(Util))
+      return Util;
+    return Name;
+  }
+
+  /// Renders a Type subtree (PrimitiveType / ClassOrInterfaceType /
+  /// ArrayType) as a qualified type string.
+  std::string typeNodeToString(NodeId Id) const {
+    if (Id == InvalidNode)
+      return "";
+    if (isKind(Id, "PrimitiveType"))
+      return valueOf(Id);
+    if (isKind(Id, "ArrayType"))
+      return typeNodeToString(child(Id, 0)) + "[]";
+    if (isKind(Id, "ClassOrInterfaceType")) {
+      NodeId NameNode = child(Id, 0);
+      std::string Out =
+          NameNode == InvalidNode ? "" : resolveClassName(valueOf(NameNode));
+      auto Kids = T.children(Id);
+      if (Kids.size() > 1) {
+        Out += '<';
+        bool First = true;
+        for (size_t I = 1; I < Kids.size(); ++I) {
+          if (!isKind(Kids[I], "TypeArg"))
+            continue;
+          if (!First)
+            Out += ',';
+          First = false;
+          NodeId Arg = child(Kids[I], 0);
+          if (Arg != InvalidNode && isKind(Arg, "Wildcard"))
+            Out += "java.lang.Object";
+          else
+            Out += boxIfPrimitive(typeNodeToString(Arg));
+        }
+        Out += '>';
+      }
+      return Out;
+    }
+    return "";
+  }
+
+  static std::string boxIfPrimitive(const std::string &Type) {
+    if (Type == "int")
+      return "java.lang.Integer";
+    if (Type == "long")
+      return "java.lang.Long";
+    if (Type == "double")
+      return "java.lang.Double";
+    if (Type == "boolean")
+      return "java.lang.Boolean";
+    if (Type == "char")
+      return "java.lang.Character";
+    return Type;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Environment
+  //===--------------------------------------------------------------------===//
+
+  std::string lookupEnv(const std::string &Name) const {
+    for (auto It = Env.rbegin(); It != Env.rend(); ++It)
+      if (It->first == Name)
+        return It->second;
+    return "";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Checking
+  //===--------------------------------------------------------------------===//
+
+  void checkClass(NodeId ClassNode) {
+    NodeId NameNode = child(ClassNode, 0);
+    if (NameNode == InvalidNode)
+      return;
+    CurrentClass = resolveClassName(valueOf(NameNode));
+    for (NodeId Member : T.children(ClassNode)) {
+      if (isKind(Member, "MethodDeclaration") ||
+          isKind(Member, "ConstructorDeclaration"))
+        checkMethod(Member);
+      if (isKind(Member, "FieldDeclaration")) {
+        // Type field initializers.
+        for (NodeId Decl : T.children(Member))
+          if (isKind(Decl, "VariableDeclarator") &&
+              T.children(Decl).size() > 1)
+            typeOf(child(Decl, 1));
+      }
+    }
+  }
+
+  void checkMethod(NodeId MethodNode) {
+    size_t Mark = Env.size();
+    for (NodeId Kid : T.children(MethodNode)) {
+      if (isKind(Kid, "Parameters")) {
+        for (NodeId Param : T.children(Kid))
+          bindParameter(Param);
+      }
+      if (isKind(Kid, "BlockStmt"))
+        checkStatement(Kid);
+    }
+    Env.resize(Mark);
+  }
+
+  void bindParameter(NodeId Param) {
+    if (!isKind(Param, "Parameter"))
+      return;
+    NodeId TypeNode = child(Param, 0);
+    NodeId NameNode = child(Param, 1);
+    if (TypeNode == InvalidNode || NameNode == InvalidNode)
+      return;
+    Env.emplace_back(valueOf(NameNode), typeNodeToString(TypeNode));
+  }
+
+  void checkStatement(NodeId Stmt) {
+    const std::string &K = kindOf(Stmt);
+    if (K == "BlockStmt") {
+      size_t Mark = Env.size();
+      for (NodeId Kid : T.children(Stmt))
+        checkStatement(Kid);
+      Env.resize(Mark);
+      return;
+    }
+    if (K == "ExpressionStmt") {
+      for (NodeId Kid : T.children(Stmt)) {
+        if (isKind(Kid, "VariableDeclarationExpr"))
+          bindLocals(Kid);
+        else
+          typeOf(Kid);
+      }
+      return;
+    }
+    if (K == "IfStmt" || K == "WhileStmt" || K == "DoStmt") {
+      for (NodeId Kid : T.children(Stmt)) {
+        if (isStatementKind(Kid))
+          checkStatement(Kid);
+        else
+          typeOf(Kid);
+      }
+      return;
+    }
+    if (K == "ForStmt") {
+      size_t Mark = Env.size();
+      for (NodeId Kid : T.children(Stmt)) {
+        if (isKind(Kid, "VariableDeclarationExpr"))
+          bindLocals(Kid);
+        else if (isStatementKind(Kid))
+          checkStatement(Kid);
+        else
+          typeOf(Kid);
+      }
+      Env.resize(Mark);
+      return;
+    }
+    if (K == "ForEachStmt") {
+      size_t Mark = Env.size();
+      for (NodeId Kid : T.children(Stmt)) {
+        if (isKind(Kid, "VariableDeclarationExpr"))
+          bindLocals(Kid);
+        else if (isStatementKind(Kid))
+          checkStatement(Kid);
+        else
+          typeOf(Kid);
+      }
+      Env.resize(Mark);
+      return;
+    }
+    if (K == "ReturnStmt" || K == "ThrowStmt") {
+      for (NodeId Kid : T.children(Stmt))
+        typeOf(Kid);
+      return;
+    }
+    if (K == "TryStmt") {
+      for (NodeId Kid : T.children(Stmt))
+        checkStatement(Kid);
+      return;
+    }
+    if (K == "CatchClause") {
+      size_t Mark = Env.size();
+      for (NodeId Kid : T.children(Stmt)) {
+        if (isKind(Kid, "Parameter"))
+          bindParameter(Kid);
+        else
+          checkStatement(Kid);
+      }
+      Env.resize(Mark);
+      return;
+    }
+    if (K == "FinallyBlock") {
+      for (NodeId Kid : T.children(Stmt))
+        checkStatement(Kid);
+      return;
+    }
+    // Leaf statements (BreakStmt, ContinueStmt) and anything else: type
+    // any expression children defensively.
+    for (NodeId Kid : T.children(Stmt))
+      if (!isStatementKind(Kid))
+        typeOf(Kid);
+  }
+
+  bool isStatementKind(NodeId Id) const {
+    const std::string &K = kindOf(Id);
+    return K == "BlockStmt" || K == "ExpressionStmt" || K == "IfStmt" ||
+           K == "WhileStmt" || K == "DoStmt" || K == "ForStmt" ||
+           K == "ForEachStmt" || K == "ReturnStmt" || K == "BreakStmt" ||
+           K == "ContinueStmt" || K == "ThrowStmt" || K == "TryStmt" ||
+           K == "CatchClause" || K == "FinallyBlock";
+  }
+
+  void bindLocals(NodeId DeclExpr) {
+    NodeId TypeNode = child(DeclExpr, 0);
+    std::string DeclType = typeNodeToString(TypeNode);
+    for (NodeId Decl : T.children(DeclExpr)) {
+      if (!isKind(Decl, "VariableDeclarator"))
+        continue;
+      NodeId NameNode = child(Decl, 0);
+      if (NameNode == InvalidNode)
+        continue;
+      Env.emplace_back(valueOf(NameNode), DeclType);
+      if (T.children(Decl).size() > 1)
+        typeOf(child(Decl, 1));
+    }
+  }
+
+  /// Records \p Type for \p Id when it is a real value type.
+  void annotate(NodeId Id, const std::string &Type) {
+    if (Type.empty() || Type == "void" || Type == "null")
+      return;
+    // Class references (static receiver position) are not expressions.
+    if (Type.rfind("class:", 0) == 0)
+      return;
+    T.setType(Id, SI.intern(Type));
+    ++NumAnnotated;
+  }
+
+  /// Computes (and annotates) the type of expression \p Id. Returns "" if
+  /// unknown; returns "class:Qualified" pseudo-types for static receivers.
+  std::string typeOf(NodeId Id) {
+    if (Id == InvalidNode)
+      return "";
+    const std::string &K = kindOf(Id);
+
+    if (K == "IntegerLiteralExpr") {
+      const std::string &V = valueOf(Id);
+      return !V.empty() && (V.back() == 'L' || V.back() == 'l') ? "long"
+                                                                : "int";
+    }
+    if (K == "DoubleLiteralExpr")
+      return "double";
+    if (K == "StringLiteralExpr")
+      return "java.lang.String";
+    if (K == "CharLiteralExpr")
+      return "char";
+    if (K == "BooleanLiteralExpr")
+      return "boolean";
+    if (K == "NullLiteralExpr")
+      return "null";
+    if (K == "ThisExpr")
+      return CurrentClass;
+
+    if (K == "NameExpr") {
+      NodeId NameNode = child(Id, 0);
+      if (NameNode == InvalidNode)
+        return "";
+      const std::string &Name = valueOf(NameNode);
+      std::string FromEnv = lookupEnv(Name);
+      if (!FromEnv.empty()) {
+        annotate(Id, FromEnv);
+        return FromEnv;
+      }
+      if (auto Field = CP.fieldType(CurrentClass, Name)) {
+        annotate(Id, *Field);
+        return *Field;
+      }
+      // A class reference (e.g. `Math` in `Math.abs(x)`).
+      std::string Qualified = resolveClassName(Name);
+      if (CP.find(Qualified))
+        return "class:" + Qualified;
+      return "";
+    }
+
+    if (K == "FieldAccessExpr") {
+      NodeId Scope = child(Id, 0);
+      NodeId NameNode = child(Id, 1);
+      if (NameNode == InvalidNode)
+        return "";
+      std::string ScopeType = typeOf(Scope);
+      if (ScopeType.empty())
+        return "";
+      if (ScopeType.rfind("class:", 0) == 0)
+        ScopeType = ScopeType.substr(6);
+      // Arrays expose `length`.
+      if (ScopeType.size() > 2 &&
+          ScopeType.compare(ScopeType.size() - 2, 2, "[]") == 0 &&
+          valueOf(NameNode) == "length") {
+        annotate(Id, "int");
+        return "int";
+      }
+      if (auto Field = CP.fieldType(ScopeType, valueOf(NameNode))) {
+        annotate(Id, *Field);
+        return *Field;
+      }
+      return "";
+    }
+
+    if (K == "MethodCallExpr") {
+      auto Kids = T.children(Id);
+      std::string Receiver;
+      NodeId NameNode = InvalidNode;
+      NodeId Args = InvalidNode;
+      if (!Kids.empty() && isKind(Kids[0], "SimpleName")) {
+        Receiver = CurrentClass; // Bare call on the current class.
+        NameNode = Kids[0];
+        if (Kids.size() > 1)
+          Args = Kids[1];
+      } else if (Kids.size() >= 2) {
+        Receiver = typeOf(Kids[0]);
+        NameNode = Kids[1];
+        if (Kids.size() > 2)
+          Args = Kids[2];
+      }
+      if (Args != InvalidNode)
+        for (NodeId Arg : T.children(Args))
+          typeOf(Arg);
+      if (NameNode == InvalidNode || Receiver.empty())
+        return "";
+      if (Receiver.rfind("class:", 0) == 0)
+        Receiver = Receiver.substr(6);
+      if (auto Ret = CP.methodReturn(Receiver, valueOf(NameNode))) {
+        annotate(Id, *Ret);
+        return *Ret;
+      }
+      return "";
+    }
+
+    if (K == "ObjectCreationExpr") {
+      NodeId TypeNode = child(Id, 0);
+      std::string Type = typeNodeToString(TypeNode);
+      auto Kids = T.children(Id);
+      for (size_t I = 1; I < Kids.size(); ++I)
+        if (isKind(Kids[I], "Arguments"))
+          for (NodeId Arg : T.children(Kids[I]))
+            typeOf(Arg);
+      annotate(Id, Type);
+      return Type;
+    }
+
+    if (K == "ArrayCreationExpr") {
+      NodeId TypeNode = child(Id, 0);
+      std::string Type = typeNodeToString(TypeNode) + "[]";
+      auto Kids = T.children(Id);
+      for (size_t I = 1; I < Kids.size(); ++I)
+        typeOf(Kids[I]);
+      annotate(Id, Type);
+      return Type;
+    }
+
+    if (K == "ArrayAccessExpr") {
+      NodeId Arr = child(Id, 0);
+      NodeId Index = child(Id, 1);
+      std::string ArrType = typeOf(Arr);
+      typeOf(Index);
+      if (ArrType.size() > 2 &&
+          ArrType.compare(ArrType.size() - 2, 2, "[]") == 0) {
+        std::string Elem = ArrType.substr(0, ArrType.size() - 2);
+        annotate(Id, Elem);
+        return Elem;
+      }
+      return "";
+    }
+
+    if (K == "CastExpr") {
+      NodeId TypeNode = child(Id, 0);
+      NodeId Operand = child(Id, 1);
+      typeOf(Operand);
+      std::string Type = typeNodeToString(TypeNode);
+      annotate(Id, Type);
+      return Type;
+    }
+
+    if (K == "ConditionalExpr") {
+      auto Kids = T.children(Id);
+      if (Kids.size() != 3)
+        return "";
+      typeOf(Kids[0]);
+      std::string Then = typeOf(Kids[1]);
+      std::string Else = typeOf(Kids[2]);
+      std::string Result = !Then.empty() && Then != "null" ? Then : Else;
+      annotate(Id, Result);
+      return Result;
+    }
+
+    if (K == "InstanceOfExpr") {
+      for (NodeId Kid : T.children(Id))
+        typeOf(Kid);
+      annotate(Id, "boolean");
+      return "boolean";
+    }
+
+    if (K.rfind("BinaryExpr", 0) == 0) {
+      std::string Op = K.substr(10);
+      auto Kids = T.children(Id);
+      std::string L = Kids.size() > 0 ? typeOf(Kids[0]) : "";
+      std::string R = Kids.size() > 1 ? typeOf(Kids[1]) : "";
+      std::string Result;
+      if (Op == "==" || Op == "!=" || Op == "<" || Op == ">" || Op == "<=" ||
+          Op == ">=" || Op == "&&" || Op == "||") {
+        Result = "boolean";
+      } else if (Op == "+" &&
+                 (L == "java.lang.String" || R == "java.lang.String")) {
+        Result = "java.lang.String";
+      } else if (!L.empty() && !R.empty()) {
+        Result = promote(L, R);
+      }
+      annotate(Id, Result);
+      return Result;
+    }
+
+    if (K.rfind("Assign", 0) == 0) {
+      auto Kids = T.children(Id);
+      std::string L = Kids.size() > 0 ? typeOf(Kids[0]) : "";
+      if (Kids.size() > 1)
+        typeOf(Kids[1]);
+      return L; // Assignments themselves are not prediction targets.
+    }
+
+    if (K.rfind("UnaryExpr", 0) == 0) {
+      std::string Op = K.substr(9);
+      NodeId Operand = child(Id, 0);
+      std::string OperandType = typeOf(Operand);
+      if (Op == "!")
+        return "boolean";
+      return OperandType;
+    }
+
+    if (K == "VariableDeclarationExpr") {
+      bindLocals(Id);
+      return "";
+    }
+
+    // Unknown kind: recurse defensively so nested expressions get typed.
+    for (NodeId Kid : T.children(Id))
+      typeOf(Kid);
+    return "";
+  }
+
+  static std::string promote(const std::string &L, const std::string &R) {
+    auto Rank = [](const std::string &Ty) {
+      if (Ty == "double" || Ty == "float")
+        return 3;
+      if (Ty == "long")
+        return 2;
+      if (Ty == "int" || Ty == "char" || Ty == "short" || Ty == "byte")
+        return 1;
+      return 0;
+    };
+    int RL = Rank(L), RR = Rank(R);
+    if (RL == 0 || RR == 0)
+      return "";
+    int Max = std::max(RL, RR);
+    if (Max == 3)
+      return "double";
+    if (Max == 2)
+      return "long";
+    return "int";
+  }
+};
+
+} // namespace
+
+size_t java::annotateTypes(Tree &Tree, const ClassPath &CP) {
+  Checker C(Tree, CP);
+  return C.run();
+}

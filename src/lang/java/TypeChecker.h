@@ -1,0 +1,35 @@
+//===- TypeChecker.h - MiniJava static type annotation ----------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks a parsed MiniJava tree and annotates expression nodes with their
+/// fully-qualified static types (via ast::Tree::setType). This plays the
+/// role of the paper's global type-inference oracle for the full-type
+/// prediction task (§5.3.3): "the evaluated types were only those that
+/// could be solved by a global type inference engine", i.e. the nodes this
+/// checker manages to type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_JAVA_TYPECHECKER_H
+#define PIGEON_LANG_JAVA_TYPECHECKER_H
+
+#include "ast/Ast.h"
+#include "lang/java/ClassPath.h"
+
+namespace pigeon {
+namespace java {
+
+/// Annotates the expression nodes of \p Tree with fully-qualified types.
+/// Classes declared in the compilation unit itself are added to a local
+/// copy of \p CP, so intra-file references resolve. \returns the number of
+/// nodes annotated.
+size_t annotateTypes(ast::Tree &Tree, const ClassPath &CP);
+
+} // namespace java
+} // namespace pigeon
+
+#endif // PIGEON_LANG_JAVA_TYPECHECKER_H

@@ -1,0 +1,1012 @@
+//===- JsParser.cpp - MiniJS frontend ---------------------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/js/JsParser.h"
+
+#include "lang/common/Lexer.h"
+#include "lang/common/ParserBase.h"
+#include "lang/common/ScopeStack.h"
+
+#include <string>
+
+using namespace pigeon;
+using namespace pigeon::lang;
+using namespace pigeon::ast;
+
+namespace {
+
+const LexerConfig &jsLexerConfig() {
+  static const LexerConfig Config = [] {
+    LexerConfig C;
+    C.Keywords = {"var",      "let",    "const",   "function", "return",
+                  "if",       "else",   "while",   "do",       "for",
+                  "break",    "continue", "new",   "delete",   "typeof",
+                  "in",       "of",     "instanceof", "true",  "false",
+                  "null",     "undefined", "this", "throw",    "try",
+                  "catch",    "finally"};
+    C.Punctuators = {
+        "===", "!==", ">>>", "...", "=>",  "==", "!=", "<=", ">=", "&&",
+        "||",  "++",  "--",  "+=",  "-=",  "*=", "/=", "%=", "&=", "|=",
+        "^=",  "<<",  ">>",  "(",   ")",   "{",  "}",  "[",  "]",  ";",
+        ",",   ".",   ":",   "?",   "=",   "+",  "-",  "*",  "/",  "%",
+        "<",   ">",   "!",   "~",   "&",   "|",  "^"};
+    C.SlashSlashComments = true;
+    C.SlashStarComments = true;
+    C.DollarInIdentifiers = true;
+    return C;
+  }();
+  return Config;
+}
+
+/// Recursive-descent parser for MiniJS, emitting UglifyJS-style nodes.
+class JsParser : ParserBase {
+public:
+  JsParser(const std::vector<Token> &Tokens, Diagnostics &Diags,
+           StringInterner &Interner)
+      : ParserBase(Tokens, Diags), Interner(Interner), Builder(Interner) {}
+
+  Tree run() {
+    Builder.begin("Toplevel");
+    while (!atEnd()) {
+      size_t Before = Cursor;
+      parseStatement();
+      if (Cursor == Before)
+        advance(); // Guarantee progress on malformed input.
+    }
+    Builder.end();
+    return std::move(Builder).finish();
+  }
+
+private:
+  StringInterner &Interner;
+  TreeBuilder Builder;
+  ScopeStack Scopes;
+  /// Undeclared names that have (so far) only appeared in callee position.
+  std::unordered_map<Symbol, ElementId> GlobalCallees;
+
+  Symbol intern(std::string_view S) { return Interner.intern(S); }
+
+  //===--------------------------------------------------------------------===//
+  // Element resolution
+  //===--------------------------------------------------------------------===//
+
+  ElementId declareVar(Symbol Name, ElementKind Kind) {
+    ElementId Id = Builder.addElement(Name, Kind, /*Predictable=*/true);
+    Scopes.declare(Name, Id);
+    return Id;
+  }
+
+  /// Resolves a name use. Undeclared names become file-global elements:
+  /// callee uses are treated as known external functions, other uses as
+  /// predictable (minified) variables.
+  ElementId resolveUse(Symbol Name, bool CalleePosition) {
+    ElementId Id = Scopes.lookup(Name);
+    if (Id != InvalidElement)
+      return Id;
+    auto It = GlobalCallees.find(Name);
+    if (It != GlobalCallees.end())
+      return It->second;
+    ElementId New =
+        CalleePosition
+            ? Builder.addElement(Name, ElementKind::Method,
+                                 /*Predictable=*/false)
+            : Builder.addElement(Name, ElementKind::LocalVar,
+                                 /*Predictable=*/true);
+    if (CalleePosition)
+      GlobalCallees.emplace(Name, New);
+    else
+      Scopes.declareGlobal(Name, New);
+    return New;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void parseStatement() {
+    if (at("function")) {
+      parseFunctionDecl();
+      return;
+    }
+    if (at("var") || at("let") || at("const")) {
+      parseVarStatement();
+      accept(";");
+      return;
+    }
+    if (at("if")) {
+      parseIf();
+      return;
+    }
+    if (at("while")) {
+      parseWhile();
+      return;
+    }
+    if (at("do")) {
+      parseDoWhile();
+      return;
+    }
+    if (at("for")) {
+      parseFor();
+      return;
+    }
+    if (at("return")) {
+      advance();
+      Builder.begin("Return");
+      if (!at(";") && !at("}") && !atEnd())
+        parseExpression();
+      Builder.end();
+      accept(";");
+      return;
+    }
+    if (at("break")) {
+      advance();
+      Builder.begin("Break");
+      Builder.end();
+      accept(";");
+      return;
+    }
+    if (at("continue")) {
+      advance();
+      Builder.begin("Continue");
+      Builder.end();
+      accept(";");
+      return;
+    }
+    if (at("throw")) {
+      advance();
+      Builder.begin("Throw");
+      parseExpression();
+      Builder.end();
+      accept(";");
+      return;
+    }
+    if (at("try")) {
+      parseTry();
+      return;
+    }
+    if (at("{")) {
+      parseBlock();
+      return;
+    }
+    if (accept(";"))
+      return;
+    // Expression statement.
+    Builder.begin("SimpleStatement");
+    parseExpression();
+    Builder.end();
+    accept(";");
+  }
+
+  void parseBlock() {
+    expect("{");
+    Scopes.push();
+    Builder.begin("Block");
+    while (!at("}") && !atEnd()) {
+      size_t Before = Cursor;
+      parseStatement();
+      if (Cursor == Before)
+        advance();
+    }
+    Builder.end();
+    Scopes.pop();
+    expect("}");
+  }
+
+  /// Parses a statement body that may or may not be a block, without
+  /// introducing a Block node for single statements (UglifyJS-style).
+  void parseBody() {
+    if (at("{")) {
+      parseBlock();
+      return;
+    }
+    parseStatement();
+  }
+
+  void parseFunctionDecl() {
+    expect("function");
+    Token Name = expectIdentifier("function name");
+    Symbol NameSym = intern(Name.Text);
+    ElementId Fn = Builder.addElement(NameSym, ElementKind::Method,
+                                      /*Predictable=*/true);
+    Scopes.declare(NameSym, Fn);
+    Builder.begin("Defun");
+    Builder.terminal(intern("SymbolDefun"), NameSym, Fn);
+    Scopes.push();
+    parseParamsAndBody();
+    Scopes.pop();
+    Builder.end();
+  }
+
+  void parseParamsAndBody() {
+    expect("(");
+    while (!at(")") && !atEnd()) {
+      Token Param = expectIdentifier("parameter");
+      Symbol ParamSym = intern(Param.Text);
+      ElementId Id = declareVar(ParamSym, ElementKind::Parameter);
+      Builder.terminal(intern("SymbolFunarg"), ParamSym, Id);
+      if (!accept(","))
+        break;
+    }
+    expect(")");
+    expect("{");
+    while (!at("}") && !atEnd()) {
+      size_t Before = Cursor;
+      parseStatement();
+      if (Cursor == Before)
+        advance();
+    }
+    expect("}");
+  }
+
+  void parseVarStatement() {
+    std::string Kw(advance().Text); // var / let / const.
+    Builder.begin(Kw == "const" ? "Const" : (Kw == "let" ? "Let" : "Var"));
+    do {
+      Builder.begin("VarDef");
+      Token Name = expectIdentifier("variable name");
+      Symbol NameSym = intern(Name.Text);
+      ElementId Id = declareVar(NameSym, ElementKind::LocalVar);
+      Builder.terminal(intern("SymbolVar"), NameSym, Id);
+      if (accept("="))
+        parseAssignment();
+      Builder.end();
+    } while (accept(","));
+    Builder.end();
+  }
+
+  void parseIf() {
+    expect("if");
+    Builder.begin("If");
+    expect("(");
+    parseExpression();
+    expect(")");
+    parseBody();
+    if (accept("else"))
+      parseBody();
+    Builder.end();
+  }
+
+  void parseWhile() {
+    expect("while");
+    Builder.begin("While");
+    expect("(");
+    parseExpression();
+    expect(")");
+    parseBody();
+    Builder.end();
+  }
+
+  void parseDoWhile() {
+    expect("do");
+    Builder.begin("Do");
+    parseBody();
+    expect("while");
+    expect("(");
+    parseExpression();
+    expect(")");
+    accept(";");
+    Builder.end();
+  }
+
+  void parseFor() {
+    expect("for");
+    expect("(");
+    // Distinguish for-in/of from the classic three-clause form.
+    size_t Save = Cursor;
+    bool IsForIn = false;
+    {
+      // Lookahead: [var|let|const] ident (in|of).
+      if (at("var") || at("let") || at("const"))
+        advance();
+      if (atKind(TokenKind::Identifier)) {
+        advance();
+        if (at("in") || at("of"))
+          IsForIn = true;
+      }
+      Cursor = Save;
+    }
+    if (IsForIn) {
+      Builder.begin(peek(1).is("of") || peek(2).is("of") ? "ForOf" : "ForIn");
+      Scopes.push();
+      bool Declared = at("var") || at("let") || at("const");
+      if (Declared)
+        advance();
+      Token Name = expectIdentifier("loop variable");
+      Symbol NameSym = intern(Name.Text);
+      if (Declared) {
+        ElementId Id = declareVar(NameSym, ElementKind::LocalVar);
+        Builder.terminal(intern("SymbolVar"), NameSym, Id);
+      } else {
+        ElementId Id = resolveUse(NameSym, /*CalleePosition=*/false);
+        Builder.terminal(intern("SymbolRef"), NameSym, Id);
+      }
+      advance(); // in / of.
+      parseExpression();
+      expect(")");
+      parseBody();
+      Scopes.pop();
+      Builder.end();
+      return;
+    }
+    Builder.begin("For");
+    Scopes.push();
+    if (!accept(";")) {
+      if (at("var") || at("let") || at("const"))
+        parseVarStatement();
+      else
+        parseExpression();
+      expect(";");
+    }
+    if (!accept(";")) {
+      parseExpression();
+      expect(";");
+    }
+    if (!at(")"))
+      parseExpression();
+    expect(")");
+    parseBody();
+    Scopes.pop();
+    Builder.end();
+  }
+
+  void parseTry() {
+    expect("try");
+    Builder.begin("Try");
+    parseBlock();
+    if (accept("catch")) {
+      Builder.begin("Catch");
+      Scopes.push();
+      if (accept("(")) {
+        Token Name = expectIdentifier("catch parameter");
+        Symbol NameSym = intern(Name.Text);
+        ElementId Id = declareVar(NameSym, ElementKind::Parameter);
+        Builder.terminal(intern("SymbolCatch"), NameSym, Id);
+        expect(")");
+      }
+      parseBlock();
+      Scopes.pop();
+      Builder.end();
+    }
+    if (accept("finally")) {
+      Builder.begin("Finally");
+      parseBlock();
+      Builder.end();
+    }
+    Builder.end();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  void parseExpression() {
+    parseAssignment();
+    while (accept(",")) {
+      // Comma expression: flatten as Seq.
+      parseAssignment();
+    }
+  }
+
+  static bool isAssignOp(std::string_view Op) {
+    return Op == "=" || Op == "+=" || Op == "-=" || Op == "*=" ||
+           Op == "/=" || Op == "%=" || Op == "&=" || Op == "|=" || Op == "^=";
+  }
+
+  void parseAssignment() {
+    // Parse the LHS first into a pending subtree: we cannot know whether an
+    // Assign node wraps it until we see the operator, so parse-then-wrap is
+    // not possible with a streaming builder. Instead, detect assignments
+    // with lookahead on simple LHS shapes (identifier / member chains),
+    // which covers MiniJS (and the corpora the generator produces).
+    if (isAssignmentAhead()) {
+      // Scan the operator to name the node (Assign=, Assign+=, ...).
+      std::string Op = findAssignOp();
+      Builder.begin(std::string("Assign") + Op);
+      parseCallChain(/*StopAtAssign=*/true);
+      expect(Op);
+      parseAssignment();
+      Builder.end();
+      return;
+    }
+    parseConditional();
+  }
+
+  /// Lookahead: does an assignment operator terminate the upcoming
+  /// primary/member chain at the current bracket depth?
+  bool isAssignmentAhead() const {
+    size_t I = Cursor;
+    int Depth = 0;
+    // A simple LHS: identifier/this followed by .prop, [expr], or nothing.
+    if (!(peek().is(TokenKind::Identifier) || peek().is("this")))
+      return false;
+    ++I;
+    auto Tok = [&](size_t J) -> const Token & {
+      return J < Tokens.size() ? Tokens[J] : Tokens.back();
+    };
+    while (I < Tokens.size()) {
+      const Token &T = Tok(I);
+      if (Depth == 0 && T.is(TokenKind::Punct) && isAssignOp(T.Text) &&
+          !Tok(I + 1).is("=")) // Exclude '==' family (not produced anyway).
+        return true;
+      if (T.is(".")) {
+        I += 2; // Skip '.' and the property name.
+        continue;
+      }
+      if (T.is("[")) {
+        ++Depth;
+        ++I;
+        continue;
+      }
+      if (T.is("]")) {
+        if (Depth == 0)
+          return false;
+        --Depth;
+        ++I;
+        continue;
+      }
+      if (Depth > 0) {
+        ++I;
+        continue;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  std::string findAssignOp() const {
+    size_t I = Cursor;
+    int Depth = 0;
+    while (I < Tokens.size()) {
+      const Token &T = Tokens[I];
+      if (Depth == 0 && T.is(TokenKind::Punct) && isAssignOp(T.Text))
+        return std::string(T.Text);
+      if (T.is("["))
+        ++Depth;
+      else if (T.is("]"))
+        --Depth;
+      ++I;
+    }
+    return "=";
+  }
+
+  void parseConditional() {
+    // Parse condition; on '?', wrap into Conditional. Since the builder
+    // streams, parse the condition inside a tentative Conditional only when
+    // '?' is ahead at depth 0 before any terminator.
+    if (isConditionalAhead()) {
+      Builder.begin("Conditional");
+      parseBinary(0, /*StopAtQuestion=*/true);
+      expect("?");
+      parseAssignment();
+      expect(":");
+      parseAssignment();
+      Builder.end();
+      return;
+    }
+    parseBinary(0, /*StopAtQuestion=*/false);
+  }
+
+  bool isConditionalAhead() const {
+    int Depth = 0;
+    for (size_t I = Cursor; I < Tokens.size(); ++I) {
+      const Token &T = Tokens[I];
+      if (T.is("(") || T.is("[") || T.is("{"))
+        ++Depth;
+      else if (T.is(")") || T.is("]") || T.is("}")) {
+        if (Depth == 0)
+          return false;
+        --Depth;
+      } else if (Depth == 0) {
+        if (T.is("?"))
+          return true;
+        if (T.is(";") || T.is(",") || T.is(":") || T.is(TokenKind::Eof) ||
+            (T.is(TokenKind::Punct) && isAssignOp(T.Text)))
+          return false;
+      }
+    }
+    return false;
+  }
+
+  /// Binary operator precedence levels, loosest first.
+  static int precedenceOf(std::string_view Op) {
+    if (Op == "||")
+      return 1;
+    if (Op == "&&")
+      return 2;
+    if (Op == "|")
+      return 3;
+    if (Op == "^")
+      return 4;
+    if (Op == "&")
+      return 5;
+    if (Op == "==" || Op == "!=" || Op == "===" || Op == "!==")
+      return 6;
+    if (Op == "<" || Op == ">" || Op == "<=" || Op == ">=" || Op == "in" ||
+        Op == "instanceof")
+      return 7;
+    if (Op == "<<" || Op == ">>" || Op == ">>>")
+      return 8;
+    if (Op == "+" || Op == "-")
+      return 9;
+    if (Op == "*" || Op == "/" || Op == "%")
+      return 10;
+    return 0;
+  }
+
+  /// Collects the operand token ranges of a left-associative binary chain
+  /// by precedence climbing over the token stream, then emits nested
+  /// Binary<op> nodes. To keep the streaming builder, we parse operands
+  /// recursively and wrap via begin-before-parse using lookahead for the
+  /// next operator at this precedence level.
+  void parseBinary(int MinPrec, bool StopAtQuestion) {
+    // Count how many operators of each precedence chain follow, so we can
+    // open the right number of Binary nodes (left-assoc => left-nested).
+    parseBinaryLevel(1, StopAtQuestion);
+    (void)MinPrec;
+  }
+
+  /// Parses one precedence level: operand (next level) followed by zero or
+  /// more (op operand) pairs. Left-associativity with a streaming preorder
+  /// builder requires knowing the chain length ahead of time; we count
+  /// same-level operators via lookahead.
+  void parseBinaryLevel(int Prec, bool StopAtQuestion) {
+    if (Prec > 10) {
+      parseUnary();
+      return;
+    }
+    // A streaming preorder builder must open wrapper nodes before their
+    // contents, so pre-scan the operator spellings of this level.
+    std::vector<std::string> Ops =
+        operatorSpellingsAtLevel(Prec, StopAtQuestion);
+    int Count = static_cast<int>(Ops.size());
+    // Left-nested: ((a op1 b) op2 c). Outermost node is the *last* op.
+    for (auto It = Ops.rbegin(); It != Ops.rend(); ++It)
+      Builder.begin(std::string("Binary") + *It);
+    parseBinaryLevel(Prec + 1, StopAtQuestion);
+    for (int I = 0; I < Count; ++I) {
+      std::string Op = std::string(advance().Text);
+      assert(Op == Ops[static_cast<size_t>(I)] && "operator drift");
+      parseBinaryLevel(Prec + 1, StopAtQuestion);
+      Builder.end();
+    }
+  }
+
+  /// Scans forward from the cursor, at bracket depth 0, collecting the
+  /// spellings of operators of exactly precedence \p Prec until an
+  /// expression terminator or a looser operator.
+  std::vector<std::string>
+  operatorSpellingsAtLevel(int Prec, bool StopAtQuestion) const {
+    std::vector<std::string> Ops;
+    int Depth = 0;
+    bool PrevWasOperand = false;
+    for (size_t I = Cursor; I < Tokens.size(); ++I) {
+      const Token &T = Tokens[I];
+      if (T.is("(") || T.is("[") || T.is("{")) {
+        ++Depth;
+        PrevWasOperand = false;
+        continue;
+      }
+      if (T.is(")") || T.is("]") || T.is("}")) {
+        if (Depth == 0)
+          break;
+        --Depth;
+        PrevWasOperand = true;
+        continue;
+      }
+      if (Depth > 0)
+        continue;
+      if (T.is(TokenKind::Eof) || T.is(";") || T.is(",") || T.is(":"))
+        break;
+      if (StopAtQuestion && T.is("?"))
+        break;
+      if (T.is(TokenKind::Punct) || T.is("in") || T.is("instanceof")) {
+        int P = precedenceOf(T.Text);
+        if (P > 0 && PrevWasOperand) {
+          if (P < Prec)
+            break; // Looser operator ends this level.
+          if (P == Prec)
+            Ops.push_back(std::string(T.Text));
+          PrevWasOperand = false;
+          continue;
+        }
+        if (T.is(TokenKind::Punct) && isAssignOp(T.Text))
+          break;
+      }
+      PrevWasOperand = !T.is("!") && !T.is("~") && !T.is("new") &&
+                       !T.is("typeof") && !T.is("delete");
+    }
+    return Ops;
+  }
+
+  void parseUnary() {
+    if (at("!") || at("~") || at("typeof") || at("delete") ||
+        (at("-") ) || (at("+")) || at("++") || at("--")) {
+      std::string Op(advance().Text);
+      Builder.begin(std::string("UnaryPrefix") + Op);
+      parseUnary();
+      Builder.end();
+      return;
+    }
+    parsePostfix();
+  }
+
+  void parsePostfix() {
+    // Member/call chain with optional postfix ++/--.
+    if (peekPostfixIncrement()) {
+      std::string Op = postfixOpSpelling();
+      Builder.begin(std::string("UnaryPostfix") + Op);
+      parseCallChain(/*StopAtAssign=*/false);
+      advance(); // The ++/--.
+      Builder.end();
+      return;
+    }
+    parseCallChain(/*StopAtAssign=*/false);
+  }
+
+  bool peekPostfixIncrement() const {
+    // Lookahead: a primary/member chain followed immediately by ++/--.
+    size_t I = Cursor;
+    int Depth = 0;
+    if (!(Tokens[I].is(TokenKind::Identifier) || Tokens[I].is("this")))
+      return false;
+    ++I;
+    while (I < Tokens.size()) {
+      const Token &T = Tokens[I];
+      if (Depth == 0 && (T.is("++") || T.is("--")))
+        return true;
+      if (T.is(".")) {
+        I += 2;
+        continue;
+      }
+      if (T.is("[")) {
+        ++Depth;
+        ++I;
+        continue;
+      }
+      if (T.is("]")) {
+        if (Depth == 0)
+          return false;
+        --Depth;
+        ++I;
+        continue;
+      }
+      if (Depth > 0) {
+        ++I;
+        continue;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  std::string postfixOpSpelling() const {
+    size_t I = Cursor;
+    int Depth = 0;
+    while (I < Tokens.size()) {
+      const Token &T = Tokens[I];
+      if (Depth == 0 && (T.is("++") || T.is("--")))
+        return std::string(T.Text);
+      if (T.is("["))
+        ++Depth;
+      else if (T.is("]"))
+        --Depth;
+      ++I;
+    }
+    return "++";
+  }
+
+  /// Parses primary expressions followed by .prop / [index] / (args)
+  /// chains. The streaming-builder problem (wrap-after-parse) is solved by
+  /// pre-scanning the chain links and opening the wrapper nodes outermost
+  /// first.
+  void parseCallChain(bool StopAtAssign) {
+    (void)StopAtAssign;
+    struct Link {
+      enum Kind { DotLink, SubLink, CallLink } K;
+    };
+    // Pre-scan chain links following the primary expression.
+    std::vector<Link::Kind> Links;
+    {
+      size_t I = Cursor;
+      int Depth = 0;
+      // Skip the primary: identifier/this/literal or parenthesised expr or
+      // array/object literal or function expr or new-expr.
+      if (I < Tokens.size()) {
+        const Token &T = Tokens[I];
+        if (T.is("(") || T.is("[") || T.is("{")) {
+          int D = 0;
+          do {
+            const Token &U = Tokens[I];
+            if (U.is("(") || U.is("[") || U.is("{"))
+              ++D;
+            else if (U.is(")") || U.is("]") || U.is("}"))
+              --D;
+            ++I;
+          } while (I < Tokens.size() && D > 0);
+        } else if (T.is("function")) {
+          // function [name] (args) { ... }  — skip to matching brace.
+          ++I;
+          if (I < Tokens.size() && Tokens[I].is(TokenKind::Identifier))
+            ++I;
+          int D = 0;
+          bool SeenBrace = false;
+          while (I < Tokens.size()) {
+            const Token &U = Tokens[I];
+            if (U.is("(") || U.is("[") || U.is("{")) {
+              ++D;
+              if (U.is("{"))
+                SeenBrace = true;
+            } else if (U.is(")") || U.is("]") || U.is("}")) {
+              --D;
+              if (SeenBrace && D == 0) {
+                ++I;
+                break;
+              }
+            }
+            ++I;
+          }
+        } else if (T.is("new")) {
+          // Links after a new-expression attach inside parseNew; treat the
+          // whole new-expr as opaque here (no outer links pre-scanned).
+          Links.clear();
+          I = Cursor;
+          parseNewOrPrimaryWithLinks();
+          return;
+        } else {
+          ++I;
+        }
+      }
+      while (I < Tokens.size()) {
+        const Token &T = Tokens[I];
+        if (Depth == 0 && T.is(".")) {
+          Links.push_back(Link::DotLink);
+          I += 2;
+          continue;
+        }
+        if (Depth == 0 && T.is("[")) {
+          Links.push_back(Link::SubLink);
+          ++Depth;
+          ++I;
+          continue;
+        }
+        if (Depth == 0 && T.is("(")) {
+          Links.push_back(Link::CallLink);
+          ++Depth;
+          ++I;
+          continue;
+        }
+        if (T.is("(") || T.is("[") || T.is("{")) {
+          ++Depth;
+          ++I;
+          continue;
+        }
+        if (T.is(")") || T.is("]") || T.is("}")) {
+          if (Depth == 0)
+            break;
+          --Depth;
+          ++I;
+          continue;
+        }
+        if (Depth > 0) {
+          ++I;
+          continue;
+        }
+        break;
+      }
+    }
+
+    // Open wrappers outermost-first: the last link is the outermost node.
+    for (auto It = Links.rbegin(); It != Links.rend(); ++It) {
+      switch (*It) {
+      case Link::DotLink:
+        Builder.begin("Dot");
+        break;
+      case Link::SubLink:
+        Builder.begin("Sub");
+        break;
+      case Link::CallLink:
+        Builder.begin("Call");
+        break;
+      }
+    }
+
+    bool CalleeNext = !Links.empty() && Links.front() == Link::CallLink;
+    parsePrimary(CalleeNext);
+
+    for (Link::Kind K : Links) {
+      switch (K) {
+      case Link::DotLink: {
+        expect(".");
+        Token Prop = expectIdentifierOrKeyword("property name");
+        Builder.terminal(intern("Property"), intern(Prop.Text));
+        break;
+      }
+      case Link::SubLink:
+        expect("[");
+        parseExpression();
+        expect("]");
+        break;
+      case Link::CallLink:
+        expect("(");
+        while (!at(")") && !atEnd()) {
+          parseAssignment();
+          if (!accept(","))
+            break;
+        }
+        expect(")");
+        break;
+      }
+      Builder.end();
+    }
+  }
+
+  Token expectIdentifierOrKeyword(const char *What) {
+    if (atKind(TokenKind::Identifier) || atKind(TokenKind::Keyword))
+      return advance();
+    return expectIdentifier(What);
+  }
+
+  void parseNewOrPrimaryWithLinks() {
+    expect("new");
+    Builder.begin("New");
+    // Callee: identifier or dotted name.
+    Token Name = expectIdentifier("constructor name");
+    ElementId Id = resolveUse(intern(Name.Text), /*CalleePosition=*/true);
+    // Dotted constructor names: a.B — emit Dot chains.
+    if (at(".")) {
+      // Pre-scan dotted links.
+      std::vector<Token> Props;
+      while (accept(".")) {
+        Props.push_back(expectIdentifierOrKeyword("property name"));
+      }
+      for (size_t I = 0; I < Props.size(); ++I)
+        Builder.begin("Dot");
+      Builder.terminal(intern("SymbolRef"), intern(Name.Text), Id);
+      for (Token &P : Props) {
+        Builder.terminal(intern("Property"), intern(P.Text));
+        Builder.end();
+      }
+    } else {
+      Builder.terminal(intern("SymbolRef"), intern(Name.Text), Id);
+    }
+    if (accept("(")) {
+      while (!at(")") && !atEnd()) {
+        parseAssignment();
+        if (!accept(","))
+          break;
+      }
+      expect(")");
+    }
+    Builder.end();
+  }
+
+  void parsePrimary(bool CalleePosition) {
+    const Token &T = peek();
+    if (T.is(TokenKind::Identifier)) {
+      advance();
+      Symbol NameSym = intern(T.Text);
+      ElementId Id = resolveUse(NameSym, CalleePosition);
+      Builder.terminal(intern("SymbolRef"), NameSym, Id);
+      return;
+    }
+    if (T.is("this")) {
+      advance();
+      Builder.begin("This");
+      Builder.end();
+      return;
+    }
+    if (T.is(TokenKind::IntLiteral) || T.is(TokenKind::FloatLiteral)) {
+      advance();
+      Builder.terminal(intern("Num"), intern(T.Text));
+      return;
+    }
+    if (T.is(TokenKind::StringLiteral)) {
+      advance();
+      Builder.terminal(intern("Str"), intern(T.stringValue()));
+      return;
+    }
+    if (T.is("true")) {
+      advance();
+      Builder.terminal(intern("True"), intern("true"));
+      return;
+    }
+    if (T.is("false")) {
+      advance();
+      Builder.terminal(intern("False"), intern("false"));
+      return;
+    }
+    if (T.is("null")) {
+      advance();
+      Builder.terminal(intern("Null"), intern("null"));
+      return;
+    }
+    if (T.is("undefined")) {
+      advance();
+      Builder.terminal(intern("Undefined"), intern("undefined"));
+      return;
+    }
+    if (T.is("(")) {
+      advance();
+      parseExpression();
+      expect(")");
+      return;
+    }
+    if (T.is("[")) {
+      advance();
+      Builder.begin("Array");
+      while (!at("]") && !atEnd()) {
+        parseAssignment();
+        if (!accept(","))
+          break;
+      }
+      expect("]");
+      Builder.end();
+      return;
+    }
+    if (T.is("{")) {
+      advance();
+      Builder.begin("Object");
+      while (!at("}") && !atEnd()) {
+        Builder.begin("ObjectKeyVal");
+        Token Key = peek();
+        if (Key.is(TokenKind::StringLiteral)) {
+          advance();
+          Builder.terminal(intern("ObjectKey"), intern(Key.stringValue()));
+        } else {
+          Token K = expectIdentifierOrKeyword("object key");
+          Builder.terminal(intern("ObjectKey"), intern(K.Text));
+        }
+        expect(":");
+        parseAssignment();
+        Builder.end();
+        if (!accept(","))
+          break;
+      }
+      expect("}");
+      Builder.end();
+      return;
+    }
+    if (T.is("function")) {
+      advance();
+      Builder.begin("Function");
+      Scopes.push();
+      if (atKind(TokenKind::Identifier)) {
+        Token Name = advance();
+        Symbol NameSym = intern(Name.Text);
+        ElementId Id = Builder.addElement(NameSym, ElementKind::Method,
+                                          /*Predictable=*/true);
+        Scopes.declare(NameSym, Id);
+        Builder.terminal(intern("SymbolLambda"), NameSym, Id);
+      }
+      parseParamsAndBody();
+      Scopes.pop();
+      Builder.end();
+      return;
+    }
+    if (T.is("new")) {
+      parseNewOrPrimaryWithLinks();
+      return;
+    }
+    error(std::string("unexpected token '") + std::string(T.Text) +
+          "' in expression");
+    advance();
+    Builder.terminal(intern("Error"), intern("<error>"));
+  }
+};
+
+} // namespace
+
+lang::ParseResult js::parse(std::string_view Source,
+                            StringInterner &Interner) {
+  Diagnostics Diags(Source);
+  Lexer Lex(Source, jsLexerConfig(), Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  JsParser Parser(Tokens, Diags, Interner);
+  lang::ParseResult Result;
+  Result.Tree = Parser.run();
+  Result.Diags = Diags.all();
+  return Result;
+}

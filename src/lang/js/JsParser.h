@@ -1,0 +1,38 @@
+//===- JsParser.h - MiniJS frontend ------------------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a rich JavaScript subset (MiniJS) into the generic AST, using
+/// UglifyJS-flavoured node kinds so the trees match the paper's figures:
+/// SymbolRef, SymbolVar, SymbolFunarg, VarDef, Assign=, UnaryPrefix!,
+/// Binary+, While, If, Call, Dot, Sub, ... (Figs. 1, 2, 4, 5).
+///
+/// Element linking: declared vars/params/functions resolve lexically;
+/// occurrences of one binding share an ElementId. Undeclared names become
+/// file-global elements — predictable locals unless they are only ever
+/// used as call targets (external API functions, which minifiers keep).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_JS_JSPARSER_H
+#define PIGEON_LANG_JS_JSPARSER_H
+
+#include "lang/common/Frontend.h"
+#include "support/StringInterner.h"
+
+#include <string_view>
+
+namespace pigeon {
+namespace js {
+
+/// Parses MiniJS \p Source. Node kind and value symbols are interned into
+/// \p Interner, which must outlive the returned tree.
+lang::ParseResult parse(std::string_view Source, StringInterner &Interner);
+
+} // namespace js
+} // namespace pigeon
+
+#endif // PIGEON_LANG_JS_JSPARSER_H

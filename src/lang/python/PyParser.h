@@ -1,0 +1,39 @@
+//===- PyParser.h - MiniPy frontend ------------------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a rich Python subset (MiniPy) into the generic AST with
+/// CPython-ast-flavoured node kinds: Module, FunctionDef, arguments/arg,
+/// Assign, AugAssign+, Name, Attribute, Call, Compare<, BinOp+, If, While,
+/// For, Try/ExceptHandler, Tuple, List, Dict, ... The lexer is
+/// indentation-sensitive (Newline/Indent/Dedent), mirroring CPython's
+/// tokenizer.
+///
+/// Element linking follows Python binding rules: assignment, loop targets
+/// and parameters bind names in the enclosing function scope; `self.attr`
+/// resolves to per-class field elements; unresolved names are known
+/// globals (imports/builtins), never prediction targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_LANG_PYTHON_PYPARSER_H
+#define PIGEON_LANG_PYTHON_PYPARSER_H
+
+#include "lang/common/Frontend.h"
+#include "support/StringInterner.h"
+
+#include <string_view>
+
+namespace pigeon {
+namespace py {
+
+/// Parses MiniPy \p Source into a generic AST.
+lang::ParseResult parse(std::string_view Source, StringInterner &Interner);
+
+} // namespace py
+} // namespace pigeon
+
+#endif // PIGEON_LANG_PYTHON_PYPARSER_H

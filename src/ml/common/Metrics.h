@@ -1,0 +1,95 @@
+//===- Metrics.h - Evaluation metrics ---------------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation metrics (§5.2): exact-match accuracy that is
+/// case-insensitive and ignores non-alphabetical characters (totalCount ==
+/// total_count), and sub-token precision/recall/F1 for the Java
+/// method-name comparison against Allamanis et al. Unknown test labels
+/// always count as incorrect; models never predict UNK.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_ML_COMMON_METRICS_H
+#define PIGEON_ML_COMMON_METRICS_H
+
+#include "support/SubToken.h"
+
+#include <cstddef>
+#include <string_view>
+
+namespace pigeon {
+namespace ml {
+
+/// Accumulates exact-match accuracy over predictions.
+class AccuracyMeter {
+public:
+  /// Records one prediction. Empty \p Predicted counts as wrong.
+  void add(std::string_view Predicted, std::string_view Actual) {
+    ++Total;
+    if (!Predicted.empty() && namesMatch(Predicted, Actual))
+      ++Correct;
+  }
+
+  /// Records an unconditionally wrong prediction (e.g. UNK test label).
+  void addWrong() { ++Total; }
+
+  size_t total() const { return Total; }
+  size_t correct() const { return Correct; }
+
+  /// Fraction correct in [0,1]; 0 if nothing was recorded.
+  double accuracy() const {
+    return Total == 0 ? 0.0
+                      : static_cast<double>(Correct) /
+                            static_cast<double>(Total);
+  }
+
+private:
+  size_t Total = 0;
+  size_t Correct = 0;
+};
+
+/// Accumulates micro-averaged sub-token precision/recall/F1.
+class SubTokenMeter {
+public:
+  void add(std::string_view Predicted, std::string_view Actual) {
+    auto P = splitSubTokens(Predicted);
+    auto A = splitSubTokens(Actual);
+    SubTokenScore S = scoreSubTokens(Predicted, Actual);
+    // Recover the hit count from precision (multiset intersection size).
+    size_t Hits = static_cast<size_t>(S.Precision *
+                                          static_cast<double>(P.size()) +
+                                      0.5);
+    PredictedTokens += P.size();
+    ActualTokens += A.size();
+    HitTokens += Hits;
+  }
+
+  double precision() const {
+    return PredictedTokens == 0 ? 0.0
+                                : static_cast<double>(HitTokens) /
+                                      static_cast<double>(PredictedTokens);
+  }
+  double recall() const {
+    return ActualTokens == 0 ? 0.0
+                             : static_cast<double>(HitTokens) /
+                                   static_cast<double>(ActualTokens);
+  }
+  double f1() const {
+    double P = precision(), R = recall();
+    return P + R == 0 ? 0.0 : 2 * P * R / (P + R);
+  }
+
+private:
+  size_t PredictedTokens = 0;
+  size_t ActualTokens = 0;
+  size_t HitTokens = 0;
+};
+
+} // namespace ml
+} // namespace pigeon
+
+#endif // PIGEON_ML_COMMON_METRICS_H

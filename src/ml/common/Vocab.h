@@ -1,0 +1,82 @@
+//===- Vocab.h - Label vocabularies ------------------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counts label occurrences over a training corpus and exposes the label
+/// set and frequency ranking. Both learners draw their label spaces and
+/// global fallback candidates from here. The vocabulary is closed: test
+/// labels outside it are unknowable ("UNK") and always scored wrong,
+/// matching the paper's treatment of out-of-vocabulary names (§5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_ML_COMMON_VOCAB_H
+#define PIGEON_ML_COMMON_VOCAB_H
+
+#include "support/StringInterner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pigeon {
+namespace ml {
+
+/// Frequency-counted closed label vocabulary.
+class LabelVocab {
+public:
+  /// Counts one training occurrence of \p Label.
+  void add(Symbol Label) { ++Counts[Label]; }
+
+  /// True if \p Label was seen in training.
+  bool contains(Symbol Label) const { return Counts.count(Label) != 0; }
+
+  /// Number of training occurrences of \p Label.
+  uint64_t count(Symbol Label) const {
+    auto It = Counts.find(Label);
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  size_t size() const { return Counts.size(); }
+
+  /// Labels ordered by descending frequency (ties by symbol index, for
+  /// determinism). \p Limit <= 0 returns all.
+  std::vector<Symbol> topLabels(int Limit = -1) const {
+    std::vector<std::pair<Symbol, uint64_t>> Entries(Counts.begin(),
+                                                     Counts.end());
+    std::sort(Entries.begin(), Entries.end(),
+              [](const auto &A, const auto &B) {
+                if (A.second != B.second)
+                  return A.second > B.second;
+                return A.first.index() < B.first.index();
+              });
+    std::vector<Symbol> Out;
+    size_t N = Limit < 0 ? Entries.size()
+                         : std::min(Entries.size(),
+                                    static_cast<size_t>(Limit));
+    Out.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      Out.push_back(Entries[I].first);
+    return Out;
+  }
+
+  /// Total number of counted occurrences.
+  uint64_t totalCount() const {
+    uint64_t Sum = 0;
+    for (const auto &[Label, N] : Counts)
+      Sum += N;
+    return Sum;
+  }
+
+private:
+  std::unordered_map<Symbol, uint64_t> Counts;
+};
+
+} // namespace ml
+} // namespace pigeon
+
+#endif // PIGEON_ML_COMMON_VOCAB_H

@@ -1,0 +1,655 @@
+//===- Crf.cpp - Conditional random field over program elements ------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/crf/Crf.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::crf;
+using namespace pigeon::paths;
+
+//===----------------------------------------------------------------------===//
+// Feature hashing
+//===----------------------------------------------------------------------===//
+
+uint64_t crf::pairKey(PathId Path, Symbol LabelA, Symbol LabelB) {
+  uint64_t H = hashCombine(0x5041u, Path); // "PA"
+  H = hashCombine(H, LabelA.index());
+  H = hashCombine(H, LabelB.index());
+  return hashFinalize(H);
+}
+
+uint64_t crf::unaryKey(PathId Path, Symbol Label) {
+  uint64_t H = hashCombine(0x554eu, Path); // "UN"
+  H = hashCombine(H, Label.index());
+  return hashFinalize(H);
+}
+
+uint64_t crf::contextKey(PathId Path, bool UnknownIsA, Symbol Other) {
+  uint64_t H = hashCombine(0x4358u, Path); // "CX"
+  H = hashCombine(H, UnknownIsA ? 1 : 2);
+  H = hashCombine(H, Other.index());
+  return hashFinalize(H);
+}
+
+uint64_t crf::biasKey(Symbol Label) {
+  return hashFinalize(hashCombine(0x4249u, Label.index())); // "BI"
+}
+
+//===----------------------------------------------------------------------===//
+// Graph construction
+//===----------------------------------------------------------------------===//
+
+std::vector<std::vector<uint32_t>> CrfGraph::adjacency() const {
+  std::vector<std::vector<uint32_t>> Adj(Nodes.size());
+  for (uint32_t F = 0; F < Factors.size(); ++F) {
+    Adj[Factors[F].A].push_back(F);
+    if (!Factors[F].Unary && Factors[F].B != Factors[F].A)
+      Adj[Factors[F].B].push_back(F);
+  }
+  return Adj;
+}
+
+namespace {
+
+/// Shared node-mapping logic for graph building.
+class GraphAssembler {
+public:
+  GraphAssembler(const Tree &T, CrfGraph &G) : T(T), G(G) {}
+
+  /// Node for a terminal: element node if it has one, else a known node
+  /// merged by value.
+  uint32_t terminalNode(NodeId Leaf, const ElementSelector &Selector) {
+    const Node &N = T.node(Leaf);
+    if (N.Element != InvalidElement)
+      return elementNode(N.Element, Selector);
+    return knownNode(N.Value);
+  }
+
+  uint32_t elementNode(ElementId E, const ElementSelector &Selector) {
+    auto It = ElementNodes.find(E);
+    if (It != ElementNodes.end())
+      return It->second;
+    const ElementInfo &Info = T.element(E);
+    uint32_t Id = static_cast<uint32_t>(G.Nodes.size());
+    bool Unknown = Selector(Info);
+    G.Nodes.push_back({Info.Name, /*Known=*/!Unknown, E});
+    if (Unknown)
+      G.Unknowns.push_back(Id);
+    ElementNodes.emplace(E, Id);
+    return Id;
+  }
+
+  uint32_t knownNode(Symbol Value) {
+    auto It = ValueNodes.find(Value);
+    if (It != ValueNodes.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(G.Nodes.size());
+    G.Nodes.push_back({Value, /*Known=*/true, InvalidElement});
+    ValueNodes.emplace(Value, Id);
+    return Id;
+  }
+
+private:
+  const Tree &T;
+  CrfGraph &G;
+  std::unordered_map<ElementId, uint32_t> ElementNodes;
+  std::unordered_map<Symbol, uint32_t> ValueNodes;
+};
+
+} // namespace
+
+CrfGraph crf::buildGraph(const Tree &Tree,
+                         const std::vector<PathContext> &Contexts,
+                         const ElementSelector &Selector) {
+  CrfGraph G;
+  GraphAssembler Asm(Tree, G);
+  for (const PathContext &Ctx : Contexts) {
+    uint32_t A = Asm.terminalNode(Ctx.Start, Selector);
+    uint32_t B;
+    if (Ctx.Semi) {
+      // Semi-path: the ancestor end is a known pseudo-node labelled by
+      // its kind.
+      B = Asm.knownNode(Tree.node(Ctx.End).Kind);
+    } else {
+      B = Asm.terminalNode(Ctx.End, Selector);
+    }
+    bool AKnown = G.Nodes[A].Known;
+    bool BKnown = G.Nodes[B].Known;
+    if (AKnown && BKnown)
+      continue; // Constant factor: no influence on any prediction.
+    if (A == B) {
+      // Two occurrences of the same element: the paper's unary factor.
+      G.Factors.push_back({A, A, Ctx.Path, /*Unary=*/true});
+      continue;
+    }
+    G.Factors.push_back({A, B, Ctx.Path, /*Unary=*/false});
+  }
+  return G;
+}
+
+CrfGraph crf::buildTypeGraph(const Tree &Tree, NodeId Target,
+                             const std::vector<PathContext> &Contexts) {
+  CrfGraph G;
+  GraphAssembler Asm(Tree, G);
+  Symbol Type = Tree.typeOf(Target);
+  assert(Type.isValid() && "type target must be annotated");
+  // The single unknown node: the expression whose type we predict.
+  uint32_t TargetNode = static_cast<uint32_t>(G.Nodes.size());
+  G.Nodes.push_back({Type, /*Known=*/false, InvalidElement});
+  G.Unknowns.push_back(TargetNode);
+  auto NeverUnknown = [](const ElementInfo &) { return false; };
+  for (const PathContext &Ctx : Contexts) {
+    if (Ctx.End != Target)
+      continue;
+    uint32_t A = Asm.terminalNode(Ctx.Start, NeverUnknown);
+    G.Factors.push_back({A, TargetNode, Ctx.Path, /*Unary=*/false});
+  }
+  return G;
+}
+
+void crf::addTriFactors(CrfGraph &Graph, const Tree &Tree,
+                        const std::vector<paths::TriContext> &Contexts,
+                        const ElementSelector &Selector,
+                        StringInterner &Interner) {
+  // Reuse the graph's existing node set: rebuild the terminal→node maps.
+  std::unordered_map<ElementId, uint32_t> ElementNodes;
+  std::unordered_map<Symbol, uint32_t> ValueNodes;
+  for (uint32_t N = 0; N < Graph.Nodes.size(); ++N) {
+    const GraphNode &Node = Graph.Nodes[N];
+    if (Node.Element != InvalidElement)
+      ElementNodes.emplace(Node.Element, N);
+    else
+      ValueNodes.emplace(Node.Gold, N);
+  }
+  auto KnownNode = [&](Symbol Value) {
+    auto It = ValueNodes.find(Value);
+    if (It != ValueNodes.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Graph.Nodes.size());
+    Graph.Nodes.push_back({Value, /*Known=*/true, InvalidElement});
+    ValueNodes.emplace(Value, Id);
+    return Id;
+  };
+  auto UnknownOf = [&](NodeId Leaf) -> uint32_t {
+    const Node &N = Tree.node(Leaf);
+    if (N.Element == InvalidElement || !Selector(Tree.element(N.Element)))
+      return UINT32_MAX;
+    auto It = ElementNodes.find(N.Element);
+    return It == ElementNodes.end() ? UINT32_MAX : It->second;
+  };
+
+  for (const paths::TriContext &Ctx : Contexts) {
+    NodeId Ends[3] = {Ctx.A, Ctx.B, Ctx.C};
+    uint32_t Unknown = UINT32_MAX;
+    int UnknownCount = 0;
+    for (NodeId End : Ends) {
+      uint32_t U = UnknownOf(End);
+      if (U != UINT32_MAX) {
+        Unknown = U;
+        ++UnknownCount;
+      }
+    }
+    if (UnknownCount != 1)
+      continue;
+    // Composite label of the two known ends, in source order.
+    std::string Composite;
+    for (NodeId End : Ends) {
+      if (UnknownOf(End) != UINT32_MAX)
+        continue;
+      if (!Composite.empty())
+        Composite += '+';
+      Composite += Tree.interner().str(Tree.node(End).Value);
+    }
+    uint32_t Known = KnownNode(Interner.intern(Composite));
+    // Order: unknown on the A side if it is the triple's first end.
+    bool UnknownFirst = UnknownOf(Ctx.A) != UINT32_MAX;
+    if (UnknownFirst)
+      Graph.Factors.push_back({Unknown, Known, Ctx.Path, /*Unary=*/false});
+    else
+      Graph.Factors.push_back({Known, Unknown, Ctx.Path, /*Unary=*/false});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Model
+//===----------------------------------------------------------------------===//
+
+void CrfModel::bump(uint64_t Key, double Delta) {
+  Weights[Key] += Delta;
+  Totals[Key] += static_cast<double>(Time) * Delta;
+}
+
+std::vector<std::pair<Symbol, double>>
+CrfModel::candidatesFor(const CrfGraph &Graph, uint32_t Node,
+                        const std::vector<uint32_t> &Incident) const {
+  // Each context votes with its empirical label distribution P(label |
+  // context): informative contexts concentrate their vote, noisy
+  // (e.g. long-distance) contexts spread it thinly. The resulting list is
+  // vote-ordered, so the first candidate is a good empirical argmax and a
+  // good inference initialisation.
+  std::unordered_map<Symbol, double> Counts;
+  for (uint32_t F : Incident) {
+    const Factor &Fac = Graph.Factors[F];
+    if (pathPruned(Fac.Path))
+      continue;
+    uint64_t Ctx;
+    if (Fac.Unary) {
+      // Unary factors (paths between occurrences of one element) carry
+      // exactly the long-range signal single-statement models lack; they
+      // vote for candidates through their own context table.
+      Ctx = unaryKey(Fac.Path, Symbol());
+    } else {
+      uint32_t Other = Fac.A == Node ? Fac.B : Fac.A;
+      if (!Graph.Nodes[Other].Known)
+        continue;
+      Ctx = contextKey(Fac.Path, Fac.A == Node, Graph.Nodes[Other].Gold);
+    }
+    auto It = Candidates.find(Ctx);
+    if (It == Candidates.end())
+      continue;
+    double Total = Config.VoteSmoothing;
+    for (const auto &[Label, Count] : It->second)
+      Total += static_cast<double>(Count);
+    for (const auto &[Label, Count] : It->second)
+      Counts[Label] += static_cast<double>(Count) / Total;
+  }
+  std::vector<std::pair<Symbol, double>> Sorted(Counts.begin(),
+                                                Counts.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first.index() < B.first.index();
+  });
+  for (Symbol S : GlobalTop)
+    if (!Counts.count(S))
+      Sorted.emplace_back(S, 0.0);
+  return Sorted;
+}
+
+double CrfModel::scoreLabel(const CrfGraph &Graph, uint32_t Node,
+                            Symbol Label,
+                            const std::vector<Symbol> &Assignment,
+                            const std::vector<uint32_t> &Incident) const {
+  double Score = weight(biasKey(Label));
+  for (uint32_t F : Incident) {
+    const Factor &Fac = Graph.Factors[F];
+    if (pathPruned(Fac.Path))
+      continue;
+    if (Fac.Unary) {
+      if (Config.UnaryFactors)
+        Score += weight(unaryKey(Fac.Path, Label));
+      continue;
+    }
+    uint32_t Other = Fac.A == Node ? Fac.B : Fac.A;
+    if (!Config.UnknownUnknownFactors && !Graph.Nodes[Other].Known)
+      continue;
+    if (Fac.A == Node)
+      Score += weight(pairKey(Fac.Path, Label, Assignment[Fac.B]));
+    else
+      Score += weight(pairKey(Fac.Path, Assignment[Fac.A], Label));
+  }
+  return Score;
+}
+
+std::vector<Symbol>
+CrfModel::infer(const CrfGraph &Graph,
+                const std::vector<std::vector<uint32_t>> &Adj) const {
+  std::vector<Symbol> Assignment(Graph.Nodes.size());
+  for (uint32_t N = 0; N < Graph.Nodes.size(); ++N)
+    Assignment[N] = Graph.Nodes[N].Gold;
+  // Initialise unknowns with their strongest candidate (vote-ordered, so
+  // this is the empirical argmax given contexts).
+  std::vector<std::vector<std::pair<Symbol, double>>> Cands(
+      Graph.Unknowns.size());
+  for (size_t I = 0; I < Graph.Unknowns.size(); ++I) {
+    uint32_t N = Graph.Unknowns[I];
+    Cands[I] = candidatesFor(Graph, N, Adj[N]);
+    Assignment[N] = Cands[I].empty() ? Symbol() : Cands[I].front().first;
+  }
+  // Iterated conditional ascent over score = vote prior + factor weights.
+  for (int Pass = 0; Pass < Config.InferencePasses; ++Pass) {
+    bool Changed = false;
+    for (size_t I = 0; I < Graph.Unknowns.size(); ++I) {
+      uint32_t N = Graph.Unknowns[I];
+      if (Cands[I].empty())
+        continue;
+      Symbol Best;
+      double BestScore = 0;
+      bool First = true;
+      for (const auto &[C, Vote] : Cands[I]) {
+        double S = Config.VotePrior * Vote +
+                   scoreLabel(Graph, N, C, Assignment, Adj[N]);
+        if (First || S > BestScore) {
+          BestScore = S;
+          Best = C;
+          First = false;
+        }
+      }
+      if (Best != Assignment[N]) {
+        Assignment[N] = Best;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return Assignment;
+}
+
+void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
+  // Pass 1: candidate tables and global label frequencies.
+  std::unordered_map<uint64_t, std::unordered_map<Symbol, uint32_t>>
+      RawCandidates;
+  std::unordered_map<Symbol, uint64_t> LabelCounts;
+  std::unordered_map<uint64_t, uint64_t> CtxToPath;
+  for (const CrfGraph &G : Graphs) {
+    for (uint32_t N : G.Unknowns)
+      ++LabelCounts[G.Nodes[N].Gold];
+    for (const Factor &F : G.Factors) {
+      if (F.Unary) {
+        if (!G.Nodes[F.A].Known) {
+          uint64_t Ctx = unaryKey(F.Path, Symbol());
+          ++RawCandidates[Ctx][G.Nodes[F.A].Gold];
+          CtxToPath[Ctx] = F.Path;
+        }
+        continue;
+      }
+      bool AKnown = G.Nodes[F.A].Known;
+      bool BKnown = G.Nodes[F.B].Known;
+      if (AKnown == BKnown)
+        continue; // Candidate proposal needs exactly one known side.
+      uint32_t Unknown = AKnown ? F.B : F.A;
+      uint32_t Known = AKnown ? F.A : F.B;
+      uint64_t Ctx =
+          contextKey(F.Path, Unknown == F.A, G.Nodes[Known].Gold);
+      ++RawCandidates[Ctx][G.Nodes[Unknown].Gold];
+      CtxToPath[Ctx] = F.Path;
+    }
+  }
+  // Path purity: how concentrated the label distributions of a path's
+  // contexts are. Near-uniform paths carry no naming signal (they are
+  // typically long-distance cross-unit paths) and are pruned.
+  PrunedPaths.clear();
+  if (Config.MinPathLift > 0) {
+    // The label marginal's own concentration is the baseline: a path is
+    // informative only if its contexts concentrate labels beyond it.
+    uint64_t MarginalMax = 0, MarginalTotal = 0;
+    for (const auto &[Label, Count] : LabelCounts) {
+      MarginalMax = std::max(MarginalMax, Count);
+      MarginalTotal += Count;
+    }
+    double MarginalShare =
+        MarginalTotal == 0 ? 1.0
+                           : static_cast<double>(MarginalMax) /
+                                 static_cast<double>(MarginalTotal);
+    std::unordered_map<uint64_t, std::pair<double, double>> PathStats;
+    for (const auto &[Ctx, Map] : RawCandidates) {
+      uint32_t Max = 0, Total = 0;
+      for (const auto &[Label, Count] : Map) {
+        Max = std::max(Max, Count);
+        Total += Count;
+      }
+      auto &[SumMax, SumTotal] = PathStats[CtxToPath.at(Ctx)];
+      SumMax += Max;
+      SumTotal += Total;
+    }
+    for (const auto &[Path, Stats] : PathStats) {
+      if (Stats.second <= 0)
+        continue;
+      double Lift = (Stats.first / Stats.second) / MarginalShare;
+      if (Lift < Config.MinPathLift)
+        PrunedPaths.insert(Path);
+    }
+  }
+  Candidates.clear();
+  for (auto &[Ctx, Map] : RawCandidates) {
+    std::vector<std::pair<Symbol, uint32_t>> Sorted(Map.begin(), Map.end());
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const auto &A, const auto &B) {
+                if (A.second != B.second)
+                  return A.second > B.second;
+                return A.first.index() < B.first.index();
+              });
+    if (Sorted.size() > static_cast<size_t>(Config.CandidatesPerContext))
+      Sorted.resize(static_cast<size_t>(Config.CandidatesPerContext));
+    Candidates.emplace(Ctx, std::move(Sorted));
+  }
+  {
+    std::vector<std::pair<Symbol, uint64_t>> Sorted(LabelCounts.begin(),
+                                                    LabelCounts.end());
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const auto &A, const auto &B) {
+                if (A.second != B.second)
+                  return A.second > B.second;
+                return A.first.index() < B.first.index();
+              });
+    GlobalTop.clear();
+    for (size_t I = 0;
+         I < Sorted.size() &&
+         I < static_cast<size_t>(Config.GlobalCandidates);
+         ++I)
+      GlobalTop.push_back(Sorted[I].first);
+  }
+
+  // Pass 2: averaged structured perceptron.
+  Weights.clear();
+  Totals.clear();
+  Time = 1;
+  std::vector<std::vector<std::vector<uint32_t>>> Adjacencies;
+  Adjacencies.reserve(Graphs.size());
+  for (const CrfGraph &G : Graphs)
+    Adjacencies.push_back(G.adjacency());
+
+  for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    for (size_t GI = 0; GI < Graphs.size(); ++GI) {
+      const CrfGraph &G = Graphs[GI];
+      if (G.Unknowns.empty())
+        continue;
+      std::vector<Symbol> Pred = infer(G, Adjacencies[GI]);
+      // Gold assignment is just the Gold labels.
+      bool AnyMistake = false;
+      for (uint32_t N : G.Unknowns)
+        AnyMistake |= (Pred[N] != G.Nodes[N].Gold);
+      if (AnyMistake) {
+        for (uint32_t N : G.Unknowns) {
+          if (Pred[N] == G.Nodes[N].Gold)
+            continue;
+          bump(biasKey(G.Nodes[N].Gold), Config.LearningRate);
+          bump(biasKey(Pred[N]), -Config.LearningRate);
+        }
+        for (const Factor &F : G.Factors) {
+          if (pathPruned(F.Path))
+            continue;
+          if (F.Unary) {
+            if (!Config.UnaryFactors)
+              continue;
+            Symbol GoldL = G.Nodes[F.A].Gold;
+            Symbol PredL = Pred[F.A];
+            if (GoldL != PredL) {
+              bump(unaryKey(F.Path, GoldL), Config.LearningRate);
+              bump(unaryKey(F.Path, PredL), -Config.LearningRate);
+            }
+            continue;
+          }
+          if (!Config.UnknownUnknownFactors && !G.Nodes[F.A].Known &&
+              !G.Nodes[F.B].Known)
+            continue;
+          Symbol GoldA = G.Nodes[F.A].Gold, GoldB = G.Nodes[F.B].Gold;
+          Symbol PredA = Pred[F.A], PredB = Pred[F.B];
+          if (GoldA == PredA && GoldB == PredB)
+            continue;
+          bump(pairKey(F.Path, GoldA, GoldB), Config.LearningRate);
+          bump(pairKey(F.Path, PredA, PredB), -Config.LearningRate);
+        }
+      }
+      ++Time;
+    }
+    if (Config.L2Shrink > 0) {
+      // Multiplicative shrinkage keeps noisy high-degree features from
+      // accumulating; consistently-pushed informative weights survive.
+      double Keep = 1.0 - Config.L2Shrink;
+      for (auto &[Key, W] : Weights)
+        W *= Keep;
+      for (auto &[Key, U] : Totals)
+        U *= Keep;
+    }
+  }
+  // Finalize averaging: w_avg = w - totals / T.
+  for (auto &[Key, W] : Weights) {
+    auto It = Totals.find(Key);
+    if (It != Totals.end())
+      W -= It->second / static_cast<double>(Time);
+  }
+  Totals.clear();
+}
+
+std::vector<Symbol> CrfModel::predict(const CrfGraph &Graph) const {
+  return infer(Graph, Graph.adjacency());
+}
+
+std::vector<std::pair<Symbol, double>>
+CrfModel::topK(const CrfGraph &Graph, uint32_t Node,
+               const std::vector<Symbol> &Assignment, int K) const {
+  auto Adj = Graph.adjacency();
+  auto Cands = candidatesFor(Graph, Node, Adj[Node]);
+  std::vector<std::pair<Symbol, double>> Scored;
+  Scored.reserve(Cands.size());
+  for (const auto &[C, Vote] : Cands)
+    Scored.emplace_back(
+        C, Config.VotePrior * Vote +
+               scoreLabel(Graph, Node, C, Assignment, Adj[Node]));
+  std::sort(Scored.begin(), Scored.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first.index() < B.first.index();
+  });
+  if (Scored.size() > static_cast<size_t>(K))
+    Scored.resize(static_cast<size_t>(K));
+  return Scored;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t CrfMagic = 0x43524631;   // "CRF1"
+constexpr uint32_t CrfVersion = 1;
+
+template <typename T> void writePod(std::ostream &OS, const T &Value) {
+  OS.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+}
+
+template <typename T> bool readPod(std::istream &IS, T &Value) {
+  IS.read(reinterpret_cast<char *>(&Value), sizeof(Value));
+  return static_cast<bool>(IS);
+}
+
+} // namespace
+
+void CrfModel::save(std::ostream &OS) const {
+  writePod(OS, CrfMagic);
+  writePod(OS, CrfVersion);
+
+  writePod(OS, static_cast<uint64_t>(Weights.size()));
+  for (const auto &[Key, W] : Weights) {
+    writePod(OS, Key);
+    writePod(OS, W);
+  }
+
+  writePod(OS, static_cast<uint64_t>(Candidates.size()));
+  for (const auto &[Ctx, Labels] : Candidates) {
+    writePod(OS, Ctx);
+    writePod(OS, static_cast<uint32_t>(Labels.size()));
+    for (const auto &[Label, Count] : Labels) {
+      writePod(OS, Label.index());
+      writePod(OS, Count);
+    }
+  }
+
+  writePod(OS, static_cast<uint64_t>(PrunedPaths.size()));
+  for (uint64_t Path : PrunedPaths)
+    writePod(OS, Path);
+
+  writePod(OS, static_cast<uint32_t>(GlobalTop.size()));
+  for (Symbol S : GlobalTop)
+    writePod(OS, S.index());
+}
+
+bool CrfModel::load(std::istream &IS) {
+  Weights.clear();
+  Totals.clear();
+  Candidates.clear();
+  PrunedPaths.clear();
+  GlobalTop.clear();
+  Time = 1;
+
+  uint32_t Magic = 0, Version = 0;
+  if (!readPod(IS, Magic) || Magic != CrfMagic)
+    return false;
+  if (!readPod(IS, Version) || Version != CrfVersion)
+    return false;
+
+  uint64_t NumWeights = 0;
+  if (!readPod(IS, NumWeights))
+    return false;
+  for (uint64_t I = 0; I < NumWeights; ++I) {
+    uint64_t Key;
+    double W;
+    if (!readPod(IS, Key) || !readPod(IS, W))
+      return false;
+    Weights.emplace(Key, W);
+  }
+
+  uint64_t NumContexts = 0;
+  if (!readPod(IS, NumContexts))
+    return false;
+  for (uint64_t I = 0; I < NumContexts; ++I) {
+    uint64_t Ctx;
+    uint32_t NumLabels;
+    if (!readPod(IS, Ctx) || !readPod(IS, NumLabels))
+      return false;
+    std::vector<std::pair<Symbol, uint32_t>> Labels;
+    Labels.reserve(NumLabels);
+    for (uint32_t L = 0; L < NumLabels; ++L) {
+      uint32_t Index, Count;
+      if (!readPod(IS, Index) || !readPod(IS, Count))
+        return false;
+      Labels.emplace_back(Symbol::fromIndex(Index), Count);
+    }
+    Candidates.emplace(Ctx, std::move(Labels));
+  }
+
+  uint64_t NumPruned = 0;
+  if (!readPod(IS, NumPruned))
+    return false;
+  for (uint64_t I = 0; I < NumPruned; ++I) {
+    uint64_t Path;
+    if (!readPod(IS, Path))
+      return false;
+    PrunedPaths.insert(Path);
+  }
+
+  uint32_t NumGlobal = 0;
+  if (!readPod(IS, NumGlobal))
+    return false;
+  for (uint32_t I = 0; I < NumGlobal; ++I) {
+    uint32_t Index;
+    if (!readPod(IS, Index))
+      return false;
+    GlobalTop.push_back(Symbol::fromIndex(Index));
+  }
+  return true;
+}

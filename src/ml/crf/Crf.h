@@ -1,0 +1,233 @@
+//===- Crf.h - Conditional random field over program elements ---*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conditional random field over program elements, used exactly as
+/// Raychev et al. [40] use Nice2Predict but with AST paths as factors
+/// (§3.1, §5.1). Differences from stock Nice2Predict are the paper's two
+/// extensions: unary factors (paths between occurrences of the same
+/// element, worth ~1.5% accuracy) and a top-k candidates API.
+///
+/// Nodes are program elements: *unknown* nodes carry the labels to
+/// predict (merged across all their occurrences), *known* nodes carry
+/// fixed labels (literals, API names, ancestor kinds of semi-paths).
+/// Pairwise factors are abstract path-contexts between two elements;
+/// unary factors are paths between two occurrences of one element.
+///
+/// Training is an averaged structured perceptron (a max-margin flavoured
+/// online learner); MAP inference is iterated conditional ascent over
+/// candidate labels, with candidates proposed from per-context tables
+/// learned during training — the same regime Nice2Predict uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_ML_CRF_CRF_H
+#define PIGEON_ML_CRF_CRF_H
+
+#include "ast/Ast.h"
+#include "paths/Paths.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pigeon {
+namespace crf {
+
+/// One CRF node: a program element (unknown, label to be predicted) or a
+/// fixed-context value (known).
+struct GraphNode {
+  /// Ground-truth label (element name / type / fixed context value).
+  Symbol Gold;
+  /// Known nodes keep their label during inference.
+  bool Known = true;
+  /// Originating program element, when the node stems from one.
+  ast::ElementId Element = ast::InvalidElement;
+};
+
+/// A factor connecting one or two nodes through an abstracted AST path.
+struct Factor {
+  uint32_t A = 0;
+  uint32_t B = 0;
+  paths::PathId Path = paths::InvalidPath;
+  /// Unary factors (A == B) connect two occurrences of the same element.
+  bool Unary = false;
+};
+
+/// The CRF for one program.
+struct CrfGraph {
+  std::vector<GraphNode> Nodes;
+  std::vector<Factor> Factors;
+  /// Indices of unknown nodes, in deterministic order.
+  std::vector<uint32_t> Unknowns;
+
+  /// Factor indices incident to each node.
+  std::vector<std::vector<uint32_t>> adjacency() const;
+};
+
+/// Selects which elements a task predicts (unknown nodes). Everything
+/// else becomes known context.
+using ElementSelector = std::function<bool(const ast::ElementInfo &)>;
+
+/// Builds a CRF from a tree and its extracted path-contexts. Terminals of
+/// selected elements merge into one unknown node per element; other
+/// terminals merge into known nodes by value; semi-path ancestor ends
+/// merge into known nodes by kind.
+CrfGraph buildGraph(const ast::Tree &Tree,
+                    const std::vector<paths::PathContext> &Contexts,
+                    const ElementSelector &Selector);
+
+/// Builds a single-unknown CRF for the full-type task: \p Target is the
+/// expression node whose type (its tree annotation) is the label, and
+/// \p Contexts are leaf-to-target paths.
+CrfGraph buildTypeGraph(const ast::Tree &Tree, ast::NodeId Target,
+                        const std::vector<paths::PathContext> &Contexts);
+
+/// Appends factors for 3-wise path-contexts (§4's n-wise generalization)
+/// to \p Graph. A triple with exactly one unknown end becomes a factor
+/// between the unknown and a composite known node labelled by the two
+/// known end values joined with "+" (interned into \p Interner); other
+/// triples carry no usable signal for the pairwise CRF and are skipped.
+void addTriFactors(CrfGraph &Graph, const ast::Tree &Tree,
+                   const std::vector<paths::TriContext> &Contexts,
+                   const ElementSelector &Selector,
+                   StringInterner &Interner);
+
+/// Training/inference configuration.
+struct CrfConfig {
+  int Epochs = 4;
+  int InferencePasses = 3;
+  /// Candidate labels retained per (path, direction, neighbour) context.
+  int CandidatesPerContext = 12;
+  /// Global most-frequent-label fallback candidates.
+  int GlobalCandidates = 8;
+  double LearningRate = 1.0;
+  /// Include pairwise factors between two unknown nodes (joint
+  /// inference). Ablatable; unary factors are controlled separately.
+  bool UnknownUnknownFactors = true;
+  /// Include unary factors (the paper's §5.1 extension). Ablatable.
+  bool UnaryFactors = true;
+  /// Per-epoch multiplicative L2 shrinkage (0 disables). Regularizes the
+  /// perceptron so high-degree noisy features cannot accumulate.
+  double L2Shrink = 0.0;
+  /// Weight of the empirical candidate vote P(label | contexts) added to
+  /// the factor score. Acts as a generative prior that stabilizes
+  /// synonym choice; the perceptron weights learn the correction.
+  double VotePrior = 1.0;
+  /// Additive pseudo-count in the vote denominator: a context seen once
+  /// votes 1/(1+smoothing) rather than 1.0, so rare highly-specific paths
+  /// cannot cast confident arbitrary votes.
+  double VoteSmoothing = 3.0;
+  /// Minimum *lift* of a path: the average max-label share of its
+  /// training contexts divided by the marginal max-label share. Paths
+  /// whose contexts are no more concentrated than the label marginal
+  /// (typically long-distance cross-unit paths) carry no naming signal
+  /// and are pruned — the feature-selection analogue of the
+  /// regularization a batch-trained CRF applies. 0 disables.
+  double MinPathLift = 0.0;
+};
+
+/// The learned model.
+class CrfModel {
+public:
+  explicit CrfModel(CrfConfig Config = CrfConfig()) : Config(Config) {}
+
+  /// Trains on \p Graphs (gold labels in GraphNode::Gold).
+  void train(const std::vector<CrfGraph> &Graphs);
+
+  /// MAP assignment: one label per node (known nodes keep Gold; unknown
+  /// nodes that end with no candidates get an invalid symbol).
+  std::vector<Symbol> predict(const CrfGraph &Graph) const;
+
+  /// Top-\p K candidate labels with scores for unknown node \p Node,
+  /// holding the rest of \p Assignment fixed (the paper's top-k
+  /// suggestion API, §5.1).
+  std::vector<std::pair<Symbol, double>>
+  topK(const CrfGraph &Graph, uint32_t Node,
+       const std::vector<Symbol> &Assignment, int K) const;
+
+  /// Serializes the trained model (weights, candidate tables, pruning
+  /// set, global candidates) to \p OS in a versioned binary format.
+  /// Feature keys are hashes over PathIds and Symbol indices, so a saved
+  /// model is only meaningful together with the StringInterner and
+  /// PathTable it was trained against (persist those alongside).
+  void save(std::ostream &OS) const;
+
+  /// Restores a model previously written by save(). \returns false (and
+  /// leaves the model empty) on a malformed or version-mismatched stream.
+  bool load(std::istream &IS);
+
+  /// Number of nonzero feature weights (model size).
+  size_t numFeatures() const { return Weights.size(); }
+
+  /// Sum of training-time candidate-table entries (diagnostics).
+  size_t candidateTableSize() const { return Candidates.size(); }
+
+private:
+  CrfConfig Config;
+  std::unordered_map<uint64_t, double> Weights;
+  std::unordered_map<uint64_t, double> Totals; // For averaging.
+  uint64_t Time = 1;
+  std::unordered_map<uint64_t, std::vector<std::pair<Symbol, uint32_t>>>
+      Candidates;
+  std::vector<Symbol> GlobalTop;
+  /// Paths whose training contexts were too impure to be informative.
+  std::unordered_set<uint64_t> PrunedPaths;
+
+  bool pathPruned(paths::PathId Path) const {
+    return PrunedPaths.count(Path) != 0;
+  }
+
+  double weight(uint64_t Key) const {
+    auto It = Weights.find(Key);
+    return It == Weights.end() ? 0.0 : It->second;
+  }
+  void bump(uint64_t Key, double Delta);
+
+  /// Candidate labels for one unknown node with their empirical vote
+  /// masses, strongest first.
+  std::vector<std::pair<Symbol, double>>
+  candidatesFor(const CrfGraph &Graph, uint32_t Node,
+                const std::vector<uint32_t> &Incident) const;
+
+  /// Score of labelling \p Node with \p Label under \p Assignment.
+  double scoreLabel(const CrfGraph &Graph, uint32_t Node, Symbol Label,
+                    const std::vector<Symbol> &Assignment,
+                    const std::vector<uint32_t> &Incident) const;
+
+  std::vector<Symbol> infer(const CrfGraph &Graph,
+                            const std::vector<std::vector<uint32_t>> &Adj)
+      const;
+};
+
+//===----------------------------------------------------------------------===//
+// Feature hashing
+//===----------------------------------------------------------------------===//
+
+/// Feature key for a pairwise factor (order-sensitive: A precedes B in
+/// source order).
+uint64_t pairKey(paths::PathId Path, Symbol LabelA, Symbol LabelB);
+
+/// Feature key for a unary factor.
+uint64_t unaryKey(paths::PathId Path, Symbol Label);
+
+/// Candidate-table context key: the path, which side the unknown is on,
+/// and the neighbour's (known) label.
+uint64_t contextKey(paths::PathId Path, bool UnknownIsA, Symbol Other);
+
+/// Per-label bias feature key. The learned bias encodes each label's
+/// marginal frequency, breaking ties between role-synonyms toward the
+/// modal name.
+uint64_t biasKey(Symbol Label);
+
+} // namespace crf
+} // namespace pigeon
+
+#endif // PIGEON_ML_CRF_CRF_H

@@ -1,0 +1,203 @@
+//===- Sgns.cpp - Skip-gram with negative sampling ---------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/word2vec/Sgns.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pigeon;
+using namespace pigeon::w2v;
+
+double Sgns::dot(const float *A, const float *B) const {
+  double Sum = 0;
+  for (int I = 0; I < Config.Dim; ++I)
+    Sum += static_cast<double>(A[I]) * static_cast<double>(B[I]);
+  return Sum;
+}
+
+static double sigmoid(double X) {
+  if (X > 12)
+    return 1.0;
+  if (X < -12)
+    return 0.0;
+  return 1.0 / (1.0 + std::exp(-X));
+}
+
+void Sgns::train(const std::vector<Pair> &Pairs, uint32_t Words,
+                 uint32_t Contexts) {
+  NumWords = Words;
+  NumContexts = Contexts;
+  size_t Dim = static_cast<size_t>(Config.Dim);
+  WordVecs.assign(static_cast<size_t>(Words) * Dim, 0.0f);
+  CtxVecs.assign(static_cast<size_t>(Contexts) * Dim, 0.0f);
+  if (Pairs.empty() || Words == 0 || Contexts == 0)
+    return;
+
+  Rng Init = Rng::forStream(Config.Seed, "sgns-init");
+  // Standard word2vec init: words uniform in [-0.5/dim, 0.5/dim],
+  // contexts at zero.
+  for (float &V : WordVecs)
+    V = static_cast<float>((Init.nextDouble() - 0.5) /
+                           static_cast<double>(Dim));
+
+  // Noise distribution: unigram(word)^0.75 alias-free sampling via a
+  // cumulative table (vocabularies here are small).
+  std::vector<double> Cumulative(Words, 0.0);
+  {
+    std::vector<double> Freq(Words, 0.0);
+    for (const Pair &P : Pairs) {
+      assert(P.Word < Words && P.Context < Contexts && "id out of range");
+      Freq[P.Word] += 1.0;
+    }
+    double Total = 0;
+    for (uint32_t W = 0; W < Words; ++W) {
+      Freq[W] = std::pow(Freq[W], Config.NoiseExponent);
+      Total += Freq[W];
+    }
+    double Acc = 0;
+    for (uint32_t W = 0; W < Words; ++W) {
+      Acc += Freq[W] / Total;
+      Cumulative[W] = Acc;
+    }
+    Cumulative.back() = 1.0;
+  }
+  auto SampleNoise = [&](Rng &R) -> uint32_t {
+    double X = R.nextDouble();
+    auto It = std::lower_bound(Cumulative.begin(), Cumulative.end(), X);
+    return static_cast<uint32_t>(It - Cumulative.begin());
+  };
+
+  Rng Order = Rng::forStream(Config.Seed, "sgns-order");
+  Rng Noise = Rng::forStream(Config.Seed, "sgns-noise");
+  std::vector<uint32_t> Indices(Pairs.size());
+  for (size_t I = 0; I < Pairs.size(); ++I)
+    Indices[I] = static_cast<uint32_t>(I);
+
+  std::vector<double> Grad(Dim);
+  double Lr = Config.LearningRate;
+  const double LrMin = Config.LearningRate * 1e-3;
+  const double TotalSteps =
+      static_cast<double>(Pairs.size()) * Config.Epochs;
+  double Step = 0;
+
+  for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    Order.shuffle(Indices);
+    for (uint32_t Idx : Indices) {
+      const Pair &P = Pairs[Idx];
+      float *W = &WordVecs[static_cast<size_t>(P.Word) * Dim];
+      std::fill(Grad.begin(), Grad.end(), 0.0);
+      // One positive update (w, c), then NegativeSamples corrupted pairs
+      // (w', c) with w' drawn from the unigram^0.75 word noise
+      // distribution. Corrupting the word side makes the objective
+      // discriminate words given contexts — exactly the direction Eq. 4
+      // predicts in.
+      float *C = &CtxVecs[static_cast<size_t>(P.Context) * Dim];
+      // Positive update on (W, C).
+      {
+        double G = (1.0 - sigmoid(dot(W, C))) * Lr;
+        for (size_t I = 0; I < Dim; ++I) {
+          Grad[I] += G * C[I];
+          C[I] += static_cast<float>(G * W[I]);
+        }
+      }
+      // Negative updates: sampled words against this context.
+      for (int N = 0; N < Config.NegativeSamples; ++N) {
+        uint32_t NegWord = SampleNoise(Noise);
+        if (NegWord == P.Word)
+          continue;
+        float *NW = &WordVecs[static_cast<size_t>(NegWord) * Dim];
+        double G = -sigmoid(dot(NW, C)) * Lr;
+        for (size_t I = 0; I < Dim; ++I) {
+          double CDelta = G * NW[I];
+          NW[I] += static_cast<float>(G * C[I]);
+          C[I] += static_cast<float>(CDelta);
+        }
+      }
+      for (size_t I = 0; I < Dim; ++I)
+        W[I] += static_cast<float>(Grad[I]);
+      // Linear learning-rate decay.
+      Step += 1;
+      Lr = std::max(LrMin,
+                    Config.LearningRate * (1.0 - Step / TotalSteps));
+    }
+  }
+}
+
+uint32_t Sgns::predict(std::span<const uint32_t> Contexts) const {
+  auto Top = topK(Contexts, 1);
+  return Top.empty() ? UINT32_MAX : Top.front().first;
+}
+
+std::vector<std::pair<uint32_t, double>>
+Sgns::topK(std::span<const uint32_t> Contexts, int K) const {
+  std::vector<std::pair<uint32_t, double>> Scored;
+  if (NumWords == 0 || Contexts.empty())
+    return Scored;
+  size_t Dim = static_cast<size_t>(Config.Dim);
+  // Sum the context vectors once, then a single matrix-vector product.
+  std::vector<double> CtxSum(Dim, 0.0);
+  for (uint32_t C : Contexts) {
+    assert(C < NumContexts && "context id out of range");
+    const float *V = &CtxVecs[static_cast<size_t>(C) * Dim];
+    for (size_t I = 0; I < Dim; ++I)
+      CtxSum[I] += V[I];
+  }
+  Scored.reserve(NumWords);
+  for (uint32_t W = 0; W < NumWords; ++W) {
+    const float *V = &WordVecs[static_cast<size_t>(W) * Dim];
+    double S = 0;
+    for (size_t I = 0; I < Dim; ++I)
+      S += V[I] * CtxSum[I];
+    Scored.emplace_back(W, S);
+  }
+  std::sort(Scored.begin(), Scored.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+  if (Scored.size() > static_cast<size_t>(K))
+    Scored.resize(static_cast<size_t>(K));
+  return Scored;
+}
+
+std::vector<std::pair<uint32_t, double>> Sgns::similarWords(uint32_t Word,
+                                                            int K) const {
+  std::vector<std::pair<uint32_t, double>> Scored;
+  if (Word >= NumWords)
+    return Scored;
+  size_t Dim = static_cast<size_t>(Config.Dim);
+  const float *WV = &WordVecs[static_cast<size_t>(Word) * Dim];
+  double WNorm = std::sqrt(dot(WV, WV));
+  if (WNorm == 0)
+    return Scored;
+  for (uint32_t W = 0; W < NumWords; ++W) {
+    if (W == Word)
+      continue;
+    const float *V = &WordVecs[static_cast<size_t>(W) * Dim];
+    double Norm = std::sqrt(dot(V, V));
+    if (Norm == 0)
+      continue;
+    Scored.emplace_back(W, dot(WV, V) / (WNorm * Norm));
+  }
+  std::sort(Scored.begin(), Scored.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+  if (Scored.size() > static_cast<size_t>(K))
+    Scored.resize(static_cast<size_t>(K));
+  return Scored;
+}
+
+std::span<const float> Sgns::wordVector(uint32_t Word) const {
+  assert(Word < NumWords && "word id out of range");
+  size_t Dim = static_cast<size_t>(Config.Dim);
+  return {&WordVecs[static_cast<size_t>(Word) * Dim], Dim};
+}

@@ -1,0 +1,91 @@
+//===- Sgns.h - Skip-gram with negative sampling -----------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Skip-gram with negative sampling (SGNS), the word2vec variant of
+/// Mikolov et al. extended to arbitrary contexts per Levy & Goldberg [26]
+/// (§3.2). Words are the names to predict; contexts are abstract
+/// path-contexts (or, for the baselines, surrounding tokens).
+///
+/// Prediction follows the paper's Eq. 4: unlike lexical substitution, the
+/// unknown name is found purely from context —
+///     prediction = argmax_w Σ_{c∈C} (w · c).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_ML_WORD2VEC_SGNS_H
+#define PIGEON_ML_WORD2VEC_SGNS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pigeon {
+namespace w2v {
+
+/// Training hyper-parameters.
+struct SgnsConfig {
+  int Dim = 48;            ///< Embedding dimensionality.
+  int NegativeSamples = 5; ///< Negative samples per positive pair.
+  int Epochs = 5;
+  double LearningRate = 0.05;
+  /// Noise distribution exponent (unigram^0.75, Mikolov et al.).
+  double NoiseExponent = 0.75;
+  uint64_t Seed = 0x5eed;
+};
+
+/// One (word, context) training pair, as dense ids. Callers own the
+/// mapping from ids to names / path-contexts.
+struct Pair {
+  uint32_t Word;
+  uint32_t Context;
+};
+
+/// The SGNS model: word and context embedding matrices.
+class Sgns {
+public:
+  explicit Sgns(SgnsConfig Config = SgnsConfig()) : Config(Config) {}
+
+  /// Trains on \p Pairs with vocabularies of the given sizes. Pair ids
+  /// must be < the respective vocabulary size.
+  void train(const std::vector<Pair> &Pairs, uint32_t NumWords,
+             uint32_t NumContexts);
+
+  /// Eq. 4: the word maximizing the summed dot product with the given
+  /// context ids. \returns the word id, or UINT32_MAX if untrained or
+  /// \p Contexts is empty.
+  uint32_t predict(std::span<const uint32_t> Contexts) const;
+
+  /// Top-\p K words by Eq. 4 score.
+  std::vector<std::pair<uint32_t, double>>
+  topK(std::span<const uint32_t> Contexts, int K) const;
+
+  /// Top-\p K words most cosine-similar to \p Word (Table 4b's semantic
+  /// similarity neighbourhoods). Excludes \p Word itself.
+  std::vector<std::pair<uint32_t, double>> similarWords(uint32_t Word,
+                                                        int K) const;
+
+  uint32_t numWords() const { return NumWords; }
+  uint32_t numContexts() const { return NumContexts; }
+  int dim() const { return Config.Dim; }
+
+  /// Raw word vector (for tests).
+  std::span<const float> wordVector(uint32_t Word) const;
+
+private:
+  SgnsConfig Config;
+  uint32_t NumWords = 0;
+  uint32_t NumContexts = 0;
+  std::vector<float> WordVecs;
+  std::vector<float> CtxVecs;
+
+  double dot(const float *A, const float *B) const;
+};
+
+} // namespace w2v
+} // namespace pigeon
+
+#endif // PIGEON_ML_WORD2VEC_SGNS_H

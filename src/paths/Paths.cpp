@@ -1,0 +1,320 @@
+//===- Paths.cpp - AST path extraction --------------------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "paths/Paths.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::paths;
+
+const char *paths::abstractionName(Abstraction A) {
+  switch (A) {
+  case Abstraction::Full:
+    return "full";
+  case Abstraction::NoArrows:
+    return "no-arrows";
+  case Abstraction::ForgetOrder:
+    return "forget-order";
+  case Abstraction::FirstTopLast:
+    return "first-top-last";
+  case Abstraction::FirstLast:
+    return "first-last";
+  case Abstraction::Top:
+    return "top";
+  case Abstraction::NoPath:
+    return "no-path";
+  }
+  return "invalid";
+}
+
+PathShape paths::pathShape(const Tree &Tree, NodeId A, NodeId B) {
+  PathShape Shape;
+  NodeId Pivot = Tree.lca(A, B);
+  Shape.Pivot = Pivot;
+  const Node &NA = Tree.node(A);
+  const Node &NB = Tree.node(B);
+  const Node &NP = Tree.node(Pivot);
+  Shape.Length = static_cast<int>(NA.Depth - NP.Depth) +
+                 static_cast<int>(NB.Depth - NP.Depth);
+  // Width (Fig. 5): sibling-index gap of the pivot's two children through
+  // which the path passes. Chains (semi-paths) have width 0.
+  if (Pivot == A || Pivot == B)
+    return Shape;
+  NodeId ChildA = A;
+  while (Tree.node(ChildA).Parent != Pivot)
+    ChildA = Tree.node(ChildA).Parent;
+  NodeId ChildB = B;
+  while (Tree.node(ChildB).Parent != Pivot)
+    ChildB = Tree.node(ChildB).Parent;
+  int IdxA = static_cast<int>(Tree.node(ChildA).IndexInParent);
+  int IdxB = static_cast<int>(Tree.node(ChildB).IndexInParent);
+  Shape.Width = std::abs(IdxA - IdxB);
+  return Shape;
+}
+
+namespace {
+
+/// Collects the kind symbols along the path A → pivot → B.
+/// \p Ups receives A..pivot-exclusive (ascending), \p Pivot the pivot,
+/// \p Downs pivot-exclusive..B (descending order from pivot's child to B).
+void collectChains(const Tree &Tree, NodeId A, NodeId B, NodeId Pivot,
+                   std::vector<Symbol> &Ups, std::vector<Symbol> &Downs) {
+  for (NodeId N = A; N != Pivot; N = Tree.node(N).Parent)
+    Ups.push_back(Tree.node(N).Kind);
+  // Downward chain, collected from B up, then reversed.
+  size_t Mark = Downs.size();
+  for (NodeId N = B; N != Pivot; N = Tree.node(N).Parent)
+    Downs.push_back(Tree.node(N).Kind);
+  std::reverse(Downs.begin() + Mark, Downs.end());
+}
+
+} // namespace
+
+std::string paths::pathString(const Tree &Tree, NodeId A, NodeId B,
+                              Abstraction Abst) {
+  if (Abst == Abstraction::NoPath)
+    return "rel";
+
+  NodeId Pivot = Tree.lca(A, B);
+  std::vector<Symbol> Ups, Downs;
+  collectChains(Tree, A, B, Pivot, Ups, Downs);
+  Symbol PivotKind = Tree.node(Pivot).Kind;
+  const StringInterner &SI = Tree.interner();
+
+  switch (Abst) {
+  case Abstraction::Full: {
+    std::string Out;
+    for (Symbol S : Ups) {
+      Out += SI.str(S);
+      Out += '^';
+    }
+    Out += SI.str(PivotKind);
+    for (Symbol S : Downs) {
+      Out += '_';
+      Out += SI.str(S);
+    }
+    return Out;
+  }
+  case Abstraction::NoArrows: {
+    std::string Out;
+    for (Symbol S : Ups) {
+      Out += SI.str(S);
+      Out += ' ';
+    }
+    Out += SI.str(PivotKind);
+    for (Symbol S : Downs) {
+      Out += ' ';
+      Out += SI.str(S);
+    }
+    return Out;
+  }
+  case Abstraction::ForgetOrder: {
+    std::vector<std::string> Names;
+    Names.reserve(Ups.size() + Downs.size() + 1);
+    for (Symbol S : Ups)
+      Names.push_back(SI.str(S));
+    Names.push_back(SI.str(PivotKind));
+    for (Symbol S : Downs)
+      Names.push_back(SI.str(S));
+    std::sort(Names.begin(), Names.end());
+    std::string Out;
+    for (const std::string &N : Names) {
+      if (!Out.empty())
+        Out += ' ';
+      Out += N;
+    }
+    return Out;
+  }
+  case Abstraction::FirstTopLast: {
+    Symbol First = Ups.empty() ? PivotKind : Ups.front();
+    Symbol Last = Downs.empty() ? PivotKind : Downs.back();
+    return SI.str(First) + "^" + SI.str(PivotKind) + "_" + SI.str(Last);
+  }
+  case Abstraction::FirstLast: {
+    Symbol First = Ups.empty() ? PivotKind : Ups.front();
+    Symbol Last = Downs.empty() ? PivotKind : Downs.back();
+    return SI.str(First) + ".." + SI.str(Last);
+  }
+  case Abstraction::Top:
+    return SI.str(PivotKind);
+  case Abstraction::NoPath:
+    break;
+  }
+  return "rel";
+}
+
+Symbol paths::endValue(const Tree &Tree, NodeId Node) {
+  const ast::Node &N = Tree.node(Node);
+  return N.isTerminal() ? N.Value : N.Kind;
+}
+
+std::vector<PathContext>
+paths::extractPathContexts(const Tree &Tree, const ExtractionConfig &Config,
+                           PathTable &Table) {
+  std::vector<PathContext> Out;
+  const std::vector<NodeId> &Leaves = Tree.terminals();
+
+  // Pairwise leafwise paths.
+  for (size_t I = 0; I < Leaves.size(); ++I) {
+    for (size_t J = I + 1; J < Leaves.size(); ++J) {
+      PathShape Shape = pathShape(Tree, Leaves[I], Leaves[J]);
+      if (Shape.Length > Config.MaxLength || Shape.Width > Config.MaxWidth)
+        continue;
+      PathContext Ctx;
+      Ctx.Start = Leaves[I];
+      Ctx.End = Leaves[J];
+      Ctx.Path =
+          Table.intern(pathString(Tree, Leaves[I], Leaves[J], Config.Abst));
+      Out.push_back(Ctx);
+    }
+  }
+
+  // Semi-paths: terminal → each ancestor within MaxLength edges.
+  if (Config.IncludeSemiPaths) {
+    for (NodeId Leaf : Leaves) {
+      int Hops = 0;
+      for (NodeId N = Tree.node(Leaf).Parent;
+           N != InvalidNode && Hops < Config.MaxLength;
+           N = Tree.node(N).Parent) {
+        ++Hops;
+        PathContext Ctx;
+        Ctx.Start = Leaf;
+        Ctx.End = N;
+        Ctx.Semi = true;
+        Ctx.Path = Table.intern(pathString(Tree, Leaf, N, Config.Abst));
+        Out.push_back(Ctx);
+      }
+    }
+  }
+  return Out;
+}
+
+std::vector<PathContext>
+paths::extractPathsToNode(const Tree &Tree, NodeId Target,
+                          const ExtractionConfig &Config, PathTable &Table) {
+  std::vector<PathContext> Out;
+  for (NodeId Leaf : Tree.terminals()) {
+    if (Leaf == Target)
+      continue;
+    PathShape Shape = pathShape(Tree, Leaf, Target);
+    if (Shape.Length > Config.MaxLength || Shape.Width > Config.MaxWidth)
+      continue;
+    // Skip leaves *inside* the target expression of distance 0: a path
+    // from a leaf of the target up to the target itself is fine (it is a
+    // semi-path) and is in fact the most informative context for type
+    // prediction, so keep it.
+    PathContext Ctx;
+    Ctx.Start = Leaf;
+    Ctx.End = Target;
+    Ctx.Semi = (Shape.Pivot == Target);
+    Ctx.Path = Table.intern(pathString(Tree, Leaf, Target, Config.Abst));
+    Out.push_back(Ctx);
+  }
+  return Out;
+}
+
+std::string paths::triPathString(const Tree &Tree, NodeId A, NodeId B,
+                                 NodeId C, Abstraction Abst) {
+  if (Abst == Abstraction::NoPath)
+    return "rel3";
+  NodeId M = Tree.lca(A, Tree.lca(B, C));
+  const StringInterner &SI = Tree.interner();
+
+  auto UpChain = [&](NodeId From) {
+    std::string Out;
+    for (NodeId N = From; N != M; N = Tree.node(N).Parent) {
+      Out += SI.str(Tree.node(N).Kind);
+      Out += '^';
+    }
+    return Out;
+  };
+  auto DownBranch = [&](NodeId To) {
+    // Collect M→To exclusive of M, in downward order.
+    std::vector<Symbol> Chain;
+    for (NodeId N = To; N != M; N = Tree.node(N).Parent)
+      Chain.push_back(Tree.node(N).Kind);
+    std::string Out;
+    for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+      Out += '_';
+      Out += SI.str(*It);
+    }
+    return Out;
+  };
+
+  // Coarse abstractions reuse the pairwise ladder on the end nodes.
+  switch (Abst) {
+  case Abstraction::Top:
+    return SI.str(Tree.node(M).Kind);
+  case Abstraction::FirstLast:
+    return SI.str(Tree.node(A).Kind) + ".." + SI.str(Tree.node(C).Kind);
+  case Abstraction::FirstTopLast:
+    return SI.str(Tree.node(A).Kind) + "^" + SI.str(Tree.node(M).Kind) +
+           "_" + SI.str(Tree.node(C).Kind);
+  default:
+    break;
+  }
+  std::string Out = UpChain(A) + SI.str(Tree.node(M).Kind) + "(" +
+                    DownBranch(B) + ")(" + DownBranch(C) + ")";
+  if (Abst == Abstraction::Full)
+    return Out;
+  // NoArrows / ForgetOrder: strip movement/structure markers.
+  std::string Flat;
+  for (char Ch : Out) {
+    if (Ch == '^' || Ch == '_' || Ch == '(' || Ch == ')')
+      Flat += ' ';
+    else
+      Flat += Ch;
+  }
+  if (Abst == Abstraction::ForgetOrder) {
+    // Sort the node names as a bag.
+    std::vector<std::string> Names;
+    std::string Cur;
+    for (char Ch : Flat) {
+      if (Ch == ' ') {
+        if (!Cur.empty())
+          Names.push_back(Cur);
+        Cur.clear();
+      } else {
+        Cur += Ch;
+      }
+    }
+    if (!Cur.empty())
+      Names.push_back(Cur);
+    std::sort(Names.begin(), Names.end());
+    std::string Sorted;
+    for (const std::string &N : Names) {
+      if (!Sorted.empty())
+        Sorted += ' ';
+      Sorted += N;
+    }
+    return Sorted;
+  }
+  return Flat;
+}
+
+std::vector<TriContext>
+paths::extractTriContexts(const Tree &Tree, const ExtractionConfig &Config,
+                          PathTable &Table) {
+  std::vector<TriContext> Out;
+  const std::vector<NodeId> &Leaves = Tree.terminals();
+  for (size_t I = 0; I + 2 < Leaves.size(); ++I) {
+    NodeId A = Leaves[I], B = Leaves[I + 1], C = Leaves[I + 2];
+    PathShape Extreme = pathShape(Tree, A, C);
+    if (Extreme.Length > Config.MaxLength ||
+        Extreme.Width > Config.MaxWidth)
+      continue;
+    TriContext Ctx;
+    Ctx.A = A;
+    Ctx.B = B;
+    Ctx.C = C;
+    Ctx.Path = Table.intern(triPathString(Tree, A, B, C, Config.Abst));
+    Out.push_back(Ctx);
+  }
+  return Out;
+}

@@ -1,0 +1,170 @@
+//===- Paths.h - AST path extraction (the paper's core) ---------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: AST paths (§4). An AST-path of length
+/// k is a sequence n1 d1 ... nk dk n(k+1) of nodes and up/down movements
+/// (Def. 4.2); a path-context is ⟨x_s, p, x_f⟩ — the path plus the values
+/// at its ends (Def. 4.3); an abstract path-context applies an abstraction
+/// function α to the path (Def. 4.4).
+///
+/// This module implements:
+///  * pairwise leafwise paths (between AST terminals),
+///  * semi-paths (terminal → ancestor, §5 "Leafwise and semi-paths"),
+///  * leaf → nonterminal paths for the full-type task (§5.3.3),
+///  * the max_length / max_width hyper-parameters (§4.2, Fig. 5),
+///  * the abstraction ladder of §5.6: full, no-arrows, forget-order,
+///    first-top-last, first-last, top, no-path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_PATHS_PATHS_H
+#define PIGEON_PATHS_PATHS_H
+
+#include "ast/Ast.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pigeon {
+namespace paths {
+
+/// Abstraction functions α of §5.6, ordered from most to least expressive.
+enum class Abstraction : uint8_t {
+  Full,         ///< α_id: every node, with ↑/↓ arrows.
+  NoArrows,     ///< Full encoding minus the movement arrows.
+  ForgetOrder,  ///< Bag of nodes: sorted, no arrows.
+  FirstTopLast, ///< First, pivot ("top") and last nodes only.
+  FirstLast,    ///< First and last nodes only.
+  Top,          ///< Pivot node only.
+  NoPath,       ///< All relations equal ("bag of near identifiers").
+};
+
+/// \returns the §5.6 name of \p A ("full", "no-arrows", ...).
+const char *abstractionName(Abstraction A);
+
+/// All abstractions, in the order Fig. 12 plots them.
+inline constexpr Abstraction AllAbstractions[] = {
+    Abstraction::NoPath,      Abstraction::FirstLast,
+    Abstraction::Top,         Abstraction::FirstTopLast,
+    Abstraction::ForgetOrder, Abstraction::NoArrows,
+    Abstraction::Full,
+};
+
+/// Extraction hyper-parameters (§4.2).
+struct ExtractionConfig {
+  /// Maximal number of edges in a path (the paper's max_length).
+  int MaxLength = 7;
+  /// Maximal sibling-index gap at the pivot node (the paper's max_width,
+  /// Fig. 5).
+  int MaxWidth = 3;
+  Abstraction Abst = Abstraction::Full;
+  /// Also emit semi-paths (terminal → ancestor). Semi-paths generalize
+  /// across programs even when full leaf-to-leaf paths do not recur.
+  bool IncludeSemiPaths = true;
+};
+
+/// Interned id of an abstracted path string.
+using PathId = uint32_t;
+inline constexpr PathId InvalidPath = ~0u;
+
+/// Interns abstracted path strings into dense PathIds, shared across all
+/// trees of one corpus so that identical paths in different programs get
+/// the same id (which is what lets the models generalize).
+class PathTable {
+public:
+  PathId intern(const std::string &Path) {
+    return Interner.intern(Path).index();
+  }
+  const std::string &str(PathId Id) const {
+    return Interner.str(Symbol::fromIndex(Id));
+  }
+  /// Number of distinct paths (§5.6 reports model size through this).
+  size_t size() const { return Interner.size() - 1; }
+
+private:
+  StringInterner Interner;
+};
+
+/// One extracted path-context: the path and its two end nodes. Ends are
+/// terminals for leafwise paths; End is an ancestor nonterminal for
+/// semi-paths and a target expression node for type-task paths.
+struct PathContext {
+  ast::NodeId Start = ast::InvalidNode;
+  ast::NodeId End = ast::InvalidNode;
+  PathId Path = InvalidPath;
+  /// True if this is a semi-path (End is an ancestor of Start).
+  bool Semi = false;
+};
+
+/// Geometric shape of the path between two nodes.
+struct PathShape {
+  int Length = 0;        ///< Number of edges.
+  int Width = 0;         ///< Sibling-index gap at the pivot (0 for chains).
+  ast::NodeId Pivot = ast::InvalidNode; ///< The LCA ("top" node).
+};
+
+/// Computes length/width/pivot for the path between \p A and \p B.
+PathShape pathShape(const ast::Tree &Tree, ast::NodeId A, ast::NodeId B);
+
+/// Renders the abstracted path between \p A and \p B. The rendering uses
+/// "^" for up-movements and "_" for down-movements (ASCII stand-ins for
+/// the paper's ↑/↓).
+std::string pathString(const ast::Tree &Tree, ast::NodeId A, ast::NodeId B,
+                       Abstraction Abst);
+
+/// \returns the value of a path-context end: the terminal's value, or the
+/// node kind for nonterminal ends.
+Symbol endValue(const ast::Tree &Tree, ast::NodeId Node);
+
+/// Extracts all leafwise path-contexts (and semi-paths if configured)
+/// of \p Tree that satisfy the length/width limits. Paths are interned
+/// into \p Table under the configured abstraction.
+std::vector<PathContext> extractPathContexts(const ast::Tree &Tree,
+                                             const ExtractionConfig &Config,
+                                             PathTable &Table);
+
+/// Extracts paths from terminals to a specific target node (used by the
+/// full-type task, where the prediction target is an expression
+/// nonterminal). Only terminals within the length/width limits contribute.
+std::vector<PathContext> extractPathsToNode(const ast::Tree &Tree,
+                                            ast::NodeId Target,
+                                            const ExtractionConfig &Config,
+                                            PathTable &Table);
+
+//===----------------------------------------------------------------------===//
+// n-wise paths (§4's generalization beyond pairwise)
+//===----------------------------------------------------------------------===//
+
+/// A 3-wise path-context: three terminals joined through their common
+/// ancestor. The paper's family "contains n-wise paths, which do not
+/// necessarily span between leaves"; this is its n = 3 instantiation over
+/// consecutive leaf triples.
+struct TriContext {
+  ast::NodeId A = ast::InvalidNode;
+  ast::NodeId B = ast::InvalidNode;
+  ast::NodeId C = ast::InvalidNode;
+  PathId Path = InvalidPath;
+};
+
+/// Renders the 3-wise path: the chain from \p A up to the common ancestor
+/// of all three nodes, then the two downward branches to \p B and \p C:
+/// "up-chain^M(_branchB)(_branchC)".
+std::string triPathString(const ast::Tree &Tree, ast::NodeId A,
+                          ast::NodeId B, ast::NodeId C, Abstraction Abst);
+
+/// Extracts 3-wise contexts over consecutive terminal triples whose
+/// extreme pair satisfies the length/width limits.
+std::vector<TriContext> extractTriContexts(const ast::Tree &Tree,
+                                           const ExtractionConfig &Config,
+                                           PathTable &Table);
+
+} // namespace paths
+} // namespace pigeon
+
+#endif // PIGEON_PATHS_PATHS_H

@@ -1,0 +1,110 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. Every stochastic component of the
+/// system (corpus generation, downsampling, SGNS negative sampling, data
+/// splits) draws from a named stream derived from a master seed, so a fixed
+/// seed reproduces every experiment byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_RNG_H
+#define PIGEON_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pigeon {
+
+/// SplitMix64: tiny, fast, passes BigCrush; ideal for reproducible
+/// simulation workloads (not for cryptography).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Derives an independent stream from a parent seed and a stream name,
+  /// so components can't perturb each other's sequences.
+  static Rng forStream(uint64_t Seed, std::string_view Name) {
+    uint64_t H = 1469598103934665603ULL; // FNV offset basis.
+    for (char C : Name)
+      H = (H ^ static_cast<uint8_t>(C)) * 1099511628211ULL;
+    return Rng(Seed ^ H);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Bounded rejection-free mapping (Lemire); bias is negligible for our
+    // bounds (all far below 2^32).
+    return (static_cast<__uint128_t>(next()) * Bound) >> 64;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Picks an index according to non-negative \p Weights (need not sum
+  /// to 1). At least one weight must be positive.
+  size_t pickWeighted(const std::vector<double> &Weights) {
+    double Total = 0;
+    for (double W : Weights) {
+      assert(W >= 0 && "negative weight");
+      Total += W;
+    }
+    assert(Total > 0 && "all weights zero");
+    double X = nextDouble() * Total;
+    for (size_t I = 0; I < Weights.size(); ++I) {
+      X -= Weights[I];
+      if (X < 0)
+        return I;
+    }
+    return Weights.size() - 1; // Floating-point slack.
+  }
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick from empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.empty())
+      return;
+    for (size_t I = Items.size() - 1; I > 0; --I)
+      std::swap(Items[I], Items[nextBelow(I + 1)]);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_RNG_H

@@ -1,0 +1,113 @@
+//===- StringInterner.h - Symbol table for interned strings ----*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense 32-bit \c Symbol handles. Symbols are the
+/// currency of the whole system: AST node kinds, terminal values, names,
+/// labels and path components are all symbols, so equality and hashing are
+/// O(1) everywhere downstream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_STRINGINTERNER_H
+#define PIGEON_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace pigeon {
+
+/// A handle to an interned string. Symbols from the same interner compare
+/// equal iff their strings are equal. Value 0 is reserved for the empty
+/// invalid symbol.
+class Symbol {
+public:
+  Symbol() = default;
+
+  /// \returns true if this symbol refers to an interned string.
+  bool isValid() const { return Id != 0; }
+
+  /// Raw dense index, usable as an array key. Index 0 is the invalid symbol.
+  uint32_t index() const { return Id; }
+
+  /// Rebuilds a symbol from a raw index previously obtained via index().
+  static Symbol fromIndex(uint32_t Index) { return Symbol(Index); }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+  friend class StringInterner;
+
+  uint32_t Id = 0;
+};
+
+/// Bidirectional map between strings and dense Symbol ids.
+///
+/// Not thread-safe; each pipeline owns one interner (or a few, e.g. one for
+/// AST vocabulary and one for model labels).
+class StringInterner {
+public:
+  StringInterner() {
+    // Reserve id 0 so that a default-constructed Symbol is never returned.
+    Strings.emplace_back("");
+  }
+
+  /// Interns \p Str, returning its symbol. Idempotent.
+  Symbol intern(std::string_view Str) {
+    auto It = Index.find(Str);
+    if (It != Index.end())
+      return Symbol(It->second);
+    uint32_t Id = static_cast<uint32_t>(Strings.size());
+    Strings.emplace_back(Str);
+    // string_view key must point into our stable storage, not the caller's.
+    Index.emplace(Strings.back(), Id);
+    return Symbol(Id);
+  }
+
+  /// \returns the symbol for \p Str if already interned, invalid otherwise.
+  Symbol lookup(std::string_view Str) const {
+    auto It = Index.find(Str);
+    if (It == Index.end())
+      return Symbol();
+    return Symbol(It->second);
+  }
+
+  /// \returns the string for \p Sym. The reference stays valid for the
+  /// lifetime of the interner.
+  const std::string &str(Symbol Sym) const {
+    assert(Sym.index() < Strings.size() && "symbol from another interner?");
+    return Strings[Sym.index()];
+  }
+
+  /// Number of interned strings, including the reserved empty slot.
+  size_t size() const { return Strings.size(); }
+
+private:
+  // A deque never moves elements on growth, so string_view keys into the
+  // stored strings (including SSO buffers) stay valid for the interner's
+  // lifetime. Entries are never erased.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace pigeon
+
+namespace std {
+template <> struct hash<pigeon::Symbol> {
+  size_t operator()(pigeon::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.index());
+  }
+};
+} // namespace std
+
+#endif // PIGEON_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,110 @@
+//===- SubToken.cpp - Identifier normalisation and splitting -------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SubToken.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+using namespace pigeon;
+
+std::string pigeon::normalizeName(std::string_view Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    if (std::isalnum(static_cast<unsigned char>(C)))
+      Out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+  }
+  return Out;
+}
+
+bool pigeon::namesMatch(std::string_view Predicted, std::string_view Actual) {
+  return normalizeName(Predicted) == normalizeName(Actual);
+}
+
+static bool isUpper(char C) {
+  return std::isupper(static_cast<unsigned char>(C));
+}
+static bool isLower(char C) {
+  return std::islower(static_cast<unsigned char>(C));
+}
+static bool isDigit(char C) {
+  return std::isdigit(static_cast<unsigned char>(C));
+}
+
+std::vector<std::string> pigeon::splitSubTokens(std::string_view Name) {
+  std::vector<std::string> Tokens;
+  std::string Cur;
+  auto Flush = [&] {
+    if (Cur.empty())
+      return;
+    std::transform(Cur.begin(), Cur.end(), Cur.begin(), [](unsigned char C) {
+      return static_cast<char>(std::tolower(C));
+    });
+    Tokens.push_back(Cur);
+    Cur.clear();
+  };
+
+  for (size_t I = 0; I < Name.size(); ++I) {
+    char C = Name[I];
+    if (C == '_' || C == '$' || C == '.' || C == '-') {
+      Flush();
+      continue;
+    }
+    if (!Cur.empty()) {
+      char Prev = Cur.back();
+      bool Boundary = false;
+      // aB -> a|B, 1a -> 1|a, a1 -> a|1.
+      if (isUpper(C) && isLower(Prev))
+        Boundary = true;
+      else if (isDigit(C) != isDigit(Prev))
+        Boundary = true;
+      // HTTPServer -> HTTP|Server: an upper followed by a lower terminates
+      // the preceding acronym run.
+      else if (isLower(C) && isUpper(Prev) && Cur.size() > 1 &&
+               isUpper(Cur[Cur.size() - 2])) {
+        char Last = Cur.back();
+        Cur.pop_back();
+        Flush();
+        Cur.push_back(Last);
+      }
+      if (Boundary)
+        Flush();
+    }
+    Cur.push_back(C);
+  }
+  Flush();
+  return Tokens;
+}
+
+SubTokenScore pigeon::scoreSubTokens(std::string_view Predicted,
+                                     std::string_view Actual) {
+  std::vector<std::string> P = splitSubTokens(Predicted);
+  std::vector<std::string> A = splitSubTokens(Actual);
+  SubTokenScore Score;
+  if (P.empty() || A.empty())
+    return Score;
+
+  std::map<std::string, int> Counts;
+  for (const std::string &T : A)
+    ++Counts[T];
+  int Hits = 0;
+  for (const std::string &T : P) {
+    auto It = Counts.find(T);
+    if (It != Counts.end() && It->second > 0) {
+      --It->second;
+      ++Hits;
+    }
+  }
+  Score.Precision = static_cast<double>(Hits) / static_cast<double>(P.size());
+  Score.Recall = static_cast<double>(Hits) / static_cast<double>(A.size());
+  if (Score.Precision + Score.Recall > 0)
+    Score.F1 = 2 * Score.Precision * Score.Recall /
+               (Score.Precision + Score.Recall);
+  return Score;
+}

@@ -1,0 +1,52 @@
+//===- SubToken.h - Identifier normalisation and splitting -----*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Utilities for comparing identifiers the way the paper's evaluation does
+/// (§5.2): exact match is case-insensitive and ignores non-alphabetical
+/// characters, so `totalCount` matches `total_count`. Sub-token splitting
+/// (camelCase / snake_case / digits) supports the sub-token F1 metric used
+/// for the Java method-name comparison against Allamanis et al.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_SUBTOKEN_H
+#define PIGEON_SUPPORT_SUBTOKEN_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pigeon {
+
+/// Lowercases \p Name and strips every non-alphanumeric character, yielding
+/// the canonical form used for exact-match accuracy. `total_count` and
+/// `totalCount` both normalise to `totalcount`.
+std::string normalizeName(std::string_view Name);
+
+/// \returns true if \p Predicted and \p Actual match under the paper's
+/// exact-match metric (case- and separator-insensitive).
+bool namesMatch(std::string_view Predicted, std::string_view Actual);
+
+/// Splits an identifier into lowercase sub-tokens at camelCase humps,
+/// underscores, dollar signs and letter/digit boundaries.
+/// `multithreadedHttpConnection_manager2` ->
+/// {multithreaded, http, connection, manager, 2}.
+std::vector<std::string> splitSubTokens(std::string_view Name);
+
+/// Sub-token precision/recall/F1 between a predicted and an actual name,
+/// treating each name as a multiset of sub-tokens.
+struct SubTokenScore {
+  double Precision = 0;
+  double Recall = 0;
+  double F1 = 0;
+};
+SubTokenScore scoreSubTokens(std::string_view Predicted,
+                             std::string_view Actual);
+
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_SUBTOKEN_H

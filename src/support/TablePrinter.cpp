@@ -1,0 +1,112 @@
+//===- TablePrinter.cpp - Aligned console tables --------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace pigeon;
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), false});
+}
+
+void TablePrinter::addSeparator() {
+  Rows.push_back({{}, true});
+}
+
+std::string TablePrinter::percent(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Fraction * 100.0);
+  return Buf;
+}
+
+std::string TablePrinter::num(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  size_t NumCols = Header.size();
+  for (const Row &R : Rows)
+    NumCols = std::max(NumCols, R.Cells.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Widen = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Widen(Header);
+  for (const Row &R : Rows)
+    Widen(R.Cells);
+
+  auto PrintCells = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < NumCols; ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : "";
+      Cell.resize(Widths[I], ' ');
+      OS << Cell;
+      if (I + 1 != NumCols)
+        OS << "  ";
+    }
+    OS << '\n';
+  };
+  auto PrintRule = [&] {
+    for (size_t I = 0; I < NumCols; ++I) {
+      OS << std::string(Widths[I], '-');
+      if (I + 1 != NumCols)
+        OS << "  ";
+    }
+    OS << '\n';
+  };
+
+  if (!Title.empty())
+    OS << "== " << Title << " ==\n";
+  if (!Header.empty()) {
+    PrintCells(Header);
+    PrintRule();
+  }
+  for (const Row &R : Rows) {
+    if (R.Separator) {
+      PrintRule();
+      continue;
+    }
+    PrintCells(R.Cells);
+  }
+}
+
+void TablePrinter::printCsv(std::ostream &OS) const {
+  auto Escape = [](const std::string &Cell) {
+    if (Cell.find_first_of(",\"\n") == std::string::npos)
+      return Cell;
+    std::string Out = "\"";
+    for (char C : Cell) {
+      if (C == '"')
+        Out += '"';
+      Out += C;
+    }
+    Out += '"';
+    return Out;
+  };
+  auto PrintCells = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I)
+        OS << ',';
+      OS << Escape(Cells[I]);
+    }
+    OS << '\n';
+  };
+  if (!Header.empty())
+    PrintCells(Header);
+  for (const Row &R : Rows)
+    if (!R.Separator)
+      PrintCells(R.Cells);
+}

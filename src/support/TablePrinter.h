@@ -1,0 +1,63 @@
+//===- TablePrinter.h - Aligned console tables ------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the paper's tables and figure series as aligned plain-text
+/// tables (and optionally CSV), so each bench binary prints the same rows
+/// the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_TABLEPRINTER_H
+#define PIGEON_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pigeon {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  /// \param Title caption printed above the table.
+  explicit TablePrinter(std::string Title) : Title(std::move(Title)) {}
+
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may be ragged; short rows are padded.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Inserts a horizontal separator before the next row.
+  void addSeparator();
+
+  /// Renders the table.
+  void print(std::ostream &OS) const;
+
+  /// Renders the table as CSV (no title, header first).
+  void printCsv(std::ostream &OS) const;
+
+  /// Formats a fraction as a percentage with one decimal, e.g. "67.3%".
+  static std::string percent(double Fraction);
+
+  /// Formats a double with \p Decimals fractional digits.
+  static std::string num(double Value, int Decimals = 2);
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool Separator = false;
+  };
+
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,43 @@
+//===- Timer.h - Wall-clock stopwatch ---------------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal stopwatch used by the experiment harness to report training
+/// times (Figs. 11 and 12 plot accuracy against training time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_TIMER_H
+#define PIGEON_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace pigeon {
+
+/// Wall-clock stopwatch; starts running on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_TIMER_H

@@ -1,0 +1,210 @@
+//===- ast_test.cpp - Unit tests for the generic AST -----------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+#include <gtest/gtest.h>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+
+namespace {
+
+/// Builds the paper's Fig. 1 AST fragment:
+///   While
+///     UnaryPrefix!
+///       SymbolRef d
+///     If
+///       Call
+///         SymbolRef someCondition
+///       Assign=
+///         SymbolRef d
+///         True true
+struct Fig1Fixture {
+  StringInterner SI;
+  ElementId D = InvalidElement;
+  ElementId Cond = InvalidElement;
+  NodeId FirstD = InvalidNode;
+  NodeId SecondD = InvalidNode;
+  Tree T;
+
+  Fig1Fixture() : T(build()) {}
+
+  Tree build() {
+    TreeBuilder B(SI);
+    D = B.addElement("d", ElementKind::LocalVar, /*Predictable=*/true);
+    Cond = B.addElement("someCondition", ElementKind::Method,
+                        /*Predictable=*/false);
+    B.begin("While");
+    B.begin("UnaryPrefix!");
+    FirstD = B.terminal("SymbolRef", "d", D);
+    B.end();
+    B.begin("If");
+    B.begin("Call");
+    B.terminal("SymbolRef", "someCondition", Cond);
+    B.end();
+    B.begin("Assign=");
+    SecondD = B.terminal("SymbolRef", "d", D);
+    B.terminal("True", "true");
+    B.end();
+    B.end();
+    B.end();
+    return std::move(B).finish();
+  }
+};
+
+TEST(Ast, RootIsNodeZero) {
+  Fig1Fixture F;
+  EXPECT_EQ(F.T.root(), 0u);
+  EXPECT_EQ(F.SI.str(F.T.node(F.T.root()).Kind), "While");
+  EXPECT_EQ(F.T.node(F.T.root()).Parent, InvalidNode);
+  EXPECT_EQ(F.T.node(F.T.root()).Depth, 0u);
+}
+
+TEST(Ast, SexprMatchesStructure) {
+  Fig1Fixture F;
+  EXPECT_EQ(F.T.sexpr(),
+            "(While (UnaryPrefix! (SymbolRef d)) (If (Call (SymbolRef "
+            "someCondition)) (Assign= (SymbolRef d) (True true))))");
+}
+
+TEST(Ast, TerminalsInSourceOrder) {
+  Fig1Fixture F;
+  const std::vector<NodeId> &Leaves = F.T.terminals();
+  ASSERT_EQ(Leaves.size(), 4u);
+  EXPECT_EQ(F.SI.str(F.T.node(Leaves[0]).Value), "d");
+  EXPECT_EQ(F.SI.str(F.T.node(Leaves[1]).Value), "someCondition");
+  EXPECT_EQ(F.SI.str(F.T.node(Leaves[2]).Value), "d");
+  EXPECT_EQ(F.SI.str(F.T.node(Leaves[3]).Value), "true");
+}
+
+TEST(Ast, TerminalPredicate) {
+  Fig1Fixture F;
+  EXPECT_TRUE(F.T.node(F.FirstD).isTerminal());
+  EXPECT_FALSE(F.T.node(F.T.root()).isTerminal());
+}
+
+TEST(Ast, ParentChainAndDepths) {
+  Fig1Fixture F;
+  const Node &FirstD = F.T.node(F.FirstD);
+  EXPECT_EQ(F.SI.str(F.T.node(FirstD.Parent).Kind), "UnaryPrefix!");
+  EXPECT_EQ(FirstD.Depth, 2u);
+  const Node &SecondD = F.T.node(F.SecondD);
+  EXPECT_EQ(F.SI.str(F.T.node(SecondD.Parent).Kind), "Assign=");
+  EXPECT_EQ(SecondD.Depth, 3u);
+}
+
+TEST(Ast, IndexInParent) {
+  Fig1Fixture F;
+  // Assign= has children [SymbolRef d, True true].
+  const Node &SecondD = F.T.node(F.SecondD);
+  EXPECT_EQ(SecondD.IndexInParent, 0u);
+  NodeId Assign = SecondD.Parent;
+  auto Kids = F.T.children(Assign);
+  ASSERT_EQ(Kids.size(), 2u);
+  EXPECT_EQ(F.T.node(Kids[1]).IndexInParent, 1u);
+}
+
+TEST(Ast, LcaOfTheTwoDs) {
+  Fig1Fixture F;
+  // Fig. 1's path pivots at While: d ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= ↓ d.
+  NodeId Lca = F.T.lca(F.FirstD, F.SecondD);
+  EXPECT_EQ(F.SI.str(F.T.node(Lca).Kind), "While");
+}
+
+TEST(Ast, LcaOfNodeWithItself) {
+  Fig1Fixture F;
+  EXPECT_EQ(F.T.lca(F.FirstD, F.FirstD), F.FirstD);
+}
+
+TEST(Ast, LcaWithAncestor) {
+  Fig1Fixture F;
+  NodeId Root = F.T.root();
+  EXPECT_EQ(F.T.lca(F.FirstD, Root), Root);
+  EXPECT_EQ(F.T.lca(Root, F.SecondD), Root);
+}
+
+TEST(Ast, ElementOccurrencesAreLinked) {
+  Fig1Fixture F;
+  auto Occs = F.T.occurrences(F.D);
+  ASSERT_EQ(Occs.size(), 2u);
+  EXPECT_EQ(Occs[0], F.FirstD);
+  EXPECT_EQ(Occs[1], F.SecondD);
+}
+
+TEST(Ast, ElementMetadata) {
+  Fig1Fixture F;
+  const ElementInfo &Info = F.T.element(F.D);
+  EXPECT_EQ(F.SI.str(Info.Name), "d");
+  EXPECT_EQ(Info.Kind, ElementKind::LocalVar);
+  EXPECT_TRUE(Info.Predictable);
+  EXPECT_FALSE(F.T.element(F.Cond).Predictable);
+}
+
+TEST(Ast, ElementWithNoOccurrences) {
+  StringInterner SI;
+  TreeBuilder B(SI);
+  ElementId Unused =
+      B.addElement("ghost", ElementKind::LocalVar, /*Predictable=*/true);
+  B.begin("Root");
+  B.terminal("Leaf", "x");
+  B.end();
+  Tree T = std::move(B).finish();
+  EXPECT_TRUE(T.occurrences(Unused).empty());
+}
+
+TEST(Ast, TypeAnnotations) {
+  Fig1Fixture F;
+  Symbol Bool = F.SI.intern("boolean");
+  F.T.setType(F.SecondD, Bool);
+  EXPECT_EQ(F.T.typeOf(F.SecondD), Bool);
+  EXPECT_FALSE(F.T.typeOf(F.FirstD).isValid());
+  EXPECT_EQ(F.T.typedNodes(), std::vector<NodeId>{F.SecondD});
+}
+
+TEST(Ast, DumpContainsAllKindsIndented) {
+  Fig1Fixture F;
+  std::string Dump = F.T.dump();
+  EXPECT_NE(Dump.find("While\n"), std::string::npos);
+  EXPECT_NE(Dump.find("    SymbolRef: d"), std::string::npos);
+}
+
+TEST(Ast, SingleTerminalUnderRoot) {
+  StringInterner SI;
+  TreeBuilder B(SI);
+  B.begin("Program");
+  NodeId Leaf = B.terminal("Num", "42");
+  B.end();
+  Tree T = std::move(B).finish();
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.node(Leaf).Parent, T.root());
+  EXPECT_EQ(T.terminals().size(), 1u);
+}
+
+TEST(Ast, WideNodeChildIndices) {
+  // Fig. 5's `var a, b, c, d;` shape: a flat VarDef list.
+  StringInterner SI;
+  TreeBuilder B(SI);
+  B.begin("Var");
+  for (const char *Name : {"a", "b", "c", "d"}) {
+    B.begin("VarDef");
+    B.terminal("SymbolVar", Name);
+    B.end();
+  }
+  Tree T = std::move(B).finish();
+  auto Kids = T.children(T.root());
+  ASSERT_EQ(Kids.size(), 4u);
+  for (uint32_t I = 0; I < 4; ++I)
+    EXPECT_EQ(T.node(Kids[I]).IndexInParent, I);
+}
+
+TEST(Ast, ElementKindNames) {
+  EXPECT_STREQ(elementKindName(ElementKind::LocalVar), "local");
+  EXPECT_STREQ(elementKindName(ElementKind::Method), "method");
+  EXPECT_STREQ(elementKindName(ElementKind::Literal), "literal");
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+//===- baselines_test.cpp - Unit tests for the baseline systems ------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+
+#include "lang/java/JavaParser.h"
+#include "lang/js/JsParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::baselines;
+using namespace pigeon::paths;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Single-statement filtering (UnuglifyJS-style relations)
+//===----------------------------------------------------------------------===//
+
+TEST(IntraStatement, KeepsWithinStatementPairs) {
+  StringInterner SI;
+  lang::ParseResult R = js::parse("var item = array[i];", SI);
+  ASSERT_TRUE(R.ok());
+  PathTable Table;
+  ExtractionConfig Config;
+  Config.IncludeSemiPaths = false;
+  auto All = extractPathContexts(*R.Tree, Config, Table);
+  auto Intra = filterIntraStatement(*R.Tree, All);
+  // item/array/i all live in one Var statement: every pair survives.
+  EXPECT_EQ(Intra.size(), All.size());
+  EXPECT_GT(Intra.size(), 0u);
+}
+
+TEST(IntraStatement, DropsCrossStatementPairs) {
+  StringInterner SI;
+  // The two `d`s of Fig. 1a live in different statements (across While).
+  lang::ParseResult R =
+      js::parse("while (!d) { if (c()) { d = true; } }", SI);
+  ASSERT_TRUE(R.ok());
+  PathTable Table;
+  ExtractionConfig Config;
+  Config.MaxLength = 12;
+  Config.MaxWidth = 6;
+  Config.IncludeSemiPaths = false;
+  auto Intra = filterIntraStatement(
+      *R.Tree, extractPathContexts(*R.Tree, Config, Table));
+  for (const PathContext &Ctx : Intra) {
+    // No surviving context may connect the two occurrences of d.
+    bool BothD = SI.str(R.Tree->node(Ctx.Start).Value) == "d" &&
+                 SI.str(R.Tree->node(Ctx.End).Value) == "d";
+    EXPECT_FALSE(BothD);
+  }
+}
+
+TEST(IntraStatement, Fig3PairBecomesIndistinguishable) {
+  // With intra-statement relations only, Fig. 3a and Fig. 3b give `d`
+  // identical context multisets — the paper's motivating failure.
+  StringInterner SI;
+  lang::ParseResult A = js::parse("var d = false; while (!d) { "
+                                  "doSomething(); if (someCondition()) { d "
+                                  "= true; } }",
+                                  SI);
+  lang::ParseResult B = js::parse("someCondition(); doSomething(); var d = "
+                                  "false; d = true;",
+                                  SI);
+  ASSERT_TRUE(A.ok() && B.ok());
+  PathTable Table;
+  ExtractionConfig Config;
+  Config.MaxLength = 12;
+  Config.MaxWidth = 6;
+  Config.IncludeSemiPaths = false;
+  auto PathsOfD = [&](const Tree &T) {
+    std::multiset<std::string> Set;
+    auto Intra =
+        filterIntraStatement(T, extractPathContexts(T, Config, Table));
+    for (const PathContext &Ctx : Intra) {
+      const std::string &SV = SI.str(T.node(Ctx.Start).Value);
+      const std::string &EV = SI.str(T.node(Ctx.End).Value);
+      if (SV == "d")
+        Set.insert(Table.str(Ctx.Path) + ">" + EV);
+      else if (EV == "d")
+        Set.insert(SV + ">" + Table.str(Ctx.Path));
+    }
+    return Set;
+  };
+  EXPECT_EQ(PathsOfD(*A.Tree), PathsOfD(*B.Tree))
+      << "single-statement relations must conflate Fig. 3a and 3b";
+}
+
+TEST(IntraStatement, SemiPathsRespectBoundaries) {
+  StringInterner SI;
+  lang::ParseResult R = js::parse("while (x) { f(y); }", SI);
+  ASSERT_TRUE(R.ok());
+  PathTable Table;
+  ExtractionConfig Config;
+  auto Intra = filterIntraStatement(
+      *R.Tree, extractPathContexts(*R.Tree, Config, Table));
+  for (const PathContext &Ctx : Intra) {
+    if (!Ctx.Semi)
+      continue;
+    EXPECT_FALSE(isBoundaryKind(
+        SI.str(R.Tree->node(Ctx.End).Kind)))
+        << "semi-paths must not end at control boundaries";
+  }
+}
+
+TEST(IntraStatement, BoundaryKindTable) {
+  EXPECT_TRUE(isBoundaryKind("While"));
+  EXPECT_TRUE(isBoundaryKind("BlockStmt"));
+  EXPECT_TRUE(isBoundaryKind("FunctionDef"));
+  EXPECT_TRUE(isBoundaryKind("ForEachStatement"));
+  EXPECT_FALSE(isBoundaryKind("Assign="));
+  EXPECT_FALSE(isBoundaryKind("Call"));
+}
+
+//===----------------------------------------------------------------------===//
+// N-gram contexts
+//===----------------------------------------------------------------------===//
+
+TEST(Ngrams, ConnectsTokensWithinWindow) {
+  StringInterner SI;
+  lang::ParseResult R = js::parse("var a = b + c;", SI);
+  ASSERT_TRUE(R.ok());
+  PathTable Table;
+  auto Contexts = ngramContexts(*R.Tree, /*N=*/4, Table);
+  // Terminals: a, b, c — per anchor: (a,b,1) (a,c,2) (b,c,1).
+  ASSERT_EQ(Contexts.size(), 3u);
+  EXPECT_EQ(Table.str(Contexts[0].Path), "ngram:1");
+  EXPECT_EQ(Table.str(Contexts[1].Path), "ngram:2");
+  EXPECT_EQ(Table.str(Contexts[2].Path), "ngram:1");
+}
+
+TEST(Ngrams, WindowLimitsDistance) {
+  StringInterner SI;
+  lang::ParseResult R = js::parse("f(a, b, c, d, e);", SI);
+  ASSERT_TRUE(R.ok());
+  PathTable Table;
+  auto N2 = ngramContexts(*R.Tree, 2, Table);
+  auto N4 = ngramContexts(*R.Tree, 4, Table);
+  EXPECT_LT(N2.size(), N4.size());
+  for (const PathContext &Ctx : N2)
+    EXPECT_EQ(Table.str(Ctx.Path), "ngram:1");
+}
+
+//===----------------------------------------------------------------------===//
+// Rule-based Java namer
+//===----------------------------------------------------------------------===//
+
+std::unordered_map<std::string, std::string>
+rulePredictions(std::string_view Source, StringInterner &SI) {
+  lang::ParseResult R = java::parse(Source, SI);
+  EXPECT_TRUE(R.ok());
+  auto ById = ruleBasedJavaNames(*R.Tree);
+  std::unordered_map<std::string, std::string> ByName;
+  for (const auto &[E, Predicted] : ById)
+    ByName[SI.str(R.Tree->element(E).Name)] = Predicted;
+  return ByName;
+}
+
+TEST(RuleBased, ForLoopIndexIsI) {
+  StringInterner SI;
+  auto P = rulePredictions(
+      "class A { void m(int[] xs) { for (int q = 0; q < xs.length; q++) { "
+      "f(xs[q]); } } }",
+      SI);
+  EXPECT_EQ(P["q"], "i");
+}
+
+TEST(RuleBased, CatchParameterIsE) {
+  StringInterner SI;
+  auto P = rulePredictions("class A { void m() { try { f(); } catch "
+                           "(Exception problem) { g(problem); } } }",
+                           SI);
+  EXPECT_EQ(P["problem"], "e");
+}
+
+TEST(RuleBased, SetterParamNamedAfterField) {
+  StringInterner SI;
+  auto P = rulePredictions(
+      "class A { int size; void setSize(int v) { this.size = v; } }", SI);
+  EXPECT_EQ(P["v"], "size");
+}
+
+TEST(RuleBased, TypeBasedFallback) {
+  StringInterner SI;
+  auto P = rulePredictions(
+      "class A { String m(HttpClient h) { return h.toString(); } }", SI);
+  EXPECT_EQ(P["h"], "client") << "HttpClient -> client (last sub-token)";
+}
+
+TEST(RuleBased, BooleanFallbackIsFlag) {
+  StringInterner SI;
+  auto P = rulePredictions("class A { void m(boolean q) { f(q); } }", SI);
+  EXPECT_EQ(P["q"], "flag");
+}
+
+TEST(RuleBased, GenericTypeUsesBaseName) {
+  StringInterner SI;
+  auto P = rulePredictions(
+      "import java.util.List;\nclass A { void m(List<Integer> q) { f(q); } "
+      "}",
+      SI);
+  EXPECT_EQ(P["q"], "list");
+}
+
+//===----------------------------------------------------------------------===//
+// Sub-token method namer
+//===----------------------------------------------------------------------===//
+
+TEST(SubtokenNamer, LearnsBodyVocabularyAssociations) {
+  SubtokenMethodNamer Namer;
+  Namer.train({
+      {"countItems", {"count", "items", "item", "target"}},
+      {"countItems", {"counter", "items", "item"}},
+      {"sumValues", {"sum", "values", "index"}},
+      {"sumValues", {"total", "values", "index"}},
+  });
+  EXPECT_EQ(Namer.predict({"count", "items", "item"}), "countItems");
+  EXPECT_EQ(Namer.predict({"sum", "values"}), "sumValues");
+}
+
+TEST(SubtokenNamer, SplitsCompoundIdentifiers) {
+  SubtokenMethodNamer Namer;
+  Namer.train({{"getTotal", {"totalCount", "result"}},
+               {"openFile", {"fileName", "reader"}}});
+  EXPECT_EQ(Namer.predict({"total_count"}), "getTotal");
+}
+
+TEST(SubtokenNamer, UntrainedReturnsEmpty) {
+  SubtokenMethodNamer Namer;
+  EXPECT_EQ(Namer.predict({"anything"}), "");
+}
+
+TEST(SubtokenNamer, MethodExamplesFromTree) {
+  StringInterner SI;
+  lang::ParseResult R = js::parse(
+      "function countItems(items) { var count = 0; return count; }", SI);
+  ASSERT_TRUE(R.ok());
+  auto Examples = methodExamples(*R.Tree);
+  ASSERT_EQ(Examples.size(), 1u);
+  EXPECT_EQ(Examples[0].Name, "countItems");
+  // Body identifiers include params and locals but not the name itself.
+  bool SawItems = false, SawName = false;
+  for (const std::string &Ident : Examples[0].BodyIdentifiers) {
+    SawItems |= Ident == "items";
+    SawName |= Ident == "countItems";
+  }
+  EXPECT_TRUE(SawItems);
+  EXPECT_FALSE(SawName);
+}
+
+TEST(SubtokenNamer, JavaMethodExamples) {
+  StringInterner SI;
+  lang::ParseResult R = java::parse(
+      "class A { int getCount() { return count; } int count; }", SI);
+  ASSERT_TRUE(R.ok());
+  auto Examples = methodExamples(*R.Tree);
+  ASSERT_EQ(Examples.size(), 1u);
+  EXPECT_EQ(Examples[0].Name, "getCount");
+}
+
+} // namespace

@@ -1,0 +1,351 @@
+//===- crf_test.cpp - Unit tests for the CRF ---------------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/crf/Crf.h"
+
+#include "lang/js/JsParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::crf;
+using namespace pigeon::paths;
+
+namespace {
+
+ElementSelector varSelector() {
+  return [](const ElementInfo &Info) {
+    return Info.Predictable && (Info.Kind == ElementKind::LocalVar ||
+                                Info.Kind == ElementKind::Parameter);
+  };
+}
+
+/// Parses JS, extracts paths, builds a CRF graph.
+struct Built {
+  StringInterner &SI;
+  PathTable &Table;
+  std::optional<Tree> T;
+  CrfGraph G;
+
+  Built(std::string_view Source, StringInterner &SI, PathTable &Table,
+        const ExtractionConfig &Config = ExtractionConfig())
+      : SI(SI), Table(Table) {
+    lang::ParseResult R = js::parse(Source, SI);
+    EXPECT_TRUE(R.ok()) << Source;
+    T = std::move(R.Tree);
+    auto Contexts = extractPathContexts(*T, Config, Table);
+    G = buildGraph(*T, Contexts, varSelector());
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Graph construction
+//===----------------------------------------------------------------------===//
+
+TEST(CrfGraphBuild, UnknownNodesAreSelectedElements) {
+  StringInterner SI;
+  PathTable Table;
+  Built B("var done = false; while (!done) { done = true; }", SI, Table);
+  ASSERT_EQ(B.G.Unknowns.size(), 1u);
+  const GraphNode &N = B.G.Nodes[B.G.Unknowns[0]];
+  EXPECT_FALSE(N.Known);
+  EXPECT_EQ(SI.str(N.Gold), "done");
+}
+
+TEST(CrfGraphBuild, KnownNodesMergeByValue) {
+  StringInterner SI;
+  PathTable Table;
+  Built B("f(1); g(1);", SI, Table);
+  // The literal `1` appears twice but must map to one known node.
+  int OnesCount = 0;
+  for (const GraphNode &N : B.G.Nodes)
+    if (SI.str(N.Gold) == "1")
+      ++OnesCount;
+  EXPECT_EQ(OnesCount, 1);
+}
+
+TEST(CrfGraphBuild, UnaryFactorsLinkSameElementOccurrences) {
+  StringInterner SI;
+  PathTable Table;
+  Built B("var d = false; d = true;", SI, Table);
+  bool SawUnary = false;
+  for (const Factor &F : B.G.Factors)
+    if (F.Unary) {
+      SawUnary = true;
+      EXPECT_EQ(F.A, F.B);
+      EXPECT_FALSE(B.G.Nodes[F.A].Known);
+    }
+  EXPECT_TRUE(SawUnary) << "two occurrences of d must yield a unary factor";
+}
+
+TEST(CrfGraphBuild, KnownKnownFactorsDropped) {
+  StringInterner SI;
+  PathTable Table;
+  Built B("f(1, 2);", SI, Table);
+  for (const Factor &F : B.G.Factors) {
+    EXPECT_FALSE(B.G.Nodes[F.A].Known && B.G.Nodes[F.B].Known)
+        << "factors between two known nodes carry no signal";
+  }
+}
+
+TEST(CrfGraphBuild, SemiPathAncestorsAreKnownKindNodes) {
+  StringInterner SI;
+  PathTable Table;
+  ExtractionConfig Config;
+  Config.IncludeSemiPaths = true;
+  Built B("var x = 1;", SI, Table, Config);
+  bool SawKindNode = false;
+  for (const GraphNode &N : B.G.Nodes)
+    if (N.Known && SI.str(N.Gold) == "VarDef")
+      SawKindNode = true;
+  EXPECT_TRUE(SawKindNode);
+}
+
+TEST(CrfGraphBuild, AdjacencyCoversAllFactors) {
+  StringInterner SI;
+  PathTable Table;
+  Built B("var a = 1; var b = a + 2;", SI, Table);
+  auto Adj = B.G.adjacency();
+  size_t Mentions = 0;
+  for (const auto &List : Adj)
+    Mentions += List.size();
+  size_t Expected = 0;
+  for (const Factor &F : B.G.Factors)
+    Expected += F.Unary ? 1 : 2;
+  EXPECT_EQ(Mentions, Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// Learning end-to-end on tiny synthetic corpora
+//===----------------------------------------------------------------------===//
+
+/// The classic "loop flag" pattern with a given variable name.
+std::string flagProgram(const std::string &Name) {
+  return "var " + Name + " = false; while (!" + Name +
+         ") { if (check()) { " + Name + " = true; } }";
+}
+
+/// A counting-loop pattern with a given variable name.
+std::string counterProgram(const std::string &Name) {
+  return "var " + Name + " = 0; for (var i = 0; i < n; i++) { " + Name +
+         " += 1; }";
+}
+
+TEST(CrfLearning, LearnsRoleConditionedNames) {
+  StringInterner SI;
+  PathTable Table;
+  ExtractionConfig Config;
+  std::vector<CrfGraph> TrainGraphs;
+  std::vector<std::optional<Tree>> Keep; // Trees must outlive graphs.
+  // Training: flags named done, counters named count.
+  for (int I = 0; I < 6; ++I) {
+    for (const std::string &Src :
+         {flagProgram("done"), counterProgram("count")}) {
+      lang::ParseResult R = js::parse(Src, SI);
+      ASSERT_TRUE(R.ok());
+      Keep.push_back(std::move(R.Tree));
+      auto Contexts = extractPathContexts(*Keep.back(), Config, Table);
+      TrainGraphs.push_back(
+          buildGraph(*Keep.back(), Contexts, varSelector()));
+    }
+  }
+  CrfModel Model;
+  Model.train(TrainGraphs);
+  EXPECT_GT(Model.numFeatures(), 0u);
+
+  // Test on the same patterns with stripped names.
+  auto PredictName = [&](const std::string &Src) -> std::string {
+    lang::ParseResult R = js::parse(Src, SI);
+    EXPECT_TRUE(R.ok());
+    auto Contexts = extractPathContexts(*R.Tree, Config, Table);
+    CrfGraph G = buildGraph(*R.Tree, Contexts, varSelector());
+    // Find the unknown node corresponding to the stripped variable `d`.
+    std::vector<Symbol> Pred = Model.predict(G);
+    for (uint32_t N : G.Unknowns)
+      if (SI.str(G.Nodes[N].Gold) == "d")
+        return Pred[N].isValid() ? SI.str(Pred[N]) : "";
+    return "";
+  };
+  EXPECT_EQ(PredictName(flagProgram("d")), "done");
+  EXPECT_EQ(PredictName(counterProgram("d")), "count");
+}
+
+TEST(CrfLearning, TopKContainsGoldNearTop) {
+  StringInterner SI;
+  PathTable Table;
+  ExtractionConfig Config;
+  std::vector<CrfGraph> TrainGraphs;
+  std::vector<std::optional<Tree>> Keep;
+  for (int I = 0; I < 4; ++I) {
+    for (const std::string &Name : {"done", "finished", "stop"}) {
+      lang::ParseResult R = js::parse(flagProgram(Name), SI);
+      ASSERT_TRUE(R.ok());
+      Keep.push_back(std::move(R.Tree));
+      auto Contexts = extractPathContexts(*Keep.back(), Config, Table);
+      TrainGraphs.push_back(
+          buildGraph(*Keep.back(), Contexts, varSelector()));
+    }
+  }
+  CrfModel Model;
+  Model.train(TrainGraphs);
+
+  lang::ParseResult R = js::parse(flagProgram("d"), SI);
+  ASSERT_TRUE(R.ok());
+  auto Contexts = extractPathContexts(*R.Tree, Config, Table);
+  CrfGraph G = buildGraph(*R.Tree, Contexts, varSelector());
+  ASSERT_EQ(G.Unknowns.size(), 1u);
+  std::vector<Symbol> Pred = Model.predict(G);
+  auto Top = Model.topK(G, G.Unknowns[0], Pred, 3);
+  ASSERT_GE(Top.size(), 3u);
+  // All three flag-style names must appear among the top candidates.
+  std::set<std::string> Names;
+  for (const auto &[Label, Score] : Top)
+    Names.insert(SI.str(Label));
+  EXPECT_TRUE(Names.count("done"));
+  EXPECT_TRUE(Names.count("finished"));
+  EXPECT_TRUE(Names.count("stop"));
+}
+
+TEST(CrfLearning, DistinguishesFig3Pair) {
+  // The paper's Fig. 3 motivating pair: train flags as `done` and
+  // straight-line reassigned vars as `flag`; the model must tell the two
+  // programs apart (UnuglifyJS-style single-statement relations cannot).
+  StringInterner SI;
+  PathTable Table;
+  ExtractionConfig Config;
+  std::vector<CrfGraph> TrainGraphs;
+  std::vector<std::optional<Tree>> Keep;
+  auto StraightLine = [](const std::string &Name) {
+    return "someCondition(); doSomething(); var " + Name + " = false; " +
+           Name + " = true;";
+  };
+  auto Loop = [](const std::string &Name) {
+    return "var " + Name + " = false; while (!" + Name +
+           ") { doSomething(); if (someCondition()) { " + Name +
+           " = true; } }";
+  };
+  for (int I = 0; I < 6; ++I) {
+    for (const std::string &Src : {Loop("done"), StraightLine("flag")}) {
+      lang::ParseResult R = js::parse(Src, SI);
+      ASSERT_TRUE(R.ok());
+      Keep.push_back(std::move(R.Tree));
+      auto Contexts = extractPathContexts(*Keep.back(), Config, Table);
+      TrainGraphs.push_back(
+          buildGraph(*Keep.back(), Contexts, varSelector()));
+    }
+  }
+  CrfModel Model;
+  Model.train(TrainGraphs);
+
+  auto PredictName = [&](const std::string &Src) -> std::string {
+    lang::ParseResult R = js::parse(Src, SI);
+    EXPECT_TRUE(R.ok());
+    auto Contexts = extractPathContexts(*R.Tree, Config, Table);
+    CrfGraph G = buildGraph(*R.Tree, Contexts, varSelector());
+    std::vector<Symbol> Pred = Model.predict(G);
+    for (uint32_t N : G.Unknowns)
+      if (SI.str(G.Nodes[N].Gold) == "d")
+        return Pred[N].isValid() ? SI.str(Pred[N]) : "";
+    return "";
+  };
+  EXPECT_EQ(PredictName(Loop("d")), "done");
+  EXPECT_EQ(PredictName(StraightLine("d")), "flag");
+}
+
+TEST(CrfLearning, MultipleUnknownsJointlyInferred) {
+  StringInterner SI;
+  PathTable Table;
+  ExtractionConfig Config;
+  std::vector<CrfGraph> TrainGraphs;
+  std::vector<std::optional<Tree>> Keep;
+  auto Pair = [](const std::string &Arr, const std::string &Idx) {
+    return "function f(" + Arr + ") { for (var " + Idx + " = 0; " + Idx +
+           " < " + Arr + ".length; " + Idx + "++) { use(" + Arr + "[" +
+           Idx + "]); } }";
+  };
+  for (int I = 0; I < 8; ++I) {
+    lang::ParseResult R = js::parse(Pair("items", "i"), SI);
+    ASSERT_TRUE(R.ok());
+    Keep.push_back(std::move(R.Tree));
+    auto Contexts = extractPathContexts(*Keep.back(), Config, Table);
+    TrainGraphs.push_back(buildGraph(*Keep.back(), Contexts, varSelector()));
+  }
+  CrfModel Model;
+  Model.train(TrainGraphs);
+
+  lang::ParseResult R = js::parse(Pair("a", "b"), SI);
+  ASSERT_TRUE(R.ok());
+  auto Contexts = extractPathContexts(*R.Tree, Config, Table);
+  CrfGraph G = buildGraph(*R.Tree, Contexts, varSelector());
+  ASSERT_EQ(G.Unknowns.size(), 2u);
+  std::vector<Symbol> Pred = Model.predict(G);
+  std::set<std::string> Names;
+  for (uint32_t N : G.Unknowns)
+    Names.insert(SI.str(Pred[N]));
+  EXPECT_TRUE(Names.count("items"));
+  EXPECT_TRUE(Names.count("i"));
+}
+
+TEST(CrfLearning, EmptyTrainingIsSafe) {
+  CrfModel Model;
+  Model.train({});
+  EXPECT_EQ(Model.numFeatures(), 0u);
+  StringInterner SI;
+  PathTable Table;
+  Built B("var x = 1;", SI, Table);
+  std::vector<Symbol> Pred = Model.predict(B.G);
+  EXPECT_EQ(Pred.size(), B.G.Nodes.size());
+}
+
+TEST(CrfLearning, DeterministicAcrossRuns) {
+  auto Run = [](std::vector<std::string> &OutNames) {
+    StringInterner SI;
+    PathTable Table;
+    ExtractionConfig Config;
+    std::vector<CrfGraph> TrainGraphs;
+    std::vector<std::optional<Tree>> Keep;
+    for (int I = 0; I < 4; ++I) {
+      for (const std::string &Src :
+           {flagProgram("done"), counterProgram("count")}) {
+        lang::ParseResult R = js::parse(Src, SI);
+        Keep.push_back(std::move(R.Tree));
+        auto Contexts = extractPathContexts(*Keep.back(), Config, Table);
+        TrainGraphs.push_back(
+            buildGraph(*Keep.back(), Contexts, varSelector()));
+      }
+    }
+    CrfModel Model;
+    Model.train(TrainGraphs);
+    lang::ParseResult R = js::parse(flagProgram("d"), SI);
+    auto Contexts = extractPathContexts(*R.Tree, Config, Table);
+    CrfGraph G = buildGraph(*R.Tree, Contexts, varSelector());
+    std::vector<Symbol> Pred = Model.predict(G);
+    for (uint32_t N : G.Unknowns)
+      OutNames.push_back(SI.str(Pred[N]));
+  };
+  std::vector<std::string> A, B;
+  Run(A);
+  Run(B);
+  EXPECT_EQ(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// Feature hashing
+//===----------------------------------------------------------------------===//
+
+TEST(CrfFeatures, PairKeyIsOrderSensitive) {
+  Symbol A = Symbol::fromIndex(1), B = Symbol::fromIndex(2);
+  EXPECT_NE(pairKey(7, A, B), pairKey(7, B, A));
+}
+
+TEST(CrfFeatures, KeysSeparateSpaces) {
+  Symbol A = Symbol::fromIndex(1);
+  EXPECT_NE(unaryKey(7, A), pairKey(7, A, A));
+  EXPECT_NE(contextKey(7, true, A), contextKey(7, false, A));
+}
+
+} // namespace

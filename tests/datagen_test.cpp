@@ -1,0 +1,246 @@
+//===- datagen_test.cpp - Unit tests for the corpus generator --------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datagen/DomainClasses.h"
+#include "datagen/Names.h"
+#include "datagen/Sketch.h"
+
+#include "lang/csharp/CsParser.h"
+#include "lang/java/JavaParser.h"
+#include "lang/java/TypeChecker.h"
+#include "lang/js/JsParser.h"
+#include "lang/python/PyParser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::datagen;
+using pigeon::lang::Language;
+
+namespace {
+
+lang::ParseResult parseAs(Language Lang, const std::string &Text,
+                          StringInterner &SI) {
+  switch (Lang) {
+  case Language::JavaScript:
+    return js::parse(Text, SI);
+  case Language::Java:
+    return java::parse(Text, SI);
+  case Language::Python:
+    return py::parse(Text, SI);
+  case Language::CSharp:
+    return cs::parse(Text, SI);
+  }
+  return {};
+}
+
+CorpusSpec smallSpec(Language Lang) {
+  CorpusSpec Spec = defaultSpec(Lang, /*Seed=*/7);
+  Spec.NumProjects = 4;
+  Spec.FilesPerProject = 3;
+  Spec.FunctionsPerFile = 4;
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// Name utilities
+//===----------------------------------------------------------------------===//
+
+TEST(DatagenNames, CaseConversions) {
+  EXPECT_EQ(capitalize("count"), "Count");
+  EXPECT_EQ(toSnakeCase("countMatches"), "count_matches");
+  EXPECT_EQ(toSnakeCase("i"), "i");
+  EXPECT_EQ(toPascalCase("countMatches"), "CountMatches");
+  EXPECT_EQ(toPascalCase("sum"), "Sum");
+}
+
+TEST(DatagenNames, PoolsAreNonEmptyForAllRoles) {
+  for (int R = 0; R <= static_cast<int>(Role::Field); ++R)
+    for (Language Lang : {Language::JavaScript, Language::Java,
+                          Language::Python, Language::CSharp})
+      EXPECT_FALSE(rolePool(static_cast<Role>(R), Lang).Entries.empty());
+}
+
+TEST(DatagenNames, SamplerRespectsNoise) {
+  CorpusSpec Spec = defaultSpec(Language::JavaScript, 1);
+  Spec.NoiseProb = 1.0; // Always noise.
+  Rng R(1);
+  NameSampler S(Spec, 0, R);
+  std::set<std::string> NoiseSet = {"x", "tmp", "val", "data", "obj", "a"};
+  for (int I = 0; I < 20; ++I)
+    EXPECT_TRUE(NoiseSet.count(S.sample(Role::Counter)));
+}
+
+TEST(DatagenNames, CompoundComposition) {
+  CorpusSpec Spec = defaultSpec(Language::Java, 1);
+  Spec.NoiseProb = 0;
+  Spec.CompoundProb = 1.0;
+  Spec.DriftProb = 0;
+  Rng R(1);
+  NameSampler S(Spec, 0, R);
+  std::string Name = S.sample(Role::Counter, "item");
+  EXPECT_EQ(Name.rfind("item", 0), 0u) << Name;
+  EXPECT_NE(Name, "item");
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus generation
+//===----------------------------------------------------------------------===//
+
+TEST(DatagenCorpus, DeterministicForFixedSeed) {
+  CorpusSpec Spec = smallSpec(Language::JavaScript);
+  auto A = generateCorpus(Spec);
+  auto B = generateCorpus(Spec);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Text, B[I].Text);
+}
+
+TEST(DatagenCorpus, DifferentSeedsDiffer) {
+  CorpusSpec SpecA = smallSpec(Language::JavaScript);
+  CorpusSpec SpecB = SpecA;
+  SpecB.Seed = SpecA.Seed + 1;
+  auto A = generateCorpus(SpecA);
+  auto B = generateCorpus(SpecB);
+  bool AnyDiff = false;
+  for (size_t I = 0; I < A.size(); ++I)
+    AnyDiff |= (A[I].Text != B[I].Text);
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(DatagenCorpus, ExpectedFileCount) {
+  CorpusSpec Spec = smallSpec(Language::Python);
+  auto Files = generateCorpus(Spec);
+  EXPECT_EQ(Files.size(), static_cast<size_t>(Spec.NumProjects *
+                                              Spec.FilesPerProject));
+}
+
+TEST(DatagenCorpus, EveryFileParsesInItsLanguage) {
+  for (Language Lang : {Language::JavaScript, Language::Java,
+                        Language::Python, Language::CSharp}) {
+    CorpusSpec Spec = smallSpec(Lang);
+    StringInterner SI;
+    for (const SourceFile &File : generateCorpus(Spec)) {
+      lang::ParseResult R = parseAs(Lang, File.Text, SI);
+      EXPECT_TRUE(R.Tree.has_value());
+      for (const lang::Diagnostic &D : R.Diags)
+        ADD_FAILURE() << lang::languageName(Lang) << " " << File.FileName
+                      << ": " << D.str() << "\n"
+                      << File.Text;
+      if (!R.Diags.empty())
+        break; // One bad file prints enough context.
+    }
+  }
+}
+
+TEST(DatagenCorpus, ParsedFilesHavePredictableElements) {
+  CorpusSpec Spec = smallSpec(Language::JavaScript);
+  StringInterner SI;
+  size_t TotalPredictable = 0;
+  for (const SourceFile &File : generateCorpus(Spec)) {
+    lang::ParseResult R = parseAs(Language::JavaScript, File.Text, SI);
+    ASSERT_TRUE(R.Tree.has_value());
+    for (const ElementInfo &Info : R.Tree->elements())
+      if (Info.Predictable && (Info.Kind == ElementKind::LocalVar ||
+                               Info.Kind == ElementKind::Parameter))
+        ++TotalPredictable;
+  }
+  EXPECT_GT(TotalPredictable, 50u);
+}
+
+TEST(DatagenCorpus, JavaFilesTypeAnnotate) {
+  CorpusSpec Spec = smallSpec(Language::Java);
+  StringInterner SI;
+  java::ClassPath CP = java::ClassPath::standard();
+  addDomainClasses(CP);
+  size_t TotalTyped = 0;
+  for (const SourceFile &File : generateCorpus(Spec)) {
+    lang::ParseResult R = parseAs(Language::Java, File.Text, SI);
+    ASSERT_TRUE(R.Tree.has_value());
+    ASSERT_TRUE(R.Diags.empty()) << File.Text;
+    TotalTyped += java::annotateTypes(*R.Tree, CP);
+  }
+  EXPECT_GT(TotalTyped, 200u) << "the type oracle must label many nodes";
+}
+
+TEST(DatagenCorpus, StringTypeShareIsMeaningful) {
+  // The java.lang.String naive baseline (§5.3.3) only makes sense if
+  // String is common but not dominant among ground-truth types.
+  CorpusSpec Spec = smallSpec(Language::Java);
+  Spec.NumProjects = 6;
+  StringInterner SI;
+  java::ClassPath CP = java::ClassPath::standard();
+  addDomainClasses(CP);
+  size_t Total = 0, Strings = 0;
+  for (const SourceFile &File : generateCorpus(Spec)) {
+    lang::ParseResult R = parseAs(Language::Java, File.Text, SI);
+    ASSERT_TRUE(R.Tree.has_value());
+    java::annotateTypes(*R.Tree, CP);
+    for (NodeId Id : R.Tree->typedNodes()) {
+      ++Total;
+      if (SI.str(R.Tree->typeOf(Id)) == "java.lang.String")
+        ++Strings;
+    }
+  }
+  ASSERT_GT(Total, 0u);
+  double Share = static_cast<double>(Strings) / static_cast<double>(Total);
+  EXPECT_GT(Share, 0.05);
+  EXPECT_LT(Share, 0.6);
+}
+
+TEST(DatagenCorpus, StrippedRenderingReplacesVariableNames) {
+  CorpusSpec Spec = smallSpec(Language::JavaScript);
+  auto Files = generateCorpus(Spec);
+  ASSERT_FALSE(Files.empty());
+  const FileSketch &Sketch = Files[0].Sketch;
+  std::string Stripped = render(Sketch, Language::JavaScript,
+                                /*StripNames=*/true);
+  StringInterner SI;
+  lang::ParseResult R = parseAs(Language::JavaScript, Stripped, SI);
+  EXPECT_TRUE(R.Tree.has_value());
+  EXPECT_TRUE(R.Diags.empty()) << Stripped;
+  // Method names survive stripping; helper calls survive too.
+  for (const IdiomInstance &F : Sketch.Functions)
+    EXPECT_NE(Stripped.find(F.MethodName), std::string::npos)
+        << "method names are not stripped";
+}
+
+TEST(DatagenCorpus, ProjectsVaryNamingViaDrift) {
+  CorpusSpec Spec = smallSpec(Language::JavaScript);
+  Spec.NumProjects = 24;
+  Spec.FilesPerProject = 4;
+  Spec.DriftProb = 1.0; // Every sample takes the project preference.
+  auto Files = generateCorpus(Spec);
+  // Collect the flag names used per project for LoopFlag idioms.
+  std::map<std::string, std::set<std::string>> FlagsByProject;
+  for (const SourceFile &File : Files)
+    for (const IdiomInstance &F : File.Sketch.Functions)
+      if (F.Kind == IdiomKind::LoopFlag)
+        FlagsByProject[File.Project].insert(F.name("flag"));
+  std::set<std::string> AllFlags;
+  for (const auto &[Proj, Flags] : FlagsByProject)
+    AllFlags.insert(Flags.begin(), Flags.end());
+  // With full drift each project is internally consistent (modulo noise),
+  // while different projects may prefer different synonyms.
+  EXPECT_GE(AllFlags.size(), 2u);
+}
+
+TEST(DatagenCorpus, IdiomNamesAreStable) {
+  EXPECT_STREQ(idiomName(IdiomKind::LoopFlag), "loop-flag");
+  EXPECT_STREQ(idiomName(IdiomKind::MapLookup), "map-lookup");
+}
+
+TEST(DatagenCorpus, DefaultSpecsDifferPerLanguage) {
+  EXPECT_LT(defaultSpec(Language::JavaScript).NoiseProb,
+            defaultSpec(Language::Python).NoiseProb);
+  EXPECT_GT(defaultSpec(Language::Java).CompoundProb,
+            defaultSpec(Language::JavaScript).CompoundProb);
+}
+
+} // namespace

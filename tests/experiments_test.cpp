@@ -1,0 +1,226 @@
+//===- experiments_test.cpp - Integration tests for the pipeline -----------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end tests: generate a corpus, parse it, train models, and check
+/// that the paper's qualitative orderings hold (AST paths beat the
+/// baselines; the type task beats the String baseline; etc.).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+
+#include "lang/js/JsParser.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace pigeon;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+namespace {
+
+/// Small-but-meaningful corpus, cached per language across tests.
+const Corpus &corpusFor(Language Lang) {
+  static std::map<Language, Corpus> Cache;
+  auto It = Cache.find(Lang);
+  if (It == Cache.end()) {
+    datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, /*Seed=*/11);
+    Spec.NumProjects = 40;
+    It = Cache.emplace(Lang,
+                       parseCorpus(datagen::generateCorpus(Spec), Lang))
+             .first;
+  }
+  return It->second;
+}
+
+CrfExperimentOptions defaultOptions() {
+  CrfExperimentOptions Options;
+  Options.Extraction.MaxLength = 4;
+  Options.Extraction.MaxWidth = 3;
+  Options.Crf.Epochs = 4;
+  return Options;
+}
+
+TEST(PipelineTest, ParsesWholeCorpus) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  EXPECT_EQ(C.ParseFailures, 0u);
+  EXPECT_EQ(C.Files.size(), 640u);
+  EXPECT_EQ(C.numProjects(), 40u);
+  EXPECT_GT(C.SourceBytes, 10000u);
+}
+
+TEST(PipelineTest, SplitSeparatesProjects) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  Split S = splitByProject(C, 0.25, 42);
+  EXPECT_FALSE(S.Train.empty());
+  EXPECT_FALSE(S.Test.empty());
+  EXPECT_EQ(S.Train.size() + S.Test.size(), C.Files.size());
+  std::set<std::string> TrainProjects, TestProjects;
+  for (size_t I : S.Train)
+    TrainProjects.insert(C.Files[I].Project);
+  for (size_t I : S.Test)
+    TestProjects.insert(C.Files[I].Project);
+  for (const std::string &P : TestProjects)
+    EXPECT_FALSE(TrainProjects.count(P)) << "project leaked: " << P;
+}
+
+TEST(PipelineTest, SplitIsDeterministic) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  Split A = splitByProject(C, 0.25, 42);
+  Split B = splitByProject(C, 0.25, 42);
+  EXPECT_EQ(A.Train, B.Train);
+  EXPECT_EQ(A.Test, B.Test);
+  Split Other = splitByProject(C, 0.25, 43);
+  EXPECT_NE(A.Test, Other.Test);
+}
+
+TEST(ExperimentsVarNames, AstPathsLearnSomething) {
+  ExperimentResult R = runCrfNameExperiment(
+      corpusFor(Language::JavaScript), Task::VariableNames,
+      defaultOptions());
+  EXPECT_GT(R.Predictions, 50u);
+  EXPECT_GT(R.Accuracy, 0.45) << "paths should predict most modal names";
+  EXPECT_GT(R.NumFeatures, 100u);
+  EXPECT_GT(R.DistinctPaths, 50u);
+}
+
+TEST(ExperimentsVarNames, PathsBeatNoPaths) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  CrfExperimentOptions Options = defaultOptions();
+  ExperimentResult Paths =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  Options.Repr = Representation::NoPaths;
+  ExperimentResult NoPaths =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  EXPECT_GT(Paths.Accuracy, NoPaths.Accuracy)
+      << "paths=" << Paths.Accuracy << " nopaths=" << NoPaths.Accuracy;
+}
+
+TEST(ExperimentsVarNames, PathsBeatIntraStatement) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  CrfExperimentOptions Options = defaultOptions();
+  ExperimentResult Paths =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  Options.Repr = Representation::IntraStatement;
+  ExperimentResult Intra =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  EXPECT_GT(Paths.Accuracy, Intra.Accuracy)
+      << "paths=" << Paths.Accuracy << " intra=" << Intra.Accuracy;
+}
+
+TEST(ExperimentsVarNames, PathsBeatNgramsOnJava) {
+  const Corpus &C = corpusFor(Language::Java);
+  CrfExperimentOptions Options = defaultOptions();
+  Options.Extraction = tunedExtraction(Language::Java, Task::VariableNames);
+  ExperimentResult Paths =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  Options.Repr = Representation::Ngrams;
+  ExperimentResult Ngrams =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  EXPECT_GT(Paths.Accuracy, Ngrams.Accuracy)
+      << "paths=" << Paths.Accuracy << " ngrams=" << Ngrams.Accuracy;
+}
+
+TEST(ExperimentsVarNames, RuleBasedIsWeakOnJava) {
+  const Corpus &C = corpusFor(Language::Java);
+  ExperimentResult Rules = runRuleBasedJava(C, 0.25, 42);
+  CrfExperimentOptions Options = defaultOptions();
+  Options.Extraction = tunedExtraction(Language::Java, Task::VariableNames);
+  ExperimentResult Paths =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  EXPECT_GT(Rules.Predictions, 20u);
+  EXPECT_GT(Paths.Accuracy, Rules.Accuracy)
+      << "paths=" << Paths.Accuracy << " rules=" << Rules.Accuracy;
+}
+
+TEST(ExperimentsVarNames, DownsamplingDegradesGracefully) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  CrfExperimentOptions Options = defaultOptions();
+  ExperimentResult Full =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  Options.DownsampleP = 0.5;
+  ExperimentResult Half =
+      runCrfNameExperiment(C, Task::VariableNames, Options);
+  EXPECT_LT(Half.TrainContexts, Full.TrainContexts);
+  // Half the contexts must not collapse accuracy (Fig. 11's flatness).
+  EXPECT_GT(Half.Accuracy, Full.Accuracy - 0.15);
+}
+
+TEST(ExperimentsMethodNames, PathsPredictMethodNames) {
+  ExperimentResult R = runCrfNameExperiment(
+      corpusFor(Language::JavaScript), Task::MethodNames, defaultOptions());
+  EXPECT_GT(R.Predictions, 20u);
+  EXPECT_GT(R.Accuracy, 0.3);
+  EXPECT_GT(R.SubtokenF1, R.Accuracy)
+      << "sub-token F1 credits partial matches";
+}
+
+TEST(ExperimentsMethodNames, SubtokenBaselineRunsOnJava) {
+  const Corpus &C = corpusFor(Language::Java);
+  ExperimentResult Sub = runSubtokenMethodNamer(C, 0.25, 42);
+  EXPECT_GT(Sub.Predictions, 20u);
+  ExperimentResult Paths =
+      runCrfNameExperiment(C, Task::MethodNames, defaultOptions());
+  EXPECT_GT(Paths.Accuracy, Sub.Accuracy)
+      << "paths=" << Paths.Accuracy << " subtoken=" << Sub.Accuracy;
+}
+
+TEST(ExperimentsTypes, TypePredictionBeatsStringBaseline) {
+  const Corpus &C = corpusFor(Language::Java);
+  CrfExperimentOptions Options = defaultOptions();
+  Options.Extraction.MaxLength = 4;
+  Options.Extraction.MaxWidth = 1;
+  ExperimentResult Types = runCrfTypeExperiment(C, Options);
+  ExperimentResult Naive = runStringTypeBaseline(C, 0.25, 42);
+  EXPECT_GT(Types.Predictions, 100u);
+  EXPECT_GT(Types.Accuracy, 0.5);
+  EXPECT_GT(Types.Accuracy, Naive.Accuracy + 0.2)
+      << "types=" << Types.Accuracy << " naive=" << Naive.Accuracy;
+  EXPECT_GT(Naive.Accuracy, 0.05);
+}
+
+TEST(ExperimentsW2v, PathsBeatTokenStream) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  W2vExperimentOptions Options;
+  Options.Sgns.Epochs = 4;
+  ExperimentResult Paths = runW2vNameExperiment(C, Options);
+  Options.Contexts = W2vContexts::TokenStream;
+  ExperimentResult Tokens = runW2vNameExperiment(C, Options);
+  Options.Contexts = W2vContexts::PathNeighbors;
+  ExperimentResult Neighbors = runW2vNameExperiment(C, Options);
+  EXPECT_GT(Paths.Accuracy, Tokens.Accuracy)
+      << "paths=" << Paths.Accuracy << " tokens=" << Tokens.Accuracy;
+  EXPECT_GT(Paths.Accuracy, Neighbors.Accuracy)
+      << "paths=" << Paths.Accuracy << " nb=" << Neighbors.Accuracy;
+}
+
+TEST(Qualitative, Fig1aTopCandidatesAreFlagNames) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  TrainedNameModel Model(C, Task::VariableNames, defaultOptions());
+  // Parse Fig. 1a with the corpus interner.
+  lang::ParseResult R = js::parse(
+      "function waitUntilReady() { var d = false; while (!d) { if "
+      "(someCondition()) { d = true; } } return d; }",
+      *C.Interner);
+  ASSERT_TRUE(R.ok());
+  auto Pred = Model.predict(*R.Tree);
+  ASSERT_FALSE(Pred.empty());
+  // Find element `d` and check the prediction is a flag-style name.
+  for (const auto &[E, Name] : Pred) {
+    if (C.Interner->str(R.Tree->element(E).Name) != "d")
+      continue;
+    ASSERT_TRUE(Name.isValid());
+    EXPECT_EQ(C.Interner->str(Name), "done");
+    auto Top = Model.topKFor(*R.Tree, E, 5);
+    ASSERT_GE(Top.size(), 2u);
+    EXPECT_EQ(C.Interner->str(Top[0].first), "done");
+  }
+}
+
+} // namespace

@@ -1,0 +1,329 @@
+//===- java_types_test.cpp - Unit tests for the MiniJava type checker ------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/java/ClassPath.h"
+#include "lang/java/JavaParser.h"
+#include "lang/java/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::java;
+
+namespace {
+
+/// Parses, type-checks, and returns a map from node sexpr-kind+value hints
+/// to type strings. For assertions we expose: all (kind, type) pairs and a
+/// helper that finds the type of the first node of a given kind.
+struct Checked {
+  StringInterner SI;
+  std::optional<Tree> T;
+  size_t Annotated = 0;
+
+  explicit Checked(std::string_view Source) {
+    lang::ParseResult R = java::parse(Source, SI);
+    EXPECT_TRUE(R.Tree.has_value());
+    for (const lang::Diagnostic &D : R.Diags)
+      ADD_FAILURE() << "diagnostic: " << D.str();
+    T = std::move(R.Tree);
+    if (T)
+      Annotated = annotateTypes(*T, ClassPath::standard());
+  }
+
+  /// Type of the first node whose kind is \p Kind, or "".
+  std::string typeOfKind(std::string_view Kind) const {
+    for (NodeId Id = 0; Id < T->size(); ++Id) {
+      if (SI.str(T->node(Id).Kind) != Kind)
+        continue;
+      Symbol Ty = T->typeOf(Id);
+      if (Ty.isValid())
+        return SI.str(Ty);
+    }
+    return "";
+  }
+
+  /// Type of the NameExpr whose SimpleName value is \p Name, or "".
+  std::string typeOfName(std::string_view Name) const {
+    for (NodeId Id = 0; Id < T->size(); ++Id) {
+      if (SI.str(T->node(Id).Kind) != "NameExpr")
+        continue;
+      auto Kids = T->children(Id);
+      if (Kids.empty() || SI.str(T->node(Kids[0]).Value) != Name)
+        continue;
+      Symbol Ty = T->typeOf(Id);
+      if (Ty.isValid())
+        return SI.str(Ty);
+    }
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Type-string utilities
+//===----------------------------------------------------------------------===//
+
+TEST(TypeStrings, ParsePlainType) {
+  ParsedType P = parseTypeString("java.lang.String");
+  EXPECT_EQ(P.Base, "java.lang.String");
+  EXPECT_TRUE(P.Args.empty());
+}
+
+TEST(TypeStrings, ParseGenericType) {
+  ParsedType P = parseTypeString("java.util.Map<java.lang.String,int>");
+  EXPECT_EQ(P.Base, "java.util.Map");
+  ASSERT_EQ(P.Args.size(), 2u);
+  EXPECT_EQ(P.Args[0], "java.lang.String");
+  EXPECT_EQ(P.Args[1], "int");
+}
+
+TEST(TypeStrings, ParseNestedGenericType) {
+  ParsedType P =
+      parseTypeString("java.util.List<java.util.Map<java.lang.String,int>>");
+  EXPECT_EQ(P.Base, "java.util.List");
+  ASSERT_EQ(P.Args.size(), 1u);
+  EXPECT_EQ(P.Args[0], "java.util.Map<java.lang.String,int>");
+}
+
+TEST(TypeStrings, SubstitutePlaceholders) {
+  EXPECT_EQ(substituteTypeArgs("T0", {"java.lang.Integer"}),
+            "java.lang.Integer");
+  EXPECT_EQ(substituteTypeArgs("java.util.Iterator<T0>", {"X"}),
+            "java.util.Iterator<X>");
+  EXPECT_EQ(substituteTypeArgs("T1", {"A", "B"}), "B");
+}
+
+TEST(TypeStrings, SubstituteMissingArgFallsBackToObject) {
+  EXPECT_EQ(substituteTypeArgs("T0", {}), "java.lang.Object");
+}
+
+TEST(TypeStrings, SubstituteDoesNotTouchRealNames) {
+  // "T0x" is a real identifier, not a placeholder.
+  EXPECT_EQ(substituteTypeArgs("T0x", {"A"}), "T0x");
+}
+
+//===----------------------------------------------------------------------===//
+// ClassPath
+//===----------------------------------------------------------------------===//
+
+TEST(ClassPathTest, StandardHasCoreClasses) {
+  ClassPath CP = ClassPath::standard();
+  EXPECT_NE(CP.find("java.lang.String"), nullptr);
+  EXPECT_NE(CP.find("java.util.List"), nullptr);
+  EXPECT_EQ(CP.find("com.nonexistent.Foo"), nullptr);
+}
+
+TEST(ClassPathTest, MethodReturnDirect) {
+  ClassPath CP = ClassPath::standard();
+  auto R = CP.methodReturn("java.lang.String", "length");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, "int");
+}
+
+TEST(ClassPathTest, MethodReturnGenericSubstitution) {
+  ClassPath CP = ClassPath::standard();
+  auto R = CP.methodReturn("java.util.List<java.lang.Integer>", "get");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, "java.lang.Integer");
+}
+
+TEST(ClassPathTest, MethodReturnThroughSuperChain) {
+  // ArrayList inherits get from List and size from Collection.
+  ClassPath CP = ClassPath::standard();
+  auto Get = CP.methodReturn("java.util.ArrayList<java.lang.String>", "get");
+  ASSERT_TRUE(Get.has_value());
+  EXPECT_EQ(*Get, "java.lang.String");
+  auto Size = CP.methodReturn("java.util.ArrayList<java.lang.String>",
+                              "size");
+  ASSERT_TRUE(Size.has_value());
+  EXPECT_EQ(*Size, "int");
+}
+
+TEST(ClassPathTest, MapValueSubstitution) {
+  ClassPath CP = ClassPath::standard();
+  auto R = CP.methodReturn(
+      "java.util.HashMap<java.lang.String,java.lang.Integer>", "get");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, "java.lang.Integer");
+}
+
+TEST(ClassPathTest, FieldTypeLookup) {
+  ClassPath CP = ClassPath::standard();
+  auto R = CP.fieldType("java.lang.System", "out");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, "java.io.PrintStream");
+}
+
+TEST(ClassPathTest, UnknownMethodIsNullopt) {
+  ClassPath CP = ClassPath::standard();
+  EXPECT_FALSE(CP.methodReturn("java.lang.String", "frobnicate").has_value());
+  EXPECT_FALSE(CP.methodReturn("com.unknown.Type", "get").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program type annotation
+//===----------------------------------------------------------------------===//
+
+TEST(TypeChecker, LocalVariableUse) {
+  Checked C("class A { void m() { int x = 1; int y = x; } }");
+  EXPECT_EQ(C.typeOfName("x"), "int");
+}
+
+TEST(TypeChecker, ParameterUse) {
+  Checked C("class A { void m(String s) { s.length(); } }");
+  EXPECT_EQ(C.typeOfName("s"), "java.lang.String");
+}
+
+TEST(TypeChecker, ImportResolvesSimpleNames) {
+  Checked C("import java.util.List;\nclass A { void m(List<Integer> xs) { "
+            "xs.size(); } }");
+  EXPECT_EQ(C.typeOfName("xs"), "java.util.List<java.lang.Integer>");
+}
+
+TEST(TypeChecker, MethodCallReturnType) {
+  Checked C("class A { void m(String s) { int n = s.length(); } }");
+  EXPECT_EQ(C.typeOfKind("MethodCallExpr"), "int");
+}
+
+TEST(TypeChecker, GenericListGet) {
+  Checked C("import java.util.List;\nclass A { void m(List<String> xs) { "
+            "String s = xs.get(0); } }");
+  EXPECT_EQ(C.typeOfKind("MethodCallExpr"), "java.lang.String");
+}
+
+TEST(TypeChecker, StaticMathCall) {
+  Checked C("class A { void m(int a, int b) { int x = Math.max(a, b); } }");
+  EXPECT_EQ(C.typeOfKind("MethodCallExpr"), "int");
+}
+
+TEST(TypeChecker, SystemOutField) {
+  Checked C("class A { void m() { System.out.println(1); } }");
+  EXPECT_EQ(C.typeOfKind("FieldAccessExpr"), "java.io.PrintStream");
+}
+
+TEST(TypeChecker, FieldOfThisClass) {
+  Checked C("class A { int count; void m() { int x = count; } }");
+  EXPECT_EQ(C.typeOfName("count"), "int");
+}
+
+TEST(TypeChecker, ThisFieldAccess) {
+  Checked C("class A { boolean done; void m() { this.done = true; } }");
+  EXPECT_EQ(C.typeOfKind("FieldAccessExpr"), "boolean");
+}
+
+TEST(TypeChecker, LocalMethodCall) {
+  Checked C("class A { String name() { return \"x\"; } void m() { String n "
+            "= name(); } }");
+  EXPECT_EQ(C.typeOfKind("MethodCallExpr"), "java.lang.String");
+}
+
+TEST(TypeChecker, ObjectCreation) {
+  Checked C("import java.util.ArrayList;\nclass A { void m() { "
+            "ArrayList<String> xs = new ArrayList<String>(); } }");
+  EXPECT_EQ(C.typeOfKind("ObjectCreationExpr"),
+            "java.util.ArrayList<java.lang.String>");
+}
+
+TEST(TypeChecker, ArrayAccessElementType) {
+  Checked C("class A { void m(int[] data) { int x = data[0]; } }");
+  EXPECT_EQ(C.typeOfKind("ArrayAccessExpr"), "int");
+}
+
+TEST(TypeChecker, ArrayLengthField) {
+  Checked C("class A { void m(int[] data) { int n = data.length; } }");
+  EXPECT_EQ(C.typeOfKind("FieldAccessExpr"), "int");
+}
+
+TEST(TypeChecker, StringConcatenation) {
+  Checked C("class A { void m(String s, int n) { String r = s + n; } }");
+  EXPECT_EQ(C.typeOfKind("BinaryExpr+"), "java.lang.String");
+}
+
+TEST(TypeChecker, NumericPromotion) {
+  Checked C("class A { void m(int i, double d) { double r = i + d; } }");
+  EXPECT_EQ(C.typeOfKind("BinaryExpr+"), "double");
+}
+
+TEST(TypeChecker, ComparisonIsBoolean) {
+  Checked C("class A { void m(int i, int j) { boolean b = i < j; } }");
+  EXPECT_EQ(C.typeOfKind("BinaryExpr<"), "boolean");
+}
+
+TEST(TypeChecker, CastType) {
+  Checked C("class A { void m(Object o) { String s = (String) o; } }");
+  EXPECT_EQ(C.typeOfKind("CastExpr"), "java.lang.String");
+}
+
+TEST(TypeChecker, ConditionalType) {
+  Checked C("class A { void m(int a, int b) { int x = a > b ? a : b; } }");
+  EXPECT_EQ(C.typeOfKind("ConditionalExpr"), "int");
+}
+
+TEST(TypeChecker, ForEachVariableType) {
+  Checked C("import java.util.List;\nclass A { void m(List<String> xs) { "
+            "for (String s : xs) { s.length(); } } }");
+  EXPECT_EQ(C.typeOfName("s"), "java.lang.String");
+}
+
+TEST(TypeChecker, IntraFileClassReference) {
+  Checked C("class Helper { int value() { return 1; } }\n"
+            "class A { void m(Helper h) { int v = h.value(); } }");
+  EXPECT_EQ(C.typeOfName("h"), "Helper");
+  EXPECT_EQ(C.typeOfKind("MethodCallExpr"), "int");
+}
+
+TEST(TypeChecker, PackageQualifiesLocalClasses) {
+  Checked C("package com.app;\nclass Helper {}\n"
+            "class A { void m(Helper h) { Object o = h; } }");
+  EXPECT_EQ(C.typeOfName("h"), "com.app.Helper");
+}
+
+TEST(TypeChecker, VoidCallsAreNotAnnotated) {
+  Checked C("class A { void m() { System.out.println(1); } }");
+  // println returns void; the call node must not carry a type.
+  for (NodeId Id = 0; Id < C.T->size(); ++Id)
+    if (C.SI.str(C.T->node(Id).Kind) == "MethodCallExpr" &&
+        C.T->typeOf(Id).isValid()) {
+      EXPECT_NE(C.SI.str(C.T->typeOf(Id)), "void");
+    }
+}
+
+TEST(TypeChecker, UnknownTypesAreLeftUnannotated) {
+  Checked C("class A { void m(com.mystery.Widget w) { w.spin(); } }");
+  // `w` has a declared (unknown) type, so NameExpr is annotated with it,
+  // but the call's return type is unknown and must stay unannotated.
+  EXPECT_EQ(C.typeOfKind("MethodCallExpr"), "");
+}
+
+TEST(TypeChecker, LongLiteralSuffix) {
+  Checked C("class A { void m() { long t = System.currentTimeMillis(); } }");
+  EXPECT_EQ(C.typeOfKind("MethodCallExpr"), "long");
+}
+
+TEST(TypeChecker, ScopingBlocksShadowCorrectly) {
+  Checked C("class A { void m() { { String x = \"a\"; } int x = 1; int y = "
+            "x; } }");
+  // The last NameExpr x must be int (inner String x is out of scope).
+  std::string LastType;
+  for (NodeId Id = 0; Id < C.T->size(); ++Id) {
+    if (C.SI.str(C.T->node(Id).Kind) != "NameExpr")
+      continue;
+    auto Kids = C.T->children(Id);
+    if (!Kids.empty() && C.SI.str(C.T->node(Kids[0]).Value) == "x" &&
+        C.T->typeOf(Id).isValid())
+      LastType = C.SI.str(C.T->typeOf(Id));
+  }
+  EXPECT_EQ(LastType, "int");
+}
+
+TEST(TypeChecker, AnnotationCountIsPositive) {
+  Checked C("class A { int f(int a) { return a + 1; } }");
+  EXPECT_GT(C.Annotated, 0u);
+}
+
+} // namespace

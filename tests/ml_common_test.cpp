@@ -1,0 +1,110 @@
+//===- ml_common_test.cpp - Unit tests for metrics and vocabularies --------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/common/Metrics.h"
+#include "ml/common/Vocab.h"
+
+#include <gtest/gtest.h>
+
+using namespace pigeon;
+using namespace pigeon::ml;
+
+namespace {
+
+TEST(AccuracyMeter, ExactMatchesCount) {
+  AccuracyMeter M;
+  M.add("done", "done");
+  M.add("count", "total");
+  EXPECT_EQ(M.total(), 2u);
+  EXPECT_EQ(M.correct(), 1u);
+  EXPECT_DOUBLE_EQ(M.accuracy(), 0.5);
+}
+
+TEST(AccuracyMeter, SeparatorAndCaseInsensitive) {
+  AccuracyMeter M;
+  M.add("totalCount", "total_count"); // §5.2's example.
+  M.add("Done", "done");
+  EXPECT_EQ(M.correct(), 2u);
+}
+
+TEST(AccuracyMeter, EmptyPredictionIsWrong) {
+  AccuracyMeter M;
+  M.add("", "anything");
+  EXPECT_EQ(M.correct(), 0u);
+}
+
+TEST(AccuracyMeter, AddWrongCountsAgainst) {
+  AccuracyMeter M;
+  M.addWrong(); // UNK test label.
+  M.add("x", "x");
+  EXPECT_DOUBLE_EQ(M.accuracy(), 0.5);
+}
+
+TEST(AccuracyMeter, EmptyMeterIsZero) {
+  AccuracyMeter M;
+  EXPECT_DOUBLE_EQ(M.accuracy(), 0.0);
+}
+
+TEST(SubTokenMeter, MicroAveragedF1) {
+  SubTokenMeter M;
+  // Prediction getFoo vs getFooBar: 2 hits, 2 predicted, 3 actual.
+  M.add("getFoo", "getFooBar");
+  EXPECT_DOUBLE_EQ(M.precision(), 1.0);
+  EXPECT_NEAR(M.recall(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(M.f1(), 0.8, 1e-9);
+}
+
+TEST(SubTokenMeter, AccumulatesAcrossExamples) {
+  SubTokenMeter M;
+  M.add("getFoo", "getFoo");   // 2/2, 2/2.
+  M.add("setBar", "setQux");   // 1 hit of 2 and 2.
+  EXPECT_DOUBLE_EQ(M.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(M.recall(), 0.75);
+}
+
+TEST(LabelVocab, CountsAndContains) {
+  StringInterner SI;
+  LabelVocab V;
+  Symbol A = SI.intern("count"), B = SI.intern("done");
+  V.add(A);
+  V.add(A);
+  V.add(B);
+  EXPECT_TRUE(V.contains(A));
+  EXPECT_FALSE(V.contains(SI.intern("missing")));
+  EXPECT_EQ(V.count(A), 2u);
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V.totalCount(), 3u);
+}
+
+TEST(LabelVocab, TopLabelsByFrequency) {
+  StringInterner SI;
+  LabelVocab V;
+  Symbol A = SI.intern("a"), B = SI.intern("b"), C = SI.intern("c");
+  for (int I = 0; I < 3; ++I)
+    V.add(B);
+  for (int I = 0; I < 2; ++I)
+    V.add(C);
+  V.add(A);
+  auto Top = V.topLabels(2);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0], B);
+  EXPECT_EQ(Top[1], C);
+  EXPECT_EQ(V.topLabels().size(), 3u);
+}
+
+TEST(LabelVocab, DeterministicTieBreak) {
+  StringInterner SI;
+  LabelVocab V;
+  Symbol A = SI.intern("a"), B = SI.intern("b");
+  V.add(B);
+  V.add(A);
+  auto Top = V.topLabels();
+  // Equal counts: lower symbol index ("a" was interned first) wins.
+  EXPECT_EQ(Top[0], A);
+  EXPECT_EQ(Top[1], B);
+}
+
+} // namespace

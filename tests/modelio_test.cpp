@@ -1,0 +1,138 @@
+//===- modelio_test.cpp - Unit tests for whole-model persistence -----------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "core/ModelIO.h"
+
+#include "lang/js/JsParser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+namespace {
+
+/// Trains a small JS variable-name bundle.
+ModelBundle trainBundle() {
+  ModelBundle Bundle;
+  Bundle.Lang = Language::JavaScript;
+  Bundle.Interner = std::make_unique<StringInterner>();
+  Bundle.Extraction = tunedExtraction(Language::JavaScript,
+                                      Task::VariableNames);
+  Bundle.TaskKind = Task::VariableNames;
+
+  datagen::CorpusSpec Spec =
+      datagen::defaultSpec(Language::JavaScript, /*Seed=*/5);
+  Spec.NumProjects = 6;
+  crf::ElementSelector Selector = selectorFor(Task::VariableNames);
+  std::vector<crf::CrfGraph> Graphs;
+  std::vector<std::optional<Tree>> Keep;
+  for (const datagen::SourceFile &File : datagen::generateCorpus(Spec)) {
+    lang::ParseResult R = js::parse(File.Text, *Bundle.Interner);
+    EXPECT_TRUE(R.ok());
+    Keep.push_back(std::move(R.Tree));
+    auto Contexts = paths::extractPathContexts(
+        *Keep.back(), Bundle.Extraction, Bundle.Table);
+    Graphs.push_back(crf::buildGraph(*Keep.back(), Contexts, Selector));
+  }
+  Bundle.Model.train(Graphs);
+  return Bundle;
+}
+
+std::map<std::string, std::string>
+predictWith(ModelBundle &Bundle, const std::string &Source) {
+  lang::ParseResult R = js::parse(Source, *Bundle.Interner);
+  EXPECT_TRUE(R.Tree.has_value());
+  auto Contexts = paths::extractPathContexts(*R.Tree, Bundle.Extraction,
+                                             Bundle.Table);
+  crf::CrfGraph G =
+      crf::buildGraph(*R.Tree, Contexts, selectorFor(Bundle.TaskKind));
+  std::vector<Symbol> Pred = Bundle.Model.predict(G);
+  std::map<std::string, std::string> Out;
+  for (uint32_t N : G.Unknowns)
+    Out[Bundle.Interner->str(G.Nodes[N].Gold)] =
+        Pred[N].isValid() ? Bundle.Interner->str(Pred[N]) : "";
+  return Out;
+}
+
+const char *MinifiedFlag =
+    "function f() { var a = false; while (!a) { if (check()) { a = true; } "
+    "} return a; }";
+
+TEST(ModelIO, RoundTripPredictsIdentically) {
+  ModelBundle Original = trainBundle();
+  auto Before = predictWith(Original, MinifiedFlag);
+  ASSERT_FALSE(Before.empty());
+
+  std::stringstream Buffer;
+  saveModel(Buffer, Original);
+  std::unique_ptr<ModelBundle> Restored = loadModel(Buffer);
+  ASSERT_NE(Restored, nullptr);
+  EXPECT_EQ(Restored->Lang, Original.Lang);
+  EXPECT_EQ(Restored->TaskKind, Original.TaskKind);
+  EXPECT_EQ(Restored->Extraction.MaxLength, Original.Extraction.MaxLength);
+  EXPECT_EQ(Restored->Extraction.MaxWidth, Original.Extraction.MaxWidth);
+  EXPECT_EQ(Restored->Interner->size(), Original.Interner->size());
+  EXPECT_EQ(Restored->Table.size(), Original.Table.size());
+  EXPECT_EQ(Restored->Model.numFeatures(), Original.Model.numFeatures());
+
+  auto After = predictWith(*Restored, MinifiedFlag);
+  EXPECT_EQ(Before, After);
+}
+
+TEST(ModelIO, PredictsFlagNameAfterReload) {
+  ModelBundle Original = trainBundle();
+  std::stringstream Buffer;
+  saveModel(Buffer, Original);
+  std::unique_ptr<ModelBundle> Restored = loadModel(Buffer);
+  ASSERT_NE(Restored, nullptr);
+  auto Pred = predictWith(*Restored, MinifiedFlag);
+  ASSERT_TRUE(Pred.count("a"));
+  EXPECT_EQ(Pred["a"], "done");
+}
+
+TEST(ModelIO, NewStringsInternAfterSavedOnes) {
+  ModelBundle Original = trainBundle();
+  std::stringstream Buffer;
+  saveModel(Buffer, Original);
+  std::unique_ptr<ModelBundle> Restored = loadModel(Buffer);
+  ASSERT_NE(Restored, nullptr);
+  size_t Saved = Restored->Interner->size();
+  Symbol Fresh = Restored->Interner->intern("neverSeenBefore123");
+  EXPECT_EQ(Fresh.index(), Saved);
+}
+
+TEST(ModelIO, RejectsGarbage) {
+  std::stringstream Buffer("definitely not a model");
+  EXPECT_EQ(loadModel(Buffer), nullptr);
+}
+
+TEST(ModelIO, RejectsTruncation) {
+  ModelBundle Original = trainBundle();
+  std::stringstream Buffer;
+  saveModel(Buffer, Original);
+  std::string Bytes = Buffer.str();
+  // Chop in the middle of the interner section.
+  std::stringstream Truncated(Bytes.substr(0, Bytes.size() / 3));
+  EXPECT_EQ(loadModel(Truncated), nullptr);
+}
+
+TEST(ModelIO, RejectsWrongMagic) {
+  ModelBundle Original = trainBundle();
+  std::stringstream Buffer;
+  saveModel(Buffer, Original);
+  std::string Bytes = Buffer.str();
+  Bytes[0] ^= 0x5a;
+  std::stringstream Corrupted(Bytes);
+  EXPECT_EQ(loadModel(Corrupted), nullptr);
+}
+
+} // namespace

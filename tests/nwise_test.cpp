@@ -1,0 +1,181 @@
+//===- nwise_test.cpp - Unit tests for n-wise paths (§4) --------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/js/JsParser.h"
+#include "ml/crf/Crf.h"
+#include "paths/Paths.h"
+
+#include <gtest/gtest.h>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::paths;
+
+namespace {
+
+std::optional<Tree> parseJs(std::string_view Source, StringInterner &SI) {
+  lang::ParseResult R = js::parse(Source, SI);
+  EXPECT_TRUE(R.ok()) << Source;
+  return std::move(R.Tree);
+}
+
+TEST(TriPath, EncodesStarShape) {
+  StringInterner SI;
+  auto T = parseJs("x = a + b;", SI);
+  // Terminals: x, a, b. Common ancestor of all three: Assign=.
+  auto Leaves = T->terminals();
+  ASSERT_EQ(Leaves.size(), 3u);
+  EXPECT_EQ(triPathString(*T, Leaves[0], Leaves[1], Leaves[2],
+                          Abstraction::Full),
+            "SymbolRef^Assign=(_Binary+_SymbolRef)(_Binary+_SymbolRef)");
+}
+
+TEST(TriPath, ChainFromFirstEndToCommonAncestor) {
+  StringInterner SI;
+  auto T = parseJs("f(a, b, c);", SI);
+  auto Leaves = T->terminals(); // f, a, b, c.
+  ASSERT_EQ(Leaves.size(), 4u);
+  EXPECT_EQ(triPathString(*T, Leaves[1], Leaves[2], Leaves[3],
+                          Abstraction::Full),
+            "SymbolRef^Call(_SymbolRef)(_SymbolRef)");
+}
+
+TEST(TriPath, TopAbstractionKeepsOnlyAncestor) {
+  StringInterner SI;
+  auto T = parseJs("x = a + b;", SI);
+  auto Leaves = T->terminals();
+  EXPECT_EQ(triPathString(*T, Leaves[0], Leaves[1], Leaves[2],
+                          Abstraction::Top),
+            "Assign=");
+}
+
+TEST(TriPath, NoPathCollapses) {
+  StringInterner SI;
+  auto T = parseJs("x = a + b;", SI);
+  auto Leaves = T->terminals();
+  EXPECT_EQ(triPathString(*T, Leaves[0], Leaves[1], Leaves[2],
+                          Abstraction::NoPath),
+            "rel3");
+}
+
+TEST(TriPath, ForgetOrderIsSortedBag) {
+  StringInterner SI;
+  auto T = parseJs("x = a + b;", SI);
+  auto Leaves = T->terminals();
+  std::string Bag = triPathString(*T, Leaves[0], Leaves[1], Leaves[2],
+                                  Abstraction::ForgetOrder);
+  // Sorted bag: Assign= precedes Binary+ precedes SymbolRef.
+  EXPECT_EQ(Bag, "Assign= Binary+ Binary+ SymbolRef SymbolRef SymbolRef");
+}
+
+TEST(TriExtract, ConsecutiveTriplesWithinLimits) {
+  StringInterner SI;
+  auto T = parseJs("f(a, b, c, d);", SI);
+  PathTable Table;
+  ExtractionConfig Config;
+  auto Tris = extractTriContexts(*T, Config, Table);
+  // Terminals f,a,b,c,d → triples (f,a,b) (a,b,c) (b,c,d).
+  ASSERT_EQ(Tris.size(), 3u);
+  for (const TriContext &Ctx : Tris) {
+    EXPECT_LT(Ctx.A, Ctx.B);
+    EXPECT_LT(Ctx.B, Ctx.C);
+    EXPECT_NE(Ctx.Path, InvalidPath);
+  }
+}
+
+TEST(TriExtract, RespectsLengthLimitOnExtremePair) {
+  StringInterner SI;
+  auto T = parseJs("while (p) { q(); } while (r) { s(); }", SI);
+  PathTable Table;
+  ExtractionConfig Tight;
+  Tight.MaxLength = 2;
+  auto Tris = extractTriContexts(*T, Tight, Table);
+  for (const TriContext &Ctx : Tris) {
+    PathShape Shape = pathShape(*T, Ctx.A, Ctx.C);
+    EXPECT_LE(Shape.Length, 2);
+  }
+}
+
+TEST(TriExtract, SharedTableAcrossTrees) {
+  StringInterner SI;
+  auto T1 = parseJs("x = a + b;", SI);
+  auto T2 = parseJs("y = c + d;", SI);
+  PathTable Table;
+  ExtractionConfig Config;
+  auto C1 = extractTriContexts(*T1, Config, Table);
+  auto C2 = extractTriContexts(*T2, Config, Table);
+  ASSERT_FALSE(C1.empty());
+  ASSERT_FALSE(C2.empty());
+  EXPECT_EQ(C1[0].Path, C2[0].Path)
+      << "identical triples in different trees share a PathId";
+}
+
+//===----------------------------------------------------------------------===//
+// CRF integration
+//===----------------------------------------------------------------------===//
+
+crf::ElementSelector varSelector() {
+  return [](const ElementInfo &Info) {
+    return Info.Predictable && (Info.Kind == ElementKind::LocalVar ||
+                                Info.Kind == ElementKind::Parameter);
+  };
+}
+
+TEST(TriFactors, SingleUnknownTriplesBecomeFactors) {
+  StringInterner SI;
+  auto T = parseJs("var d = false; use(d, true);", SI);
+  PathTable Table;
+  ExtractionConfig Config;
+  auto Pairs = extractPathContexts(*T, Config, Table);
+  crf::CrfGraph G = crf::buildGraph(*T, Pairs, varSelector());
+  size_t Before = G.Factors.size();
+  auto Tris = extractTriContexts(*T, Config, Table);
+  crf::addTriFactors(G, *T, Tris, varSelector(), SI);
+  EXPECT_GT(G.Factors.size(), Before)
+      << "triples touching `d` must add factors";
+  // Every added factor links the unknown to a known composite node.
+  for (size_t F = Before; F < G.Factors.size(); ++F) {
+    const crf::Factor &Fac = G.Factors[F];
+    EXPECT_FALSE(Fac.Unary);
+    EXPECT_NE(G.Nodes[Fac.A].Known, G.Nodes[Fac.B].Known);
+  }
+}
+
+TEST(TriFactors, AllKnownTriplesAreSkipped) {
+  StringInterner SI;
+  auto T = parseJs("use(1, 2, 3);", SI);
+  PathTable Table;
+  ExtractionConfig Config;
+  crf::CrfGraph G =
+      crf::buildGraph(*T, extractPathContexts(*T, Config, Table),
+                      varSelector());
+  size_t Before = G.Factors.size();
+  crf::addTriFactors(G, *T, extractTriContexts(*T, Config, Table),
+                     varSelector(), SI);
+  EXPECT_EQ(G.Factors.size(), Before);
+}
+
+TEST(TriFactors, CompositeLabelsJoinKnownEnds) {
+  StringInterner SI;
+  auto T = parseJs("var d = false; use(d, true);", SI);
+  PathTable Table;
+  ExtractionConfig Config;
+  crf::CrfGraph G =
+      crf::buildGraph(*T, extractPathContexts(*T, Config, Table),
+                      varSelector());
+  crf::addTriFactors(G, *T, extractTriContexts(*T, Config, Table),
+                     varSelector(), SI);
+  bool SawComposite = false;
+  for (const crf::GraphNode &N : G.Nodes) {
+    if (!N.Known)
+      continue;
+    if (SI.str(N.Gold).find('+') != std::string::npos)
+      SawComposite = true;
+  }
+  EXPECT_TRUE(SawComposite);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+//===- scopestack_test.cpp - Unit tests for lexical scoping ----------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/common/ScopeStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::lang;
+
+namespace {
+
+TEST(ScopeStack, GlobalDeclareAndLookup) {
+  StringInterner SI;
+  ScopeStack S;
+  Symbol X = SI.intern("x");
+  EXPECT_EQ(S.lookup(X), InvalidElement);
+  S.declare(X, 7);
+  EXPECT_EQ(S.lookup(X), 7u);
+}
+
+TEST(ScopeStack, InnerScopeShadowsOuter) {
+  StringInterner SI;
+  ScopeStack S;
+  Symbol X = SI.intern("x");
+  S.declare(X, 1);
+  S.push();
+  S.declare(X, 2);
+  EXPECT_EQ(S.lookup(X), 2u);
+  S.pop();
+  EXPECT_EQ(S.lookup(X), 1u);
+}
+
+TEST(ScopeStack, LookupWalksOutward) {
+  StringInterner SI;
+  ScopeStack S;
+  Symbol X = SI.intern("x"), Y = SI.intern("y");
+  S.declare(X, 1);
+  S.push();
+  S.declare(Y, 2);
+  EXPECT_EQ(S.lookup(X), 1u) << "outer binding visible from inner scope";
+  EXPECT_EQ(S.lookup(Y), 2u);
+  S.pop();
+  EXPECT_EQ(S.lookup(Y), InvalidElement) << "inner binding dropped on pop";
+}
+
+TEST(ScopeStack, DeclareGlobalFromInnerScope) {
+  StringInterner SI;
+  ScopeStack S;
+  Symbol X = SI.intern("x");
+  S.push();
+  S.declareGlobal(X, 9);
+  S.pop();
+  EXPECT_EQ(S.lookup(X), 9u);
+}
+
+TEST(ScopeStack, DeclaredInCurrentIsScopeLocal) {
+  StringInterner SI;
+  ScopeStack S;
+  Symbol X = SI.intern("x");
+  S.declare(X, 1);
+  S.push();
+  EXPECT_FALSE(S.declaredInCurrent(X));
+  S.declare(X, 2);
+  EXPECT_TRUE(S.declaredInCurrent(X));
+}
+
+TEST(ScopeStack, DepthTracksPushPop) {
+  ScopeStack S;
+  EXPECT_EQ(S.depth(), 1u);
+  S.push();
+  S.push();
+  EXPECT_EQ(S.depth(), 3u);
+  S.pop();
+  EXPECT_EQ(S.depth(), 2u);
+}
+
+TEST(ScopeStack, RedeclareInSameScopeOverwrites) {
+  StringInterner SI;
+  ScopeStack S;
+  Symbol X = SI.intern("x");
+  S.declare(X, 1);
+  S.declare(X, 5);
+  EXPECT_EQ(S.lookup(X), 5u);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- sgns_test.cpp - Unit tests for word2vec/SGNS ------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/word2vec/Sgns.h"
+
+#include <gtest/gtest.h>
+
+using namespace pigeon;
+using namespace pigeon::w2v;
+
+namespace {
+
+/// Builds a corpus where word w co-occurs with contexts
+/// {3w, 3w+1, 3w+2}: each word has its own disjoint context triple, so a
+/// trained model must recover words from their contexts perfectly.
+std::vector<Pair> disjointCorpus(uint32_t Words, int Repeats) {
+  std::vector<Pair> Pairs;
+  for (int R = 0; R < Repeats; ++R)
+    for (uint32_t W = 0; W < Words; ++W)
+      for (uint32_t C = 0; C < 3; ++C)
+        Pairs.push_back({W, 3 * W + C});
+  return Pairs;
+}
+
+TEST(Sgns, PredictsWordsFromDisjointContexts) {
+  SgnsConfig Config;
+  Config.Dim = 16;
+  Config.Epochs = 30;
+  Sgns Model(Config);
+  Model.train(disjointCorpus(4, 10), 4, 12);
+  for (uint32_t W = 0; W < 4; ++W) {
+    std::vector<uint32_t> Ctx = {3 * W, 3 * W + 1, 3 * W + 2};
+    EXPECT_EQ(Model.predict(Ctx), W) << "word " << W;
+  }
+}
+
+TEST(Sgns, PredictFromPartialContext) {
+  SgnsConfig Config;
+  Config.Dim = 16;
+  Config.Epochs = 30;
+  Sgns Model(Config);
+  Model.train(disjointCorpus(4, 10), 4, 12);
+  std::vector<uint32_t> Ctx = {3 * 2};
+  EXPECT_EQ(Model.predict(Ctx), 2u);
+}
+
+TEST(Sgns, TopKOrdersByScore) {
+  SgnsConfig Config;
+  Config.Dim = 16;
+  Config.Epochs = 20;
+  Sgns Model(Config);
+  Model.train(disjointCorpus(5, 10), 5, 15);
+  std::vector<uint32_t> Ctx = {3 * 1, 3 * 1 + 1};
+  auto Top = Model.topK(Ctx, 3);
+  ASSERT_EQ(Top.size(), 3u);
+  EXPECT_EQ(Top[0].first, 1u);
+  EXPECT_GE(Top[0].second, Top[1].second);
+  EXPECT_GE(Top[1].second, Top[2].second);
+}
+
+TEST(Sgns, SimilarWordsFindSharedContextWords) {
+  // Words 0 and 1 share all contexts; word 2 lives elsewhere.
+  std::vector<Pair> Pairs;
+  for (int R = 0; R < 40; ++R) {
+    for (uint32_t C = 0; C < 3; ++C) {
+      Pairs.push_back({0, C});
+      Pairs.push_back({1, C});
+      Pairs.push_back({2, C + 3});
+    }
+  }
+  SgnsConfig Config;
+  Config.Dim = 16;
+  Config.Epochs = 20;
+  Sgns Model(Config);
+  Model.train(Pairs, 3, 6);
+  auto Similar = Model.similarWords(0, 2);
+  ASSERT_EQ(Similar.size(), 2u);
+  EXPECT_EQ(Similar[0].first, 1u)
+      << "words with identical contexts must embed closest";
+}
+
+TEST(Sgns, DeterministicWithFixedSeed) {
+  SgnsConfig Config;
+  Config.Dim = 8;
+  Config.Epochs = 5;
+  Sgns A(Config), B(Config);
+  auto Corpus = disjointCorpus(3, 5);
+  A.train(Corpus, 3, 9);
+  B.train(Corpus, 3, 9);
+  for (uint32_t W = 0; W < 3; ++W) {
+    auto VA = A.wordVector(W);
+    auto VB = B.wordVector(W);
+    for (size_t I = 0; I < VA.size(); ++I)
+      EXPECT_FLOAT_EQ(VA[I], VB[I]);
+  }
+}
+
+TEST(Sgns, DifferentSeedsDiffer) {
+  SgnsConfig C1, C2;
+  C1.Dim = C2.Dim = 8;
+  C2.Seed = C1.Seed + 1;
+  Sgns A(C1), B(C2);
+  auto Corpus = disjointCorpus(3, 5);
+  A.train(Corpus, 3, 9);
+  B.train(Corpus, 3, 9);
+  bool AnyDiff = false;
+  auto VA = A.wordVector(0);
+  auto VB = B.wordVector(0);
+  for (size_t I = 0; I < VA.size(); ++I)
+    AnyDiff |= (VA[I] != VB[I]);
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Sgns, EmptyTrainingIsSafe) {
+  Sgns Model;
+  Model.train({}, 0, 0);
+  EXPECT_EQ(Model.predict(std::vector<uint32_t>{}), UINT32_MAX);
+  EXPECT_TRUE(Model.topK(std::vector<uint32_t>{}, 5).empty());
+}
+
+TEST(Sgns, EmptyContextsPredictNothing) {
+  SgnsConfig Config;
+  Config.Dim = 8;
+  Sgns Model(Config);
+  Model.train(disjointCorpus(2, 3), 2, 6);
+  EXPECT_EQ(Model.predict(std::vector<uint32_t>{}), UINT32_MAX);
+}
+
+TEST(Sgns, VectorDimensionsMatchConfig) {
+  SgnsConfig Config;
+  Config.Dim = 24;
+  Sgns Model(Config);
+  Model.train(disjointCorpus(2, 3), 2, 6);
+  EXPECT_EQ(Model.wordVector(0).size(), 24u);
+  EXPECT_EQ(Model.dim(), 24);
+}
+
+} // namespace

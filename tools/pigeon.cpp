@@ -1,0 +1,436 @@
+//===- pigeon.cpp - The PIGEON command-line tool -----------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The cross-language tool the paper names PIGEON (§5.1), as a CLI:
+///
+///   pigeon extract --lang js [--length N --width N --abst A] FILE
+///       Print the abstract path-contexts of one source file.
+///
+///   pigeon train --lang js --task vars|methods --out MODEL PATH...
+///       Parse every source file under the given paths, train the CRF
+///       name model, and save a self-contained model bundle.
+///
+///   pigeon predict --model MODEL FILE
+///       Predict names for a (possibly minified) file with a trained
+///       bundle; prints top-3 candidates per element.
+///
+///   pigeon demo --lang js
+///       Self-contained showcase: synthesize a corpus, train, strip a
+///       held-out file and recover its names.
+///
+///   pigeon synth --lang js --out DIR [--projects N] [--seed S]
+///       Write a synthetic corpus to disk (one file per function), ready
+///       for `pigeon train`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "core/ModelIO.h"
+#include "lang/csharp/CsParser.h"
+#include "lang/java/JavaParser.h"
+#include "lang/js/JsParser.h"
+#include "lang/python/PyParser.h"
+#include "support/TablePrinter.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+using namespace pigeon;
+using namespace pigeon::ast;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  pigeon extract --lang <js|java|py|cs> [--length N] [--width N]"
+         " [--abst NAME] FILE\n"
+         "  pigeon train   --lang <js|java|py|cs> --task <vars|methods>"
+         " --out MODEL PATH...\n"
+         "  pigeon predict --model MODEL FILE\n"
+         "  pigeon demo    --lang <js|java|py|cs>\n"
+         "  pigeon synth   --lang <js|java|py|cs> --out DIR"
+         " [--projects N] [--seed S]\n";
+  return 2;
+}
+
+std::optional<Language> parseLanguage(const std::string &Name) {
+  if (Name == "js" || Name == "javascript")
+    return Language::JavaScript;
+  if (Name == "java")
+    return Language::Java;
+  if (Name == "py" || Name == "python")
+    return Language::Python;
+  if (Name == "cs" || Name == "csharp")
+    return Language::CSharp;
+  return std::nullopt;
+}
+
+const char *extensionFor(Language Lang) {
+  switch (Lang) {
+  case Language::JavaScript:
+    return ".js";
+  case Language::Java:
+    return ".java";
+  case Language::Python:
+    return ".py";
+  case Language::CSharp:
+    return ".cs";
+  }
+  return "";
+}
+
+std::optional<paths::Abstraction> parseAbstraction(const std::string &Name) {
+  for (paths::Abstraction A : paths::AllAbstractions)
+    if (Name == paths::abstractionName(A))
+      return A;
+  return std::nullopt;
+}
+
+lang::ParseResult parseAs(Language Lang, const std::string &Text,
+                          StringInterner &SI) {
+  switch (Lang) {
+  case Language::JavaScript:
+    return js::parse(Text, SI);
+  case Language::Java:
+    return java::parse(Text, SI);
+  case Language::Python:
+    return py::parse(Text, SI);
+  case Language::CSharp:
+    return cs::parse(Text, SI);
+  }
+  return {};
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Collects source files (by extension) under the given paths.
+std::vector<std::string> collectSources(const std::vector<std::string> &Roots,
+                                        Language Lang) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Out;
+  const std::string Ext = extensionFor(Lang);
+  for (const std::string &Root : Roots) {
+    std::error_code EC;
+    if (fs::is_directory(Root, EC)) {
+      for (const auto &Entry :
+           fs::recursive_directory_iterator(Root, EC)) {
+        if (Entry.is_regular_file() && Entry.path().extension() == Ext)
+          Out.push_back(Entry.path().string());
+      }
+    } else {
+      Out.push_back(Root);
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// extract
+//===----------------------------------------------------------------------===//
+
+int cmdExtract(Language Lang, const paths::ExtractionConfig &Config,
+               const std::string &Path) {
+  auto Text = readFile(Path);
+  if (!Text) {
+    std::cerr << "error: cannot read " << Path << "\n";
+    return 1;
+  }
+  StringInterner Interner;
+  lang::ParseResult R = parseAs(Lang, *Text, Interner);
+  if (!R.Tree) {
+    std::cerr << "error: parse failed\n";
+    return 1;
+  }
+  for (const lang::Diagnostic &D : R.Diags)
+    std::cerr << Path << ":" << D.str() << "\n";
+
+  paths::PathTable Table;
+  auto Contexts = paths::extractPathContexts(*R.Tree, Config, Table);
+  for (const paths::PathContext &Ctx : Contexts) {
+    std::cout << Interner.str(paths::endValue(*R.Tree, Ctx.Start)) << "\t"
+              << Table.str(Ctx.Path) << "\t"
+              << Interner.str(paths::endValue(*R.Tree, Ctx.End))
+              << (Ctx.Semi ? "\t(semi)" : "") << "\n";
+  }
+  std::cerr << Contexts.size() << " path-contexts, " << Table.size()
+            << " distinct paths\n";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// train
+//===----------------------------------------------------------------------===//
+
+int cmdTrain(Language Lang, Task TaskKind, const std::string &OutPath,
+             const std::vector<std::string> &Roots) {
+  std::vector<std::string> Sources = collectSources(Roots, Lang);
+  if (Sources.empty()) {
+    std::cerr << "error: no " << extensionFor(Lang)
+              << " files under the given paths\n";
+    return 1;
+  }
+
+  ModelBundle Bundle;
+  Bundle.Lang = Lang;
+  Bundle.Interner = std::make_unique<StringInterner>();
+  Bundle.Extraction = tunedExtraction(Lang, TaskKind);
+  Bundle.TaskKind = TaskKind;
+
+  crf::ElementSelector Selector = selectorFor(TaskKind);
+  std::vector<crf::CrfGraph> Graphs;
+  size_t Failures = 0;
+  for (const std::string &Path : Sources) {
+    auto Text = readFile(Path);
+    if (!Text) {
+      ++Failures;
+      continue;
+    }
+    lang::ParseResult R = parseAs(Lang, *Text, *Bundle.Interner);
+    if (!R.Tree || !R.Diags.empty()) {
+      ++Failures;
+      continue;
+    }
+    auto Contexts =
+        paths::extractPathContexts(*R.Tree, Bundle.Extraction, Bundle.Table);
+    Graphs.push_back(crf::buildGraph(*R.Tree, Contexts, Selector));
+  }
+  std::cerr << "parsed " << Graphs.size() << "/" << Sources.size()
+            << " files (" << Failures << " skipped)\n";
+
+  Bundle.Model.train(Graphs);
+  std::cerr << "trained: " << Bundle.Model.numFeatures() << " features, "
+            << Bundle.Table.size() << " distinct paths\n";
+
+  std::ofstream Out(OutPath, std::ios::binary);
+  if (!Out) {
+    std::cerr << "error: cannot write " << OutPath << "\n";
+    return 1;
+  }
+  saveModel(Out, Bundle);
+  std::cerr << "saved model to " << OutPath << "\n";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// predict
+//===----------------------------------------------------------------------===//
+
+int cmdPredict(const std::string &ModelPath, const std::string &Path) {
+  std::ifstream In(ModelPath, std::ios::binary);
+  if (!In) {
+    std::cerr << "error: cannot read " << ModelPath << "\n";
+    return 1;
+  }
+  std::unique_ptr<ModelBundle> Bundle = loadModel(In);
+  if (!Bundle) {
+    std::cerr << "error: " << ModelPath << " is not a PIGEON model\n";
+    return 1;
+  }
+  auto Text = readFile(Path);
+  if (!Text) {
+    std::cerr << "error: cannot read " << Path << "\n";
+    return 1;
+  }
+  lang::ParseResult R = parseAs(Bundle->Lang, *Text, *Bundle->Interner);
+  if (!R.Tree) {
+    std::cerr << "error: parse failed\n";
+    return 1;
+  }
+  auto Contexts =
+      paths::extractPathContexts(*R.Tree, Bundle->Extraction, Bundle->Table);
+  crf::CrfGraph G =
+      crf::buildGraph(*R.Tree, Contexts, selectorFor(Bundle->TaskKind));
+  std::vector<Symbol> Pred = Bundle->Model.predict(G);
+
+  TablePrinter Out("predictions for " + Path);
+  Out.setHeader({"Element", "Kind", "Prediction", "Top candidates"});
+  for (uint32_t N : G.Unknowns) {
+    const crf::GraphNode &Node = G.Nodes[N];
+    auto Top = Bundle->Model.topK(G, N, Pred, 3);
+    std::string Candidates;
+    for (const auto &[Label, Score] : Top) {
+      if (!Candidates.empty())
+        Candidates += ", ";
+      Candidates += Bundle->Interner->str(Label);
+    }
+    std::string Kind =
+        Node.Element != InvalidElement
+            ? elementKindName(R.Tree->element(Node.Element).Kind)
+            : "?";
+    Out.addRow({Bundle->Interner->str(Node.Gold), Kind,
+                Pred[N].isValid() ? Bundle->Interner->str(Pred[N]) : "?",
+                Candidates});
+  }
+  Out.print(std::cout);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// synth
+//===----------------------------------------------------------------------===//
+
+int cmdSynth(Language Lang, const std::string &OutDir, int Projects,
+             uint64_t Seed) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::create_directories(OutDir, EC);
+  if (EC) {
+    std::cerr << "error: cannot create " << OutDir << "\n";
+    return 1;
+  }
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, Seed);
+  Spec.NumProjects = Projects;
+  size_t Count = 0;
+  for (const datagen::SourceFile &File : datagen::generateCorpus(Spec)) {
+    std::ofstream Out(OutDir + "/" + File.FileName + extensionFor(Lang),
+                      std::ios::binary);
+    if (!Out) {
+      std::cerr << "error: cannot write into " << OutDir << "\n";
+      return 1;
+    }
+    Out << File.Text;
+    ++Count;
+  }
+  std::cerr << "wrote " << Count << " files to " << OutDir << "\n";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// demo
+//===----------------------------------------------------------------------===//
+
+int cmdDemo(Language Lang) {
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, 2018);
+  Spec.NumProjects = 24;
+  Corpus C = parseCorpus(datagen::generateCorpus(Spec), Lang);
+  CrfExperimentOptions Options;
+  Options.Extraction = tunedExtraction(Lang, Task::VariableNames);
+  TrainedNameModel Model(C, Task::VariableNames, Options);
+
+  datagen::CorpusSpec Fresh = datagen::defaultSpec(Lang, 4242);
+  Fresh.NumProjects = 1;
+  Fresh.FilesPerProject = 1;
+  auto FreshSources = datagen::generateCorpus(Fresh);
+  std::string Stripped =
+      datagen::render(FreshSources.front().Sketch, Lang, /*Strip=*/true);
+  std::cout << "== stripped ==\n" << Stripped;
+  lang::ParseResult R = parseAs(Lang, Stripped, *C.Interner);
+  if (!R.Tree) {
+    std::cerr << "demo parse failed\n";
+    return 1;
+  }
+  auto Pred = Model.predict(*R.Tree);
+  std::cout << "== predicted names ==\n";
+  for (const auto &[E, Name] : Pred)
+    std::cout << "  " << C.Interner->str(R.Tree->element(E).Name) << " -> "
+              << (Name.isValid() ? C.Interner->str(Name) : "?") << "\n";
+  std::cout << "== original ==\n" << FreshSources.front().Text;
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  if (Args.empty())
+    return usage();
+  std::string Command = Args[0];
+
+  // Shared flag parsing.
+  std::optional<Language> Lang;
+  std::string ModelPath, OutPath, TaskName = "vars";
+  int Projects = 24;
+  uint64_t Seed = 2018;
+  paths::ExtractionConfig Extraction;
+  bool ExtractionFlagsSeen = false;
+  std::vector<std::string> Positional;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    auto Value = [&]() -> std::string {
+      return ++I < Args.size() ? Args[I] : "";
+    };
+    if (Arg == "--lang") {
+      Lang = parseLanguage(Value());
+      if (!Lang)
+        return usage();
+    } else if (Arg == "--model") {
+      ModelPath = Value();
+    } else if (Arg == "--out") {
+      OutPath = Value();
+    } else if (Arg == "--task") {
+      TaskName = Value();
+    } else if (Arg == "--length") {
+      Extraction.MaxLength = std::atoi(Value().c_str());
+      ExtractionFlagsSeen = true;
+    } else if (Arg == "--width") {
+      Extraction.MaxWidth = std::atoi(Value().c_str());
+      ExtractionFlagsSeen = true;
+    } else if (Arg == "--projects") {
+      Projects = std::atoi(Value().c_str());
+    } else if (Arg == "--seed") {
+      Seed = static_cast<uint64_t>(std::atoll(Value().c_str()));
+    } else if (Arg == "--abst") {
+      auto A = parseAbstraction(Value());
+      if (!A)
+        return usage();
+      Extraction.Abst = *A;
+      ExtractionFlagsSeen = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+  (void)ExtractionFlagsSeen;
+
+  if (Command == "extract") {
+    if (!Lang || Positional.size() != 1)
+      return usage();
+    return cmdExtract(*Lang, Extraction, Positional[0]);
+  }
+  if (Command == "train") {
+    if (!Lang || OutPath.empty() || Positional.empty())
+      return usage();
+    Task TaskKind;
+    if (TaskName == "vars")
+      TaskKind = Task::VariableNames;
+    else if (TaskName == "methods")
+      TaskKind = Task::MethodNames;
+    else
+      return usage();
+    return cmdTrain(*Lang, TaskKind, OutPath, Positional);
+  }
+  if (Command == "predict") {
+    if (ModelPath.empty() || Positional.size() != 1)
+      return usage();
+    return cmdPredict(ModelPath, Positional[0]);
+  }
+  if (Command == "demo") {
+    if (!Lang)
+      return usage();
+    return cmdDemo(*Lang);
+  }
+  if (Command == "synth") {
+    if (!Lang || OutPath.empty() || Projects <= 0)
+      return usage();
+    return cmdSynth(*Lang, OutPath, Projects, Seed);
+  }
+  return usage();
+}
