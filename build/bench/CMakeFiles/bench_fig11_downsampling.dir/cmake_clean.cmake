@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_downsampling.dir/bench_fig11_downsampling.cpp.o"
+  "CMakeFiles/bench_fig11_downsampling.dir/bench_fig11_downsampling.cpp.o.d"
+  "bench_fig11_downsampling"
+  "bench_fig11_downsampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_downsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_abstractions.dir/bench_fig12_abstractions.cpp.o"
+  "CMakeFiles/bench_fig12_abstractions.dir/bench_fig12_abstractions.cpp.o.d"
+  "bench_fig12_abstractions"
+  "bench_fig12_abstractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_abstractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

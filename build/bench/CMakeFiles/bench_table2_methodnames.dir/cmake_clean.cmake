@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_methodnames.dir/bench_table2_methodnames.cpp.o"
+  "CMakeFiles/bench_table2_methodnames.dir/bench_table2_methodnames.cpp.o.d"
+  "bench_table2_methodnames"
+  "bench_table2_methodnames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_methodnames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_varnames.dir/bench_table2_varnames.cpp.o"
+  "CMakeFiles/bench_table2_varnames.dir/bench_table2_varnames.cpp.o.d"
+  "bench_table2_varnames"
+  "bench_table2_varnames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_varnames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

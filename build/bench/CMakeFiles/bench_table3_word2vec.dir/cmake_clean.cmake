@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_word2vec.dir/bench_table3_word2vec.cpp.o"
+  "CMakeFiles/bench_table3_word2vec.dir/bench_table3_word2vec.cpp.o.d"
+  "bench_table3_word2vec"
+  "bench_table3_word2vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_word2vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

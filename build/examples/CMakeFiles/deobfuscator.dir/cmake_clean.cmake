@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deobfuscator.dir/deobfuscator.cpp.o"
+  "CMakeFiles/deobfuscator.dir/deobfuscator.cpp.o.d"
+  "deobfuscator"
+  "deobfuscator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deobfuscator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_type_hints.dir/java_type_hints.cpp.o"
+  "CMakeFiles/java_type_hints.dir/java_type_hints.cpp.o.d"
+  "java_type_hints"
+  "java_type_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_type_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for java_type_hints.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_namer.dir/method_namer.cpp.o"
+  "CMakeFiles/method_namer.dir/method_namer.cpp.o.d"
+  "method_namer"
+  "method_namer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_namer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ast")
+subdirs("lang/common")
+subdirs("lang/js")
+subdirs("lang/java")
+subdirs("lang/python")
+subdirs("lang/csharp")
+subdirs("paths")
+subdirs("ml/common")
+subdirs("ml/crf")
+subdirs("ml/word2vec")
+subdirs("baselines")
+subdirs("datagen")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_ast.dir/Ast.cpp.o"
+  "CMakeFiles/pigeon_ast.dir/Ast.cpp.o.d"
+  "libpigeon_ast.a"
+  "libpigeon_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

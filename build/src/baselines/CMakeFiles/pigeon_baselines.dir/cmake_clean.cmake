@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_baselines.dir/Baselines.cpp.o"
+  "CMakeFiles/pigeon_baselines.dir/Baselines.cpp.o.d"
+  "libpigeon_baselines.a"
+  "libpigeon_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

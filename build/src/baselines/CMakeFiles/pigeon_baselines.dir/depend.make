@@ -1,0 +1,2 @@
+# Empty dependencies file for pigeon_baselines.
+# This may be replaced when dependencies are built.

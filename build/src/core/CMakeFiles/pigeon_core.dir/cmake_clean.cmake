@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_core.dir/Experiments.cpp.o"
+  "CMakeFiles/pigeon_core.dir/Experiments.cpp.o.d"
+  "CMakeFiles/pigeon_core.dir/ModelIO.cpp.o"
+  "CMakeFiles/pigeon_core.dir/ModelIO.cpp.o.d"
+  "CMakeFiles/pigeon_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/pigeon_core.dir/Pipeline.cpp.o.d"
+  "libpigeon_core.a"
+  "libpigeon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

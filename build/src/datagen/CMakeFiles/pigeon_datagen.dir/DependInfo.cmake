@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/Generate.cpp" "src/datagen/CMakeFiles/pigeon_datagen.dir/Generate.cpp.o" "gcc" "src/datagen/CMakeFiles/pigeon_datagen.dir/Generate.cpp.o.d"
+  "/root/repo/src/datagen/Names.cpp" "src/datagen/CMakeFiles/pigeon_datagen.dir/Names.cpp.o" "gcc" "src/datagen/CMakeFiles/pigeon_datagen.dir/Names.cpp.o.d"
+  "/root/repo/src/datagen/Render.cpp" "src/datagen/CMakeFiles/pigeon_datagen.dir/Render.cpp.o" "gcc" "src/datagen/CMakeFiles/pigeon_datagen.dir/Render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/common/CMakeFiles/pigeon_lang_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/java/CMakeFiles/pigeon_lang_java.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pigeon_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/pigeon_ast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_datagen.dir/Generate.cpp.o"
+  "CMakeFiles/pigeon_datagen.dir/Generate.cpp.o.d"
+  "CMakeFiles/pigeon_datagen.dir/Names.cpp.o"
+  "CMakeFiles/pigeon_datagen.dir/Names.cpp.o.d"
+  "CMakeFiles/pigeon_datagen.dir/Render.cpp.o"
+  "CMakeFiles/pigeon_datagen.dir/Render.cpp.o.d"
+  "libpigeon_datagen.a"
+  "libpigeon_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

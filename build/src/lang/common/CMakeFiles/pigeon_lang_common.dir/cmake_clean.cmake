@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_lang_common.dir/Lexer.cpp.o"
+  "CMakeFiles/pigeon_lang_common.dir/Lexer.cpp.o.d"
+  "libpigeon_lang_common.a"
+  "libpigeon_lang_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_lang_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_lang_csharp.dir/CsParser.cpp.o"
+  "CMakeFiles/pigeon_lang_csharp.dir/CsParser.cpp.o.d"
+  "libpigeon_lang_csharp.a"
+  "libpigeon_lang_csharp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_lang_csharp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/java/ClassPath.cpp" "src/lang/java/CMakeFiles/pigeon_lang_java.dir/ClassPath.cpp.o" "gcc" "src/lang/java/CMakeFiles/pigeon_lang_java.dir/ClassPath.cpp.o.d"
+  "/root/repo/src/lang/java/JavaParser.cpp" "src/lang/java/CMakeFiles/pigeon_lang_java.dir/JavaParser.cpp.o" "gcc" "src/lang/java/CMakeFiles/pigeon_lang_java.dir/JavaParser.cpp.o.d"
+  "/root/repo/src/lang/java/TypeChecker.cpp" "src/lang/java/CMakeFiles/pigeon_lang_java.dir/TypeChecker.cpp.o" "gcc" "src/lang/java/CMakeFiles/pigeon_lang_java.dir/TypeChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/common/CMakeFiles/pigeon_lang_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/pigeon_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pigeon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

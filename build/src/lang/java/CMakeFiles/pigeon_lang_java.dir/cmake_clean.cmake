@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_lang_java.dir/ClassPath.cpp.o"
+  "CMakeFiles/pigeon_lang_java.dir/ClassPath.cpp.o.d"
+  "CMakeFiles/pigeon_lang_java.dir/JavaParser.cpp.o"
+  "CMakeFiles/pigeon_lang_java.dir/JavaParser.cpp.o.d"
+  "CMakeFiles/pigeon_lang_java.dir/TypeChecker.cpp.o"
+  "CMakeFiles/pigeon_lang_java.dir/TypeChecker.cpp.o.d"
+  "libpigeon_lang_java.a"
+  "libpigeon_lang_java.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_lang_java.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pigeon_lang_java.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_lang_js.dir/JsParser.cpp.o"
+  "CMakeFiles/pigeon_lang_js.dir/JsParser.cpp.o.d"
+  "libpigeon_lang_js.a"
+  "libpigeon_lang_js.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_lang_js.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_lang_python.dir/PyParser.cpp.o"
+  "CMakeFiles/pigeon_lang_python.dir/PyParser.cpp.o.d"
+  "libpigeon_lang_python.a"
+  "libpigeon_lang_python.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_lang_python.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpigeon_lang_python.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_crf.dir/Crf.cpp.o"
+  "CMakeFiles/pigeon_crf.dir/Crf.cpp.o.d"
+  "libpigeon_crf.a"
+  "libpigeon_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_w2v.dir/Sgns.cpp.o"
+  "CMakeFiles/pigeon_w2v.dir/Sgns.cpp.o.d"
+  "libpigeon_w2v.a"
+  "libpigeon_w2v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_w2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_paths.dir/Paths.cpp.o"
+  "CMakeFiles/pigeon_paths.dir/Paths.cpp.o.d"
+  "libpigeon_paths.a"
+  "libpigeon_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_support.dir/SubToken.cpp.o"
+  "CMakeFiles/pigeon_support.dir/SubToken.cpp.o.d"
+  "CMakeFiles/pigeon_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/pigeon_support.dir/TablePrinter.cpp.o.d"
+  "libpigeon_support.a"
+  "libpigeon_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_parser_test.dir/cs_parser_test.cpp.o"
+  "CMakeFiles/cs_parser_test.dir/cs_parser_test.cpp.o.d"
+  "cs_parser_test"
+  "cs_parser_test.pdb"
+  "cs_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_parser_test.dir/java_parser_test.cpp.o"
+  "CMakeFiles/java_parser_test.dir/java_parser_test.cpp.o.d"
+  "java_parser_test"
+  "java_parser_test.pdb"
+  "java_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

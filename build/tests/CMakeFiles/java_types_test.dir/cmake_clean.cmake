@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_types_test.dir/java_types_test.cpp.o"
+  "CMakeFiles/java_types_test.dir/java_types_test.cpp.o.d"
+  "java_types_test"
+  "java_types_test.pdb"
+  "java_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

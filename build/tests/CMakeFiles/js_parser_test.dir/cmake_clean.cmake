@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_parser_test.dir/js_parser_test.cpp.o"
+  "CMakeFiles/js_parser_test.dir/js_parser_test.cpp.o.d"
+  "js_parser_test"
+  "js_parser_test.pdb"
+  "js_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_common_test.dir/ml_common_test.cpp.o"
+  "CMakeFiles/ml_common_test.dir/ml_common_test.cpp.o.d"
+  "ml_common_test"
+  "ml_common_test.pdb"
+  "ml_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

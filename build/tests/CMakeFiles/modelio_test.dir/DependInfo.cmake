@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/modelio_test.cpp" "tests/CMakeFiles/modelio_test.dir/modelio_test.cpp.o" "gcc" "tests/CMakeFiles/modelio_test.dir/modelio_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pigeon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/pigeon_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pigeon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/crf/CMakeFiles/pigeon_crf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/word2vec/CMakeFiles/pigeon_w2v.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/pigeon_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/js/CMakeFiles/pigeon_lang_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/java/CMakeFiles/pigeon_lang_java.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/python/CMakeFiles/pigeon_lang_python.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/csharp/CMakeFiles/pigeon_lang_csharp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/common/CMakeFiles/pigeon_lang_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/pigeon_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pigeon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelio_test.dir/modelio_test.cpp.o"
+  "CMakeFiles/modelio_test.dir/modelio_test.cpp.o.d"
+  "modelio_test"
+  "modelio_test.pdb"
+  "modelio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwise_test.dir/nwise_test.cpp.o"
+  "CMakeFiles/nwise_test.dir/nwise_test.cpp.o.d"
+  "nwise_test"
+  "nwise_test.pdb"
+  "nwise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

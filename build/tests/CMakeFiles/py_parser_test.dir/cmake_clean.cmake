@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/py_parser_test.dir/py_parser_test.cpp.o"
+  "CMakeFiles/py_parser_test.dir/py_parser_test.cpp.o.d"
+  "py_parser_test"
+  "py_parser_test.pdb"
+  "py_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/py_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

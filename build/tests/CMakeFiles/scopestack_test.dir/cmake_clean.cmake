@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scopestack_test.dir/scopestack_test.cpp.o"
+  "CMakeFiles/scopestack_test.dir/scopestack_test.cpp.o.d"
+  "scopestack_test"
+  "scopestack_test.pdb"
+  "scopestack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scopestack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

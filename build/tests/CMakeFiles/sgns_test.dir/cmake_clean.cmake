@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgns_test.dir/sgns_test.cpp.o"
+  "CMakeFiles/sgns_test.dir/sgns_test.cpp.o.d"
+  "sgns_test"
+  "sgns_test.pdb"
+  "sgns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/js_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/java_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/java_types_test[1]_include.cmake")
+include("/root/repo/build/tests/py_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/cs_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/paths_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_common_test[1]_include.cmake")
+include("/root/repo/build/tests/crf_test[1]_include.cmake")
+include("/root/repo/build/tests/sgns_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/modelio_test[1]_include.cmake")
+include("/root/repo/build/tests/nwise_test[1]_include.cmake")
+include("/root/repo/build/tests/scopestack_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon.dir/pigeon.cpp.o"
+  "CMakeFiles/pigeon.dir/pigeon.cpp.o.d"
+  "pigeon"
+  "pigeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
