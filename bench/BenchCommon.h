@@ -17,8 +17,11 @@
 #include "core/Experiments.h"
 #include "core/Pipeline.h"
 #include "support/TablePrinter.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace pigeon {
 namespace bench {
@@ -29,7 +32,27 @@ inline constexpr uint64_t BenchSeed = 2018; // PLDI 2018.
 inline core::Corpus benchCorpus(lang::Language Lang, int Projects = 48) {
   datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, BenchSeed);
   Spec.NumProjects = Projects;
-  return core::parseCorpus(datagen::generateCorpus(Spec), Lang);
+  std::vector<datagen::SourceFile> Sources;
+  {
+    telemetry::TraceScope Phase("datagen");
+    Sources = datagen::generateCorpus(Spec);
+  }
+  return core::parseCorpus(Sources, Lang);
+}
+
+/// Writes the process metrics snapshot as `<bench>.metrics.json` next to
+/// the printed table (PIGEON_METRICS overrides the path), so every bench
+/// run leaves a machine-readable baseline future perf PRs diff against.
+inline void writeBenchSidecar(const std::string &BenchName) {
+  std::string Path = BenchName + ".metrics.json";
+  if (const char *Env = std::getenv("PIGEON_METRICS"))
+    if (*Env)
+      Path = Env;
+  if (telemetry::MetricsRegistry::global().writeJsonFile(Path))
+    std::fprintf(stderr, "metrics sidecar written to %s\n", Path.c_str());
+  else
+    std::fprintf(stderr, "error: cannot write metrics sidecar %s\n",
+                 Path.c_str());
 }
 
 /// Standard CRF experiment options at the validation-tuned parameters.

@@ -78,5 +78,6 @@ int main() {
     std::cout << "\nMethod names (internal paths only): "
               << TablePrinter::percent(R.Accuracy) << "\n";
   }
+  writeBenchSidecar("bench_ablations");
   return 0;
 }

@@ -61,5 +61,6 @@ int main() {
   std::cout << "\nPaper's shape: accuracy rises with max_length (50% → "
                "~67% over lengths 3..7) and the best setting beats "
                "UnuglifyJS's 60%; width adds a minor positive effect.\n";
+  writeBenchSidecar("bench_fig10_length_width");
   return 0;
 }

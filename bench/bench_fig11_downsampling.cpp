@@ -61,5 +61,6 @@ int main() {
   std::cout << "\nPaper's shape: accuracy nearly flat down to p=0.8, mild "
                "decline to p=0.2 while remaining above UnuglifyJS; "
                "training time falls with p.\n";
+  writeBenchSidecar("bench_fig11_downsampling");
   return 0;
 }

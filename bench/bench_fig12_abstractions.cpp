@@ -51,5 +51,6 @@ int main() {
                "~37% ... full ~58%), training time grows with the number "
                "of distinct paths; first-top-last is the sweet spot "
                "(~95% of full accuracy, half the training time).\n";
+  writeBenchSidecar("bench_fig12_abstractions");
   return 0;
 }

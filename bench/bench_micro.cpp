@@ -138,4 +138,12 @@ BENCHMARK(BM_SgnsTrain);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pigeon::bench::writeBenchSidecar("bench_micro");
+  return 0;
+}

@@ -58,5 +58,6 @@ int main() {
   std::cout << "\n(Substitutes the paper's GitHub corpora: 10,081 Java "
                "repos / 16 GB etc. Shape preserved: Java largest; "
                "per-project train/test split.)\n";
+  writeBenchSidecar("bench_table1_datasets");
   return 0;
 }

@@ -55,5 +55,6 @@ int main() {
   std::cout << "\nPaper's values: JS 44.1% (no-paths) vs 53.1%; Java 16.5% "
                "F1 33.9 (Allamanis et al.) vs 47.3% F1 49.9; Python 41.6% "
                "(no-paths) vs 51.1%.\n";
+  writeBenchSidecar("bench_table2_methodnames");
   return 0;
 }

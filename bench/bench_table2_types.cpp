@@ -38,5 +38,6 @@ int main() {
   Table.print(std::cout);
   std::cout << "\nPaper's values: naive 24.1% vs AST paths 69.1% at "
                "params 4/1.\n";
+  writeBenchSidecar("bench_table2_types");
   return 0;
 }

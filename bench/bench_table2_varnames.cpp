@@ -101,5 +101,6 @@ int main() {
   std::cout << "\nPaper's values: JS 24.9% (no-paths) / 60.0% (UnuglifyJS) "
                "vs 67.3%; Java 23.7% (rule-based) / 50.1% (4-grams) vs "
                "58.2%; Python 35.2% (no-paths) vs 56.7%; C# 56.1%.\n";
+  writeBenchSidecar("bench_table2_varnames");
   return 0;
 }

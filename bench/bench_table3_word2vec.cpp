@@ -45,5 +45,6 @@ int main() {
   Table.print(std::cout);
   std::cout << "\nPaper's values: token-stream 20.6%, path-neighbors "
                "23.2%, AST paths 40.4%.\n";
+  writeBenchSidecar("bench_table3_word2vec");
   return 0;
 }

@@ -120,5 +120,6 @@ int main() {
                  "items~values~objects~keys~elements, array~arr~ary~list, "
                  "count~counter~total, i~j~index.)\n";
   }
+  writeBenchSidecar("bench_table4_topk");
   return 0;
 }

@@ -9,7 +9,9 @@
 #include "baselines/Baselines.h"
 #include "ml/common/Metrics.h"
 #include "support/Rng.h"
-#include "support/Timer.h"
+#include "support/Telemetry.h"
+
+#include <optional>
 
 #include <algorithm>
 #include <cassert>
@@ -108,22 +110,28 @@ core::runCrfNameExperiment(const Corpus &Corpus, Task Task,
     return G;
   };
 
-  Timer TrainTimer;
-  std::vector<CrfGraph> TrainGraphs;
-  TrainGraphs.reserve(S.Train.size());
-  for (size_t I : S.Train) {
-    const Tree &T = Corpus.Files[I].Tree;
-    auto Contexts = contextsFor(T, Options, Table);
-    downsample(Contexts, Options.DownsampleP, Sampler);
-    Result.TrainContexts += Contexts.size();
-    TrainGraphs.push_back(BuildFor(T, std::move(Contexts)));
-  }
   CrfModel Model(Options.Crf);
-  Model.train(TrainGraphs);
-  Result.TrainSeconds = TrainTimer.seconds();
+  {
+    telemetry::TraceScope TrainPhase("train");
+    std::vector<CrfGraph> TrainGraphs;
+    TrainGraphs.reserve(S.Train.size());
+    {
+      telemetry::TraceScope ExtractPhase("extract");
+      for (size_t I : S.Train) {
+        const Tree &T = Corpus.Files[I].Tree;
+        auto Contexts = contextsFor(T, Options, Table);
+        downsample(Contexts, Options.DownsampleP, Sampler);
+        Result.TrainContexts += Contexts.size();
+        TrainGraphs.push_back(BuildFor(T, std::move(Contexts)));
+      }
+    }
+    Model.train(TrainGraphs);
+    Result.TrainSeconds = TrainPhase.seconds();
+  }
   Result.NumFeatures = Model.numFeatures();
   Result.DistinctPaths = Table.size();
 
+  telemetry::TraceScope EvalPhase("eval");
   ml::AccuracyMeter Meter;
   ml::SubTokenMeter SubMeter;
   const StringInterner &SI = *Corpus.Interner;
@@ -178,17 +186,23 @@ core::runCrfTypeExperiment(const Corpus &Corpus,
     return Graphs;
   };
 
-  Timer TrainTimer;
-  std::vector<CrfGraph> TrainGraphs =
-      GraphsOf(S.Train, &Result.TrainContexts);
   CrfModel Model(Options.Crf);
-  Model.train(TrainGraphs);
-  Result.TrainSeconds = TrainTimer.seconds();
+  {
+    telemetry::TraceScope TrainPhase("train");
+    std::optional<telemetry::TraceScope> ExtractPhase;
+    ExtractPhase.emplace("extract");
+    std::vector<CrfGraph> TrainGraphs =
+        GraphsOf(S.Train, &Result.TrainContexts);
+    ExtractPhase.reset();
+    Model.train(TrainGraphs);
+    Result.TrainSeconds = TrainPhase.seconds();
+  }
   Result.NumFeatures = Model.numFeatures();
   Result.DistinctPaths = Table.size();
 
   // Types are compared by exact string ("int[]" must not match "int", so
   // the name-normalising metric is too lenient here).
+  telemetry::TraceScope EvalPhase("eval");
   const StringInterner &SI = *Corpus.Interner;
   size_t Total = 0, Correct = 0;
   std::vector<CrfGraph> TestGraphs = GraphsOf(S.Test, nullptr);
@@ -238,14 +252,16 @@ ExperimentResult core::runSubtokenMethodNamer(const Corpus &Corpus,
   Split S = splitByProject(Corpus, TestFraction, Seed);
   baselines::SubtokenMethodNamer Namer;
   std::vector<baselines::SubtokenMethodNamer::Example> TrainExamples;
-  Timer TrainTimer;
-  for (size_t I : S.Train) {
-    auto Examples = baselines::methodExamples(Corpus.Files[I].Tree);
-    TrainExamples.insert(TrainExamples.end(), Examples.begin(),
-                         Examples.end());
+  {
+    telemetry::TraceScope TrainPhase("train");
+    for (size_t I : S.Train) {
+      auto Examples = baselines::methodExamples(Corpus.Files[I].Tree);
+      TrainExamples.insert(TrainExamples.end(), Examples.begin(),
+                           Examples.end());
+    }
+    Namer.train(TrainExamples);
+    Result.TrainSeconds = TrainPhase.seconds();
   }
-  Namer.train(TrainExamples);
-  Result.TrainSeconds = TrainTimer.seconds();
 
   ml::AccuracyMeter Meter;
   ml::SubTokenMeter SubMeter;
@@ -379,29 +395,35 @@ core::runW2vNameExperiment(const Corpus &Corpus,
   StringInterner CtxInterner;
   std::vector<w2v::Pair> Pairs;
 
-  Timer TrainTimer;
-  for (size_t I : S.Train) {
-    const Tree &T = Corpus.Files[I].Tree;
-    auto Contexts = w2vContextsOf(T, Selector, Options.Contexts,
-                                  Options.Extraction, Table);
-    Result.TrainContexts += Contexts.size();
-    for (const auto &[E, CtxString] : Contexts) {
-      Symbol Name = T.element(E).Name;
-      auto [It, Inserted] =
-          WordIds.emplace(Name, static_cast<uint32_t>(Words.size()));
-      if (Inserted)
-        Words.push_back(Name);
-      uint32_t Ctx = CtxInterner.intern(CtxString).index();
-      Pairs.push_back({It->second, Ctx});
-    }
-  }
   w2v::Sgns Model(Options.Sgns);
-  Model.train(Pairs, static_cast<uint32_t>(Words.size()),
-              static_cast<uint32_t>(CtxInterner.size()));
-  Result.TrainSeconds = TrainTimer.seconds();
+  {
+    telemetry::TraceScope TrainPhase("train");
+    {
+      telemetry::TraceScope ExtractPhase("extract");
+      for (size_t I : S.Train) {
+        const Tree &T = Corpus.Files[I].Tree;
+        auto Contexts = w2vContextsOf(T, Selector, Options.Contexts,
+                                      Options.Extraction, Table);
+        Result.TrainContexts += Contexts.size();
+        for (const auto &[E, CtxString] : Contexts) {
+          Symbol Name = T.element(E).Name;
+          auto [It, Inserted] =
+              WordIds.emplace(Name, static_cast<uint32_t>(Words.size()));
+          if (Inserted)
+            Words.push_back(Name);
+          uint32_t Ctx = CtxInterner.intern(CtxString).index();
+          Pairs.push_back({It->second, Ctx});
+        }
+      }
+    }
+    Model.train(Pairs, static_cast<uint32_t>(Words.size()),
+                static_cast<uint32_t>(CtxInterner.size()));
+    Result.TrainSeconds = TrainPhase.seconds();
+  }
   Result.DistinctPaths = Table.size();
 
   // Evaluate: Eq. 4 over each test element's known contexts.
+  telemetry::TraceScope EvalPhase("eval");
   ml::AccuracyMeter Meter;
   for (size_t I : S.Test) {
     const Tree &T = Corpus.Files[I].Tree;
@@ -441,12 +463,16 @@ core::runW2vNameExperiment(const Corpus &Corpus,
 TrainedNameModel::TrainedNameModel(const Corpus &Corpus, Task Task,
                                    const CrfExperimentOptions &Options)
     : TaskKind(Task), Options(Options), Model(Options.Crf) {
+  telemetry::TraceScope TrainPhase("train");
   ElementSelector Selector = selectorFor(Task);
   std::vector<CrfGraph> Graphs;
   Graphs.reserve(Corpus.Files.size());
-  for (const ParsedFile &File : Corpus.Files) {
-    auto Contexts = contextsFor(File.Tree, Options, Table);
-    Graphs.push_back(buildGraph(File.Tree, Contexts, Selector));
+  {
+    telemetry::TraceScope ExtractPhase("extract");
+    for (const ParsedFile &File : Corpus.Files) {
+      auto Contexts = contextsFor(File.Tree, Options, Table);
+      Graphs.push_back(buildGraph(File.Tree, Contexts, Selector));
+    }
   }
   Model.train(Graphs);
 }

@@ -13,6 +13,7 @@
 #include "lang/js/JsParser.h"
 #include "lang/python/PyParser.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <map>
@@ -29,8 +30,40 @@ size_t Corpus::numProjects() const {
   return Projects.size();
 }
 
+namespace {
+
+/// Short metric-name key per language ("parse.js.files.ok" etc.).
+const char *langKey(Language Lang) {
+  switch (Lang) {
+  case Language::JavaScript:
+    return "js";
+  case Language::Java:
+    return "java";
+  case Language::Python:
+    return "py";
+  case Language::CSharp:
+    return "cs";
+  }
+  return "unknown";
+}
+
+} // namespace
+
 Corpus core::parseCorpus(const std::vector<datagen::SourceFile> &Sources,
                          Language Lang) {
+  telemetry::TraceScope Phase("parse");
+  auto &Reg = telemetry::MetricsRegistry::global();
+  const std::string Prefix = std::string("parse.") + langKey(Lang);
+  telemetry::Counter &FilesOk = Reg.counter("parse.files.ok");
+  telemetry::Counter &FilesFailed = Reg.counter("parse.files.failed");
+  telemetry::Counter &LangOk = Reg.counter(Prefix + ".files.ok");
+  telemetry::Counter &LangFailed = Reg.counter(Prefix + ".files.failed");
+  telemetry::Counter &Bytes = Reg.counter("parse.bytes");
+  // Distinct diagnostic-reason counters created by this call are capped so
+  // a pathological corpus cannot flood the registry.
+  size_t NewReasonBudget = 16;
+  std::set<std::string> SeenReasons;
+
   Corpus Out;
   Out.Lang = Lang;
   Out.Interner = std::make_unique<StringInterner>();
@@ -40,6 +73,7 @@ Corpus core::parseCorpus(const std::vector<datagen::SourceFile> &Sources,
 
   for (const datagen::SourceFile &Src : Sources) {
     Out.SourceBytes += Src.Text.size();
+    Bytes.add(Src.Text.size());
     lang::ParseResult R;
     switch (Lang) {
     case Language::JavaScript:
@@ -57,8 +91,23 @@ Corpus core::parseCorpus(const std::vector<datagen::SourceFile> &Sources,
     }
     if (!R.Tree || !R.Diags.empty()) {
       ++Out.ParseFailures;
+      FilesFailed.inc();
+      LangFailed.inc();
+      std::string Reason =
+          R.Diags.empty() ? "no tree" : R.Diags.front().Message;
+      if (Out.FailureRecords.size() < Corpus::MaxFailureRecords)
+        Out.FailureRecords.push_back(
+            {Src.FileName,
+             R.Diags.empty() ? Reason : R.Diags.front().str()});
+      if (SeenReasons.count(Reason) || NewReasonBudget > 0) {
+        if (SeenReasons.insert(Reason).second)
+          --NewReasonBudget;
+        Reg.counter("parse.fail.reason." + Reason).inc();
+      }
       continue;
     }
+    FilesOk.inc();
+    LangOk.inc();
     if (Lang == Language::Java)
       java::annotateTypes(*R.Tree, CP);
     Out.Files.push_back({Src.Project, Src.FileName, std::move(*R.Tree)});

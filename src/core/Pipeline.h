@@ -35,6 +35,13 @@ struct ParsedFile {
   ast::Tree Tree;
 };
 
+/// One dropped file: which file, and the first diagnostic that killed it
+/// ("no tree" when the frontend produced no AST at all).
+struct ParseFailureRecord {
+  std::string FileName;
+  std::string Reason;
+};
+
 /// A parsed corpus. Owns the interner all its trees point into.
 struct Corpus {
   lang::Language Lang = lang::Language::JavaScript;
@@ -44,6 +51,10 @@ struct Corpus {
   size_t SourceBytes = 0;
   /// Number of files that failed to parse (dropped).
   size_t ParseFailures = 0;
+  /// The first MaxFailureRecords dropped files with their first
+  /// diagnostic, for triage; ParseFailures is the authoritative count.
+  static constexpr size_t MaxFailureRecords = 32;
+  std::vector<ParseFailureRecord> FailureRecords;
 
   size_t numProjects() const;
 };

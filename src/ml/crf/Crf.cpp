@@ -7,10 +7,12 @@
 #include "ml/crf/Crf.h"
 
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 #include <istream>
+#include <optional>
 #include <ostream>
 
 using namespace pigeon;
@@ -348,6 +350,13 @@ CrfModel::infer(const CrfGraph &Graph,
 }
 
 void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
+  telemetry::TraceScope TrainPhase("crf.train");
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.counter("crf.train.calls").inc();
+  Reg.counter("crf.train.graphs").add(Graphs.size());
+
+  std::optional<telemetry::TraceScope> Pass;
+  Pass.emplace("candidates");
   // Pass 1: candidate tables and global label frequencies.
   std::unordered_map<uint64_t, std::unordered_map<Symbol, uint32_t>>
       RawCandidates;
@@ -443,6 +452,12 @@ void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
   }
 
   // Pass 2: averaged structured perceptron.
+  Pass.emplace("perceptron");
+  telemetry::Counter &EpochsCounter = Reg.counter("crf.epochs");
+  telemetry::Counter &ViolationsCounter = Reg.counter("crf.violations");
+  telemetry::Counter &UpdatesCounter = Reg.counter("crf.updates");
+  telemetry::Histogram &EpochSeconds =
+      Reg.histogram("crf.epoch.seconds", telemetry::timeBounds());
   Weights.clear();
   Totals.clear();
   Time = 1;
@@ -452,6 +467,8 @@ void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
     Adjacencies.push_back(G.adjacency());
 
   for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    telemetry::TraceScope EpochScope("epoch");
+    uint64_t Violations = 0, Updates = 0;
     for (size_t GI = 0; GI < Graphs.size(); ++GI) {
       const CrfGraph &G = Graphs[GI];
       if (G.Unknowns.empty())
@@ -462,9 +479,11 @@ void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
       for (uint32_t N : G.Unknowns)
         AnyMistake |= (Pred[N] != G.Nodes[N].Gold);
       if (AnyMistake) {
+        ++Violations;
         for (uint32_t N : G.Unknowns) {
           if (Pred[N] == G.Nodes[N].Gold)
             continue;
+          ++Updates;
           bump(biasKey(G.Nodes[N].Gold), Config.LearningRate);
           bump(biasKey(Pred[N]), -Config.LearningRate);
         }
@@ -495,6 +514,9 @@ void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
       }
       ++Time;
     }
+    EpochsCounter.inc();
+    ViolationsCounter.add(Violations);
+    UpdatesCounter.add(Updates);
     if (Config.L2Shrink > 0) {
       // Multiplicative shrinkage keeps noisy high-degree features from
       // accumulating; consistently-pushed informative weights survive.
@@ -504,6 +526,7 @@ void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
       for (auto &[Key, U] : Totals)
         U *= Keep;
     }
+    EpochSeconds.observe(EpochScope.seconds());
   }
   // Finalize averaging: w_avg = w - totals / T.
   for (auto &[Key, W] : Weights) {
@@ -512,6 +535,11 @@ void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
       W -= It->second / static_cast<double>(Time);
   }
   Totals.clear();
+  Reg.gauge("crf.features").set(static_cast<double>(Weights.size()));
+  Reg.gauge("crf.candidate_table")
+      .set(static_cast<double>(Candidates.size()));
+  Reg.gauge("crf.pruned_paths")
+      .set(static_cast<double>(PrunedPaths.size()));
 }
 
 std::vector<Symbol> CrfModel::predict(const CrfGraph &Graph) const {

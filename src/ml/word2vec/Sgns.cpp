@@ -7,6 +7,7 @@
 #include "ml/word2vec/Sgns.h"
 
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -32,6 +33,12 @@ static double sigmoid(double X) {
 
 void Sgns::train(const std::vector<Pair> &Pairs, uint32_t Words,
                  uint32_t Contexts) {
+  telemetry::TraceScope TrainPhase("sgns.train");
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.counter("sgns.train.calls").inc();
+  Reg.gauge("sgns.words").set(Words);
+  Reg.gauge("sgns.contexts").set(Contexts);
+
   NumWords = Words;
   NumContexts = Contexts;
   size_t Dim = static_cast<size_t>(Config.Dim);
@@ -87,7 +94,13 @@ void Sgns::train(const std::vector<Pair> &Pairs, uint32_t Words,
       static_cast<double>(Pairs.size()) * Config.Epochs;
   double Step = 0;
 
+  telemetry::Counter &EpochsCounter = Reg.counter("sgns.epochs");
+  telemetry::Counter &PairsCounter = Reg.counter("sgns.pairs.trained");
+  telemetry::Histogram &EpochSeconds =
+      Reg.histogram("sgns.epoch.seconds", telemetry::timeBounds());
+
   for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    telemetry::TraceScope EpochScope("epoch");
     Order.shuffle(Indices);
     for (uint32_t Idx : Indices) {
       const Pair &P = Pairs[Idx];
@@ -127,7 +140,14 @@ void Sgns::train(const std::vector<Pair> &Pairs, uint32_t Words,
       Lr = std::max(LrMin,
                     Config.LearningRate * (1.0 - Step / TotalSteps));
     }
+    EpochsCounter.inc();
+    PairsCounter.add(Indices.size());
+    EpochSeconds.observe(EpochScope.seconds());
   }
+  double Elapsed = TrainPhase.seconds();
+  if (Elapsed > 0)
+    Reg.gauge("sgns.pairs_per_sec")
+        .set(static_cast<double>(Pairs.size()) * Config.Epochs / Elapsed);
 }
 
 uint32_t Sgns::predict(std::span<const uint32_t> Contexts) const {

@@ -6,6 +6,8 @@
 
 #include "paths/Paths.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -154,11 +156,65 @@ Symbol paths::endValue(const Tree &Tree, NodeId Node) {
   return N.isTerminal() ? N.Value : N.Kind;
 }
 
+namespace {
+
+/// Cached handles into the global registry. Extraction is a hot path
+/// (BM_ExtractPaths); after first use each update is one relaxed atomic.
+struct ExtractionMetrics {
+  telemetry::Counter &Contexts;
+  telemetry::Counter &SemiContexts;
+  telemetry::Counter &TriContextsCount;
+  telemetry::Histogram &Length;
+  telemetry::Histogram &Width;
+
+  static ExtractionMetrics &get() {
+    static ExtractionMetrics M = [] {
+      auto &Reg = telemetry::MetricsRegistry::global();
+      return ExtractionMetrics{
+          Reg.counter("paths.contexts"),
+          Reg.counter("paths.contexts.semi"),
+          Reg.counter("paths.tri_contexts"),
+          Reg.histogram("paths.length", telemetry::linearBounds(1, 12)),
+          Reg.histogram("paths.width", telemetry::linearBounds(0, 8))};
+    }();
+    return M;
+  }
+};
+
+/// Per-call tally of small integer shape values. The extraction loops are
+/// the hottest instrumented code (BM_ExtractPaths, ~150 ns/context);
+/// counting locally and flushing once per call via observeN keeps the
+/// per-context cost to two array increments instead of ~10 atomic RMWs.
+struct ShapeTally {
+  static constexpr int MaxSmall = 32;
+  uint64_t Counts[MaxSmall] = {};
+  telemetry::Histogram &Sink;
+
+  explicit ShapeTally(telemetry::Histogram &Sink) : Sink(Sink) {}
+  ShapeTally(const ShapeTally &) = delete;
+  ShapeTally &operator=(const ShapeTally &) = delete;
+  ~ShapeTally() {
+    for (int V = 0; V < MaxSmall; ++V)
+      Sink.observeN(V, Counts[V]);
+  }
+
+  void record(int V) {
+    if (V >= 0 && V < MaxSmall)
+      ++Counts[V];
+    else
+      Sink.observe(V);
+  }
+};
+
+} // namespace
+
 std::vector<PathContext>
 paths::extractPathContexts(const Tree &Tree, const ExtractionConfig &Config,
                            PathTable &Table) {
   std::vector<PathContext> Out;
   const std::vector<NodeId> &Leaves = Tree.terminals();
+  ExtractionMetrics &Metrics = ExtractionMetrics::get();
+  ShapeTally Lengths(Metrics.Length), Widths(Metrics.Width);
 
   // Pairwise leafwise paths.
   for (size_t I = 0; I < Leaves.size(); ++I) {
@@ -172,11 +228,14 @@ paths::extractPathContexts(const Tree &Tree, const ExtractionConfig &Config,
       Ctx.Path =
           Table.intern(pathString(Tree, Leaves[I], Leaves[J], Config.Abst));
       Out.push_back(Ctx);
+      Lengths.record(Shape.Length);
+      Widths.record(Shape.Width);
     }
   }
 
   // Semi-paths: terminal → each ancestor within MaxLength edges.
   if (Config.IncludeSemiPaths) {
+    size_t FirstSemi = Out.size();
     for (NodeId Leaf : Leaves) {
       int Hops = 0;
       for (NodeId N = Tree.node(Leaf).Parent;
@@ -189,9 +248,13 @@ paths::extractPathContexts(const Tree &Tree, const ExtractionConfig &Config,
         Ctx.Semi = true;
         Ctx.Path = Table.intern(pathString(Tree, Leaf, N, Config.Abst));
         Out.push_back(Ctx);
+        Lengths.record(Hops);
+        Widths.record(0);
       }
     }
+    Metrics.SemiContexts.add(Out.size() - FirstSemi);
   }
+  Metrics.Contexts.add(Out.size());
   return Out;
 }
 
@@ -199,12 +262,16 @@ std::vector<PathContext>
 paths::extractPathsToNode(const Tree &Tree, NodeId Target,
                           const ExtractionConfig &Config, PathTable &Table) {
   std::vector<PathContext> Out;
+  ExtractionMetrics &Metrics = ExtractionMetrics::get();
+  ShapeTally Lengths(Metrics.Length), Widths(Metrics.Width);
   for (NodeId Leaf : Tree.terminals()) {
     if (Leaf == Target)
       continue;
     PathShape Shape = pathShape(Tree, Leaf, Target);
     if (Shape.Length > Config.MaxLength || Shape.Width > Config.MaxWidth)
       continue;
+    Lengths.record(Shape.Length);
+    Widths.record(Shape.Width);
     // Skip leaves *inside* the target expression of distance 0: a path
     // from a leaf of the target up to the target itself is fine (it is a
     // semi-path) and is in fact the most informative context for type
@@ -216,6 +283,7 @@ paths::extractPathsToNode(const Tree &Tree, NodeId Target,
     Ctx.Path = Table.intern(pathString(Tree, Leaf, Target, Config.Abst));
     Out.push_back(Ctx);
   }
+  Metrics.Contexts.add(Out.size());
   return Out;
 }
 
@@ -316,5 +384,6 @@ paths::extractTriContexts(const Tree &Tree, const ExtractionConfig &Config,
     Ctx.Path = Table.intern(triPathString(Tree, A, B, C, Config.Abst));
     Out.push_back(Ctx);
   }
+  ExtractionMetrics::get().TriContextsCount.add(Out.size());
   return Out;
 }

@@ -1,0 +1,443 @@
+//===- Telemetry.cpp - Metrics registry and phase-trace timers --------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+using namespace pigeon;
+using namespace pigeon::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Gauge
+//===----------------------------------------------------------------------===//
+
+void Gauge::add(double X) {
+  double Cur = Value.load(std::memory_order_relaxed);
+  while (!Value.compare_exchange_weak(Cur, Cur + X,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)), BucketCounts(Bounds.size() + 1),
+      Min(std::numeric_limits<double>::infinity()),
+      Max(-std::numeric_limits<double>::infinity()) {}
+
+namespace {
+
+void atomicMin(std::atomic<double> &A, double X) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (X < Cur &&
+         !A.compare_exchange_weak(Cur, X, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMax(std::atomic<double> &A, double X) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (X > Cur &&
+         !A.compare_exchange_weak(Cur, X, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicAdd(std::atomic<double> &A, double X) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (!A.compare_exchange_weak(Cur, Cur + X,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+} // namespace
+
+void Histogram::observe(double X) {
+  // Buckets are few (≤ ~20); a linear scan beats binary search here.
+  size_t B = 0;
+  while (B < Bounds.size() && X > Bounds[B])
+    ++B;
+  BucketCounts[B].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(Sum, X);
+  atomicMin(Min, X);
+  atomicMax(Max, X);
+}
+
+void Histogram::observeN(double X, uint64_t N) {
+  if (N == 0)
+    return;
+  size_t B = 0;
+  while (B < Bounds.size() && X > Bounds[B])
+    ++B;
+  BucketCounts[B].fetch_add(N, std::memory_order_relaxed);
+  Count.fetch_add(N, std::memory_order_relaxed);
+  atomicAdd(Sum, X * static_cast<double>(N));
+  atomicMin(Min, X);
+  atomicMax(Max, X);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : Min.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : Max.load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double P) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0.0;
+  P = std::clamp(P, 0.0, 1.0);
+  double Lo = min(), Hi = max();
+  // Rank of the requested quantile, 1-based.
+  double Rank = P * static_cast<double>(Total);
+  uint64_t Cumulative = 0;
+  for (size_t B = 0; B < BucketCounts.size(); ++B) {
+    uint64_t InBucket = BucketCounts[B].load(std::memory_order_relaxed);
+    if (InBucket == 0)
+      continue;
+    if (static_cast<double>(Cumulative + InBucket) >= Rank) {
+      double Lower = B == 0 ? Lo : Bounds[B - 1];
+      double Upper = B < Bounds.size() ? Bounds[B] : Hi;
+      Lower = std::clamp(Lower, Lo, Hi);
+      Upper = std::clamp(Upper, Lo, Hi);
+      double Frac = (Rank - static_cast<double>(Cumulative)) /
+                    static_cast<double>(InBucket);
+      return Lower + std::clamp(Frac, 0.0, 1.0) * (Upper - Lower);
+    }
+    Cumulative += InBucket;
+  }
+  return Hi;
+}
+
+std::vector<Histogram::Bucket> Histogram::buckets() const {
+  std::vector<Bucket> Out;
+  Out.reserve(BucketCounts.size());
+  for (size_t B = 0; B < BucketCounts.size(); ++B)
+    Out.push_back({B < Bounds.size()
+                       ? Bounds[B]
+                       : std::numeric_limits<double>::infinity(),
+                   BucketCounts[B].load(std::memory_order_relaxed)});
+  return Out;
+}
+
+void Histogram::resetValue() {
+  for (auto &C : BucketCounts)
+    C.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0.0, std::memory_order_relaxed);
+  Min.store(std::numeric_limits<double>::infinity(),
+            std::memory_order_relaxed);
+  Max.store(-std::numeric_limits<double>::infinity(),
+            std::memory_order_relaxed);
+}
+
+std::vector<double> telemetry::timeBounds() {
+  // 1e-4 s up through ~2 minutes, roughly 3 buckets per decade.
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
+          0.1,  0.25,   0.5,  1.0,  2.5,    5.0,  10.0, 30.0,  120.0};
+}
+
+std::vector<double> telemetry::linearBounds(double Lo, double Hi,
+                                            double Step) {
+  std::vector<double> Out;
+  for (double X = Lo; X <= Hi + Step * 1e-9; X += Step)
+    Out.push_back(X);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceScope
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The phase this thread is currently inside (nullptr = top level).
+thread_local TraceNode *CurrentPhase = nullptr;
+
+TraceNode *findOrCreateChild(TraceNode &Parent, std::string_view Name) {
+  for (const auto &Child : Parent.Children)
+    if (Child->Name == Name)
+      return Child.get();
+  Parent.Children.push_back(std::make_unique<TraceNode>());
+  Parent.Children.back()->Name = std::string(Name);
+  return Parent.Children.back().get();
+}
+
+} // namespace
+
+TraceScope::TraceScope(std::string_view Name)
+    : TraceScope(MetricsRegistry::global(), Name) {}
+
+TraceScope::TraceScope(MetricsRegistry &Registry, std::string_view Name)
+    : Registry(Registry), Parent(CurrentPhase) {
+  std::lock_guard<std::mutex> Lock(Registry.Mutex);
+  TraceNode &Under = Parent ? *Parent : Registry.Root;
+  Node = findOrCreateChild(Under, Name);
+  CurrentPhase = Node;
+  Start = Clock::now();
+}
+
+TraceScope::~TraceScope() {
+  double Elapsed =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  std::lock_guard<std::mutex> Lock(Registry.Mutex);
+  Node->Calls += 1;
+  Node->Seconds += Elapsed;
+  CurrentPhase = Parent;
+}
+
+double TraceScope::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry Instance;
+  return Instance;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name,
+                                      std::vector<double> Bounds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name),
+                      std::make_unique<Histogram>(std::move(Bounds)))
+             .first;
+  return *It->second;
+}
+
+size_t MetricsRegistry::numCounters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters.size();
+}
+
+size_t MetricsRegistry::numGauges() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Gauges.size();
+}
+
+size_t MetricsRegistry::numHistograms() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Histograms.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, C] : Counters)
+    C->resetValue();
+  for (auto &[Name, G] : Gauges)
+    G->resetValue();
+  for (auto &[Name, H] : Histograms)
+    H->resetValue();
+  Root.Children.clear();
+  Root.Calls = 0;
+  Root.Seconds = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emission
+//===----------------------------------------------------------------------===//
+
+std::string telemetry::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(Ch)));
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// JSON number rendering: finite doubles with enough digits to round-trip
+/// the summaries; non-finite values (overflow-bucket bound) become null.
+std::string jsonNumber(double X) {
+  if (!std::isfinite(X))
+    return "null";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", X);
+  return Buf;
+}
+
+void writeTraceJson(std::ostream &OS, const TraceNode &Node) {
+  OS << "{\"name\":\"" << jsonEscape(Node.Name)
+     << "\",\"calls\":" << Node.Calls
+     << ",\"seconds\":" << jsonNumber(Node.Seconds) << ",\"children\":[";
+  for (size_t I = 0; I < Node.Children.size(); ++I) {
+    if (I)
+      OS << ",";
+    writeTraceJson(OS, *Node.Children[I]);
+  }
+  OS << "]}";
+}
+
+} // namespace
+
+void MetricsRegistry::writeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  OS << "{\"schema\":\"pigeon.metrics.v1\",\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    OS << (First ? "" : ",") << "\"" << jsonEscape(Name)
+       << "\":" << C->value();
+    First = false;
+  }
+  OS << "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    OS << (First ? "" : ",") << "\"" << jsonEscape(Name)
+       << "\":" << jsonNumber(G->value());
+    First = false;
+  }
+  OS << "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    OS << (First ? "" : ",") << "\"" << jsonEscape(Name) << "\":{"
+       << "\"count\":" << H->count() << ",\"sum\":" << jsonNumber(H->sum())
+       << ",\"min\":" << jsonNumber(H->min())
+       << ",\"max\":" << jsonNumber(H->max())
+       << ",\"p50\":" << jsonNumber(H->percentile(0.50))
+       << ",\"p90\":" << jsonNumber(H->percentile(0.90))
+       << ",\"p99\":" << jsonNumber(H->percentile(0.99)) << ",\"buckets\":[";
+    const auto Buckets = H->buckets();
+    for (size_t B = 0; B < Buckets.size(); ++B) {
+      if (B)
+        OS << ",";
+      OS << "{\"le\":" << jsonNumber(Buckets[B].UpperBound)
+         << ",\"count\":" << Buckets[B].Count << "}";
+    }
+    OS << "]}";
+    First = false;
+  }
+  OS << "},\"trace\":";
+  writeTraceJson(OS, Root);
+  OS << "}\n";
+}
+
+bool MetricsRegistry::writeJsonFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  writeJson(Out);
+  return Out.good();
+}
+
+//===----------------------------------------------------------------------===//
+// Table emission
+//===----------------------------------------------------------------------===//
+
+void MetricsRegistry::printTable(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Counters.empty() || !Gauges.empty()) {
+    TablePrinter Table("Metrics");
+    Table.setHeader({"Metric", "Value"});
+    for (const auto &[Name, C] : Counters)
+      Table.addRow({Name, std::to_string(C->value())});
+    for (const auto &[Name, G] : Gauges)
+      Table.addRow({Name, TablePrinter::num(G->value(), 3)});
+    Table.print(OS);
+  }
+  if (!Histograms.empty()) {
+    TablePrinter Table("Histograms");
+    Table.setHeader(
+        {"Metric", "Count", "Sum", "Min", "p50", "p90", "p99", "Max"});
+    for (const auto &[Name, H] : Histograms)
+      Table.addRow({Name, std::to_string(H->count()),
+                    TablePrinter::num(H->sum(), 3),
+                    TablePrinter::num(H->min(), 3),
+                    TablePrinter::num(H->percentile(0.50), 3),
+                    TablePrinter::num(H->percentile(0.90), 3),
+                    TablePrinter::num(H->percentile(0.99), 3),
+                    TablePrinter::num(H->max(), 3)});
+    Table.print(OS);
+  }
+}
+
+namespace {
+
+void addTraceRows(TablePrinter &Table, const TraceNode &Node, int Depth,
+                  double ParentSeconds) {
+  std::string Indent(static_cast<size_t>(Depth) * 2, ' ');
+  std::string Share =
+      ParentSeconds > 0
+          ? TablePrinter::percent(Node.Seconds / ParentSeconds)
+          : "-";
+  Table.addRow({Indent + Node.Name, std::to_string(Node.Calls),
+                TablePrinter::num(Node.Seconds, 3), Share});
+  for (const auto &Child : Node.Children)
+    addTraceRows(Table, *Child, Depth + 1, Node.Seconds);
+}
+
+} // namespace
+
+void MetricsRegistry::printTraceTable(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  TablePrinter Table("Phase timings");
+  Table.setHeader({"Phase", "Calls", "Seconds", "% of parent"});
+  double Total = 0;
+  for (const auto &Child : Root.Children)
+    Total += Child->Seconds;
+  for (const auto &Child : Root.Children)
+    addTraceRows(Table, *Child, 0, Total);
+  Table.print(OS);
+}

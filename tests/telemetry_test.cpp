@@ -1,0 +1,336 @@
+//===- telemetry_test.cpp - Unit tests for support/Telemetry ---------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace pigeon;
+using namespace pigeon::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Counter / Gauge
+//===----------------------------------------------------------------------===//
+
+TEST(Counter, IncAndAdd) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.resetValue();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge G;
+  EXPECT_EQ(G.value(), 0.0);
+  G.set(2.5);
+  EXPECT_EQ(G.value(), 2.5);
+  G.add(-1.0);
+  EXPECT_EQ(G.value(), 1.5);
+  G.set(7.0); // set overwrites, add accumulates
+  EXPECT_EQ(G.value(), 7.0);
+}
+
+TEST(Registry, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry Reg;
+  Counter &A = Reg.counter("parse.files.ok");
+  Counter &B = Reg.counter("parse.files.ok");
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(Reg.numCounters(), 1u);
+
+  Gauge &G1 = Reg.gauge("crf.features");
+  Gauge &G2 = Reg.gauge("crf.features");
+  EXPECT_EQ(&G1, &G2);
+
+  Histogram &H1 = Reg.histogram("paths.length", linearBounds(1, 4));
+  Histogram &H2 = Reg.histogram("paths.length", linearBounds(1, 99));
+  EXPECT_EQ(&H1, &H2); // later bounds are ignored
+  EXPECT_EQ(H1.buckets().size(), 5u);
+}
+
+TEST(Registry, ResetZeroesButKeepsHandlesValid) {
+  MetricsRegistry Reg;
+  Counter &C = Reg.counter("c");
+  Gauge &G = Reg.gauge("g");
+  Histogram &H = Reg.histogram("h", {1.0, 2.0});
+  C.add(10);
+  G.set(3.5);
+  H.observe(1.5);
+  Reg.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0.0);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(Reg.traceRoot().Children.size(), 0u);
+  // The same references still work after reset.
+  C.inc();
+  EXPECT_EQ(Reg.counter("c").value(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram H(linearBounds(0, 10));
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0.0);
+  EXPECT_EQ(H.max(), 0.0);
+  for (double X : {3.0, 7.0, 1.0, 9.0})
+    H.observe(X);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_DOUBLE_EQ(H.sum(), 20.0);
+  EXPECT_EQ(H.min(), 1.0);
+  EXPECT_EQ(H.max(), 9.0);
+}
+
+TEST(Histogram, OverflowBucketCatchesLargeValues) {
+  Histogram H({1.0, 2.0});
+  H.observe(0.5);
+  H.observe(1.5);
+  H.observe(100.0);
+  std::vector<Histogram::Bucket> B = H.buckets();
+  ASSERT_EQ(B.size(), 3u);
+  EXPECT_EQ(B[0].Count, 1u);
+  EXPECT_EQ(B[1].Count, 1u);
+  EXPECT_EQ(B[2].Count, 1u); // overflow
+  EXPECT_TRUE(std::isinf(B[2].UpperBound));
+}
+
+TEST(Histogram, ObserveNMatchesRepeatedObserve) {
+  Histogram A(linearBounds(0, 4));
+  Histogram B(linearBounds(0, 4));
+  for (int I = 0; I < 7; ++I)
+    A.observe(2.0);
+  A.observe(9.0); // overflow
+  B.observeN(2.0, 7);
+  B.observeN(9.0, 1);
+  B.observeN(5.0, 0); // no-op
+  EXPECT_EQ(A.count(), B.count());
+  EXPECT_DOUBLE_EQ(A.sum(), B.sum());
+  EXPECT_EQ(A.min(), B.min());
+  EXPECT_EQ(A.max(), B.max());
+  std::vector<Histogram::Bucket> BA = A.buckets(), BB = B.buckets();
+  ASSERT_EQ(BA.size(), BB.size());
+  for (size_t I = 0; I < BA.size(); ++I)
+    EXPECT_EQ(BA[I].Count, BB[I].Count);
+}
+
+TEST(Histogram, PercentilesOnUniformDistribution) {
+  // 100 observations 1..100 into unit buckets: percentiles should land
+  // within one bucket width of the exact order statistic.
+  Histogram H(linearBounds(1, 100));
+  for (int I = 1; I <= 100; ++I)
+    H.observe(static_cast<double>(I));
+  EXPECT_NEAR(H.percentile(0.50), 50.0, 1.5);
+  EXPECT_NEAR(H.percentile(0.90), 90.0, 1.5);
+  EXPECT_NEAR(H.percentile(0.99), 99.0, 1.5);
+  // Extremes clamp to the observed range.
+  EXPECT_GE(H.percentile(0.0), 1.0);
+  EXPECT_LE(H.percentile(1.0), 100.0);
+}
+
+TEST(Histogram, PercentileSinglePointDistribution) {
+  Histogram H(timeBounds());
+  for (int I = 0; I < 10; ++I)
+    H.observe(0.002);
+  // Every percentile of a constant distribution is that constant (the
+  // estimate is clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(H.percentile(0.5), 0.002);
+  EXPECT_DOUBLE_EQ(H.percentile(0.99), 0.002);
+}
+
+TEST(Histogram, ConcurrentObserves) {
+  MetricsRegistry Reg;
+  Histogram &H = Reg.histogram("h", linearBounds(0, 8));
+  Counter &C = Reg.counter("c");
+  constexpr int Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        H.observe(static_cast<double>((T + I) % 8));
+        C.inc();
+      }
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(H.count(), static_cast<uint64_t>(Threads) * PerThread);
+  uint64_t BucketTotal = 0;
+  for (const Histogram::Bucket &B : H.buckets())
+    BucketTotal += B.Count;
+  EXPECT_EQ(BucketTotal, H.count());
+}
+
+//===----------------------------------------------------------------------===//
+// Trace tree
+//===----------------------------------------------------------------------===//
+
+TEST(TraceScope, NestsIntoTree) {
+  MetricsRegistry Reg;
+  {
+    TraceScope Train(Reg, "train");
+    { TraceScope Extract(Reg, "extract"); }
+    { TraceScope Epoch(Reg, "epoch"); }
+  }
+  { TraceScope Eval(Reg, "eval"); }
+
+  const TraceNode &Root = Reg.traceRoot();
+  ASSERT_EQ(Root.Children.size(), 2u);
+  EXPECT_EQ(Root.Children[0]->Name, "train");
+  EXPECT_EQ(Root.Children[1]->Name, "eval");
+  const TraceNode &Train = *Root.Children[0];
+  ASSERT_EQ(Train.Children.size(), 2u);
+  EXPECT_EQ(Train.Children[0]->Name, "extract");
+  EXPECT_EQ(Train.Children[1]->Name, "epoch");
+  EXPECT_EQ(Train.Calls, 1u);
+  EXPECT_GE(Train.Seconds, 0.0);
+}
+
+TEST(TraceScope, RepeatedPhasesMergeByName) {
+  MetricsRegistry Reg;
+  for (int I = 0; I < 5; ++I) {
+    TraceScope Epoch(Reg, "epoch");
+  }
+  const TraceNode &Root = Reg.traceRoot();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  EXPECT_EQ(Root.Children[0]->Name, "epoch");
+  EXPECT_EQ(Root.Children[0]->Calls, 5u);
+}
+
+TEST(TraceScope, SecondsIsReadableMidScope) {
+  MetricsRegistry Reg;
+  TraceScope Phase(Reg, "sleep");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(Phase.seconds(), 0.004);
+}
+
+TEST(TraceScope, ChildSecondsBoundedByParent) {
+  MetricsRegistry Reg;
+  {
+    TraceScope Outer(Reg, "outer");
+    TraceScope Inner(Reg, "inner");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const TraceNode &Root = Reg.traceRoot();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const TraceNode &Outer = *Root.Children[0];
+  ASSERT_EQ(Outer.Children.size(), 1u);
+  EXPECT_LE(Outer.Children[0]->Seconds, Outer.Seconds + 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(Json, EscapeSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+namespace {
+/// Minimal structural validator: checks balanced braces/brackets outside
+/// strings and that escapes inside strings are legal.
+bool isStructurallyValidJson(const std::string &S) {
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (InString) {
+      if (C == '\\') {
+        if (I + 1 >= S.size())
+          return false;
+        char N = S[I + 1];
+        if (N != '"' && N != '\\' && N != '/' && N != 'b' && N != 'f' &&
+            N != 'n' && N != 'r' && N != 't' && N != 'u')
+          return false;
+        ++I;
+      } else if (C == '"') {
+        InString = false;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        return false; // raw control char inside a string
+      }
+    } else {
+      if (C == '"')
+        InString = true;
+      else if (C == '{' || C == '[')
+        ++Depth;
+      else if (C == '}' || C == ']') {
+        if (--Depth < 0)
+          return false;
+      }
+    }
+  }
+  return Depth == 0 && !InString;
+}
+} // namespace
+
+TEST(Json, SnapshotIsStructurallyValidAndStable) {
+  MetricsRegistry Reg;
+  Reg.counter("parse.files.ok").add(3);
+  Reg.counter("parse.fail.reason.expected \"}\"\nbefore end").inc();
+  Reg.gauge("crf.features").set(1234.5);
+  Histogram &H = Reg.histogram("paths.length", linearBounds(1, 4));
+  H.observe(2);
+  H.observe(3);
+  {
+    TraceScope Train(Reg, "train");
+    TraceScope Extract(Reg, "extract");
+  }
+
+  std::ostringstream A, B;
+  Reg.writeJson(A);
+  Reg.writeJson(B);
+  EXPECT_EQ(A.str(), B.str()); // stable output
+  EXPECT_TRUE(isStructurallyValidJson(A.str()));
+  EXPECT_NE(A.str().find("\"schema\":\"pigeon.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(A.str().find("\"parse.files.ok\":3"), std::string::npos);
+  EXPECT_NE(A.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(A.str().find("\"gauges\""), std::string::npos);
+  EXPECT_NE(A.str().find("\"histograms\""), std::string::npos);
+  EXPECT_NE(A.str().find("\"trace\""), std::string::npos);
+  EXPECT_NE(A.str().find("\"p50\""), std::string::npos);
+}
+
+TEST(Json, EmptyRegistrySnapshot) {
+  MetricsRegistry Reg;
+  std::ostringstream OS;
+  Reg.writeJson(OS);
+  EXPECT_TRUE(isStructurallyValidJson(OS.str()));
+  EXPECT_NE(OS.str().find("pigeon.metrics.v1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Tables
+//===----------------------------------------------------------------------===//
+
+TEST(Tables, PrintTableAndTraceTableRender) {
+  MetricsRegistry Reg;
+  Reg.counter("parse.files.ok").add(7);
+  Reg.histogram("paths.length", linearBounds(1, 4)).observe(2);
+  {
+    TraceScope Train(Reg, "train");
+    TraceScope Extract(Reg, "extract");
+  }
+  std::ostringstream OS;
+  Reg.printTable(OS);
+  Reg.printTraceTable(OS);
+  EXPECT_NE(OS.str().find("parse.files.ok"), std::string::npos);
+  EXPECT_NE(OS.str().find("train"), std::string::npos);
+  EXPECT_NE(OS.str().find("extract"), std::string::npos);
+}

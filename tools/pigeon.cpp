@@ -34,7 +34,9 @@
 #include "lang/js/JsParser.h"
 #include "lang/python/PyParser.h"
 #include "support/TablePrinter.h"
+#include "support/Telemetry.h"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -58,7 +60,11 @@ int usage() {
          "  pigeon predict --model MODEL FILE\n"
          "  pigeon demo    --lang <js|java|py|cs>\n"
          "  pigeon synth   --lang <js|java|py|cs> --out DIR"
-         " [--projects N] [--seed S]\n";
+         " [--projects N] [--seed S]\n"
+         "\n"
+         "Every subcommand accepts --metrics FILE to write a JSON metrics\n"
+         "snapshot (schema pigeon.metrics.v1) at exit; the PIGEON_METRICS\n"
+         "environment variable is the fallback when the flag is absent.\n";
   return 2;
 }
 
@@ -153,20 +159,28 @@ int cmdExtract(Language Lang, const paths::ExtractionConfig &Config,
     return 1;
   }
   StringInterner Interner;
-  lang::ParseResult R = parseAs(Lang, *Text, Interner);
-  if (!R.Tree) {
+  std::optional<lang::ParseResult> R;
+  {
+    telemetry::TraceScope Phase("parse");
+    R = parseAs(Lang, *Text, Interner);
+  }
+  if (!R->Tree) {
     std::cerr << "error: parse failed\n";
     return 1;
   }
-  for (const lang::Diagnostic &D : R.Diags)
+  for (const lang::Diagnostic &D : R->Diags)
     std::cerr << Path << ":" << D.str() << "\n";
 
   paths::PathTable Table;
-  auto Contexts = paths::extractPathContexts(*R.Tree, Config, Table);
+  std::vector<paths::PathContext> Contexts;
+  {
+    telemetry::TraceScope Phase("extract");
+    Contexts = paths::extractPathContexts(*R->Tree, Config, Table);
+  }
   for (const paths::PathContext &Ctx : Contexts) {
-    std::cout << Interner.str(paths::endValue(*R.Tree, Ctx.Start)) << "\t"
+    std::cout << Interner.str(paths::endValue(*R->Tree, Ctx.Start)) << "\t"
               << Table.str(Ctx.Path) << "\t"
-              << Interner.str(paths::endValue(*R.Tree, Ctx.End))
+              << Interner.str(paths::endValue(*R->Tree, Ctx.End))
               << (Ctx.Semi ? "\t(semi)" : "") << "\n";
   }
   std::cerr << Contexts.size() << " path-contexts, " << Table.size()
@@ -194,27 +208,41 @@ int cmdTrain(Language Lang, Task TaskKind, const std::string &OutPath,
   Bundle.TaskKind = TaskKind;
 
   crf::ElementSelector Selector = selectorFor(TaskKind);
+  auto &Reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter &FilesOk = Reg.counter("parse.files.ok");
+  telemetry::Counter &FilesFailed = Reg.counter("parse.files.failed");
   std::vector<crf::CrfGraph> Graphs;
   size_t Failures = 0;
   for (const std::string &Path : Sources) {
     auto Text = readFile(Path);
     if (!Text) {
       ++Failures;
+      FilesFailed.inc();
       continue;
     }
-    lang::ParseResult R = parseAs(Lang, *Text, *Bundle.Interner);
-    if (!R.Tree || !R.Diags.empty()) {
+    std::optional<lang::ParseResult> R;
+    {
+      telemetry::TraceScope Phase("parse");
+      R = parseAs(Lang, *Text, *Bundle.Interner);
+    }
+    if (!R->Tree || !R->Diags.empty()) {
       ++Failures;
+      FilesFailed.inc();
       continue;
     }
-    auto Contexts =
-        paths::extractPathContexts(*R.Tree, Bundle.Extraction, Bundle.Table);
-    Graphs.push_back(crf::buildGraph(*R.Tree, Contexts, Selector));
+    FilesOk.inc();
+    telemetry::TraceScope Phase("extract");
+    auto Contexts = paths::extractPathContexts(*R->Tree, Bundle.Extraction,
+                                               Bundle.Table);
+    Graphs.push_back(crf::buildGraph(*R->Tree, Contexts, Selector));
   }
   std::cerr << "parsed " << Graphs.size() << "/" << Sources.size()
             << " files (" << Failures << " skipped)\n";
 
-  Bundle.Model.train(Graphs);
+  {
+    telemetry::TraceScope Phase("train");
+    Bundle.Model.train(Graphs);
+  }
   std::cerr << "trained: " << Bundle.Model.numFeatures() << " features, "
             << Bundle.Table.size() << " distinct paths\n";
 
@@ -223,6 +251,7 @@ int cmdTrain(Language Lang, Task TaskKind, const std::string &OutPath,
     std::cerr << "error: cannot write " << OutPath << "\n";
     return 1;
   }
+  telemetry::TraceScope Phase("save");
   saveModel(Out, Bundle);
   std::cerr << "saved model to " << OutPath << "\n";
   return 0;
@@ -238,7 +267,11 @@ int cmdPredict(const std::string &ModelPath, const std::string &Path) {
     std::cerr << "error: cannot read " << ModelPath << "\n";
     return 1;
   }
-  std::unique_ptr<ModelBundle> Bundle = loadModel(In);
+  std::unique_ptr<ModelBundle> Bundle;
+  {
+    telemetry::TraceScope Phase("load");
+    Bundle = loadModel(In);
+  }
   if (!Bundle) {
     std::cerr << "error: " << ModelPath << " is not a PIGEON model\n";
     return 1;
@@ -248,15 +281,20 @@ int cmdPredict(const std::string &ModelPath, const std::string &Path) {
     std::cerr << "error: cannot read " << Path << "\n";
     return 1;
   }
-  lang::ParseResult R = parseAs(Bundle->Lang, *Text, *Bundle->Interner);
-  if (!R.Tree) {
+  std::optional<lang::ParseResult> R;
+  {
+    telemetry::TraceScope Phase("parse");
+    R = parseAs(Bundle->Lang, *Text, *Bundle->Interner);
+  }
+  if (!R->Tree) {
     std::cerr << "error: parse failed\n";
     return 1;
   }
-  auto Contexts =
-      paths::extractPathContexts(*R.Tree, Bundle->Extraction, Bundle->Table);
+  telemetry::TraceScope Phase("predict");
+  auto Contexts = paths::extractPathContexts(*R->Tree, Bundle->Extraction,
+                                             Bundle->Table);
   crf::CrfGraph G =
-      crf::buildGraph(*R.Tree, Contexts, selectorFor(Bundle->TaskKind));
+      crf::buildGraph(*R->Tree, Contexts, selectorFor(Bundle->TaskKind));
   std::vector<Symbol> Pred = Bundle->Model.predict(G);
 
   TablePrinter Out("predictions for " + Path);
@@ -272,7 +310,7 @@ int cmdPredict(const std::string &ModelPath, const std::string &Path) {
     }
     std::string Kind =
         Node.Element != InvalidElement
-            ? elementKindName(R.Tree->element(Node.Element).Kind)
+            ? elementKindName(R->Tree->element(Node.Element).Kind)
             : "?";
     Out.addRow({Bundle->Interner->str(Node.Gold), Kind,
                 Pred[N].isValid() ? Bundle->Interner->str(Pred[N]) : "?",
@@ -297,8 +335,14 @@ int cmdSynth(Language Lang, const std::string &OutDir, int Projects,
   }
   datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, Seed);
   Spec.NumProjects = Projects;
+  std::vector<datagen::SourceFile> Files;
+  {
+    telemetry::TraceScope Phase("datagen");
+    Files = datagen::generateCorpus(Spec);
+  }
+  telemetry::TraceScope Phase("write");
   size_t Count = 0;
-  for (const datagen::SourceFile &File : datagen::generateCorpus(Spec)) {
+  for (const datagen::SourceFile &File : Files) {
     std::ofstream Out(OutDir + "/" + File.FileName + extensionFor(Lang),
                       std::ios::binary);
     if (!Out) {
@@ -319,7 +363,12 @@ int cmdSynth(Language Lang, const std::string &OutDir, int Projects,
 int cmdDemo(Language Lang) {
   datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, 2018);
   Spec.NumProjects = 24;
-  Corpus C = parseCorpus(datagen::generateCorpus(Spec), Lang);
+  std::vector<datagen::SourceFile> Sources;
+  {
+    telemetry::TraceScope Phase("datagen");
+    Sources = datagen::generateCorpus(Spec);
+  }
+  Corpus C = parseCorpus(Sources, Lang); // Opens its own "parse" phase.
   CrfExperimentOptions Options;
   Options.Extraction = tunedExtraction(Lang, Task::VariableNames);
   TrainedNameModel Model(C, Task::VariableNames, Options);
@@ -336,12 +385,18 @@ int cmdDemo(Language Lang) {
     std::cerr << "demo parse failed\n";
     return 1;
   }
-  auto Pred = Model.predict(*R.Tree);
+  std::map<ast::ElementId, Symbol> Pred;
+  {
+    telemetry::TraceScope Phase("eval");
+    Pred = Model.predict(*R.Tree);
+  }
   std::cout << "== predicted names ==\n";
   for (const auto &[E, Name] : Pred)
     std::cout << "  " << C.Interner->str(R.Tree->element(E).Name) << " -> "
               << (Name.isValid() ? C.Interner->str(Name) : "?") << "\n";
   std::cout << "== original ==\n" << FreshSources.front().Text;
+  std::cout << "\n";
+  telemetry::MetricsRegistry::global().printTraceTable(std::cout);
   return 0;
 }
 
@@ -355,7 +410,7 @@ int main(int argc, char **argv) {
 
   // Shared flag parsing.
   std::optional<Language> Lang;
-  std::string ModelPath, OutPath, TaskName = "vars";
+  std::string ModelPath, OutPath, MetricsPath, TaskName = "vars";
   int Projects = 24;
   uint64_t Seed = 2018;
   paths::ExtractionConfig Extraction;
@@ -374,6 +429,12 @@ int main(int argc, char **argv) {
       ModelPath = Value();
     } else if (Arg == "--out") {
       OutPath = Value();
+    } else if (Arg == "--metrics") {
+      MetricsPath = Value();
+      if (MetricsPath.empty()) {
+        std::cerr << "error: --metrics requires a file path\n";
+        return 2;
+      }
     } else if (Arg == "--task") {
       TaskName = Value();
     } else if (Arg == "--length") {
@@ -400,12 +461,19 @@ int main(int argc, char **argv) {
   }
   (void)ExtractionFlagsSeen;
 
+  // --metrics wins; PIGEON_METRICS is the fallback so wrappers can turn
+  // instrumentation on without touching command lines.
+  if (MetricsPath.empty()) {
+    if (const char *Env = std::getenv("PIGEON_METRICS"))
+      MetricsPath = Env;
+  }
+
+  std::optional<int> RC;
   if (Command == "extract") {
     if (!Lang || Positional.size() != 1)
       return usage();
-    return cmdExtract(*Lang, Extraction, Positional[0]);
-  }
-  if (Command == "train") {
+    RC = cmdExtract(*Lang, Extraction, Positional[0]);
+  } else if (Command == "train") {
     if (!Lang || OutPath.empty() || Positional.empty())
       return usage();
     Task TaskKind;
@@ -415,22 +483,31 @@ int main(int argc, char **argv) {
       TaskKind = Task::MethodNames;
     else
       return usage();
-    return cmdTrain(*Lang, TaskKind, OutPath, Positional);
-  }
-  if (Command == "predict") {
+    RC = cmdTrain(*Lang, TaskKind, OutPath, Positional);
+  } else if (Command == "predict") {
     if (ModelPath.empty() || Positional.size() != 1)
       return usage();
-    return cmdPredict(ModelPath, Positional[0]);
-  }
-  if (Command == "demo") {
+    RC = cmdPredict(ModelPath, Positional[0]);
+  } else if (Command == "demo") {
     if (!Lang)
       return usage();
-    return cmdDemo(*Lang);
-  }
-  if (Command == "synth") {
+    RC = cmdDemo(*Lang);
+  } else if (Command == "synth") {
     if (!Lang || OutPath.empty() || Projects <= 0)
       return usage();
-    return cmdSynth(*Lang, OutPath, Projects, Seed);
+    RC = cmdSynth(*Lang, OutPath, Projects, Seed);
   }
-  return usage();
+  if (!RC)
+    return usage();
+
+  if (!MetricsPath.empty()) {
+    if (telemetry::MetricsRegistry::global().writeJsonFile(MetricsPath)) {
+      std::cerr << "metrics written to " << MetricsPath << "\n";
+    } else {
+      std::cerr << "error: cannot write metrics to " << MetricsPath << "\n";
+      if (*RC == 0)
+        RC = 1;
+    }
+  }
+  return *RC;
 }
