@@ -1,0 +1,135 @@
+//===- bench_parallel.cpp - Serial vs sharded pipeline speedup --------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Times the sharded pipeline stages (corpus parse, path-context
+/// extraction) at one thread and at the pool's worker count, verifies the
+/// results are byte-identical, and reports the speedup. The speedup
+/// gauges land in the metrics sidecar so perf PRs can diff them; the
+/// identity checks make this bench double as a determinism smoke test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+using namespace pigeon;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+int main() {
+  const Language Lang = Language::JavaScript;
+  // The acceptance bar is measured at 4 threads; a larger machine (or an
+  // explicit PIGEON_THREADS / --threads override) may use more.
+  const size_t Threads = std::max<size_t>(parallel::defaultThreads(), 4);
+
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, bench::BenchSeed);
+  Spec.NumProjects = 64;
+  std::vector<datagen::SourceFile> Sources;
+  {
+    telemetry::TraceScope Phase("datagen");
+    Sources = datagen::generateCorpus(Spec);
+  }
+
+  // Parse: serial baseline, then sharded.
+  double T0 = now();
+  Corpus Serial = parseCorpus(Sources, Lang, /*Threads=*/1);
+  double SerialParse = now() - T0;
+  T0 = now();
+  Corpus Sharded = parseCorpus(Sources, Lang, Threads);
+  double ParallelParse = now() - T0;
+
+  bool ParseIdentical =
+      Serial.Files.size() == Sharded.Files.size() &&
+      Serial.SourceBytes == Sharded.SourceBytes &&
+      Serial.Interner->size() == Sharded.Interner->size();
+  for (size_t F = 0; ParseIdentical && F < Serial.Files.size(); ++F) {
+    const ast::Tree &A = Serial.Files[F].Tree;
+    const ast::Tree &B = Sharded.Files[F].Tree;
+    ParseIdentical = A.size() == B.size();
+    for (ast::NodeId N = 0; ParseIdentical && N < A.size(); ++N)
+      ParseIdentical = A.node(N).Kind.index() == B.node(N).Kind.index() &&
+                       A.node(N).Value.index() == B.node(N).Value.index();
+  }
+
+  // Extract: same corpus, serial vs sharded tables.
+  CrfExperimentOptions Options = bench::tunedOptions(Lang, Task::VariableNames);
+  std::vector<size_t> Indices(Serial.Files.size());
+  std::iota(Indices.begin(), Indices.end(), size_t(0));
+
+  Options.Threads = 1;
+  paths::PathTable SerialTable;
+  T0 = now();
+  auto SerialCtx = extractCorpusContexts(Serial, Indices, Options, SerialTable);
+  double SerialExtract = now() - T0;
+
+  Options.Threads = Threads;
+  paths::PathTable ShardedTable;
+  T0 = now();
+  auto ShardedCtx =
+      extractCorpusContexts(Serial, Indices, Options, ShardedTable);
+  double ParallelExtract = now() - T0;
+
+  bool ExtractIdentical = SerialTable.size() == ShardedTable.size() &&
+                          SerialCtx.size() == ShardedCtx.size();
+  for (size_t F = 0; ExtractIdentical && F < SerialCtx.size(); ++F) {
+    ExtractIdentical =
+        SerialCtx[F].Contexts.size() == ShardedCtx[F].Contexts.size();
+    for (size_t I = 0; ExtractIdentical && I < SerialCtx[F].Contexts.size();
+         ++I)
+      ExtractIdentical =
+          SerialCtx[F].Contexts[I].Path == ShardedCtx[F].Contexts[I].Path;
+  }
+
+  double ParseSpeedup = ParallelParse > 0 ? SerialParse / ParallelParse : 0;
+  double ExtractSpeedup =
+      ParallelExtract > 0 ? SerialExtract / ParallelExtract : 0;
+
+  TablePrinter Out("sharded pipeline: serial vs " +
+                   std::to_string(Threads) + " threads (" +
+                   std::to_string(Serial.Files.size()) + " files)");
+  Out.setHeader({"Stage", "Serial (s)", "Parallel (s)", "Speedup",
+                 "Identical"});
+  char Buffer[64];
+  auto Fmt = [&](double X) {
+    std::snprintf(Buffer, sizeof(Buffer), "%.3f", X);
+    return std::string(Buffer);
+  };
+  Out.addRow({"parse", Fmt(SerialParse), Fmt(ParallelParse),
+              Fmt(ParseSpeedup) + "x", ParseIdentical ? "yes" : "NO"});
+  Out.addRow({"extract", Fmt(SerialExtract), Fmt(ParallelExtract),
+              Fmt(ExtractSpeedup) + "x", ExtractIdentical ? "yes" : "NO"});
+  Out.print(std::cout);
+
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.gauge("parallel.bench.threads").set(static_cast<double>(Threads));
+  Reg.gauge("parallel.parse.speedup").set(ParseSpeedup);
+  Reg.gauge("parallel.extract.speedup").set(ExtractSpeedup);
+  bench::writeBenchSidecar("bench_parallel");
+
+  if (!ParseIdentical || !ExtractIdentical) {
+    std::fprintf(stderr,
+                 "error: sharded results differ from the serial baseline\n");
+    return 1;
+  }
+  return 0;
+}

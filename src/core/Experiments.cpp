@@ -8,6 +8,7 @@
 
 #include "baselines/Baselines.h"
 #include "ml/common/Metrics.h"
+#include "support/Parallel.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
 
@@ -15,6 +16,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <unordered_map>
 
 using namespace pigeon;
@@ -90,6 +92,59 @@ void downsample(std::vector<PathContext> &Contexts, double KeepP, Rng &R) {
 
 } // namespace
 
+std::vector<FileContexts>
+core::extractCorpusContexts(const Corpus &Corpus,
+                            const std::vector<size_t> &Indices,
+                            const CrfExperimentOptions &Options,
+                            PathTable &Table) {
+  parallel::StageTimer Stage("extract");
+  std::vector<FileContexts> Out(Indices.size());
+
+  // Per file, the intern order into the table is pairwise contexts first,
+  // then (when enabled) 3-wise contexts — exactly the order the serial
+  // experiment loop produces.
+  auto ExtractFile = [&](size_t I, PathTable &Into) {
+    const Tree &T = Corpus.Files[Indices[I]].Tree;
+    Out[I].Contexts = contextsFor(T, Options, Into);
+    if (Options.TriContexts)
+      Out[I].Tris = extractTriContexts(T, Options.Extraction, Into);
+  };
+
+  size_t Threads = parallel::resolveThreads(Options.Threads);
+  size_t NumChunks = parallel::chunkCountFor(Indices.size(), Threads);
+  if (NumChunks <= 1) {
+    for (size_t I = 0; I < Indices.size(); ++I)
+      ExtractFile(I, Table);
+    return Out;
+  }
+
+  std::vector<PathTable> ChunkTables(NumChunks);
+  std::vector<std::pair<size_t, size_t>> Ranges(NumChunks);
+  parallel::parallelChunks(Indices.size(), Threads,
+                           [&](size_t Chunk, size_t Begin, size_t End) {
+                             Ranges[Chunk] = {Begin, End};
+                             for (size_t I = Begin; I < End; ++I)
+                               ExtractFile(I, ChunkTables[Chunk]);
+                           });
+
+  // Absorbing contiguous chunk tables in chunk order replays the serial
+  // first-encounter order of path strings, so the rewritten PathIds (and
+  // Table itself) match a single-threaded extraction bit for bit.
+  for (size_t Chunk = 0; Chunk < NumChunks; ++Chunk) {
+    std::vector<PathId> Map = Table.absorb(ChunkTables[Chunk]);
+    auto [Begin, End] = Ranges[Chunk];
+    for (size_t I = Begin; I < End; ++I) {
+      for (PathContext &Ctx : Out[I].Contexts)
+        if (Ctx.Path != InvalidPath)
+          Ctx.Path = Map[Ctx.Path];
+      for (TriContext &Tri : Out[I].Tris)
+        if (Tri.Path != InvalidPath)
+          Tri.Path = Map[Tri.Path];
+    }
+  }
+  return Out;
+}
+
 ExperimentResult
 core::runCrfNameExperiment(const Corpus &Corpus, Task Task,
                            const CrfExperimentOptions &Options) {
@@ -100,30 +155,39 @@ core::runCrfNameExperiment(const Corpus &Corpus, Task Task,
   PathTable Table;
   Rng Sampler = Rng::forStream(Options.Seed, "downsample");
 
-  auto BuildFor = [&](const Tree &T,
-                      std::vector<PathContext> Contexts) {
-    CrfGraph G = buildGraph(T, Contexts, Selector);
-    if (Options.TriContexts) {
-      auto Tris = extractTriContexts(T, Options.Extraction, Table);
-      addTriFactors(G, T, Tris, Selector, *Corpus.Interner);
+  // Serial per-file graph assembly over pre-extracted contexts. Kept
+  // sequential on purpose: the downsampler draws from one shared Rng
+  // stream and addTriFactors interns composite labels into the corpus
+  // interner, both of which must happen in file order to stay
+  // bit-identical to a single-threaded run.
+  auto AssembleGraphs = [&](const std::vector<size_t> &Indices,
+                            std::vector<FileContexts> &Extracted,
+                            bool Downsample) {
+    std::vector<CrfGraph> Graphs;
+    Graphs.reserve(Indices.size());
+    for (size_t I = 0; I < Indices.size(); ++I) {
+      const Tree &T = Corpus.Files[Indices[I]].Tree;
+      FileContexts &FC = Extracted[I];
+      if (Downsample) {
+        downsample(FC.Contexts, Options.DownsampleP, Sampler);
+        Result.TrainContexts += FC.Contexts.size();
+      }
+      CrfGraph G = buildGraph(T, FC.Contexts, Selector);
+      if (Options.TriContexts)
+        addTriFactors(G, T, FC.Tris, Selector, *Corpus.Interner);
+      Graphs.push_back(std::move(G));
     }
-    return G;
+    return Graphs;
   };
 
   CrfModel Model(Options.Crf);
   {
     telemetry::TraceScope TrainPhase("train");
     std::vector<CrfGraph> TrainGraphs;
-    TrainGraphs.reserve(S.Train.size());
     {
       telemetry::TraceScope ExtractPhase("extract");
-      for (size_t I : S.Train) {
-        const Tree &T = Corpus.Files[I].Tree;
-        auto Contexts = contextsFor(T, Options, Table);
-        downsample(Contexts, Options.DownsampleP, Sampler);
-        Result.TrainContexts += Contexts.size();
-        TrainGraphs.push_back(BuildFor(T, std::move(Contexts)));
-      }
+      auto Extracted = extractCorpusContexts(Corpus, S.Train, Options, Table);
+      TrainGraphs = AssembleGraphs(S.Train, Extracted, /*Downsample=*/true);
     }
     Model.train(TrainGraphs);
     Result.TrainSeconds = TrainPhase.seconds();
@@ -135,13 +199,16 @@ core::runCrfNameExperiment(const Corpus &Corpus, Task Task,
   ml::AccuracyMeter Meter;
   ml::SubTokenMeter SubMeter;
   const StringInterner &SI = *Corpus.Interner;
-  for (size_t I : S.Test) {
-    const Tree &T = Corpus.Files[I].Tree;
-    CrfGraph G = BuildFor(T, contextsFor(T, Options, Table));
-    std::vector<Symbol> Pred = Model.predict(G);
+  auto TestExtracted = extractCorpusContexts(Corpus, S.Test, Options, Table);
+  std::vector<CrfGraph> TestGraphs =
+      AssembleGraphs(S.Test, TestExtracted, /*Downsample=*/false);
+  std::vector<std::vector<Symbol>> Preds =
+      Model.predictBatch(TestGraphs, Options.Threads);
+  for (size_t I = 0; I < TestGraphs.size(); ++I) {
+    const CrfGraph &G = TestGraphs[I];
     for (uint32_t N : G.Unknowns) {
       const std::string &Gold = SI.str(G.Nodes[N].Gold);
-      std::string Predicted = Pred[N].isValid() ? SI.str(Pred[N]) : "";
+      std::string Predicted = Preds[I][N].isValid() ? SI.str(Preds[I][N]) : "";
       Meter.add(Predicted, Gold);
       SubMeter.add(Predicted, Gold);
     }
@@ -168,21 +235,59 @@ core::runCrfTypeExperiment(const Corpus &Corpus,
            K == "ObjectCreationExpr" || K == "CastExpr" ||
            K == "ArrayCreationExpr";
   };
+  // Sharded like extractCorpusContexts: each chunk extracts into a
+  // private table and builds its graphs with chunk-local PathIds; the
+  // merge absorbs tables in chunk order and rewrites the factor paths,
+  // reproducing the serial ids exactly (buildTypeGraph itself interns
+  // nothing).
   auto GraphsOf = [&](const std::vector<size_t> &Indices,
                       size_t *ContextCount) {
-    std::vector<CrfGraph> Graphs;
-    for (size_t I : Indices) {
+    auto FileGraphs = [&](size_t I, PathTable &Into, size_t &Contexts,
+                          std::vector<CrfGraph> &Graphs) {
       const Tree &T = Corpus.Files[I].Tree;
       for (NodeId Target : T.typedNodes()) {
         if (!IsApiTarget(T, Target))
           continue;
-        auto Contexts =
-            extractPathsToNode(T, Target, Options.Extraction, Table);
-        if (ContextCount)
-          *ContextCount += Contexts.size();
-        Graphs.push_back(buildTypeGraph(T, Target, Contexts));
+        auto Paths = extractPathsToNode(T, Target, Options.Extraction, Into);
+        Contexts += Paths.size();
+        Graphs.push_back(buildTypeGraph(T, Target, Paths));
+      }
+    };
+
+    size_t Threads = parallel::resolveThreads(Options.Threads);
+    size_t NumChunks = parallel::chunkCountFor(Indices.size(), Threads);
+    std::vector<CrfGraph> Graphs;
+    size_t Contexts = 0;
+    if (NumChunks <= 1) {
+      for (size_t I : Indices)
+        FileGraphs(I, Table, Contexts, Graphs);
+    } else {
+      struct ChunkOut {
+        PathTable Table;
+        std::vector<CrfGraph> Graphs;
+        size_t Contexts = 0;
+      };
+      std::vector<ChunkOut> Chunks(NumChunks);
+      parallel::parallelChunks(Indices.size(), Threads,
+                               [&](size_t Chunk, size_t Begin, size_t End) {
+                                 for (size_t P = Begin; P < End; ++P)
+                                   FileGraphs(Indices[P], Chunks[Chunk].Table,
+                                              Chunks[Chunk].Contexts,
+                                              Chunks[Chunk].Graphs);
+                               });
+      for (ChunkOut &C : Chunks) {
+        std::vector<PathId> Map = Table.absorb(C.Table);
+        for (CrfGraph &G : C.Graphs) {
+          for (Factor &F : G.Factors)
+            if (F.Path != InvalidPath)
+              F.Path = Map[F.Path];
+          Graphs.push_back(std::move(G));
+        }
+        Contexts += C.Contexts;
       }
     }
+    if (ContextCount)
+      *ContextCount += Contexts;
     return Graphs;
   };
 
@@ -206,11 +311,14 @@ core::runCrfTypeExperiment(const Corpus &Corpus,
   const StringInterner &SI = *Corpus.Interner;
   size_t Total = 0, Correct = 0;
   std::vector<CrfGraph> TestGraphs = GraphsOf(S.Test, nullptr);
-  for (const CrfGraph &G : TestGraphs) {
-    std::vector<Symbol> Pred = Model.predict(G);
+  std::vector<std::vector<Symbol>> Preds =
+      Model.predictBatch(TestGraphs, Options.Threads);
+  for (size_t I = 0; I < TestGraphs.size(); ++I) {
+    const CrfGraph &G = TestGraphs[I];
     for (uint32_t N : G.Unknowns) {
       ++Total;
-      if (Pred[N].isValid() && SI.str(Pred[N]) == SI.str(G.Nodes[N].Gold))
+      if (Preds[I][N].isValid() &&
+          SI.str(Preds[I][N]) == SI.str(G.Nodes[N].Gold))
         ++Correct;
     }
   }
@@ -465,14 +573,16 @@ TrainedNameModel::TrainedNameModel(const Corpus &Corpus, Task Task,
     : TaskKind(Task), Options(Options), Model(Options.Crf) {
   telemetry::TraceScope TrainPhase("train");
   ElementSelector Selector = selectorFor(Task);
+  std::vector<size_t> All(Corpus.Files.size());
+  std::iota(All.begin(), All.end(), size_t(0));
   std::vector<CrfGraph> Graphs;
   Graphs.reserve(Corpus.Files.size());
   {
     telemetry::TraceScope ExtractPhase("extract");
-    for (const ParsedFile &File : Corpus.Files) {
-      auto Contexts = contextsFor(File.Tree, Options, Table);
-      Graphs.push_back(buildGraph(File.Tree, Contexts, Selector));
-    }
+    auto Extracted = extractCorpusContexts(Corpus, All, Options, Table);
+    for (size_t I = 0; I < All.size(); ++I)
+      Graphs.push_back(
+          buildGraph(Corpus.Files[I].Tree, Extracted[I].Contexts, Selector));
   }
   Model.train(Graphs);
 }

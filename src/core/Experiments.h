@@ -52,6 +52,10 @@ struct CrfExperimentOptions {
   bool TriContexts = false;
   double TestFraction = 0.25;
   uint64_t Seed = 42;
+  /// Worker threads for the extraction and inference stages (0 = process
+  /// default; see parallel::resolveThreads). Results are identical at any
+  /// thread count.
+  size_t Threads = 0;
 };
 
 /// Metrics every experiment reports.
@@ -64,6 +68,25 @@ struct ExperimentResult {
   size_t Predictions = 0;
   size_t DistinctPaths = 0;
 };
+
+/// Path-contexts (and optional 3-wise contexts) of one corpus file, as
+/// produced by the sharded extraction stage.
+struct FileContexts {
+  std::vector<paths::PathContext> Contexts;
+  std::vector<paths::TriContext> Tris;
+};
+
+/// Extracts the representation contexts of Corpus.Files[Indices[I]] for
+/// every I, sharded over Options.Threads workers with a private PathTable
+/// per shard. Shard tables are merged into \p Table in file order, so the
+/// PathIds in the result (and the contents of \p Table) are bit-identical
+/// to a serial extraction — the determinism contract the parallel
+/// pipeline is built on (DESIGN.md §Parallelism).
+std::vector<FileContexts>
+extractCorpusContexts(const Corpus &Corpus,
+                      const std::vector<size_t> &Indices,
+                      const CrfExperimentOptions &Options,
+                      paths::PathTable &Table);
 
 /// Trains and evaluates a CRF for variable- or method-name prediction.
 ExperimentResult runCrfNameExperiment(const Corpus &Corpus, Task Task,

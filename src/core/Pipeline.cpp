@@ -12,12 +12,15 @@
 #include "lang/java/TypeChecker.h"
 #include "lang/js/JsParser.h"
 #include "lang/python/PyParser.h"
+#include "support/Parallel.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <set>
+#include <span>
 
 using namespace pigeon;
 using namespace pigeon::core;
@@ -47,71 +50,181 @@ const char *langKey(Language Lang) {
   return "unknown";
 }
 
-} // namespace
+/// One dropped file as a shard worker saw it: the record for the corpus
+/// plus the raw first-diagnostic text for reason accounting.
+struct ShardFailure {
+  ParseFailureRecord Record;
+  std::string RawReason;
+};
 
-Corpus core::parseCorpus(const std::vector<datagen::SourceFile> &Sources,
-                         Language Lang) {
-  telemetry::TraceScope Phase("parse");
-  auto &Reg = telemetry::MetricsRegistry::global();
-  const std::string Prefix = std::string("parse.") + langKey(Lang);
-  telemetry::Counter &FilesOk = Reg.counter("parse.files.ok");
-  telemetry::Counter &FilesFailed = Reg.counter("parse.files.failed");
-  telemetry::Counter &LangOk = Reg.counter(Prefix + ".files.ok");
-  telemetry::Counter &LangFailed = Reg.counter(Prefix + ".files.failed");
-  telemetry::Counter &Bytes = Reg.counter("parse.bytes");
-  // Distinct diagnostic-reason counters created by this call are capped so
-  // a pathological corpus cannot flood the registry.
-  size_t NewReasonBudget = 16;
-  std::set<std::string> SeenReasons;
+/// Everything one shard worker produced from its contiguous file range.
+/// Files and failures are in file order; the interner holds exactly the
+/// strings a serial parse of the same range would have interned, in the
+/// same first-encounter order.
+struct ParseShard {
+  std::unique_ptr<StringInterner> Interner;
+  std::vector<ParsedFile> Files;
+  std::vector<ShardFailure> Failures;
+  size_t SourceBytes = 0;
+  uint64_t FilesOk = 0;
+};
 
-  Corpus Out;
-  Out.Lang = Lang;
-  Out.Interner = std::make_unique<StringInterner>();
+/// Parses one contiguous range of sources with a private interner. This
+/// is the exact per-file sequence of the serial parse — including the
+/// inline Java type annotation, which interns type strings between files
+/// — so shard interners concatenate back into the serial intern order.
+ParseShard parseShard(std::span<const datagen::SourceFile> Sources,
+                      Language Lang) {
+  ParseShard Shard;
+  Shard.Interner = std::make_unique<StringInterner>();
 
   java::ClassPath CP = java::ClassPath::standard();
   datagen::addDomainClasses(CP);
 
   for (const datagen::SourceFile &Src : Sources) {
-    Out.SourceBytes += Src.Text.size();
-    Bytes.add(Src.Text.size());
+    Shard.SourceBytes += Src.Text.size();
     lang::ParseResult R;
     switch (Lang) {
     case Language::JavaScript:
-      R = js::parse(Src.Text, *Out.Interner);
+      R = js::parse(Src.Text, *Shard.Interner);
       break;
     case Language::Java:
-      R = java::parse(Src.Text, *Out.Interner);
+      R = java::parse(Src.Text, *Shard.Interner);
       break;
     case Language::Python:
-      R = py::parse(Src.Text, *Out.Interner);
+      R = py::parse(Src.Text, *Shard.Interner);
       break;
     case Language::CSharp:
-      R = cs::parse(Src.Text, *Out.Interner);
+      R = cs::parse(Src.Text, *Shard.Interner);
       break;
     }
     if (!R.Tree || !R.Diags.empty()) {
-      ++Out.ParseFailures;
-      FilesFailed.inc();
-      LangFailed.inc();
       std::string Reason =
           R.Diags.empty() ? "no tree" : R.Diags.front().Message;
-      if (Out.FailureRecords.size() < Corpus::MaxFailureRecords)
-        Out.FailureRecords.push_back(
-            {Src.FileName,
-             R.Diags.empty() ? Reason : R.Diags.front().str()});
-      if (SeenReasons.count(Reason) || NewReasonBudget > 0) {
-        if (SeenReasons.insert(Reason).second)
-          --NewReasonBudget;
-        Reg.counter("parse.fail.reason." + Reason).inc();
-      }
+      Shard.Failures.push_back(
+          {{Src.FileName, R.Diags.empty() ? Reason : R.Diags.front().str()},
+           std::move(Reason)});
       continue;
     }
-    FilesOk.inc();
-    LangOk.inc();
+    ++Shard.FilesOk;
     if (Lang == Language::Java)
       java::annotateTypes(*R.Tree, CP);
-    Out.Files.push_back({Src.Project, Src.FileName, std::move(*R.Tree)});
+    Shard.Files.push_back({Src.Project, Src.FileName, std::move(*R.Tree)});
   }
+  return Shard;
+}
+
+/// Process-global budget of distinct `parse.fail.reason.*` counters.
+struct ReasonBudget {
+  std::mutex Mutex;
+  std::set<std::string> Seen;
+  size_t Remaining = 16;
+};
+
+ReasonBudget &reasonBudget() {
+  static ReasonBudget Budget;
+  return Budget;
+}
+
+} // namespace
+
+std::string core::metricSafeReason(std::string_view Raw) {
+  constexpr size_t MaxLen = 48;
+  std::string Out;
+  Out.reserve(std::min(Raw.size(), MaxLen));
+  for (char Ch : Raw) {
+    if (Out.size() >= MaxLen)
+      break;
+    unsigned char U = static_cast<unsigned char>(Ch);
+    if ((U >= 'a' && U <= 'z') || (U >= '0' && U <= '9') || U == '.' ||
+        U == '-' || U == '_')
+      Out += Ch;
+    else if (U >= 'A' && U <= 'Z')
+      Out += static_cast<char>(U - 'A' + 'a');
+    else if (!Out.empty() && Out.back() != '_')
+      Out += '_';
+  }
+  while (!Out.empty() && Out.back() == '_')
+    Out.pop_back();
+  return Out.empty() ? "unknown" : Out;
+}
+
+void core::recordParseFailureReason(std::string_view RawReason) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  std::string Key = metricSafeReason(RawReason);
+  ReasonBudget &Budget = reasonBudget();
+  std::lock_guard<std::mutex> Lock(Budget.Mutex);
+  if (!Budget.Seen.count(Key)) {
+    if (Budget.Remaining == 0) {
+      Reg.counter("parse.fail.reason.other").inc();
+      return;
+    }
+    Budget.Seen.insert(Key);
+    --Budget.Remaining;
+  }
+  Reg.counter("parse.fail.reason." + Key).inc();
+}
+
+Corpus core::parseCorpus(const std::vector<datagen::SourceFile> &Sources,
+                         Language Lang, size_t Threads) {
+  telemetry::TraceScope Phase("parse");
+  parallel::StageTimer Stage("parse");
+  auto &Reg = telemetry::MetricsRegistry::global();
+  const std::string Prefix = std::string("parse.") + langKey(Lang);
+
+  size_t T = parallel::resolveThreads(Threads);
+  size_t NumShards = parallel::chunkCountFor(Sources.size(), T);
+
+  // Shard workers: contiguous file ranges, private interners.
+  std::vector<ParseShard> Shards(std::max<size_t>(NumShards, 1));
+  if (NumShards <= 1) {
+    Shards[0] = parseShard({Sources.data(), Sources.size()}, Lang);
+  } else {
+    parallel::parallelChunks(
+        Sources.size(), T, [&](size_t Chunk, size_t Begin, size_t End) {
+          Shards[Chunk] =
+              parseShard({Sources.data() + Begin, End - Begin}, Lang);
+        });
+  }
+
+  // Merge pass, sequential in shard (= file) order. Interning each
+  // shard's strings in shard-local id order replays the serial
+  // first-encounter order, so the merged symbol ids are bit-identical to
+  // a single-threaded parse; trees are then rewritten onto the merged
+  // interner.
+  Corpus Out;
+  Out.Lang = Lang;
+  Out.Interner = std::make_unique<StringInterner>();
+  if (NumShards == 1 && Shards[0].Interner) {
+    Out.Interner = std::move(Shards[0].Interner);
+    Out.Files = std::move(Shards[0].Files);
+  } else {
+    for (ParseShard &Shard : Shards) {
+      const StringInterner &SI = *Shard.Interner;
+      std::vector<uint32_t> Remap(SI.size());
+      for (uint32_t Id = 1; Id < SI.size(); ++Id)
+        Remap[Id] = Out.Interner->intern(SI.str(Symbol::fromIndex(Id)))
+                        .index();
+      for (ParsedFile &File : Shard.Files) {
+        File.Tree.remapSymbols(Remap, *Out.Interner);
+        Out.Files.push_back(std::move(File));
+      }
+    }
+  }
+  for (ParseShard &Shard : Shards) {
+    Out.SourceBytes += Shard.SourceBytes;
+    Out.ParseFailures += Shard.Failures.size();
+    for (ShardFailure &Failure : Shard.Failures) {
+      if (Out.FailureRecords.size() < Corpus::MaxFailureRecords)
+        Out.FailureRecords.push_back(std::move(Failure.Record));
+      recordParseFailureReason(Failure.RawReason);
+    }
+    Reg.counter("parse.files.ok").add(Shard.FilesOk);
+    Reg.counter(Prefix + ".files.ok").add(Shard.FilesOk);
+  }
+  Reg.counter("parse.files.failed").add(Out.ParseFailures);
+  Reg.counter(Prefix + ".files.failed").add(Out.ParseFailures);
+  Reg.counter("parse.bytes").add(Out.SourceBytes);
   return Out;
 }
 
@@ -128,9 +241,15 @@ Split core::splitByProject(const Corpus &Corpus, double TestFraction,
   Rng R = Rng::forStream(Seed, "project-split");
   R.shuffle(Projects);
 
-  size_t NumTest = std::max<size_t>(
-      1, static_cast<size_t>(TestFraction *
-                             static_cast<double>(Projects.size())));
+  // A non-positive fraction means "no test split" — don't steal a
+  // project into test. A positive fraction reserves at least one project
+  // (but never the whole corpus when there is more than one project).
+  size_t NumTest =
+      TestFraction <= 0.0
+          ? 0
+          : std::max<size_t>(
+                1, static_cast<size_t>(
+                       TestFraction * static_cast<double>(Projects.size())));
   NumTest = std::min(NumTest, Projects.size() > 1 ? Projects.size() - 1
                                                   : Projects.size());
   Split Out;

@@ -62,8 +62,26 @@ struct Corpus {
 /// Parses every file of \p Sources with the frontend for \p Lang. Files
 /// with diagnostics are dropped (and counted), like unparsable GitHub
 /// files. For Java, expression types are annotated with the type oracle.
+///
+/// The parse is sharded over \p Threads workers (0 = the process default,
+/// see parallel::resolveThreads), each with a private StringInterner;
+/// shards are merged in file order through a symbol-remap pass, so the
+/// returned Corpus — interner contents *and* symbol ids — is bit-identical
+/// to a serial parse at any thread count.
 Corpus parseCorpus(const std::vector<datagen::SourceFile> &Sources,
-                   lang::Language Lang);
+                   lang::Language Lang, size_t Threads = 0);
+
+/// Sanitizes raw diagnostic text into a metric-name component: lowercased,
+/// runs of characters outside [a-z0-9_.-] collapsed to '_', truncated.
+/// Keeps free-form parse errors from leaking spaces/quotes into
+/// `parse.fail.reason.*` counter names (and thus JSON keys).
+std::string metricSafeReason(std::string_view Raw);
+
+/// Counts one parse failure under `parse.fail.reason.<sanitized>`. The
+/// number of distinct reason counters is capped per *process* (not per
+/// call); reasons past the cap fold into `parse.fail.reason.other`, so a
+/// pathological corpus or repeated parses cannot flood the registry.
+void recordParseFailureReason(std::string_view RawReason);
 
 /// Train/test file index split, grouped by project so no project spans
 /// the boundary.
@@ -71,6 +89,9 @@ struct Split {
   std::vector<size_t> Train;
   std::vector<size_t> Test;
 };
+/// A \p TestFraction <= 0 yields an empty test split (train on
+/// everything); a positive fraction reserves at least one project for
+/// test, but never the only project of a multi-project corpus.
 Split splitByProject(const Corpus &Corpus, double TestFraction,
                      uint64_t Seed);
 

@@ -7,6 +7,7 @@
 #include "ml/crf/Crf.h"
 
 #include "support/Hashing.h"
+#include "support/Parallel.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -544,6 +545,20 @@ void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
 
 std::vector<Symbol> CrfModel::predict(const CrfGraph &Graph) const {
   return infer(Graph, Graph.adjacency());
+}
+
+std::vector<std::vector<Symbol>>
+CrfModel::predictBatch(const std::vector<CrfGraph> &Graphs,
+                       size_t Threads) const {
+  telemetry::TraceScope Phase("crf.predict");
+  parallel::StageTimer Stage("crf.predict");
+  telemetry::MetricsRegistry::global()
+      .counter("crf.predict.graphs")
+      .add(Graphs.size());
+  std::vector<std::vector<Symbol>> Out(Graphs.size());
+  parallel::parallelFor(Graphs.size(), Threads,
+                        [&](size_t I) { Out[I] = predict(Graphs[I]); });
+  return Out;
 }
 
 std::vector<std::pair<Symbol, double>>

@@ -146,6 +146,14 @@ public:
   /// nodes that end with no candidates get an invalid symbol).
   std::vector<Symbol> predict(const CrfGraph &Graph) const;
 
+  /// predict() for every graph, sharded over \p Threads workers (0 = the
+  /// process default). Inference per graph is independent and the model
+  /// is read-only here, so result I equals predict(Graphs[I]) exactly at
+  /// any thread count.
+  std::vector<std::vector<Symbol>>
+  predictBatch(const std::vector<CrfGraph> &Graphs,
+               size_t Threads = 0) const;
+
   /// Top-\p K candidate labels with scores for unknown node \p Node,
   /// holding the rest of \p Assignment fixed (the paper's top-k
   /// suggestion API, §5.1).

@@ -96,6 +96,7 @@ void Sgns::train(const std::vector<Pair> &Pairs, uint32_t Words,
 
   telemetry::Counter &EpochsCounter = Reg.counter("sgns.epochs");
   telemetry::Counter &PairsCounter = Reg.counter("sgns.pairs.trained");
+  telemetry::Counter &Collisions = Reg.counter("sgns.negative.collisions");
   telemetry::Histogram &EpochSeconds =
       Reg.histogram("sgns.epoch.seconds", telemetry::timeBounds());
 
@@ -120,9 +121,17 @@ void Sgns::train(const std::vector<Pair> &Pairs, uint32_t Words,
           C[I] += static_cast<float>(G * W[I]);
         }
       }
-      // Negative updates: sampled words against this context.
+      // Negative updates: sampled words against this context. A noise
+      // draw that hits the positive word would push C in exactly the
+      // direction the positive update pulled it (cancelling signal), so
+      // colliding draws are redrawn — bounded, because a degenerate
+      // near-singleton noise distribution may have nothing else to offer.
       for (int N = 0; N < Config.NegativeSamples; ++N) {
         uint32_t NegWord = SampleNoise(Noise);
+        for (int Retry = 0; NegWord == P.Word && Retry < 8; ++Retry) {
+          Collisions.inc();
+          NegWord = SampleNoise(Noise);
+        }
         if (NegWord == P.Word)
           continue;
         float *NW = &WordVecs[static_cast<size_t>(NegWord) * Dim];

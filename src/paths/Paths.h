@@ -87,6 +87,18 @@ public:
   /// Number of distinct paths (§5.6 reports model size through this).
   size_t size() const { return Interner.size() - 1; }
 
+  /// Interns every path of \p Shard, in shard-local id order, and returns
+  /// the remap shard-id → this-table-id (index 0 is unused). Absorbing
+  /// contiguous shard tables in shard order reproduces the exact ids a
+  /// serial extraction over the same files would have assigned — the
+  /// determinism contract of the parallel extraction stage.
+  std::vector<PathId> absorb(const PathTable &Shard) {
+    std::vector<PathId> Map(Shard.size() + 1, InvalidPath);
+    for (PathId Id = 1; Id <= Shard.size(); ++Id)
+      Map[Id] = intern(Shard.str(Id));
+    return Map;
+  }
+
 private:
   StringInterner Interner;
 };

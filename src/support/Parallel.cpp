@@ -1,0 +1,252 @@
+//===- Parallel.cpp - Chunked thread pool for the pipeline ------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <ctime>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace pigeon;
+using namespace pigeon::parallel;
+
+namespace {
+
+/// Hard cap on pool size: a PIGEON_THREADS typo must not fork-bomb.
+constexpr size_t MaxThreads = 256;
+
+std::atomic<size_t> DefaultOverride{0};
+
+size_t envThreads() {
+  static const size_t Cached = [] {
+    const char *Env = std::getenv("PIGEON_THREADS");
+    if (!Env || !*Env)
+      return size_t(0);
+    long N = std::atol(Env);
+    return N > 0 ? static_cast<size_t>(N) : size_t(0);
+  }();
+  return Cached;
+}
+
+thread_local bool InRegion = false;
+
+/// One parallel region: a chunk counter shared by every executor (pool
+/// workers and the calling thread), a completion counter the caller waits
+/// on, and the first exception any chunk threw.
+struct Region {
+  size_t Total = 0;
+  const std::function<void(size_t)> *Fn = nullptr;
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Done{0};
+  std::mutex Mutex;
+  std::condition_variable Finished;
+  std::exception_ptr Error;
+
+  bool exhausted() const {
+    return Next.load(std::memory_order_relaxed) >= Total;
+  }
+
+  /// Pulls and runs chunks until none remain. Any executor may call this.
+  void participate() {
+    bool Saved = InRegion;
+    InRegion = true;
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Total)
+        break;
+      try {
+        (*Fn)(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (!Error)
+          Error = std::current_exception();
+      }
+      if (Done.fetch_add(1, std::memory_order_acq_rel) + 1 == Total) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Finished.notify_all();
+      }
+    }
+    InRegion = Saved;
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Finished.wait(Lock, [&] {
+      return Done.load(std::memory_order_acquire) >= Total;
+    });
+  }
+};
+
+/// The process-wide pool. Workers are started lazily and grow on demand
+/// up to the largest concurrency any region asked for (capped).
+class Pool {
+public:
+  static Pool &instance() {
+    static Pool P;
+    return P;
+  }
+
+  void run(size_t Chunks, size_t Threads,
+           const std::function<void(size_t)> &Fn) {
+    auto R = std::make_shared<Region>();
+    R->Total = Chunks;
+    R->Fn = &Fn;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      size_t Want = std::min(std::min(Threads, Chunks), MaxThreads);
+      while (Workers.size() + 1 < Want)
+        Workers.emplace_back([this] { workerLoop(); });
+      Pending.push_back(R);
+    }
+    WorkAvailable.notify_all();
+    R->participate();
+    R->wait();
+    {
+      // Drop the region from the pending list if no worker got to it.
+      std::lock_guard<std::mutex> Lock(Mutex);
+      for (auto It = Pending.begin(); It != Pending.end(); ++It)
+        if (It->get() == R.get()) {
+          Pending.erase(It);
+          break;
+        }
+    }
+    if (R->Error)
+      std::rethrow_exception(R->Error);
+  }
+
+private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stop = true;
+    }
+    WorkAvailable.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  void workerLoop() {
+    for (;;) {
+      std::shared_ptr<Region> R;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        WorkAvailable.wait(Lock, [&] { return Stop || !Pending.empty(); });
+        if (Stop)
+          return;
+        R = Pending.front();
+        if (R->exhausted()) {
+          Pending.pop_front();
+          continue;
+        }
+      }
+      R->participate();
+    }
+  }
+
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::deque<std::shared_ptr<Region>> Pending;
+  std::vector<std::thread> Workers;
+  bool Stop = false;
+};
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double cpuSeconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+} // namespace
+
+size_t parallel::hardwareConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : static_cast<size_t>(N);
+}
+
+size_t parallel::defaultThreads() {
+  size_t Override = DefaultOverride.load(std::memory_order_relaxed);
+  if (Override > 0)
+    return std::min(Override, MaxThreads);
+  size_t Env = envThreads();
+  if (Env > 0)
+    return std::min(Env, MaxThreads);
+  return hardwareConcurrency();
+}
+
+void parallel::setDefaultThreads(size_t N) {
+  DefaultOverride.store(std::min(N, MaxThreads), std::memory_order_relaxed);
+}
+
+size_t parallel::resolveThreads(size_t Requested) {
+  size_t N = Requested > 0 ? std::min(Requested, MaxThreads)
+                           : defaultThreads();
+  if (N == 0)
+    N = 1;
+  telemetry::MetricsRegistry::global()
+      .gauge("parallel.threads")
+      .set(static_cast<double>(N));
+  return N;
+}
+
+bool parallel::inParallelRegion() { return InRegion; }
+
+void parallel::parallelChunks(
+    size_t N, size_t Threads,
+    const std::function<void(size_t, size_t, size_t)> &Fn) {
+  if (N == 0)
+    return;
+  size_t T = resolveThreads(Threads);
+  size_t Chunks = chunkCountFor(N, T);
+  auto RunChunk = [&](size_t C) {
+    size_t Begin = C * N / Chunks;
+    size_t End = (C + 1) * N / Chunks;
+    Fn(C, Begin, End);
+  };
+  if (Chunks <= 1 || InRegion) {
+    // Serial / nested: same chunk structure, caller's thread, in order.
+    for (size_t C = 0; C < Chunks; ++C)
+      RunChunk(C);
+    return;
+  }
+  telemetry::Counter &Regions =
+      telemetry::MetricsRegistry::global().counter("parallel.regions");
+  Regions.inc();
+  Pool::instance().run(Chunks, T, RunChunk);
+}
+
+void parallel::parallelFor(size_t N, size_t Threads,
+                           const std::function<void(size_t)> &Fn) {
+  parallelChunks(N, Threads, [&](size_t, size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I)
+      Fn(I);
+  });
+}
+
+StageTimer::StageTimer(std::string Stage)
+    : Stage(std::move(Stage)), WallStart(nowSeconds()),
+      CpuStart(cpuSeconds()) {}
+
+StageTimer::~StageTimer() {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.histogram(Stage + ".wall.seconds", telemetry::timeBounds())
+      .observe(nowSeconds() - WallStart);
+  Reg.histogram(Stage + ".cpu.seconds", telemetry::timeBounds())
+      .observe(cpuSeconds() - CpuStart);
+}

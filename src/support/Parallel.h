@@ -1,0 +1,113 @@
+//===- Parallel.h - Chunked thread pool for the pipeline --------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel execution layer behind the sharded pipeline stages
+/// (parse → extract → infer). A small process-wide thread pool executes
+/// *chunked* loops: the iteration space [0, N) is cut into at most
+/// `threads` contiguous chunks, and workers (plus the calling thread)
+/// pull chunks from a shared counter. Contiguous chunks are what make the
+/// deterministic shard merges possible — each shard worker sees its files
+/// in global order, so shard-local interners can be concatenated back
+/// into the exact serial interning order (see DESIGN.md §Parallelism).
+///
+/// Thread-count resolution, in priority order:
+///   1. an explicit per-call `Threads` argument (> 0),
+///   2. setDefaultThreads() — the CLI's `--threads` flag,
+///   3. the PIGEON_THREADS environment variable,
+///   4. std::thread::hardware_concurrency().
+///
+/// Guarantees:
+///   * a resolved count of 1 runs inline on the caller, no pool involved;
+///   * nested parallel regions run inline (no deadlock, no oversubscribe);
+///   * the first exception thrown by any chunk is rethrown on the caller;
+///   * determinism is the *callers'* contract: this layer only promises
+///     stable chunk boundaries for a given (N, threads) pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_PARALLEL_H
+#define PIGEON_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pigeon {
+namespace parallel {
+
+/// Number of hardware threads (at least 1).
+size_t hardwareConcurrency();
+
+/// The process default worker count: the setDefaultThreads() override if
+/// set, else PIGEON_THREADS (parsed once), else hardwareConcurrency().
+size_t defaultThreads();
+
+/// Sets the process default (the CLI's `--threads`). 0 restores the
+/// automatic PIGEON_THREADS/hardware resolution.
+void setDefaultThreads(size_t N);
+
+/// Resolves a per-call request: 0 means defaultThreads(); the result is
+/// clamped to at least 1. Also publishes the `parallel.threads` gauge.
+size_t resolveThreads(size_t Requested);
+
+/// Number of chunks a parallel loop over \p N items uses at \p Threads
+/// resolved threads: min(Threads, N). Callers that keep per-chunk state
+/// (shard interners, shard path tables) size their arrays with this.
+inline size_t chunkCountFor(size_t N, size_t Threads) {
+  return N < Threads ? N : Threads;
+}
+
+/// True while the current thread is executing a chunk of some parallel
+/// region (worker or participating caller). Nested regions run inline.
+bool inParallelRegion();
+
+/// Runs \p Fn(Chunk, Begin, End) for every chunk of [0, N) cut into
+/// chunkCountFor(N, resolveThreads(Threads)) contiguous pieces. Chunk
+/// boundaries are a function of (N, resolved threads) only. Blocks until
+/// every chunk finished; rethrows the first chunk exception. With one
+/// chunk — or when called from inside another parallel region — the
+/// chunks run inline on the caller, in index order.
+void parallelChunks(size_t N, size_t Threads,
+                    const std::function<void(size_t Chunk, size_t Begin,
+                                             size_t End)> &Fn);
+
+/// Element-wise loop on top of parallelChunks: Fn(I) for I in [0, N).
+void parallelFor(size_t N, size_t Threads,
+                 const std::function<void(size_t)> &Fn);
+
+/// Maps [0, N) through \p Fn into a vector, element I at index I.
+template <typename Fn>
+auto parallelMap(size_t N, size_t Threads, Fn &&F)
+    -> std::vector<decltype(F(size_t(0)))> {
+  std::vector<decltype(F(size_t(0)))> Out(N);
+  parallelFor(N, Threads, [&](size_t I) { Out[I] = F(I); });
+  return Out;
+}
+
+/// RAII stage meter: on destruction observes the stage's wall seconds and
+/// process-CPU seconds into the `<stage>.wall.seconds` and
+/// `<stage>.cpu.seconds` histograms. CPU ≈ wall × utilized threads, so
+/// the pair makes parallel speedup visible in every metrics sidecar.
+class StageTimer {
+public:
+  explicit StageTimer(std::string Stage);
+  ~StageTimer();
+
+  StageTimer(const StageTimer &) = delete;
+  StageTimer &operator=(const StageTimer &) = delete;
+
+private:
+  std::string Stage;
+  double WallStart;
+  double CpuStart;
+};
+
+} // namespace parallel
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_PARALLEL_H

@@ -13,6 +13,7 @@
 #include "core/Experiments.h"
 
 #include "lang/js/JsParser.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -198,6 +199,89 @@ TEST(ExperimentsW2v, PathsBeatTokenStream) {
       << "paths=" << Paths.Accuracy << " tokens=" << Tokens.Accuracy;
   EXPECT_GT(Paths.Accuracy, Neighbors.Accuracy)
       << "paths=" << Paths.Accuracy << " nb=" << Neighbors.Accuracy;
+}
+
+TEST(PipelineTest, ZeroTestFractionYieldsEmptyTestSplit) {
+  const Corpus &C = corpusFor(Language::JavaScript);
+  for (double Fraction : {0.0, -0.5}) {
+    Split S = splitByProject(C, Fraction, 42);
+    EXPECT_TRUE(S.Test.empty()) << "fraction " << Fraction;
+    EXPECT_EQ(S.Train.size(), C.Files.size()) << "fraction " << Fraction;
+  }
+}
+
+TEST(PipelineTest, SplitEdgeCasesOfTinyCorpora) {
+  // Empty corpus: both splits empty, any fraction.
+  Corpus Empty;
+  Empty.Interner = std::make_unique<StringInterner>();
+  for (double Fraction : {0.0, 0.25, 1.0}) {
+    Split S = splitByProject(Empty, Fraction, 42);
+    EXPECT_TRUE(S.Train.empty());
+    EXPECT_TRUE(S.Test.empty());
+  }
+
+  // splitByProject only reads ParsedFile::Project, but Tree is only
+  // constructible through a frontend — parse a trivial file per entry.
+  auto MakeCorpus = [](const std::vector<std::string> &Projects) {
+    Corpus C;
+    C.Interner = std::make_unique<StringInterner>();
+    for (size_t I = 0; I < Projects.size(); ++I) {
+      lang::ParseResult R =
+          js::parse("function f() { var a = 1; }", *C.Interner);
+      C.Files.push_back(
+          {Projects[I], "f" + std::to_string(I), std::move(*R.Tree)});
+    }
+    return C;
+  };
+
+  // One project: a positive fraction may take it (nothing else to keep
+  // for training), but zero must leave it in train.
+  Corpus One = MakeCorpus({"p0", "p0"});
+  Split Zero = splitByProject(One, 0.0, 42);
+  EXPECT_EQ(Zero.Train.size(), 2u);
+  EXPECT_TRUE(Zero.Test.empty());
+  Split Quarter = splitByProject(One, 0.25, 42);
+  EXPECT_EQ(Quarter.Train.size() + Quarter.Test.size(), 2u);
+
+  // Two projects, positive fraction: at least one project in test and at
+  // least one left for training.
+  Corpus Two = MakeCorpus({"p0", "p1"});
+  Split S = splitByProject(Two, 0.25, 42);
+  EXPECT_EQ(S.Train.size(), 1u);
+  EXPECT_EQ(S.Test.size(), 1u);
+}
+
+TEST(PipelineTest, MetricSafeReasonSanitizesDiagnostics) {
+  EXPECT_EQ(metricSafeReason("no tree"), "no_tree");
+  EXPECT_EQ(metricSafeReason("1:5: unexpected token ')'"),
+            "1_5_unexpected_token");
+  EXPECT_EQ(metricSafeReason("Already-Safe.reason-1"), "already-safe.reason-1");
+  EXPECT_EQ(metricSafeReason("  \"quoted\"  "), "quoted");
+  EXPECT_EQ(metricSafeReason(""), "unknown");
+  EXPECT_EQ(metricSafeReason("!!!"), "unknown");
+  // Long raw diagnostics are truncated to a bounded metric name.
+  std::string Long(500, 'x');
+  EXPECT_LE(metricSafeReason(Long).size(), 48u);
+}
+
+TEST(PipelineTest, ParseFailureReasonCounterBudgetIsGlobal) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  // Flood with distinct reasons across *several* calls: the per-process
+  // budget must cap the distinct counters regardless of call boundaries.
+  size_t Before = Reg.numCounters();
+  for (int Call = 0; Call < 4; ++Call)
+    for (int I = 0; I < 10; ++I)
+      recordParseFailureReason("flooded reason #" + std::to_string(Call) +
+                               "." + std::to_string(I));
+  size_t Grown = Reg.numCounters() - Before;
+  // At most the 16-reason budget plus the "other" overflow counter, no
+  // matter how many distinct reasons were reported.
+  EXPECT_LE(Grown, 17u);
+  // And the cap stays in force for later calls.
+  size_t Mid = Reg.numCounters();
+  for (int I = 0; I < 10; ++I)
+    recordParseFailureReason("late flood " + std::to_string(I));
+  EXPECT_LE(Reg.numCounters() - Mid, 1u);
 }
 
 TEST(Qualitative, Fig1aTopCandidatesAreFlagNames) {

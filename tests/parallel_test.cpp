@@ -1,0 +1,275 @@
+//===- parallel_test.cpp - Thread pool and determinism tests ----------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the chunked thread pool, plus the PR's central contract:
+/// every sharded pipeline stage (parse, extraction, CRF experiments)
+/// produces bit-identical results at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include "core/Experiments.h"
+#include "datagen/Sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+using namespace pigeon;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Pool unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelPool, EmptyRangeRunsNothing) {
+  std::atomic<int> Calls{0};
+  parallel::parallelChunks(0, 4, [&](size_t, size_t, size_t) { ++Calls; });
+  parallel::parallelFor(0, 4, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0);
+}
+
+TEST(ParallelPool, CoversEveryIndexExactlyOnce) {
+  constexpr size_t N = 257; // Deliberately not a multiple of the threads.
+  std::vector<std::atomic<int>> Hits(N);
+  parallel::parallelFor(N, 4, [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelPool, ChunksAreContiguousAndOrderedByIndex) {
+  constexpr size_t N = 10;
+  size_t Threads = 4;
+  std::mutex M;
+  std::vector<std::tuple<size_t, size_t, size_t>> Seen;
+  parallel::parallelChunks(N, Threads,
+                           [&](size_t Chunk, size_t Begin, size_t End) {
+                             std::lock_guard<std::mutex> Lock(M);
+                             Seen.emplace_back(Chunk, Begin, End);
+                           });
+  ASSERT_EQ(Seen.size(), parallel::chunkCountFor(N, Threads));
+  std::sort(Seen.begin(), Seen.end());
+  size_t Expected = 0;
+  for (const auto &[Chunk, Begin, End] : Seen) {
+    EXPECT_EQ(Begin, Expected);
+    EXPECT_LT(Begin, End);
+    Expected = End;
+  }
+  EXPECT_EQ(Expected, N);
+}
+
+TEST(ParallelPool, FewerItemsThanThreadsMakesOneChunkPerItem) {
+  EXPECT_EQ(parallel::chunkCountFor(3, 8), 3u);
+  EXPECT_EQ(parallel::chunkCountFor(8, 3), 3u);
+  EXPECT_EQ(parallel::chunkCountFor(0, 3), 0u);
+}
+
+TEST(ParallelPool, MapPreservesElementOrder) {
+  auto Out = parallel::parallelMap(50, 4, [](size_t I) { return I * I; });
+  ASSERT_EQ(Out.size(), 50u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], I * I);
+}
+
+TEST(ParallelPool, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(parallel::parallelFor(64, 4,
+                                     [&](size_t I) {
+                                       if (I == 17)
+                                         throw std::runtime_error("boom");
+                                     }),
+               std::runtime_error);
+  // The pool must still be usable after a failed region.
+  std::atomic<size_t> Sum{0};
+  parallel::parallelFor(10, 4, [&](size_t I) { Sum += I; });
+  EXPECT_EQ(Sum.load(), 45u);
+}
+
+TEST(ParallelPool, NestedRegionsRunInline) {
+  std::atomic<int> Inner{0};
+  std::atomic<bool> SawRegionFlag{false};
+  parallel::parallelFor(4, 4, [&](size_t) {
+    if (parallel::inParallelRegion())
+      SawRegionFlag = true;
+    // A nested region must complete inline rather than deadlock on the
+    // pool the enclosing region already occupies.
+    parallel::parallelFor(8, 4, [&](size_t) { ++Inner; });
+  });
+  EXPECT_EQ(Inner.load(), 32);
+  EXPECT_TRUE(SawRegionFlag.load());
+  EXPECT_FALSE(parallel::inParallelRegion());
+}
+
+TEST(ParallelPool, SingleThreadRunsInline) {
+  std::thread::id Caller = std::this_thread::get_id();
+  parallel::parallelFor(16, 1, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+  });
+}
+
+TEST(ParallelPool, ResolveThreadsHonorsOverride) {
+  parallel::setDefaultThreads(3);
+  EXPECT_EQ(parallel::resolveThreads(0), 3u);
+  EXPECT_EQ(parallel::resolveThreads(2), 2u); // Explicit request wins.
+  parallel::setDefaultThreads(0);
+  EXPECT_GE(parallel::resolveThreads(0), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism across thread counts
+//===----------------------------------------------------------------------===//
+
+std::vector<datagen::SourceFile> testSources(Language Lang) {
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, /*Seed=*/7);
+  Spec.NumProjects = 12;
+  return datagen::generateCorpus(Spec);
+}
+
+void expectSameInterner(const StringInterner &A, const StringInterner &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (uint32_t I = 1; I < A.size(); ++I)
+    ASSERT_EQ(A.str(Symbol::fromIndex(I)), B.str(Symbol::fromIndex(I)))
+        << "symbol " << I;
+}
+
+void expectSameCorpus(const Corpus &A, const Corpus &B) {
+  ASSERT_EQ(A.Files.size(), B.Files.size());
+  EXPECT_EQ(A.SourceBytes, B.SourceBytes);
+  EXPECT_EQ(A.ParseFailures, B.ParseFailures);
+  expectSameInterner(*A.Interner, *B.Interner);
+  for (size_t F = 0; F < A.Files.size(); ++F) {
+    const ast::Tree &TA = A.Files[F].Tree;
+    const ast::Tree &TB = B.Files[F].Tree;
+    ASSERT_EQ(A.Files[F].FileName, B.Files[F].FileName);
+    ASSERT_EQ(TA.size(), TB.size()) << A.Files[F].FileName;
+    for (ast::NodeId N = 0; N < TA.size(); ++N) {
+      // Symbol *ids*, not just strings: the merge must reproduce the
+      // serial interner layout exactly.
+      ASSERT_EQ(TA.node(N).Kind.index(), TB.node(N).Kind.index())
+          << A.Files[F].FileName << " node " << N;
+      ASSERT_EQ(TA.node(N).Value.index(), TB.node(N).Value.index())
+          << A.Files[F].FileName << " node " << N;
+    }
+    ASSERT_EQ(TA.elements().size(), TB.elements().size());
+    for (size_t E = 0; E < TA.elements().size(); ++E)
+      ASSERT_EQ(TA.elements()[E].Name.index(), TB.elements()[E].Name.index());
+    for (ast::NodeId N : TA.typedNodes())
+      ASSERT_EQ(TA.typeOf(N).index(), TB.typeOf(N).index());
+  }
+}
+
+TEST(ParallelDeterminism, ParseCorpusIsThreadCountInvariant) {
+  for (Language Lang : {Language::JavaScript, Language::Java}) {
+    auto Sources = testSources(Lang);
+    Corpus Serial = parseCorpus(Sources, Lang, /*Threads=*/1);
+    for (size_t Threads : {2u, 4u, 7u}) {
+      Corpus Sharded = parseCorpus(Sources, Lang, Threads);
+      SCOPED_TRACE("threads=" + std::to_string(Threads));
+      expectSameCorpus(Serial, Sharded);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ExtractionIsThreadCountInvariant) {
+  auto Sources = testSources(Language::JavaScript);
+  Corpus C = parseCorpus(Sources, Language::JavaScript, 1);
+  std::vector<size_t> Indices(C.Files.size());
+  std::iota(Indices.begin(), Indices.end(), size_t(0));
+
+  CrfExperimentOptions Options;
+  Options.Extraction.MaxLength = 4;
+  Options.Extraction.MaxWidth = 3;
+  Options.TriContexts = true;
+
+  Options.Threads = 1;
+  paths::PathTable SerialTable;
+  auto Serial = extractCorpusContexts(C, Indices, Options, SerialTable);
+
+  for (size_t Threads : {2u, 4u}) {
+    Options.Threads = Threads;
+    paths::PathTable Table;
+    auto Sharded = extractCorpusContexts(C, Indices, Options, Table);
+    SCOPED_TRACE("threads=" + std::to_string(Threads));
+    ASSERT_EQ(SerialTable.size(), Table.size());
+    for (paths::PathId Id = 1; Id <= Table.size(); ++Id)
+      ASSERT_EQ(SerialTable.str(Id), Table.str(Id)) << "path " << Id;
+    ASSERT_EQ(Serial.size(), Sharded.size());
+    for (size_t F = 0; F < Serial.size(); ++F) {
+      ASSERT_EQ(Serial[F].Contexts.size(), Sharded[F].Contexts.size());
+      for (size_t I = 0; I < Serial[F].Contexts.size(); ++I) {
+        EXPECT_EQ(Serial[F].Contexts[I].Start, Sharded[F].Contexts[I].Start);
+        EXPECT_EQ(Serial[F].Contexts[I].End, Sharded[F].Contexts[I].End);
+        ASSERT_EQ(Serial[F].Contexts[I].Path, Sharded[F].Contexts[I].Path)
+            << "file " << F << " context " << I;
+        EXPECT_EQ(Serial[F].Contexts[I].Semi, Sharded[F].Contexts[I].Semi);
+      }
+      ASSERT_EQ(Serial[F].Tris.size(), Sharded[F].Tris.size());
+      for (size_t I = 0; I < Serial[F].Tris.size(); ++I)
+        ASSERT_EQ(Serial[F].Tris[I].Path, Sharded[F].Tris[I].Path);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CrfNameExperimentIsThreadCountInvariant) {
+  auto Sources = testSources(Language::JavaScript);
+  CrfExperimentOptions Options;
+  Options.Extraction.MaxLength = 4;
+  Options.Extraction.MaxWidth = 3;
+  Options.Crf.Epochs = 2;
+  Options.TriContexts = true;
+  Options.DownsampleP = 0.8; // Exercise the shared-Rng downsampler too.
+
+  Options.Threads = 1;
+  Corpus Serial = parseCorpus(Sources, Language::JavaScript, 1);
+  ExperimentResult Base =
+      runCrfNameExperiment(Serial, Task::VariableNames, Options);
+
+  size_t Hardware = parallel::hardwareConcurrency();
+  for (size_t Threads : {size_t(2), Hardware}) {
+    Options.Threads = Threads;
+    Corpus Sharded = parseCorpus(Sources, Language::JavaScript, Threads);
+    ExperimentResult R =
+        runCrfNameExperiment(Sharded, Task::VariableNames, Options);
+    SCOPED_TRACE("threads=" + std::to_string(Threads));
+    EXPECT_EQ(Base.Accuracy, R.Accuracy);
+    EXPECT_EQ(Base.SubtokenF1, R.SubtokenF1);
+    EXPECT_EQ(Base.Predictions, R.Predictions);
+    EXPECT_EQ(Base.NumFeatures, R.NumFeatures);
+    EXPECT_EQ(Base.TrainContexts, R.TrainContexts);
+    EXPECT_EQ(Base.DistinctPaths, R.DistinctPaths);
+  }
+}
+
+TEST(ParallelDeterminism, CrfTypeExperimentIsThreadCountInvariant) {
+  auto Sources = testSources(Language::Java);
+  CrfExperimentOptions Options;
+  Options.Extraction = tunedExtraction(Language::Java, Task::FullTypes);
+  Options.Crf.Epochs = 2;
+
+  Options.Threads = 1;
+  Corpus Serial = parseCorpus(Sources, Language::Java, 1);
+  ExperimentResult Base = runCrfTypeExperiment(Serial, Options);
+
+  Options.Threads = 3;
+  Corpus Sharded = parseCorpus(Sources, Language::Java, 3);
+  ExperimentResult R = runCrfTypeExperiment(Sharded, Options);
+  EXPECT_EQ(Base.Accuracy, R.Accuracy);
+  EXPECT_EQ(Base.Predictions, R.Predictions);
+  EXPECT_EQ(Base.NumFeatures, R.NumFeatures);
+  EXPECT_EQ(Base.TrainContexts, R.TrainContexts);
+  EXPECT_EQ(Base.DistinctPaths, R.DistinctPaths);
+}
+
+} // namespace

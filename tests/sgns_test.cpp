@@ -6,7 +6,11 @@
 
 #include "ml/word2vec/Sgns.h"
 
+#include "support/Telemetry.h"
+
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 using namespace pigeon;
 using namespace pigeon::w2v;
@@ -127,6 +131,38 @@ TEST(Sgns, EmptyContextsPredictNothing) {
   Sgns Model(Config);
   Model.train(disjointCorpus(2, 3), 2, 6);
   EXPECT_EQ(Model.predict(std::vector<uint32_t>{}), UINT32_MAX);
+}
+
+TEST(Sgns, NegativeCollisionsAreRedrawnNotDropped) {
+  // A single-word vocabulary makes *every* noise draw collide with the
+  // positive word: training must neither spin forever nor blow up, and
+  // the collisions must be visible in telemetry.
+  auto &Reg = telemetry::MetricsRegistry::global();
+  uint64_t Before = Reg.counter("sgns.negative.collisions").value();
+  SgnsConfig Config;
+  Config.Dim = 8;
+  Config.Epochs = 3;
+  Sgns Model(Config);
+  std::vector<Pair> Pairs = {{0, 0}, {0, 1}, {0, 0}};
+  Model.train(Pairs, 1, 2);
+  EXPECT_GT(Reg.counter("sgns.negative.collisions").value(), Before);
+  for (float V : Model.wordVector(0))
+    EXPECT_TRUE(std::isfinite(V));
+}
+
+TEST(Sgns, RedrawKeepsDisjointRecoveryIntact) {
+  // With a real multi-word vocabulary the redraw only swaps which noise
+  // word absorbs each colliding draw; the separable corpus must still be
+  // recovered perfectly.
+  SgnsConfig Config;
+  Config.Dim = 16;
+  Config.Epochs = 30;
+  Sgns Model(Config);
+  Model.train(disjointCorpus(3, 10), 3, 9);
+  for (uint32_t W = 0; W < 3; ++W) {
+    std::vector<uint32_t> Ctx = {3 * W, 3 * W + 1, 3 * W + 2};
+    EXPECT_EQ(Model.predict(Ctx), W) << "word " << W;
+  }
 }
 
 TEST(Sgns, VectorDimensionsMatchConfig) {

@@ -33,6 +33,7 @@
 #include "lang/java/JavaParser.h"
 #include "lang/js/JsParser.h"
 #include "lang/python/PyParser.h"
+#include "support/Parallel.h"
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
 
@@ -64,7 +65,12 @@ int usage() {
          "\n"
          "Every subcommand accepts --metrics FILE to write a JSON metrics\n"
          "snapshot (schema pigeon.metrics.v1) at exit; the PIGEON_METRICS\n"
-         "environment variable is the fallback when the flag is absent.\n";
+         "environment variable is the fallback when the flag is absent.\n"
+         "\n"
+         "Every subcommand accepts --threads N to size the worker pool for\n"
+         "the sharded parse/extract/inference stages (0 = one per core);\n"
+         "the PIGEON_THREADS environment variable is the fallback. Results\n"
+         "are identical at any thread count.\n";
   return 2;
 }
 
@@ -368,6 +374,7 @@ int cmdDemo(Language Lang) {
     telemetry::TraceScope Phase("datagen");
     Sources = datagen::generateCorpus(Spec);
   }
+  std::cerr << "worker threads: " << parallel::resolveThreads(0) << "\n";
   Corpus C = parseCorpus(Sources, Lang); // Opens its own "parse" phase.
   CrfExperimentOptions Options;
   Options.Extraction = tunedExtraction(Lang, Task::VariableNames);
@@ -443,6 +450,13 @@ int main(int argc, char **argv) {
     } else if (Arg == "--width") {
       Extraction.MaxWidth = std::atoi(Value().c_str());
       ExtractionFlagsSeen = true;
+    } else if (Arg == "--threads") {
+      long N = std::atol(Value().c_str());
+      if (N < 0) {
+        std::cerr << "error: --threads wants a non-negative count\n";
+        return 2;
+      }
+      parallel::setDefaultThreads(static_cast<size_t>(N));
     } else if (Arg == "--projects") {
       Projects = std::atoi(Value().c_str());
     } else if (Arg == "--seed") {
