@@ -16,6 +16,7 @@
 
 #include "core/Experiments.h"
 #include "core/Pipeline.h"
+#include "support/EventLog.h"
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
 
@@ -42,12 +43,20 @@ inline core::Corpus benchCorpus(lang::Language Lang, int Projects = 48) {
 
 /// Writes the process metrics snapshot as `<bench>.metrics.json` next to
 /// the printed table (PIGEON_METRICS overrides the path), so every bench
-/// run leaves a machine-readable baseline future perf PRs diff against.
+/// run leaves a machine-readable baseline future perf PRs diff against —
+/// tools/bench_report folds the sidecars into the BENCH_<stamp>.json
+/// trajectory.
 inline void writeBenchSidecar(const std::string &BenchName) {
   std::string Path = BenchName + ".metrics.json";
   if (const char *Env = std::getenv("PIGEON_METRICS"))
     if (*Env)
       Path = Env;
+  // Process-level gauges the trajectory report keys on, sampled as late
+  // as possible so they cover the whole run.
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.gauge("process.rss.peak.kb")
+      .set(static_cast<double>(telemetry::peakRssKb()));
+  Reg.gauge("process.cpu.seconds").set(telemetry::processCpuSeconds());
   if (telemetry::MetricsRegistry::global().writeJsonFile(Path))
     std::fprintf(stderr, "metrics sidecar written to %s\n", Path.c_str());
   else

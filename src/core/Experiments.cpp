@@ -8,6 +8,7 @@
 
 #include "baselines/Baselines.h"
 #include "ml/common/Metrics.h"
+#include "support/EventLog.h"
 #include "support/Parallel.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
@@ -88,6 +89,30 @@ void downsample(std::vector<PathContext> &Contexts, double KeepP, Rng &R) {
     if (R.nextBool(KeepP))
       Kept.push_back(Ctx);
   Contexts = std::move(Kept);
+}
+
+/// Short task tag for metric/event names (`eval.<tag>.accuracy`,
+/// provenance records).
+const char *metricTaskTag(Task T) {
+  switch (T) {
+  case Task::VariableNames:
+    return "vars";
+  case Task::MethodNames:
+    return "methods";
+  case Task::FullTypes:
+    return "types";
+  }
+  return "task";
+}
+
+/// Bare variable reads and arithmetic are trivially typed by a nearby
+/// declaration or operand; the regime the paper's type task evaluates is
+/// API-shaped expressions whose types require signature knowledge.
+bool isApiTypeTarget(const Corpus &Corpus, const Tree &T, NodeId Id) {
+  const std::string &K = Corpus.Interner->str(T.node(Id).Kind);
+  return K == "MethodCallExpr" || K == "FieldAccessExpr" ||
+         K == "ObjectCreationExpr" || K == "CastExpr" ||
+         K == "ArrayCreationExpr";
 }
 
 } // namespace
@@ -196,6 +221,8 @@ core::runCrfNameExperiment(const Corpus &Corpus, Task Task,
   Result.DistinctPaths = Table.size();
 
   telemetry::TraceScope EvalPhase("eval");
+  telemetry::EventLog &Log = telemetry::EventLog::global();
+  const char *Tag = metricTaskTag(Task);
   ml::AccuracyMeter Meter;
   ml::SubTokenMeter SubMeter;
   const StringInterner &SI = *Corpus.Interner;
@@ -211,12 +238,80 @@ core::runCrfNameExperiment(const Corpus &Corpus, Task Task,
       std::string Predicted = Preds[I][N].isValid() ? SI.str(Preds[I][N]) : "";
       Meter.add(Predicted, Gold);
       SubMeter.add(Predicted, Gold);
+      // Misprediction provenance: with the event log open, every wrong
+      // answer leaves the per-path evidence it was scored on.
+      if (Log.enabled() && Preds[I][N].isValid() && Predicted != Gold)
+        logPredictionProvenance(
+            Tag, SI, Table, Gold, Predicted,
+            Model.explain(G, N, Preds[I][N], Preds[I], 5));
     }
   }
   Result.Accuracy = Meter.accuracy();
   Result.SubtokenF1 = SubMeter.f1();
   Result.Predictions = Meter.total();
+  telemetry::MetricsRegistry::global()
+      .gauge(std::string("eval.") + Tag + ".accuracy")
+      .set(Result.Accuracy);
   return Result;
+}
+
+std::vector<CrfGraph>
+core::buildTypeGraphs(const Corpus &Corpus,
+                      const std::vector<size_t> &Indices,
+                      const CrfExperimentOptions &Options, PathTable &Table,
+                      size_t *ContextCount) {
+  // Sharded like extractCorpusContexts: each chunk extracts into a
+  // private table and builds its graphs with chunk-local PathIds; the
+  // merge absorbs tables in chunk order and rewrites the factor paths,
+  // reproducing the serial ids exactly (buildTypeGraph itself interns
+  // nothing).
+  auto FileGraphs = [&](size_t I, PathTable &Into, size_t &Contexts,
+                        std::vector<CrfGraph> &Graphs) {
+    const Tree &T = Corpus.Files[I].Tree;
+    for (NodeId Target : T.typedNodes()) {
+      if (!isApiTypeTarget(Corpus, T, Target))
+        continue;
+      auto Paths = extractPathsToNode(T, Target, Options.Extraction, Into);
+      Contexts += Paths.size();
+      Graphs.push_back(buildTypeGraph(T, Target, Paths));
+    }
+  };
+
+  size_t Threads = parallel::resolveThreads(Options.Threads);
+  size_t NumChunks = parallel::chunkCountFor(Indices.size(), Threads);
+  std::vector<CrfGraph> Graphs;
+  size_t Contexts = 0;
+  if (NumChunks <= 1) {
+    for (size_t I : Indices)
+      FileGraphs(I, Table, Contexts, Graphs);
+  } else {
+    struct ChunkOut {
+      PathTable Table;
+      std::vector<CrfGraph> Graphs;
+      size_t Contexts = 0;
+    };
+    std::vector<ChunkOut> Chunks(NumChunks);
+    parallel::parallelChunks(Indices.size(), Threads,
+                             [&](size_t Chunk, size_t Begin, size_t End) {
+                               for (size_t P = Begin; P < End; ++P)
+                                 FileGraphs(Indices[P], Chunks[Chunk].Table,
+                                            Chunks[Chunk].Contexts,
+                                            Chunks[Chunk].Graphs);
+                             });
+    for (ChunkOut &C : Chunks) {
+      std::vector<PathId> Map = Table.absorb(C.Table);
+      for (CrfGraph &G : C.Graphs) {
+        for (Factor &F : G.Factors)
+          if (F.Path != InvalidPath)
+            F.Path = Map[F.Path];
+        Graphs.push_back(std::move(G));
+      }
+      Contexts += C.Contexts;
+    }
+  }
+  if (ContextCount)
+    *ContextCount += Contexts;
+  return Graphs;
 }
 
 ExperimentResult
@@ -226,78 +321,14 @@ core::runCrfTypeExperiment(const Corpus &Corpus,
   Split S = splitByProject(Corpus, Options.TestFraction, Options.Seed);
   PathTable Table;
 
-  // Bare variable reads and arithmetic are trivially typed by a nearby
-  // declaration or operand; the regime the paper's task evaluates is
-  // API-shaped expressions whose types require signature knowledge.
-  auto IsApiTarget = [&](const Tree &T, NodeId Id) {
-    const std::string &K = Corpus.Interner->str(T.node(Id).Kind);
-    return K == "MethodCallExpr" || K == "FieldAccessExpr" ||
-           K == "ObjectCreationExpr" || K == "CastExpr" ||
-           K == "ArrayCreationExpr";
-  };
-  // Sharded like extractCorpusContexts: each chunk extracts into a
-  // private table and builds its graphs with chunk-local PathIds; the
-  // merge absorbs tables in chunk order and rewrites the factor paths,
-  // reproducing the serial ids exactly (buildTypeGraph itself interns
-  // nothing).
-  auto GraphsOf = [&](const std::vector<size_t> &Indices,
-                      size_t *ContextCount) {
-    auto FileGraphs = [&](size_t I, PathTable &Into, size_t &Contexts,
-                          std::vector<CrfGraph> &Graphs) {
-      const Tree &T = Corpus.Files[I].Tree;
-      for (NodeId Target : T.typedNodes()) {
-        if (!IsApiTarget(T, Target))
-          continue;
-        auto Paths = extractPathsToNode(T, Target, Options.Extraction, Into);
-        Contexts += Paths.size();
-        Graphs.push_back(buildTypeGraph(T, Target, Paths));
-      }
-    };
-
-    size_t Threads = parallel::resolveThreads(Options.Threads);
-    size_t NumChunks = parallel::chunkCountFor(Indices.size(), Threads);
-    std::vector<CrfGraph> Graphs;
-    size_t Contexts = 0;
-    if (NumChunks <= 1) {
-      for (size_t I : Indices)
-        FileGraphs(I, Table, Contexts, Graphs);
-    } else {
-      struct ChunkOut {
-        PathTable Table;
-        std::vector<CrfGraph> Graphs;
-        size_t Contexts = 0;
-      };
-      std::vector<ChunkOut> Chunks(NumChunks);
-      parallel::parallelChunks(Indices.size(), Threads,
-                               [&](size_t Chunk, size_t Begin, size_t End) {
-                                 for (size_t P = Begin; P < End; ++P)
-                                   FileGraphs(Indices[P], Chunks[Chunk].Table,
-                                              Chunks[Chunk].Contexts,
-                                              Chunks[Chunk].Graphs);
-                               });
-      for (ChunkOut &C : Chunks) {
-        std::vector<PathId> Map = Table.absorb(C.Table);
-        for (CrfGraph &G : C.Graphs) {
-          for (Factor &F : G.Factors)
-            if (F.Path != InvalidPath)
-              F.Path = Map[F.Path];
-          Graphs.push_back(std::move(G));
-        }
-        Contexts += C.Contexts;
-      }
-    }
-    if (ContextCount)
-      *ContextCount += Contexts;
-    return Graphs;
-  };
-
   CrfModel Model(Options.Crf);
   {
     telemetry::TraceScope TrainPhase("train");
     std::optional<telemetry::TraceScope> ExtractPhase;
     ExtractPhase.emplace("extract");
     std::vector<CrfGraph> TrainGraphs =
-        GraphsOf(S.Train, &Result.TrainContexts);
+        buildTypeGraphs(Corpus, S.Train, Options, Table,
+                        &Result.TrainContexts);
     ExtractPhase.reset();
     Model.train(TrainGraphs);
     Result.TrainSeconds = TrainPhase.seconds();
@@ -308,24 +339,35 @@ core::runCrfTypeExperiment(const Corpus &Corpus,
   // Types are compared by exact string ("int[]" must not match "int", so
   // the name-normalising metric is too lenient here).
   telemetry::TraceScope EvalPhase("eval");
+  telemetry::EventLog &Log = telemetry::EventLog::global();
   const StringInterner &SI = *Corpus.Interner;
   size_t Total = 0, Correct = 0;
-  std::vector<CrfGraph> TestGraphs = GraphsOf(S.Test, nullptr);
+  std::vector<CrfGraph> TestGraphs =
+      buildTypeGraphs(Corpus, S.Test, Options, Table, nullptr);
   std::vector<std::vector<Symbol>> Preds =
       Model.predictBatch(TestGraphs, Options.Threads);
   for (size_t I = 0; I < TestGraphs.size(); ++I) {
     const CrfGraph &G = TestGraphs[I];
     for (uint32_t N : G.Unknowns) {
       ++Total;
-      if (Preds[I][N].isValid() &&
-          SI.str(Preds[I][N]) == SI.str(G.Nodes[N].Gold))
+      bool Right = Preds[I][N].isValid() &&
+                   SI.str(Preds[I][N]) == SI.str(G.Nodes[N].Gold);
+      if (Right)
         ++Correct;
+      else if (Log.enabled() && Preds[I][N].isValid())
+        logPredictionProvenance(
+            "types", SI, Table, SI.str(G.Nodes[N].Gold),
+            SI.str(Preds[I][N]),
+            Model.explain(G, N, Preds[I][N], Preds[I], 5));
     }
   }
   Result.Predictions = Total;
   Result.Accuracy =
       Total == 0 ? 0.0
                  : static_cast<double>(Correct) / static_cast<double>(Total);
+  telemetry::MetricsRegistry::global()
+      .gauge("eval.types.accuracy")
+      .set(Result.Accuracy);
   return Result;
 }
 
@@ -392,17 +434,11 @@ ExperimentResult core::runStringTypeBaseline(const Corpus &Corpus,
   ExperimentResult Result;
   Split S = splitByProject(Corpus, TestFraction, Seed);
   const StringInterner &SI = *Corpus.Interner;
-  auto IsApiTarget = [&](const Tree &T, NodeId Id) {
-    const std::string &K = Corpus.Interner->str(T.node(Id).Kind);
-    return K == "MethodCallExpr" || K == "FieldAccessExpr" ||
-           K == "ObjectCreationExpr" || K == "CastExpr" ||
-           K == "ArrayCreationExpr";
-  };
   size_t Total = 0, Correct = 0;
   for (size_t I : S.Test) {
     const Tree &T = Corpus.Files[I].Tree;
     for (NodeId Target : T.typedNodes()) {
-      if (!IsApiTarget(T, Target))
+      if (!isApiTypeTarget(Corpus, T, Target))
         continue;
       ++Total;
       if (SI.str(T.typeOf(Target)) == "java.lang.String")
@@ -532,6 +568,7 @@ core::runW2vNameExperiment(const Corpus &Corpus,
 
   // Evaluate: Eq. 4 over each test element's known contexts.
   telemetry::TraceScope EvalPhase("eval");
+  telemetry::EventLog &Log = telemetry::EventLog::global();
   ml::AccuracyMeter Meter;
   for (size_t I : S.Test) {
     const Tree &T = Corpus.Files[I].Tree;
@@ -555,13 +592,161 @@ core::runW2vNameExperiment(const Corpus &Corpus,
         continue;
       }
       uint32_t Predicted = Model.predict(It->second);
-      Meter.add(Predicted == UINT32_MAX ? "" : SI.str(Words[Predicted]),
-                Gold);
+      std::string PredStr =
+          Predicted == UINT32_MAX ? "" : SI.str(Words[Predicted]);
+      Meter.add(PredStr, Gold);
+      // Misprediction provenance for Eq. 4: each contributing context's
+      // summed dot product. Contexts are strings here (not PathIds), so
+      // the records carry a "context" field instead of "path".
+      if (Log.enabled() && Predicted != UINT32_MAX && PredStr != Gold) {
+        auto Contribs = Model.explain(Predicted, It->second, 0);
+        double Score = 0;
+        for (const auto &[Ctx, S] : Contribs)
+          Score += S;
+        using telemetry::jsonNumber;
+        using telemetry::jsonString;
+        Log.record("prediction",
+                   {{"task", jsonString("w2v")},
+                    {"gold", jsonString(Gold)},
+                    {"predicted", jsonString(PredStr)},
+                    {"correct", "false"},
+                    {"score", jsonNumber(Score)},
+                    {"paths", std::to_string(Contribs.size())}});
+        if (Contribs.size() > 5)
+          Contribs.resize(5);
+        for (const auto &[Ctx, S] : Contribs)
+          Log.record(
+              "attribution",
+              {{"task", jsonString("w2v")},
+               {"predicted", jsonString(PredStr)},
+               {"context",
+                jsonString(CtxInterner.str(Symbol::fromIndex(Ctx)))},
+               {"score", jsonNumber(S)}});
+      }
     }
   }
   Result.Accuracy = Meter.accuracy();
   Result.Predictions = Meter.total();
+  telemetry::MetricsRegistry::global()
+      .gauge("eval.w2v.accuracy")
+      .set(Result.Accuracy);
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Prediction provenance
+//===----------------------------------------------------------------------===//
+
+void core::logPredictionProvenance(std::string_view Task,
+                                   const StringInterner &SI,
+                                   const PathTable &Table,
+                                   std::string_view Gold,
+                                   std::string_view Predicted,
+                                   const crf::NodeExplanation &Ex) {
+  telemetry::EventLog &Log = telemetry::EventLog::global();
+  if (!Log.enabled())
+    return;
+  using telemetry::jsonNumber;
+  using telemetry::jsonString;
+  Log.record("prediction", {{"task", jsonString(Task)},
+                            {"gold", jsonString(Gold)},
+                            {"predicted", jsonString(Predicted)},
+                            {"correct", Gold == Predicted ? "true" : "false"},
+                            {"score", jsonNumber(Ex.Total)},
+                            {"bias", jsonNumber(Ex.Bias)},
+                            {"paths", std::to_string(Ex.Paths.size())}});
+  for (const crf::Attribution &A : Ex.Paths)
+    Log.record(
+        "attribution",
+        {{"task", jsonString(Task)},
+         {"predicted", jsonString(Predicted)},
+         {"path",
+          jsonString(A.Path != InvalidPath ? Table.str(A.Path) : "")},
+         {"neighbor",
+          jsonString(A.Neighbor.isValid() ? SI.str(A.Neighbor) : "")},
+         {"unary", A.Unary ? "true" : "false"},
+         {"score", jsonNumber(A.Score)},
+         {"weight", jsonNumber(A.Weight)},
+         {"vote", jsonNumber(A.Vote)}});
+}
+
+std::vector<ExplainedPrediction>
+core::explainCrfPredictions(const Corpus &Corpus, Task Task,
+                            const CrfExperimentOptions &Options, int TopK,
+                            size_t MaxNodes) {
+  Split S = splitByProject(Corpus, Options.TestFraction, Options.Seed);
+  PathTable Table;
+  CrfModel Model(Options.Crf);
+  std::vector<CrfGraph> TestGraphs;
+
+  if (Task == Task::FullTypes) {
+    {
+      telemetry::TraceScope TrainPhase("train");
+      Model.train(buildTypeGraphs(Corpus, S.Train, Options, Table, nullptr));
+    }
+    TestGraphs = buildTypeGraphs(Corpus, S.Test, Options, Table, nullptr);
+  } else {
+    ElementSelector Selector = selectorFor(Task);
+    Rng Sampler = Rng::forStream(Options.Seed, "downsample");
+    auto Assemble = [&](const std::vector<size_t> &Indices, bool Sample) {
+      auto Extracted = extractCorpusContexts(Corpus, Indices, Options, Table);
+      std::vector<CrfGraph> Graphs;
+      Graphs.reserve(Indices.size());
+      for (size_t I = 0; I < Indices.size(); ++I) {
+        const Tree &T = Corpus.Files[Indices[I]].Tree;
+        if (Sample)
+          downsample(Extracted[I].Contexts, Options.DownsampleP, Sampler);
+        CrfGraph G = buildGraph(T, Extracted[I].Contexts, Selector);
+        if (Options.TriContexts)
+          addTriFactors(G, T, Extracted[I].Tris, Selector, *Corpus.Interner);
+        Graphs.push_back(std::move(G));
+      }
+      return Graphs;
+    };
+    {
+      telemetry::TraceScope TrainPhase("train");
+      Model.train(Assemble(S.Train, /*Sample=*/true));
+    }
+    TestGraphs = Assemble(S.Test, /*Sample=*/false);
+  }
+
+  telemetry::TraceScope ExplainPhase("explain");
+  const StringInterner &SI = *Corpus.Interner;
+  const char *Tag = metricTaskTag(Task);
+  std::vector<ExplainedPrediction> Out;
+  std::vector<std::vector<Symbol>> Preds =
+      Model.predictBatch(TestGraphs, Options.Threads);
+  for (size_t I = 0; I < TestGraphs.size() && Out.size() < MaxNodes; ++I) {
+    const CrfGraph &G = TestGraphs[I];
+    for (uint32_t N : G.Unknowns) {
+      if (Out.size() >= MaxNodes)
+        break;
+      Symbol Pred = Preds[I][N];
+      if (!Pred.isValid())
+        continue; // No candidates: nothing to attribute.
+      crf::NodeExplanation Ex = Model.explain(G, N, Pred, Preds[I], TopK);
+      ExplainedPrediction E;
+      E.Gold = SI.str(G.Nodes[N].Gold);
+      E.Predicted = SI.str(Pred);
+      E.Correct = E.Gold == E.Predicted;
+      E.Score = Ex.Total;
+      E.Bias = Ex.Bias;
+      E.Paths.reserve(Ex.Paths.size());
+      for (const crf::Attribution &A : Ex.Paths) {
+        ExplainedPrediction::PathLine L;
+        L.Path = A.Path != InvalidPath ? Table.str(A.Path) : "";
+        L.Neighbor = A.Neighbor.isValid() ? SI.str(A.Neighbor) : "";
+        L.Unary = A.Unary;
+        L.Score = A.Score;
+        L.Weight = A.Weight;
+        L.Vote = A.Vote;
+        E.Paths.push_back(std::move(L));
+      }
+      logPredictionProvenance(Tag, SI, Table, E.Gold, E.Predicted, Ex);
+      Out.push_back(std::move(E));
+    }
+  }
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//

@@ -97,6 +97,61 @@ ExperimentResult runCrfNameExperiment(const Corpus &Corpus, Task Task,
 ExperimentResult runCrfTypeExperiment(const Corpus &Corpus,
                                       const CrfExperimentOptions &Options);
 
+/// Builds the single-unknown full-type graphs of Corpus.Files[I] for
+/// every I in \p Indices — one graph per API-shaped typed expression —
+/// sharded like extractCorpusContexts with the same bit-identical merge.
+/// Factored out of runCrfTypeExperiment so `pigeon explain` builds the
+/// exact graphs the type experiment evaluates. \p ContextCount, when
+/// non-null, accumulates the number of extracted leaf-to-target paths.
+std::vector<crf::CrfGraph>
+buildTypeGraphs(const Corpus &Corpus, const std::vector<size_t> &Indices,
+                const CrfExperimentOptions &Options, paths::PathTable &Table,
+                size_t *ContextCount);
+
+//===----------------------------------------------------------------------===//
+// Prediction provenance
+//===----------------------------------------------------------------------===//
+
+/// One explained prediction for the `pigeon explain` report: gold and
+/// predicted labels plus the strongest contributing AST paths, with all
+/// symbols/paths rendered to strings so callers only need TablePrinter.
+struct ExplainedPrediction {
+  std::string Gold;
+  std::string Predicted;
+  bool Correct = false;
+  double Score = 0; ///< Total score of the predicted label (= Bias + Σ).
+  double Bias = 0;
+  struct PathLine {
+    std::string Path;     ///< Rendered abstract path.
+    std::string Neighbor; ///< Other-end label (empty for unary factors).
+    bool Unary = false;
+    double Score = 0;  ///< VotePrior × Vote + Weight.
+    double Weight = 0; ///< Learned factor-weight part.
+    double Vote = 0;   ///< Empirical candidate-vote part.
+  };
+  std::vector<PathLine> Paths;
+};
+
+/// Writes one `prediction` record plus one `attribution` record per path
+/// of \p Ex into the global event log (no-op when the log is closed).
+/// \p Task tags the records ("vars", "methods", "types"); \p Ex carries
+/// the decomposition of the *predicted* label's score.
+void logPredictionProvenance(std::string_view Task, const StringInterner &SI,
+                             const paths::PathTable &Table,
+                             std::string_view Gold,
+                             std::string_view Predicted,
+                             const crf::NodeExplanation &Ex);
+
+/// The `pigeon explain` driver: trains a CRF on the train split of
+/// \p Corpus (any task, including FullTypes) and explains the first
+/// \p MaxNodes test-split predictions — each with its top-\p TopK
+/// contributing paths. Every explained prediction is also written into
+/// the event log via logPredictionProvenance.
+std::vector<ExplainedPrediction>
+explainCrfPredictions(const Corpus &Corpus, Task Task,
+                      const CrfExperimentOptions &Options, int TopK,
+                      size_t MaxNodes);
+
 /// The rule-based Java namer on the test split (no training involved).
 ExperimentResult runRuleBasedJava(const Corpus &Corpus, double TestFraction,
                                   uint64_t Seed);

@@ -12,9 +12,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <istream>
+#include <map>
 #include <optional>
 #include <ostream>
+#include <tuple>
 
 using namespace pigeon;
 using namespace pigeon::ast;
@@ -580,6 +583,89 @@ CrfModel::topK(const CrfGraph &Graph, uint32_t Node,
   if (Scored.size() > static_cast<size_t>(K))
     Scored.resize(static_cast<size_t>(K));
   return Scored;
+}
+
+NodeExplanation CrfModel::explain(const CrfGraph &Graph, uint32_t Node,
+                                  Symbol Label,
+                                  const std::vector<Symbol> &Assignment,
+                                  int K) const {
+  NodeExplanation Ex;
+  Ex.Label = Label;
+  Ex.Bias = weight(biasKey(Label));
+
+  // This label's share of one context's (smoothed) vote mass — the exact
+  // per-context term candidatesFor() accumulates.
+  auto VoteOf = [this, Label](uint64_t Ctx) {
+    auto It = Candidates.find(Ctx);
+    if (It == Candidates.end())
+      return 0.0;
+    double Total = Config.VoteSmoothing;
+    uint32_t Mine = 0;
+    for (const auto &[L, Count] : It->second) {
+      Total += static_cast<double>(Count);
+      if (L == Label)
+        Mine = Count;
+    }
+    return static_cast<double>(Mine) / Total;
+  };
+
+  // Aggregate factor contributions by (path, unary, neighbour): a path
+  // occurring twice between the same pair is one line in the report.
+  std::map<std::tuple<paths::PathId, bool, uint32_t>, Attribution> Agg;
+  auto Adj = Graph.adjacency();
+  for (uint32_t F : Adj[Node]) {
+    const Factor &Fac = Graph.Factors[F];
+    if (pathPruned(Fac.Path))
+      continue;
+    double Weight = 0, Vote = 0;
+    Symbol Neighbor;
+    if (Fac.Unary) {
+      if (Config.UnaryFactors)
+        Weight = weight(unaryKey(Fac.Path, Label));
+      Vote = VoteOf(unaryKey(Fac.Path, Symbol()));
+    } else {
+      uint32_t Other = Fac.A == Node ? Fac.B : Fac.A;
+      bool OtherKnown = Graph.Nodes[Other].Known;
+      if (Config.UnknownUnknownFactors || OtherKnown) {
+        if (Fac.A == Node)
+          Weight = weight(pairKey(Fac.Path, Label, Assignment[Fac.B]));
+        else
+          Weight = weight(pairKey(Fac.Path, Assignment[Fac.A], Label));
+      }
+      // Only known neighbours vote (candidatesFor skips the rest).
+      if (OtherKnown)
+        Vote = VoteOf(
+            contextKey(Fac.Path, Fac.A == Node, Graph.Nodes[Other].Gold));
+      Neighbor = Assignment[Other];
+    }
+    Attribution &A =
+        Agg[std::make_tuple(Fac.Path, Fac.Unary, Neighbor.index())];
+    A.Path = Fac.Path;
+    A.Unary = Fac.Unary;
+    A.Neighbor = Neighbor;
+    A.Weight += Weight;
+    A.Vote += Vote;
+  }
+
+  Ex.Total = Ex.Bias;
+  Ex.Paths.reserve(Agg.size());
+  for (auto &[Key, A] : Agg) {
+    A.Score = Config.VotePrior * A.Vote + A.Weight;
+    Ex.Total += A.Score;
+    Ex.Paths.push_back(A);
+  }
+  std::sort(Ex.Paths.begin(), Ex.Paths.end(),
+            [](const Attribution &A, const Attribution &B) {
+              double MagA = std::abs(A.Score), MagB = std::abs(B.Score);
+              if (MagA != MagB)
+                return MagA > MagB;
+              if (A.Path != B.Path)
+                return A.Path < B.Path;
+              return A.Neighbor.index() < B.Neighbor.index();
+            });
+  if (K > 0 && Ex.Paths.size() > static_cast<size_t>(K))
+    Ex.Paths.resize(static_cast<size_t>(K));
+  return Ex;
 }
 
 //===----------------------------------------------------------------------===//

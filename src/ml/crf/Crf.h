@@ -134,6 +134,36 @@ struct CrfConfig {
   double MinPathLift = 0.0;
 };
 
+/// One AST path's contribution to a label's score: the factor-weight part
+/// plus the empirical-vote part, aggregated over every incident factor
+/// sharing (Path, Unary, Neighbor). This is the provenance unit — the
+/// per-path evidence the path-based representation makes inspectable by
+/// construction.
+struct Attribution {
+  paths::PathId Path = paths::InvalidPath;
+  /// Total contribution: VotePrior × Vote + Weight.
+  double Score = 0;
+  /// Learned factor-weight part (pair or unary feature weights).
+  double Weight = 0;
+  /// Empirical candidate-vote part, P(label | context) mass.
+  double Vote = 0;
+  bool Unary = false;
+  /// Label at the factor's other end (invalid for unary factors).
+  Symbol Neighbor;
+};
+
+/// Full decomposition of one node/label score. The invariant
+/// Total == Bias + Σ Paths[i].Score == the topK() score of (Node, Label)
+/// is what makes the report trustworthy (pinned by provenance_test).
+struct NodeExplanation {
+  Symbol Label;
+  double Total = 0;
+  double Bias = 0;
+  /// Strongest contributions first (by |Score|, ties by Path id). When
+  /// truncated to k entries, Total still reflects *all* paths.
+  std::vector<Attribution> Paths;
+};
+
 /// The learned model.
 class CrfModel {
 public:
@@ -160,6 +190,17 @@ public:
   std::vector<std::pair<Symbol, double>>
   topK(const CrfGraph &Graph, uint32_t Node,
        const std::vector<Symbol> &Assignment, int K) const;
+
+  /// Decomposes the score of labelling \p Node with \p Label (under
+  /// \p Assignment) into per-path attributions, keeping the \p K
+  /// strongest (K <= 0 keeps all). The returned Total equals the score
+  /// topK() would assign to (Node, Label) exactly — same gates, same
+  /// vote smoothing — so the explanation *is* the score, not an
+  /// approximation of it.
+  NodeExplanation explain(const CrfGraph &Graph, uint32_t Node,
+                          Symbol Label,
+                          const std::vector<Symbol> &Assignment,
+                          int K) const;
 
   /// Serializes the trained model (weights, candidate tables, pruning
   /// set, global candidates) to \p OS in a versioned binary format.

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 
 using namespace pigeon;
 using namespace pigeon::w2v;
@@ -194,6 +195,33 @@ Sgns::topK(std::span<const uint32_t> Contexts, int K) const {
   if (Scored.size() > static_cast<size_t>(K))
     Scored.resize(static_cast<size_t>(K));
   return Scored;
+}
+
+std::vector<std::pair<uint32_t, double>>
+Sgns::explain(uint32_t Word, std::span<const uint32_t> Contexts,
+              int K) const {
+  std::vector<std::pair<uint32_t, double>> Out;
+  if (Word >= NumWords || Contexts.empty())
+    return Out;
+  size_t Dim = static_cast<size_t>(Config.Dim);
+  const float *WV = &WordVecs[static_cast<size_t>(Word) * Dim];
+  // A context appearing m times contributes m × (w · c); fold repeats so
+  // the report has one line per distinct context.
+  std::map<uint32_t, double> ByContext;
+  for (uint32_t C : Contexts) {
+    assert(C < NumContexts && "context id out of range");
+    ByContext[C] += dot(WV, &CtxVecs[static_cast<size_t>(C) * Dim]);
+  }
+  Out.assign(ByContext.begin(), ByContext.end());
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    double MagA = std::abs(A.second), MagB = std::abs(B.second);
+    if (MagA != MagB)
+      return MagA > MagB;
+    return A.first < B.first;
+  });
+  if (K > 0 && Out.size() > static_cast<size_t>(K))
+    Out.resize(static_cast<size_t>(K));
+  return Out;
 }
 
 std::vector<std::pair<uint32_t, double>> Sgns::similarWords(uint32_t Word,

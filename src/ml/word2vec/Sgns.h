@@ -63,6 +63,14 @@ public:
   std::vector<std::pair<uint32_t, double>>
   topK(std::span<const uint32_t> Contexts, int K) const;
 
+  /// Provenance for Eq. 4: per unique context id in \p Contexts, its
+  /// summed dot-product contribution (w · c × multiplicity) to the score
+  /// of \p Word. The \p K largest by magnitude, strongest first (K <= 0
+  /// keeps all); the contributions sum to the word's topK() score
+  /// exactly, since Eq. 4 is itself a sum over contexts.
+  std::vector<std::pair<uint32_t, double>>
+  explain(uint32_t Word, std::span<const uint32_t> Contexts, int K) const;
+
   /// Top-\p K words most cosine-similar to \p Word (Table 4b's semantic
   /// similarity neighbourhoods). Excludes \p Word itself.
   std::vector<std::pair<uint32_t, double>> similarWords(uint32_t Word,

@@ -1,0 +1,230 @@
+//===- EventLog.cpp - Structured JSONL event stream --------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+#include "support/Telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+using namespace pigeon;
+using namespace pigeon::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+std::string telemetry::jsonString(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  Out += jsonEscape(S);
+  Out += '"';
+  return Out;
+}
+
+std::string telemetry::jsonNumber(double X) {
+  if (!std::isfinite(X))
+    return "null";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", X);
+  return Buf;
+}
+
+uint64_t telemetry::peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<uint64_t>(Usage.ru_maxrss) / 1024;
+#else
+  return static_cast<uint64_t>(Usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
+double telemetry::threadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec Ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts) != 0)
+    return -1.0;
+  return static_cast<double>(Ts.tv_sec) +
+         static_cast<double>(Ts.tv_nsec) * 1e-9;
+#else
+  return -1.0;
+#endif
+}
+
+double telemetry::processCpuSeconds() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0.0;
+  auto Secs = [](const struct timeval &Tv) {
+    return static_cast<double>(Tv.tv_sec) +
+           static_cast<double>(Tv.tv_usec) * 1e-6;
+  };
+  return Secs(Usage.ru_utime) + Secs(Usage.ru_stime);
+#else
+  return 0.0;
+#endif
+}
+
+namespace {
+
+/// Small sequential per-OS-thread id, assigned on first use. The main
+/// thread gets 0 when it emits first, which it does in practice (the
+/// stream.begin record).
+uint64_t threadId() {
+  static std::atomic<uint64_t> NextTid{0};
+  thread_local uint64_t Tid = NextTid.fetch_add(1);
+  return Tid;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// EventLog
+//===----------------------------------------------------------------------===//
+
+EventLog &EventLog::global() {
+  static EventLog Instance;
+  return Instance;
+}
+
+bool EventLog::open(const std::string &Path) {
+  close();
+  auto File = std::make_unique<std::ofstream>(Path, std::ios::binary);
+  if (!*File)
+    return false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    OwnedFile = std::move(File);
+    Out = OwnedFile.get();
+    Epoch = Clock::now();
+    Records.store(0);
+    Enabled.store(true, std::memory_order_release);
+  }
+  beginStream();
+  return true;
+}
+
+void EventLog::attach(std::ostream &OS) {
+  close();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    OwnedFile.reset();
+    Out = &OS;
+    Epoch = Clock::now();
+    Records.store(0);
+    Enabled.store(true, std::memory_order_release);
+  }
+  beginStream();
+}
+
+void EventLog::close() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Enabled.load(std::memory_order_acquire))
+    return;
+  endStreamLocked();
+  Enabled.store(false, std::memory_order_release);
+  Out->flush();
+  Out = nullptr;
+  OwnedFile.reset();
+}
+
+void EventLog::beginStream() {
+  writeLine("stream.begin",
+            {{"schema", jsonString("pigeon.events.v1")},
+             {"pid", std::to_string(
+#if defined(__unix__) || defined(__APPLE__)
+                         static_cast<long>(getpid())
+#else
+                         0L
+#endif
+                             )}});
+  // `records` in the trailer counts the payload lines between the two
+  // frame records; the stream.begin line itself is not payload.
+  Records.store(0, std::memory_order_relaxed);
+}
+
+void EventLog::endStreamLocked() {
+  // Emit the trailer directly: writeLine would re-take the mutex.
+  char Ts[32];
+  std::snprintf(Ts, sizeof(Ts), "%.6f",
+                std::chrono::duration<double>(Clock::now() - Epoch).count());
+  *Out << "{\"event\":\"stream.end\",\"ts\":" << Ts
+       << ",\"tid\":" << threadId()
+       << ",\"records\":" << Records.load(std::memory_order_relaxed)
+       << ",\"cpu\":" << jsonNumber(processCpuSeconds())
+       << ",\"rss_kb\":" << peakRssKb() << "}\n";
+}
+
+void EventLog::writeLine(std::string_view Event,
+                         const std::vector<EventField> &Fields) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Enabled.load(std::memory_order_acquire) || !Out)
+    return;
+  char Ts[32];
+  std::snprintf(Ts, sizeof(Ts), "%.6f",
+                std::chrono::duration<double>(Clock::now() - Epoch).count());
+  *Out << "{\"event\":\"" << jsonEscape(Event) << "\",\"ts\":" << Ts
+       << ",\"tid\":" << threadId();
+  for (const EventField &F : Fields)
+    *Out << ",\"" << jsonEscape(F.Key) << "\":" << F.Json;
+  *Out << "}\n";
+  Records.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLog::spanBegin(uint64_t Id, uint64_t Parent, std::string_view Name,
+                         const std::vector<EventField> &Extra) {
+  if (!enabled())
+    return;
+  std::vector<EventField> Fields;
+  Fields.reserve(Extra.size() + 3);
+  Fields.push_back({"span", std::to_string(Id)});
+  Fields.push_back({"parent", std::to_string(Parent)});
+  Fields.push_back({"name", jsonString(Name)});
+  Fields.insert(Fields.end(), Extra.begin(), Extra.end());
+  writeLine("span.begin", Fields);
+}
+
+void EventLog::spanEnd(uint64_t Id, uint64_t Parent, std::string_view Name,
+                       double Wall, double Cpu,
+                       const std::vector<EventField> &Extra) {
+  if (!enabled())
+    return;
+  std::vector<EventField> Fields;
+  Fields.reserve(Extra.size() + 6);
+  Fields.push_back({"span", std::to_string(Id)});
+  Fields.push_back({"parent", std::to_string(Parent)});
+  Fields.push_back({"name", jsonString(Name)});
+  Fields.push_back({"wall", jsonNumber(Wall)});
+  if (Cpu >= 0)
+    Fields.push_back({"cpu", jsonNumber(Cpu)});
+  Fields.push_back({"rss_kb", std::to_string(peakRssKb())});
+  Fields.insert(Fields.end(), Extra.begin(), Extra.end());
+  writeLine("span.end", Fields);
+}
+
+void EventLog::record(std::string_view Event,
+                      const std::vector<EventField> &Fields) {
+  if (!enabled())
+    return;
+  writeLine(Event, Fields);
+}

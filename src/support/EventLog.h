@@ -1,0 +1,146 @@
+//===- EventLog.h - Structured JSONL event stream ---------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe append-only event stream (schema `pigeon.events.v1`),
+/// one JSON object per line. Where the metrics registry aggregates —
+/// "parse took 12 s total across 812 files" — the event log keeps the
+/// *sequence*: which span ran on which thread, under which parent, for
+/// how long, and what the model attributed each prediction to.
+///
+/// Record kinds:
+///  * `stream.begin` — first line; carries the schema tag and a process
+///    epoch so `ts` fields are interpretable.
+///  * `span.begin` / `span.end` — emitted by TraceScope (Telemetry.cpp)
+///    and by the per-chunk instrumentation in Parallel.cpp. `span.end`
+///    carries wall seconds, thread-CPU seconds and a peak-RSS sample.
+///  * `prediction` / `attribution` — provenance records written by the
+///    evaluation loops and `pigeon explain` (see Experiments.cpp): one
+///    `prediction` per explained node, one `attribution` per
+///    contributing AST path.
+///  * `stream.end` — final line with process totals.
+///
+/// Every record carries `ts` (seconds since stream open), `tid` (a small
+/// sequential id assigned per OS thread on first use) and `event`. The
+/// stream is line-buffered under one mutex: records from concurrent
+/// threads interleave but each line is whole, so a reader can parse the
+/// file line-by-line with support/Json.h (see tests/eventlog_test.cpp).
+///
+/// The log is a process-wide singleton, disabled (all calls cheap no-ops)
+/// until `pigeon --trace FILE` / `PIGEON_TRACE` opens it. Hot paths must
+/// check enabled() before building field vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_EVENTLOG_H
+#define PIGEON_SUPPORT_EVENTLOG_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pigeon {
+namespace telemetry {
+
+/// One extra field of an event record. \c Json is the already-rendered
+/// JSON value text ("3.14", "\"quoted\"", "null", ...) — use jsonString()
+/// / jsonNumber() to build it. Pre-rendering keeps the log's emit path a
+/// single formatted write under the mutex.
+struct EventField {
+  std::string Key;
+  std::string Json;
+};
+
+/// Renders \p S as a quoted JSON string literal (quotes included).
+std::string jsonString(std::string_view S);
+
+/// Renders \p X as a JSON number, or `null` when non-finite.
+std::string jsonNumber(double X);
+
+/// Peak resident set size of this process in KiB (getrusage ru_maxrss);
+/// 0 when unavailable.
+uint64_t peakRssKb();
+
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID);
+/// negative when unavailable.
+double threadCpuSeconds();
+
+/// CPU seconds consumed by the whole process, user + system.
+double processCpuSeconds();
+
+/// The append-only JSONL event stream. All members are safe to call from
+/// any thread; when the log is not open every emit is a cheap no-op.
+class EventLog {
+public:
+  EventLog() = default;
+  ~EventLog() { close(); }
+
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  /// The process-wide instance (the one `--trace` opens).
+  static EventLog &global();
+
+  /// Opens \p Path for appending events and writes the `stream.begin`
+  /// record. \returns false (log stays disabled) if the file cannot be
+  /// created. Reopening an open log closes the previous stream first.
+  bool open(const std::string &Path);
+
+  /// Attaches to a caller-owned stream (tests use std::ostringstream).
+  /// The caller must keep \p OS alive until close().
+  void attach(std::ostream &OS);
+
+  /// Writes the `stream.end` record and detaches. Idempotent.
+  void close();
+
+  /// True once open()/attach() succeeded and close() has not run.
+  bool enabled() const { return Enabled.load(std::memory_order_acquire); }
+
+  /// Allocates a process-unique span id (valid ids start at 1; 0 means
+  /// "no span" / top level).
+  uint64_t nextSpanId() { return NextSpan.fetch_add(1) + 1; }
+
+  /// Emits a `span.begin` record for span \p Id named \p Name nested
+  /// under \p Parent (0 = top level).
+  void spanBegin(uint64_t Id, uint64_t Parent, std::string_view Name,
+                 const std::vector<EventField> &Extra = {});
+
+  /// Emits the matching `span.end` with wall seconds \p Wall, thread-CPU
+  /// seconds \p Cpu (negative = omit) and a peak-RSS sample.
+  void spanEnd(uint64_t Id, uint64_t Parent, std::string_view Name,
+               double Wall, double Cpu,
+               const std::vector<EventField> &Extra = {});
+
+  /// Emits a generic record `{"event":Event, ...Fields}`.
+  void record(std::string_view Event, const std::vector<EventField> &Fields);
+
+private:
+  void writeLine(std::string_view Event, const std::vector<EventField> &Fields);
+  void beginStream();
+  void endStreamLocked();
+
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex Mutex;
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint64_t> NextSpan{0};
+  std::atomic<uint64_t> Records{0};
+  std::unique_ptr<std::ofstream> OwnedFile;
+  std::ostream *Out = nullptr; ///< OwnedFile.get() or an attached stream.
+  Clock::time_point Epoch;
+};
+
+} // namespace telemetry
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_EVENTLOG_H

@@ -1,0 +1,405 @@
+//===- Json.cpp - Minimal JSON document parser -------------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace pigeon;
+using namespace pigeon::json;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+Value Value::makeBool(bool B) {
+  Value V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+Value Value::makeNumber(double N) {
+  Value V;
+  V.K = Kind::Number;
+  V.N = N;
+  return V;
+}
+
+Value Value::makeString(std::string S) {
+  Value V;
+  V.K = Kind::String;
+  V.S = std::move(S);
+  return V;
+}
+
+Value Value::makeArray(std::vector<Value> Elems) {
+  Value V;
+  V.K = Kind::Array;
+  V.Elems = std::move(Elems);
+  return V;
+}
+
+Value Value::makeObject(std::vector<std::pair<std::string, Value>> Members) {
+  Value V;
+  V.K = Kind::Object;
+  V.Members = std::move(Members);
+  return V;
+}
+
+bool Value::boolean() const {
+  assert(isBool() && "not a bool");
+  return B;
+}
+
+double Value::number() const {
+  assert(isNumber() && "not a number");
+  return N;
+}
+
+const std::string &Value::str() const {
+  assert(isString() && "not a string");
+  return S;
+}
+
+const std::vector<Value> &Value::array() const {
+  assert(isArray() && "not an array");
+  return Elems;
+}
+
+const std::vector<std::pair<std::string, Value>> &Value::object() const {
+  assert(isObject() && "not an object");
+  return Members;
+}
+
+const Value *Value::find(std::string_view Key) const {
+  if (!isObject())
+    return nullptr;
+  for (const auto &[Name, Member] : Members)
+    if (Name == Key)
+      return &Member;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<Value> parseDocument() {
+    skipWhitespace();
+    std::optional<Value> V = parseValue();
+    if (!V)
+      return std::nullopt;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return V;
+  }
+
+private:
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+  /// Parse depth cap: our own documents nest a handful of levels; 256
+  /// protects the recursive descent against stack exhaustion on hostile
+  /// or corrupt input.
+  static constexpr int MaxDepth = 256;
+  int Depth = 0;
+
+  std::nullopt_t fail(const std::string &Why) {
+    if (Error && Error->empty())
+      *Error = Why + " at offset " + std::to_string(Pos);
+    return std::nullopt;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWhitespace() {
+    while (!atEnd() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                        Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consumeLiteral(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  std::optional<Value> parseValue() {
+    if (atEnd())
+      return fail("unexpected end of input");
+    if (++Depth > MaxDepth) {
+      --Depth;
+      return fail("nesting too deep");
+    }
+    std::optional<Value> V;
+    switch (peek()) {
+    case 'n':
+      V = consumeLiteral("null") ? std::optional<Value>(Value())
+                                 : fail("bad literal");
+      break;
+    case 't':
+      V = consumeLiteral("true") ? std::optional<Value>(Value::makeBool(true))
+                                 : fail("bad literal");
+      break;
+    case 'f':
+      V = consumeLiteral("false")
+              ? std::optional<Value>(Value::makeBool(false))
+              : fail("bad literal");
+      break;
+    case '"':
+      V = parseString();
+      break;
+    case '[':
+      V = parseArray();
+      break;
+    case '{':
+      V = parseObject();
+      break;
+    default:
+      V = parseNumber();
+    }
+    --Depth;
+    return V;
+  }
+
+  std::optional<Value> parseNumber() {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("invalid number");
+    // RFC 8259 int: "0" or a nonzero digit followed by digits — "01" is
+    // not a number.
+    if (peek() == '0') {
+      ++Pos;
+      if (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("leading zero in number");
+    } else {
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!atEnd() && peek() == '.') {
+      ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("invalid fraction");
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("invalid exponent");
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    std::string Token(Text.substr(Start, Pos - Start));
+    return Value::makeNumber(std::strtod(Token.c_str(), nullptr));
+  }
+
+  /// Appends the UTF-8 encoding of \p Code to \p Out.
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  std::optional<unsigned> parseHex4() {
+    if (Pos + 4 > Text.size())
+      return std::nullopt;
+    unsigned Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + static_cast<size_t>(I)];
+      Code <<= 4;
+      if (C >= '0' && C <= '9')
+        Code |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Code |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Code |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return std::nullopt;
+    }
+    Pos += 4;
+    return Code;
+  }
+
+  std::optional<Value> parseString() {
+    ++Pos; // opening quote
+    std::string Out;
+    for (;;) {
+      if (atEnd())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return Value::makeString(std::move(Out));
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (atEnd())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        std::optional<unsigned> Code = parseHex4();
+        if (!Code)
+          return fail("invalid \\u escape");
+        unsigned Point = *Code;
+        // Surrogate pair?
+        if (Point >= 0xD800 && Point <= 0xDBFF &&
+            Text.substr(Pos, 2) == "\\u") {
+          size_t Save = Pos;
+          Pos += 2;
+          std::optional<unsigned> Low = parseHex4();
+          if (Low && *Low >= 0xDC00 && *Low <= 0xDFFF)
+            Point = 0x10000 + ((Point - 0xD800) << 10) + (*Low - 0xDC00);
+          else
+            Pos = Save; // lone high surrogate: emit as-is
+        }
+        appendUtf8(Out, Point);
+        break;
+      }
+      default:
+        return fail("invalid escape");
+      }
+    }
+  }
+
+  std::optional<Value> parseArray() {
+    ++Pos; // '['
+    std::vector<Value> Elems;
+    skipWhitespace();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      return Value::makeArray(std::move(Elems));
+    }
+    for (;;) {
+      skipWhitespace();
+      std::optional<Value> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Elems.push_back(std::move(*V));
+      skipWhitespace();
+      if (atEnd())
+        return fail("unterminated array");
+      char C = Text[Pos++];
+      if (C == ']')
+        return Value::makeArray(std::move(Elems));
+      if (C != ',')
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<Value> parseObject() {
+    ++Pos; // '{'
+    std::vector<std::pair<std::string, Value>> Members;
+    skipWhitespace();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      return Value::makeObject(std::move(Members));
+    }
+    for (;;) {
+      skipWhitespace();
+      if (atEnd() || peek() != '"')
+        return fail("expected member name");
+      std::optional<Value> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipWhitespace();
+      if (atEnd() || Text[Pos++] != ':')
+        return fail("expected ':' after member name");
+      skipWhitespace();
+      std::optional<Value> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Members.emplace_back(Key->str(), std::move(*V));
+      skipWhitespace();
+      if (atEnd())
+        return fail("unterminated object");
+      char C = Text[Pos++];
+      if (C == '}')
+        return Value::makeObject(std::move(Members));
+      if (C != ',')
+        return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+} // namespace
+
+std::optional<Value> json::parse(std::string_view Text, std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).parseDocument();
+}
+
+std::optional<Value> json::parseFile(const std::string &Path,
+                                     std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Error)
+      *Error = "cannot read " + Path;
+    return std::nullopt;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return parse(Buffer.str(), Error);
+}

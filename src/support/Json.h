@@ -1,0 +1,99 @@
+//===- Json.h - Minimal JSON document parser --------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser producing an immutable DOM. It
+/// exists to read back PIGEON's *own* machine-readable output — metrics
+/// sidecars (pigeon.metrics.v1), event streams (pigeon.events.v1) and
+/// bench trajectories (pigeon.bench.v1) — in `bench_report` and in the
+/// tests that round-trip those formats. It accepts strict JSON (RFC 8259)
+/// with one producer-driven extension: bare `NaN` / `Infinity` tokens are
+/// *rejected* (our writers emit `null` for non-finite numbers, and the
+/// parser holds them to that).
+///
+/// Not a general-purpose library: no comments, no trailing commas, no
+/// streaming. Object member order is preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_JSON_H
+#define PIGEON_SUPPORT_JSON_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pigeon {
+namespace json {
+
+/// One parsed JSON value. Arrays and objects own their children; objects
+/// keep members in document order (duplicate keys keep every occurrence,
+/// find() returns the first).
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  static Value makeBool(bool B);
+  static Value makeNumber(double N);
+  static Value makeString(std::string S);
+  static Value makeArray(std::vector<Value> Elems);
+  static Value makeObject(std::vector<std::pair<std::string, Value>> Members);
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (asserted), except the *Or forms which substitute a default.
+  bool boolean() const;
+  double number() const;
+  const std::string &str() const;
+  const std::vector<Value> &array() const;
+  const std::vector<std::pair<std::string, Value>> &object() const;
+
+  double numberOr(double Default) const {
+    return isNumber() ? number() : Default;
+  }
+  std::string strOr(std::string Default) const {
+    return isString() ? str() : std::move(Default);
+  }
+
+  /// First member named \p Key (objects only), nullptr when absent or
+  /// when this value is not an object.
+  const Value *find(std::string_view Key) const;
+
+private:
+  Kind K;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses one JSON document from \p Text (surrounding whitespace allowed,
+/// trailing garbage rejected). \returns nullopt on any syntax error; when
+/// \p Error is non-null it receives a short human-readable reason with a
+/// byte offset.
+std::optional<Value> parse(std::string_view Text, std::string *Error = nullptr);
+
+/// parse() over the contents of \p Path; nullopt when the file cannot be
+/// read or does not parse.
+std::optional<Value> parseFile(const std::string &Path,
+                               std::string *Error = nullptr);
+
+} // namespace json
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_JSON_H

@@ -6,6 +6,7 @@
 
 #include "support/Parallel.h"
 
+#include "support/EventLog.h"
 #include "support/Telemetry.h"
 
 #include <atomic>
@@ -47,6 +48,11 @@ thread_local bool InRegion = false;
 struct Region {
   size_t Total = 0;
   const std::function<void(size_t)> *Fn = nullptr;
+  /// Trace position of the spawning thread. Installed on every executor
+  /// for the duration of participate(), so TraceScopes opened inside a
+  /// chunk — and the chunk spans themselves — nest under the stage that
+  /// started the region instead of floating at a worker's top level.
+  telemetry::TraceContext Ctx;
   std::atomic<size_t> Next{0};
   std::atomic<size_t> Done{0};
   std::mutex Mutex;
@@ -61,6 +67,7 @@ struct Region {
   void participate() {
     bool Saved = InRegion;
     InRegion = true;
+    telemetry::TraceContext Prev = telemetry::setCurrentTraceContext(Ctx);
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Total)
@@ -77,6 +84,7 @@ struct Region {
         Finished.notify_all();
       }
     }
+    telemetry::setCurrentTraceContext(Prev);
     InRegion = Saved;
   }
 
@@ -102,6 +110,7 @@ public:
     auto R = std::make_shared<Region>();
     R->Total = Chunks;
     R->Fn = &Fn;
+    R->Ctx = telemetry::currentTraceContext(); // run() is the spawner.
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       size_t Want = std::min(std::min(Threads, Chunks), MaxThreads);
@@ -207,6 +216,53 @@ size_t parallel::resolveThreads(size_t Requested) {
 
 bool parallel::inParallelRegion() { return InRegion; }
 
+namespace {
+
+/// RAII event-log span around one chunk execution. Chunk spans exist only
+/// in the event stream, never in the merged trace tree: the number of
+/// chunks depends on the thread count, and the trace tree must stay
+/// thread-count invariant (the determinism contract). While open, the
+/// chunk span is the thread's current span, so TraceScopes inside the
+/// chunk body nest under it.
+class ChunkSpan {
+public:
+  ChunkSpan(size_t Chunk, size_t Begin, size_t End)
+      : Log(telemetry::EventLog::global()) {
+    if (!Log.enabled())
+      return;
+    Prev = telemetry::currentTraceContext();
+    Id = Log.nextSpanId();
+    Log.spanBegin(Id, Prev.Span, "parallel.chunk",
+                  {{"chunk", std::to_string(Chunk)},
+                   {"begin", std::to_string(Begin)},
+                   {"end", std::to_string(End)}});
+    telemetry::setCurrentTraceContext({Prev.Phase, Id});
+    CpuStart = telemetry::threadCpuSeconds();
+    Start = std::chrono::steady_clock::now();
+  }
+
+  ~ChunkSpan() {
+    if (Id == 0)
+      return;
+    double Wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    double Cpu =
+        CpuStart >= 0 ? telemetry::threadCpuSeconds() - CpuStart : -1.0;
+    Log.spanEnd(Id, Prev.Span, "parallel.chunk", Wall, Cpu);
+    telemetry::setCurrentTraceContext(Prev);
+  }
+
+private:
+  telemetry::EventLog &Log;
+  telemetry::TraceContext Prev;
+  uint64_t Id = 0;
+  double CpuStart = -1;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace
+
 void parallel::parallelChunks(
     size_t N, size_t Threads,
     const std::function<void(size_t, size_t, size_t)> &Fn) {
@@ -217,6 +273,7 @@ void parallel::parallelChunks(
   auto RunChunk = [&](size_t C) {
     size_t Begin = C * N / Chunks;
     size_t End = (C + 1) * N / Chunks;
+    ChunkSpan Span(C, Begin, End);
     Fn(C, Begin, End);
   };
   if (Chunks <= 1 || InRegion) {

@@ -25,7 +25,12 @@
 ///   * nested parallel regions run inline (no deadlock, no oversubscribe);
 ///   * the first exception thrown by any chunk is rethrown on the caller;
 ///   * determinism is the *callers'* contract: this layer only promises
-///     stable chunk boundaries for a given (N, threads) pair.
+///     stable chunk boundaries for a given (N, threads) pair;
+///   * workers inherit the spawning thread's telemetry::TraceContext, so
+///     TraceScopes opened inside chunks nest under the spawning stage in
+///     the merged trace tree (thread-count invariant), and when the event
+///     log is open each chunk emits a `parallel.chunk` span nested under
+///     that stage (event stream only — chunk count varies with threads).
 ///
 //===----------------------------------------------------------------------===//
 

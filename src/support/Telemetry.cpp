@@ -6,6 +6,7 @@
 
 #include "support/Telemetry.h"
 
+#include "support/EventLog.h"
 #include "support/TablePrinter.h"
 
 #include <algorithm>
@@ -98,7 +99,7 @@ double Histogram::max() const {
 double Histogram::percentile(double P) const {
   uint64_t Total = count();
   if (Total == 0)
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   P = std::clamp(P, 0.0, 1.0);
   double Lo = min(), Hi = max();
   // Rank of the requested quantile, 1-based.
@@ -167,6 +168,11 @@ namespace {
 /// The phase this thread is currently inside (nullptr = top level).
 thread_local TraceNode *CurrentPhase = nullptr;
 
+/// The event-log span this thread is currently inside (0 = none). Kept
+/// beside CurrentPhase so the two always move together; TraceContext is
+/// the pair.
+thread_local uint64_t CurrentSpan = 0;
+
 TraceNode *findOrCreateChild(TraceNode &Parent, std::string_view Name) {
   for (const auto &Child : Parent.Children)
     if (Child->Name == Name)
@@ -178,21 +184,48 @@ TraceNode *findOrCreateChild(TraceNode &Parent, std::string_view Name) {
 
 } // namespace
 
+TraceContext telemetry::currentTraceContext() {
+  return {CurrentPhase, CurrentSpan};
+}
+
+TraceContext telemetry::setCurrentTraceContext(TraceContext Ctx) {
+  TraceContext Prev{CurrentPhase, CurrentSpan};
+  CurrentPhase = Ctx.Phase;
+  CurrentSpan = Ctx.Span;
+  return Prev;
+}
+
 TraceScope::TraceScope(std::string_view Name)
     : TraceScope(MetricsRegistry::global(), Name) {}
 
 TraceScope::TraceScope(MetricsRegistry &Registry, std::string_view Name)
-    : Registry(Registry), Parent(CurrentPhase) {
-  std::lock_guard<std::mutex> Lock(Registry.Mutex);
-  TraceNode &Under = Parent ? *Parent : Registry.Root;
-  Node = findOrCreateChild(Under, Name);
-  CurrentPhase = Node;
+    : Registry(Registry), Parent(CurrentPhase), ParentSpan(CurrentSpan) {
+  {
+    std::lock_guard<std::mutex> Lock(Registry.Mutex);
+    TraceNode &Under = Parent ? *Parent : Registry.Root;
+    Node = findOrCreateChild(Under, Name);
+    CurrentPhase = Node;
+  }
+  EventLog &Log = EventLog::global();
+  if (Log.enabled()) {
+    Span = Log.nextSpanId();
+    CurrentSpan = Span;
+    CpuStart = threadCpuSeconds();
+    Log.spanBegin(Span, ParentSpan, Name);
+  }
   Start = Clock::now();
 }
 
 TraceScope::~TraceScope() {
   double Elapsed =
       std::chrono::duration<double>(Clock::now() - Start).count();
+  if (Span != 0) {
+    // Opened with the log enabled; emit the end record even if the log
+    // was closed meanwhile (spanEnd no-ops in that case).
+    double Cpu = CpuStart >= 0 ? threadCpuSeconds() - CpuStart : -1.0;
+    EventLog::global().spanEnd(Span, ParentSpan, Node->Name, Elapsed, Cpu);
+    CurrentSpan = ParentSpan;
+  }
   std::lock_guard<std::mutex> Lock(Registry.Mutex);
   Node->Calls += 1;
   Node->Seconds += Elapsed;
@@ -309,15 +342,9 @@ std::string telemetry::jsonEscape(std::string_view S) {
 
 namespace {
 
-/// JSON number rendering: finite doubles with enough digits to round-trip
-/// the summaries; non-finite values (overflow-bucket bound) become null.
-std::string jsonNumber(double X) {
-  if (!std::isfinite(X))
-    return "null";
-  char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "%.12g", X);
-  return Buf;
-}
+// jsonNumber lives in EventLog.cpp now (shared with the event stream);
+// non-finite values — NaN gauges, empty-histogram percentiles, the
+// overflow-bucket bound — all render as null.
 
 void writeTraceJson(std::ostream &OS, const TraceNode &Node) {
   OS << "{\"name\":\"" << jsonEscape(Node.Name)
@@ -352,10 +379,14 @@ void MetricsRegistry::writeJson(std::ostream &OS) const {
   OS << "},\"histograms\":{";
   First = true;
   for (const auto &[Name, H] : Histograms) {
+    bool Empty = H->count() == 0;
+    // min()/max() return 0.0 on empty for API compatibility; in the JSON
+    // snapshot an empty histogram has no extrema, so emit null (matching
+    // the NaN percentiles) rather than a fake 0.
     OS << (First ? "" : ",") << "\"" << jsonEscape(Name) << "\":{"
        << "\"count\":" << H->count() << ",\"sum\":" << jsonNumber(H->sum())
-       << ",\"min\":" << jsonNumber(H->min())
-       << ",\"max\":" << jsonNumber(H->max())
+       << ",\"min\":" << (Empty ? "null" : jsonNumber(H->min()))
+       << ",\"max\":" << (Empty ? "null" : jsonNumber(H->max()))
        << ",\"p50\":" << jsonNumber(H->percentile(0.50))
        << ",\"p90\":" << jsonNumber(H->percentile(0.90))
        << ",\"p99\":" << jsonNumber(H->percentile(0.99)) << ",\"buckets\":[";
@@ -401,7 +432,11 @@ void MetricsRegistry::printTable(std::ostream &OS) const {
     TablePrinter Table("Histograms");
     Table.setHeader(
         {"Metric", "Count", "Sum", "Min", "p50", "p90", "p99", "Max"});
-    for (const auto &[Name, H] : Histograms)
+    for (const auto &[Name, H] : Histograms) {
+      if (H->count() == 0) {
+        Table.addRow({Name, "0", "-", "-", "-", "-", "-", "-"});
+        continue;
+      }
       Table.addRow({Name, std::to_string(H->count()),
                     TablePrinter::num(H->sum(), 3),
                     TablePrinter::num(H->min(), 3),
@@ -409,6 +444,7 @@ void MetricsRegistry::printTable(std::ostream &OS) const {
                     TablePrinter::num(H->percentile(0.90), 3),
                     TablePrinter::num(H->percentile(0.99), 3),
                     TablePrinter::num(H->max(), 3)});
+    }
     Table.print(OS);
   }
 }

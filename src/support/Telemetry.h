@@ -93,7 +93,10 @@ public:
   /// Smallest / largest observed value (0 when empty).
   double min() const;
   double max() const;
-  /// Estimated value at quantile \p P in [0, 1] (0 when empty).
+  /// Estimated value at quantile \p P in [0, 1]. NaN when the histogram
+  /// is empty — there is no meaningful quantile of nothing, and NaN
+  /// serializes as `null` (a previous version returned 0.0, which JSON
+  /// consumers could not tell apart from a real zero percentile).
   double percentile(double P) const;
 
   struct Bucket {
@@ -134,10 +137,33 @@ struct TraceNode {
 
 class MetricsRegistry;
 
+/// The trace position of a thread: the phase node it is currently inside
+/// (nullptr = top level) and the event-log span id of that phase (0 = no
+/// open span). Parallel regions capture the spawning thread's context and
+/// install it on workers so their scopes — and their per-chunk spans in
+/// the event stream — nest under the stage that spawned them rather than
+/// floating at top level. See Parallel.cpp.
+struct TraceContext {
+  TraceNode *Phase = nullptr;
+  uint64_t Span = 0;
+};
+
+/// Reads / replaces the calling thread's trace position. setCurrent...
+/// returns the previous context so callers can restore it (RAII-style)
+/// when the borrowed context ends.
+TraceContext currentTraceContext();
+TraceContext setCurrentTraceContext(TraceContext Ctx);
+
 /// RAII phase timer. Construction pushes a node under the current phase of
 /// this thread (or the registry root at top level); destruction pops it
 /// and accumulates the elapsed wall time. Scopes from different threads
 /// each nest under their own thread's current phase.
+///
+/// When the global EventLog is open, every scope additionally emits a
+/// span.begin/span.end pair carrying wall time, thread-CPU time and a
+/// peak-RSS sample; spans link to their parent via the thread's current
+/// span id. The trace tree merges re-entries by name; the event stream
+/// keeps each entry distinct.
 class TraceScope {
 public:
   /// Opens a phase in the global registry's trace tree.
@@ -157,7 +183,10 @@ private:
   using Clock = std::chrono::steady_clock;
   MetricsRegistry &Registry;
   TraceNode *Node;
-  TraceNode *Parent; ///< Thread-local current node to restore.
+  TraceNode *Parent;       ///< Thread-local current node to restore.
+  uint64_t Span = 0;       ///< Event-log span id (0 = log disabled).
+  uint64_t ParentSpan = 0; ///< Thread-local current span to restore.
+  double CpuStart = -1;    ///< Thread-CPU seconds at open.
   Clock::time_point Start;
 };
 

@@ -1,0 +1,206 @@
+//===- Trajectory.cpp - Bench trajectory format and regression gate ----------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trajectory.h"
+
+#include "support/EventLog.h"
+#include "support/Telemetry.h"
+
+#include <cmath>
+#include <fstream>
+
+using namespace pigeon;
+using namespace pigeon::bench;
+
+//===----------------------------------------------------------------------===//
+// Folding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr std::string_view WallSuffix = ".wall.seconds";
+
+bool endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+} // namespace
+
+BenchRecord bench::foldSidecar(const std::string &BenchName,
+                               const json::Value &Doc) {
+  BenchRecord Rec;
+  Rec.Bench = BenchName;
+  if (const json::Value *Gauges = Doc.find("gauges");
+      Gauges && Gauges->isObject()) {
+    for (const auto &[Name, V] : Gauges->object()) {
+      if (!V.isNumber() || !std::isfinite(V.number()))
+        continue;
+      if (Name.find("per_sec") != std::string::npos ||
+          endsWith(Name, ".speedup"))
+        Rec.Throughput[Name] = V.number();
+      if (Name.find("accuracy") != std::string::npos)
+        Rec.Accuracy[Name] = V.number();
+      if (Name == "process.rss.peak.kb")
+        Rec.RssPeakKb = static_cast<uint64_t>(V.number());
+    }
+  }
+  if (const json::Value *Hists = Doc.find("histograms");
+      Hists && Hists->isObject()) {
+    for (const auto &[Name, H] : Hists->object()) {
+      if (!endsWith(Name, WallSuffix) || !H.isObject())
+        continue;
+      std::string Stage = Name.substr(0, Name.size() - WallSuffix.size());
+      PhaseStats Stats;
+      auto Num = [&H](std::string_view Key) {
+        const json::Value *V = H.find(Key);
+        return V ? V->numberOr(0.0) : 0.0;
+      };
+      Stats.P50 = Num("p50");
+      Stats.P90 = Num("p90");
+      Stats.P99 = Num("p99");
+      Stats.Sum = Num("sum");
+      Stats.Count = static_cast<uint64_t>(Num("count"));
+      Rec.Phases[Stage] = Stats;
+      // Derived throughput: iterations per wall second of the stage.
+      if (Stats.Sum > 0 && Stats.Count > 0)
+        Rec.Throughput[Stage + ".per_sec"] =
+            static_cast<double>(Stats.Count) / Stats.Sum;
+    }
+  }
+  return Rec;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+void bench::writeTrajectory(std::ostream &OS, const Trajectory &T) {
+  using telemetry::jsonEscape;
+  using telemetry::jsonNumber;
+  OS << "{\"schema\":\"pigeon.bench.v1\",\"stamp\":\""
+     << jsonEscape(T.Stamp) << "\",\"benches\":[";
+  for (size_t I = 0; I < T.Benches.size(); ++I) {
+    const BenchRecord &Rec = T.Benches[I];
+    if (I)
+      OS << ",";
+    OS << "\n  {\"bench\":\"" << jsonEscape(Rec.Bench)
+       << "\",\"throughput\":{";
+    bool First = true;
+    for (const auto &[Name, V] : Rec.Throughput) {
+      OS << (First ? "" : ",") << "\"" << jsonEscape(Name)
+         << "\":" << jsonNumber(V);
+      First = false;
+    }
+    OS << "},\"phases\":{";
+    First = true;
+    for (const auto &[Stage, S] : Rec.Phases) {
+      OS << (First ? "" : ",") << "\"" << jsonEscape(Stage) << "\":{"
+         << "\"p50\":" << jsonNumber(S.P50)
+         << ",\"p90\":" << jsonNumber(S.P90)
+         << ",\"p99\":" << jsonNumber(S.P99)
+         << ",\"sum\":" << jsonNumber(S.Sum) << ",\"count\":" << S.Count
+         << "}";
+      First = false;
+    }
+    OS << "},\"accuracy\":{";
+    First = true;
+    for (const auto &[Name, V] : Rec.Accuracy) {
+      OS << (First ? "" : ",") << "\"" << jsonEscape(Name)
+         << "\":" << jsonNumber(V);
+      First = false;
+    }
+    OS << "},\"rss_peak_kb\":" << Rec.RssPeakKb << "}";
+  }
+  OS << "\n]}\n";
+}
+
+bool bench::writeTrajectoryFile(const std::string &Path,
+                                const Trajectory &T) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  writeTrajectory(Out, T);
+  return Out.good();
+}
+
+std::optional<Trajectory> bench::parseTrajectory(const json::Value &Doc) {
+  const json::Value *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() || Schema->str() != "pigeon.bench.v1")
+    return std::nullopt;
+  const json::Value *Benches = Doc.find("benches");
+  if (!Benches || !Benches->isArray())
+    return std::nullopt;
+  Trajectory T;
+  if (const json::Value *Stamp = Doc.find("stamp"))
+    T.Stamp = Stamp->strOr("");
+  for (const json::Value &B : Benches->array()) {
+    if (!B.isObject())
+      continue;
+    BenchRecord Rec;
+    if (const json::Value *Name = B.find("bench"))
+      Rec.Bench = Name->strOr("");
+    if (const json::Value *Tp = B.find("throughput"); Tp && Tp->isObject())
+      for (const auto &[Name, V] : Tp->object())
+        if (V.isNumber())
+          Rec.Throughput[Name] = V.number();
+    if (const json::Value *Ph = B.find("phases"); Ph && Ph->isObject())
+      for (const auto &[Stage, S] : Ph->object()) {
+        if (!S.isObject())
+          continue;
+        PhaseStats Stats;
+        auto Num = [&S](std::string_view Key) {
+          const json::Value *V = S.find(Key);
+          return V ? V->numberOr(0.0) : 0.0;
+        };
+        Stats.P50 = Num("p50");
+        Stats.P90 = Num("p90");
+        Stats.P99 = Num("p99");
+        Stats.Sum = Num("sum");
+        Stats.Count = static_cast<uint64_t>(Num("count"));
+        Rec.Phases[Stage] = Stats;
+      }
+    if (const json::Value *Acc = B.find("accuracy"); Acc && Acc->isObject())
+      for (const auto &[Name, V] : Acc->object())
+        if (V.isNumber())
+          Rec.Accuracy[Name] = V.number();
+    if (const json::Value *Rss = B.find("rss_peak_kb"))
+      Rec.RssPeakKb = static_cast<uint64_t>(Rss->numberOr(0.0));
+    T.Benches.push_back(std::move(Rec));
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Regression gate
+//===----------------------------------------------------------------------===//
+
+std::vector<Regression> bench::compareTrajectories(const Trajectory &Prev,
+                                                   const Trajectory &Cur,
+                                                   double Threshold) {
+  std::vector<Regression> Out;
+  for (const BenchRecord &CurRec : Cur.Benches) {
+    const BenchRecord *PrevRec = nullptr;
+    for (const BenchRecord &Cand : Prev.Benches)
+      if (Cand.Bench == CurRec.Bench) {
+        PrevRec = &Cand;
+        break;
+      }
+    if (!PrevRec)
+      continue; // New bench: nothing to compare against.
+    for (const auto &[Metric, After] : CurRec.Throughput) {
+      auto It = PrevRec->Throughput.find(Metric);
+      if (It == PrevRec->Throughput.end())
+        continue;
+      double Before = It->second;
+      if (!(Before > 0) || !std::isfinite(Before) || !std::isfinite(After))
+        continue;
+      if (After < Before * (1.0 - Threshold))
+        Out.push_back({CurRec.Bench, Metric, Before, After, After / Before});
+    }
+  }
+  return Out;
+}

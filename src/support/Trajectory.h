@@ -1,0 +1,107 @@
+//===- Trajectory.h - Bench trajectory format and regression gate -*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bench-trajectory layer behind `tools/bench_report`. Every bench
+/// binary writes a `<bench>.metrics.json` sidecar (pigeon.metrics.v1);
+/// this module folds those sidecars into one dated trajectory document
+/// (schema `pigeon.bench.v1`, committed as `BENCH_<stamp>.json` at the
+/// repo root) and diffs trajectories so CI can fail on a throughput
+/// regression instead of letting performance drift invisibly.
+///
+/// Folding rules (sidecar → BenchRecord):
+///  * throughput — every gauge whose name contains `per_sec` or ends in
+///    `.speedup`, plus a derived `<stage>.per_sec` (= count / sum) for
+///    every `<stage>.wall.seconds` histogram with positive sum;
+///  * phases — p50/p90/p99/sum/count of every `<stage>.wall.seconds`
+///    histogram;
+///  * accuracy — every gauge whose name contains `accuracy`;
+///  * rss_peak_kb — the `process.rss.peak.kb` gauge when present.
+///
+/// The regression gate compares throughput metrics only: lower is worse,
+/// and a metric that drops below (1 - threshold) × its previous value is
+/// a regression. Phase times and RSS are reported but not gated — they
+/// are too machine-sensitive for a hard CI failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_TRAJECTORY_H
+#define PIGEON_SUPPORT_TRAJECTORY_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pigeon {
+namespace bench {
+
+/// Summary of one `<stage>.wall.seconds` histogram.
+struct PhaseStats {
+  double P50 = 0;
+  double P90 = 0;
+  double P99 = 0;
+  double Sum = 0;
+  uint64_t Count = 0;
+};
+
+/// Everything the trajectory keeps about one bench run. Maps are ordered
+/// so the serialized document is stable.
+struct BenchRecord {
+  std::string Bench;
+  std::map<std::string, double> Throughput;
+  std::map<std::string, PhaseStats> Phases;
+  std::map<std::string, double> Accuracy;
+  uint64_t RssPeakKb = 0;
+};
+
+/// One dated snapshot across all benches (the `BENCH_<stamp>.json` file).
+struct Trajectory {
+  std::string Stamp; ///< e.g. "2026-08-06" — lexicographic order = age.
+  std::vector<BenchRecord> Benches;
+};
+
+/// Folds one parsed pigeon.metrics.v1 sidecar into a BenchRecord named
+/// \p BenchName, per the rules in the file comment. Unknown or malformed
+/// members are skipped, never fatal.
+BenchRecord foldSidecar(const std::string &BenchName, const json::Value &Doc);
+
+/// Serializes \p T as schema pigeon.bench.v1.
+void writeTrajectory(std::ostream &OS, const Trajectory &T);
+
+/// writeTrajectory() to \p Path. \returns false when not writable.
+bool writeTrajectoryFile(const std::string &Path, const Trajectory &T);
+
+/// Reads a pigeon.bench.v1 document back. \returns nullopt when \p Doc
+/// is not a trajectory (wrong schema / shape).
+std::optional<Trajectory> parseTrajectory(const json::Value &Doc);
+
+/// One gated metric that got worse: \c After < (1 - threshold) × \c Before.
+struct Regression {
+  std::string Bench;
+  std::string Metric;
+  double Before = 0;
+  double After = 0;
+  /// After / Before — e.g. 0.8 means the metric lost 20%.
+  double Ratio = 0;
+};
+
+/// Diffs the throughput metrics of \p Cur against \p Prev (matched by
+/// bench name, then metric name; metrics present on only one side are
+/// ignored). \p Threshold is the tolerated fractional drop, e.g. 0.10
+/// for the CI gate's 10%.
+std::vector<Regression> compareTrajectories(const Trajectory &Prev,
+                                            const Trajectory &Cur,
+                                            double Threshold);
+
+} // namespace bench
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_TRAJECTORY_H

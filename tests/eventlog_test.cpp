@@ -1,0 +1,217 @@
+//===- eventlog_test.cpp - Unit tests for support/EventLog -----------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+#include "support/Json.h"
+#include "support/Parallel.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pigeon;
+using namespace pigeon::telemetry;
+
+namespace {
+
+/// Parses every line of \p Text as one JSON object; fails the test on any
+/// malformed line.
+std::vector<json::Value> parseLines(const std::string &Text) {
+  std::vector<json::Value> Out;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::string Error;
+    std::optional<json::Value> V = json::parse(Line, &Error);
+    EXPECT_TRUE(V.has_value()) << Error << " in: " << Line;
+    if (V)
+      Out.push_back(std::move(*V));
+  }
+  return Out;
+}
+
+std::string eventOf(const json::Value &V) {
+  const json::Value *E = V.find("event");
+  return E ? E->str() : "";
+}
+
+} // namespace
+
+TEST(EventLog, DisabledLogIsANoOp) {
+  EventLog Log;
+  EXPECT_FALSE(Log.enabled());
+  // Emissions on a closed log must be harmless.
+  Log.record("prediction", {{"gold", jsonString("x")}});
+  Log.spanBegin(1, 0, "parse");
+  Log.spanEnd(1, 0, "parse", 0.1, 0.1);
+  Log.close();
+}
+
+TEST(EventLog, StreamFramingAndFieldRendering) {
+  EventLog Log;
+  std::ostringstream OS;
+  Log.attach(OS);
+  EXPECT_TRUE(Log.enabled());
+  Log.record("prediction", {{"gold", jsonString("do\ne")},
+                            {"score", jsonNumber(2.5)},
+                            {"correct", "true"}});
+  Log.close();
+  EXPECT_FALSE(Log.enabled());
+
+  std::vector<json::Value> Lines = parseLines(OS.str());
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(eventOf(Lines.front()), "stream.begin");
+  EXPECT_EQ(Lines.front().find("schema")->str(), "pigeon.events.v1");
+  EXPECT_EQ(eventOf(Lines.back()), "stream.end");
+  // stream.end counts the records between the frame lines.
+  EXPECT_DOUBLE_EQ(Lines.back().find("records")->number(), 1.0);
+
+  const json::Value &P = Lines[1];
+  EXPECT_EQ(eventOf(P), "prediction");
+  EXPECT_EQ(P.find("gold")->str(), "do\ne"); // escape round-trips
+  EXPECT_DOUBLE_EQ(P.find("score")->number(), 2.5);
+  EXPECT_TRUE(P.find("correct")->boolean());
+  EXPECT_GE(P.find("ts")->number(), 0.0);
+  EXPECT_GE(P.find("tid")->number(), 0.0);
+}
+
+TEST(EventLog, CloseIsIdempotent) {
+  EventLog Log;
+  std::ostringstream OS;
+  Log.attach(OS);
+  Log.record("x", {});
+  Log.close();
+  Log.close();
+  std::vector<json::Value> Lines = parseLines(OS.str());
+  size_t Ends = 0;
+  for (const json::Value &V : Lines)
+    Ends += eventOf(V) == "stream.end";
+  EXPECT_EQ(Ends, 1u);
+}
+
+TEST(EventLog, NonFiniteNumbersRenderAsNull) {
+  EXPECT_EQ(jsonNumber(std::nan("")), "null");
+  EXPECT_EQ(jsonNumber(1.0 / 0.0), "null");
+  EXPECT_EQ(jsonNumber(-1.0 / 0.0), "null");
+  EXPECT_EQ(jsonNumber(0.25), "0.25");
+}
+
+TEST(EventLog, TraceScopesEmitNestedSpans) {
+  EventLog &Log = EventLog::global();
+  std::ostringstream OS;
+  Log.attach(OS);
+  {
+    TraceScope Train("el.train");
+    { TraceScope Extract("el.extract"); }
+    { TraceScope Epoch("el.epoch"); }
+  }
+  Log.close();
+
+  std::vector<json::Value> Lines = parseLines(OS.str());
+  // Collect span.begin records by name; check parenting via span ids.
+  uint64_t TrainSpan = 0;
+  std::vector<std::pair<std::string, uint64_t>> Parents;
+  for (const json::Value &V : Lines) {
+    if (eventOf(V) != "span.begin")
+      continue;
+    std::string Name = V.find("name")->str();
+    if (Name == "el.train")
+      TrainSpan = static_cast<uint64_t>(V.find("span")->number());
+    Parents.emplace_back(Name,
+                         static_cast<uint64_t>(V.find("parent")->number()));
+  }
+  ASSERT_EQ(Parents.size(), 3u);
+  ASSERT_NE(TrainSpan, 0u);
+  for (const auto &[Name, Parent] : Parents) {
+    if (Name == "el.train")
+      EXPECT_EQ(Parent, 0u) << "top-level phase has no parent span";
+    else
+      EXPECT_EQ(Parent, TrainSpan) << Name << " must nest under el.train";
+  }
+  // Every span.end carries wall time and an RSS sample.
+  for (const json::Value &V : Lines) {
+    if (eventOf(V) != "span.end")
+      continue;
+    EXPECT_GE(V.find("wall")->number(), 0.0);
+    ASSERT_NE(V.find("rss_kb"), nullptr);
+  }
+}
+
+TEST(EventLog, ParallelChunksNestUnderSpawningStage) {
+  EventLog &Log = EventLog::global();
+  std::ostringstream OS;
+  Log.attach(OS);
+  std::atomic<uint64_t> Sum{0};
+  {
+    TraceScope Stage("el.infer");
+    parallel::parallelFor(64, 4, [&](size_t I) { Sum += I; });
+  }
+  Log.close();
+  EXPECT_EQ(Sum.load(), 64u * 63 / 2);
+
+  std::vector<json::Value> Lines = parseLines(OS.str());
+  uint64_t StageSpan = 0;
+  for (const json::Value &V : Lines)
+    if (eventOf(V) == "span.begin" && V.find("name")->str() == "el.infer")
+      StageSpan = static_cast<uint64_t>(V.find("span")->number());
+  ASSERT_NE(StageSpan, 0u);
+
+  size_t Chunks = 0;
+  std::set<uint64_t> Tids;
+  for (const json::Value &V : Lines) {
+    if (eventOf(V) != "span.begin" ||
+        V.find("name")->str() != "parallel.chunk")
+      continue;
+    ++Chunks;
+    // Workers inherit the spawner's context: every chunk span is a child
+    // of the stage span even when it ran on a pool thread.
+    EXPECT_EQ(static_cast<uint64_t>(V.find("parent")->number()), StageSpan);
+    // Chunk spans carry their index range.
+    ASSERT_NE(V.find("chunk"), nullptr);
+    ASSERT_NE(V.find("begin"), nullptr);
+    ASSERT_NE(V.find("end"), nullptr);
+    Tids.insert(static_cast<uint64_t>(V.find("tid")->number()));
+  }
+  EXPECT_GT(Chunks, 0u);
+  // tid is a small per-thread id; with 4 executors there are at most 4.
+  EXPECT_LE(Tids.size(), 4u);
+}
+
+TEST(EventLog, ConcurrentRecordsStayLineAtomic) {
+  EventLog Log;
+  std::ostringstream OS;
+  Log.attach(OS);
+  constexpr int Threads = 8, PerThread = 200;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I)
+        Log.record("tick", {{"t", std::to_string(T)}});
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+  Log.close();
+
+  // Every line parses — interleaved but never torn — and all records
+  // plus the two frame lines are present.
+  std::vector<json::Value> Lines = parseLines(OS.str());
+  EXPECT_EQ(Lines.size(), 2u + Threads * PerThread);
+  std::set<uint64_t> Tids;
+  for (const json::Value &V : Lines)
+    if (eventOf(V) == "tick")
+      Tids.insert(static_cast<uint64_t>(V.find("tid")->number()));
+  EXPECT_EQ(Tids.size(), static_cast<size_t>(Threads));
+}

@@ -1,0 +1,100 @@
+//===- json_test.cpp - Unit tests for support/Json -------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace pigeon;
+using namespace pigeon::json;
+
+TEST(JsonParse, Literals) {
+  EXPECT_TRUE(parse("null")->isNull());
+  EXPECT_TRUE(parse("true")->boolean());
+  EXPECT_FALSE(parse("false")->boolean());
+  EXPECT_DOUBLE_EQ(parse("0")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse("-12.5e2")->number(), -1250.0);
+  EXPECT_EQ(parse("\"hi\"")->str(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse("\"a\\\"b\\\\c\\n\\t\"")->str(), "a\"b\\c\n\t");
+  // \u escapes, including a surrogate pair (U+1F600).
+  EXPECT_EQ(parse("\"\\u0041\"")->str(), "A");
+  EXPECT_EQ(parse("\"\\u00e9\"")->str(), "\xc3\xa9");
+  EXPECT_EQ(parse("\"\\ud83d\\ude00\"")->str(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, ContainersPreserveOrder) {
+  std::optional<Value> V =
+      parse("{\"b\":[1,2,3],\"a\":{\"x\":null},\"b\":4}");
+  ASSERT_TRUE(V && V->isObject());
+  const auto &Members = V->object();
+  ASSERT_EQ(Members.size(), 3u); // duplicates kept, document order
+  EXPECT_EQ(Members[0].first, "b");
+  EXPECT_EQ(Members[1].first, "a");
+  // find() returns the first occurrence.
+  ASSERT_NE(V->find("b"), nullptr);
+  EXPECT_TRUE(V->find("b")->isArray());
+  EXPECT_EQ(V->find("b")->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(V->find("b")->array()[2].number(), 3.0);
+  EXPECT_EQ(V->find("missing"), nullptr);
+}
+
+TEST(JsonParse, OrAccessorsSubstituteOnMismatch) {
+  std::optional<Value> V = parse("{\"n\":3,\"s\":\"x\"}");
+  ASSERT_TRUE(V);
+  EXPECT_DOUBLE_EQ(V->find("n")->numberOr(-1), 3.0);
+  EXPECT_DOUBLE_EQ(V->find("s")->numberOr(-1), -1.0);
+  EXPECT_EQ(V->find("s")->strOr("d"), "x");
+  EXPECT_EQ(V->find("n")->strOr("d"), "d");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  std::string Error;
+  EXPECT_FALSE(parse("", &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(parse("{\"a\":1,}"));     // trailing comma
+  EXPECT_FALSE(parse("[1 2]"));          // missing comma
+  EXPECT_FALSE(parse("{\"a\" 1}"));      // missing colon
+  EXPECT_FALSE(parse("\"unterminated")); // unterminated string
+  EXPECT_FALSE(parse("01"));             // leading zero
+  EXPECT_FALSE(parse("1."));             // bare trailing dot
+  EXPECT_FALSE(parse("\"a\\q\""));       // unknown escape
+  EXPECT_FALSE(parse("nul"));            // truncated literal
+}
+
+TEST(JsonParse, RejectsTrailingGarbageAndBareNonFinite) {
+  EXPECT_FALSE(parse("{} extra"));
+  EXPECT_FALSE(parse("1 2"));
+  // Our writers emit null for non-finite numbers; the parser holds them
+  // to that.
+  EXPECT_FALSE(parse("NaN"));
+  EXPECT_FALSE(parse("Infinity"));
+  EXPECT_FALSE(parse("-Infinity"));
+}
+
+TEST(JsonParse, ErrorCarriesByteOffset) {
+  std::string Error;
+  EXPECT_FALSE(parse("[1,]", &Error));
+  EXPECT_NE(Error.find("offset"), std::string::npos);
+}
+
+TEST(JsonParse, DepthGuardStopsRunawayNesting) {
+  std::string Deep(1000, '[');
+  Deep += std::string(1000, ']');
+  EXPECT_FALSE(parse(Deep));
+  // A modestly nested document is fine.
+  EXPECT_TRUE(parse("[[[[[[[[[[0]]]]]]]]]]"));
+}
+
+TEST(JsonParse, SurroundingWhitespaceAllowed) {
+  std::optional<Value> V = parse("  \n\t {\"a\": 1}  \n");
+  ASSERT_TRUE(V);
+  EXPECT_DOUBLE_EQ(V->find("a")->number(), 1.0);
+}

@@ -14,8 +14,11 @@
 
 #include "core/Experiments.h"
 #include "datagen/Sketch.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include <algorithm>
 #include <atomic>
@@ -125,6 +128,85 @@ TEST(ParallelPool, ResolveThreadsHonorsOverride) {
   EXPECT_EQ(parallel::resolveThreads(2), 2u); // Explicit request wins.
   parallel::setDefaultThreads(0);
   EXPECT_GE(parallel::resolveThreads(0), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace-context propagation into workers
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelTrace, WorkerScopesNestUnderSpawningStage) {
+  telemetry::MetricsRegistry Reg;
+  {
+    telemetry::TraceScope Stage(Reg, "stage");
+    parallel::parallelFor(32, 4, [&](size_t) {
+      // Runs on pool workers and the participating caller alike; all of
+      // them must see the spawner's "stage" as their current phase.
+      telemetry::TraceScope Item(Reg, "item");
+    });
+  }
+  const telemetry::TraceNode &Root = Reg.traceRoot();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  EXPECT_EQ(Root.Children[0]->Name, "stage");
+  ASSERT_EQ(Root.Children[0]->Children.size(), 1u); // merged by name
+  const telemetry::TraceNode &Item = *Root.Children[0]->Children[0];
+  EXPECT_EQ(Item.Name, "item");
+  EXPECT_EQ(Item.Calls, 32u);
+}
+
+TEST(ParallelTrace, CallerContextRestoredAfterParticipation) {
+  telemetry::MetricsRegistry Reg;
+  {
+    telemetry::TraceScope Stage(Reg, "stage");
+    parallel::parallelFor(16, 4, [](size_t) {});
+    // The caller participated in the region; its own phase must be
+    // restored so later scopes still nest under "stage".
+    telemetry::TraceScope After(Reg, "after");
+  }
+  const telemetry::TraceNode &Root = Reg.traceRoot();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  ASSERT_EQ(Root.Children[0]->Children.size(), 1u);
+  EXPECT_EQ(Root.Children[0]->Children[0]->Name, "after");
+}
+
+namespace {
+
+/// "name(calls)[child child ...]" — the thread-count-invariant part of a
+/// trace tree (Seconds differ run to run and are excluded).
+std::string traceShape(const telemetry::TraceNode &Node) {
+  std::string Out =
+      Node.Name + "(" + std::to_string(Node.Calls) + ")[";
+  for (size_t I = 0; I < Node.Children.size(); ++I) {
+    if (I)
+      Out += " ";
+    Out += traceShape(*Node.Children[I]);
+  }
+  return Out + "]";
+}
+
+} // namespace
+
+TEST(ParallelTrace, TraceTreeShapeIsThreadCountInvariant) {
+  auto ShapeAt = [](size_t Threads) {
+    telemetry::MetricsRegistry Reg;
+    {
+      telemetry::TraceScope Stage(Reg, "stage");
+      parallel::parallelChunks(
+          8, Threads, [&](size_t, size_t Begin, size_t End) {
+            for (size_t I = Begin; I < End; ++I) {
+              telemetry::TraceScope Work(Reg, "work");
+              telemetry::TraceScope Inner(Reg, "inner");
+            }
+          });
+    }
+    return traceShape(Reg.traceRoot());
+  };
+  // Chunk spans exist only in the event stream, never as trace-tree
+  // nodes — chunk count varies with the thread count, and the tree must
+  // not (the PR-2 determinism contract extends to telemetry).
+  std::string Serial = ShapeAt(1);
+  EXPECT_EQ(Serial, "total(0)[stage(1)[work(8)[inner(8)[]]]]");
+  EXPECT_EQ(Serial, ShapeAt(2));
+  EXPECT_EQ(Serial, ShapeAt(4));
 }
 
 //===----------------------------------------------------------------------===//

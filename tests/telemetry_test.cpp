@@ -6,10 +6,13 @@
 
 #include "support/Telemetry.h"
 
+#include "support/Json.h"
+
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -148,6 +151,16 @@ TEST(Histogram, PercentileSinglePointDistribution) {
   // estimate is clamped to [min, max]).
   EXPECT_DOUBLE_EQ(H.percentile(0.5), 0.002);
   EXPECT_DOUBLE_EQ(H.percentile(0.99), 0.002);
+}
+
+TEST(Histogram, PercentileOnEmptyIsNaN) {
+  Histogram H(linearBounds(0, 4));
+  EXPECT_TRUE(std::isnan(H.percentile(0.5)));
+  EXPECT_TRUE(std::isnan(H.percentile(0.99)));
+  // min()/max() keep their documented 0.0-on-empty behavior; only the
+  // quantile estimate (and the JSON emission) distinguish "empty".
+  EXPECT_EQ(H.min(), 0.0);
+  EXPECT_EQ(H.max(), 0.0);
 }
 
 TEST(Histogram, ConcurrentObserves) {
@@ -305,6 +318,27 @@ TEST(Json, SnapshotIsStructurallyValidAndStable) {
   EXPECT_NE(A.str().find("\"histograms\""), std::string::npos);
   EXPECT_NE(A.str().find("\"trace\""), std::string::npos);
   EXPECT_NE(A.str().find("\"p50\""), std::string::npos);
+}
+
+TEST(Json, NonFiniteAndEmptyValuesSerializeAsNull) {
+  MetricsRegistry Reg;
+  Reg.gauge("speedup").set(std::numeric_limits<double>::quiet_NaN());
+  Reg.gauge("ratio").set(std::numeric_limits<double>::infinity());
+  Reg.histogram("idle.wall.seconds", timeBounds()); // never observed
+  std::ostringstream OS;
+  Reg.writeJson(OS);
+  std::string S = OS.str();
+  EXPECT_TRUE(isStructurallyValidJson(S));
+  // Bare NaN / Infinity are not JSON; they must degrade to null.
+  EXPECT_NE(S.find("\"speedup\":null"), std::string::npos);
+  EXPECT_NE(S.find("\"ratio\":null"), std::string::npos);
+  // An empty histogram has no meaningful min/percentiles — null, not a
+  // fake zero a reader would mistake for a measurement.
+  EXPECT_NE(S.find("\"min\":null"), std::string::npos);
+  EXPECT_NE(S.find("\"p50\":null"), std::string::npos);
+  // The whole snapshot must still satisfy the strict parser.
+  std::string Error;
+  EXPECT_TRUE(json::parse(S, &Error).has_value()) << Error;
 }
 
 TEST(Json, EmptyRegistrySnapshot) {

@@ -1,0 +1,225 @@
+//===- bench_report.cpp - Fold bench sidecars into a trajectory ------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Aggregates the `<bench>.metrics.json` sidecars the bench binaries
+/// leave behind into one dated trajectory document:
+///
+///   bench_report [--bench-dir DIR]... [--out-dir DIR] [--stamp S]
+///                [--threshold F] [--warn-only]
+///
+/// Writes `BENCH_<stamp>.json` (schema pigeon.bench.v1) into the out
+/// directory, prints the throughput / phase-time / accuracy headlines,
+/// and — when an earlier BENCH_*.json exists there — diffs against the
+/// latest one. A throughput metric that lost more than the threshold
+/// (default 10%) fails the run with exit 1 so CI catches the regression;
+/// --warn-only downgrades that to a warning, and the very first run
+/// (nothing to compare against) never fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+#include "support/Trajectory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace pigeon;
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_report [--bench-dir DIR]... [--out-dir DIR]"
+               " [--stamp S] [--threshold F] [--warn-only]\n"
+               "Folds <bench>.metrics.json sidecars into BENCH_<stamp>.json"
+               " and gates on throughput regressions vs the previous"
+               " trajectory.\n";
+  return 2;
+}
+
+std::string fixed(double X, int Digits = 2) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, X);
+  return Buf;
+}
+
+/// Today as YYYY-MM-DD-HHMMSS — lexicographic order is age order, which
+/// is all findPrevious() needs.
+std::string defaultStamp() {
+  std::time_t Now = std::time(nullptr);
+  std::tm Tm = {};
+#if defined(_WIN32)
+  gmtime_s(&Tm, &Now);
+#else
+  gmtime_r(&Now, &Tm);
+#endif
+  char Buf[32];
+  std::strftime(Buf, sizeof(Buf), "%Y-%m-%d-%H%M%S", &Tm);
+  return Buf;
+}
+
+/// The lexicographically-latest BENCH_*.json under \p Dir, excluding
+/// \p Exclude (the file this run is about to write).
+std::string findPrevious(const std::string &Dir, const std::string &Exclude) {
+  std::string Best, BestName;
+  std::error_code EC;
+  for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::string Name = Entry.path().filename().string();
+    if (Name.rfind("BENCH_", 0) != 0 || Entry.path().extension() != ".json")
+      continue;
+    if (Name == Exclude)
+      continue;
+    if (Best.empty() || Name > BestName) {
+      Best = Entry.path().string();
+      BestName = Name;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> BenchDirs;
+  std::string OutDir = ".";
+  std::string Stamp;
+  double Threshold = 0.10;
+  bool WarnOnly = false;
+
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    auto Value = [&]() -> std::string {
+      return ++I < Args.size() ? Args[I] : "";
+    };
+    if (Arg == "--bench-dir")
+      BenchDirs.push_back(Value());
+    else if (Arg == "--out-dir")
+      OutDir = Value();
+    else if (Arg == "--stamp")
+      Stamp = Value();
+    else if (Arg == "--threshold")
+      Threshold = std::atof(Value().c_str());
+    else if (Arg == "--warn-only")
+      WarnOnly = true;
+    else
+      return usage();
+  }
+  if (BenchDirs.empty())
+    BenchDirs.push_back(".");
+  if (OutDir.empty() || Threshold < 0 || Threshold >= 1)
+    return usage();
+  if (Stamp.empty())
+    Stamp = defaultStamp();
+
+  // Fold every sidecar. Sorted scan so the document is deterministic for
+  // a given set of sidecars.
+  bench::Trajectory Cur;
+  Cur.Stamp = Stamp;
+  std::vector<std::string> Sidecars;
+  for (const std::string &Dir : BenchDirs) {
+    std::error_code EC;
+    for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+      std::string Name = Entry.path().filename().string();
+      const std::string Suffix = ".metrics.json";
+      if (Entry.is_regular_file() && Name.size() > Suffix.size() &&
+          Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) ==
+              0)
+        Sidecars.push_back(Entry.path().string());
+    }
+  }
+  std::sort(Sidecars.begin(), Sidecars.end());
+  for (const std::string &Path : Sidecars) {
+    std::string Error;
+    std::optional<json::Value> Doc = json::parseFile(Path, &Error);
+    if (!Doc) {
+      std::cerr << "warning: skipping " << Path << ": " << Error << "\n";
+      continue;
+    }
+    std::string Name = fs::path(Path).filename().string();
+    Name.resize(Name.size() - std::string(".metrics.json").size());
+    Cur.Benches.push_back(bench::foldSidecar(Name, *Doc));
+  }
+  if (Cur.Benches.empty()) {
+    std::cerr << "error: no *.metrics.json sidecars under";
+    for (const std::string &Dir : BenchDirs)
+      std::cerr << " " << Dir;
+    std::cerr << "\n";
+    return 1;
+  }
+
+  // Locate the previous trajectory before writing the new one, so a
+  // re-run with the same stamp never diffs a file against itself.
+  std::string OutName = "BENCH_" + Stamp + ".json";
+  std::string PrevPath = findPrevious(OutDir, OutName);
+
+  std::string OutPath = OutDir + "/" + OutName;
+  if (!bench::writeTrajectoryFile(OutPath, Cur)) {
+    std::cerr << "error: cannot write " << OutPath << "\n";
+    return 1;
+  }
+  std::cerr << "trajectory written to " << OutPath << "\n";
+
+  // Headline report.
+  TablePrinter Table("bench trajectory " + Stamp);
+  Table.setHeader({"Bench", "Metric", "Value"});
+  for (const bench::BenchRecord &B : Cur.Benches) {
+    for (const auto &[Name, V] : B.Throughput)
+      Table.addRow({B.Bench, Name, fixed(V)});
+    for (const auto &[Name, V] : B.Accuracy)
+      Table.addRow({B.Bench, Name, fixed(V, 4)});
+    for (const auto &[Name, P] : B.Phases)
+      Table.addRow({B.Bench, Name + " p50/p90/p99 (s)",
+                    fixed(P.P50, 4) + " / " + fixed(P.P90, 4) + " / " +
+                        fixed(P.P99, 4)});
+    if (B.RssPeakKb)
+      Table.addRow({B.Bench, "rss_peak_kb", std::to_string(B.RssPeakKb)});
+  }
+  Table.print(std::cout);
+
+  if (PrevPath.empty()) {
+    std::cerr << "first trajectory in " << OutDir
+              << "; nothing to compare against\n";
+    return 0;
+  }
+  std::optional<json::Value> PrevDoc = json::parseFile(PrevPath);
+  std::optional<bench::Trajectory> Prev;
+  if (PrevDoc)
+    Prev = bench::parseTrajectory(*PrevDoc);
+  if (!Prev) {
+    std::cerr << "warning: " << PrevPath
+              << " is not a pigeon.bench.v1 trajectory; skipping the gate\n";
+    return 0;
+  }
+
+  std::vector<bench::Regression> Regressions =
+      bench::compareTrajectories(*Prev, Cur, Threshold);
+  std::cerr << "compared against " << PrevPath << " (threshold "
+            << fixed(Threshold * 100, 0) << "%)\n";
+  if (Regressions.empty()) {
+    std::cerr << "no throughput regressions\n";
+    return 0;
+  }
+  TablePrinter Bad("throughput regressions vs " +
+                   fs::path(PrevPath).filename().string());
+  Bad.setHeader({"Bench", "Metric", "Before", "After", "Ratio"});
+  for (const bench::Regression &R : Regressions)
+    Bad.addRow({R.Bench, R.Metric, fixed(R.Before), fixed(R.After),
+                fixed(R.Ratio, 3)});
+  Bad.print(std::cerr);
+  if (WarnOnly) {
+    std::cerr << "warn-only: not failing the run\n";
+    return 0;
+  }
+  return 1;
+}

@@ -25,6 +25,12 @@
 ///       Write a synthetic corpus to disk (one file per function), ready
 ///       for `pigeon train`.
 ///
+///   pigeon explain --lang js [--task vars|methods|types] [--top K]
+///       Train on a synthetic corpus and decompose held-out predictions
+///       into their top-K contributing AST paths (factor weight + vote
+///       per path). With --trace, the same attributions are written as
+///       `prediction` / `attribution` records into the event stream.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Experiments.h"
@@ -33,11 +39,14 @@
 #include "lang/java/JavaParser.h"
 #include "lang/js/JsParser.h"
 #include "lang/python/PyParser.h"
+#include "support/EventLog.h"
 #include "support/Parallel.h"
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -62,10 +71,19 @@ int usage() {
          "  pigeon demo    --lang <js|java|py|cs>\n"
          "  pigeon synth   --lang <js|java|py|cs> --out DIR"
          " [--projects N] [--seed S]\n"
+         "  pigeon explain --lang <js|java|py|cs>"
+         " [--task <vars|methods|types>]\n"
+         "                 [--top K] [--projects N] [--seed S]\n"
          "\n"
          "Every subcommand accepts --metrics FILE to write a JSON metrics\n"
          "snapshot (schema pigeon.metrics.v1) at exit; the PIGEON_METRICS\n"
          "environment variable is the fallback when the flag is absent.\n"
+         "\n"
+         "Every subcommand accepts --trace FILE to stream structured JSONL\n"
+         "events (schema pigeon.events.v1): phase and per-chunk spans with\n"
+         "wall/CPU/RSS, plus prediction-provenance records. PIGEON_TRACE\n"
+         "is the fallback. Both outputs are flushed best-effort even when\n"
+         "the tool dies on an error or unhandled exception.\n"
          "\n"
          "Every subcommand accepts --threads N to size the worker pool for\n"
          "the sharded parse/extract/inference stages (0 = one per core);\n"
@@ -407,6 +425,96 @@ int cmdDemo(Language Lang) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// explain
+//===----------------------------------------------------------------------===//
+
+std::string fixed4(double X) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.4f", X);
+  return Buf;
+}
+
+int cmdExplain(Language Lang, const std::string &TaskName, int TopK,
+               int Projects, uint64_t Seed) {
+  Task TaskKind;
+  if (TaskName == "vars")
+    TaskKind = Task::VariableNames;
+  else if (TaskName == "methods")
+    TaskKind = Task::MethodNames;
+  else if (TaskName == "types")
+    TaskKind = Task::FullTypes;
+  else
+    return usage();
+
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, Seed);
+  Spec.NumProjects = Projects;
+  std::vector<datagen::SourceFile> Sources;
+  {
+    telemetry::TraceScope Phase("datagen");
+    Sources = datagen::generateCorpus(Spec);
+  }
+  Corpus C = parseCorpus(Sources, Lang);
+
+  CrfExperimentOptions Options;
+  Options.Extraction = tunedExtraction(Lang, TaskKind);
+  Options.Seed = Seed;
+  std::vector<ExplainedPrediction> Rows =
+      explainCrfPredictions(C, TaskKind, Options, TopK, /*MaxNodes=*/8);
+  if (Rows.empty()) {
+    std::cerr << "error: nothing to explain (no test-split predictions)\n";
+    return 1;
+  }
+
+  size_t Index = 0;
+  for (const ExplainedPrediction &P : Rows) {
+    ++Index;
+    TablePrinter Out("#" + std::to_string(Index) + "  " + P.Predicted +
+                     (P.Correct ? "  (== gold)" : "  (gold: " + P.Gold + ")") +
+                     "  score " + fixed4(P.Score) + " = bias " +
+                     fixed4(P.Bias) + " + paths");
+    Out.setHeader({"Path", "Neighbor", "Factor", "Score", "Weight", "Vote"});
+    for (const ExplainedPrediction::PathLine &L : P.Paths)
+      Out.addRow({L.Path, L.Unary ? "-" : L.Neighbor,
+                  L.Unary ? "unary" : "pairwise", fixed4(L.Score),
+                  fixed4(L.Weight), fixed4(L.Vote)});
+    Out.print(std::cout);
+  }
+  size_t Correct = 0;
+  for (const ExplainedPrediction &P : Rows)
+    Correct += P.Correct;
+  std::cerr << "explained " << Rows.size() << " predictions (" << Correct
+            << " correct); each score decomposes exactly into bias + per-path"
+               " contributions\n";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics flushing
+//===----------------------------------------------------------------------===//
+
+/// The --metrics destination, stashed so fatal paths can flush it too.
+std::string DiagMetricsPath;
+
+/// Best-effort flush of the --metrics snapshot and the --trace event
+/// stream. Safe to call more than once: the metrics write is a whole-file
+/// rewrite and EventLog::close() is idempotent. \returns false when a
+/// requested metrics snapshot could not be written.
+bool flushDiagnostics() {
+  bool Ok = true;
+  if (!DiagMetricsPath.empty()) {
+    if (telemetry::MetricsRegistry::global().writeJsonFile(DiagMetricsPath))
+      std::cerr << "metrics written to " << DiagMetricsPath << "\n";
+    else {
+      std::cerr << "error: cannot write metrics to " << DiagMetricsPath
+                << "\n";
+      Ok = false;
+    }
+  }
+  telemetry::EventLog::global().close();
+  return Ok;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -417,8 +525,9 @@ int main(int argc, char **argv) {
 
   // Shared flag parsing.
   std::optional<Language> Lang;
-  std::string ModelPath, OutPath, MetricsPath, TaskName = "vars";
+  std::string ModelPath, OutPath, MetricsPath, TracePath, TaskName = "vars";
   int Projects = 24;
+  int TopK = 5;
   uint64_t Seed = 2018;
   paths::ExtractionConfig Extraction;
   bool ExtractionFlagsSeen = false;
@@ -440,6 +549,18 @@ int main(int argc, char **argv) {
       MetricsPath = Value();
       if (MetricsPath.empty()) {
         std::cerr << "error: --metrics requires a file path\n";
+        return 2;
+      }
+    } else if (Arg == "--trace") {
+      TracePath = Value();
+      if (TracePath.empty()) {
+        std::cerr << "error: --trace requires a file path\n";
+        return 2;
+      }
+    } else if (Arg == "--top") {
+      TopK = std::atoi(Value().c_str());
+      if (TopK <= 0) {
+        std::cerr << "error: --top wants a positive count\n";
         return 2;
       }
     } else if (Arg == "--task") {
@@ -475,53 +596,81 @@ int main(int argc, char **argv) {
   }
   (void)ExtractionFlagsSeen;
 
-  // --metrics wins; PIGEON_METRICS is the fallback so wrappers can turn
-  // instrumentation on without touching command lines.
+  // --metrics/--trace win; PIGEON_METRICS/PIGEON_TRACE are the fallbacks
+  // so wrappers can turn instrumentation on without touching command
+  // lines.
   if (MetricsPath.empty()) {
     if (const char *Env = std::getenv("PIGEON_METRICS"))
       MetricsPath = Env;
   }
+  if (TracePath.empty()) {
+    if (const char *Env = std::getenv("PIGEON_TRACE"))
+      TracePath = Env;
+  }
+  DiagMetricsPath = MetricsPath;
+  if (!TracePath.empty() &&
+      !telemetry::EventLog::global().open(TracePath)) {
+    std::cerr << "error: cannot open trace file " << TracePath << "\n";
+    return 2;
+  }
+
+  // Uncaught exceptions (including ones escaping noexcept contexts) still
+  // flush whatever telemetry exists — a crashing run is exactly the one
+  // whose trace matters.
+  std::set_terminate([] {
+    std::fputs("pigeon: terminating on unhandled exception\n", stderr);
+    flushDiagnostics();
+    std::abort();
+  });
 
   std::optional<int> RC;
-  if (Command == "extract") {
-    if (!Lang || Positional.size() != 1)
-      return usage();
-    RC = cmdExtract(*Lang, Extraction, Positional[0]);
-  } else if (Command == "train") {
-    if (!Lang || OutPath.empty() || Positional.empty())
-      return usage();
-    Task TaskKind;
-    if (TaskName == "vars")
-      TaskKind = Task::VariableNames;
-    else if (TaskName == "methods")
-      TaskKind = Task::MethodNames;
-    else
-      return usage();
-    RC = cmdTrain(*Lang, TaskKind, OutPath, Positional);
-  } else if (Command == "predict") {
-    if (ModelPath.empty() || Positional.size() != 1)
-      return usage();
-    RC = cmdPredict(ModelPath, Positional[0]);
-  } else if (Command == "demo") {
-    if (!Lang)
-      return usage();
-    RC = cmdDemo(*Lang);
-  } else if (Command == "synth") {
-    if (!Lang || OutPath.empty() || Projects <= 0)
-      return usage();
-    RC = cmdSynth(*Lang, OutPath, Projects, Seed);
-  }
-  if (!RC)
-    return usage();
-
-  if (!MetricsPath.empty()) {
-    if (telemetry::MetricsRegistry::global().writeJsonFile(MetricsPath)) {
-      std::cerr << "metrics written to " << MetricsPath << "\n";
-    } else {
-      std::cerr << "error: cannot write metrics to " << MetricsPath << "\n";
-      if (*RC == 0)
-        RC = 1;
+  try {
+    if (Command == "extract") {
+      if (!Lang || Positional.size() != 1)
+        return usage();
+      RC = cmdExtract(*Lang, Extraction, Positional[0]);
+    } else if (Command == "train") {
+      if (!Lang || OutPath.empty() || Positional.empty())
+        return usage();
+      Task TaskKind;
+      if (TaskName == "vars")
+        TaskKind = Task::VariableNames;
+      else if (TaskName == "methods")
+        TaskKind = Task::MethodNames;
+      else
+        return usage();
+      RC = cmdTrain(*Lang, TaskKind, OutPath, Positional);
+    } else if (Command == "predict") {
+      if (ModelPath.empty() || Positional.size() != 1)
+        return usage();
+      RC = cmdPredict(ModelPath, Positional[0]);
+    } else if (Command == "demo") {
+      if (!Lang)
+        return usage();
+      RC = cmdDemo(*Lang);
+    } else if (Command == "synth") {
+      if (!Lang || OutPath.empty() || Projects <= 0)
+        return usage();
+      RC = cmdSynth(*Lang, OutPath, Projects, Seed);
+    } else if (Command == "explain") {
+      if (!Lang || Projects <= 0)
+        return usage();
+      RC = cmdExplain(*Lang, TaskName, TopK, Projects, Seed);
     }
+  } catch (const std::exception &E) {
+    std::cerr << "pigeon: fatal: " << E.what() << "\n";
+    flushDiagnostics();
+    return 1;
   }
+  if (!RC) {
+    flushDiagnostics();
+    return usage();
+  }
+
+  if (telemetry::EventLog::global().enabled())
+    telemetry::EventLog::global().record(
+        "exit", {{"code", std::to_string(*RC)}});
+  if (!flushDiagnostics() && *RC == 0)
+    RC = 1;
   return *RC;
 }
