@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 using namespace pigeon;
 using namespace pigeon::ast;
 using namespace pigeon::bench;
@@ -136,6 +138,49 @@ void BM_SgnsTrain(benchmark::State &State) {
 }
 BENCHMARK(BM_SgnsTrain);
 
+/// Measured extraction pass for the trajectory gate: contexts/sec through
+/// the packed hot path and the packed-bytes cost per context. Gauges whose
+/// names contain `per_sec` are throughput-gated by tools/bench_report, so
+/// a regression in the string-free extraction path fails CI.
+void recordExtractionThroughput() {
+  const Corpus &C = corpus();
+  paths::ExtractionConfig Config =
+      tunedExtraction(Language::JavaScript, Task::VariableNames);
+  // Warm-up pass, then take the best of a few timed repetitions so the
+  // gauge is not at the mercy of one scheduler hiccup.
+  double BestSeconds = 1e30;
+  size_t Contexts = 0;
+  uint64_t PackedBytes = 0;
+  for (int Rep = 0; Rep < 4; ++Rep) {
+    paths::PathTable Table;
+    size_t RepContexts = 0;
+    uint64_t RepBytes = 0;
+    auto Start = std::chrono::steady_clock::now();
+    for (const ParsedFile &File : C.Files) {
+      auto Cs = paths::extractPathContexts(File.Tree, Config, Table);
+      RepContexts += Cs.size();
+      for (const paths::PathContext &Ctx : Cs)
+        RepBytes += Table.bytes(Ctx.Path).size();
+    }
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    if (Rep == 0)
+      continue; // Warm-up: caches and allocator state settle.
+    BestSeconds = std::min(BestSeconds, Seconds);
+    Contexts = RepContexts;
+    PackedBytes = RepBytes;
+  }
+  auto &Reg = telemetry::MetricsRegistry::global();
+  if (BestSeconds > 0.0 && Contexts > 0) {
+    Reg.gauge("paths.extract.contexts_per_sec")
+        .set(static_cast<double>(Contexts) / BestSeconds);
+    Reg.gauge("paths.extract.packed_bytes_per_context")
+        .set(static_cast<double>(PackedBytes) /
+             static_cast<double>(Contexts));
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -144,6 +189,7 @@ int main(int argc, char **argv) {
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  recordExtractionThroughput();
   pigeon::bench::writeBenchSidecar("bench_micro");
   return 0;
 }

@@ -85,7 +85,7 @@ int main() {
         if (Inserted)
           Words.push_back(Name);
         std::string CtxString =
-            Table.str(Ctx.Path) + "|" +
+            Table.render(Ctx.Path, *C.Interner) + "|" +
             C.Interner->str(paths::endValue(T, Ctx.End));
         Pairs.push_back({It->second, CtxInterner.intern(CtxString).index()});
       }

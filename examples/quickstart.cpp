@@ -62,7 +62,8 @@ int main() {
     bool IsP1 = Start == "d" && End == "d";
     bool IsP4 = Start == "d" && End == "true";
     if (IsP1 || IsP4)
-      std::cout << "  <" << Start << ", " << Table.str(Ctx.Path) << ", "
+      std::cout << "  <" << Start << ", " << Table.render(Ctx.Path, Interner)
+                << ", "
                 << End << ">\n";
   }
 

@@ -97,7 +97,7 @@ std::vector<PathContext> baselines::ngramContexts(const Tree &Tree, int N,
   const std::vector<NodeId> &Leaves = Tree.terminals();
   std::vector<PathId> DistanceIds;
   for (int D = 1; D < N; ++D)
-    DistanceIds.push_back(Table.intern("ngram:" + std::to_string(D)));
+    DistanceIds.push_back(Table.internString("ngram:" + std::to_string(D)));
   for (size_t I = 0; I < Leaves.size(); ++I) {
     for (int D = 1; D < N && I + static_cast<size_t>(D) < Leaves.size();
          ++D) {

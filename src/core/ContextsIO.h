@@ -1,0 +1,126 @@
+//===- ContextsIO.h - On-disk extracted path-contexts -----------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extracted-contexts artifact (format `pigeon.contexts.v1`): every
+/// piece of a corpus the learners consume after extraction — interner,
+/// packed path table, and per-file context records — decoupled from the
+/// trees that produced it. `pigeon extract --out` writes one; `pigeon
+/// train/eval --from-contexts` stream it back, so the expensive
+/// parse+extract front half of the pipeline runs once per corpus instead
+/// of once per training run.
+///
+/// A context record resolves each path-context end to exactly what CRF
+/// graph assembly reads off the tree — the element id (if any), the end's
+/// value symbol, and for semi-paths the ancestor kind — so
+/// buildGraphFromRecord() reproduces crf::buildGraph() node for node and
+/// factor for factor without an AST. The same corpus therefore yields
+/// bit-identical models through either route, at any thread count (the
+/// determinism contract extended to disk).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_CORE_CONTEXTSIO_H
+#define PIGEON_CORE_CONTEXTSIO_H
+
+#include "core/Experiments.h"
+#include "core/Pipeline.h"
+#include "ml/crf/Crf.h"
+#include "paths/Paths.h"
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pigeon {
+namespace core {
+
+/// One path-context with its ends resolved to graph-assembly inputs.
+/// For semi-paths EndElem is invalid and EndValue is the ancestor's
+/// *kind* symbol (the known pseudo-node label); otherwise EndValue is the
+/// terminal's value symbol, used only when the end has no element.
+struct ContextRecord {
+  paths::PathId Path = paths::InvalidPath;
+  ast::ElementId StartElem = ast::InvalidElement;
+  Symbol StartValue;
+  ast::ElementId EndElem = ast::InvalidElement;
+  Symbol EndValue;
+  bool Semi = false;
+};
+
+/// One 3-wise context: the path plus each end's element and value.
+struct TriRecord {
+  paths::PathId Path = paths::InvalidPath;
+  ast::ElementId Elem[3] = {ast::InvalidElement, ast::InvalidElement,
+                            ast::InvalidElement};
+  Symbol Value[3];
+};
+
+/// All contexts of one corpus file, with the element table graph
+/// assembly selects unknowns from.
+struct FileRecord {
+  std::string Project;
+  std::string FileName;
+  std::vector<ast::ElementInfo> Elements;
+  std::vector<ContextRecord> Contexts;
+  std::vector<TriRecord> Tris;
+};
+
+/// A complete extracted corpus: the `pigeon.contexts.v1` artifact.
+struct ContextsArtifact {
+  lang::Language Lang = lang::Language::JavaScript;
+  Task TaskKind = Task::VariableNames;
+  paths::ExtractionConfig Extraction;
+  Representation Repr = Representation::AstPaths;
+  bool TriContexts = false;
+  std::unique_ptr<StringInterner> Interner;
+  paths::PathTable Table;
+  std::vector<FileRecord> Files;
+};
+
+/// Extracts every file of \p Corpus (sharded over Options.Threads, same
+/// bit-identical merge as extractCorpusContexts) and resolves the results
+/// into records. CONSUMES the corpus interner: the artifact takes
+/// ownership, so \p Corpus must not be used for symbol lookups afterwards
+/// (its trees stay readable structurally).
+ContextsArtifact buildContextsArtifact(Corpus &Corpus, Task TaskKind,
+                                       const CrfExperimentOptions &Options);
+
+/// Writes \p Artifact in the versioned `pigeon.contexts.v1` binary format.
+void saveContexts(std::ostream &OS, const ContextsArtifact &Artifact);
+
+/// Restores an artifact written by saveContexts(). \returns nullptr on a
+/// malformed or version-mismatched stream.
+std::unique_ptr<ContextsArtifact> loadContexts(std::istream &IS);
+
+/// crf::buildGraph() over a record instead of a tree: same node merging
+/// (one unknown per selected element, known nodes by value / ancestor
+/// kind), same known-known skip, same unary-factor rule, same order.
+crf::CrfGraph buildGraphFromRecord(const FileRecord &File,
+                                   const crf::ElementSelector &Selector);
+
+/// crf::addTriFactors() over a record: exactly-one-unknown triples become
+/// factors against a composite known node, whose '+'-joined label is
+/// interned into \p Interner (the record's symbol space).
+void addTriFactorsFromRecord(crf::CrfGraph &Graph, const FileRecord &File,
+                             const crf::ElementSelector &Selector,
+                             StringInterner &Interner);
+
+/// Rebases \p Artifact onto an existing symbol/path space (a loaded model
+/// bundle's): interns every artifact string into \p TargetSI, rewrites
+/// every record symbol through the resulting map, and re-interns every
+/// packed path into \p TargetTable (re-encoding symbol payloads via
+/// remapPackedPath). After this the artifact's records speak the target
+/// space directly. \returns false if the artifact references symbols or
+/// paths out of range (corrupt artifact).
+bool rebaseArtifact(ContextsArtifact &Artifact, StringInterner &TargetSI,
+                    paths::PathTable &TargetTable);
+
+} // namespace core
+} // namespace pigeon
+
+#endif // PIGEON_CORE_CONTEXTSIO_H

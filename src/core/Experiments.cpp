@@ -513,7 +513,7 @@ w2vContextsOf(const Tree &T, const ElementSelector &Selector,
     std::string CtxString;
     if (Kind == W2vContexts::AstPaths) {
       const char *Dir = StartElem != InvalidElement ? ">" : "<";
-      CtxString = Dir + Table.str(Ctx.Path) + "|" + OtherValue;
+      CtxString = Dir + Table.render(Ctx.Path, SI) + "|" + OtherValue;
     } else { // PathNeighbors: the same neighbours, path hidden.
       CtxString = "nb|" + OtherValue;
     }
@@ -661,7 +661,8 @@ void core::logPredictionProvenance(std::string_view Task,
         {{"task", jsonString(Task)},
          {"predicted", jsonString(Predicted)},
          {"path",
-          jsonString(A.Path != InvalidPath ? Table.str(A.Path) : "")},
+          jsonString(A.Path != InvalidPath ? Table.render(A.Path, SI)
+                                           : std::string())},
          {"neighbor",
           jsonString(A.Neighbor.isValid() ? SI.str(A.Neighbor) : "")},
          {"unary", A.Unary ? "true" : "false"},
@@ -734,7 +735,7 @@ core::explainCrfPredictions(const Corpus &Corpus, Task Task,
       E.Paths.reserve(Ex.Paths.size());
       for (const crf::Attribution &A : Ex.Paths) {
         ExplainedPrediction::PathLine L;
-        L.Path = A.Path != InvalidPath ? Table.str(A.Path) : "";
+        L.Path = A.Path != InvalidPath ? Table.render(A.Path, SI) : "";
         L.Neighbor = A.Neighbor.isValid() ? SI.str(A.Neighbor) : "";
         L.Unary = A.Unary;
         L.Score = A.Score;

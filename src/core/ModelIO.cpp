@@ -6,6 +6,8 @@
 
 #include "core/ModelIO.h"
 
+#include "support/BinaryIO.h"
+
 #include <istream>
 #include <ostream>
 
@@ -15,7 +17,10 @@ using namespace pigeon::core;
 namespace {
 
 constexpr uint32_t BundleMagic = 0x50494742; // "PIGB"
-constexpr uint32_t BundleVersion = 1;
+// Version 2: the path table is serialized as packed path bytes (tag +
+// varint symbol indices) instead of rendered strings, and the interner
+// and table use the shared varint/length-prefixed codecs (BinaryIO).
+constexpr uint32_t BundleVersion = 2;
 
 template <typename T> void writePod(std::ostream &OS, const T &Value) {
   OS.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
@@ -26,39 +31,22 @@ template <typename T> bool readPod(std::istream &IS, T &Value) {
   return static_cast<bool>(IS);
 }
 
-void writeString(std::ostream &OS, const std::string &Str) {
-  writePod(OS, static_cast<uint32_t>(Str.size()));
-  OS.write(Str.data(), static_cast<std::streamsize>(Str.size()));
-}
-
-bool readString(std::istream &IS, std::string &Str) {
-  uint32_t Size = 0;
-  if (!readPod(IS, Size))
-    return false;
-  // Guard against absurd sizes from corrupted streams.
-  if (Size > (64u << 20))
-    return false;
-  Str.resize(Size);
-  IS.read(Str.data(), static_cast<std::streamsize>(Size));
-  return static_cast<bool>(IS);
-}
-
 /// Interners assign ids densely in intern order, so (re)interning the
 /// strings in index order reproduces every id.
 void writeInterner(std::ostream &OS, const StringInterner &Interner) {
   // Index 0 is the reserved invalid slot; indices 1.. are real strings.
-  writePod(OS, static_cast<uint32_t>(Interner.size()));
+  io::writeVarint(OS, Interner.size());
   for (uint32_t I = 1; I < Interner.size(); ++I)
-    writeString(OS, Interner.str(Symbol::fromIndex(I)));
+    io::writeString(OS, Interner.str(Symbol::fromIndex(I)));
 }
 
 bool readInterner(std::istream &IS, StringInterner &Interner) {
-  uint32_t Size = 0;
-  if (!readPod(IS, Size))
+  uint64_t Size = 0;
+  if (!io::readVarint(IS, Size))
     return false;
-  for (uint32_t I = 1; I < Size; ++I) {
-    std::string Str;
-    if (!readString(IS, Str))
+  std::string Str;
+  for (uint64_t I = 1; I < Size; ++I) {
+    if (!io::readString(IS, Str))
       return false;
     Symbol S = Interner.intern(Str);
     if (S.index() != I)
@@ -67,22 +55,24 @@ bool readInterner(std::istream &IS, StringInterner &Interner) {
   return true;
 }
 
+/// The table stores packed bytes; persisting them verbatim keeps the
+/// saved ids meaningful without ever rendering a path string.
 void writePathTable(std::ostream &OS, const paths::PathTable &Table) {
-  writePod(OS, static_cast<uint32_t>(Table.size()));
+  io::writeVarint(OS, Table.size());
   for (uint32_t I = 1; I <= Table.size(); ++I)
-    writeString(OS, Table.str(I));
+    io::writeBytes(OS, Table.bytes(I));
 }
 
 bool readPathTable(std::istream &IS, paths::PathTable &Table) {
-  uint32_t Size = 0;
-  if (!readPod(IS, Size))
+  uint64_t Size = 0;
+  if (!io::readVarint(IS, Size))
     return false;
-  for (uint32_t I = 1; I <= Size; ++I) {
-    std::string Str;
-    if (!readString(IS, Str))
+  std::vector<uint8_t> Bytes;
+  for (uint64_t I = 1; I <= Size; ++I) {
+    if (!io::readBytes(IS, Bytes))
       return false;
-    if (Table.intern(Str) != I)
-      return false;
+    if (Table.intern(Bytes) != I)
+      return false; // Duplicate path bytes: not a saved table.
   }
   return true;
 }

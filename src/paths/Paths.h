@@ -19,6 +19,15 @@
 ///  * the abstraction ladder of §5.6: full, no-arrows, forget-order,
 ///    first-top-last, first-last, top, no-path.
 ///
+/// Representation: every abstracted path is a *packed* byte sequence (a
+/// tag byte plus varint-coded node-kind symbols — see PathTag), interned
+/// by byte equality into dense PathIds. The learners only ever consume
+/// PathIds; the human-readable "A^P_B" string form is rendered lazily
+/// from the packed bytes (renderPackedPath / PathTable::render) for
+/// `pigeon explain`, table output and tests. Extraction therefore never
+/// materializes a path string: packPath() writes into a reusable
+/// PathScratch buffer and PathTable::intern() hashes the bytes directly.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIGEON_PATHS_PATHS_H
@@ -27,8 +36,13 @@
 #include "ast/Ast.h"
 #include "support/StringInterner.h"
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace pigeon {
@@ -69,38 +83,153 @@ struct ExtractionConfig {
   bool IncludeSemiPaths = true;
 };
 
-/// Interned id of an abstracted path string.
+/// Interned id of an abstracted (packed) path.
 using PathId = uint32_t;
 inline constexpr PathId InvalidPath = ~0u;
 
-/// Interns abstracted path strings into dense PathIds, shared across all
-/// trees of one corpus so that identical paths in different programs get
-/// the same id (which is what lets the models generalize).
+//===----------------------------------------------------------------------===//
+// Packed path encoding
+//===----------------------------------------------------------------------===//
+
+/// First byte of every packed path. The payload after the tag is a
+/// sequence of LEB128 varints over node-kind Symbol indices (counts where
+/// noted). Encodings are chosen so that byte equality of two packed paths
+/// coincides exactly with string equality of their legacy renderings —
+/// the dedup classes (and hence PathId numbering) are unchanged:
+///
+///  * PairFull keeps an explicit up-count because "A^P_B" is positional;
+///  * PairFlat drops direction entirely, because the space-joined
+///    no-arrows string cannot distinguish where the pivot sits;
+///  * Bag sorts symbols by id — two multisets of kinds are equal iff
+///    their name-sorted renderings are equal;
+///  * coarse tags (FirstTopLast/FirstLast/Top) are shared between
+///    pairwise and 3-wise paths, which render identically;
+///  * Raw carries an opaque string (the "rel"/"rel3" no-path markers,
+///    n-gram baseline keys, and the 3-wise flat/bag forms whose legacy
+///    strings re-tokenize node names and so have no faithful symbol
+///    encoding).
+enum class PathTag : uint8_t {
+  Raw = 0,
+  PairFull = 1,
+  PairFlat = 2,
+  Bag = 3,
+  FirstTopLast = 4,
+  FirstLast = 5,
+  Top = 6,
+  TriFull = 7,
+};
+
+/// Reusable scratch state for packed-path construction. One instance per
+/// extraction loop: the buffers warm up after a few contexts, after which
+/// packing a path performs zero heap allocations.
+struct PathScratch {
+  /// The packed path, overwritten by each packPath/packTriPath call.
+  std::vector<uint8_t> Bytes;
+  std::vector<Symbol> Ups, Downs;
+  /// Reused for the Raw-encoded 3-wise flat/bag renderings.
+  std::string Str;
+};
+
+/// Packs the abstracted path A → B into \p Scratch.Bytes (overwritten).
+/// \p PivotHint, when valid, must be lca(A, B) and saves recomputing it.
+void packPath(const ast::Tree &Tree, ast::NodeId A, ast::NodeId B,
+              Abstraction Abst, PathScratch &Scratch,
+              ast::NodeId PivotHint = ast::InvalidNode);
+
+/// Packs the 3-wise path through the common ancestor of A, B, C into
+/// \p Scratch.Bytes (overwritten).
+void packTriPath(const ast::Tree &Tree, ast::NodeId A, ast::NodeId B,
+                 ast::NodeId C, Abstraction Abst, PathScratch &Scratch);
+
+/// Renders packed bytes to the legacy human-readable path string ("^" for
+/// up-movements, "_" for down-movements — ASCII stand-ins for the paper's
+/// ↑/↓). Malformed bytes render as "<bad-path>".
+std::string renderPackedPath(std::span<const uint8_t> Packed,
+                             const StringInterner &SI);
+
+/// Rewrites \p Packed into \p Out with every symbol index mapped through
+/// \p Map (Map[old index] = symbol in the target interner). Used when
+/// merging paths across interner spaces, e.g. loading a contexts artifact
+/// into a model bundle: byte equality only means path equality within one
+/// symbol space. Bag payloads are re-sorted by the mapped ids so the
+/// canonical form holds in the target space. Raw payloads copy verbatim.
+/// \returns false on malformed bytes or an index outside \p Map.
+bool remapPackedPath(std::span<const uint8_t> Packed,
+                     const std::vector<Symbol> &Map,
+                     std::vector<uint8_t> &Out);
+
+/// Interns packed abstracted paths into dense PathIds by byte equality,
+/// shared across all trees of one corpus so that identical paths in
+/// different programs get the same id (which is what lets the models
+/// generalize). Ids are dense from 1; id 0 is unused and InvalidPath is
+/// the sentinel. Distinct path bytes live in an append-only arena, so a
+/// lookup hit costs one hash of the scratch bytes and no allocation.
 class PathTable {
 public:
-  PathId intern(const std::string &Path) {
-    return Interner.intern(Path).index();
+  PathTable() : Paths(1) {}
+  PathTable(PathTable &&) = default;
+  PathTable &operator=(PathTable &&) = default;
+
+  /// Interns \p Packed (tag byte + payload), returning its id. Idempotent.
+  PathId intern(std::span<const uint8_t> Packed) {
+    std::string_view Key = viewOf(Packed);
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    std::span<const uint8_t> Stored = store(Packed);
+    PathId Id = static_cast<PathId>(Paths.size());
+    Paths.push_back(Stored);
+    Index.emplace(viewOf(Stored), Id);
+    return Id;
   }
-  const std::string &str(PathId Id) const {
-    return Interner.str(Symbol::fromIndex(Id));
+
+  /// Interns an opaque path string (Raw encoding). Used by the n-gram
+  /// baseline and tests; equivalent packed bytes produced elsewhere
+  /// dedup against it.
+  PathId internString(std::string_view Str);
+
+  /// The packed bytes of \p Id. Valid for the table's lifetime.
+  std::span<const uint8_t> bytes(PathId Id) const {
+    assert(Id >= 1 && Id < Paths.size() && "path from another table?");
+    return Paths[Id];
   }
+
+  /// Renders \p Id to the legacy path string (lazy; not on any hot path).
+  std::string render(PathId Id, const StringInterner &SI) const {
+    return renderPackedPath(bytes(Id), SI);
+  }
+
   /// Number of distinct paths (§5.6 reports model size through this).
-  size_t size() const { return Interner.size() - 1; }
+  size_t size() const { return Paths.size() - 1; }
 
   /// Interns every path of \p Shard, in shard-local id order, and returns
-  /// the remap shard-id → this-table-id (index 0 is unused). Absorbing
-  /// contiguous shard tables in shard order reproduces the exact ids a
-  /// serial extraction over the same files would have assigned — the
-  /// determinism contract of the parallel extraction stage.
-  std::vector<PathId> absorb(const PathTable &Shard) {
-    std::vector<PathId> Map(Shard.size() + 1, InvalidPath);
-    for (PathId Id = 1; Id <= Shard.size(); ++Id)
-      Map[Id] = intern(Shard.str(Id));
-    return Map;
-  }
+  /// the remap shard-id → this-table-id (index 0 is unused). Merging is
+  /// byte-wise — no per-path string materialization. Absorbing contiguous
+  /// shard tables in shard order reproduces the exact ids a serial
+  /// extraction over the same files would have assigned — the determinism
+  /// contract of the parallel extraction stage.
+  std::vector<PathId> absorb(const PathTable &Shard);
 
 private:
-  StringInterner Interner;
+  static std::string_view viewOf(std::span<const uint8_t> Bytes) {
+    return Bytes.empty()
+               ? std::string_view()
+               : std::string_view(
+                     reinterpret_cast<const char *>(Bytes.data()),
+                     Bytes.size());
+  }
+
+  /// Copies \p Packed into the arena, returning the stable stored span.
+  std::span<const uint8_t> store(std::span<const uint8_t> Packed);
+
+  // Append-only chunked arena: blocks never move, so spans and the
+  // string_view index keys stay valid for the table's lifetime.
+  std::vector<std::unique_ptr<uint8_t[]>> Blocks;
+  size_t BlockCap = 0;
+  size_t BlockUsed = 0;
+  /// Packed bytes per id; entry 0 is the unused reserved slot.
+  std::vector<std::span<const uint8_t>> Paths;
+  std::unordered_map<std::string_view, PathId> Index;
 };
 
 /// One extracted path-context: the path and its two end nodes. Ends are
@@ -124,9 +253,8 @@ struct PathShape {
 /// Computes length/width/pivot for the path between \p A and \p B.
 PathShape pathShape(const ast::Tree &Tree, ast::NodeId A, ast::NodeId B);
 
-/// Renders the abstracted path between \p A and \p B. The rendering uses
-/// "^" for up-movements and "_" for down-movements (ASCII stand-ins for
-/// the paper's ↑/↓).
+/// Renders the abstracted path between \p A and \p B (pack + render; use
+/// packPath/renderPackedPath separately on hot paths).
 std::string pathString(const ast::Tree &Tree, ast::NodeId A, ast::NodeId B,
                        Abstraction Abst);
 
@@ -135,8 +263,8 @@ std::string pathString(const ast::Tree &Tree, ast::NodeId A, ast::NodeId B,
 Symbol endValue(const ast::Tree &Tree, ast::NodeId Node);
 
 /// Extracts all leafwise path-contexts (and semi-paths if configured)
-/// of \p Tree that satisfy the length/width limits. Paths are interned
-/// into \p Table under the configured abstraction.
+/// of \p Tree that satisfy the length/width limits. Paths are packed
+/// under the configured abstraction and interned into \p Table.
 std::vector<PathContext> extractPathContexts(const ast::Tree &Tree,
                                              const ExtractionConfig &Config,
                                              PathTable &Table);
@@ -166,7 +294,7 @@ struct TriContext {
 
 /// Renders the 3-wise path: the chain from \p A up to the common ancestor
 /// of all three nodes, then the two downward branches to \p B and \p C:
-/// "up-chain^M(_branchB)(_branchC)".
+/// "up-chain^M(_branchB)(_branchC)". (pack + render, like pathString.)
 std::string triPathString(const ast::Tree &Tree, ast::NodeId A,
                           ast::NodeId B, ast::NodeId C, Abstraction Abst);
 

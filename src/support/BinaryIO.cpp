@@ -1,0 +1,67 @@
+//===- BinaryIO.cpp - Varint + length-prefixed binary IO ---------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinaryIO.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace pigeon;
+
+void io::writeVarint(std::ostream &OS, uint64_t Value) {
+  while (Value >= 0x80) {
+    OS.put(static_cast<char>(static_cast<uint8_t>(Value) | 0x80));
+    Value >>= 7;
+  }
+  OS.put(static_cast<char>(static_cast<uint8_t>(Value)));
+}
+
+bool io::readVarint(std::istream &IS, uint64_t &Value) {
+  uint64_t Out = 0;
+  for (int Shift = 0; Shift < 70; Shift += 7) {
+    int Ch = IS.get();
+    if (Ch == std::char_traits<char>::eof())
+      return false;
+    uint8_t Byte = static_cast<uint8_t>(Ch);
+    Out |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+    if ((Byte & 0x80) == 0) {
+      Value = Out;
+      return true;
+    }
+  }
+  return false; // Overlong encoding.
+}
+
+void io::writeBytes(std::ostream &OS, std::span<const uint8_t> Bytes) {
+  writeVarint(OS, Bytes.size());
+  OS.write(reinterpret_cast<const char *>(Bytes.data()),
+           static_cast<std::streamsize>(Bytes.size()));
+}
+
+bool io::readBytes(std::istream &IS, std::vector<uint8_t> &Out,
+                   size_t MaxSize) {
+  uint64_t Size = 0;
+  if (!readVarint(IS, Size) || Size > MaxSize)
+    return false;
+  Out.resize(Size);
+  IS.read(reinterpret_cast<char *>(Out.data()),
+          static_cast<std::streamsize>(Size));
+  return static_cast<bool>(IS);
+}
+
+void io::writeString(std::ostream &OS, std::string_view Str) {
+  writeVarint(OS, Str.size());
+  OS.write(Str.data(), static_cast<std::streamsize>(Str.size()));
+}
+
+bool io::readString(std::istream &IS, std::string &Out, size_t MaxSize) {
+  uint64_t Size = 0;
+  if (!readVarint(IS, Size) || Size > MaxSize)
+    return false;
+  Out.resize(Size);
+  IS.read(Out.data(), static_cast<std::streamsize>(Size));
+  return static_cast<bool>(IS);
+}

@@ -82,9 +82,9 @@ TEST(IntraStatement, Fig3PairBecomesIndistinguishable) {
       const std::string &SV = SI.str(T.node(Ctx.Start).Value);
       const std::string &EV = SI.str(T.node(Ctx.End).Value);
       if (SV == "d")
-        Set.insert(Table.str(Ctx.Path) + ">" + EV);
+        Set.insert(Table.render(Ctx.Path, SI) + ">" + EV);
       else if (EV == "d")
-        Set.insert(SV + ">" + Table.str(Ctx.Path));
+        Set.insert(SV + ">" + Table.render(Ctx.Path, SI));
     }
     return Set;
   };
@@ -130,9 +130,9 @@ TEST(Ngrams, ConnectsTokensWithinWindow) {
   auto Contexts = ngramContexts(*R.Tree, /*N=*/4, Table);
   // Terminals: a, b, c — per anchor: (a,b,1) (a,c,2) (b,c,1).
   ASSERT_EQ(Contexts.size(), 3u);
-  EXPECT_EQ(Table.str(Contexts[0].Path), "ngram:1");
-  EXPECT_EQ(Table.str(Contexts[1].Path), "ngram:2");
-  EXPECT_EQ(Table.str(Contexts[2].Path), "ngram:1");
+  EXPECT_EQ(Table.render(Contexts[0].Path, SI), "ngram:1");
+  EXPECT_EQ(Table.render(Contexts[1].Path, SI), "ngram:2");
+  EXPECT_EQ(Table.render(Contexts[2].Path, SI), "ngram:1");
 }
 
 TEST(Ngrams, WindowLimitsDistance) {
@@ -144,7 +144,7 @@ TEST(Ngrams, WindowLimitsDistance) {
   auto N4 = ngramContexts(*R.Tree, 4, Table);
   EXPECT_LT(N2.size(), N4.size());
   for (const PathContext &Ctx : N2)
-    EXPECT_EQ(Table.str(Ctx.Path), "ngram:1");
+    EXPECT_EQ(Table.render(Ctx.Path, SI), "ngram:1");
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,155 @@
+//===- binaryio_test.cpp - Unit tests for the binary IO codecs -------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinaryIO.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+using namespace pigeon;
+
+namespace {
+
+TEST(BinaryIOVarint, RoundTripsBoundaryValues) {
+  const uint64_t Values[] = {0,
+                             1,
+                             127,
+                             128,
+                             129,
+                             16383,
+                             16384,
+                             std::numeric_limits<uint32_t>::max(),
+                             uint64_t(1) << 35,
+                             std::numeric_limits<uint64_t>::max()};
+  std::stringstream Buffer;
+  for (uint64_t V : Values)
+    io::writeVarint(Buffer, V);
+  for (uint64_t V : Values) {
+    uint64_t Read = 0;
+    ASSERT_TRUE(io::readVarint(Buffer, Read));
+    EXPECT_EQ(Read, V);
+  }
+  uint64_t Extra = 0;
+  EXPECT_FALSE(io::readVarint(Buffer, Extra)); // Stream exhausted.
+}
+
+TEST(BinaryIOVarint, SmallValuesAreOneByte) {
+  std::stringstream Buffer;
+  io::writeVarint(Buffer, 127);
+  EXPECT_EQ(Buffer.str().size(), 1u);
+  io::writeVarint(Buffer, 128);
+  EXPECT_EQ(Buffer.str().size(), 3u); // 128 needs two bytes.
+}
+
+TEST(BinaryIOVarint, RejectsOverlongEncoding) {
+  // Eleven continuation bytes: more than any uint64 needs.
+  std::string Bytes(11, char(0x80));
+  std::stringstream Buffer(Bytes);
+  uint64_t Value = 0;
+  EXPECT_FALSE(io::readVarint(Buffer, Value));
+}
+
+TEST(BinaryIOVarint, RejectsTruncatedEncoding) {
+  std::stringstream Buffer;
+  Buffer.put(char(0x80)); // Continuation bit set, then EOF.
+  uint64_t Value = 0;
+  EXPECT_FALSE(io::readVarint(Buffer, Value));
+}
+
+TEST(BinaryIOBytes, RoundTripsIncludingEmpty) {
+  std::stringstream Buffer;
+  std::vector<uint8_t> Empty;
+  std::vector<uint8_t> Data = {0, 1, 2, 0xFF, 0x80, 42};
+  io::writeBytes(Buffer, Empty);
+  io::writeBytes(Buffer, Data);
+  std::vector<uint8_t> Out = {9, 9, 9};
+  ASSERT_TRUE(io::readBytes(Buffer, Out));
+  EXPECT_TRUE(Out.empty()); // Replaces previous contents.
+  ASSERT_TRUE(io::readBytes(Buffer, Out));
+  EXPECT_EQ(Out, Data);
+}
+
+TEST(BinaryIOBytes, RejectsLengthBeyondMax) {
+  std::stringstream Buffer;
+  io::writeVarint(Buffer, 1000);
+  Buffer << "short";
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(io::readBytes(Buffer, Out, /*MaxSize=*/100));
+}
+
+TEST(BinaryIOBytes, RejectsTruncatedPayload) {
+  std::stringstream Buffer;
+  io::writeVarint(Buffer, 8);
+  Buffer << "abc"; // Only 3 of the promised 8 bytes.
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(io::readBytes(Buffer, Out));
+}
+
+TEST(BinaryIOString, RoundTrips) {
+  std::stringstream Buffer;
+  io::writeString(Buffer, "");
+  io::writeString(Buffer, "hello");
+  io::writeString(Buffer, std::string("with\0nul", 8));
+  std::string Out = "stale";
+  ASSERT_TRUE(io::readString(Buffer, Out));
+  EXPECT_EQ(Out, "");
+  ASSERT_TRUE(io::readString(Buffer, Out));
+  EXPECT_EQ(Out, "hello");
+  ASSERT_TRUE(io::readString(Buffer, Out));
+  EXPECT_EQ(Out, std::string("with\0nul", 8));
+}
+
+TEST(BinaryIOAppend, MatchesStreamEncoding) {
+  // The buffer codec and the stream codec must agree byte for byte: the
+  // packed path table is written to disk through writeBytes and decoded
+  // with ByteReader.
+  const uint32_t Values[] = {0, 1, 127, 128, 300, 0xFFFF,
+                             std::numeric_limits<uint32_t>::max()};
+  for (uint32_t V : Values) {
+    std::vector<uint8_t> Buf;
+    io::appendVarint(Buf, V);
+    std::stringstream Stream;
+    io::writeVarint(Stream, V);
+    std::string Expected = Stream.str();
+    ASSERT_EQ(Buf.size(), Expected.size()) << V;
+    for (size_t I = 0; I < Buf.size(); ++I)
+      EXPECT_EQ(Buf[I], static_cast<uint8_t>(Expected[I])) << V;
+  }
+}
+
+TEST(BinaryIOByteReader, ReadsSequentially) {
+  std::vector<uint8_t> Buf;
+  io::appendVarint(Buf, 7);
+  io::appendVarint(Buf, 300);
+  Buf.push_back(0xAB);
+  io::ByteReader R(Buf);
+  uint32_t V = 0;
+  ASSERT_TRUE(R.readVarint(V));
+  EXPECT_EQ(V, 7u);
+  ASSERT_TRUE(R.readVarint(V));
+  EXPECT_EQ(V, 300u);
+  uint8_t B = 0;
+  ASSERT_TRUE(R.readByte(B));
+  EXPECT_EQ(B, 0xAB);
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.readByte(B));
+  EXPECT_FALSE(R.readVarint(V));
+}
+
+TEST(BinaryIOByteReader, RejectsOverlongAndTruncated) {
+  std::vector<uint8_t> Overlong(6, 0x80); // Six continuation bytes > 35 bits.
+  io::ByteReader R1(Overlong);
+  uint32_t V = 0;
+  EXPECT_FALSE(R1.readVarint(V));
+
+  std::vector<uint8_t> Truncated = {0x80};
+  io::ByteReader R2(Truncated);
+  EXPECT_FALSE(R2.readVarint(V));
+}
+
+} // namespace

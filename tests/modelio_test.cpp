@@ -135,4 +135,104 @@ TEST(ModelIO, RejectsWrongMagic) {
   EXPECT_EQ(loadModel(Corrupted), nullptr);
 }
 
+TEST(ModelIO, RejectsVersionMismatch) {
+  ModelBundle Original = trainBundle();
+  std::stringstream Buffer;
+  saveModel(Buffer, Original);
+  std::string Bytes = Buffer.str();
+  // A bundle from a future (or past) format version must not load.
+  Bytes[4] ^= 0x01; // Low byte of the little-endian version field.
+  std::stringstream Corrupted(Bytes);
+  EXPECT_EQ(loadModel(Corrupted), nullptr);
+}
+
+TEST(ModelIO, RejectsTruncationAtEveryQuarter) {
+  ModelBundle Original = trainBundle();
+  std::stringstream Buffer;
+  saveModel(Buffer, Original);
+  std::string Bytes = Buffer.str();
+  for (size_t Num = 1; Num <= 3; ++Num) {
+    std::stringstream Truncated(Bytes.substr(0, Bytes.size() * Num / 4));
+    EXPECT_EQ(loadModel(Truncated), nullptr) << "quarter " << Num;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip across every language × task header combination
+//===----------------------------------------------------------------------===//
+
+class ModelIOMatrix
+    : public ::testing::TestWithParam<std::tuple<Language, Task>> {};
+
+TEST_P(ModelIOMatrix, RoundTripsHeaderAndTables) {
+  auto [Lang, TaskKind] = GetParam();
+
+  ModelBundle Bundle;
+  Bundle.Lang = Lang;
+  Bundle.Interner = std::make_unique<StringInterner>();
+  Bundle.Extraction = tunedExtraction(Lang, TaskKind);
+  Bundle.TaskKind = TaskKind;
+
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Lang, /*Seed=*/9);
+  Spec.NumProjects = 3;
+  std::vector<datagen::SourceFile> Sources = datagen::generateCorpus(Spec);
+  Corpus C = parseCorpus(Sources, Lang);
+  ASSERT_GT(C.Files.size(), 0u);
+  Bundle.Interner = std::move(C.Interner);
+
+  crf::ElementSelector Selector = selectorFor(TaskKind);
+  std::vector<crf::CrfGraph> Graphs;
+  for (const ParsedFile &File : C.Files) {
+    auto Contexts = paths::extractPathContexts(File.Tree, Bundle.Extraction,
+                                               Bundle.Table);
+    Graphs.push_back(crf::buildGraph(File.Tree, Contexts, Selector));
+  }
+  Bundle.Model.train(Graphs);
+  ASSERT_GT(Bundle.Table.size(), 0u);
+
+  std::stringstream Buffer;
+  saveModel(Buffer, Bundle);
+  std::unique_ptr<ModelBundle> Restored = loadModel(Buffer);
+  ASSERT_NE(Restored, nullptr);
+  EXPECT_EQ(Restored->Lang, Lang);
+  EXPECT_EQ(Restored->TaskKind, TaskKind);
+  EXPECT_EQ(Restored->Extraction.MaxLength, Bundle.Extraction.MaxLength);
+  EXPECT_EQ(Restored->Extraction.MaxWidth, Bundle.Extraction.MaxWidth);
+  EXPECT_EQ(Restored->Extraction.Abst, Bundle.Extraction.Abst);
+  EXPECT_EQ(Restored->Extraction.IncludeSemiPaths,
+            Bundle.Extraction.IncludeSemiPaths);
+  EXPECT_EQ(Restored->Model.numFeatures(), Bundle.Model.numFeatures());
+
+  // The interner and packed path table must survive byte-exactly: PathIds
+  // feed the feature hash, so any drift silently changes predictions.
+  ASSERT_EQ(Restored->Interner->size(), Bundle.Interner->size());
+  for (uint32_t I = 1; I < Bundle.Interner->size(); ++I)
+    EXPECT_EQ(Restored->Interner->str(Symbol::fromIndex(I)),
+              Bundle.Interner->str(Symbol::fromIndex(I)));
+  ASSERT_EQ(Restored->Table.size(), Bundle.Table.size());
+  for (paths::PathId Id = 1; Id <= Bundle.Table.size(); ++Id) {
+    auto Want = Bundle.Table.bytes(Id);
+    auto Got = Restored->Table.bytes(Id);
+    ASSERT_EQ(Want.size(), Got.size()) << "path " << Id;
+    EXPECT_TRUE(std::equal(Want.begin(), Want.end(), Got.begin()))
+        << "path " << Id;
+  }
+}
+
+std::string matrixName(
+    const ::testing::TestParamInfo<std::tuple<Language, Task>> &Info) {
+  static const char *Langs[] = {"Js", "Java", "Py", "Cs"};
+  static const char *Tasks[] = {"Vars", "Methods", "Types"};
+  return std::string(Langs[static_cast<int>(std::get<0>(Info.param))]) +
+         Tasks[static_cast<int>(std::get<1>(Info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLangsAllTasks, ModelIOMatrix,
+    ::testing::Combine(::testing::Values(Language::JavaScript, Language::Java,
+                                         Language::Python, Language::CSharp),
+                       ::testing::Values(Task::VariableNames,
+                                         Task::MethodNames, Task::FullTypes)),
+    matrixName);
+
 } // namespace

@@ -285,8 +285,16 @@ TEST(ParallelDeterminism, ExtractionIsThreadCountInvariant) {
     auto Sharded = extractCorpusContexts(C, Indices, Options, Table);
     SCOPED_TRACE("threads=" + std::to_string(Threads));
     ASSERT_EQ(SerialTable.size(), Table.size());
-    for (paths::PathId Id = 1; Id <= Table.size(); ++Id)
-      ASSERT_EQ(SerialTable.str(Id), Table.str(Id)) << "path " << Id;
+    for (paths::PathId Id = 1; Id <= Table.size(); ++Id) {
+      // Byte-identical packed paths at every id: the merged table must
+      // replay the serial first-encounter order exactly.
+      auto SerialBytes = SerialTable.bytes(Id);
+      auto ShardedBytes = Table.bytes(Id);
+      ASSERT_TRUE(std::equal(SerialBytes.begin(), SerialBytes.end(),
+                             ShardedBytes.begin(), ShardedBytes.end()))
+          << "path " << Id << ": " << SerialTable.render(Id, *C.Interner)
+          << " vs " << Table.render(Id, *C.Interner);
+    }
     ASSERT_EQ(Serial.size(), Sharded.size());
     for (size_t F = 0; F < Serial.size(); ++F) {
       ASSERT_EQ(Serial[F].Contexts.size(), Sharded[F].Contexts.size());

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 using namespace pigeon;
@@ -317,7 +318,7 @@ TEST(ExtractToNode, FindsPathsToExpressionNode) {
     if (C.Start == F.SecondD) {
       SawInnerLeaf = true;
       EXPECT_TRUE(C.Semi) << "leaf inside the target is a chain";
-      EXPECT_EQ(Table.str(C.Path), "SymbolRef^Assign=");
+      EXPECT_EQ(Table.render(C.Path, F.SI), "SymbolRef^Assign=");
     }
   }
   EXPECT_TRUE(SawInnerLeaf);
@@ -343,14 +344,218 @@ TEST(ExtractToNode, RespectsLimits) {
 //===----------------------------------------------------------------------===//
 
 TEST(PathTableTest, InternRoundTrips) {
+  StringInterner SI;
   PathTable Table;
-  PathId A = Table.intern("X^Y_Z");
-  PathId B = Table.intern("X^Y_Z");
-  PathId C = Table.intern("other");
+  PathId A = Table.internString("X^Y_Z");
+  PathId B = Table.internString("X^Y_Z");
+  PathId C = Table.internString("other");
   EXPECT_EQ(A, B);
   EXPECT_NE(A, C);
-  EXPECT_EQ(Table.str(A), "X^Y_Z");
+  EXPECT_EQ(Table.render(A, SI), "X^Y_Z");
   EXPECT_EQ(Table.size(), 2u);
+}
+
+TEST(PathTableTest, IdsAreDenseFromOneAndIdZeroUnused) {
+  PathTable Table;
+  EXPECT_EQ(Table.size(), 0u);
+  PathId First = Table.internString("alpha");
+  PathId Second = Table.internString("beta");
+  PathId Third = Table.internString("gamma");
+  EXPECT_EQ(First, 1u);
+  EXPECT_EQ(Second, 2u);
+  EXPECT_EQ(Third, 3u);
+  EXPECT_EQ(Table.size(), 3u);
+  // Re-interning never perturbs ids or the size.
+  EXPECT_EQ(Table.internString("beta"), Second);
+  EXPECT_EQ(Table.size(), 3u);
+  // Every id holds at least the tag byte.
+  for (PathId Id = 1; Id <= Table.size(); ++Id)
+    EXPECT_FALSE(Table.bytes(Id).empty());
+}
+
+TEST(PathTableTest, InternSurvivesArenaGrowth) {
+  // Push enough distinct paths through that the byte arena must grow
+  // several blocks; earlier spans must stay valid and deduplication must
+  // keep working across block boundaries.
+  StringInterner SI;
+  PathTable Table;
+  std::vector<PathId> Ids;
+  for (int I = 0; I < 5000; ++I)
+    Ids.push_back(Table.internString("path-" + std::to_string(I) +
+                                     std::string(64, 'x')));
+  EXPECT_EQ(Table.size(), 5000u);
+  for (int I = 0; I < 5000; ++I) {
+    EXPECT_EQ(Table.internString("path-" + std::to_string(I) +
+                                 std::string(64, 'x')),
+              Ids[I]);
+    EXPECT_EQ(Table.render(Ids[I], SI),
+              "path-" + std::to_string(I) + std::string(64, 'x'));
+  }
+}
+
+TEST(PathTableTest, AbsorbMergesByteWiseWithCorrectRemap) {
+  StringInterner SI;
+  PathTable Base;
+  Base.internString("shared");
+  Base.internString("only-base");
+
+  PathTable Shard;
+  Shard.internString("only-shard"); // Shard id 1 → new id 3.
+  Shard.internString("shared");     // Shard id 2 → existing id 1.
+
+  std::vector<PathId> Remap = Base.absorb(Shard);
+  ASSERT_EQ(Remap.size(), 3u); // Index 0 unused.
+  EXPECT_EQ(Remap[1], 3u);
+  EXPECT_EQ(Remap[2], 1u);
+  EXPECT_EQ(Base.size(), 3u);
+  EXPECT_EQ(Base.render(3, SI), "only-shard");
+  // Absorbing the same shard again adds nothing.
+  std::vector<PathId> Again = Base.absorb(Shard);
+  EXPECT_EQ(Again[1], 3u);
+  EXPECT_EQ(Again[2], 1u);
+  EXPECT_EQ(Base.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Packed encoding: byte equality must coincide with rendered-string
+// equality (the dedup classes the learners see), for every abstraction.
+//===----------------------------------------------------------------------===//
+
+const Abstraction AllAbstractions[] = {
+    Abstraction::Full,         Abstraction::NoArrows,
+    Abstraction::ForgetOrder,  Abstraction::FirstTopLast,
+    Abstraction::FirstLast,    Abstraction::Top,
+    Abstraction::NoPath,
+};
+
+TEST(PackedPaths, DedupClassesMatchRenderedStrings) {
+  StringInterner SI;
+  lang::ParseResult R = js::parse(
+      "function f(a, b) { var sum = a + b; var diff = a - b; "
+      "while (sum > diff) { sum = sum - 1; } return sum * diff; }",
+      SI);
+  ASSERT_TRUE(R.ok());
+  for (Abstraction Abst : AllAbstractions) {
+    PathTable Table;
+    ExtractionConfig Config;
+    Config.MaxLength = 8;
+    Config.MaxWidth = 4;
+    Config.Abst = Abst;
+    auto Contexts = extractPathContexts(*R.Tree, Config, Table);
+    ASSERT_FALSE(Contexts.empty()) << abstractionName(Abst);
+    // Same rendered string ⟺ same PathId: no over- or under-merging.
+    std::map<std::string, PathId> ByString;
+    for (PathId Id = 1; Id <= Table.size(); ++Id) {
+      auto [It, Inserted] =
+          ByString.emplace(Table.render(Id, SI), Id);
+      EXPECT_TRUE(Inserted)
+          << abstractionName(Abst) << ": ids " << It->second << " and "
+          << Id << " both render \"" << It->first << "\"";
+    }
+    EXPECT_EQ(ByString.size(), Table.size());
+  }
+}
+
+TEST(PackedPaths, PackMatchesPathStringForLeafPairs) {
+  Fig1 F;
+  auto Leaves = F.T->terminals();
+  PathScratch Scratch;
+  for (Abstraction Abst : AllAbstractions) {
+    for (size_t I = 0; I + 1 < Leaves.size(); ++I) {
+      packPath(*F.T, Leaves[I], Leaves[I + 1], Abst, Scratch);
+      EXPECT_EQ(renderPackedPath(Scratch.Bytes, F.SI),
+                pathString(*F.T, Leaves[I], Leaves[I + 1], Abst))
+          << abstractionName(Abst) << " pair " << I;
+    }
+  }
+}
+
+TEST(PackedPaths, Fig5FullPathRendersExactly) {
+  StringInterner SI;
+  lang::ParseResult R = js::parse("var a, b, c, d;", SI);
+  ASSERT_TRUE(R.ok());
+  const Tree &T = *R.Tree;
+  NodeId A = T.terminals().front();
+  NodeId D = T.terminals().back();
+  PathScratch Scratch;
+  packPath(T, A, D, Abstraction::Full, Scratch);
+  ASSERT_FALSE(Scratch.Bytes.empty());
+  EXPECT_EQ(static_cast<PathTag>(Scratch.Bytes[0]), PathTag::PairFull);
+  EXPECT_EQ(renderPackedPath(Scratch.Bytes, SI),
+            "SymbolVar^VarDef^Var_VarDef_SymbolVar");
+
+  packPath(T, A, D, Abstraction::FirstLast, Scratch);
+  EXPECT_EQ(static_cast<PathTag>(Scratch.Bytes[0]), PathTag::FirstLast);
+  EXPECT_EQ(renderPackedPath(Scratch.Bytes, SI), "SymbolVar..SymbolVar");
+
+  packPath(T, A, D, Abstraction::Top, Scratch);
+  EXPECT_EQ(static_cast<PathTag>(Scratch.Bytes[0]), PathTag::Top);
+  EXPECT_EQ(renderPackedPath(Scratch.Bytes, SI), "Var");
+
+  packPath(T, A, D, Abstraction::NoPath, Scratch);
+  EXPECT_EQ(static_cast<PathTag>(Scratch.Bytes[0]), PathTag::Raw);
+  EXPECT_EQ(renderPackedPath(Scratch.Bytes, SI), "rel");
+}
+
+TEST(PackedPaths, MalformedBytesRenderAsBadPath) {
+  StringInterner SI;
+  std::vector<uint8_t> Truncated = {
+      static_cast<uint8_t>(PathTag::PairFull), 0x80}; // Cut varint.
+  EXPECT_EQ(renderPackedPath(Truncated, SI), "<bad-path>");
+  std::vector<uint8_t> BogusSymbol = {
+      static_cast<uint8_t>(PathTag::Top), 0x7F}; // Index 127: not interned.
+  EXPECT_EQ(renderPackedPath(BogusSymbol, SI), "<bad-path>");
+  std::vector<uint8_t> Empty;
+  EXPECT_EQ(renderPackedPath(Empty, SI), "<bad-path>");
+}
+
+TEST(PackedPaths, RemapCrossesInternerSpaces) {
+  // The same source parsed against two interners whose symbol ids differ;
+  // remapping packed bytes from one space to the other must preserve the
+  // rendered path.
+  const char *Source = "while (!d) { if (c()) { d = true; } }";
+  StringInterner SA, SB;
+  SB.intern("zzz-shift-the-ids");
+  SB.intern("zzz-shift-more");
+  lang::ParseResult RA = js::parse(Source, SA);
+  lang::ParseResult RB = js::parse(Source, SB);
+  ASSERT_TRUE(RA.ok() && RB.ok());
+
+  // Map: SA index → symbol in SB.
+  std::vector<Symbol> Map(SA.size());
+  for (uint32_t I = 1; I < SA.size(); ++I)
+    Map[I] = SB.intern(SA.str(Symbol::fromIndex(I)));
+
+  auto Leaves = RA.Tree->terminals();
+  PathScratch Scratch;
+  std::vector<uint8_t> Out;
+  size_t Checked = 0;
+  for (Abstraction Abst : AllAbstractions) {
+    for (size_t I = 0; I + 1 < Leaves.size(); ++I) {
+      packPath(*RA.Tree, Leaves[I], Leaves[I + 1], Abst, Scratch);
+      ASSERT_TRUE(remapPackedPath(Scratch.Bytes, Map, Out))
+          << abstractionName(Abst);
+      EXPECT_EQ(renderPackedPath(Out, SB),
+                renderPackedPath(Scratch.Bytes, SA))
+          << abstractionName(Abst);
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+TEST(PackedPaths, RemapRejectsOutOfRangeSymbols) {
+  StringInterner SI;
+  SI.intern("only");
+  std::vector<uint8_t> Packed = {static_cast<uint8_t>(PathTag::Top),
+                                 0x09}; // Index 9 beyond the map.
+  std::vector<Symbol> Map(SI.size());
+  Map[1] = Symbol::fromIndex(1);
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(remapPackedPath(Packed, Map, Out));
+  std::vector<uint8_t> Truncated = {static_cast<uint8_t>(PathTag::PairFull),
+                                    0x80};
+  EXPECT_FALSE(remapPackedPath(Truncated, Map, Out));
 }
 
 //===----------------------------------------------------------------------===//
@@ -380,7 +585,7 @@ TEST(Discrimination, Fig3PairDistinguishableByPathsOnly) {
       const std::string &EV =
           T.node(C.End).isTerminal() ? SI.str(T.node(C.End).Value) : "";
       if (SV == "d" || EV == "d")
-        Set.insert(Table.str(C.Path));
+        Set.insert(Table.render(C.Path, SI));
     }
     return Set;
   };

@@ -9,9 +9,23 @@
 ///   pigeon extract --lang js [--length N --width N --abst A] FILE
 ///       Print the abstract path-contexts of one source file.
 ///
+///   pigeon extract --lang js --task vars --out CTX PATH...
+///       Parse every source file under the given paths and write the
+///       extracted contexts as a pigeon.contexts.v1 artifact — the
+///       parse+extract front half of training, persisted.
+///
 ///   pigeon train --lang js --task vars|methods --out MODEL PATH...
 ///       Parse every source file under the given paths, train the CRF
 ///       name model, and save a self-contained model bundle.
+///
+///   pigeon train --from-contexts CTX --out MODEL
+///       Train from a saved contexts artifact instead of sources; the
+///       resulting bundle is byte-identical to direct training on the
+///       same corpus.
+///
+///   pigeon eval --model MODEL (--from-contexts CTX | --lang js PATH...)
+///       Measure a trained bundle's accuracy on a labelled corpus, given
+///       either sources or a contexts artifact.
 ///
 ///   pigeon predict --model MODEL FILE
 ///       Predict names for a (possibly minified) file with a trained
@@ -33,6 +47,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/ContextsIO.h"
 #include "core/Experiments.h"
 #include "core/ModelIO.h"
 #include "lang/csharp/CsParser.h"
@@ -65,8 +80,13 @@ int usage() {
       << "usage:\n"
          "  pigeon extract --lang <js|java|py|cs> [--length N] [--width N]"
          " [--abst NAME] FILE\n"
+         "  pigeon extract --lang <js|java|py|cs> --task <vars|methods>"
+         " --out CTX PATH...\n"
          "  pigeon train   --lang <js|java|py|cs> --task <vars|methods>"
          " --out MODEL PATH...\n"
+         "  pigeon train   --from-contexts CTX --out MODEL\n"
+         "  pigeon eval    --model MODEL"
+         " (--from-contexts CTX | --lang <js|java|py|cs> PATH...)\n"
          "  pigeon predict --model MODEL FILE\n"
          "  pigeon demo    --lang <js|java|py|cs>\n"
          "  pigeon synth   --lang <js|java|py|cs> --out DIR"
@@ -203,7 +223,7 @@ int cmdExtract(Language Lang, const paths::ExtractionConfig &Config,
   }
   for (const paths::PathContext &Ctx : Contexts) {
     std::cout << Interner.str(paths::endValue(*R->Tree, Ctx.Start)) << "\t"
-              << Table.str(Ctx.Path) << "\t"
+              << Table.render(Ctx.Path, Interner) << "\t"
               << Interner.str(paths::endValue(*R->Tree, Ctx.End))
               << (Ctx.Semi ? "\t(semi)" : "") << "\n";
   }
@@ -213,56 +233,122 @@ int cmdExtract(Language Lang, const paths::ExtractionConfig &Config,
 }
 
 //===----------------------------------------------------------------------===//
-// train
+// Corpus artifact pipeline (extract --out / train / eval)
 //===----------------------------------------------------------------------===//
 
-int cmdTrain(Language Lang, Task TaskKind, const std::string &OutPath,
-             const std::vector<std::string> &Roots) {
-  std::vector<std::string> Sources = collectSources(Roots, Lang);
+/// Reads the source files under \p Roots into parseCorpus() inputs. The
+/// project of a file is its parent directory, so corpora laid out one
+/// directory per project keep their split structure.
+std::vector<datagen::SourceFile>
+loadSourceFiles(const std::vector<std::string> &Roots, Language Lang) {
+  std::vector<datagen::SourceFile> Out;
+  for (const std::string &Path : collectSources(Roots, Lang)) {
+    auto Text = readFile(Path);
+    if (!Text) {
+      std::cerr << "warning: cannot read " << Path << ", skipped\n";
+      continue;
+    }
+    datagen::SourceFile File;
+    File.Project = std::filesystem::path(Path).parent_path().string();
+    File.FileName = Path;
+    File.Text = std::move(*Text);
+    Out.push_back(std::move(File));
+  }
+  return Out;
+}
+
+/// The parse+extract front half shared by `extract --out`, direct
+/// `train`, and direct `eval`: parse the sources into a corpus (sharded,
+/// bit-identical at any thread count) and resolve the extracted contexts
+/// into an artifact. \returns std::nullopt (with a message) when no
+/// source parses.
+std::optional<ContextsArtifact>
+buildArtifactFromRoots(Language Lang, Task TaskKind,
+                       const paths::ExtractionConfig &Extraction,
+                       const std::vector<std::string> &Roots) {
+  std::vector<datagen::SourceFile> Sources = loadSourceFiles(Roots, Lang);
   if (Sources.empty()) {
     std::cerr << "error: no " << extensionFor(Lang)
               << " files under the given paths\n";
+    return std::nullopt;
+  }
+  Corpus C = parseCorpus(Sources, Lang); // Opens its own "parse" phase.
+  std::cerr << "parsed " << C.Files.size() << "/" << Sources.size()
+            << " files (" << C.ParseFailures << " dropped)\n";
+  if (C.Files.empty()) {
+    std::cerr << "error: every file failed to parse\n";
+    return std::nullopt;
+  }
+  CrfExperimentOptions Options;
+  Options.Extraction = Extraction;
+  return buildContextsArtifact(C, TaskKind, Options);
+}
+
+int cmdExtractCorpus(Language Lang, Task TaskKind,
+                     const paths::ExtractionConfig &Extraction,
+                     const std::string &OutPath,
+                     const std::vector<std::string> &Roots) {
+  auto Art = buildArtifactFromRoots(Lang, TaskKind, Extraction, Roots);
+  if (!Art)
+    return 1;
+  size_t NumContexts = 0;
+  for (const FileRecord &Rec : Art->Files)
+    NumContexts += Rec.Contexts.size();
+  std::ofstream Out(OutPath, std::ios::binary);
+  if (!Out) {
+    std::cerr << "error: cannot write " << OutPath << "\n";
     return 1;
   }
+  telemetry::TraceScope Phase("save");
+  saveContexts(Out, *Art);
+  std::cerr << "wrote " << NumContexts << " contexts over "
+            << Art->Files.size() << " files, " << Art->Table.size()
+            << " distinct paths to " << OutPath << "\n";
+  return 0;
+}
 
-  ModelBundle Bundle;
-  Bundle.Lang = Lang;
-  Bundle.Interner = std::make_unique<StringInterner>();
-  Bundle.Extraction = tunedExtraction(Lang, TaskKind);
-  Bundle.TaskKind = TaskKind;
-
-  crf::ElementSelector Selector = selectorFor(TaskKind);
-  auto &Reg = telemetry::MetricsRegistry::global();
-  telemetry::Counter &FilesOk = Reg.counter("parse.files.ok");
-  telemetry::Counter &FilesFailed = Reg.counter("parse.files.failed");
-  std::vector<crf::CrfGraph> Graphs;
-  size_t Failures = 0;
-  for (const std::string &Path : Sources) {
-    auto Text = readFile(Path);
-    if (!Text) {
-      ++Failures;
-      FilesFailed.inc();
-      continue;
-    }
-    std::optional<lang::ParseResult> R;
-    {
-      telemetry::TraceScope Phase("parse");
-      R = parseAs(Lang, *Text, *Bundle.Interner);
-    }
-    if (!R->Tree || !R->Diags.empty()) {
-      ++Failures;
-      FilesFailed.inc();
-      continue;
-    }
-    FilesOk.inc();
-    telemetry::TraceScope Phase("extract");
-    auto Contexts = paths::extractPathContexts(*R->Tree, Bundle.Extraction,
-                                               Bundle.Table);
-    Graphs.push_back(crf::buildGraph(*R->Tree, Contexts, Selector));
+std::unique_ptr<ContextsArtifact>
+loadContextsFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::cerr << "error: cannot read " << Path << "\n";
+    return nullptr;
   }
-  std::cerr << "parsed " << Graphs.size() << "/" << Sources.size()
-            << " files (" << Failures << " skipped)\n";
+  telemetry::TraceScope Phase("load");
+  auto Art = loadContexts(In);
+  if (!Art)
+    std::cerr << "error: " << Path
+              << " is not a pigeon.contexts.v1 artifact\n";
+  return Art;
+}
 
+//===----------------------------------------------------------------------===//
+// train
+//===----------------------------------------------------------------------===//
+
+/// Trains and saves a bundle from an artifact (loaded or just built).
+/// Both `train` routes converge here, which is what makes them produce
+/// byte-identical bundles for the same corpus.
+int trainFromArtifact(ContextsArtifact &&Art, const std::string &OutPath) {
+  ModelBundle Bundle;
+  Bundle.Lang = Art.Lang;
+  Bundle.TaskKind = Art.TaskKind;
+  Bundle.Extraction = Art.Extraction;
+  Bundle.Interner = std::move(Art.Interner);
+  Bundle.Table = std::move(Art.Table);
+
+  crf::ElementSelector Selector = selectorFor(Bundle.TaskKind);
+  std::vector<crf::CrfGraph> Graphs;
+  Graphs.reserve(Art.Files.size());
+  {
+    telemetry::TraceScope Phase("assemble");
+    for (const FileRecord &Rec : Art.Files) {
+      crf::CrfGraph G = buildGraphFromRecord(Rec, Selector);
+      if (Art.TriContexts)
+        addTriFactorsFromRecord(G, Rec, Selector, *Bundle.Interner);
+      Graphs.push_back(std::move(G));
+    }
+  }
   {
     telemetry::TraceScope Phase("train");
     Bundle.Model.train(Graphs);
@@ -278,6 +364,116 @@ int cmdTrain(Language Lang, Task TaskKind, const std::string &OutPath,
   telemetry::TraceScope Phase("save");
   saveModel(Out, Bundle);
   std::cerr << "saved model to " << OutPath << "\n";
+  return 0;
+}
+
+int cmdTrain(Language Lang, Task TaskKind, const std::string &OutPath,
+             const std::vector<std::string> &Roots) {
+  auto Art =
+      buildArtifactFromRoots(Lang, TaskKind, tunedExtraction(Lang, TaskKind),
+                             Roots);
+  if (!Art)
+    return 1;
+  return trainFromArtifact(std::move(*Art), OutPath);
+}
+
+int cmdTrainFromContexts(const std::string &ContextsPath,
+                         const std::string &OutPath) {
+  auto Art = loadContextsFile(ContextsPath);
+  if (!Art)
+    return 1;
+  if (Art->TaskKind == Task::FullTypes) {
+    std::cerr << "error: contexts artifact is for the types task, which "
+                 "trains through `pigeon explain`/experiments only\n";
+    return 1;
+  }
+  return trainFromArtifact(std::move(*Art), OutPath);
+}
+
+//===----------------------------------------------------------------------===//
+// eval
+//===----------------------------------------------------------------------===//
+
+int cmdEval(const std::string &ModelPath, const std::string &ContextsPath,
+            const std::optional<Language> &Lang,
+            const std::vector<std::string> &Roots) {
+  std::ifstream In(ModelPath, std::ios::binary);
+  if (!In) {
+    std::cerr << "error: cannot read " << ModelPath << "\n";
+    return 1;
+  }
+  std::unique_ptr<ModelBundle> Bundle;
+  {
+    telemetry::TraceScope Phase("load");
+    Bundle = loadModel(In);
+  }
+  if (!Bundle) {
+    std::cerr << "error: " << ModelPath << " is not a PIGEON model\n";
+    return 1;
+  }
+
+  std::unique_ptr<ContextsArtifact> Art;
+  if (!ContextsPath.empty()) {
+    Art = loadContextsFile(ContextsPath);
+    if (!Art)
+      return 1;
+    if (Art->Lang != Bundle->Lang || Art->TaskKind != Bundle->TaskKind) {
+      std::cerr << "error: contexts artifact language/task does not match "
+                   "the model\n";
+      return 1;
+    }
+  } else {
+    // Direct route: extract with the model's own configuration so the
+    // contexts match what it was trained on.
+    auto Built = buildArtifactFromRoots(*Lang, Bundle->TaskKind,
+                                        Bundle->Extraction, Roots);
+    if (!Built)
+      return 1;
+    Art = std::make_unique<ContextsArtifact>(std::move(*Built));
+  }
+
+  // The artifact speaks its own symbol space; rebase it onto the
+  // bundle's interner and path table before scoring.
+  if (!rebaseArtifact(*Art, *Bundle->Interner, Bundle->Table)) {
+    std::cerr << "error: corrupt contexts artifact (out-of-range symbols "
+                 "or paths)\n";
+    return 1;
+  }
+
+  crf::ElementSelector Selector = selectorFor(Art->TaskKind);
+  std::vector<crf::CrfGraph> Graphs;
+  Graphs.reserve(Art->Files.size());
+  {
+    telemetry::TraceScope Phase("assemble");
+    for (const FileRecord &Rec : Art->Files) {
+      crf::CrfGraph G = buildGraphFromRecord(Rec, Selector);
+      if (Art->TriContexts)
+        addTriFactorsFromRecord(G, Rec, Selector, *Bundle->Interner);
+      Graphs.push_back(std::move(G));
+    }
+  }
+
+  telemetry::TraceScope Phase("eval");
+  std::vector<std::vector<Symbol>> Preds =
+      Bundle->Model.predictBatch(Graphs);
+  size_t Total = 0, Correct = 0;
+  const StringInterner &SI = *Bundle->Interner;
+  for (size_t I = 0; I < Graphs.size(); ++I) {
+    for (uint32_t N : Graphs[I].Unknowns) {
+      ++Total;
+      if (Preds[I][N].isValid() &&
+          SI.str(Preds[I][N]) == SI.str(Graphs[I].Nodes[N].Gold))
+        ++Correct;
+    }
+  }
+  double Accuracy =
+      Total == 0 ? 0.0
+                 : static_cast<double>(Correct) / static_cast<double>(Total);
+  telemetry::MetricsRegistry::global()
+      .gauge("eval.cli.accuracy")
+      .set(Accuracy);
+  std::printf("accuracy %.6f (%zu/%zu predictions)\n", Accuracy, Correct,
+              Total);
   return 0;
 }
 
@@ -525,7 +721,8 @@ int main(int argc, char **argv) {
 
   // Shared flag parsing.
   std::optional<Language> Lang;
-  std::string ModelPath, OutPath, MetricsPath, TracePath, TaskName = "vars";
+  std::string ModelPath, OutPath, MetricsPath, TracePath, ContextsPath;
+  std::string TaskName = "vars";
   int Projects = 24;
   int TopK = 5;
   uint64_t Seed = 2018;
@@ -545,6 +742,12 @@ int main(int argc, char **argv) {
       ModelPath = Value();
     } else if (Arg == "--out") {
       OutPath = Value();
+    } else if (Arg == "--from-contexts") {
+      ContextsPath = Value();
+      if (ContextsPath.empty()) {
+        std::cerr << "error: --from-contexts requires a file path\n";
+        return 2;
+      }
     } else if (Arg == "--metrics") {
       MetricsPath = Value();
       if (MetricsPath.empty()) {
@@ -594,8 +797,6 @@ int main(int argc, char **argv) {
       Positional.push_back(Arg);
     }
   }
-  (void)ExtractionFlagsSeen;
-
   // --metrics/--trace win; PIGEON_METRICS/PIGEON_TRACE are the fallbacks
   // so wrappers can turn instrumentation on without touching command
   // lines.
@@ -625,21 +826,55 @@ int main(int argc, char **argv) {
 
   std::optional<int> RC;
   try {
-    if (Command == "extract") {
-      if (!Lang || Positional.size() != 1)
-        return usage();
-      RC = cmdExtract(*Lang, Extraction, Positional[0]);
-    } else if (Command == "train") {
-      if (!Lang || OutPath.empty() || Positional.empty())
-        return usage();
-      Task TaskKind;
+    auto ParseTask = [&]() -> std::optional<Task> {
       if (TaskName == "vars")
-        TaskKind = Task::VariableNames;
-      else if (TaskName == "methods")
-        TaskKind = Task::MethodNames;
-      else
+        return Task::VariableNames;
+      if (TaskName == "methods")
+        return Task::MethodNames;
+      return std::nullopt;
+    };
+    if (Command == "extract") {
+      if (!OutPath.empty()) {
+        // Corpus mode: write a pigeon.contexts.v1 artifact.
+        if (!Lang || Positional.empty())
+          return usage();
+        auto TaskKind = ParseTask();
+        if (!TaskKind)
+          return usage();
+        RC = cmdExtractCorpus(*Lang, *TaskKind,
+                              ExtractionFlagsSeen
+                                  ? Extraction
+                                  : tunedExtraction(*Lang, *TaskKind),
+                              OutPath, Positional);
+      } else {
+        if (!Lang || Positional.size() != 1)
+          return usage();
+        RC = cmdExtract(*Lang, Extraction, Positional[0]);
+      }
+    } else if (Command == "train") {
+      if (OutPath.empty())
         return usage();
-      RC = cmdTrain(*Lang, TaskKind, OutPath, Positional);
+      if (!ContextsPath.empty()) {
+        // Language, task, and extraction config come from the artifact.
+        if (!Positional.empty())
+          return usage();
+        RC = cmdTrainFromContexts(ContextsPath, OutPath);
+      } else {
+        if (!Lang || Positional.empty())
+          return usage();
+        auto TaskKind = ParseTask();
+        if (!TaskKind)
+          return usage();
+        RC = cmdTrain(*Lang, *TaskKind, OutPath, Positional);
+      }
+    } else if (Command == "eval") {
+      if (ModelPath.empty())
+        return usage();
+      if (ContextsPath.empty() && (!Lang || Positional.empty()))
+        return usage();
+      if (!ContextsPath.empty() && !Positional.empty())
+        return usage();
+      RC = cmdEval(ModelPath, ContextsPath, Lang, Positional);
     } else if (Command == "predict") {
       if (ModelPath.empty() || Positional.size() != 1)
         return usage();
