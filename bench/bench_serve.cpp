@@ -1,0 +1,169 @@
+//===- bench_serve.cpp - Resident service throughput bench -----------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the resident prediction service: requests/second for one
+/// sequential client versus several concurrent clients over the same
+/// trained bundle. The concurrent number is the one micro-batching
+/// exists for — overlapping clients coalesce into predictBatch calls
+/// and the parallel parse front-half — so the bench fails (exit 1) if
+/// concurrency does not beat the sequential client: that would mean the
+/// batching pipeline costs more than it amortizes.
+///
+/// Sidecar gauges (`serve.requests_per_sec*`) feed the bench-trajectory
+/// throughput gate like every other `per_sec` metric.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/ContextsIO.h"
+#include "core/ModelIO.h"
+#include "serve/Serve.h"
+#include "support/TablePrinter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace pigeon;
+using namespace pigeon::core;
+using pigeon::lang::Language;
+
+namespace {
+
+/// Requests are held-out sources: a fresh seed the training corpus never
+/// saw, exercising the novel-symbol remap path like real traffic would.
+std::vector<std::string> requestLines(int Count) {
+  datagen::CorpusSpec Spec =
+      datagen::defaultSpec(Language::JavaScript, bench::BenchSeed + 1);
+  Spec.NumProjects = 8;
+  std::vector<datagen::SourceFile> Files = datagen::generateCorpus(Spec);
+  std::vector<std::string> Lines;
+  for (int I = 0; I < Count; ++I)
+    Lines.push_back(
+        "{\"id\":" + std::to_string(I) + ",\"lang\":\"js\",\"source\":" +
+        telemetry::jsonString(Files[I % Files.size()].Text) + "}");
+  return Lines;
+}
+
+std::string savedBundle() {
+  Corpus C = bench::benchCorpus(Language::JavaScript, /*Projects=*/24);
+  ContextsArtifact Art = buildContextsArtifact(
+      C, Task::VariableNames,
+      bench::tunedOptions(Language::JavaScript, Task::VariableNames));
+  ModelBundle Bundle;
+  Bundle.Lang = Art.Lang;
+  Bundle.TaskKind = Art.TaskKind;
+  Bundle.Extraction = Art.Extraction;
+  Bundle.Interner = std::move(Art.Interner);
+  Bundle.Table = std::move(Art.Table);
+  crf::ElementSelector Selector = selectorFor(Art.TaskKind);
+  std::vector<crf::CrfGraph> Graphs;
+  for (const FileRecord &Rec : Art.Files)
+    Graphs.push_back(buildGraphFromRecord(Rec, Selector));
+  {
+    telemetry::TraceScope Phase("train");
+    Bundle.Model.train(Graphs);
+  }
+  std::stringstream Buffer;
+  saveModel(Buffer, Bundle);
+  return Buffer.str();
+}
+
+std::unique_ptr<ModelBundle> loadBundle(const std::string &Bytes) {
+  std::stringstream Buffer(Bytes);
+  return loadModel(Buffer);
+}
+
+double runSingle(serve::Service &S, const std::vector<std::string> &Lines) {
+  telemetry::TraceScope Phase("serve.bench.single");
+  auto Start = std::chrono::steady_clock::now();
+  for (const std::string &Line : Lines)
+    S.handleOne(Line);
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  return static_cast<double>(Lines.size()) / Wall;
+}
+
+double runConcurrent(serve::Service &S, const std::vector<std::string> &Lines,
+                     int Clients) {
+  telemetry::TraceScope Phase("serve.bench.concurrent");
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < Clients; ++T)
+    Threads.emplace_back([&S, &Lines, T, Clients] {
+      for (size_t I = static_cast<size_t>(T); I < Lines.size();
+           I += static_cast<size_t>(Clients))
+        S.handleOne(Lines[I]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  return static_cast<double>(Lines.size()) / Wall;
+}
+
+} // namespace
+
+int main() {
+  const std::string Bytes = savedBundle();
+  const std::vector<std::string> Lines = requestLines(96);
+  const int Clients = 8;
+
+  // Sequential client: flush immediately — with exactly one request in
+  // flight, waiting for stragglers is pure added latency.
+  serve::ServeConfig SingleConfig;
+  SingleConfig.FlushMicros = 0;
+  double SingleRps;
+  {
+    serve::Service S(loadBundle(Bytes), SingleConfig);
+    SingleRps = runSingle(S, Lines);
+  }
+
+  // Concurrent clients: batch size matched to the closed-loop client
+  // count so full batches flush on size, not on the straggler deadline
+  // — with N blocking clients there are never more than N requests in
+  // flight, so a larger MaxBatch would wait out FlushMicros every round.
+  serve::ServeConfig ConcurrentConfig;
+  ConcurrentConfig.MaxBatch = Clients;
+  double ConcurrentRps;
+  {
+    serve::Service S(loadBundle(Bytes), ConcurrentConfig);
+    ConcurrentRps = runConcurrent(S, Lines, Clients);
+  }
+
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.gauge("serve.requests_per_sec").set(ConcurrentRps);
+  Reg.gauge("serve.requests_per_sec.single").set(SingleRps);
+  Reg.gauge("serve.requests_per_sec.concurrent").set(ConcurrentRps);
+
+  TablePrinter Out("pigeon serve throughput (" +
+                   std::to_string(Lines.size()) + " requests)");
+  Out.setHeader({"Mode", "Clients", "Requests/s"});
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", SingleRps);
+  Out.addRow({"sequential", "1", Buf});
+  std::snprintf(Buf, sizeof(Buf), "%.1f", ConcurrentRps);
+  Out.addRow({"concurrent", std::to_string(Clients), Buf});
+  Out.print(std::cout);
+
+  bench::writeBenchSidecar("bench_serve");
+
+  if (ConcurrentRps <= SingleRps) {
+    std::fprintf(stderr,
+                 "error: concurrent throughput (%.1f rps) did not beat the "
+                 "sequential client (%.1f rps) — batching is not paying for "
+                 "itself\n",
+                 ConcurrentRps, SingleRps);
+    return 1;
+  }
+  return 0;
+}

@@ -6,10 +6,13 @@
 
 #include "core/ContextsIO.h"
 
+#include "core/ModelIO.h"
+
 #include "support/BinaryIO.h"
 #include "support/Telemetry.h"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <unordered_map>
 
@@ -442,4 +445,44 @@ bool core::rebaseArtifact(ContextsArtifact &Art, StringInterner &TargetSI,
     }
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation over a rebased artifact
+//===----------------------------------------------------------------------===//
+
+double EvalStats::accuracy() const {
+  if (Total == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(Correct) / static_cast<double>(Total);
+}
+
+EvalStats core::evalArtifact(ModelBundle &Bundle,
+                             const ContextsArtifact &Artifact) {
+  ElementSelector Selector = selectorFor(Artifact.TaskKind);
+  std::vector<CrfGraph> Graphs;
+  Graphs.reserve(Artifact.Files.size());
+  {
+    telemetry::TraceScope Phase("assemble");
+    for (const FileRecord &Rec : Artifact.Files) {
+      CrfGraph G = buildGraphFromRecord(Rec, Selector);
+      if (Artifact.TriContexts)
+        addTriFactorsFromRecord(G, Rec, Selector, *Bundle.Interner);
+      Graphs.push_back(std::move(G));
+    }
+  }
+
+  telemetry::TraceScope Phase("eval");
+  std::vector<std::vector<Symbol>> Preds = Bundle.Model.predictBatch(Graphs);
+  EvalStats Stats;
+  const StringInterner &SI = *Bundle.Interner;
+  for (size_t I = 0; I < Graphs.size(); ++I) {
+    for (uint32_t N : Graphs[I].Unknowns) {
+      ++Stats.Total;
+      if (Preds[I][N].isValid() &&
+          SI.str(Preds[I][N]) == SI.str(Graphs[I].Nodes[N].Gold))
+        ++Stats.Correct;
+    }
+  }
+  return Stats;
 }

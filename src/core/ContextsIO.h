@@ -39,6 +39,8 @@
 namespace pigeon {
 namespace core {
 
+struct ModelBundle;
+
 /// One path-context with its ends resolved to graph-assembly inputs.
 /// For semi-paths EndElem is invalid and EndValue is the ancestor's
 /// *kind* symbol (the known pseudo-node label); otherwise EndValue is the
@@ -109,6 +111,28 @@ crf::CrfGraph buildGraphFromRecord(const FileRecord &File,
 void addTriFactorsFromRecord(crf::CrfGraph &Graph, const FileRecord &File,
                              const crf::ElementSelector &Selector,
                              StringInterner &Interner);
+
+/// Accuracy tally of one evaluation run. Total == 0 means the corpus had
+/// nothing to evaluate (no predictable elements) — callers must surface
+/// that explicitly instead of presenting a 0-of-0 run as a real score
+/// (the CLI prints an "n=0, no elements" note and exits nonzero; a
+/// previous version fed the degenerate 0.0 straight into the trajectory).
+struct EvalStats {
+  size_t Total = 0;
+  size_t Correct = 0;
+  /// Correct / Total; NaN when Total == 0 — there is no meaningful
+  /// accuracy of nothing (mirrors Histogram::percentile's empty
+  /// contract; NaN serializes as `null`, never as a fake score).
+  double accuracy() const;
+};
+
+/// Scores \p Bundle on \p Artifact, which must already be rebased onto
+/// the bundle's interner and path table (see rebaseArtifact): assembles
+/// the CRF graphs — tri factors included when the artifact carries them —
+/// batch-predicts sharded over the process-default workers, and tallies
+/// unknown-element accuracy. Takes the bundle mutably because composite
+/// tri-factor labels intern into its symbol space.
+EvalStats evalArtifact(ModelBundle &Bundle, const ContextsArtifact &Artifact);
 
 /// Rebases \p Artifact onto an existing symbol/path space (a loaded model
 /// bundle's): interns every artifact string into \p TargetSI, rewrites

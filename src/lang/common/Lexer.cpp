@@ -42,7 +42,12 @@ const char *lang::tokenKindName(TokenKind Kind) {
 }
 
 std::string_view Token::stringValue() const {
-  assert(Kind == TokenKind::StringLiteral && "not a string literal");
+  // Always-on precondition (asserts are compiled out in Release): a
+  // non-string token has no quotes to strip, so return its text verbatim
+  // instead of corrupting it — callers treat the value opaquely and the
+  // parser diagnostics cover the underlying confusion.
+  if (Kind != TokenKind::StringLiteral)
+    return Text;
   if (Text.size() >= 2)
     return Text.substr(1, Text.size() - 2);
   return Text;
@@ -100,7 +105,16 @@ void Lexer::emit(TokenKind Kind, size_t Start) {
 }
 
 void Lexer::skipBlockComment() {
-  assert(peek() == '/' && peek(1) == '*' && "not at a block comment");
+  // Always-on precondition: called off a "/*" the cursor math below would
+  // walk garbage. Raise a diagnostic and consume one character so the
+  // lexer keeps making progress in Release builds too.
+  if (peek() != '/' || peek(1) != '*') {
+    Diags.error(static_cast<uint32_t>(Pos),
+                "lexer desync: expected block comment");
+    if (!atEnd())
+      ++Pos;
+    return;
+  }
   size_t Start = Pos;
   Pos += 2;
   while (!atEnd()) {

@@ -855,8 +855,12 @@ private:
     parseBinaryLevel(Prec + 1, StopAtQuestion);
     for (const std::string &ExpectedOp : Ops) {
       std::string Op = std::string(advance().Text);
-      assert(Op == ExpectedOp && "operator drift");
-      (void)ExpectedOp;
+      // Always-on drift check (asserts vanish in Release): a mismatch
+      // between the lookahead scan and the parse raises a diagnostic so
+      // the pipeline drops the file instead of keeping a wrong AST.
+      if (Op != ExpectedOp)
+        error("operator drift: expected '" + ExpectedOp + "', found '" +
+              Op + "'");
       if (Op == "is" || Op == "as")
         parseType();
       else

@@ -568,7 +568,15 @@ private:
     parseBinaryLevel(Prec + 1, StopAtQuestion);
     for (int I = 0; I < Count; ++I) {
       std::string Op = std::string(advance().Text);
-      assert(Op == Ops[static_cast<size_t>(I)] && "operator drift");
+      // Operator drift: the lookahead scan and the actual parse disagree
+      // about this level's operator chain. A bare assert here is compiled
+      // out of Release builds — the exact builds CI benches — so this is
+      // an always-on diagnostic instead: the file gets dropped by the
+      // corpus pipeline (counted under parse.fail.reason.*) rather than
+      // silently producing a wrong AST.
+      if (Op != Ops[static_cast<size_t>(I)])
+        error("operator drift: expected '" + Ops[static_cast<size_t>(I)] +
+              "', found '" + Op + "'");
       parseBinaryLevel(Prec + 1, StopAtQuestion);
       Builder.end();
     }

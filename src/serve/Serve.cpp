@@ -1,0 +1,671 @@
+//===- Serve.cpp - Resident prediction service -----------------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "core/Experiments.h"
+#include "lang/csharp/CsParser.h"
+#include "lang/java/JavaParser.h"
+#include "lang/js/JsParser.h"
+#include "lang/python/PyParser.h"
+#include "support/EventLog.h"
+#include "support/Json.h"
+#include "support/Parallel.h"
+#include "support/Telemetry.h"
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pigeon;
+using namespace pigeon::serve;
+using pigeon::lang::Language;
+
+const char *serve::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::BadRequest:
+    return "bad_request";
+  case ErrorCode::UnknownLang:
+    return "unknown_lang";
+  case ErrorCode::LangMismatch:
+    return "lang_mismatch";
+  case ErrorCode::UnknownTask:
+    return "unknown_task";
+  case ErrorCode::TaskMismatch:
+    return "task_mismatch";
+  case ErrorCode::SourceTooLarge:
+    return "source_too_large";
+  case ErrorCode::ParseFailed:
+    return "parse_failed";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline_exceeded";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::ShuttingDown:
+    return "shutting_down";
+  }
+  return "internal";
+}
+
+namespace {
+
+/// One request after JSON decoding, before pipeline work.
+struct Decoded {
+  std::string IdJson = "null"; ///< Pre-rendered echo of the request id.
+  Language Lang = Language::JavaScript;
+  std::string Source;
+  int K = 3;
+  bool Explain = false;
+  double DeadlineMs = -1; ///< Negative = no deadline.
+};
+
+std::string renderError(const std::string &IdJson, ErrorCode Code,
+                        const std::string &Message) {
+  std::string Out = "{\"schema\":\"pigeon.serve.v1\",\"id\":" + IdJson +
+                    ",\"ok\":false,\"error\":{\"code\":\"";
+  Out += errorCodeName(Code);
+  Out += "\",\"message\":";
+  Out += telemetry::jsonString(Message);
+  Out += "}}";
+  return Out;
+}
+
+/// Renders the scalar request id back out; non-scalar kinds are the
+/// caller's problem (rejected as bad_request before this runs).
+std::string renderIdEcho(const json::Value &Id) {
+  switch (Id.kind()) {
+  case json::Value::Kind::Null:
+    return "null";
+  case json::Value::Kind::Bool:
+    return Id.boolean() ? "true" : "false";
+  case json::Value::Kind::Number:
+    return telemetry::jsonNumber(Id.number());
+  case json::Value::Kind::String:
+    return telemetry::jsonString(Id.str());
+  default:
+    return "null";
+  }
+}
+
+std::optional<Language> languageFromRequest(const std::string &Name) {
+  if (Name == "js" || Name == "javascript")
+    return Language::JavaScript;
+  if (Name == "java")
+    return Language::Java;
+  if (Name == "py" || Name == "python")
+    return Language::Python;
+  if (Name == "cs" || Name == "csharp")
+    return Language::CSharp;
+  return std::nullopt;
+}
+
+std::optional<core::Task> taskFromRequest(const std::string &Name) {
+  if (Name == "vars")
+    return core::Task::VariableNames;
+  if (Name == "methods")
+    return core::Task::MethodNames;
+  if (Name == "types")
+    return core::Task::FullTypes;
+  return std::nullopt;
+}
+
+lang::ParseResult parseAs(Language Lang, const std::string &Text,
+                          StringInterner &SI) {
+  switch (Lang) {
+  case Language::JavaScript:
+    return js::parse(Text, SI);
+  case Language::Java:
+    return java::parse(Text, SI);
+  case Language::Python:
+    return py::parse(Text, SI);
+  case Language::CSharp:
+    return cs::parse(Text, SI);
+  }
+  return {};
+}
+
+/// Decodes and validates one request line against \p Bundle and
+/// \p Config. On failure returns the rendered error response (and leaves
+/// \p Out partially filled — only IdJson is meaningful then).
+std::optional<std::string> decodeRequest(const std::string &Line,
+                                         const core::ModelBundle &Bundle,
+                                         const ServeConfig &Config,
+                                         Decoded &Out) {
+  std::string ParseError;
+  std::optional<json::Value> Doc = json::parse(Line, &ParseError);
+  if (!Doc)
+    return renderError(Out.IdJson, ErrorCode::BadRequest,
+                       "malformed JSON: " + ParseError);
+  if (!Doc->isObject())
+    return renderError(Out.IdJson, ErrorCode::BadRequest,
+                       "request must be a JSON object");
+
+  if (const json::Value *Id = Doc->find("id")) {
+    if (Id->isArray() || Id->isObject())
+      return renderError(Out.IdJson, ErrorCode::BadRequest,
+                         "id must be a scalar");
+    Out.IdJson = renderIdEcho(*Id);
+  }
+
+  const json::Value *Lang = Doc->find("lang");
+  if (!Lang || !Lang->isString())
+    return renderError(Out.IdJson, ErrorCode::BadRequest,
+                       "missing string field \"lang\"");
+  std::optional<Language> L = languageFromRequest(Lang->str());
+  if (!L)
+    return renderError(Out.IdJson, ErrorCode::UnknownLang,
+                       "unknown language \"" + Lang->str() + "\"");
+  if (*L != Bundle.Lang)
+    return renderError(Out.IdJson, ErrorCode::LangMismatch,
+                       std::string("model serves ") +
+                           lang::languageName(Bundle.Lang) + ", not " +
+                           lang::languageName(*L));
+  Out.Lang = *L;
+
+  if (const json::Value *Task = Doc->find("task")) {
+    if (!Task->isString())
+      return renderError(Out.IdJson, ErrorCode::BadRequest,
+                         "task must be a string");
+    std::optional<core::Task> T = taskFromRequest(Task->str());
+    if (!T)
+      return renderError(Out.IdJson, ErrorCode::UnknownTask,
+                         "unknown task \"" + Task->str() + "\"");
+    if (*T != Bundle.TaskKind)
+      return renderError(Out.IdJson, ErrorCode::TaskMismatch,
+                         std::string("model serves the ") +
+                             core::taskName(Bundle.TaskKind) + " task");
+  }
+
+  const json::Value *Source = Doc->find("source");
+  if (!Source || !Source->isString())
+    return renderError(Out.IdJson, ErrorCode::BadRequest,
+                       "missing string field \"source\"");
+  if (Source->str().size() > Config.MaxSourceBytes)
+    return renderError(Out.IdJson, ErrorCode::SourceTooLarge,
+                       "source is " + std::to_string(Source->str().size()) +
+                           " bytes; limit is " +
+                           std::to_string(Config.MaxSourceBytes));
+  Out.Source = Source->str();
+
+  Out.K = Config.DefaultK;
+  if (const json::Value *K = Doc->find("k")) {
+    if (!K->isNumber() || K->number() < 1 ||
+        K->number() > static_cast<double>(Config.MaxK))
+      return renderError(Out.IdJson, ErrorCode::BadRequest,
+                         "k must be a number in [1, " +
+                             std::to_string(Config.MaxK) + "]");
+    Out.K = static_cast<int>(K->number());
+  }
+
+  if (const json::Value *Explain = Doc->find("explain")) {
+    if (!Explain->isBool())
+      return renderError(Out.IdJson, ErrorCode::BadRequest,
+                         "explain must be a boolean");
+    Out.Explain = Explain->boolean();
+  }
+
+  if (const json::Value *Deadline = Doc->find("deadline_ms")) {
+    if (!Deadline->isNumber() || Deadline->number() < 0)
+      return renderError(Out.IdJson, ErrorCode::BadRequest,
+                         "deadline_ms must be a non-negative number");
+    Out.DeadlineMs = Deadline->number();
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Service
+//===----------------------------------------------------------------------===//
+
+Service::Service(std::unique_ptr<core::ModelBundle> Bundle,
+                 ServeConfig Config)
+    : Bundle(std::move(Bundle)), Config(Config) {
+  Batcher = std::thread([this] { batcherLoop(); });
+}
+
+Service::~Service() { shutdown(); }
+
+size_t Service::queueDepth() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return Queue.size();
+}
+
+void Service::submit(std::string Line, Callback Done) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.counter("serve.requests").inc();
+  std::unique_lock<std::mutex> L(Mutex);
+  if (Stopping) {
+    L.unlock();
+    Reg.counter("serve.responses.error").inc();
+    Done(renderError("null", ErrorCode::ShuttingDown,
+                     "service is shutting down"));
+    return;
+  }
+  if (Queue.size() >= Config.QueueCapacity) {
+    L.unlock();
+    // Admission-time rejection: the id is inside the line we refuse to
+    // parse under load, so overloaded responses carry a null id.
+    Reg.counter("serve.overloaded").inc();
+    Reg.counter("serve.responses.error").inc();
+    Done(renderError("null", ErrorCode::Overloaded,
+                     "admission queue full (capacity " +
+                         std::to_string(Config.QueueCapacity) + ")"));
+    return;
+  }
+  Pending P;
+  P.Seq = NextSeq++;
+  P.Line = std::move(Line);
+  P.Done = std::move(Done);
+  P.Arrival = std::chrono::steady_clock::now();
+  Queue.push_back(std::move(P));
+  Reg.gauge("serve.queue.depth").set(static_cast<double>(Queue.size()));
+  L.unlock();
+  WorkCV.notify_one();
+}
+
+std::string Service::handleOne(const std::string &Line) {
+  auto Result = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> F = Result->get_future();
+  submit(Line,
+         [Result](std::string Response) { Result->set_value(std::move(Response)); });
+  return F.get();
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> L(Mutex);
+  IdleCV.wait(L, [&] { return Queue.empty() && !BatchInFlight; });
+}
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    Stopping = true;
+    Paused = false;
+  }
+  WorkCV.notify_all();
+  if (Batcher.joinable())
+    Batcher.join();
+}
+
+void Service::pause() {
+  std::lock_guard<std::mutex> L(Mutex);
+  Paused = true;
+}
+
+void Service::resume() {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    Paused = false;
+  }
+  WorkCV.notify_all();
+}
+
+void Service::batcherLoop() {
+  std::unique_lock<std::mutex> L(Mutex);
+  while (true) {
+    WorkCV.wait(L, [&] {
+      return (Stopping && Queue.empty()) || (!Paused && !Queue.empty());
+    });
+    if (Queue.empty())
+      return; // Stopping with nothing left: clean exit.
+
+    // Open a batch: take what is here, then give stragglers FlushMicros
+    // to coalesce before paying a predictBatch dispatch. The batch is
+    // in flight from this point — the straggler wait below releases the
+    // mutex while requests sit in the local Batch, and drain() must not
+    // mistake that empty queue for an idle service.
+    BatchInFlight = true;
+    auto FlushAt = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(Config.FlushMicros);
+    std::vector<Pending> Batch;
+    while (Batch.size() < Config.MaxBatch) {
+      if (Queue.empty()) {
+        bool More = WorkCV.wait_until(
+            L, FlushAt, [&] { return !Queue.empty() || Stopping; });
+        if (!More || Queue.empty())
+          break;
+      }
+      Batch.push_back(std::move(Queue.front()));
+      Queue.pop_front();
+    }
+    telemetry::MetricsRegistry::global()
+        .gauge("serve.queue.depth")
+        .set(static_cast<double>(Queue.size()));
+    L.unlock();
+    processBatch(std::move(Batch));
+    L.lock();
+    BatchInFlight = false;
+    IdleCV.notify_all();
+  }
+}
+
+void Service::processBatch(std::vector<Pending> Batch) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  telemetry::TraceScope BatchScope("serve.batch");
+  Reg.histogram("serve.batch.size", telemetry::linearBounds(1, 32))
+      .observe(static_cast<double>(Batch.size()));
+
+  struct Item {
+    Pending P;
+    Decoded D;
+    std::string Response; ///< Non-empty once the item failed (or finished).
+    ErrorCode Code = ErrorCode::BadRequest; ///< Meaningful when failed.
+    bool Failed = false;
+    std::unique_ptr<StringInterner> LocalSI;
+    lang::ParseResult R;
+    crf::CrfGraph G;
+    size_t GraphIndex = ~size_t(0);
+  };
+  std::vector<Item> Items(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Items[I].P = std::move(Batch[I]);
+
+  auto fail = [&](Item &It, ErrorCode Code, const std::string &Message) {
+    It.Failed = true;
+    It.Code = Code;
+    It.Response = renderError(It.D.IdJson, Code, Message);
+  };
+
+  // Decode + deadline check (serial; JSON decoding is cheap next to
+  // parsing, and failing before the parallel stage keeps malformed input
+  // from ever touching the pipeline).
+  {
+    parallel::StageTimer Timer("serve.decode");
+    auto Now = std::chrono::steady_clock::now();
+    for (Item &It : Items) {
+      if (auto Error = decodeRequest(It.P.Line, *Bundle, Config, It.D)) {
+        It.Failed = true;
+        It.Response = std::move(*Error);
+        continue;
+      }
+      if (It.D.DeadlineMs >= 0) {
+        double WaitedMs =
+            std::chrono::duration<double, std::milli>(Now - It.P.Arrival)
+                .count();
+        if (WaitedMs > It.D.DeadlineMs)
+          fail(It, ErrorCode::DeadlineExceeded,
+               "deadline of " + telemetry::jsonNumber(It.D.DeadlineMs) +
+                   " ms passed after " + telemetry::jsonNumber(WaitedMs) +
+                   " ms in queue");
+      }
+    }
+  }
+
+  // Parse on the worker pool. Each request parses against its own
+  // private interner, so this stage shares nothing.
+  {
+    parallel::StageTimer Timer("serve.parse");
+    parallel::parallelFor(Items.size(), 0, [&](size_t I) {
+      Item &It = Items[I];
+      if (It.Failed)
+        return;
+      It.LocalSI = std::make_unique<StringInterner>();
+      It.R = parseAs(It.D.Lang, It.D.Source, *It.LocalSI);
+    });
+    for (Item &It : Items)
+      if (!It.Failed && !It.R.Tree) {
+        std::string Reason =
+            It.R.Diags.empty() ? "no tree produced" : It.R.Diags[0].str();
+        fail(It, ErrorCode::ParseFailed, "parse failed: " + Reason);
+      }
+  }
+
+  // Bundle-space section — the only code that touches the resident
+  // interner and path table, serialized by construction (one batcher).
+  // Re-interning each request's local symbols in id order replays their
+  // first-encounter order, so the ids match what a direct parse into the
+  // bundle interner would have assigned (the shard-merge idiom; this is
+  // what makes served responses byte-identical to one-shot predictions).
+  std::vector<crf::CrfGraph> Graphs;
+  {
+    parallel::StageTimer Timer("serve.extract");
+    for (Item &It : Items) {
+      if (It.Failed)
+        continue;
+      std::vector<uint32_t> Map(It.LocalSI->size());
+      for (uint32_t Id = 1; Id < It.LocalSI->size(); ++Id)
+        Map[Id] =
+            Bundle->Interner->intern(It.LocalSI->str(Symbol::fromIndex(Id)))
+                .index();
+      It.R.Tree->remapSymbols(Map, *Bundle->Interner);
+      auto Contexts = paths::extractPathContexts(
+          *It.R.Tree, Bundle->Extraction, Bundle->Table);
+      It.G = crf::buildGraph(*It.R.Tree, Contexts,
+                             core::selectorFor(Bundle->TaskKind));
+      It.GraphIndex = Graphs.size();
+      Graphs.push_back(It.G);
+    }
+  }
+
+  // Inference, sharded inside predictBatch.
+  std::vector<std::vector<Symbol>> Preds;
+  {
+    parallel::StageTimer Timer("serve.predict");
+    Preds = Bundle->Model.predictBatch(Graphs);
+  }
+
+  // Render + deliver in admission order.
+  parallel::StageTimer RenderTimer("serve.render");
+  const StringInterner &SI = *Bundle->Interner;
+  for (Item &It : Items) {
+    if (!It.Failed) {
+      const std::vector<Symbol> &Pred = Preds[It.GraphIndex];
+      std::string Out = "{\"schema\":\"pigeon.serve.v1\",\"id\":" +
+                        It.D.IdJson + ",\"ok\":true,\"predictions\":[";
+      bool FirstNode = true;
+      for (uint32_t N : It.G.Unknowns) {
+        const crf::GraphNode &Node = It.G.Nodes[N];
+        if (!FirstNode)
+          Out += ",";
+        FirstNode = false;
+        Out += "{\"element\":" + telemetry::jsonString(SI.str(Node.Gold));
+        Out += ",\"kind\":";
+        Out += telemetry::jsonString(
+            Node.Element != ast::InvalidElement
+                ? ast::elementKindName(
+                      It.R.Tree->element(Node.Element).Kind)
+                : "?");
+        Out += ",\"candidates\":[";
+        auto Top = Bundle->Model.topK(It.G, N, Pred, It.D.K);
+        bool FirstCand = true;
+        for (const auto &[Label, Score] : Top) {
+          if (!FirstCand)
+            Out += ",";
+          FirstCand = false;
+          Out += "{\"label\":" + telemetry::jsonString(SI.str(Label)) +
+                 ",\"score\":" + telemetry::jsonNumber(Score) + "}";
+        }
+        Out += "]";
+        if (It.D.Explain && Pred[N].isValid()) {
+          crf::NodeExplanation E = Bundle->Model.explain(
+              It.G, N, Pred[N], Pred, Config.ExplainPaths);
+          Out += ",\"explain\":{\"total\":" +
+                 telemetry::jsonNumber(E.Total) +
+                 ",\"bias\":" + telemetry::jsonNumber(E.Bias) +
+                 ",\"paths\":[";
+          bool FirstPath = true;
+          for (const crf::Attribution &A : E.Paths) {
+            if (!FirstPath)
+              Out += ",";
+            FirstPath = false;
+            Out += "{\"path\":" +
+                   telemetry::jsonString(Bundle->Table.render(A.Path, SI)) +
+                   ",\"neighbor\":" +
+                   (A.Neighbor.isValid()
+                        ? telemetry::jsonString(SI.str(A.Neighbor))
+                        : "null") +
+                   ",\"unary\":" + (A.Unary ? "true" : "false") +
+                   ",\"score\":" + telemetry::jsonNumber(A.Score) + "}";
+          }
+          Out += "]}";
+        }
+        Out += "}";
+      }
+      Out += "]}";
+      It.Response = std::move(Out);
+    }
+
+    double Wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - It.P.Arrival)
+                      .count();
+    Reg.histogram("serve.request.seconds", telemetry::timeBounds())
+        .observe(Wall);
+    Reg.counter(It.Failed ? "serve.responses.error" : "serve.responses.ok")
+        .inc();
+    if (It.Failed)
+      Reg.counter(std::string("serve.responses.error.") +
+                  errorCodeName(It.Code))
+          .inc();
+    auto &Log = telemetry::EventLog::global();
+    if (Log.enabled())
+      Log.record("serve.request",
+                 {{"id", It.D.IdJson},
+                  {"ok", It.Failed ? "false" : "true"},
+                  {"code",
+                   It.Failed
+                       ? telemetry::jsonString(errorCodeName(It.Code))
+                       : std::string("null")},
+                  {"wall", telemetry::jsonNumber(Wall)}});
+    It.P.Done(std::move(It.Response));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Front-ends
+//===----------------------------------------------------------------------===//
+
+int serve::serveStream(Service &S, std::istream &In, std::ostream &Out) {
+  std::mutex WriteMutex;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    S.submit(std::move(Line), [&WriteMutex, &Out](std::string Response) {
+      std::lock_guard<std::mutex> L(WriteMutex);
+      Out << Response << "\n" << std::flush;
+    });
+    Line.clear();
+  }
+  S.drain();
+  return 0;
+}
+
+int serve::serveFdLoop(Service &S, int InFd, int OutFd,
+                       const std::atomic<bool> &Stop) {
+  auto WriteMutex = std::make_shared<std::mutex>();
+  auto Write = [WriteMutex, OutFd](std::string Response) {
+    Response += '\n';
+    std::lock_guard<std::mutex> L(*WriteMutex);
+    size_t Off = 0;
+    while (Off < Response.size()) {
+      ssize_t W = ::write(OutFd, Response.data() + Off,
+                          Response.size() - Off);
+      if (W <= 0)
+        return; // Peer gone (EPIPE with SIGPIPE ignored): drop the rest.
+      Off += static_cast<size_t>(W);
+    }
+  };
+
+  std::string Buffer;
+  char Chunk[4096];
+  while (!Stop.load(std::memory_order_relaxed)) {
+    struct pollfd Pfd = {InFd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, /*timeout_ms=*/200);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue; // A signal landed; re-check Stop.
+      break;
+    }
+    if (Ready == 0)
+      continue; // Timeout: re-check Stop.
+    ssize_t N = ::read(InFd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0)
+      break; // EOF.
+    Buffer.append(Chunk, static_cast<size_t>(N));
+    size_t Pos;
+    while ((Pos = Buffer.find('\n')) != std::string::npos) {
+      std::string Line = Buffer.substr(0, Pos);
+      Buffer.erase(0, Pos + 1);
+      if (!Line.empty())
+        S.submit(std::move(Line), Write);
+    }
+  }
+  // An unterminated final line is still a request.
+  if (!Buffer.empty())
+    S.submit(std::move(Buffer), Write);
+  S.drain();
+  return 0;
+}
+
+int serve::serveSocket(Service &S, const std::string &Path,
+                       const std::atomic<bool> &Stop) {
+  int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listener < 0) {
+    std::fprintf(stderr, "error: cannot create socket: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n", Path.c_str());
+    ::close(Listener);
+    return 1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  ::unlink(Path.c_str()); // Replace a stale socket from a previous run.
+  if (::bind(Listener, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) < 0 ||
+      ::listen(Listener, 64) < 0) {
+    std::fprintf(stderr, "error: cannot listen on %s: %s\n", Path.c_str(),
+                 std::strerror(errno));
+    ::close(Listener);
+    return 1;
+  }
+
+  std::vector<std::thread> Connections;
+  while (!Stop.load(std::memory_order_relaxed)) {
+    struct pollfd Pfd = {Listener, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, /*timeout_ms=*/200);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Ready == 0)
+      continue;
+    int Fd = ::accept(Listener, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    telemetry::MetricsRegistry::global().counter("serve.connections").inc();
+    Connections.emplace_back([&S, &Stop, Fd] {
+      // serveFdLoop drains before returning, so every response of this
+      // connection is written before the fd closes.
+      serveFdLoop(S, Fd, Fd, Stop);
+      ::close(Fd);
+    });
+  }
+  ::close(Listener);
+  for (std::thread &T : Connections)
+    T.join();
+  ::unlink(Path.c_str());
+  S.drain();
+  return 0;
+}

@@ -1,0 +1,219 @@
+//===- Serve.h - Resident prediction service --------------------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident inference path behind `pigeon serve`: load a model bundle
+/// once, then answer newline-delimited JSON requests for as long as the
+/// process lives — the serving shape of the paper's pitch (JSNice-style
+/// interactive queries over real codebases) and of the ROADMAP's
+/// heavy-traffic north star. One-shot `pigeon predict` pays process
+/// startup plus full bundle deserialization per prediction; the service
+/// pays them once.
+///
+/// Protocol (schema `pigeon.serve.v1`), one JSON object per line:
+///
+///   request:  {"id": <scalar, optional>, "lang": "js", "task": "vars",
+///              "source": "...", "k": 3, "explain": false,
+///              "deadline_ms": 50}
+///   response: {"schema": "pigeon.serve.v1", "id": <echo>, "ok": true,
+///              "predictions": [{"element": ..., "kind": ...,
+///                "candidates": [{"label": ..., "score": ...}, ...],
+///                "explain": [...]}]}
+///   error:    {"schema": "pigeon.serve.v1", "id": <echo>, "ok": false,
+///              "error": {"code": "unknown_lang", "message": "..."}}
+///
+/// `task` defaults to the loaded bundle's task; `k` to ServeConfig's
+/// DefaultK. A request that fails to decode or validate produces a
+/// structured error record and never takes the server down.
+///
+/// Execution model: requests enter a bounded admission queue (a full
+/// queue answers `overloaded` immediately instead of blocking the
+/// reader); a batcher thread accumulates them into micro-batches —
+/// flushed when MaxBatch requests are pending or FlushMicros elapsed
+/// since the batch opened — then runs the pipeline per batch:
+///
+///   decode (serial) → parse (support/Parallel pool, one private
+///   interner per request) → remap+extract+assemble (serial, the only
+///   section that touches the bundle's interner/path table) → predict
+///   (CrfModel::predictBatch, sharded) → render + deliver in admission
+///   order.
+///
+/// The remap step replays the sharded-corpus merge idiom: parsing against
+/// a private interner keeps the parallel stage share-nothing, and
+/// re-interning local strings in first-encounter order yields exactly the
+/// ids a direct parse into the bundle interner would have assigned — so a
+/// served response is byte-identical to a one-shot prediction on the same
+/// bundle (pinned by serve_test). Per-request deadlines are enforced at
+/// decode time; a request whose deadline passed while queued answers
+/// `deadline_exceeded` without paying for parse or inference.
+///
+/// Everything is wired into Telemetry/EventLog: `serve.requests`,
+/// `serve.batch.size`, per-phase `serve.<phase>.wall.seconds`
+/// histograms (p50/p99 in every sidecar), and per-request
+/// `serve.request` event records nested under `serve.batch` spans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SERVE_SERVE_H
+#define PIGEON_SERVE_SERVE_H
+
+#include "core/ModelIO.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace pigeon {
+namespace serve {
+
+/// Tuning knobs of the resident service. The defaults favour latency:
+/// a couple of milliseconds of batching delay buys amortized inference
+/// without a human-visible stall.
+struct ServeConfig {
+  /// Flush a batch once this many requests are pending.
+  size_t MaxBatch = 16;
+  /// Flush an incomplete batch this many microseconds after it opened.
+  long FlushMicros = 2000;
+  /// Admission-queue bound; requests beyond it answer `overloaded`.
+  size_t QueueCapacity = 256;
+  /// Requests with a larger `source` answer `source_too_large`.
+  size_t MaxSourceBytes = 1u << 20;
+  /// Top-k candidates returned when the request does not set `k`.
+  int DefaultK = 3;
+  /// Upper bound accepted for a request's `k`.
+  int MaxK = 64;
+  /// Attribution entries per element for `"explain": true` responses.
+  int ExplainPaths = 5;
+};
+
+/// Structured error codes of the serve protocol (stable strings, part of
+/// pigeon.serve.v1).
+enum class ErrorCode {
+  BadRequest,       ///< Malformed JSON / wrong field types.
+  UnknownLang,      ///< `lang` is not a language PIGEON knows.
+  LangMismatch,     ///< Known language, but not the loaded bundle's.
+  UnknownTask,      ///< `task` is not a task PIGEON knows.
+  TaskMismatch,     ///< Known task, but not the loaded bundle's.
+  SourceTooLarge,   ///< `source` exceeds ServeConfig::MaxSourceBytes.
+  ParseFailed,      ///< The frontend produced no tree at all.
+  DeadlineExceeded, ///< `deadline_ms` elapsed before processing began.
+  Overloaded,       ///< Admission queue full.
+  ShuttingDown,     ///< Submitted after shutdown began.
+};
+
+/// The protocol string of \p Code ("bad_request", "overloaded", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// A resident prediction service over one loaded model bundle.
+///
+/// Thread-safety: submit()/handleOne() may be called from any number of
+/// threads; callbacks are invoked from the batcher thread (or from the
+/// submitting thread for admission-time rejections) and must be
+/// thread-safe themselves if they share state.
+class Service {
+public:
+  /// Response callback: receives the rendered response line (no trailing
+  /// newline). Invoked exactly once per submitted request.
+  using Callback = std::function<void(std::string)>;
+
+  /// Takes ownership of \p Bundle (loaded once, resident for the
+  /// service's lifetime) and starts the batcher thread.
+  explicit Service(std::unique_ptr<core::ModelBundle> Bundle,
+                   ServeConfig Config = ServeConfig());
+  ~Service();
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Enqueues one raw request line. Never blocks: when the admission
+  /// queue is full (or the service is shutting down) \p Done is invoked
+  /// synchronously with a structured `overloaded` / `shutting_down`
+  /// error; otherwise it is invoked later from the batcher thread.
+  void submit(std::string Line, Callback Done);
+
+  /// submit() + wait: processes one request synchronously through the
+  /// same batching pipeline. The convenience API for benches and tests.
+  std::string handleOne(const std::string &Line);
+
+  /// Blocks until every admitted request has been answered.
+  void drain();
+
+  /// drain() + stop the batcher thread. Idempotent; the destructor calls
+  /// it. Requests submitted afterwards answer `shutting_down`.
+  void shutdown();
+
+  /// Holds the batcher *before* it opens the next batch (in-flight
+  /// batches finish). While paused, requests accumulate in the admission
+  /// queue — which is how tests deterministically exercise batching,
+  /// queue-full and deadline behaviour — and a drain() waits until
+  /// someone calls resume().
+  void pause();
+  void resume();
+
+  /// The resident bundle (read-mostly; the batcher interns new symbols
+  /// and paths into it as novel sources arrive).
+  const core::ModelBundle &bundle() const { return *Bundle; }
+
+  /// Requests currently waiting in the admission queue.
+  size_t queueDepth() const;
+
+private:
+  struct Pending {
+    uint64_t Seq = 0;
+    std::string Line;
+    Callback Done;
+    std::chrono::steady_clock::time_point Arrival;
+  };
+
+  void batcherLoop();
+  void processBatch(std::vector<Pending> Batch);
+
+  std::unique_ptr<core::ModelBundle> Bundle;
+  ServeConfig Config;
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkCV;  ///< Wakes the batcher.
+  std::condition_variable IdleCV;  ///< Wakes drain() waiters.
+  std::deque<Pending> Queue;
+  uint64_t NextSeq = 1;
+  bool Paused = false;
+  bool Stopping = false;
+  bool BatchInFlight = false;
+  std::thread Batcher;
+};
+
+/// Reads newline-delimited requests from \p In, writes responses to
+/// \p Out (one per line, flushed), drains on EOF. \returns the process
+/// exit code (0 on clean EOF). The istream front-end used by tests.
+int serveStream(Service &S, std::istream &In, std::ostream &Out);
+
+/// poll()-driven line loop over raw file descriptors, checking \p Stop
+/// (set by the CLI's SIGTERM/SIGINT handler) every 200 ms so a signal
+/// produces a clean drain + telemetry flush instead of an abort. Used by
+/// `pigeon serve --stdio` (fds 0/1) and per connection by serveSocket().
+/// \returns 0 on clean EOF or stop.
+int serveFdLoop(Service &S, int InFd, int OutFd,
+                const std::atomic<bool> &Stop);
+
+/// Listens on a Unix domain socket at \p Path (an existing socket file is
+/// replaced), serving each accepted connection on its own thread until
+/// \p Stop is set or the listener fails. \returns 0 on a clean stop,
+/// nonzero when the socket could not be created.
+int serveSocket(Service &S, const std::string &Path,
+                const std::atomic<bool> &Stop);
+
+} // namespace serve
+} // namespace pigeon
+
+#endif // PIGEON_SERVE_SERVE_H

@@ -95,9 +95,16 @@ public:
 
   bool readVarint(uint32_t &Out) {
     uint32_t Value = 0;
-    for (int Shift = 0; Shift < 35; Shift += 7) {
+    for (int Shift = 0; Shift <= 28; Shift += 7) {
       uint8_t Byte = 0;
       if (!readByte(Byte))
+        return false;
+      // The 5th byte holds bits 28..31 only: a set continuation bit would
+      // make the encoding longer than 5 bytes, and payload bits above
+      // 2^32 would be shifted past bit 31 and silently dropped — letting
+      // distinct byte strings decode to the same value, which breaks
+      // every equality-by-bytes artifact built on top of this codec.
+      if (Shift == 28 && (Byte & 0xF0) != 0)
         return false;
       Value |= static_cast<uint32_t>(Byte & 0x7F) << Shift;
       if ((Byte & 0x80) == 0) {
@@ -105,7 +112,7 @@ public:
         return true;
       }
     }
-    return false; // Overlong encoding.
+    return false; // Unreachable: the 5th byte either returns or rejects.
   }
 
 private:

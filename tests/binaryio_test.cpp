@@ -152,4 +152,52 @@ TEST(BinaryIOByteReader, RejectsOverlongAndTruncated) {
   EXPECT_FALSE(R2.readVarint(V));
 }
 
+TEST(BinaryIOByteReader, RejectsFifthByteAboveUint32Range) {
+  // Adversarial: a 5th byte with payload bits above 2^32. A pre-fix
+  // reader shifted them past bit 31 and silently dropped them, decoding
+  // {FF FF FF FF 7F} to the same value as {FF FF FF FF 0F} — two distinct
+  // byte strings aliasing one value, which breaks equality-by-bytes
+  // artifacts (packed paths compare by bytes).
+  std::vector<uint8_t> HighBits = {0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  io::ByteReader R1(HighBits);
+  uint32_t V = 0;
+  EXPECT_FALSE(R1.readVarint(V));
+
+  std::vector<uint8_t> OneHighBit = {0x80, 0x80, 0x80, 0x80, 0x10};
+  io::ByteReader R2(OneHighBit);
+  EXPECT_FALSE(R2.readVarint(V));
+
+  // The canonical 5-byte maximum still decodes.
+  std::vector<uint8_t> Max = {0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+  io::ByteReader R3(Max);
+  ASSERT_TRUE(R3.readVarint(V));
+  EXPECT_EQ(V, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(R3.atEnd());
+}
+
+TEST(BinaryIOByteReader, RejectsSixByteEncodingEvenWhenValueFits) {
+  // 6 bytes whose 6th terminates: more bytes than any uint32 needs. The
+  // 5th byte's continuation bit alone must reject it.
+  std::vector<uint8_t> Six = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  io::ByteReader R(Six);
+  uint32_t V = 0;
+  EXPECT_FALSE(R.readVarint(V));
+}
+
+TEST(BinaryIOByteReader, AppendedMaxValuesRoundTrip) {
+  // appendVarint output is always canonical; every boundary value must
+  // survive the stricter reader.
+  const uint32_t Values[] = {0, 127, 128, (1u << 28) - 1, 1u << 28,
+                             std::numeric_limits<uint32_t>::max()};
+  for (uint32_t Val : Values) {
+    std::vector<uint8_t> Buf;
+    io::appendVarint(Buf, Val);
+    io::ByteReader R(Buf);
+    uint32_t Out = 0;
+    ASSERT_TRUE(R.readVarint(Out)) << Val;
+    EXPECT_EQ(Out, Val);
+    EXPECT_TRUE(R.atEnd());
+  }
+}
+
 } // namespace

@@ -1,0 +1,68 @@
+#!/bin/sh
+# CLI error-path regression test. Every failure mode here used to be
+# silent before the stream-open hardening: a missing model/contexts file
+# fell through to a garbage read, an unwritable --out produced a
+# zero-byte artifact with exit 0, and an empty eval printed a bare
+# "accuracy 0.0%". Run as: cli_errors_test.sh <path-to-pigeon-binary>.
+set -u
+
+PIGEON="$1"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# 1. predict against a model path that does not exist: nonzero exit and
+#    a strerror()-bearing diagnostic, not a bad-stream read.
+echo 'var x = 1;' > "$TMP/a.js"
+if "$PIGEON" predict --model "$TMP/no-such-model.bin" "$TMP/a.js" \
+    > /dev/null 2> "$TMP/err1"; then
+  fail "predict with a missing model exited 0"
+fi
+grep -q "cannot read $TMP/no-such-model.bin" "$TMP/err1" \
+  || fail "predict error lacks the failing path: $(cat "$TMP/err1")"
+grep -q "No such file or directory" "$TMP/err1" \
+  || fail "predict error lacks strerror text: $(cat "$TMP/err1")"
+
+# 2. eval / train with a missing contexts artifact: same contract.
+for CMD in "eval --model $TMP/no-such.bin --from-contexts $TMP/no-such.ctx" \
+           "train --from-contexts $TMP/no-such.ctx --out $TMP/m.bin"; do
+  if "$PIGEON" $CMD > /dev/null 2> "$TMP/err2"; then
+    fail "'pigeon $CMD' exited 0"
+  fi
+  grep -q "No such file or directory" "$TMP/err2" \
+    || fail "'pigeon $CMD' error lacks strerror text: $(cat "$TMP/err2")"
+done
+
+# A small trained bundle for the write-path and empty-eval checks.
+"$PIGEON" synth --lang js --out "$TMP/corpus" --projects 3 --seed 7 \
+  > /dev/null 2>&1 || fail "synth failed"
+"$PIGEON" train --lang js --task vars --out "$TMP/model.bin" "$TMP/corpus" \
+  > /dev/null 2>&1 || fail "train failed"
+
+# 3. train --out into a directory that does not exist: the save must
+#    report the failed open instead of pretending the bundle was written.
+if "$PIGEON" train --lang js --task vars --out "$TMP/no-dir/model.bin" \
+    "$TMP/corpus" > /dev/null 2> "$TMP/err3"; then
+  fail "train with unwritable --out exited 0"
+fi
+grep -q "cannot write $TMP/no-dir/model.bin" "$TMP/err3" \
+  || fail "train write error lacks the failing path: $(cat "$TMP/err3")"
+
+# 4. eval over a corpus with nothing to predict: explicit n=0 note on
+#    stdout, an explanatory error on stderr, and a nonzero exit — never
+#    a fake "accuracy 0.0%".
+echo 'function f() { return 1 + 2; }' > "$TMP/novars.js"
+if "$PIGEON" eval --model "$TMP/model.bin" --lang js "$TMP/novars.js" \
+    > "$TMP/out4" 2> "$TMP/err4"; then
+  fail "eval with zero predictable elements exited 0"
+fi
+grep -q "accuracy n/a (n=0)" "$TMP/out4" \
+  || fail "empty eval stdout lacks the n=0 note: $(cat "$TMP/out4")"
+grep -q "no elements to evaluate" "$TMP/err4" \
+  || fail "empty eval stderr lacks the explanation: $(cat "$TMP/err4")"
+
+echo "PASS"

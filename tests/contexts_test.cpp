@@ -10,11 +10,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ContextsIO.h"
+#include "core/ModelIO.h"
 
 #include "datagen/Sketch.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 using namespace pigeon;
@@ -270,6 +272,73 @@ TEST(ContextsIO, RejectsTruncationAtEveryQuarter) {
     std::stringstream Truncated(Bytes.substr(0, Bytes.size() * Num / 4));
     EXPECT_EQ(loadContexts(Truncated), nullptr) << "quarter " << Num;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation stats
+//===----------------------------------------------------------------------===//
+
+TEST(EvalStats, AccuracyOfNothingIsNaNNotZero) {
+  // Regression: a 0-of-0 evaluation used to present as accuracy 0.0 and
+  // exit 0, feeding a fake score into gauges and the bench trajectory.
+  EvalStats Empty;
+  EXPECT_TRUE(std::isnan(Empty.accuracy()));
+
+  EvalStats Half;
+  Half.Total = 4;
+  Half.Correct = 2;
+  EXPECT_DOUBLE_EQ(Half.accuracy(), 0.5);
+}
+
+TEST(EvalStats, EvalArtifactOnEmptyArtifactReportsZeroTotal) {
+  ModelBundle Bundle;
+  Bundle.Interner = std::make_unique<StringInterner>();
+
+  ContextsArtifact Empty;
+  Empty.Interner = std::make_unique<StringInterner>();
+  EvalStats Stats = evalArtifact(Bundle, Empty);
+  EXPECT_EQ(Stats.Total, 0u);
+  EXPECT_EQ(Stats.Correct, 0u);
+  EXPECT_TRUE(std::isnan(Stats.accuracy()));
+}
+
+TEST(EvalStats, EvalArtifactMatchesManualTally) {
+  Corpus C = makeCorpus(13, 4);
+  ContextsArtifact Art =
+      buildContextsArtifact(C, Task::VariableNames, varsOptions());
+
+  // Train a model on the artifact's own graphs, then evaluate on the same
+  // artifact: evalArtifact must agree with a hand-rolled tally.
+  ModelBundle Bundle;
+  Bundle.Lang = Art.Lang;
+  Bundle.TaskKind = Art.TaskKind;
+  Bundle.Extraction = Art.Extraction;
+  // Same wiring as trainFromArtifact: the bundle takes the artifact's
+  // interner, so record symbols resolve in the bundle's space.
+  Bundle.Interner = std::move(Art.Interner);
+
+  crf::ElementSelector Selector = selectorFor(Art.TaskKind);
+  std::vector<crf::CrfGraph> Graphs;
+  for (const FileRecord &Rec : Art.Files)
+    Graphs.push_back(buildGraphFromRecord(Rec, Selector));
+  Bundle.Model.train(Graphs);
+
+  EvalStats Stats = evalArtifact(Bundle, Art);
+  ASSERT_GT(Stats.Total, 0u);
+  EXPECT_LE(Stats.Correct, Stats.Total);
+
+  std::vector<std::vector<Symbol>> Preds = Bundle.Model.predictBatch(Graphs);
+  size_t Total = 0, Correct = 0;
+  const StringInterner &SI = *Bundle.Interner;
+  for (size_t I = 0; I < Graphs.size(); ++I)
+    for (uint32_t N : Graphs[I].Unknowns) {
+      ++Total;
+      if (Preds[I][N].isValid() &&
+          SI.str(Preds[I][N]) == SI.str(Graphs[I].Nodes[N].Gold))
+        ++Correct;
+    }
+  EXPECT_EQ(Stats.Total, Total);
+  EXPECT_EQ(Stats.Correct, Correct);
 }
 
 } // namespace

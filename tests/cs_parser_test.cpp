@@ -241,4 +241,18 @@ TEST(CsParserErrors, GarbageTerminates) {
   EXPECT_FALSE(R.Diags.empty());
 }
 
+TEST(CsParserErrors, OperatorDriftRaisesDiagnosticNotUB) {
+  // `a - - - b` desynchronizes the binary-chain lookahead from the unary
+  // parse (see the JS twin test); the guard must be an always-on
+  // diagnostic, not a Release-stripped assert.
+  StringInterner SI;
+  lang::ParseResult R =
+      cs::parse("class C { void M() { int x = a - - - b; } }", SI);
+  ASSERT_TRUE(R.Tree.has_value());
+  bool SawDrift = false;
+  for (const lang::Diagnostic &D : R.Diags)
+    SawDrift |= D.Message.find("operator drift") != std::string::npos;
+  EXPECT_TRUE(SawDrift);
+}
+
 } // namespace

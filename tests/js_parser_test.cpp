@@ -371,4 +371,21 @@ TEST(JsParserErrors, NeverInfiniteLoopsOnGarbage) {
   EXPECT_FALSE(R.Diags.empty());
 }
 
+TEST(JsParserRecovery, OperatorDriftRaisesDiagnosticNotUB) {
+  // `a - - - b`: the binary-chain lookahead counts two '-' at the additive
+  // level (the second minus re-arms PrevWasOperand), but the parser's
+  // unary path consumes `- - b` whole — the replay then meets ';' where it
+  // expected '-'. Pre-fix this was a bare assert, compiled out of Release
+  // builds, silently producing a wrong AST; it must now surface as an
+  // always-on "operator drift" diagnostic so the pipeline drops the file.
+  StringInterner SI;
+  lang::ParseResult R = js::parse("var x = a - - - b;", SI);
+  ASSERT_TRUE(R.Tree.has_value());
+  bool SawDrift = false;
+  for (const lang::Diagnostic &D : R.Diags)
+    SawDrift |= D.Message.find("operator drift") != std::string::npos;
+  EXPECT_TRUE(SawDrift) << "drift must raise a diagnostic: "
+                        << (R.Diags.empty() ? "(none)" : R.Diags[0].str());
+}
+
 } // namespace

@@ -238,4 +238,19 @@ TEST(LexerIndent, TabsCountAsEightColumns) {
   EXPECT_EQ(kinds(T), "if a : NL IN b NL DE c NL EOF");
 }
 
+TEST(LexerGuards, StringValueOnNonStringIsDefined) {
+  // Promoted precondition: calling stringValue() on a non-string token was
+  // a Release-stripped assert followed by quote-stripping garbage. It must
+  // now be defined behavior — the raw text comes back untouched.
+  auto T = lexOk("abc", basicConfig());
+  ASSERT_FALSE(T.empty());
+  EXPECT_EQ(T[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[0].stringValue(), "abc");
+
+  auto S = lexOk("'xy'", basicConfig());
+  ASSERT_FALSE(S.empty());
+  EXPECT_EQ(S[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(S[0].stringValue(), "xy");
+}
+
 } // namespace

@@ -1,0 +1,45 @@
+#!/bin/sh
+# End-to-end smoke for `pigeon serve --stdio`: pipe one valid request,
+# one malformed line, and one unknown-language request through a real
+# server process. The server must answer all three (one prediction, two
+# structured errors), keep running across the bad inputs, and exit 0 on
+# EOF. Run as: serve_cli_test.sh <path-to-pigeon-binary>.
+set -u
+
+PIGEON="$1"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+"$PIGEON" synth --lang js --out "$TMP/corpus" --projects 3 --seed 7 \
+  > /dev/null 2>&1 || fail "synth failed"
+"$PIGEON" train --lang js --task vars --out "$TMP/model.bin" "$TMP/corpus" \
+  > /dev/null 2>&1 || fail "train failed"
+
+cat > "$TMP/requests" <<'EOF'
+{"id":1,"lang":"js","source":"function f(x) { var total = x + 1; return total; }","k":2}
+this line is not json
+{"id":3,"lang":"golang","source":"package main"}
+EOF
+
+"$PIGEON" serve --model "$TMP/model.bin" --stdio \
+  < "$TMP/requests" > "$TMP/responses" 2> "$TMP/serve.err" \
+  || fail "serve exited nonzero on EOF: $(cat "$TMP/serve.err")"
+
+[ "$(wc -l < "$TMP/responses")" = 3 ] \
+  || fail "expected 3 response lines, got: $(cat "$TMP/responses")"
+
+grep -q '"id":1,"ok":true' "$TMP/responses" \
+  || fail "valid request did not get an ok response"
+grep -q '"candidates":\[{"label":' "$TMP/responses" \
+  || fail "ok response carries no prediction candidates"
+grep -q '"code":"bad_request"' "$TMP/responses" \
+  || fail "malformed line did not get a bad_request error"
+grep -q '"id":3,"ok":false.*"code":"unknown_lang"' "$TMP/responses" \
+  || fail "unknown language did not get an unknown_lang error"
+
+echo "PASS"

@@ -1,0 +1,496 @@
+//===- serve_test.cpp - Unit tests for the resident prediction service -----===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the pigeon.serve.v1 protocol end to end: valid requests, every
+// structured error path (malformed JSON, unknown/mismatched lang and
+// task, oversized source, bad field types, deadline exceeded, queue
+// full, shutting down), batching determinism (a batched response is
+// byte-identical to a sequential one, and both match the one-shot
+// predict route exactly), and the stream/fd front-ends' EOF and
+// stop-flag shutdown with full response flush.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "core/Experiments.h"
+#include "lang/js/JsParser.h"
+#include "support/EventLog.h"
+#include "support/Json.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace pigeon;
+using namespace pigeon::core;
+using namespace pigeon::serve;
+using pigeon::lang::Language;
+
+namespace {
+
+/// Trains a small JS variable-name bundle and round-trips it through
+/// save/load so every test serves exactly what `pigeon serve` would: a
+/// bundle restored from bytes.
+std::string trainedBundleBytes() {
+  static const std::string Bytes = [] {
+    ModelBundle Bundle;
+    Bundle.Lang = Language::JavaScript;
+    Bundle.Interner = std::make_unique<StringInterner>();
+    Bundle.Extraction =
+        tunedExtraction(Language::JavaScript, Task::VariableNames);
+    Bundle.TaskKind = Task::VariableNames;
+
+    datagen::CorpusSpec Spec =
+        datagen::defaultSpec(Language::JavaScript, /*Seed=*/5);
+    Spec.NumProjects = 6;
+    crf::ElementSelector Selector = selectorFor(Task::VariableNames);
+    std::vector<crf::CrfGraph> Graphs;
+    std::vector<std::optional<ast::Tree>> Keep;
+    for (const datagen::SourceFile &File : datagen::generateCorpus(Spec)) {
+      lang::ParseResult R = js::parse(File.Text, *Bundle.Interner);
+      EXPECT_TRUE(R.ok());
+      Keep.push_back(std::move(R.Tree));
+      auto Contexts = paths::extractPathContexts(
+          *Keep.back(), Bundle.Extraction, Bundle.Table);
+      Graphs.push_back(crf::buildGraph(*Keep.back(), Contexts, Selector));
+    }
+    Bundle.Model.train(Graphs);
+    std::stringstream Buffer;
+    saveModel(Buffer, Bundle);
+    return Buffer.str();
+  }();
+  return Bytes;
+}
+
+std::unique_ptr<ModelBundle> loadBundle() {
+  std::stringstream Buffer(trainedBundleBytes());
+  auto Bundle = loadModel(Buffer);
+  EXPECT_NE(Bundle, nullptr);
+  return Bundle;
+}
+
+const char *MinifiedFlag =
+    "function f() { var a = false; while (!a) { if (check()) { a = true; } "
+    "} return a; }";
+
+const char *MinifiedLoop =
+    "function g(x, y) { var q = 0; q += x; q += y; return q; }";
+
+std::string jsonEscape(const std::string &S) {
+  return telemetry::jsonString(S);
+}
+
+std::string requestLine(const std::string &Source,
+                        const std::string &Extra = "") {
+  return "{\"lang\":\"js\",\"task\":\"vars\",\"source\":" +
+         jsonEscape(Source) + Extra + "}";
+}
+
+json::Value parsed(const std::string &Line) {
+  std::string Error;
+  std::optional<json::Value> Doc = json::parse(Line, &Error);
+  EXPECT_TRUE(Doc.has_value()) << Error << " in: " << Line;
+  return Doc ? *Doc : json::Value();
+}
+
+std::string errorCode(const json::Value &Doc) {
+  const json::Value *Error = Doc.find("error");
+  if (!Error)
+    return "";
+  const json::Value *Code = Error->find("code");
+  return Code ? Code->strOr("") : "";
+}
+
+//===----------------------------------------------------------------------===//
+// Happy path
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, ValidRequestReturnsPredictions) {
+  Service S(loadBundle());
+  json::Value Doc = parsed(
+      S.handleOne(requestLine(MinifiedFlag, ",\"id\":42,\"k\":2")));
+  EXPECT_EQ(Doc.find("schema")->strOr(""), "pigeon.serve.v1");
+  EXPECT_EQ(Doc.find("id")->numberOr(-1), 42.0);
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const auto &Preds = Doc.find("predictions")->array();
+  ASSERT_FALSE(Preds.empty());
+  for (const json::Value &P : Preds) {
+    EXPECT_TRUE(P.find("element")->isString());
+    EXPECT_TRUE(P.find("kind")->isString());
+    EXPECT_LE(P.find("candidates")->array().size(), 2u);
+  }
+}
+
+TEST(Serve, TaskDefaultsToBundleTask) {
+  Service S(loadBundle());
+  json::Value Doc = parsed(S.handleOne(
+      "{\"lang\":\"js\",\"source\":" + jsonEscape(MinifiedFlag) + "}"));
+  EXPECT_TRUE(Doc.find("ok")->boolean());
+}
+
+/// The acceptance pin: a served response must carry exactly the labels
+/// and scores the one-shot route (parse straight into the bundle
+/// interner, extract, predict, topK) produces on a freshly loaded bundle
+/// of the same bytes. This is what the private-interner remap buys.
+TEST(Serve, ResponseMatchesOneShotPredictionExactly) {
+  std::unique_ptr<ModelBundle> Direct = loadBundle();
+  lang::ParseResult R = js::parse(MinifiedFlag, *Direct->Interner);
+  ASSERT_TRUE(R.Tree.has_value());
+  auto Contexts = paths::extractPathContexts(*R.Tree, Direct->Extraction,
+                                             Direct->Table);
+  crf::CrfGraph G =
+      crf::buildGraph(*R.Tree, Contexts, selectorFor(Direct->TaskKind));
+  std::vector<Symbol> Pred = Direct->Model.predict(G);
+
+  Service S(loadBundle());
+  json::Value Doc = parsed(S.handleOne(requestLine(MinifiedFlag)));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const auto &Preds = Doc.find("predictions")->array();
+  ASSERT_EQ(Preds.size(), G.Unknowns.size());
+  for (size_t I = 0; I < G.Unknowns.size(); ++I) {
+    uint32_t N = G.Unknowns[I];
+    EXPECT_EQ(Preds[I].find("element")->strOr(""),
+              Direct->Interner->str(G.Nodes[N].Gold));
+    auto Top = Direct->Model.topK(G, N, Pred, 3);
+    const auto &Cands = Preds[I].find("candidates")->array();
+    ASSERT_EQ(Cands.size(), Top.size());
+    for (size_t C = 0; C < Top.size(); ++C) {
+      EXPECT_EQ(Cands[C].find("label")->strOr(""),
+                Direct->Interner->str(Top[C].first));
+      // Compare through the same rendering the service used, so this is
+      // byte-equality of the wire format, not approximate equality.
+      EXPECT_EQ(telemetry::jsonNumber(Cands[C].find("score")->number()),
+                telemetry::jsonNumber(Top[C].second));
+    }
+  }
+}
+
+/// Batched processing must not change any response byte: one service
+/// handles four requests in a single micro-batch, the other handles the
+/// same four sequentially (batch size 1 by construction of handleOne),
+/// both freshly loaded from the same bundle bytes.
+TEST(Serve, BatchedResponsesByteIdenticalToSequential) {
+  std::vector<std::string> Lines = {
+      requestLine(MinifiedFlag, ",\"id\":\"a\""),
+      requestLine(MinifiedLoop, ",\"id\":\"b\""),
+      requestLine(MinifiedFlag, ",\"id\":\"c\",\"k\":1"),
+      requestLine(MinifiedLoop, ",\"id\":\"d\",\"explain\":true"),
+  };
+
+  Service Sequential(loadBundle());
+  std::vector<std::string> SequentialResponses;
+  for (const std::string &Line : Lines)
+    SequentialResponses.push_back(Sequential.handleOne(Line));
+
+  ServeConfig Batched;
+  Batched.MaxBatch = Lines.size();
+  Service S(loadBundle(), Batched);
+  std::vector<std::string> BatchedResponses(Lines.size());
+  S.pause(); // Everything queues, then lands in one batch.
+  std::mutex M;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    S.submit(Lines[I], [&BatchedResponses, &M, I](std::string Response) {
+      std::lock_guard<std::mutex> L(M);
+      BatchedResponses[I] = std::move(Response);
+    });
+  EXPECT_EQ(S.queueDepth(), Lines.size());
+  S.resume();
+  S.drain();
+
+  EXPECT_EQ(BatchedResponses, SequentialResponses);
+}
+
+TEST(Serve, ExplainTotalsMatchCandidateScores) {
+  Service S(loadBundle());
+  json::Value Doc = parsed(
+      S.handleOne(requestLine(MinifiedFlag, ",\"explain\":true")));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  for (const json::Value &P : Doc.find("predictions")->array()) {
+    const json::Value *Explain = P.find("explain");
+    if (!Explain)
+      continue; // No valid prediction for this element.
+    double Total = Explain->find("total")->number();
+    // explain() decomposes the score of the predicted label; that label
+    // is one of the candidates, so its exact score must appear there.
+    bool Found = false;
+    for (const json::Value &C : P.find("candidates")->array())
+      Found |= telemetry::jsonNumber(C.find("score")->number()) ==
+               telemetry::jsonNumber(Total);
+    EXPECT_TRUE(Found);
+    EXPECT_LE(Explain->find("paths")->array().size(), 5u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol error paths
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, MalformedJsonIsIsolated) {
+  Service S(loadBundle());
+  json::Value Bad = parsed(S.handleOne("this is not json"));
+  EXPECT_FALSE(Bad.find("ok")->boolean());
+  EXPECT_EQ(errorCode(Bad), "bad_request");
+  // The service survives and keeps answering.
+  json::Value Good = parsed(S.handleOne(requestLine(MinifiedFlag)));
+  EXPECT_TRUE(Good.find("ok")->boolean());
+}
+
+TEST(Serve, NonObjectAndBadFieldsAreBadRequests) {
+  Service S(loadBundle());
+  EXPECT_EQ(errorCode(parsed(S.handleOne("[1,2,3]"))), "bad_request");
+  EXPECT_EQ(errorCode(parsed(S.handleOne("{\"source\":\"x\"}"))),
+            "bad_request"); // Missing lang.
+  EXPECT_EQ(errorCode(parsed(S.handleOne("{\"lang\":\"js\"}"))),
+            "bad_request"); // Missing source.
+  EXPECT_EQ(errorCode(parsed(S.handleOne(
+                requestLine(MinifiedFlag, ",\"k\":0")))),
+            "bad_request");
+  EXPECT_EQ(errorCode(parsed(S.handleOne(
+                requestLine(MinifiedFlag, ",\"k\":\"three\"")))),
+            "bad_request");
+  EXPECT_EQ(errorCode(parsed(S.handleOne(
+                requestLine(MinifiedFlag, ",\"explain\":\"yes\"")))),
+            "bad_request");
+  EXPECT_EQ(errorCode(parsed(S.handleOne(
+                requestLine(MinifiedFlag, ",\"id\":{\"no\":1}")))),
+            "bad_request");
+  EXPECT_EQ(errorCode(parsed(S.handleOne(
+                requestLine(MinifiedFlag, ",\"deadline_ms\":-1")))),
+            "bad_request");
+}
+
+TEST(Serve, UnknownAndMismatchedLang) {
+  Service S(loadBundle());
+  EXPECT_EQ(errorCode(parsed(S.handleOne(
+                "{\"lang\":\"golang\",\"source\":\"x\"}"))),
+            "unknown_lang");
+  EXPECT_EQ(errorCode(parsed(S.handleOne(
+                "{\"lang\":\"java\",\"source\":\"class C {}\"}"))),
+            "lang_mismatch");
+}
+
+TEST(Serve, UnknownTaskAndTaskMismatch) {
+  Service S(loadBundle());
+  std::string Unknown = S.handleOne(
+      "{\"lang\":\"js\",\"task\":\"frobnicate\",\"source\":\"var x;\"}");
+  EXPECT_EQ(errorCode(parsed(Unknown)), "unknown_task");
+  std::string Mismatch = S.handleOne(
+      "{\"lang\":\"js\",\"task\":\"methods\",\"source\":\"var x;\"}");
+  EXPECT_EQ(errorCode(parsed(Mismatch)), "task_mismatch");
+}
+
+TEST(Serve, OversizedSourceRejected) {
+  ServeConfig Config;
+  Config.MaxSourceBytes = 64;
+  Service S(loadBundle(), Config);
+  std::string Big(100, 'x');
+  json::Value Doc = parsed(S.handleOne(requestLine(Big)));
+  EXPECT_EQ(errorCode(Doc), "source_too_large");
+}
+
+TEST(Serve, DeadlineExceededWhileQueued) {
+  Service S(loadBundle());
+  S.pause();
+  std::promise<std::string> Result;
+  std::future<std::string> F = Result.get_future();
+  S.submit(requestLine(MinifiedFlag, ",\"id\":7,\"deadline_ms\":5"),
+           [&Result](std::string R) { Result.set_value(std::move(R)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  S.resume();
+  json::Value Doc = parsed(F.get());
+  EXPECT_EQ(errorCode(Doc), "deadline_exceeded");
+  EXPECT_EQ(Doc.find("id")->numberOr(-1), 7.0); // Id still echoed.
+}
+
+TEST(Serve, QueueFullAnswersOverloadedImmediately) {
+  ServeConfig Config;
+  Config.QueueCapacity = 2;
+  Service S(loadBundle(), Config);
+  S.pause();
+  std::vector<std::future<std::string>> Queued;
+  for (int I = 0; I < 2; ++I) {
+    auto P = std::make_shared<std::promise<std::string>>();
+    Queued.push_back(P->get_future());
+    S.submit(requestLine(MinifiedFlag),
+             [P](std::string R) { P->set_value(std::move(R)); });
+  }
+  // Third request: rejected synchronously, while the batcher is paused.
+  std::string Rejected;
+  S.submit(requestLine(MinifiedFlag),
+           [&Rejected](std::string R) { Rejected = std::move(R); });
+  ASSERT_FALSE(Rejected.empty());
+  EXPECT_EQ(errorCode(parsed(Rejected)), "overloaded");
+
+  S.resume();
+  for (auto &F : Queued)
+    EXPECT_TRUE(parsed(F.get()).find("ok")->boolean());
+}
+
+TEST(Serve, SubmitAfterShutdownAnswersShuttingDown) {
+  Service S(loadBundle());
+  EXPECT_TRUE(
+      parsed(S.handleOne(requestLine(MinifiedFlag))).find("ok")->boolean());
+  S.shutdown();
+  std::string Response;
+  S.submit(requestLine(MinifiedFlag),
+           [&Response](std::string R) { Response = std::move(R); });
+  EXPECT_EQ(errorCode(parsed(Response)), "shutting_down");
+}
+
+TEST(Serve, ParseFailureIsAStructuredError) {
+  Service S(loadBundle());
+  // The JS frontend produces no tree for input this broken.
+  json::Value Doc =
+      parsed(S.handleOne("{\"lang\":\"js\",\"source\":\")(}{\"}"));
+  std::string Code = errorCode(Doc);
+  // Either outcome is protocol-conforming as the frontends evolve: a
+  // structured parse error, or a best-effort tree with no predictions.
+  if (!Code.empty())
+    EXPECT_EQ(Code, "parse_failed");
+  else
+    EXPECT_TRUE(Doc.find("ok")->boolean());
+  // Still alive.
+  EXPECT_TRUE(
+      parsed(S.handleOne(requestLine(MinifiedFlag))).find("ok")->boolean());
+}
+
+TEST(Serve, DrainWaitsOutTheStragglerWindow) {
+  // Regression: while the batcher sits in its FlushMicros straggler
+  // wait, accepted requests live in its local batch and the queue is
+  // empty — drain() must still treat the service as busy. It used to
+  // return through that window, letting stream front-ends destroy the
+  // write path with a response still pending.
+  ServeConfig Config;
+  Config.FlushMicros = 200000; // 200 ms: a window drain() would fall into.
+  Service S(loadBundle(), Config);
+  std::atomic<bool> Answered{false};
+  S.submit(requestLine(MinifiedFlag),
+           [&Answered](std::string) { Answered = true; });
+  // Let the batcher pick the request up and enter the straggler wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  S.drain();
+  EXPECT_TRUE(Answered.load());
+}
+
+//===----------------------------------------------------------------------===//
+// Front-ends and shutdown
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, StreamFrontEndAnswersEveryLineThenEofCleanly) {
+  Service S(loadBundle());
+  std::istringstream In(requestLine(MinifiedFlag, ",\"id\":1") + "\n" +
+                        "garbage\n" + requestLine(MinifiedLoop, ",\"id\":3") +
+                        "\n");
+  std::ostringstream Out;
+  EXPECT_EQ(serveStream(S, In, Out), 0);
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  size_t Count = 0, Ok = 0, Errors = 0;
+  while (std::getline(Lines, Line)) {
+    ++Count;
+    json::Value Doc = parsed(Line);
+    (Doc.find("ok")->boolean() ? Ok : Errors) += 1;
+  }
+  EXPECT_EQ(Count, 3u);
+  EXPECT_EQ(Ok, 2u);
+  EXPECT_EQ(Errors, 1u);
+}
+
+TEST(Serve, FdLoopDrainsOnEof) {
+  int InPipe[2], OutPipe[2];
+  ASSERT_EQ(::pipe(InPipe), 0);
+  ASSERT_EQ(::pipe(OutPipe), 0);
+  Service S(loadBundle());
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] { serveFdLoop(S, InPipe[0], OutPipe[1], Stop); });
+  std::string Line = requestLine(MinifiedFlag, ",\"id\":9") + "\n";
+  ASSERT_EQ(::write(InPipe[1], Line.data(), Line.size()),
+            static_cast<ssize_t>(Line.size()));
+  ::close(InPipe[1]); // EOF: the loop must drain, flush, and return.
+  Loop.join();
+  ::close(OutPipe[1]);
+  std::string Response;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(OutPipe[0], Buf, sizeof(Buf))) > 0)
+    Response.append(Buf, static_cast<size_t>(N));
+  ::close(InPipe[0]);
+  ::close(OutPipe[0]);
+  ASSERT_FALSE(Response.empty());
+  json::Value Doc = parsed(Response.substr(0, Response.find('\n')));
+  EXPECT_TRUE(Doc.find("ok")->boolean());
+  EXPECT_EQ(Doc.find("id")->numberOr(-1), 9.0);
+}
+
+TEST(Serve, FdLoopStopsOnSignalFlag) {
+  int InPipe[2], OutPipe[2];
+  ASSERT_EQ(::pipe(InPipe), 0);
+  ASSERT_EQ(::pipe(OutPipe), 0);
+  Service S(loadBundle());
+  std::atomic<bool> Stop{false};
+  std::thread Loop([&] { serveFdLoop(S, InPipe[0], OutPipe[1], Stop); });
+  // No EOF — the stop flag (what SIGTERM sets) must end the loop within
+  // one poll interval, draining first.
+  Stop.store(true);
+  Loop.join();
+  ::close(InPipe[1]);
+  ::close(InPipe[0]);
+  ::close(OutPipe[1]);
+  ::close(OutPipe[0]);
+  SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, RequestsAndBatchSizeAreInstrumented) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  uint64_t Requests0 = Reg.counter("serve.requests").value();
+  uint64_t Ok0 = Reg.counter("serve.responses.ok").value();
+  uint64_t Err0 = Reg.counter("serve.responses.error").value();
+  uint64_t Batches0 =
+      Reg.histogram("serve.batch.size", telemetry::linearBounds(1, 32))
+          .count();
+
+  Service S(loadBundle());
+  S.handleOne(requestLine(MinifiedFlag));
+  S.handleOne("nope");
+
+  EXPECT_EQ(Reg.counter("serve.requests").value(), Requests0 + 2);
+  EXPECT_EQ(Reg.counter("serve.responses.ok").value(), Ok0 + 1);
+  EXPECT_EQ(Reg.counter("serve.responses.error").value(), Err0 + 1);
+  EXPECT_GE(Reg.counter("serve.responses.error.bad_request").value(), 1u);
+  EXPECT_GE(Reg.histogram("serve.batch.size", telemetry::linearBounds(1, 32))
+                .count(),
+            Batches0 + 2);
+  EXPECT_GE(Reg.histogram("serve.request.seconds", telemetry::timeBounds())
+                .count(),
+            2u);
+}
+
+TEST(Serve, RequestsAppearInTheEventStream) {
+  std::ostringstream Events;
+  telemetry::EventLog::global().attach(Events);
+  {
+    Service S(loadBundle());
+    S.handleOne(requestLine(MinifiedFlag, ",\"id\":\"traced\""));
+  }
+  telemetry::EventLog::global().close();
+  EXPECT_NE(Events.str().find("\"serve.request\""), std::string::npos);
+  EXPECT_NE(Events.str().find("\"traced\""), std::string::npos);
+  EXPECT_NE(Events.str().find("serve.batch"), std::string::npos);
+}
+
+} // namespace

@@ -54,13 +54,18 @@
 #include "lang/java/JavaParser.h"
 #include "lang/js/JsParser.h"
 #include "lang/python/PyParser.h"
+#include "serve/Serve.h"
 #include "support/EventLog.h"
 #include "support/Parallel.h"
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
 
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -88,6 +93,8 @@ int usage() {
          "  pigeon eval    --model MODEL"
          " (--from-contexts CTX | --lang <js|java|py|cs> PATH...)\n"
          "  pigeon predict --model MODEL FILE\n"
+         "  pigeon serve   --model MODEL (--socket PATH | --stdio)\n"
+         "                 [--batch N] [--queue N]\n"
          "  pigeon demo    --lang <js|java|py|cs>\n"
          "  pigeon synth   --lang <js|java|py|cs> --out DIR"
          " [--projects N] [--seed S]\n"
@@ -160,12 +167,22 @@ lang::ParseResult parseAs(Language Lang, const std::string &Text,
   return {};
 }
 
+/// "error: cannot <verb> <path>: <strerror>" — every file the CLI fails
+/// to open reports the OS reason. A missing model path must read as an IO
+/// error here, not surface three layers later as a bundle decode error.
+std::string openError(const char *Verb, const std::string &Path) {
+  return std::string("error: cannot ") + Verb + " " + Path + ": " +
+         std::strerror(errno);
+}
+
 std::optional<std::string> readFile(const std::string &Path) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
-    return std::nullopt;
+    return std::nullopt; // errno still describes the failed open.
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
+  if (In.bad())
+    return std::nullopt;
   return Buffer.str();
 }
 
@@ -199,7 +216,7 @@ int cmdExtract(Language Lang, const paths::ExtractionConfig &Config,
                const std::string &Path) {
   auto Text = readFile(Path);
   if (!Text) {
-    std::cerr << "error: cannot read " << Path << "\n";
+    std::cerr << openError("read", Path) << "\n";
     return 1;
   }
   StringInterner Interner;
@@ -245,7 +262,8 @@ loadSourceFiles(const std::vector<std::string> &Roots, Language Lang) {
   for (const std::string &Path : collectSources(Roots, Lang)) {
     auto Text = readFile(Path);
     if (!Text) {
-      std::cerr << "warning: cannot read " << Path << ", skipped\n";
+      std::cerr << "warning: cannot read " << Path << ": "
+                << std::strerror(errno) << ", skipped\n";
       continue;
     }
     datagen::SourceFile File;
@@ -296,11 +314,16 @@ int cmdExtractCorpus(Language Lang, Task TaskKind,
     NumContexts += Rec.Contexts.size();
   std::ofstream Out(OutPath, std::ios::binary);
   if (!Out) {
-    std::cerr << "error: cannot write " << OutPath << "\n";
+    std::cerr << openError("write", OutPath) << "\n";
     return 1;
   }
   telemetry::TraceScope Phase("save");
   saveContexts(Out, *Art);
+  Out.flush();
+  if (!Out) {
+    std::cerr << openError("write", OutPath) << "\n";
+    return 1;
+  }
   std::cerr << "wrote " << NumContexts << " contexts over "
             << Art->Files.size() << " files, " << Art->Table.size()
             << " distinct paths to " << OutPath << "\n";
@@ -311,7 +334,7 @@ std::unique_ptr<ContextsArtifact>
 loadContextsFile(const std::string &Path) {
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
-    std::cerr << "error: cannot read " << Path << "\n";
+    std::cerr << openError("read", Path) << "\n";
     return nullptr;
   }
   telemetry::TraceScope Phase("load");
@@ -358,11 +381,16 @@ int trainFromArtifact(ContextsArtifact &&Art, const std::string &OutPath) {
 
   std::ofstream Out(OutPath, std::ios::binary);
   if (!Out) {
-    std::cerr << "error: cannot write " << OutPath << "\n";
+    std::cerr << openError("write", OutPath) << "\n";
     return 1;
   }
   telemetry::TraceScope Phase("save");
   saveModel(Out, Bundle);
+  Out.flush();
+  if (!Out) {
+    std::cerr << openError("write", OutPath) << "\n";
+    return 1;
+  }
   std::cerr << "saved model to " << OutPath << "\n";
   return 0;
 }
@@ -399,7 +427,7 @@ int cmdEval(const std::string &ModelPath, const std::string &ContextsPath,
             const std::vector<std::string> &Roots) {
   std::ifstream In(ModelPath, std::ios::binary);
   if (!In) {
-    std::cerr << "error: cannot read " << ModelPath << "\n";
+    std::cerr << openError("read", ModelPath) << "\n";
     return 1;
   }
   std::unique_ptr<ModelBundle> Bundle;
@@ -440,40 +468,23 @@ int cmdEval(const std::string &ModelPath, const std::string &ContextsPath,
     return 1;
   }
 
-  crf::ElementSelector Selector = selectorFor(Art->TaskKind);
-  std::vector<crf::CrfGraph> Graphs;
-  Graphs.reserve(Art->Files.size());
-  {
-    telemetry::TraceScope Phase("assemble");
-    for (const FileRecord &Rec : Art->Files) {
-      crf::CrfGraph G = buildGraphFromRecord(Rec, Selector);
-      if (Art->TriContexts)
-        addTriFactorsFromRecord(G, Rec, Selector, *Bundle->Interner);
-      Graphs.push_back(std::move(G));
-    }
+  EvalStats Stats = evalArtifact(*Bundle, *Art);
+  if (Stats.Total == 0) {
+    // A 0-of-0 run is not a score. Presenting it as accuracy 0.0 with
+    // exit 0 poisoned the bench trajectory once; now it is an explicit
+    // failure that never sets the accuracy gauge.
+    std::printf("accuracy n/a (n=0)\n");
+    std::cerr << "error: no elements to evaluate — the corpus has no "
+              << taskName(Art->TaskKind)
+              << " targets (empty artifact or all-known files)\n";
+    return 1;
   }
-
-  telemetry::TraceScope Phase("eval");
-  std::vector<std::vector<Symbol>> Preds =
-      Bundle->Model.predictBatch(Graphs);
-  size_t Total = 0, Correct = 0;
-  const StringInterner &SI = *Bundle->Interner;
-  for (size_t I = 0; I < Graphs.size(); ++I) {
-    for (uint32_t N : Graphs[I].Unknowns) {
-      ++Total;
-      if (Preds[I][N].isValid() &&
-          SI.str(Preds[I][N]) == SI.str(Graphs[I].Nodes[N].Gold))
-        ++Correct;
-    }
-  }
-  double Accuracy =
-      Total == 0 ? 0.0
-                 : static_cast<double>(Correct) / static_cast<double>(Total);
+  double Accuracy = Stats.accuracy();
   telemetry::MetricsRegistry::global()
       .gauge("eval.cli.accuracy")
       .set(Accuracy);
-  std::printf("accuracy %.6f (%zu/%zu predictions)\n", Accuracy, Correct,
-              Total);
+  std::printf("accuracy %.6f (%zu/%zu predictions)\n", Accuracy,
+              Stats.Correct, Stats.Total);
   return 0;
 }
 
@@ -484,7 +495,7 @@ int cmdEval(const std::string &ModelPath, const std::string &ContextsPath,
 int cmdPredict(const std::string &ModelPath, const std::string &Path) {
   std::ifstream In(ModelPath, std::ios::binary);
   if (!In) {
-    std::cerr << "error: cannot read " << ModelPath << "\n";
+    std::cerr << openError("read", ModelPath) << "\n";
     return 1;
   }
   std::unique_ptr<ModelBundle> Bundle;
@@ -498,7 +509,7 @@ int cmdPredict(const std::string &ModelPath, const std::string &Path) {
   }
   auto Text = readFile(Path);
   if (!Text) {
-    std::cerr << "error: cannot read " << Path << "\n";
+    std::cerr << openError("read", Path) << "\n";
     return 1;
   }
   std::optional<lang::ParseResult> R;
@@ -541,6 +552,54 @@ int cmdPredict(const std::string &ModelPath, const std::string &Path) {
 }
 
 //===----------------------------------------------------------------------===//
+// serve
+//===----------------------------------------------------------------------===//
+
+/// Set by SIGTERM/SIGINT; the serve loops poll it every 200 ms and wind
+/// down cleanly — drain in-flight requests, flush telemetry — instead of
+/// dying mid-batch.
+std::atomic<bool> ServeStop{false};
+
+void onServeSignal(int) { ServeStop.store(true, std::memory_order_relaxed); }
+
+int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
+             bool Stdio, serve::ServeConfig Config) {
+  std::ifstream In(ModelPath, std::ios::binary);
+  if (!In) {
+    std::cerr << openError("read", ModelPath) << "\n";
+    return 1;
+  }
+  std::unique_ptr<ModelBundle> Bundle;
+  {
+    telemetry::TraceScope Phase("load");
+    Bundle = loadModel(In);
+  }
+  if (!Bundle) {
+    std::cerr << "error: " << ModelPath << " is not a PIGEON model\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, onServeSignal);
+  std::signal(SIGINT, onServeSignal);
+  // A client hanging up mid-write must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  serve::Service Service(std::move(Bundle), Config);
+  std::cerr << "pigeon serve: " << ModelPath << " ("
+            << lang::languageName(Service.bundle().Lang) << ", "
+            << taskName(Service.bundle().TaskKind) << ", "
+            << Service.bundle().Model.numFeatures() << " features), "
+            << (Stdio ? "stdio" : "socket " + SocketPath) << "\n";
+
+  telemetry::TraceScope Phase("serve");
+  int RC = Stdio ? serve::serveFdLoop(Service, /*InFd=*/0, /*OutFd=*/1,
+                                      ServeStop)
+                 : serve::serveSocket(Service, SocketPath, ServeStop);
+  Service.shutdown();
+  return RC;
+}
+
+//===----------------------------------------------------------------------===//
 // synth
 //===----------------------------------------------------------------------===//
 
@@ -563,13 +622,19 @@ int cmdSynth(Language Lang, const std::string &OutDir, int Projects,
   telemetry::TraceScope Phase("write");
   size_t Count = 0;
   for (const datagen::SourceFile &File : Files) {
-    std::ofstream Out(OutDir + "/" + File.FileName + extensionFor(Lang),
-                      std::ios::binary);
+    const std::string FilePath =
+        OutDir + "/" + File.FileName + extensionFor(Lang);
+    std::ofstream Out(FilePath, std::ios::binary);
     if (!Out) {
-      std::cerr << "error: cannot write into " << OutDir << "\n";
+      std::cerr << openError("write", FilePath) << "\n";
       return 1;
     }
     Out << File.Text;
+    Out.flush();
+    if (!Out) {
+      std::cerr << openError("write", FilePath) << "\n";
+      return 1;
+    }
     ++Count;
   }
   std::cerr << "wrote " << Count << " files to " << OutDir << "\n";
@@ -722,6 +787,9 @@ int main(int argc, char **argv) {
   // Shared flag parsing.
   std::optional<Language> Lang;
   std::string ModelPath, OutPath, MetricsPath, TracePath, ContextsPath;
+  std::string SocketPath;
+  bool Stdio = false;
+  serve::ServeConfig ServeOptions;
   std::string TaskName = "vars";
   int Projects = 24;
   int TopK = 5;
@@ -766,6 +834,28 @@ int main(int argc, char **argv) {
         std::cerr << "error: --top wants a positive count\n";
         return 2;
       }
+    } else if (Arg == "--socket") {
+      SocketPath = Value();
+      if (SocketPath.empty()) {
+        std::cerr << "error: --socket requires a path\n";
+        return 2;
+      }
+    } else if (Arg == "--stdio") {
+      Stdio = true;
+    } else if (Arg == "--batch") {
+      long N = std::atol(Value().c_str());
+      if (N <= 0) {
+        std::cerr << "error: --batch wants a positive count\n";
+        return 2;
+      }
+      ServeOptions.MaxBatch = static_cast<size_t>(N);
+    } else if (Arg == "--queue") {
+      long N = std::atol(Value().c_str());
+      if (N <= 0) {
+        std::cerr << "error: --queue wants a positive count\n";
+        return 2;
+      }
+      ServeOptions.QueueCapacity = static_cast<size_t>(N);
     } else if (Arg == "--task") {
       TaskName = Value();
     } else if (Arg == "--length") {
@@ -879,6 +969,11 @@ int main(int argc, char **argv) {
       if (ModelPath.empty() || Positional.size() != 1)
         return usage();
       RC = cmdPredict(ModelPath, Positional[0]);
+    } else if (Command == "serve") {
+      if (ModelPath.empty() || !Positional.empty() ||
+          Stdio == !SocketPath.empty())
+        return usage();
+      RC = cmdServe(ModelPath, SocketPath, Stdio, ServeOptions);
     } else if (Command == "demo") {
       if (!Lang)
         return usage();
