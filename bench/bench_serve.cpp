@@ -24,6 +24,7 @@
 #include "serve/Serve.h"
 #include "support/TablePrinter.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -81,11 +82,32 @@ std::unique_ptr<ModelBundle> loadBundle(const std::string &Bytes) {
   return loadModel(Buffer);
 }
 
-double runSingle(serve::Service &S, const std::vector<std::string> &Lines) {
+/// Closed-loop percentile over per-request milliseconds (nearest-rank on
+/// the sorted sample — exact for these small Ns, no bucketing error).
+double latencyPercentile(std::vector<double> LatenciesMs, double P) {
+  if (LatenciesMs.empty())
+    return 0;
+  std::sort(LatenciesMs.begin(), LatenciesMs.end());
+  size_t Rank = static_cast<size_t>(P * static_cast<double>(
+                                            LatenciesMs.size() - 1));
+  return LatenciesMs[Rank];
+}
+
+double requestMs(serve::Service &S, const std::string &Line) {
+  auto T0 = std::chrono::steady_clock::now();
+  S.handleOne(Line);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+double runSingle(serve::Service &S, const std::vector<std::string> &Lines,
+                 std::vector<double> &LatenciesMs) {
   telemetry::TraceScope Phase("serve.bench.single");
+  LatenciesMs.reserve(Lines.size());
   auto Start = std::chrono::steady_clock::now();
   for (const std::string &Line : Lines)
-    S.handleOne(Line);
+    LatenciesMs.push_back(requestMs(S, Line));
   double Wall = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
@@ -93,15 +115,16 @@ double runSingle(serve::Service &S, const std::vector<std::string> &Lines) {
 }
 
 double runConcurrent(serve::Service &S, const std::vector<std::string> &Lines,
-                     int Clients) {
+                     int Clients, std::vector<double> &LatenciesMs) {
   telemetry::TraceScope Phase("serve.bench.concurrent");
+  LatenciesMs.assign(Lines.size(), 0);
   auto Start = std::chrono::steady_clock::now();
   std::vector<std::thread> Threads;
   for (int T = 0; T < Clients; ++T)
-    Threads.emplace_back([&S, &Lines, T, Clients] {
+    Threads.emplace_back([&S, &Lines, &LatenciesMs, T, Clients] {
       for (size_t I = static_cast<size_t>(T); I < Lines.size();
            I += static_cast<size_t>(Clients))
-        S.handleOne(Lines[I]);
+        LatenciesMs[I] = requestMs(S, Lines[I]);
     });
   for (std::thread &T : Threads)
     T.join();
@@ -123,9 +146,10 @@ int main() {
   serve::ServeConfig SingleConfig;
   SingleConfig.FlushMicros = 0;
   double SingleRps;
+  std::vector<double> SingleMs;
   {
     serve::Service S(loadBundle(Bytes), SingleConfig);
-    SingleRps = runSingle(S, Lines);
+    SingleRps = runSingle(S, Lines, SingleMs);
   }
 
   // Concurrent clients: batch size matched to the closed-loop client
@@ -135,24 +159,42 @@ int main() {
   serve::ServeConfig ConcurrentConfig;
   ConcurrentConfig.MaxBatch = Clients;
   double ConcurrentRps;
+  std::vector<double> ConcurrentMs;
   {
     serve::Service S(loadBundle(Bytes), ConcurrentConfig);
-    ConcurrentRps = runConcurrent(S, Lines, Clients);
+    ConcurrentRps = runConcurrent(S, Lines, Clients, ConcurrentMs);
   }
+
+  double SingleP50 = latencyPercentile(SingleMs, 0.50);
+  double SingleP99 = latencyPercentile(SingleMs, 0.99);
+  double ConcurrentP50 = latencyPercentile(ConcurrentMs, 0.50);
+  double ConcurrentP99 = latencyPercentile(ConcurrentMs, 0.99);
 
   auto &Reg = telemetry::MetricsRegistry::global();
   Reg.gauge("serve.requests_per_sec").set(ConcurrentRps);
   Reg.gauge("serve.requests_per_sec.single").set(SingleRps);
   Reg.gauge("serve.requests_per_sec.concurrent").set(ConcurrentRps);
+  // Closed-loop latency beside throughput, so the trajectory gate can
+  // catch a change that holds rps but trades away tail latency.
+  Reg.gauge("serve.latency_ms.p50").set(ConcurrentP50);
+  Reg.gauge("serve.latency_ms.p99").set(ConcurrentP99);
+  Reg.gauge("serve.latency_ms.p50.single").set(SingleP50);
+  Reg.gauge("serve.latency_ms.p99.single").set(SingleP99);
+  Reg.gauge("serve.latency_ms.p50.concurrent").set(ConcurrentP50);
+  Reg.gauge("serve.latency_ms.p99.concurrent").set(ConcurrentP99);
 
   TablePrinter Out("pigeon serve throughput (" +
                    std::to_string(Lines.size()) + " requests)");
-  Out.setHeader({"Mode", "Clients", "Requests/s"});
-  char Buf[32];
+  Out.setHeader({"Mode", "Clients", "Requests/s", "p50 ms", "p99 ms"});
+  char Buf[32], P50Buf[32], P99Buf[32];
   std::snprintf(Buf, sizeof(Buf), "%.1f", SingleRps);
-  Out.addRow({"sequential", "1", Buf});
+  std::snprintf(P50Buf, sizeof(P50Buf), "%.2f", SingleP50);
+  std::snprintf(P99Buf, sizeof(P99Buf), "%.2f", SingleP99);
+  Out.addRow({"sequential", "1", Buf, P50Buf, P99Buf});
   std::snprintf(Buf, sizeof(Buf), "%.1f", ConcurrentRps);
-  Out.addRow({"concurrent", std::to_string(Clients), Buf});
+  std::snprintf(P50Buf, sizeof(P50Buf), "%.2f", ConcurrentP50);
+  std::snprintf(P99Buf, sizeof(P99Buf), "%.2f", ConcurrentP99);
+  Out.addRow({"concurrent", std::to_string(Clients), Buf, P50Buf, P99Buf});
   Out.print(std::cout);
 
   bench::writeBenchSidecar("bench_serve");

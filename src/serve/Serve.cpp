@@ -14,6 +14,7 @@
 #include "support/EventLog.h"
 #include "support/Json.h"
 #include "support/Parallel.h"
+#include "support/PhaseProfiler.h"
 #include "support/Telemetry.h"
 
 #include <cerrno>
@@ -116,6 +117,35 @@ std::optional<core::Task> taskFromRequest(const std::string &Name) {
   if (Name == "types")
     return core::Task::FullTypes;
   return std::nullopt;
+}
+
+/// Inverse of languageFromRequest / taskFromRequest: the canonical
+/// protocol token, so admin:"health" reports values a client can feed
+/// straight back into a request's "lang"/"task" fields.
+const char *languageToken(Language Lang) {
+  switch (Lang) {
+  case Language::JavaScript:
+    return "js";
+  case Language::Java:
+    return "java";
+  case Language::Python:
+    return "py";
+  case Language::CSharp:
+    return "cs";
+  }
+  return "js";
+}
+
+const char *taskToken(core::Task T) {
+  switch (T) {
+  case core::Task::VariableNames:
+    return "vars";
+  case core::Task::MethodNames:
+    return "methods";
+  case core::Task::FullTypes:
+    return "types";
+  }
+  return "vars";
 }
 
 lang::ParseResult parseAs(Language Lang, const std::string &Text,
@@ -222,6 +252,12 @@ std::optional<std::string> decodeRequest(const std::string &Line,
   return std::nullopt;
 }
 
+/// Bucket bounds for queue-depth histograms: powers of two up to the
+/// default capacity, so saturation shape survives aggregation.
+std::vector<double> depthBounds() {
+  return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -230,7 +266,17 @@ std::optional<std::string> decodeRequest(const std::string &Line,
 
 Service::Service(std::unique_ptr<core::ModelBundle> Bundle,
                  ServeConfig Config)
-    : Bundle(std::move(Bundle)), Config(Config) {
+    : Bundle(std::move(Bundle)), Config(Config),
+      Started(std::chrono::steady_clock::now()) {
+  // Register the sliding windows up front so admin:"metrics" shows them
+  // (empty) before the first request arrives.
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.windowed("serve.request.seconds", telemetry::timeBounds(),
+               Config.WindowSlices, Config.WindowSliceSeconds);
+  Reg.windowed("serve.batch.size", telemetry::linearBounds(1, 32),
+               Config.WindowSlices, Config.WindowSliceSeconds);
+  Reg.windowed("serve.queue.depth", depthBounds(), Config.WindowSlices,
+               Config.WindowSliceSeconds);
   Batcher = std::thread([this] { batcherLoop(); });
 }
 
@@ -241,7 +287,21 @@ size_t Service::queueDepth() const {
   return Queue.size();
 }
 
+double Service::uptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Started)
+      .count();
+}
+
 void Service::submit(std::string Line, Callback Done) {
+  // Admin introspection is answered synchronously before admission
+  // control: observability must keep working when the queue is full or
+  // the service is draining, and must not distort the serve metrics.
+  // The substring probe keeps the JSON parse off the normal hot path.
+  if (Line.find("\"admin\"") != std::string::npos &&
+      tryHandleAdmin(Line, Done))
+    return;
+
   auto &Reg = telemetry::MetricsRegistry::global();
   Reg.counter("serve.requests").inc();
   std::unique_lock<std::mutex> L(Mutex);
@@ -269,9 +329,150 @@ void Service::submit(std::string Line, Callback Done) {
   P.Done = std::move(Done);
   P.Arrival = std::chrono::steady_clock::now();
   Queue.push_back(std::move(P));
-  Reg.gauge("serve.queue.depth").set(static_cast<double>(Queue.size()));
+  InFlight.fetch_add(1, std::memory_order_relaxed);
+  size_t Depth = Queue.size();
+  Reg.gauge("serve.queue.depth").set(static_cast<double>(Depth));
+  if (Depth > QueueHighWater) {
+    QueueHighWater = Depth;
+    Reg.gauge("serve.queue.depth.max").set(static_cast<double>(Depth));
+  }
   L.unlock();
   WorkCV.notify_one();
+}
+
+namespace {
+
+std::string renderAdminError(const std::string &IdJson,
+                             const std::string &Message) {
+  return "{\"schema\":\"pigeon.admin.v1\",\"id\":" + IdJson +
+         ",\"ok\":false,\"error\":{\"code\":\"bad_request\",\"message\":" +
+         telemetry::jsonString(Message) + "}}";
+}
+
+} // namespace
+
+bool Service::tryHandleAdmin(const std::string &Line, const Callback &Done) {
+  std::optional<json::Value> Doc = json::parse(Line);
+  if (!Doc || !Doc->isObject())
+    return false; // Not valid JSON: let the serve path answer bad_request.
+  const json::Value *Admin = Doc->find("admin");
+  if (!Admin)
+    return false; // A serve request that merely mentions "admin".
+
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.counter("serve.admin.requests").inc();
+
+  std::string IdJson = "null";
+  if (const json::Value *Id = Doc->find("id")) {
+    if (Id->isArray() || Id->isObject()) {
+      Done(renderAdminError(IdJson, "id must be a scalar"));
+      return true;
+    }
+    IdJson = renderIdEcho(*Id);
+  }
+  if (!Admin->isString()) {
+    Done(renderAdminError(IdJson, "admin must be a string verb"));
+    return true;
+  }
+  const std::string &Verb = Admin->str();
+  auto Head = [&] {
+    return "{\"schema\":\"pigeon.admin.v1\",\"id\":" + IdJson +
+           ",\"ok\":true,\"admin\":\"" + Verb + "\",";
+  };
+
+  if (Verb == "metrics") {
+    Reg.counter("serve.admin.metrics").inc();
+    std::string Snap = Reg.jsonSnapshot();
+    while (!Snap.empty() && Snap.back() == '\n')
+      Snap.pop_back();
+    Done(Head() + "\"metrics\":" + Snap + "}");
+    return true;
+  }
+
+  if (Verb == "health") {
+    Reg.counter("serve.admin.health").inc();
+    size_t Depth, HighWater;
+    bool IsPaused, Draining;
+    {
+      std::lock_guard<std::mutex> L(Mutex);
+      Depth = Queue.size();
+      HighWater = QueueHighWater;
+      IsPaused = Paused;
+      Draining = Stopping;
+    }
+    std::string Out = Head() + "\"health\":{\"status\":\"";
+    Out += Draining ? "draining" : "ok";
+    Out += "\",\"lang\":" +
+           telemetry::jsonString(languageToken(Bundle->Lang)) +
+           ",\"task\":" + telemetry::jsonString(taskToken(Bundle->TaskKind)) +
+           ",\"features\":" + std::to_string(Bundle->Model.numFeatures()) +
+           ",\"symbols\":" + std::to_string(Bundle->Interner->size()) +
+           ",\"uptime_seconds\":" + telemetry::jsonNumber(uptimeSeconds()) +
+           ",\"in_flight\":" + std::to_string(inFlight()) +
+           ",\"queue_depth\":" + std::to_string(Depth) +
+           ",\"queue_high_water\":" + std::to_string(HighWater) +
+           ",\"queue_capacity\":" + std::to_string(Config.QueueCapacity) +
+           ",\"paused\":" + (IsPaused ? "true" : "false") +
+           ",\"draining\":" + (Draining ? "true" : "false") + "}}";
+    Done(std::move(Out));
+    return true;
+  }
+
+  if (Verb == "slo") {
+    Reg.counter("serve.admin.slo").inc();
+    auto Snap = Reg.windowed("serve.request.seconds", telemetry::timeBounds(),
+                             Config.WindowSlices, Config.WindowSliceSeconds)
+                    .snapshot();
+    bool HasTarget = Config.SloP99Ms > 0;
+    double P99Ms = Snap.P99 * 1000.0; // NaN on an empty window.
+    std::string Ok = "null"; // Unknown: no target, or no recent traffic.
+    if (HasTarget && Snap.Count > 0)
+      Ok = P99Ms <= Config.SloP99Ms ? "true" : "false";
+    std::string Out =
+        Head() + "\"slo\":{\"target_p99_ms\":" +
+        (HasTarget ? telemetry::jsonNumber(Config.SloP99Ms)
+                   : std::string("null")) +
+        ",\"window_seconds\":" + telemetry::jsonNumber(Snap.WindowSeconds) +
+        ",\"count\":" + std::to_string(Snap.Count) +
+        ",\"rate_per_sec\":" + telemetry::jsonNumber(Snap.RatePerSec) +
+        ",\"p50_ms\":" + telemetry::jsonNumber(Snap.P50 * 1000.0) +
+        ",\"p99_ms\":" + telemetry::jsonNumber(P99Ms) + ",\"ok\":" + Ok +
+        "}}";
+    Done(std::move(Out));
+    return true;
+  }
+
+  if (Verb == "profile") {
+    Reg.counter("serve.admin.profile").inc();
+    auto &Prof = telemetry::PhaseProfiler::global();
+    telemetry::PhaseProfiler::Report R = Prof.report();
+    std::string Out = Head() + "\"profile\":{\"running\":";
+    Out += Prof.running() ? "true" : "false";
+    Out += ",\"hz\":" + telemetry::jsonNumber(R.Hz) +
+           ",\"samples\":" + std::to_string(R.Samples) +
+           ",\"attributed\":" + std::to_string(R.Attributed) +
+           ",\"lines\":[";
+    for (size_t I = 0; I < R.Lines.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += "{\"stack\":" + telemetry::jsonString(R.Lines[I].Stack) +
+             ",\"count\":" + std::to_string(R.Lines[I].Count) + "}";
+    }
+    Out += "],\"folded\":" + telemetry::jsonString(Prof.folded()) + "}}";
+    Done(std::move(Out));
+    return true;
+  }
+
+  if (Verb == "prom") {
+    Reg.counter("serve.admin.prom").inc();
+    Done(Head() +
+         "\"prom\":" + telemetry::jsonString(Reg.prometheusSnapshot()) + "}");
+    return true;
+  }
+
+  Reg.counter("serve.admin.bad_request").inc();
+  Done(renderAdminError(IdJson, "unknown admin verb \"" + Verb + "\""));
+  return true;
 }
 
 std::string Service::handleOne(const std::string &Line) {
@@ -320,6 +521,17 @@ void Service::batcherLoop() {
     if (Queue.empty())
       return; // Stopping with nothing left: clean exit.
 
+    // Per-flush depth sample: the depth seen when the batcher wakes is
+    // the saturation signal the enqueue-time gauge aliases away.
+    {
+      auto &Reg = telemetry::MetricsRegistry::global();
+      double Depth = static_cast<double>(Queue.size());
+      Reg.histogram("serve.queue.depth.flush", depthBounds()).observe(Depth);
+      Reg.windowed("serve.queue.depth", depthBounds(), Config.WindowSlices,
+                   Config.WindowSliceSeconds)
+          .observe(Depth);
+    }
+
     // Open a batch: take what is here, then give stragglers FlushMicros
     // to coalesce before paying a predictBatch dispatch. The batch is
     // in flight from this point — the straggler wait below releases the
@@ -354,6 +566,9 @@ void Service::processBatch(std::vector<Pending> Batch) {
   auto &Reg = telemetry::MetricsRegistry::global();
   telemetry::TraceScope BatchScope("serve.batch");
   Reg.histogram("serve.batch.size", telemetry::linearBounds(1, 32))
+      .observe(static_cast<double>(Batch.size()));
+  Reg.windowed("serve.batch.size", telemetry::linearBounds(1, 32),
+               Config.WindowSlices, Config.WindowSliceSeconds)
       .observe(static_cast<double>(Batch.size()));
 
   struct Item {
@@ -521,6 +736,9 @@ void Service::processBatch(std::vector<Pending> Batch) {
                       .count();
     Reg.histogram("serve.request.seconds", telemetry::timeBounds())
         .observe(Wall);
+    Reg.windowed("serve.request.seconds", telemetry::timeBounds(),
+                 Config.WindowSlices, Config.WindowSliceSeconds)
+        .observe(Wall);
     Reg.counter(It.Failed ? "serve.responses.error" : "serve.responses.ok")
         .inc();
     if (It.Failed)
@@ -538,6 +756,7 @@ void Service::processBatch(std::vector<Pending> Batch) {
                        : std::string("null")},
                   {"wall", telemetry::jsonNumber(Wall)}});
     It.P.Done(std::move(It.Response));
+    InFlight.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

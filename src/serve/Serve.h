@@ -54,6 +54,26 @@
 /// `serve.batch.size`, per-phase `serve.<phase>.wall.seconds`
 /// histograms (p50/p99 in every sidecar), and per-request
 /// `serve.request` event records nested under `serve.batch` spans.
+/// Request latency, batch size and queue depth additionally feed
+/// sliding-window histograms (WindowedHistogram) so a resident server
+/// exposes live last-minute percentiles, not just since-start ones.
+///
+/// Admin protocol (schema `pigeon.admin.v1`): a request line carrying an
+/// `"admin"` field instead of `lang`/`source` is answered synchronously
+/// on the submitting thread — before admission control, so introspection
+/// works during overload and drain, and admin traffic never counts
+/// against `serve.requests` or occupies queue slots:
+///
+///   {"id": 7, "admin": "metrics"}  → full pigeon.metrics.v1 snapshot
+///   {"admin": "health"}            → bundle identity, uptime, in-flight
+///                                    count, queue + drain state
+///   {"admin": "slo"}               → `--slo-p99-ms` target vs. the
+///                                    windowed p99 of serve.request.seconds
+///   {"admin": "profile"}           → phase-profiler folded stacks
+///   {"admin": "prom"}              → Prometheus text exposition (string)
+///
+/// Unknown verbs answer a structured `bad_request` error under the
+/// pigeon.admin.v1 schema.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -95,6 +115,13 @@ struct ServeConfig {
   int MaxK = 64;
   /// Attribution entries per element for `"explain": true` responses.
   int ExplainPaths = 5;
+  /// SLO target for the windowed p99 of `serve.request.seconds`, in
+  /// milliseconds; <= 0 means no target (admin:"slo" reports disabled).
+  double SloP99Ms = 0;
+  /// Sliding-window shape for the live serve histograms: WindowSlices
+  /// ring slices of WindowSliceSeconds each (default: last minute).
+  size_t WindowSlices = 6;
+  double WindowSliceSeconds = 10.0;
 };
 
 /// Structured error codes of the serve protocol (stable strings, part of
@@ -168,6 +195,12 @@ public:
   /// Requests currently waiting in the admission queue.
   size_t queueDepth() const;
 
+  /// Requests admitted but not yet answered (queued + in-batch).
+  size_t inFlight() const { return InFlight.load(std::memory_order_relaxed); }
+
+  /// Seconds since the service was constructed.
+  double uptimeSeconds() const;
+
 private:
   struct Pending {
     uint64_t Seq = 0;
@@ -179,14 +212,22 @@ private:
   void batcherLoop();
   void processBatch(std::vector<Pending> Batch);
 
+  /// Detects and answers a pigeon.admin.v1 request synchronously.
+  /// \returns true when \p Line was an admin request (Done has been
+  /// invoked); false to continue down the normal serve path.
+  bool tryHandleAdmin(const std::string &Line, const Callback &Done);
+
   std::unique_ptr<core::ModelBundle> Bundle;
   ServeConfig Config;
+  std::chrono::steady_clock::time_point Started;
+  std::atomic<size_t> InFlight{0};
 
   mutable std::mutex Mutex;
   std::condition_variable WorkCV;  ///< Wakes the batcher.
   std::condition_variable IdleCV;  ///< Wakes drain() waiters.
   std::deque<Pending> Queue;
   uint64_t NextSeq = 1;
+  size_t QueueHighWater = 0; ///< Deepest queue ever seen (guarded by Mutex).
   bool Paused = false;
   bool Stopping = false;
   bool BatchInFlight = false;

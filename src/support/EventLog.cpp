@@ -148,6 +148,13 @@ void EventLog::close() {
   OwnedFile.reset();
 }
 
+void EventLog::flush() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Enabled.load(std::memory_order_acquire) || !Out)
+    return;
+  Out->flush();
+}
+
 void EventLog::beginStream() {
   writeLine("stream.begin",
             {{"schema", jsonString("pigeon.events.v1")},

@@ -103,6 +103,12 @@ public:
   /// Writes the `stream.end` record and detaches. Idempotent.
   void close();
 
+  /// Flushes buffered records to the underlying stream without closing
+  /// it — the periodic-flush path of a resident `pigeon serve`, so a
+  /// crash loses at most one flush interval of events. No-op when the
+  /// log is disabled.
+  void flush();
+
   /// True once open()/attach() succeeded and close() has not run.
   bool enabled() const { return Enabled.load(std::memory_order_acquire); }
 

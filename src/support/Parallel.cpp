@@ -7,6 +7,7 @@
 #include "support/Parallel.h"
 
 #include "support/EventLog.h"
+#include "support/PhaseProfiler.h"
 #include "support/Telemetry.h"
 
 #include <atomic>
@@ -53,6 +54,9 @@ struct Region {
   /// chunk — and the chunk spans themselves — nest under the stage that
   /// started the region instead of floating at a worker's top level.
   telemetry::TraceContext Ctx;
+  /// The spawner's profiler phase stack, installed alongside Ctx so the
+  /// sampling profiler attributes worker time to the spawning stage.
+  std::vector<const char *> ProfStack;
   std::atomic<size_t> Next{0};
   std::atomic<size_t> Done{0};
   std::mutex Mutex;
@@ -68,6 +72,7 @@ struct Region {
     bool Saved = InRegion;
     InRegion = true;
     telemetry::TraceContext Prev = telemetry::setCurrentTraceContext(Ctx);
+    telemetry::ProfilerStackGuard ProfGuard(ProfStack);
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Total)
@@ -111,6 +116,7 @@ public:
     R->Total = Chunks;
     R->Fn = &Fn;
     R->Ctx = telemetry::currentTraceContext(); // run() is the spawner.
+    R->ProfStack = telemetry::profilerCaptureStack();
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       size_t Want = std::min(std::min(Threads, Chunks), MaxThreads);
@@ -298,9 +304,12 @@ void parallel::parallelFor(size_t N, size_t Threads,
 
 StageTimer::StageTimer(std::string Stage)
     : Stage(std::move(Stage)), WallStart(nowSeconds()),
-      CpuStart(cpuSeconds()) {}
+      CpuStart(cpuSeconds()) {
+  telemetry::profilerPushFrame(this->Stage);
+}
 
 StageTimer::~StageTimer() {
+  telemetry::profilerPopFrame();
   auto &Reg = telemetry::MetricsRegistry::global();
   Reg.histogram(Stage + ".wall.seconds", telemetry::timeBounds())
       .observe(nowSeconds() - WallStart);

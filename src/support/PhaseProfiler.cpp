@@ -1,0 +1,291 @@
+//===- PhaseProfiler.cpp - Phase-sampling wall-time profiler ----------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PhaseProfiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pigeon;
+using namespace pigeon::telemetry;
+
+namespace {
+
+constexpr uint32_t MaxDepth = 48;
+
+/// One thread's phase stack. Frames are stored before the depth is
+/// published (release), so a sampler that reads Depth (acquire) sees
+/// valid pointers for every slot below it. Slots are interned-name
+/// pointers that live forever, so stale reads are safe.
+struct ThreadStack {
+  std::atomic<const char *> Frames[MaxDepth];
+  std::atomic<uint32_t> Depth{0};
+  std::atomic<bool> Dead{false};
+
+  ThreadStack() {
+    for (auto &F : Frames)
+      F.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+/// Registry of every thread stack ever created, plus the name interner
+/// and the sampler's accumulated counts — one mutex guards all three
+/// (push-side interning hits it only on a per-thread cache miss, and the
+/// sampler at ~97 Hz).
+struct ProfilerState {
+  std::mutex Mutex;
+  std::vector<ThreadStack *> Stacks;           // Never freed (see below).
+  std::unordered_set<std::string> Names;       // Interned frame names.
+  std::map<std::string, uint64_t> Counts;      // Folded stack -> ticks.
+  uint64_t Samples = 0;
+  uint64_t Attributed = 0;
+  double Hz = 0;
+
+  std::thread Sampler;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopFlag{false};
+};
+
+/// Leaked on purpose: threads may push frames during static destruction
+/// (pool workers wind down late), so the stacks and interned names must
+/// outlive every destructor. The allocation is bounded by the number of
+/// threads the process ever creates times ~400 bytes.
+ProfilerState &state() {
+  static ProfilerState *S = new ProfilerState;
+  return *S;
+}
+
+/// Registers this thread's stack on first use and marks it dead when the
+/// thread exits (the sampler then skips it; the memory stays valid).
+struct ThreadRegistration {
+  ThreadStack *Stack;
+
+  ThreadRegistration() : Stack(new ThreadStack) {
+    ProfilerState &S = state();
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Stacks.push_back(Stack);
+  }
+  ~ThreadRegistration() { Stack->Dead.store(true, std::memory_order_release); }
+};
+
+ThreadStack &localStack() {
+  thread_local ThreadRegistration Reg;
+  return *Reg.Stack;
+}
+
+const char *internName(std::string_view Name) {
+  // Per-thread cache: the set of phase names is tiny and repetitive, so
+  // after warm-up a push never touches the global mutex.
+  thread_local std::unordered_map<std::string, const char *> Cache;
+  auto It = Cache.find(std::string(Name));
+  if (It != Cache.end())
+    return It->second;
+  ProfilerState &S = state();
+  const char *Interned;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Interned = S.Names.emplace(Name).first->c_str();
+  }
+  Cache.emplace(std::string(Name), Interned);
+  return Interned;
+}
+
+} // namespace
+
+void telemetry::profilerPushFrame(std::string_view Name) {
+  ThreadStack &S = localStack();
+  uint32_t D = S.Depth.load(std::memory_order_relaxed);
+  if (D < MaxDepth)
+    S.Frames[D].store(internName(Name), std::memory_order_relaxed);
+  // Depth is the publication point: released after the frame store.
+  S.Depth.store(D + 1, std::memory_order_release);
+}
+
+void telemetry::profilerPopFrame() {
+  ThreadStack &S = localStack();
+  uint32_t D = S.Depth.load(std::memory_order_relaxed);
+  if (D > 0)
+    S.Depth.store(D - 1, std::memory_order_release);
+}
+
+std::vector<const char *> telemetry::profilerCaptureStack() {
+  ThreadStack &S = localStack();
+  uint32_t D = std::min(S.Depth.load(std::memory_order_relaxed), MaxDepth);
+  std::vector<const char *> Out;
+  Out.reserve(D);
+  for (uint32_t I = 0; I < D; ++I)
+    Out.push_back(S.Frames[I].load(std::memory_order_relaxed));
+  return Out;
+}
+
+ProfilerStackGuard::ProfilerStackGuard(
+    const std::vector<const char *> &Frames) {
+  ThreadStack &S = localStack();
+  SavedDepth = S.Depth.load(std::memory_order_relaxed);
+  uint32_t D = 0;
+  for (const char *F : Frames) {
+    if (D >= MaxDepth)
+      break;
+    S.Frames[D].store(F, std::memory_order_relaxed);
+    ++D;
+  }
+  S.Depth.store(D, std::memory_order_release);
+}
+
+ProfilerStackGuard::~ProfilerStackGuard() {
+  localStack().Depth.store(SavedDepth, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Sampler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void sampleOnce(ProfilerState &S) {
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  std::string Key;
+  for (ThreadStack *T : S.Stacks) {
+    if (T->Dead.load(std::memory_order_acquire))
+      continue;
+    uint32_t D = std::min(T->Depth.load(std::memory_order_acquire), MaxDepth);
+    S.Samples += 1;
+    if (D == 0)
+      continue; // Thread outside any phase: unattributed tick.
+    Key.clear();
+    bool Complete = true;
+    for (uint32_t I = 0; I < D; ++I) {
+      const char *F = T->Frames[I].load(std::memory_order_acquire);
+      if (!F) {
+        Complete = false; // Torn read during a racing push; drop the tick.
+        break;
+      }
+      if (I)
+        Key += ';';
+      Key += F;
+    }
+    if (!Complete || Key.empty())
+      continue;
+    S.Attributed += 1;
+    S.Counts[Key] += 1;
+  }
+}
+
+void samplerLoop(double Hz) {
+  ProfilerState &S = state();
+  auto Interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / Hz));
+  auto Next = std::chrono::steady_clock::now() + Interval;
+  while (!S.StopFlag.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_until(Next);
+    if (S.StopFlag.load(std::memory_order_acquire))
+      break;
+    sampleOnce(S);
+    Next += Interval;
+    auto Now = std::chrono::steady_clock::now();
+    if (Next < Now)
+      Next = Now + Interval; // Fell behind (suspend/preemption): resync.
+  }
+}
+
+} // namespace
+
+PhaseProfiler &PhaseProfiler::global() {
+  static PhaseProfiler Instance;
+  return Instance;
+}
+
+void PhaseProfiler::start(double Hz) {
+  ProfilerState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Running.load(std::memory_order_relaxed))
+    return;
+  Hz = std::clamp(Hz, 1.0, 1000.0);
+  S.Hz = Hz;
+  S.StopFlag.store(false, std::memory_order_release);
+  S.Sampler = std::thread([Hz] { samplerLoop(Hz); });
+  S.Running.store(true, std::memory_order_release);
+}
+
+void PhaseProfiler::stop() {
+  ProfilerState &S = state();
+  std::thread Joinable;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    if (!S.Running.load(std::memory_order_relaxed))
+      return;
+    S.StopFlag.store(true, std::memory_order_release);
+    Joinable = std::move(S.Sampler);
+    S.Running.store(false, std::memory_order_release);
+  }
+  if (Joinable.joinable())
+    Joinable.join();
+}
+
+bool PhaseProfiler::running() const {
+  return state().Running.load(std::memory_order_acquire);
+}
+
+double PhaseProfiler::hz() const {
+  ProfilerState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  return S.Hz;
+}
+
+void PhaseProfiler::reset() {
+  ProfilerState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Counts.clear();
+  S.Samples = 0;
+  S.Attributed = 0;
+}
+
+PhaseProfiler::Report PhaseProfiler::report() const {
+  ProfilerState &S = state();
+  Report Out;
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  Out.Samples = S.Samples;
+  Out.Attributed = S.Attributed;
+  Out.Hz = S.Hz;
+  Out.Lines.reserve(S.Counts.size());
+  for (const auto &[Stack, Count] : S.Counts)
+    Out.Lines.push_back({Stack, Count});
+  std::sort(Out.Lines.begin(), Out.Lines.end(),
+            [](const FoldedLine &A, const FoldedLine &B) {
+              if (A.Count != B.Count)
+                return A.Count > B.Count;
+              return A.Stack < B.Stack;
+            });
+  return Out;
+}
+
+std::string PhaseProfiler::folded() const {
+  Report R = report();
+  std::string Out;
+  for (const FoldedLine &L : R.Lines) {
+    Out += L.Stack;
+    Out += ' ';
+    Out += std::to_string(L.Count);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool PhaseProfiler::writeFolded(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << folded();
+  Out.flush();
+  return Out.good();
+}

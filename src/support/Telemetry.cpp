@@ -7,6 +7,7 @@
 #include "support/Telemetry.h"
 
 #include "support/EventLog.h"
+#include "support/PhaseProfiler.h"
 #include "support/TablePrinter.h"
 
 #include <algorithm>
@@ -14,6 +15,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
 
 using namespace pigeon;
 using namespace pigeon::telemetry;
@@ -206,6 +208,7 @@ TraceScope::TraceScope(MetricsRegistry &Registry, std::string_view Name)
     Node = findOrCreateChild(Under, Name);
     CurrentPhase = Node;
   }
+  profilerPushFrame(Name);
   EventLog &Log = EventLog::global();
   if (Log.enabled()) {
     Span = Log.nextSpanId();
@@ -217,6 +220,7 @@ TraceScope::TraceScope(MetricsRegistry &Registry, std::string_view Name)
 }
 
 TraceScope::~TraceScope() {
+  profilerPopFrame();
   double Elapsed =
       std::chrono::duration<double>(Clock::now() - Start).count();
   if (Span != 0) {
@@ -274,6 +278,21 @@ Histogram &MetricsRegistry::histogram(std::string_view Name,
   return *It->second;
 }
 
+WindowedHistogram &MetricsRegistry::windowed(std::string_view Name,
+                                             std::vector<double> Bounds,
+                                             size_t Slices,
+                                             double SliceSeconds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Windowed.find(Name);
+  if (It == Windowed.end())
+    It = Windowed
+             .emplace(std::string(Name),
+                      std::make_unique<WindowedHistogram>(
+                          std::move(Bounds), Slices, SliceSeconds))
+             .first;
+  return *It->second;
+}
+
 size_t MetricsRegistry::numCounters() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Counters.size();
@@ -289,6 +308,11 @@ size_t MetricsRegistry::numHistograms() const {
   return Histograms.size();
 }
 
+size_t MetricsRegistry::numWindowed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Windowed.size();
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> Lock(Mutex);
   for (auto &[Name, C] : Counters)
@@ -297,6 +321,8 @@ void MetricsRegistry::reset() {
     G->resetValue();
   for (auto &[Name, H] : Histograms)
     H->resetValue();
+  for (auto &[Name, W] : Windowed)
+    W->resetValue();
   Root.Children.clear();
   Root.Calls = 0;
   Root.Seconds = 0;
@@ -400,6 +426,29 @@ void MetricsRegistry::writeJson(std::ostream &OS) const {
     OS << "]}";
     First = false;
   }
+  OS << "},\"windowed\":{";
+  First = true;
+  for (const auto &[Name, W] : Windowed) {
+    WindowedHistogram::Snapshot Snap = W->snapshot();
+    bool Empty = Snap.Count == 0;
+    OS << (First ? "" : ",") << "\"" << jsonEscape(Name) << "\":{"
+       << "\"window_seconds\":" << jsonNumber(Snap.WindowSeconds)
+       << ",\"count\":" << Snap.Count << ",\"sum\":" << jsonNumber(Snap.Sum)
+       << ",\"rate_per_sec\":" << jsonNumber(Snap.RatePerSec)
+       << ",\"min\":" << (Empty ? "null" : jsonNumber(Snap.Min))
+       << ",\"max\":" << (Empty ? "null" : jsonNumber(Snap.Max))
+       << ",\"p50\":" << jsonNumber(Snap.P50)
+       << ",\"p90\":" << jsonNumber(Snap.P90)
+       << ",\"p99\":" << jsonNumber(Snap.P99) << ",\"buckets\":[";
+    for (size_t B = 0; B < Snap.Buckets.size(); ++B) {
+      if (B)
+        OS << ",";
+      OS << "{\"le\":" << jsonNumber(Snap.Buckets[B].UpperBound)
+         << ",\"count\":" << Snap.Buckets[B].Count << "}";
+    }
+    OS << "]}";
+    First = false;
+  }
   OS << "},\"trace\":";
   writeTraceJson(OS, Root);
   OS << "}\n";
@@ -411,6 +460,153 @@ bool MetricsRegistry::writeJsonFile(const std::string &Path) const {
     return false;
   writeJson(Out);
   return Out.good();
+}
+
+std::string MetricsRegistry::jsonSnapshot() const {
+  std::ostringstream OS;
+  writeJson(OS);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus text exposition (format v0.0.4)
+//===----------------------------------------------------------------------===//
+
+std::string telemetry::promMetricName(std::string_view Name) {
+  std::string Out;
+  Out.reserve(Name.size() + 1);
+  for (size_t I = 0; I < Name.size(); ++I) {
+    char Ch = Name[I];
+    bool Valid = (Ch >= 'a' && Ch <= 'z') || (Ch >= 'A' && Ch <= 'Z') ||
+                 Ch == '_' || Ch == ':' || (Ch >= '0' && Ch <= '9');
+    if (Ch >= '0' && Ch <= '9' && I == 0)
+      Out += '_'; // Names must not start with a digit.
+    Out += Valid ? Ch : '_';
+  }
+  if (Out.empty())
+    Out = "_";
+  return Out;
+}
+
+std::string telemetry::promEscapeLabel(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += Ch;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Prometheus sample values: plain decimal, with the non-finite spellings
+/// the exposition format defines (`NaN`, `+Inf`, `-Inf`) instead of the
+/// JSON `null`.
+std::string promNumber(double X) {
+  if (std::isnan(X))
+    return "NaN";
+  if (std::isinf(X))
+    return X > 0 ? "+Inf" : "-Inf";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", X);
+  return Buf;
+}
+
+void promHeader(std::ostream &OS, const std::string &Name,
+                std::string_view Help, std::string_view Type) {
+  OS << "# HELP " << Name << " " << Help << "\n";
+  OS << "# TYPE " << Name << " " << Type << "\n";
+}
+
+} // namespace
+
+void MetricsRegistry::writePrometheus(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &[Name, C] : Counters) {
+    std::string Prom = promMetricName(Name);
+    // Convention: counters carry a _total suffix (unless already there).
+    if (Prom.size() < 6 || Prom.compare(Prom.size() - 6, 6, "_total") != 0)
+      Prom += "_total";
+    promHeader(OS, Prom, "pigeon counter " + std::string(Name), "counter");
+    OS << Prom << " " << C->value() << "\n";
+  }
+  for (const auto &[Name, G] : Gauges) {
+    std::string Prom = promMetricName(Name);
+    promHeader(OS, Prom, "pigeon gauge " + std::string(Name), "gauge");
+    OS << Prom << " " << promNumber(G->value()) << "\n";
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string Prom = promMetricName(Name);
+    promHeader(OS, Prom, "pigeon histogram " + std::string(Name),
+               "histogram");
+    // _bucket counts are cumulative: each le bucket includes everything
+    // below it, and le="+Inf" equals _count.
+    uint64_t Cumulative = 0;
+    for (const Histogram::Bucket &B : H->buckets()) {
+      Cumulative += B.Count;
+      OS << Prom << "_bucket{le=\"" << promNumber(B.UpperBound) << "\"} "
+         << Cumulative << "\n";
+    }
+    OS << Prom << "_sum " << promNumber(H->sum()) << "\n";
+    OS << Prom << "_count " << H->count() << "\n";
+  }
+  for (const auto &[Name, W] : Windowed) {
+    WindowedHistogram::Snapshot Snap = W->snapshot();
+    // The _window suffix keeps the summary distinct from a cumulative
+    // histogram exported under the same dotted name.
+    std::string Prom = promMetricName(Name) + "_window";
+    promHeader(OS, Prom,
+               "pigeon sliding-window summary " + std::string(Name) +
+                   " (last " + promNumber(Snap.WindowSeconds) + "s)",
+               "summary");
+    OS << Prom << "{quantile=\"0.5\"} " << promNumber(Snap.P50) << "\n";
+    OS << Prom << "{quantile=\"0.9\"} " << promNumber(Snap.P90) << "\n";
+    OS << Prom << "{quantile=\"0.99\"} " << promNumber(Snap.P99) << "\n";
+    OS << Prom << "_sum " << promNumber(Snap.Sum) << "\n";
+    OS << Prom << "_count " << Snap.Count << "\n";
+    std::string Rate = promMetricName(Name) + "_window_rate_per_sec";
+    promHeader(OS, Rate,
+               "pigeon windowed rate of " + std::string(Name), "gauge");
+    OS << Rate << " " << promNumber(Snap.RatePerSec) << "\n";
+  }
+}
+
+std::string MetricsRegistry::prometheusSnapshot() const {
+  std::ostringstream OS;
+  writePrometheus(OS);
+  return OS.str();
+}
+
+bool telemetry::writeFileAtomic(const std::string &Path,
+                                std::string_view Content) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(Content.data(),
+              static_cast<std::streamsize>(Content.size()));
+    Out.flush();
+    if (!Out.good())
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -444,6 +640,26 @@ void MetricsRegistry::printTable(std::ostream &OS) const {
                     TablePrinter::num(H->percentile(0.90), 3),
                     TablePrinter::num(H->percentile(0.99), 3),
                     TablePrinter::num(H->max(), 3)});
+    }
+    Table.print(OS);
+  }
+  if (!Windowed.empty()) {
+    TablePrinter Table("Windowed (sliding)");
+    Table.setHeader(
+        {"Metric", "Window s", "Count", "Rate/s", "p50", "p90", "p99"});
+    for (const auto &[Name, W] : Windowed) {
+      WindowedHistogram::Snapshot Snap = W->snapshot();
+      if (Snap.Count == 0) {
+        Table.addRow({Name, TablePrinter::num(Snap.WindowSeconds, 0), "0",
+                      "-", "-", "-", "-"});
+        continue;
+      }
+      Table.addRow({Name, TablePrinter::num(Snap.WindowSeconds, 0),
+                    std::to_string(Snap.Count),
+                    TablePrinter::num(Snap.RatePerSec, 3),
+                    TablePrinter::num(Snap.P50, 3),
+                    TablePrinter::num(Snap.P90, 3),
+                    TablePrinter::num(Snap.P99, 3)});
     }
     Table.print(OS);
   }

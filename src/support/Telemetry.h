@@ -30,6 +30,8 @@
 #ifndef PIGEON_SUPPORT_TELEMETRY_H
 #define PIGEON_SUPPORT_TELEMETRY_H
 
+#include "support/WindowedHistogram.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -210,10 +212,18 @@ public:
   Gauge &gauge(std::string_view Name);
   Histogram &histogram(std::string_view Name, std::vector<double> Bounds);
 
+  /// Find-or-create a sliding-window histogram. As with histogram(), the
+  /// first registration fixes bounds and window shape (\p Slices ring
+  /// slices of \p SliceSeconds each); later calls ignore them.
+  WindowedHistogram &windowed(std::string_view Name,
+                              std::vector<double> Bounds, size_t Slices = 6,
+                              double SliceSeconds = 10.0);
+
   /// Number of registered metrics of each kind (tests / introspection).
   size_t numCounters() const;
   size_t numGauges() const;
   size_t numHistograms() const;
+  size_t numWindowed() const;
 
   const TraceNode &traceRoot() const { return Root; }
 
@@ -227,6 +237,21 @@ public:
 
   /// writeJson() to \p Path. \returns false if the file cannot be written.
   bool writeJsonFile(const std::string &Path) const;
+
+  /// writeJson() rendered to a string (identical bytes, including the
+  /// trailing newline) — for callers that buffer before an atomic write.
+  std::string jsonSnapshot() const;
+
+  /// Renders every metric in Prometheus text exposition format v0.0.4:
+  /// counters as `<name>_total`, gauges as-is, histograms with cumulative
+  /// `_bucket{le=...}` plus `_sum`/`_count`, windowed histograms as
+  /// summaries (`<name>_window{quantile=...}`) with a `_rate_per_sec`
+  /// gauge. Metric names are sanitized to the Prometheus charset (dots
+  /// become underscores).
+  void writePrometheus(std::ostream &OS) const;
+
+  /// writePrometheus() rendered to a string.
+  std::string prometheusSnapshot() const;
 
   /// Renders counters, gauges and histogram summaries as aligned tables.
   void printTable(std::ostream &OS) const;
@@ -242,11 +267,26 @@ private:
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      Windowed;
   TraceNode Root;
 };
 
 /// Escapes \p S for inclusion in a JSON string literal (quotes excluded).
 std::string jsonEscape(std::string_view S);
+
+/// Maps a dotted metric name onto the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots and other invalid characters become
+/// underscores; a leading digit gets an underscore prefix.
+std::string promMetricName(std::string_view Name);
+
+/// Escapes \p S for a Prometheus label value (backslash, quote, newline).
+std::string promEscapeLabel(std::string_view S);
+
+/// Writes \p Content to \p Path atomically: write to `<Path>.tmp`, then
+/// rename over \p Path, so readers never observe a torn file. \returns
+/// false (leaving any previous file intact) on any failure.
+bool writeFileAtomic(const std::string &Path, std::string_view Content);
 
 } // namespace telemetry
 } // namespace pigeon

@@ -1,0 +1,166 @@
+//===- WindowedHistogram.cpp - Sliding-window histograms --------------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/WindowedHistogram.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+using namespace pigeon;
+using namespace pigeon::telemetry;
+
+namespace {
+
+double steadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+WindowedHistogram::WindowedHistogram(std::vector<double> UpperBounds,
+                                     size_t Slices, double SliceSeconds)
+    : Bounds(std::move(UpperBounds)),
+      SliceWidth(SliceSeconds > 0 ? SliceSeconds : 1.0),
+      Ring(std::max<size_t>(Slices, 1)) {
+  for (Slice &S : Ring)
+    S.Counts.assign(Bounds.size() + 1, 0);
+}
+
+double WindowedHistogram::monotonicNow(double NowSeconds) const {
+  if (Touched && NowSeconds < LastNow)
+    NowSeconds = LastNow; // Clock went backwards: clamp, never regress.
+  LastNow = NowSeconds;
+  Touched = true;
+  return NowSeconds;
+}
+
+WindowedHistogram::Slice &WindowedHistogram::sliceFor(int64_t Epoch) const {
+  Slice &S = Ring[static_cast<size_t>(Epoch) % Ring.size()];
+  if (S.Epoch != Epoch) {
+    // The slot's previous occupant is at least one full ring older;
+    // recycle it for the new epoch.
+    std::fill(S.Counts.begin(), S.Counts.end(), 0);
+    S.Count = 0;
+    S.Sum = 0;
+    S.Min = 0;
+    S.Max = 0;
+    S.Epoch = Epoch;
+  }
+  return S;
+}
+
+void WindowedHistogram::observe(double X) {
+  observeAt(steadyNowSeconds(), X);
+}
+
+void WindowedHistogram::observeAt(double NowSeconds, double X) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  double Now = monotonicNow(NowSeconds);
+  int64_t Epoch = static_cast<int64_t>(std::floor(Now / SliceWidth));
+  Slice &S = sliceFor(Epoch);
+  size_t B = 0;
+  while (B < Bounds.size() && X > Bounds[B])
+    ++B;
+  S.Counts[B] += 1;
+  if (S.Count == 0) {
+    S.Min = X;
+    S.Max = X;
+  } else {
+    S.Min = std::min(S.Min, X);
+    S.Max = std::max(S.Max, X);
+  }
+  S.Count += 1;
+  S.Sum += X;
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::snapshot() const {
+  return snapshotAt(steadyNowSeconds());
+}
+
+WindowedHistogram::Snapshot
+WindowedHistogram::snapshotAt(double NowSeconds) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  double Now = monotonicNow(NowSeconds);
+  int64_t Epoch = static_cast<int64_t>(std::floor(Now / SliceWidth));
+  int64_t Oldest = Epoch - static_cast<int64_t>(Ring.size()) + 1;
+
+  Snapshot Out;
+  Out.WindowSeconds = windowSeconds();
+  std::vector<uint64_t> Agg(Bounds.size() + 1, 0);
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+  for (const Slice &S : Ring) {
+    if (S.Epoch < Oldest || S.Epoch > Epoch || S.Count == 0)
+      continue; // Expired slice (cleared lazily on slot reuse) or empty.
+    for (size_t B = 0; B < Agg.size(); ++B)
+      Agg[B] += S.Counts[B];
+    Out.Count += S.Count;
+    Out.Sum += S.Sum;
+    Min = std::min(Min, S.Min);
+    Max = std::max(Max, S.Max);
+  }
+
+  Out.Buckets.reserve(Agg.size());
+  for (size_t B = 0; B < Agg.size(); ++B)
+    Out.Buckets.push_back({B < Bounds.size()
+                               ? Bounds[B]
+                               : std::numeric_limits<double>::infinity(),
+                           Agg[B]});
+
+  if (Out.Count == 0) {
+    double NaN = std::numeric_limits<double>::quiet_NaN();
+    Out.Min = Out.Max = Out.P50 = Out.P90 = Out.P99 = NaN;
+    return Out;
+  }
+  Out.Min = Min;
+  Out.Max = Max;
+  Out.RatePerSec = static_cast<double>(Out.Count) / Out.WindowSeconds;
+
+  // Same estimator as telemetry::Histogram::percentile: linear
+  // interpolation inside the containing bucket, clamped to extrema.
+  auto Percentile = [&](double P) {
+    double Rank = std::clamp(P, 0.0, 1.0) * static_cast<double>(Out.Count);
+    uint64_t Cumulative = 0;
+    for (size_t B = 0; B < Agg.size(); ++B) {
+      uint64_t InBucket = Agg[B];
+      if (InBucket == 0)
+        continue;
+      if (static_cast<double>(Cumulative + InBucket) >= Rank) {
+        double Lower = B == 0 ? Min : Bounds[B - 1];
+        double Upper = B < Bounds.size() ? Bounds[B] : Max;
+        Lower = std::clamp(Lower, Min, Max);
+        Upper = std::clamp(Upper, Min, Max);
+        double Frac = (Rank - static_cast<double>(Cumulative)) /
+                      static_cast<double>(InBucket);
+        return Lower + std::clamp(Frac, 0.0, 1.0) * (Upper - Lower);
+      }
+      Cumulative += InBucket;
+    }
+    return Max;
+  };
+  Out.P50 = Percentile(0.50);
+  Out.P90 = Percentile(0.90);
+  Out.P99 = Percentile(0.99);
+  return Out;
+}
+
+void WindowedHistogram::resetValue() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (Slice &S : Ring) {
+    std::fill(S.Counts.begin(), S.Counts.end(), 0);
+    S.Count = 0;
+    S.Sum = 0;
+    S.Min = 0;
+    S.Max = 0;
+    S.Epoch = -1;
+  }
+  Touched = false;
+  LastNow = 0;
+}

@@ -1,0 +1,126 @@
+//===- WindowedHistogram.h - Sliding-window histograms ----------*- C++ -*-===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ring-of-slices sliding-window histogram: the companion to the
+/// cumulative telemetry::Histogram for *resident* processes. A histogram
+/// that has been accumulating since process start answers "what was the
+/// p99 over the server's lifetime" — useless for a `pigeon serve` that
+/// has been up for a week. This one answers "what was the p99 over the
+/// last minute".
+///
+/// Time is cut into fixed slices (default 6 × 10 s). Each slice is a
+/// small fixed-bucket histogram (bucket counts + count/sum/min/max);
+/// observations land in the slice containing "now", and slices older
+/// than the window are cleared lazily the next time the ring slot they
+/// occupy is touched (by an observation or a snapshot). A snapshot
+/// aggregates the live slices and estimates percentiles exactly the way
+/// telemetry::Histogram does (linear interpolation inside the containing
+/// bucket, clamped to the window's observed min/max).
+///
+/// Clock semantics: callers normally use observe()/snapshot(), which
+/// read the monotonic clock. The *At variants take an explicit
+/// seconds-since-epoch value so tests can drive rotation
+/// deterministically. Time never runs backwards inside one instance: a
+/// caller-supplied timestamp earlier than the last seen one is clamped
+/// forward (monotonic-jump tolerance — a scheduling hiccup must not
+/// resurrect or wrongly expire slices). A forward jump larger than the
+/// whole window simply expires everything, as it should.
+///
+/// Thread-safety: every member is safe to call from any thread; one
+/// mutex serializes observation and snapshotting. The expected write
+/// rate is per-request/per-batch (thousands per second), not per-path —
+/// the hot extraction loops keep using the lock-free cumulative
+/// histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIGEON_SUPPORT_WINDOWEDHISTOGRAM_H
+#define PIGEON_SUPPORT_WINDOWEDHISTOGRAM_H
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pigeon {
+namespace telemetry {
+
+class WindowedHistogram {
+public:
+  /// \param UpperBounds inclusive bucket upper bounds, strictly
+  ///        ascending (an implicit overflow bucket catches the rest).
+  /// \param Slices number of ring slices (>= 1).
+  /// \param SliceSeconds width of one slice; the window covers
+  ///        Slices * SliceSeconds.
+  explicit WindowedHistogram(std::vector<double> UpperBounds,
+                             size_t Slices = 6, double SliceSeconds = 10.0);
+
+  /// Records \p X at the current monotonic time.
+  void observe(double X);
+  /// Records \p X at the explicit time \p NowSeconds (tests).
+  void observeAt(double NowSeconds, double X);
+
+  struct Bucket {
+    double UpperBound; ///< +inf for the overflow bucket.
+    uint64_t Count;
+  };
+
+  /// Aggregate view over the live window. Empty windows have NaN
+  /// percentiles/min/max (serialized as `null`), matching the cumulative
+  /// Histogram's contract — there is no p99 of nothing.
+  struct Snapshot {
+    uint64_t Count = 0;
+    double Sum = 0;
+    double Min = 0, Max = 0;     ///< NaN when Count == 0.
+    double P50 = 0, P90 = 0, P99 = 0;
+    double WindowSeconds = 0;    ///< Slices * SliceSeconds (capacity).
+    double RatePerSec = 0;       ///< Count / WindowSeconds.
+    std::vector<Bucket> Buckets; ///< Aggregated over live slices.
+  };
+
+  /// Snapshot at the current monotonic time. Rotation happens here too,
+  /// so a window that stopped receiving observations still decays.
+  Snapshot snapshot() const;
+  Snapshot snapshotAt(double NowSeconds) const;
+
+  size_t numSlices() const { return Ring.size(); }
+  double sliceSeconds() const { return SliceWidth; }
+  double windowSeconds() const {
+    return SliceWidth * static_cast<double>(Ring.size());
+  }
+
+  /// Clears every slice (registry reset).
+  void resetValue();
+
+private:
+  struct Slice {
+    int64_t Epoch = -1; ///< floor(time / SliceWidth); -1 = never used.
+    std::vector<uint64_t> Counts; ///< Bounds.size() + 1.
+    uint64_t Count = 0;
+    double Sum = 0;
+    double Min = 0, Max = 0; ///< Valid only when Count > 0.
+  };
+
+  /// Returns the slice for \p Epoch, clearing a stale occupant of its
+  /// ring slot. Callers hold Mutex.
+  Slice &sliceFor(int64_t Epoch) const;
+  /// Clamps \p NowSeconds to be monotonic w.r.t. the last seen time.
+  double monotonicNow(double NowSeconds) const;
+
+  std::vector<double> Bounds;
+  double SliceWidth;
+  // Snapshotting rotates (expires stale slices), so the ring state is
+  // mutable behind the mutex even on the const read path.
+  mutable std::mutex Mutex;
+  mutable std::vector<Slice> Ring;
+  mutable double LastNow = 0;
+  mutable bool Touched = false; ///< LastNow is meaningful only after use.
+};
+
+} // namespace telemetry
+} // namespace pigeon
+
+#endif // PIGEON_SUPPORT_WINDOWEDHISTOGRAM_H

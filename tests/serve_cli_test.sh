@@ -42,4 +42,50 @@ grep -q '"code":"bad_request"' "$TMP/responses" \
 grep -q '"id":3,"ok":false.*"code":"unknown_lang"' "$TMP/responses" \
   || fail "unknown language did not get an unknown_lang error"
 
+# --- Admin protocol over --stdio ---------------------------------------
+# Mixed serve + admin traffic: the admin lines answer under the
+# pigeon.admin.v1 schema, the serve line under pigeon.serve.v1, and an
+# unknown verb is a structured bad_request that does not kill the server.
+cat > "$TMP/admin_requests" <<'EOF'
+{"id":10,"admin":"health"}
+{"id":11,"lang":"js","source":"function g(y) { var out = y * 2; return out; }"}
+{"id":12,"admin":"metrics"}
+{"id":13,"admin":"slo"}
+{"id":14,"admin":"frobnicate"}
+EOF
+
+"$PIGEON" serve --model "$TMP/model.bin" --stdio --slo-p99-ms 5000 \
+  --prom "$TMP/metrics.prom" --metrics-interval 1 \
+  < "$TMP/admin_requests" > "$TMP/admin_responses" 2> "$TMP/admin.err" \
+  || fail "serve with admin traffic exited nonzero: $(cat "$TMP/admin.err")"
+
+[ "$(wc -l < "$TMP/admin_responses")" = 5 ] \
+  || fail "expected 5 admin-mix responses, got: $(cat "$TMP/admin_responses")"
+
+grep -q '"schema":"pigeon.admin.v1","id":10,"ok":true,"admin":"health"' \
+  "$TMP/admin_responses" || fail "admin:health did not answer"
+grep -q '"status":"ok"' "$TMP/admin_responses" \
+  || fail "health response carries no status"
+grep -q '"id":11,"ok":true' "$TMP/admin_responses" \
+  || fail "serve request between admin lines did not answer"
+grep -q '"admin":"metrics".*"schema":"pigeon.metrics.v1"' \
+  "$TMP/admin_responses" || fail "admin:metrics has no embedded snapshot"
+grep -q '"admin":"metrics".*"serve.request.seconds"' \
+  "$TMP/admin_responses" || fail "metrics snapshot has no windowed series"
+grep -q '"admin":"slo".*"target_p99_ms":5000' "$TMP/admin_responses" \
+  || fail "admin:slo does not echo the --slo-p99-ms target"
+grep -q '"schema":"pigeon.admin.v1","id":14,"ok":false.*"code":"bad_request"' \
+  "$TMP/admin_responses" || fail "unknown admin verb not a bad_request"
+
+# --prom writes Prometheus text exposition at shutdown (and every
+# --metrics-interval tick while running).
+[ -s "$TMP/metrics.prom" ] || fail "--prom wrote no exposition file"
+grep -q '^serve_requests_total ' "$TMP/metrics.prom" \
+  || fail "exposition lacks serve_requests_total"
+grep -q '^serve_request_seconds_bucket{le=' "$TMP/metrics.prom" \
+  || fail "exposition lacks serve_request_seconds histogram buckets"
+grep -q '^# TYPE serve_request_seconds histogram' "$TMP/metrics.prom" \
+  || fail "exposition lacks TYPE headers"
+[ -f "$TMP/metrics.prom.tmp" ] && fail "atomic-write staging file left behind"
+
 echo "PASS"

@@ -493,4 +493,214 @@ TEST(Serve, RequestsAppearInTheEventStream) {
   EXPECT_NE(Events.str().find("serve.batch"), std::string::npos);
 }
 
+TEST(Serve, WindowedAndHighWaterMetricsAreWired) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Service S(loadBundle());
+  // The sliding windows exist before any traffic (eager registration)...
+  EXPECT_GE(Reg.numWindowed(), 3u);
+  S.handleOne(requestLine(MinifiedFlag));
+  // ...and request latency lands in the last-minute window.
+  EXPECT_GE(Reg.windowed("serve.request.seconds", telemetry::timeBounds())
+                .snapshot()
+                .Count,
+            1u);
+  EXPECT_GE(
+      Reg.windowed("serve.batch.size", telemetry::linearBounds(1, 32))
+          .snapshot()
+          .Count,
+      1u);
+
+  // Queue high-water: three requests held in the queue push the gauge to
+  // at least 3.
+  S.pause();
+  std::vector<std::future<std::string>> Held;
+  for (int I = 0; I < 3; ++I) {
+    auto P = std::make_shared<std::promise<std::string>>();
+    Held.push_back(P->get_future());
+    S.submit(requestLine(MinifiedFlag),
+             [P](std::string R) { P->set_value(std::move(R)); });
+  }
+  EXPECT_GE(Reg.gauge("serve.queue.depth.max").value(), 3.0);
+  S.resume();
+  for (auto &F : Held)
+    F.get();
+}
+
+//===----------------------------------------------------------------------===//
+// Admin protocol (pigeon.admin.v1)
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, AdminMetricsReturnsEmbeddedSnapshot) {
+  Service S(loadBundle());
+  S.handleOne(requestLine(MinifiedFlag)); // Some traffic to report.
+  json::Value Doc = parsed(S.handleOne("{\"id\":7,\"admin\":\"metrics\"}"));
+  EXPECT_EQ(Doc.find("schema")->strOr(""), "pigeon.admin.v1");
+  EXPECT_EQ(Doc.find("id")->numberOr(-1), 7.0);
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  EXPECT_EQ(Doc.find("admin")->strOr(""), "metrics");
+  const json::Value *Metrics = Doc.find("metrics");
+  ASSERT_TRUE(Metrics && Metrics->isObject());
+  EXPECT_EQ(Metrics->find("schema")->strOr(""), "pigeon.metrics.v1");
+  ASSERT_TRUE(Metrics->find("windowed")->isObject());
+  EXPECT_TRUE(Metrics->find("windowed")->find("serve.request.seconds") !=
+              nullptr);
+}
+
+TEST(Serve, AdminHealthReportsBundleAndQueueState) {
+  Service S(loadBundle());
+  json::Value Doc = parsed(S.handleOne("{\"admin\":\"health\"}"));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  EXPECT_TRUE(Doc.find("id")->isNull()); // No id: echoed as null.
+  const json::Value *H = Doc.find("health");
+  ASSERT_TRUE(H && H->isObject());
+  EXPECT_EQ(H->find("status")->strOr(""), "ok");
+  EXPECT_EQ(H->find("lang")->strOr(""), "js");
+  EXPECT_EQ(H->find("task")->strOr(""), "vars");
+  EXPECT_GT(H->find("features")->numberOr(-1), 0.0);
+  EXPECT_GT(H->find("symbols")->numberOr(-1), 0.0);
+  EXPECT_GE(H->find("uptime_seconds")->numberOr(-1), 0.0);
+  EXPECT_EQ(H->find("in_flight")->numberOr(-1), 0.0);
+  EXPECT_EQ(H->find("queue_depth")->numberOr(-1), 0.0);
+  EXPECT_EQ(H->find("queue_capacity")->numberOr(-1), 256.0);
+  EXPECT_FALSE(H->find("paused")->boolean());
+  EXPECT_FALSE(H->find("draining")->boolean());
+}
+
+TEST(Serve, AdminSloComparesWindowedP99AgainstTarget) {
+  // Without a target: disabled, verdict unknown.
+  {
+    Service S(loadBundle());
+    json::Value Doc = parsed(S.handleOne("{\"admin\":\"slo\"}"));
+    ASSERT_TRUE(Doc.find("ok")->boolean());
+    const json::Value *Slo = Doc.find("slo");
+    ASSERT_TRUE(Slo && Slo->isObject());
+    EXPECT_TRUE(Slo->find("target_p99_ms")->isNull());
+    EXPECT_TRUE(Slo->find("ok")->isNull());
+  }
+  // With a generous target and recent traffic: a concrete verdict.
+  ServeConfig Config;
+  Config.SloP99Ms = 60000; // Any completed request beats one minute.
+  Service S(loadBundle(), Config);
+  S.handleOne(requestLine(MinifiedFlag));
+  json::Value Doc = parsed(S.handleOne("{\"id\":\"s\",\"admin\":\"slo\"}"));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const json::Value *Slo = Doc.find("slo");
+  ASSERT_TRUE(Slo && Slo->isObject());
+  EXPECT_EQ(Slo->find("target_p99_ms")->numberOr(-1), 60000.0);
+  EXPECT_GE(Slo->find("count")->numberOr(-1), 1.0);
+  EXPECT_GE(Slo->find("p99_ms")->numberOr(-1), 0.0);
+  ASSERT_TRUE(Slo->find("ok")->isBool());
+  EXPECT_TRUE(Slo->find("ok")->boolean());
+}
+
+TEST(Serve, AdminProfileReportsSamplerState) {
+  Service S(loadBundle());
+  S.handleOne(requestLine(MinifiedFlag));
+  json::Value Doc = parsed(S.handleOne("{\"admin\":\"profile\"}"));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const json::Value *P = Doc.find("profile");
+  ASSERT_TRUE(P && P->isObject());
+  EXPECT_TRUE(P->find("running")->isBool());
+  EXPECT_GE(P->find("samples")->numberOr(-1), 0.0);
+  EXPECT_GE(P->find("attributed")->numberOr(-1), 0.0);
+  EXPECT_TRUE(P->find("lines")->isArray());
+  EXPECT_TRUE(P->find("folded")->isString());
+}
+
+TEST(Serve, AdminPromReturnsExpositionText) {
+  Service S(loadBundle());
+  S.handleOne(requestLine(MinifiedFlag));
+  json::Value Doc = parsed(S.handleOne("{\"admin\":\"prom\"}"));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const json::Value *Prom = Doc.find("prom");
+  ASSERT_TRUE(Prom && Prom->isString());
+  EXPECT_NE(Prom->str().find("# HELP "), std::string::npos);
+  EXPECT_NE(Prom->str().find("serve_requests_total "), std::string::npos);
+  EXPECT_NE(Prom->str().find("serve_request_seconds_bucket{le="),
+            std::string::npos);
+}
+
+TEST(Serve, AdminUnknownVerbAndBadShapesAreBadRequests) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  uint64_t Bad0 = Reg.counter("serve.admin.bad_request").value();
+  Service S(loadBundle());
+
+  json::Value Unknown =
+      parsed(S.handleOne("{\"id\":3,\"admin\":\"frobnicate\"}"));
+  EXPECT_EQ(Unknown.find("schema")->strOr(""), "pigeon.admin.v1");
+  EXPECT_FALSE(Unknown.find("ok")->boolean());
+  EXPECT_EQ(Unknown.find("id")->numberOr(-1), 3.0);
+  EXPECT_EQ(errorCode(Unknown), "bad_request");
+  EXPECT_EQ(Reg.counter("serve.admin.bad_request").value(), Bad0 + 1);
+
+  json::Value NonString = parsed(S.handleOne("{\"admin\":42}"));
+  EXPECT_EQ(NonString.find("schema")->strOr(""), "pigeon.admin.v1");
+  EXPECT_EQ(errorCode(NonString), "bad_request");
+
+  json::Value BadId =
+      parsed(S.handleOne("{\"id\":[1],\"admin\":\"health\"}"));
+  EXPECT_EQ(BadId.find("schema")->strOr(""), "pigeon.admin.v1");
+  EXPECT_EQ(errorCode(BadId), "bad_request");
+
+  // A serve request whose *source* mentions admin is not an admin
+  // request: it goes down the normal path.
+  json::Value Normal = parsed(S.handleOne(
+      "{\"lang\":\"js\",\"source\":\"var admin = 1;\"}"));
+  EXPECT_EQ(Normal.find("schema")->strOr(""), "pigeon.serve.v1");
+}
+
+TEST(Serve, AdminIsNotCountedAsServeTraffic) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Service S(loadBundle());
+  uint64_t Requests0 = Reg.counter("serve.requests").value();
+  uint64_t Admin0 = Reg.counter("serve.admin.requests").value();
+  S.handleOne("{\"admin\":\"health\"}");
+  S.handleOne("{\"admin\":\"metrics\"}");
+  EXPECT_EQ(Reg.counter("serve.requests").value(), Requests0);
+  EXPECT_EQ(Reg.counter("serve.admin.requests").value(), Admin0 + 2);
+}
+
+TEST(Serve, AdminAnswersWhilePausedAndWhenQueueIsFull) {
+  ServeConfig Config;
+  Config.QueueCapacity = 2;
+  Service S(loadBundle(), Config);
+  S.pause();
+  std::vector<std::future<std::string>> Held;
+  for (int I = 0; I < 2; ++I) {
+    auto P = std::make_shared<std::promise<std::string>>();
+    Held.push_back(P->get_future());
+    S.submit(requestLine(MinifiedFlag),
+             [P](std::string R) { P->set_value(std::move(R)); });
+  }
+  // The queue is full and the batcher is paused — a serve request would
+  // answer `overloaded`, but admin introspection must still work, and
+  // must see the congestion it is there to diagnose.
+  std::string Response;
+  S.submit("{\"admin\":\"health\"}",
+           [&Response](std::string R) { Response = std::move(R); });
+  ASSERT_FALSE(Response.empty()); // Answered synchronously.
+  json::Value Doc = parsed(Response);
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const json::Value *H = Doc.find("health");
+  EXPECT_EQ(H->find("queue_depth")->numberOr(-1), 2.0);
+  EXPECT_GE(H->find("queue_high_water")->numberOr(-1), 2.0);
+  EXPECT_TRUE(H->find("paused")->boolean());
+  S.resume();
+  for (auto &F : Held)
+    F.get();
+}
+
+TEST(Serve, AdminHealthReportsDrainingAfterShutdown) {
+  Service S(loadBundle());
+  S.shutdown();
+  std::string Response;
+  S.submit("{\"admin\":\"health\"}",
+           [&Response](std::string R) { Response = std::move(R); });
+  ASSERT_FALSE(Response.empty());
+  json::Value Doc = parsed(Response);
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  EXPECT_EQ(Doc.find("health")->find("status")->strOr(""), "draining");
+  EXPECT_TRUE(Doc.find("health")->find("draining")->boolean());
+}
+
 } // namespace

@@ -12,6 +12,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <thread>
@@ -367,4 +370,211 @@ TEST(Tables, PrintTableAndTraceTableRender) {
   EXPECT_NE(OS.str().find("parse.files.ok"), std::string::npos);
   EXPECT_NE(OS.str().find("train"), std::string::npos);
   EXPECT_NE(OS.str().find("extract"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when \p Name matches the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+bool isPromName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (size_t I = 0; I < Name.size(); ++I) {
+    char Ch = Name[I];
+    bool Alpha = (Ch >= 'a' && Ch <= 'z') || (Ch >= 'A' && Ch <= 'Z') ||
+                 Ch == '_' || Ch == ':';
+    bool Digit = Ch >= '0' && Ch <= '9';
+    if (!(Alpha || (Digit && I > 0)))
+      return false;
+  }
+  return true;
+}
+
+/// True when \p Value is a legal exposition-format sample value: the
+/// non-finite spellings or a fully-consumed decimal.
+bool isPromValue(const std::string &Value) {
+  if (Value == "NaN" || Value == "+Inf" || Value == "-Inf")
+    return true;
+  if (Value.empty())
+    return false;
+  char *End = nullptr;
+  std::strtod(Value.c_str(), &End);
+  return End && *End == '\0';
+}
+
+/// Line-by-line grammar check of an exposition document: every line is a
+/// `# HELP` / `# TYPE` comment or `name[{labels}] value`.
+::testing::AssertionResult isValidExposition(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+  int N = 0;
+  while (std::getline(In, Line)) {
+    ++N;
+    if (Line.rfind("# HELP ", 0) == 0 || Line.rfind("# TYPE ", 0) == 0)
+      continue;
+    if (Line.rfind("#", 0) == 0)
+      return ::testing::AssertionFailure()
+             << "line " << N << ": unknown comment form: " << Line;
+    size_t Space = Line.rfind(' ');
+    if (Space == std::string::npos || Space == 0)
+      return ::testing::AssertionFailure()
+             << "line " << N << ": no value separator: " << Line;
+    std::string Series = Line.substr(0, Space);
+    std::string Value = Line.substr(Space + 1);
+    std::string Name = Series;
+    size_t Brace = Series.find('{');
+    if (Brace != std::string::npos) {
+      if (Series.back() != '}')
+        return ::testing::AssertionFailure()
+               << "line " << N << ": unterminated labels: " << Line;
+      Name = Series.substr(0, Brace);
+      std::string Labels = Series.substr(Brace + 1,
+                                         Series.size() - Brace - 2);
+      // Each label is name="value" with escaped quotes inside.
+      if (Labels.find('=') == std::string::npos)
+        return ::testing::AssertionFailure()
+               << "line " << N << ": malformed labels: " << Line;
+    }
+    if (!isPromName(Name))
+      return ::testing::AssertionFailure()
+             << "line " << N << ": bad metric name: " << Line;
+    if (!isPromValue(Value))
+      return ::testing::AssertionFailure()
+             << "line " << N << ": bad sample value: " << Line;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace
+
+TEST(Prometheus, MetricNameSanitization) {
+  EXPECT_EQ(promMetricName("serve.request.seconds"),
+            "serve_request_seconds");
+  EXPECT_EQ(promMetricName("already_fine"), "already_fine");
+  EXPECT_EQ(promMetricName("name:with:colons"), "name:with:colons");
+  EXPECT_EQ(promMetricName("weird-name+x"), "weird_name_x");
+  EXPECT_EQ(promMetricName("9lives"), "_9lives"); // No leading digit.
+  EXPECT_EQ(promMetricName(""), "_");
+}
+
+TEST(Prometheus, LabelEscaping) {
+  EXPECT_EQ(promEscapeLabel("plain"), "plain");
+  EXPECT_EQ(promEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(promEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(promEscapeLabel("line\nbreak"), "line\\nbreak");
+}
+
+TEST(Prometheus, CountersGetTotalSuffixExactlyOnce) {
+  MetricsRegistry Reg;
+  Reg.counter("serve.requests").add(5);
+  Reg.counter("bytes.total").add(7); // Sanitizes to an existing _total.
+  std::string S = Reg.prometheusSnapshot();
+  EXPECT_NE(S.find("serve_requests_total 5\n"), std::string::npos);
+  EXPECT_NE(S.find("# TYPE serve_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(S.find("bytes_total 7\n"), std::string::npos);
+  EXPECT_EQ(S.find("bytes_total_total"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulative) {
+  MetricsRegistry Reg;
+  Histogram &H = Reg.histogram("paths.length", linearBounds(1, 3));
+  H.observe(0.5); // le=1
+  H.observe(1.5); // le=2
+  H.observe(2.5); // le=3
+  H.observe(99);  // overflow
+  std::string S = Reg.prometheusSnapshot();
+  EXPECT_NE(S.find("# TYPE paths_length histogram\n"), std::string::npos);
+  EXPECT_NE(S.find("paths_length_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(S.find("paths_length_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(S.find("paths_length_bucket{le=\"3\"} 3\n"), std::string::npos);
+  // The +Inf bucket is cumulative over everything and equals _count.
+  EXPECT_NE(S.find("paths_length_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(S.find("paths_length_count 4\n"), std::string::npos);
+  EXPECT_NE(S.find("paths_length_sum "), std::string::npos);
+}
+
+TEST(Prometheus, WindowedExportsAsSummaryWithRate) {
+  MetricsRegistry Reg;
+  WindowedHistogram &W =
+      Reg.windowed("serve.request.seconds", linearBounds(1, 4), 3, 10.0);
+  W.observeAt(5.0, 2.0);
+  std::string S = Reg.prometheusSnapshot();
+  EXPECT_NE(S.find("# TYPE serve_request_seconds_window summary\n"),
+            std::string::npos);
+  EXPECT_NE(S.find("serve_request_seconds_window{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(S.find("serve_request_seconds_window{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(S.find("serve_request_seconds_window_count "),
+            std::string::npos);
+  EXPECT_NE(S.find("serve_request_seconds_window_rate_per_sec "),
+            std::string::npos);
+  EXPECT_TRUE(isValidExposition(S));
+}
+
+TEST(Prometheus, NonFiniteValuesUseExpositionSpellings) {
+  MetricsRegistry Reg;
+  Reg.gauge("nan.gauge").set(std::numeric_limits<double>::quiet_NaN());
+  Reg.gauge("inf.gauge").set(std::numeric_limits<double>::infinity());
+  // An empty window has NaN percentiles — legal exposition values.
+  Reg.windowed("empty.window", linearBounds(1, 2));
+  std::string S = Reg.prometheusSnapshot();
+  EXPECT_NE(S.find("nan_gauge NaN\n"), std::string::npos);
+  EXPECT_NE(S.find("inf_gauge +Inf\n"), std::string::npos);
+  EXPECT_NE(S.find("empty_window_window{quantile=\"0.99\"} NaN\n"),
+            std::string::npos);
+  EXPECT_TRUE(isValidExposition(S));
+}
+
+TEST(Prometheus, FullSnapshotPassesGrammarCheckAndIsStable) {
+  MetricsRegistry Reg;
+  Reg.counter("parse.files.ok").add(3);
+  Reg.gauge("crf.features").set(1234.5);
+  Histogram &H = Reg.histogram("paths.length", linearBounds(1, 4));
+  H.observe(2);
+  Reg.windowed("serve.request.seconds", timeBounds()).observeAt(1.0, 0.01);
+  std::string A = Reg.prometheusSnapshot();
+  std::string B = Reg.prometheusSnapshot();
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(isValidExposition(A));
+  // Every series carries HELP/TYPE headers.
+  EXPECT_NE(A.find("# HELP parse_files_ok_total "), std::string::npos);
+  EXPECT_NE(A.find("# HELP crf_features "), std::string::npos);
+  EXPECT_NE(A.find("# TYPE crf_features gauge\n"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic file writes
+//===----------------------------------------------------------------------===//
+
+TEST(Files, WriteFileAtomicWritesAndReplaces) {
+  const std::string Path = "telemetry_test_atomic.tmp.json";
+  ASSERT_TRUE(writeFileAtomic(Path, "first\n"));
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    EXPECT_EQ(Buf.str(), "first\n");
+  }
+  // No stray staging file is left behind.
+  EXPECT_FALSE(std::ifstream(Path + ".tmp").good());
+  // Replacement is in-place and complete.
+  ASSERT_TRUE(writeFileAtomic(Path, "second\n"));
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    EXPECT_EQ(Buf.str(), "second\n");
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Files, WriteFileAtomicFailsCleanlyOnBadPath) {
+  EXPECT_FALSE(writeFileAtomic("/nonexistent-dir/sub/metrics.json", "x"));
 }

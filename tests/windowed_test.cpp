@@ -1,0 +1,189 @@
+//===- windowed_test.cpp - Unit tests for support/WindowedHistogram --------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/WindowedHistogram.h"
+
+#include "support/Json.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace pigeon;
+using namespace pigeon::telemetry;
+
+namespace {
+
+std::vector<double> smallBounds() { return {1, 2, 4, 8}; }
+
+} // namespace
+
+TEST(Windowed, Shape) {
+  WindowedHistogram W(smallBounds(), /*Slices=*/3, /*SliceSeconds=*/10.0);
+  EXPECT_EQ(W.numSlices(), 3u);
+  EXPECT_EQ(W.sliceSeconds(), 10.0);
+  EXPECT_EQ(W.windowSeconds(), 30.0);
+}
+
+TEST(Windowed, EmptyWindowHasNaNPercentiles) {
+  WindowedHistogram W(smallBounds());
+  WindowedHistogram::Snapshot S = W.snapshotAt(100.0);
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Sum, 0.0);
+  EXPECT_EQ(S.RatePerSec, 0.0);
+  EXPECT_TRUE(std::isnan(S.Min));
+  EXPECT_TRUE(std::isnan(S.Max));
+  EXPECT_TRUE(std::isnan(S.P50));
+  EXPECT_TRUE(std::isnan(S.P90));
+  EXPECT_TRUE(std::isnan(S.P99));
+  // Buckets are still shaped (bounds + overflow), just empty.
+  ASSERT_EQ(S.Buckets.size(), smallBounds().size() + 1);
+  for (const WindowedHistogram::Bucket &B : S.Buckets)
+    EXPECT_EQ(B.Count, 0u);
+  EXPECT_TRUE(std::isinf(S.Buckets.back().UpperBound));
+}
+
+TEST(Windowed, AggregatesLiveSlices) {
+  WindowedHistogram W(smallBounds(), 3, 10.0);
+  W.observeAt(5.0, 1.0);
+  W.observeAt(12.0, 3.0);
+  W.observeAt(25.0, 7.0);
+  WindowedHistogram::Snapshot S = W.snapshotAt(29.0);
+  EXPECT_EQ(S.Count, 3u);
+  EXPECT_DOUBLE_EQ(S.Sum, 11.0);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 7.0);
+  EXPECT_DOUBLE_EQ(S.RatePerSec, 3.0 / 30.0);
+}
+
+// The acceptance-criteria pin: an observation leaves the window once its
+// slice rotates out, and the percentiles reflect only what remains.
+TEST(Windowed, P99DecaysAsSlicesExpire) {
+  WindowedHistogram W(smallBounds(), /*Slices=*/3, /*SliceSeconds=*/10.0);
+  W.observeAt(5.0, 8.0);  // Slice epoch 0 — the slow outlier.
+  W.observeAt(12.0, 1.0); // Slice epoch 1 — fast traffic.
+
+  // Both slices live: the outlier dominates the tail.
+  WindowedHistogram::Snapshot Both = W.snapshotAt(20.0);
+  EXPECT_EQ(Both.Count, 2u);
+  EXPECT_GT(Both.P99, 4.0);
+
+  // At t=36 the window is epochs {1,2,3}: epoch 0 (the outlier) is gone,
+  // epoch 1 remains. The p99 collapses to the fast request.
+  WindowedHistogram::Snapshot Later = W.snapshotAt(36.0);
+  EXPECT_EQ(Later.Count, 1u);
+  EXPECT_DOUBLE_EQ(Later.Max, 1.0);
+  EXPECT_LE(Later.P99, 1.0);
+
+  // At t=70 everything has rotated out: empty window, NaN percentiles.
+  WindowedHistogram::Snapshot Gone = W.snapshotAt(70.0);
+  EXPECT_EQ(Gone.Count, 0u);
+  EXPECT_TRUE(std::isnan(Gone.P99));
+}
+
+TEST(Windowed, SliceSlotRecyclingClearsStaleCounts) {
+  WindowedHistogram W(smallBounds(), /*Slices=*/2, /*SliceSeconds=*/1.0);
+  W.observeAt(0.5, 1.0); // Epoch 0, ring slot 0.
+  W.observeAt(2.5, 3.0); // Epoch 2, same ring slot — must recycle it.
+  WindowedHistogram::Snapshot S = W.snapshotAt(2.9);
+  EXPECT_EQ(S.Count, 1u);
+  EXPECT_DOUBLE_EQ(S.Sum, 3.0);
+}
+
+TEST(Windowed, BackwardClockJumpIsClamped) {
+  WindowedHistogram W(smallBounds(), 3, 10.0);
+  W.observeAt(25.0, 2.0);
+  // A timestamp earlier than the last seen one must not resurrect or
+  // wrongly expire slices — it is treated as "now" = 25.0 again.
+  W.observeAt(3.0, 4.0);
+  WindowedHistogram::Snapshot S = W.snapshotAt(26.0);
+  EXPECT_EQ(S.Count, 2u);
+  EXPECT_DOUBLE_EQ(S.Sum, 6.0);
+  // And a backward snapshot time is clamped too (nothing expires).
+  WindowedHistogram::Snapshot Again = W.snapshotAt(1.0);
+  EXPECT_EQ(Again.Count, 2u);
+}
+
+TEST(Windowed, ForwardJumpBiggerThanWindowExpiresEverything) {
+  WindowedHistogram W(smallBounds(), 3, 10.0);
+  W.observeAt(5.0, 1.0);
+  WindowedHistogram::Snapshot S = W.snapshotAt(1000.0);
+  EXPECT_EQ(S.Count, 0u);
+}
+
+TEST(Windowed, PercentileMatchesCumulativeHistogramEstimator) {
+  // Same observations into a cumulative Histogram and a window wide
+  // enough to hold them all: the estimators must agree.
+  Histogram H(smallBounds());
+  WindowedHistogram W(smallBounds(), 1, 1000.0);
+  for (double X : {0.5, 1.5, 1.7, 3.0, 3.5, 6.0, 7.5, 9.0}) {
+    H.observe(X);
+    W.observeAt(10.0, X);
+  }
+  WindowedHistogram::Snapshot S = W.snapshotAt(10.0);
+  EXPECT_DOUBLE_EQ(S.P50, H.percentile(0.50));
+  EXPECT_DOUBLE_EQ(S.P90, H.percentile(0.90));
+  EXPECT_DOUBLE_EQ(S.P99, H.percentile(0.99));
+}
+
+TEST(Windowed, ResetClearsEverything) {
+  WindowedHistogram W(smallBounds(), 3, 10.0);
+  W.observeAt(5.0, 2.0);
+  W.resetValue();
+  EXPECT_EQ(W.snapshotAt(6.0).Count, 0u);
+  // After reset the clock clamp restarts: earlier timestamps are fine.
+  W.observeAt(1.0, 3.0);
+  EXPECT_EQ(W.snapshotAt(1.5).Count, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry integration
+//===----------------------------------------------------------------------===//
+
+TEST(Windowed, RegistryFindOrCreateIsStableAndFirstParamsWin) {
+  MetricsRegistry Reg;
+  WindowedHistogram &A = Reg.windowed("serve.request.seconds",
+                                      smallBounds(), 3, 10.0);
+  WindowedHistogram &B = Reg.windowed("serve.request.seconds",
+                                      linearBounds(1, 99), 9, 1.0);
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(A.numSlices(), 3u); // Later registration params ignored.
+  EXPECT_EQ(Reg.numWindowed(), 1u);
+}
+
+TEST(Windowed, RegistryJsonHasWindowedSectionAndNullsWhenEmpty) {
+  MetricsRegistry Reg;
+  WindowedHistogram &W = Reg.windowed("w.lat", smallBounds(), 3, 10.0);
+  // Real clock here: writeJson snapshots with the real clock too, and an
+  // immediately preceding observation is well inside the window.
+  W.observe(2.0);
+
+  std::ostringstream OS;
+  Reg.writeJson(OS);
+  std::optional<json::Value> Doc = json::parse(OS.str());
+  ASSERT_TRUE(Doc);
+  const json::Value *Win = Doc->find("windowed");
+  ASSERT_TRUE(Win && Win->isObject());
+  const json::Value *Lat = Win->find("w.lat");
+  ASSERT_TRUE(Lat && Lat->isObject());
+  EXPECT_EQ(Lat->find("window_seconds")->number(), 30.0);
+  EXPECT_EQ(Lat->find("count")->number(), 1.0);
+  ASSERT_TRUE(Lat->find("buckets")->isArray());
+
+  // reset() empties the window; percentiles serialize as null, not 0.
+  Reg.reset();
+  std::ostringstream OS2;
+  Reg.writeJson(OS2);
+  std::optional<json::Value> Doc2 = json::parse(OS2.str());
+  ASSERT_TRUE(Doc2);
+  const json::Value *Lat2 = Doc2->find("windowed")->find("w.lat");
+  ASSERT_TRUE(Lat2);
+  EXPECT_TRUE(Lat2->find("p99")->isNull());
+  EXPECT_TRUE(Lat2->find("min")->isNull());
+  EXPECT_EQ(Lat2->find("count")->number(), 0.0);
+}

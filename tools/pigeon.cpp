@@ -57,11 +57,13 @@
 #include "serve/Serve.h"
 #include "support/EventLog.h"
 #include "support/Parallel.h"
+#include "support/PhaseProfiler.h"
 #include "support/TablePrinter.h"
 #include "support/Telemetry.h"
 
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -70,8 +72,10 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 using namespace pigeon;
 using namespace pigeon::ast;
@@ -94,7 +98,8 @@ int usage() {
          " (--from-contexts CTX | --lang <js|java|py|cs> PATH...)\n"
          "  pigeon predict --model MODEL FILE\n"
          "  pigeon serve   --model MODEL (--socket PATH | --stdio)\n"
-         "                 [--batch N] [--queue N]\n"
+         "                 [--batch N] [--queue N] [--slo-p99-ms MS]\n"
+         "                 [--prom FILE] [--metrics-interval SECONDS]\n"
          "  pigeon demo    --lang <js|java|py|cs>\n"
          "  pigeon synth   --lang <js|java|py|cs> --out DIR"
          " [--projects N] [--seed S]\n"
@@ -115,7 +120,15 @@ int usage() {
          "Every subcommand accepts --threads N to size the worker pool for\n"
          "the sharded parse/extract/inference stages (0 = one per core);\n"
          "the PIGEON_THREADS environment variable is the fallback. Results\n"
-         "are identical at any thread count.\n";
+         "are identical at any thread count.\n"
+         "\n"
+         "Every subcommand accepts --profile FILE to sample phase stacks\n"
+         "(~97 Hz) and write a flamegraph.pl-compatible folded-stack report\n"
+         "at exit. `pigeon serve` always samples (admin:\"profile\" reads it)\n"
+         "and additionally accepts --prom FILE (Prometheus text exposition,\n"
+         "rewritten every --metrics-interval seconds, default 10, alongside\n"
+         "--metrics/--trace) and --slo-p99-ms MS (the admin:\"slo\" target\n"
+         "for the windowed serve.request.seconds p99).\n";
   return 2;
 }
 
@@ -555,6 +568,13 @@ int cmdPredict(const std::string &ModelPath, const std::string &Path) {
 // serve
 //===----------------------------------------------------------------------===//
 
+/// The --metrics/--prom/--profile destinations, stashed as globals so
+/// both the fatal-path flush and the serve-time periodic flusher reach
+/// them. Declared here because cmdServe's flusher thread uses them.
+std::string DiagMetricsPath;
+std::string DiagPromPath;
+std::string DiagProfilePath;
+
 /// Set by SIGTERM/SIGINT; the serve loops poll it every 200 ms and wind
 /// down cleanly — drain in-flight requests, flush telemetry — instead of
 /// dying mid-batch.
@@ -563,7 +583,7 @@ std::atomic<bool> ServeStop{false};
 void onServeSignal(int) { ServeStop.store(true, std::memory_order_relaxed); }
 
 int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
-             bool Stdio, serve::ServeConfig Config) {
+             bool Stdio, serve::ServeConfig Config, double FlushInterval) {
   std::ifstream In(ModelPath, std::ios::binary);
   if (!In) {
     std::cerr << openError("read", ModelPath) << "\n";
@@ -591,11 +611,51 @@ int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
             << Service.bundle().Model.numFeatures() << " features), "
             << (Stdio ? "stdio" : "socket " + SocketPath) << "\n";
 
-  telemetry::TraceScope Phase("serve");
-  int RC = Stdio ? serve::serveFdLoop(Service, /*InFd=*/0, /*OutFd=*/1,
-                                      ServeStop)
-                 : serve::serveSocket(Service, SocketPath, ServeStop);
-  Service.shutdown();
+  // The resident server always samples phase stacks so admin:"profile"
+  // has data; batch subcommands only sample under --profile.
+  telemetry::PhaseProfiler::global().start();
+
+  // Periodic telemetry flush: a resident process must not hold its
+  // observability hostage to a clean exit. Each tick atomically rewrites
+  // the --metrics and --prom files and syncs the --trace stream.
+  std::mutex FlushMutex;
+  std::condition_variable FlushCV;
+  bool FlushStop = false;
+  std::thread Flusher;
+  bool WantFlusher = FlushInterval > 0 &&
+                     (!DiagMetricsPath.empty() || !DiagPromPath.empty() ||
+                      telemetry::EventLog::global().enabled());
+  if (WantFlusher)
+    Flusher = std::thread([&] {
+      std::unique_lock<std::mutex> L(FlushMutex);
+      auto Tick = std::chrono::duration<double>(FlushInterval);
+      while (!FlushCV.wait_for(L, Tick, [&] { return FlushStop; })) {
+        auto &Reg = telemetry::MetricsRegistry::global();
+        if (!DiagMetricsPath.empty())
+          telemetry::writeFileAtomic(DiagMetricsPath, Reg.jsonSnapshot());
+        if (!DiagPromPath.empty())
+          telemetry::writeFileAtomic(DiagPromPath,
+                                     Reg.prometheusSnapshot());
+        telemetry::EventLog::global().flush();
+      }
+    });
+
+  int RC;
+  {
+    telemetry::TraceScope Phase("serve");
+    RC = Stdio ? serve::serveFdLoop(Service, /*InFd=*/0, /*OutFd=*/1,
+                                    ServeStop)
+               : serve::serveSocket(Service, SocketPath, ServeStop);
+    Service.shutdown();
+  }
+  if (Flusher.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(FlushMutex);
+      FlushStop = true;
+    }
+    FlushCV.notify_all();
+    Flusher.join();
+  }
   return RC;
 }
 
@@ -754,23 +814,35 @@ int cmdExplain(Language Lang, const std::string &TaskName, int TopK,
 // Diagnostics flushing
 //===----------------------------------------------------------------------===//
 
-/// The --metrics destination, stashed so fatal paths can flush it too.
-std::string DiagMetricsPath;
-
-/// Best-effort flush of the --metrics snapshot and the --trace event
-/// stream. Safe to call more than once: the metrics write is a whole-file
-/// rewrite and EventLog::close() is idempotent. \returns false when a
-/// requested metrics snapshot could not be written.
+/// Best-effort flush of the --metrics snapshot, the --prom exposition,
+/// the --profile folded stacks and the --trace event stream. Safe to
+/// call more than once: every write is a whole-file atomic rewrite and
+/// EventLog::close() is idempotent. \returns false when a requested
+/// metrics snapshot could not be written.
 bool flushDiagnostics() {
   bool Ok = true;
+  auto &Reg = telemetry::MetricsRegistry::global();
   if (!DiagMetricsPath.empty()) {
-    if (telemetry::MetricsRegistry::global().writeJsonFile(DiagMetricsPath))
+    if (telemetry::writeFileAtomic(DiagMetricsPath, Reg.jsonSnapshot()))
       std::cerr << "metrics written to " << DiagMetricsPath << "\n";
     else {
       std::cerr << "error: cannot write metrics to " << DiagMetricsPath
                 << "\n";
       Ok = false;
     }
+  }
+  if (!DiagPromPath.empty() &&
+      !telemetry::writeFileAtomic(DiagPromPath, Reg.prometheusSnapshot()))
+    std::cerr << "error: cannot write Prometheus exposition to "
+              << DiagPromPath << "\n";
+  if (!DiagProfilePath.empty()) {
+    auto &Prof = telemetry::PhaseProfiler::global();
+    Prof.stop(); // Quiesce the sampler before reading the final counts.
+    if (Prof.writeFolded(DiagProfilePath))
+      std::cerr << "profile written to " << DiagProfilePath << "\n";
+    else
+      std::cerr << "error: cannot write profile to " << DiagProfilePath
+                << "\n";
   }
   telemetry::EventLog::global().close();
   return Ok;
@@ -787,8 +859,9 @@ int main(int argc, char **argv) {
   // Shared flag parsing.
   std::optional<Language> Lang;
   std::string ModelPath, OutPath, MetricsPath, TracePath, ContextsPath;
-  std::string SocketPath;
+  std::string SocketPath, PromPath, ProfilePath;
   bool Stdio = false;
+  double MetricsInterval = 10.0;
   serve::ServeConfig ServeOptions;
   std::string TaskName = "vars";
   int Projects = 24;
@@ -842,6 +915,31 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--stdio") {
       Stdio = true;
+    } else if (Arg == "--prom") {
+      PromPath = Value();
+      if (PromPath.empty()) {
+        std::cerr << "error: --prom requires a file path\n";
+        return 2;
+      }
+    } else if (Arg == "--profile") {
+      ProfilePath = Value();
+      if (ProfilePath.empty()) {
+        std::cerr << "error: --profile requires a file path\n";
+        return 2;
+      }
+    } else if (Arg == "--metrics-interval") {
+      MetricsInterval = std::atof(Value().c_str());
+      if (MetricsInterval <= 0) {
+        std::cerr << "error: --metrics-interval wants a positive number "
+                     "of seconds\n";
+        return 2;
+      }
+    } else if (Arg == "--slo-p99-ms") {
+      ServeOptions.SloP99Ms = std::atof(Value().c_str());
+      if (ServeOptions.SloP99Ms <= 0) {
+        std::cerr << "error: --slo-p99-ms wants a positive target\n";
+        return 2;
+      }
     } else if (Arg == "--batch") {
       long N = std::atol(Value().c_str());
       if (N <= 0) {
@@ -899,11 +997,15 @@ int main(int argc, char **argv) {
       TracePath = Env;
   }
   DiagMetricsPath = MetricsPath;
+  DiagPromPath = PromPath;
+  DiagProfilePath = ProfilePath;
   if (!TracePath.empty() &&
       !telemetry::EventLog::global().open(TracePath)) {
     std::cerr << "error: cannot open trace file " << TracePath << "\n";
     return 2;
   }
+  if (!ProfilePath.empty())
+    telemetry::PhaseProfiler::global().start();
 
   // Uncaught exceptions (including ones escaping noexcept contexts) still
   // flush whatever telemetry exists — a crashing run is exactly the one
@@ -973,7 +1075,8 @@ int main(int argc, char **argv) {
       if (ModelPath.empty() || !Positional.empty() ||
           Stdio == !SocketPath.empty())
         return usage();
-      RC = cmdServe(ModelPath, SocketPath, Stdio, ServeOptions);
+      RC = cmdServe(ModelPath, SocketPath, Stdio, ServeOptions,
+                    MetricsInterval);
     } else if (Command == "demo") {
       if (!Lang)
         return usage();
