@@ -138,6 +138,20 @@ void BM_SgnsTrain(benchmark::State &State) {
 }
 BENCHMARK(BM_SgnsTrain);
 
+/// Repeated full-corpus parses into the global registry, so the `parse`
+/// phase in the sidecar carries real percentiles. corpus() contributes a
+/// single observation, which made p50/p90/p99 all equal that one run —
+/// a distribution of one, useless for spotting tail regressions.
+void recordParsePhase() {
+  const auto &Files = sources();
+  for (int Rep = 0; Rep < 8; ++Rep) {
+    // parseCorpus opens its own "parse" phase; each run is one histogram
+    // observation.
+    Corpus C = parseCorpus(Files, Language::JavaScript);
+    benchmark::DoNotOptimize(C.Files.size());
+  }
+}
+
 /// Measured extraction pass for the trajectory gate: contexts/sec through
 /// the packed hot path and the packed-bytes cost per context. Gauges whose
 /// names contain `per_sec` are throughput-gated by tools/bench_report, so
@@ -189,6 +203,7 @@ int main(int argc, char **argv) {
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  recordParsePhase();
   recordExtractionThroughput();
   pigeon::bench::writeBenchSidecar("bench_micro");
   return 0;

@@ -73,6 +73,27 @@ void Tree::remapSymbols(const std::vector<uint32_t> &Map,
   Interner = &NewInterner;
 }
 
+void Tree::remapProvisional(const std::vector<uint32_t> &Map,
+                            StringInterner &NewInterner) {
+  constexpr uint32_t Bit = StringInterner::ProvisionalBit;
+  auto Remap = [&](Symbol S) {
+    uint32_t Id = S.index();
+    if (!(Id & Bit))
+      return S; // Resolved against the overlay's base: already final.
+    assert((Id & ~Bit) < Map.size() && "symbol outside the remap table");
+    return Symbol::fromIndex(Map[Id & ~Bit]);
+  };
+  for (Node &N : Nodes) {
+    N.Kind = Remap(N.Kind);
+    N.Value = Remap(N.Value);
+  }
+  for (ElementInfo &E : Elements)
+    E.Name = Remap(E.Name);
+  for (auto &[Id, Type] : Types)
+    Type = Remap(Type);
+  Interner = &NewInterner;
+}
+
 std::string Tree::dump() const {
   std::string Out;
   // Preorder ids mean a simple scan prints the tree correctly with depth

@@ -156,6 +156,17 @@ public:
   void remapSymbols(const std::vector<uint32_t> &Map,
                     StringInterner &NewInterner);
 
+  /// Rewrites only *provisional* symbols (StringInterner::ProvisionalBit
+  /// set — produced by parsing against a delta overlay) through \p Map —
+  /// overlay-local index → final index in \p NewInterner — and repoints
+  /// the tree at \p NewInterner. Symbols that resolved against the
+  /// overlay's base are already final and pass through untouched. This is
+  /// the merge step of the shared-interner sharded parse: cost is
+  /// proportional to the shard's *novel* symbols, not to the corpus
+  /// vocabulary (see core::parseCorpus).
+  void remapProvisional(const std::vector<uint32_t> &Map,
+                        StringInterner &NewInterner);
+
   /// Pretty-prints the tree (one node per line, indented) for debugging.
   std::string dump() const;
 

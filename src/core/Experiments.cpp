@@ -136,37 +136,62 @@ core::extractCorpusContexts(const Corpus &Corpus,
   };
 
   size_t Threads = parallel::resolveThreads(Options.Threads);
-  size_t NumChunks = parallel::chunkCountFor(Indices.size(), Threads);
+  // Cost-balanced plan over tree sizes: extraction work scales with node
+  // count, so a giant tree gets an (oversubscribed, stealable) chunk of
+  // its own instead of anchoring a straggler.
+  std::vector<uint64_t> Costs;
+  Costs.reserve(Indices.size());
+  for (size_t I : Indices)
+    Costs.push_back(Corpus.Files[I].Tree.size());
+  parallel::ChunkPlan Plan =
+      parallel::planChunks(Indices.size(), Threads, Costs);
+  size_t NumChunks = Plan.count();
   if (NumChunks <= 1) {
     for (size_t I = 0; I < Indices.size(); ++I)
       ExtractFile(I, Table);
     return Out;
   }
 
-  std::vector<PathTable> ChunkTables(NumChunks);
-  std::vector<std::pair<size_t, size_t>> Ranges(NumChunks);
-  parallel::parallelChunks(Indices.size(), Threads,
-                           [&](size_t Chunk, size_t Begin, size_t End) {
-                             Ranges[Chunk] = {Begin, End};
-                             for (size_t I = Begin; I < End; ++I)
-                               ExtractFile(I, ChunkTables[Chunk]);
-                           });
+  // Chunk 0 extracts serially into the shared table, warming it with the
+  // common paths; the remaining chunks extract into delta overlays that
+  // read the then-frozen shared table and store only novel paths.
+  for (size_t I = Plan.begin(0); I < Plan.end(0); ++I)
+    ExtractFile(I, Table);
+  std::vector<std::unique_ptr<PathTable>> Overlays(NumChunks);
+  parallel::parallelChunks(
+      Plan, Threads,
+      [&](size_t Chunk, size_t Begin, size_t End) {
+        Overlays[Chunk] =
+            std::make_unique<PathTable>(PathTable::Delta, Table);
+        for (size_t I = Begin; I < End; ++I)
+          ExtractFile(I, *Overlays[Chunk]);
+      },
+      /*FirstChunk=*/1);
 
-  // Absorbing contiguous chunk tables in chunk order replays the serial
-  // first-encounter order of path strings, so the rewritten PathIds (and
-  // Table itself) match a single-threaded extraction bit for bit.
-  for (size_t Chunk = 0; Chunk < NumChunks; ++Chunk) {
-    std::vector<PathId> Map = Table.absorb(ChunkTables[Chunk]);
-    auto [Begin, End] = Ranges[Chunk];
-    for (size_t I = Begin; I < End; ++I) {
-      for (PathContext &Ctx : Out[I].Contexts)
-        if (Ctx.Path != InvalidPath)
-          Ctx.Path = Map[Ctx.Path];
-      for (TriContext &Tri : Out[I].Tris)
-        if (Tri.Path != InvalidPath)
-          Tri.Path = Map[Tri.Path];
-    }
-  }
+  // Absorbing the overlays' novel paths in chunk order replays the serial
+  // first-encounter order of path bytes, so the rewritten PathIds (and
+  // Table itself) match a single-threaded extraction bit for bit. Only
+  // provisional ids need rewriting — final ids were already assigned by
+  // the shared table — and the fix-up runs parallel again.
+  std::vector<std::vector<PathId>> Maps(NumChunks);
+  for (size_t Chunk = 1; Chunk < NumChunks; ++Chunk)
+    if (Overlays[Chunk])
+      Maps[Chunk] = Table.absorb(*Overlays[Chunk]);
+  parallel::parallelChunks(
+      Plan, Threads,
+      [&](size_t Chunk, size_t Begin, size_t End) {
+        const std::vector<PathId> &Map = Maps[Chunk];
+        constexpr PathId Bit = PathTable::ProvisionalBit;
+        for (size_t I = Begin; I < End; ++I) {
+          for (PathContext &Ctx : Out[I].Contexts)
+            if (Ctx.Path != InvalidPath && (Ctx.Path & Bit))
+              Ctx.Path = Map[Ctx.Path & ~Bit];
+          for (TriContext &Tri : Out[I].Tris)
+            if (Tri.Path != InvalidPath && (Tri.Path & Bit))
+              Tri.Path = Map[Tri.Path & ~Bit];
+        }
+      },
+      /*FirstChunk=*/1);
   return Out;
 }
 
@@ -260,11 +285,12 @@ core::buildTypeGraphs(const Corpus &Corpus,
                       const std::vector<size_t> &Indices,
                       const CrfExperimentOptions &Options, PathTable &Table,
                       size_t *ContextCount) {
-  // Sharded like extractCorpusContexts: each chunk extracts into a
-  // private table and builds its graphs with chunk-local PathIds; the
-  // merge absorbs tables in chunk order and rewrites the factor paths,
-  // reproducing the serial ids exactly (buildTypeGraph itself interns
-  // nothing).
+  // Sharded like extractCorpusContexts: chunk 0 warms the shared table,
+  // the other chunks extract through delta overlays and build graphs
+  // whose factors may carry provisional PathIds; the commit absorbs
+  // overlays in chunk order and the fix-up rewrites only provisional
+  // factor paths, reproducing the serial ids exactly (buildTypeGraph
+  // itself interns nothing).
   auto FileGraphs = [&](size_t I, PathTable &Into, size_t &Contexts,
                         std::vector<CrfGraph> &Graphs) {
     const Tree &T = Corpus.Files[I].Tree;
@@ -278,7 +304,13 @@ core::buildTypeGraphs(const Corpus &Corpus,
   };
 
   size_t Threads = parallel::resolveThreads(Options.Threads);
-  size_t NumChunks = parallel::chunkCountFor(Indices.size(), Threads);
+  std::vector<uint64_t> Costs;
+  Costs.reserve(Indices.size());
+  for (size_t I : Indices)
+    Costs.push_back(Corpus.Files[I].Tree.size());
+  parallel::ChunkPlan Plan =
+      parallel::planChunks(Indices.size(), Threads, Costs);
+  size_t NumChunks = Plan.count();
   std::vector<CrfGraph> Graphs;
   size_t Contexts = 0;
   if (NumChunks <= 1) {
@@ -286,26 +318,44 @@ core::buildTypeGraphs(const Corpus &Corpus,
       FileGraphs(I, Table, Contexts, Graphs);
   } else {
     struct ChunkOut {
-      PathTable Table;
+      std::unique_ptr<PathTable> Overlay;
       std::vector<CrfGraph> Graphs;
       size_t Contexts = 0;
     };
     std::vector<ChunkOut> Chunks(NumChunks);
-    parallel::parallelChunks(Indices.size(), Threads,
-                             [&](size_t Chunk, size_t Begin, size_t End) {
-                               for (size_t P = Begin; P < End; ++P)
-                                 FileGraphs(Indices[P], Chunks[Chunk].Table,
-                                            Chunks[Chunk].Contexts,
-                                            Chunks[Chunk].Graphs);
-                             });
+    // Chunk 0 warms the shared table serially; the rest extract into
+    // delta overlays over the then-frozen table (same shape as
+    // extractCorpusContexts above).
+    for (size_t P = Plan.begin(0); P < Plan.end(0); ++P)
+      FileGraphs(Indices[P], Table, Chunks[0].Contexts, Chunks[0].Graphs);
+    parallel::parallelChunks(
+        Plan, Threads,
+        [&](size_t Chunk, size_t Begin, size_t End) {
+          Chunks[Chunk].Overlay =
+              std::make_unique<PathTable>(PathTable::Delta, Table);
+          for (size_t P = Begin; P < End; ++P)
+            FileGraphs(Indices[P], *Chunks[Chunk].Overlay,
+                       Chunks[Chunk].Contexts, Chunks[Chunk].Graphs);
+        },
+        /*FirstChunk=*/1);
+    std::vector<std::vector<PathId>> Maps(NumChunks);
+    for (size_t Chunk = 1; Chunk < NumChunks; ++Chunk)
+      if (Chunks[Chunk].Overlay)
+        Maps[Chunk] = Table.absorb(*Chunks[Chunk].Overlay);
+    parallel::parallelChunks(
+        Plan, Threads,
+        [&](size_t Chunk, size_t, size_t) {
+          const std::vector<PathId> &Map = Maps[Chunk];
+          constexpr PathId Bit = PathTable::ProvisionalBit;
+          for (CrfGraph &G : Chunks[Chunk].Graphs)
+            for (Factor &F : G.Factors)
+              if (F.Path != InvalidPath && (F.Path & Bit))
+                F.Path = Map[F.Path & ~Bit];
+        },
+        /*FirstChunk=*/1);
     for (ChunkOut &C : Chunks) {
-      std::vector<PathId> Map = Table.absorb(C.Table);
-      for (CrfGraph &G : C.Graphs) {
-        for (Factor &F : G.Factors)
-          if (F.Path != InvalidPath)
-            F.Path = Map[F.Path];
+      for (CrfGraph &G : C.Graphs)
         Graphs.push_back(std::move(G));
-      }
       Contexts += C.Contexts;
     }
   }

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <span>
 
@@ -58,44 +59,42 @@ struct ShardFailure {
 };
 
 /// Everything one shard worker produced from its contiguous file range.
-/// Files and failures are in file order; the interner holds exactly the
-/// strings a serial parse of the same range would have interned, in the
-/// same first-encounter order.
+/// Files and failures are in file order; trees parsed against a delta
+/// overlay carry provisional symbols for the shard's novel strings, fixed
+/// up by the commit/remap passes of parseCorpus.
 struct ParseShard {
-  std::unique_ptr<StringInterner> Interner;
   std::vector<ParsedFile> Files;
   std::vector<ShardFailure> Failures;
   size_t SourceBytes = 0;
   uint64_t FilesOk = 0;
 };
 
-/// Parses one contiguous range of sources with a private interner. This
-/// is the exact per-file sequence of the serial parse — including the
-/// inline Java type annotation, which interns type strings between files
-/// — so shard interners concatenate back into the serial intern order.
+/// Parses one contiguous range of sources into \p SI (the shared corpus
+/// interner for chunk 0 and serial parses, a delta overlay over it for
+/// the other shards). This is the exact per-file sequence of the serial
+/// parse — including the inline Java type annotation, which interns type
+/// strings between files — so committing shard overlays in shard order
+/// replays the serial intern order. \p CP is the shared read-only Java
+/// class path (null for other languages, which never consult it).
 ParseShard parseShard(std::span<const datagen::SourceFile> Sources,
-                      Language Lang) {
+                      Language Lang, StringInterner &SI,
+                      const java::ClassPath *CP) {
   ParseShard Shard;
-  Shard.Interner = std::make_unique<StringInterner>();
-
-  java::ClassPath CP = java::ClassPath::standard();
-  datagen::addDomainClasses(CP);
-
   for (const datagen::SourceFile &Src : Sources) {
     Shard.SourceBytes += Src.Text.size();
     lang::ParseResult R;
     switch (Lang) {
     case Language::JavaScript:
-      R = js::parse(Src.Text, *Shard.Interner);
+      R = js::parse(Src.Text, SI);
       break;
     case Language::Java:
-      R = java::parse(Src.Text, *Shard.Interner);
+      R = java::parse(Src.Text, SI);
       break;
     case Language::Python:
-      R = py::parse(Src.Text, *Shard.Interner);
+      R = py::parse(Src.Text, SI);
       break;
     case Language::CSharp:
-      R = cs::parse(Src.Text, *Shard.Interner);
+      R = cs::parse(Src.Text, SI);
       break;
     }
     if (!R.Tree || !R.Diags.empty()) {
@@ -108,7 +107,7 @@ ParseShard parseShard(std::span<const datagen::SourceFile> Sources,
     }
     ++Shard.FilesOk;
     if (Lang == Language::Java)
-      java::annotateTypes(*R.Tree, CP);
+      java::annotateTypes(*R.Tree, *CP);
     Shard.Files.push_back({Src.Project, Src.FileName, std::move(*R.Tree)});
   }
   return Shard;
@@ -173,43 +172,82 @@ Corpus core::parseCorpus(const std::vector<datagen::SourceFile> &Sources,
   const std::string Prefix = std::string("parse.") + langKey(Lang);
 
   size_t T = parallel::resolveThreads(Threads);
-  size_t NumShards = parallel::chunkCountFor(Sources.size(), T);
 
-  // Shard workers: contiguous file ranges, private interners.
-  std::vector<ParseShard> Shards(std::max<size_t>(NumShards, 1));
-  if (NumShards <= 1) {
-    Shards[0] = parseShard({Sources.data(), Sources.size()}, Lang);
-  } else {
-    parallel::parallelChunks(
-        Sources.size(), T, [&](size_t Chunk, size_t Begin, size_t End) {
-          Shards[Chunk] =
-              parseShard({Sources.data() + Begin, End - Begin}, Lang);
-        });
-  }
+  // Cost-balanced chunk plan over source bytes: parse time tracks input
+  // size, so one outsized file lands in its own (stealable) chunk.
+  std::vector<uint64_t> Costs;
+  Costs.reserve(Sources.size());
+  for (const datagen::SourceFile &Src : Sources)
+    Costs.push_back(Src.Text.size());
+  parallel::ChunkPlan Plan = parallel::planChunks(Sources.size(), T, Costs);
+  size_t NumShards = Plan.count();
 
-  // Merge pass, sequential in shard (= file) order. Interning each
-  // shard's strings in shard-local id order replays the serial
-  // first-encounter order, so the merged symbol ids are bit-identical to
-  // a single-threaded parse; trees are then rewritten onto the merged
-  // interner.
   Corpus Out;
   Out.Lang = Lang;
   Out.Interner = std::make_unique<StringInterner>();
-  if (NumShards == 1 && Shards[0].Interner) {
-    Out.Interner = std::move(Shards[0].Interner);
-    Out.Files = std::move(Shards[0].Files);
-  } else {
-    for (ParseShard &Shard : Shards) {
-      const StringInterner &SI = *Shard.Interner;
-      std::vector<uint32_t> Remap(SI.size());
-      for (uint32_t Id = 1; Id < SI.size(); ++Id)
-        Remap[Id] = Out.Interner->intern(SI.str(Symbol::fromIndex(Id)))
-                        .index();
-      for (ParsedFile &File : Shard.Files) {
-        File.Tree.remapSymbols(Remap, *Out.Interner);
+
+  // The Java class path is immutable once built and only read by the
+  // type checker, so one instance is shared by every shard. Other
+  // languages never consult it — don't pay for its construction.
+  std::optional<java::ClassPath> CP;
+  if (Lang == Language::Java) {
+    CP.emplace(java::ClassPath::standard());
+    datagen::addDomainClasses(*CP);
+  }
+  const java::ClassPath *CPPtr = CP ? &*CP : nullptr;
+
+  // Chunk 0 parses serially, straight into the shared corpus interner.
+  // This warms the symbol table with the corpus' common vocabulary, so
+  // the overlays of the remaining chunks — which read the now-frozen
+  // shared interner lock-free — stay small: they hold only strings whose
+  // serial first encounter falls inside their own chunk.
+  std::vector<ParseShard> Shards(std::max<size_t>(NumShards, 1));
+  if (NumShards > 0)
+    Shards[0] = parseShard(
+        {Sources.data() + Plan.begin(0), Plan.end(0) - Plan.begin(0)}, Lang,
+        *Out.Interner, CPPtr);
+  Out.Files = std::move(Shards[0].Files);
+
+  if (NumShards > 1) {
+    std::vector<std::unique_ptr<StringInterner>> Overlays(NumShards);
+    parallel::parallelChunks(
+        Plan, T,
+        [&](size_t Chunk, size_t Begin, size_t End) {
+          Overlays[Chunk] = std::make_unique<StringInterner>(
+              StringInterner::Delta, *Out.Interner);
+          Shards[Chunk] = parseShard({Sources.data() + Begin, End - Begin},
+                                     Lang, *Overlays[Chunk], CPPtr);
+        },
+        /*FirstChunk=*/1);
+
+    // Ordered commit: interning each overlay's novel strings in overlay
+    // id order, chunk by chunk, replays the serial first-encounter
+    // order, so the shared interner ends up bit-identical to a
+    // single-threaded parse. Cost is one intern per *novel* string —
+    // the per-shard full re-intern and O(corpus) remap walk are gone.
+    std::vector<std::vector<uint32_t>> Maps(NumShards);
+    for (size_t Chunk = 1; Chunk < NumShards; ++Chunk)
+      if (Overlays[Chunk])
+        Maps[Chunk] = Out.Interner->commitDelta(*Overlays[Chunk]);
+
+    // Provisional fix-up runs parallel again: each tree only swaps the
+    // few symbols its own shard discovered. Shards whose overlay stayed
+    // empty still need the interner repointed (cheap, no symbol walk).
+    parallel::parallelChunks(
+        Plan, T,
+        [&](size_t Chunk, size_t, size_t) {
+          if (!Overlays[Chunk] || Overlays[Chunk]->deltaSize() == 0) {
+            for (ParsedFile &File : Shards[Chunk].Files)
+              File.Tree.remapProvisional({}, *Out.Interner);
+            return;
+          }
+          for (ParsedFile &File : Shards[Chunk].Files)
+            File.Tree.remapProvisional(Maps[Chunk], *Out.Interner);
+        },
+        /*FirstChunk=*/1);
+    for (size_t Chunk = 1; Chunk < NumShards; ++Chunk)
+      for (ParsedFile &File : Shards[Chunk].Files)
         Out.Files.push_back(std::move(File));
-      }
-    }
   }
   for (ParseShard &Shard : Shards) {
     Out.SourceBytes += Shard.SourceBytes;

@@ -100,12 +100,15 @@ PathTable::store(std::span<const uint8_t> Packed) {
 }
 
 std::vector<PathId> PathTable::absorb(const PathTable &Shard) {
-  // Byte-wise merge: every shard path is re-looked-up (and stored on
-  // first encounter) directly from its packed bytes — no per-path string
-  // or buffer materialization.
+  // Byte-wise merge: every locally-stored shard path is re-looked-up
+  // (and stored on first encounter) directly from its packed bytes — no
+  // per-path string or buffer materialization. Reading Shard.Paths
+  // directly keeps this correct for delta overlays, whose local arena
+  // holds exactly the novel paths (bytes() would route final ids to the
+  // base).
   std::vector<PathId> Map(Shard.size() + 1, InvalidPath);
   for (PathId Id = 1; Id <= Shard.size(); ++Id)
-    Map[Id] = intern(Shard.bytes(Id));
+    Map[Id] = intern(Shard.Paths[Id]);
   return Map;
 }
 

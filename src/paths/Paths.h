@@ -166,21 +166,48 @@ bool remapPackedPath(std::span<const uint8_t> Packed,
 /// lookup hit costs one hash of the scratch bytes and no allocation.
 class PathTable {
 public:
+  /// Tag type selecting the delta-overlay constructor.
+  struct DeltaTag {};
+  static constexpr DeltaTag Delta{};
+
+  /// Provisional-path marker: ids returned by a delta overlay for paths
+  /// missing from its base carry this bit over the overlay-local id (see
+  /// intern()). InvalidPath also has the bit set — always test for it
+  /// first. absorb() maps local ids to final base ids.
+  static constexpr PathId ProvisionalBit = 0x80000000u;
+
   PathTable() : Paths(1) {}
+
+  /// A delta overlay over \p Base: intern() hits resolve to Base's
+  /// (final) ids, misses intern privately and come back provisional.
+  /// \p Base must stay alive and frozen while the overlay is used — the
+  /// sharded extraction stages uphold this by only writing the shared
+  /// table outside parallel regions.
+  PathTable(DeltaTag, const PathTable &Base) : PathTable() {
+    this->Base = &Base;
+  }
+
   PathTable(PathTable &&) = default;
   PathTable &operator=(PathTable &&) = default;
 
   /// Interns \p Packed (tag byte + payload), returning its id. Idempotent.
+  /// On a delta overlay the result is the base's id when the bytes are
+  /// already interned there, and a provisional id otherwise.
   PathId intern(std::span<const uint8_t> Packed) {
-    std::string_view Key = viewOf(Packed);
-    auto It = Index.find(Key);
-    if (It != Index.end())
-      return It->second;
-    std::span<const uint8_t> Stored = store(Packed);
-    PathId Id = static_cast<PathId>(Paths.size());
-    Paths.push_back(Stored);
-    Index.emplace(viewOf(Stored), Id);
-    return Id;
+    if (Base) {
+      if (PathId Final = Base->lookup(Packed); Final != InvalidPath)
+        return Final;
+      return ProvisionalBit | internLocal(Packed);
+    }
+    return internLocal(Packed);
+  }
+
+  /// \returns the id of \p Packed if interned in this table (base paths
+  /// only — provisional overlay entries are private), InvalidPath
+  /// otherwise. Read-only: safe concurrently with other readers.
+  PathId lookup(std::span<const uint8_t> Packed) const {
+    auto It = Index.find(viewOf(Packed));
+    return It == Index.end() ? InvalidPath : It->second;
   }
 
   /// Interns an opaque path string (Raw encoding). Used by the n-gram
@@ -188,8 +215,13 @@ public:
   /// dedup against it.
   PathId internString(std::string_view Str);
 
-  /// The packed bytes of \p Id. Valid for the table's lifetime.
+  /// The packed bytes of \p Id. Valid for the table's lifetime. On a
+  /// delta overlay, provisional ids resolve against the overlay's private
+  /// arena and final ids against the base.
   std::span<const uint8_t> bytes(PathId Id) const {
+    if (Base && !(Id & ProvisionalBit))
+      return Base->bytes(Id);
+    Id &= ~ProvisionalBit;
     assert(Id >= 1 && Id < Paths.size() && "path from another table?");
     return Paths[Id];
   }
@@ -200,17 +232,32 @@ public:
   }
 
   /// Number of distinct paths (§5.6 reports model size through this).
+  /// On a delta overlay this counts only overlay-local (novel) paths.
   size_t size() const { return Paths.size() - 1; }
 
-  /// Interns every path of \p Shard, in shard-local id order, and returns
-  /// the remap shard-id → this-table-id (index 0 is unused). Merging is
-  /// byte-wise — no per-path string materialization. Absorbing contiguous
-  /// shard tables in shard order reproduces the exact ids a serial
-  /// extraction over the same files would have assigned — the determinism
-  /// contract of the parallel extraction stage.
+  /// Interns every locally-stored path of \p Shard, in shard-local id
+  /// order, and returns the remap shard-id → this-table-id (index 0 is
+  /// unused). Merging is byte-wise — no per-path string materialization.
+  /// For a delta overlay shard only the *novel* paths are local, so the
+  /// merge cost is proportional to new-path discovery, not to extraction
+  /// volume. Absorbing contiguous shard overlays in shard order
+  /// reproduces the exact ids a serial extraction over the same files
+  /// would have assigned — the determinism contract of the parallel
+  /// extraction stage.
   std::vector<PathId> absorb(const PathTable &Shard);
 
 private:
+  PathId internLocal(std::span<const uint8_t> Packed) {
+    std::string_view Key = viewOf(Packed);
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    std::span<const uint8_t> Stored = store(Packed);
+    PathId Id = static_cast<PathId>(Paths.size());
+    Paths.push_back(Stored);
+    Index.emplace(viewOf(Stored), Id);
+    return Id;
+  }
   static std::string_view viewOf(std::span<const uint8_t> Bytes) {
     return Bytes.empty()
                ? std::string_view()
@@ -222,6 +269,8 @@ private:
   /// Copies \p Packed into the arena, returning the stable stored span.
   std::span<const uint8_t> store(std::span<const uint8_t> Packed);
 
+  /// Frozen base table of a delta overlay; nullptr for a root table.
+  const PathTable *Base = nullptr;
   // Append-only chunked arena: blocks never move, so spans and the
   // string_view index keys stay valid for the table's lifetime.
   std::vector<std::unique_ptr<uint8_t[]>> Blocks;

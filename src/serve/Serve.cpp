@@ -617,15 +617,19 @@ void Service::processBatch(std::vector<Pending> Batch) {
     }
   }
 
-  // Parse on the worker pool. Each request parses against its own
-  // private interner, so this stage shares nothing.
+  // Parse on the worker pool. Each request parses against a private
+  // delta overlay of the bundle interner: symbols the bundle already
+  // knows resolve to their final ids lock-free, only novel strings land
+  // in the overlay. Nothing writes the bundle interner while this stage
+  // is in flight, so the overlay reads are exact.
   {
     parallel::StageTimer Timer("serve.parse");
     parallel::parallelFor(Items.size(), 0, [&](size_t I) {
       Item &It = Items[I];
       if (It.Failed)
         return;
-      It.LocalSI = std::make_unique<StringInterner>();
+      It.LocalSI = std::make_unique<StringInterner>(StringInterner::Delta,
+                                                    *Bundle->Interner);
       It.R = parseAs(It.D.Lang, It.D.Source, *It.LocalSI);
     });
     for (Item &It : Items)
@@ -638,22 +642,21 @@ void Service::processBatch(std::vector<Pending> Batch) {
 
   // Bundle-space section — the only code that touches the resident
   // interner and path table, serialized by construction (one batcher).
-  // Re-interning each request's local symbols in id order replays their
-  // first-encounter order, so the ids match what a direct parse into the
-  // bundle interner would have assigned (the shard-merge idiom; this is
-  // what makes served responses byte-identical to one-shot predictions).
+  // Committing each request's overlay in admission order interns its
+  // novel strings in first-encounter order, so the ids match what a
+  // direct parse into the bundle interner would have assigned (the
+  // shard-commit idiom; this is what makes served responses
+  // byte-identical to one-shot predictions). Only the novel symbols are
+  // provisional in the tree, so the fix-up walk swaps a handful of ids
+  // instead of re-interning the whole request vocabulary.
   std::vector<crf::CrfGraph> Graphs;
   {
     parallel::StageTimer Timer("serve.extract");
     for (Item &It : Items) {
       if (It.Failed)
         continue;
-      std::vector<uint32_t> Map(It.LocalSI->size());
-      for (uint32_t Id = 1; Id < It.LocalSI->size(); ++Id)
-        Map[Id] =
-            Bundle->Interner->intern(It.LocalSI->str(Symbol::fromIndex(Id)))
-                .index();
-      It.R.Tree->remapSymbols(Map, *Bundle->Interner);
+      std::vector<uint32_t> Map = Bundle->Interner->commitDelta(*It.LocalSI);
+      It.R.Tree->remapProvisional(Map, *Bundle->Interner);
       auto Contexts = paths::extractPathContexts(
           *It.R.Tree, Bundle->Extraction, Bundle->Table);
       It.G = crf::buildGraph(*It.R.Tree, Contexts,

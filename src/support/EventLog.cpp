@@ -10,7 +10,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
+#include <fstream>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -42,16 +44,35 @@ std::string telemetry::jsonNumber(double X) {
   return Buf;
 }
 
+namespace {
+
+/// VmHWM from /proc/self/status, in KiB; 0 when unavailable. Fallback
+/// for containers/sandboxes where getrusage() reports ru_maxrss as 0.
+uint64_t procStatusHwmKb() {
+#if defined(__linux__)
+  std::ifstream Status("/proc/self/status");
+  std::string Line;
+  while (std::getline(Status, Line))
+    if (Line.rfind("VmHWM:", 0) == 0)
+      return static_cast<uint64_t>(
+          std::strtoull(Line.c_str() + 6, nullptr, 10));
+#endif
+  return 0;
+}
+
+} // namespace
+
 uint64_t telemetry::peakRssKb() {
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage Usage;
   if (getrusage(RUSAGE_SELF, &Usage) != 0)
-    return 0;
+    return procStatusHwmKb();
 #if defined(__APPLE__)
   // macOS reports ru_maxrss in bytes.
   return static_cast<uint64_t>(Usage.ru_maxrss) / 1024;
 #else
-  return static_cast<uint64_t>(Usage.ru_maxrss);
+  uint64_t Kb = static_cast<uint64_t>(Usage.ru_maxrss);
+  return Kb > 0 ? Kb : procStatusHwmKb();
 #endif
 #else
   return 0;

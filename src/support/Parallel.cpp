@@ -12,6 +12,9 @@
 
 #include <atomic>
 #include <chrono>
+#if defined(__linux__)
+#include <sched.h>
+#endif
 #include <condition_variable>
 #include <cstdlib>
 #include <ctime>
@@ -195,6 +198,18 @@ size_t parallel::hardwareConcurrency() {
   return N == 0 ? 1 : static_cast<size_t>(N);
 }
 
+size_t parallel::availableConcurrency() {
+#if defined(__linux__)
+  cpu_set_t Mask;
+  if (sched_getaffinity(0, sizeof(Mask), &Mask) == 0) {
+    int N = CPU_COUNT(&Mask);
+    if (N > 0)
+      return static_cast<size_t>(N);
+  }
+#endif
+  return hardwareConcurrency();
+}
+
 size_t parallel::defaultThreads() {
   size_t Override = DefaultOverride.load(std::memory_order_relaxed);
   if (Override > 0)
@@ -269,29 +284,101 @@ private:
 
 } // namespace
 
-void parallel::parallelChunks(
-    size_t N, size_t Threads,
-    const std::function<void(size_t, size_t, size_t)> &Fn) {
+ChunkPlan parallel::planChunks(size_t N, size_t Threads,
+                               std::span<const uint64_t> Costs) {
+  ChunkPlan Plan;
   if (N == 0)
-    return;
+    return Plan;
   size_t T = resolveThreads(Threads);
   size_t Chunks = chunkCountFor(N, T);
-  auto RunChunk = [&](size_t C) {
-    size_t Begin = C * N / Chunks;
-    size_t End = (C + 1) * N / Chunks;
+  Plan.Bounds.resize(Chunks + 1);
+  Plan.Bounds[0] = 0;
+  Plan.Bounds[Chunks] = N;
+
+  uint64_t Total = 0;
+  if (Costs.size() == N)
+    for (uint64_t C : Costs)
+      Total += C;
+  if (Total == 0) {
+    // No (or degenerate) costs: split by item count.
+    for (size_t C = 1; C < Chunks; ++C)
+      Plan.Bounds[C] = C * N / Chunks;
+    return Plan;
+  }
+  // Cost-balanced boundaries: each chunk aims for an equal share of the
+  // cost still unassigned (Remaining / ChunksLeft, compared exactly via
+  // cross-multiplication — no division, no rounding drift). Re-deriving
+  // the share from what *remains* is what keeps an outsized item from
+  // wrecking the rest of the plan: once it is consumed, later shares are
+  // computed from the small remainder, so the tail still spreads evenly
+  // across the leftover chunks instead of piling into the last one.
+  size_t Item = 0;
+  uint64_t Remaining = Total;
+  for (size_t C = 0; C + 1 < Chunks; ++C) {
+    uint64_t ChunksLeft = Chunks - C;
+    uint64_t Load = 0;
+    size_t First = Item;
+    auto FitsShare = [&](uint64_t L) {
+      return static_cast<unsigned __int128>(L) * ChunksLeft <= Remaining;
+    };
+    while (Item < N && FitsShare(Load + Costs[Item]))
+      Load += Costs[Item++];
+    if (Item < N) {
+      uint64_t WithNext = Load + Costs[Item];
+      // The next item straddles the share. Take it when that lands the
+      // chunk closer to its share than stopping short — or when the
+      // chunk would otherwise be empty, which isolates a single item
+      // too big for any share in a chunk of its own.
+      bool Closer =
+          static_cast<unsigned __int128>(Load + WithNext) * ChunksLeft <
+          static_cast<unsigned __int128>(2) * Remaining;
+      if (Item == First || Closer) {
+        Load = WithNext;
+        ++Item;
+      }
+    }
+    Remaining -= Load;
+    Plan.Bounds[C + 1] = Item;
+  }
+  return Plan;
+}
+
+void parallel::parallelChunks(
+    const ChunkPlan &Plan, size_t Threads,
+    const std::function<void(size_t, size_t, size_t)> &Fn,
+    size_t FirstChunk) {
+  size_t Chunks = Plan.count();
+  if (FirstChunk >= Chunks)
+    return;
+  size_t T = resolveThreads(Threads);
+  auto RunChunk = [&](size_t I) {
+    size_t C = FirstChunk + I;
+    size_t Begin = Plan.begin(C);
+    size_t End = Plan.end(C);
+    if (Begin == End)
+      return; // Cost-balanced plans may produce empty chunks.
     ChunkSpan Span(C, Begin, End);
     Fn(C, Begin, End);
   };
-  if (Chunks <= 1 || InRegion) {
+  size_t Pending = Chunks - FirstChunk;
+  if (Pending <= 1 || T <= 1 || InRegion) {
     // Serial / nested: same chunk structure, caller's thread, in order.
-    for (size_t C = 0; C < Chunks; ++C)
-      RunChunk(C);
+    for (size_t I = 0; I < Pending; ++I)
+      RunChunk(I);
     return;
   }
   telemetry::Counter &Regions =
       telemetry::MetricsRegistry::global().counter("parallel.regions");
   Regions.inc();
-  Pool::instance().run(Chunks, T, RunChunk);
+  Pool::instance().run(Pending, T, RunChunk);
+}
+
+void parallel::parallelChunks(
+    size_t N, size_t Threads,
+    const std::function<void(size_t, size_t, size_t)> &Fn) {
+  if (N == 0)
+    return;
+  parallelChunks(planChunks(N, Threads), Threads, Fn);
 }
 
 void parallel::parallelFor(size_t N, size_t Threads,

@@ -10,17 +10,37 @@
 /// labels and path components are all symbols, so equality and hashing are
 /// O(1) everywhere downstream.
 ///
+/// The interner is *read-mostly shared*: lookup() and str() are lock-free
+/// and may run concurrently with intern() on other threads. The read path
+/// probes an open-addressing table of atomic slot ids published through an
+/// atomic pointer; strings live in append-only pages that never move, so a
+/// Symbol obtained on any thread can be resolved on any other without
+/// synchronization. intern() serializes writers on a small mutex, which is
+/// off the hot path by design: the sharded pipeline stages only read the
+/// shared interner while parallel work is in flight.
+///
+/// Parallel shards avoid writer contention — and keep symbol ids
+/// deterministic — with *delta overlays*: a delta interner resolves hits
+/// against a frozen base interner and interns misses privately, returning
+/// provisional symbols (top bit set). After the parallel region the deltas
+/// are committed into the base in shard order (commitDelta), which replays
+/// the serial first-encounter order, and only provisional symbols need
+/// remapping — the merge cost is proportional to the number of *novel*
+/// strings, not to the corpus (see DESIGN.md §Parallelism).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIGEON_SUPPORT_STRINGINTERNER_H
 #define PIGEON_SUPPORT_STRINGINTERNER_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 namespace pigeon {
 
@@ -53,51 +73,105 @@ private:
 
 /// Bidirectional map between strings and dense Symbol ids.
 ///
-/// Not thread-safe; each pipeline owns one interner (or a few, e.g. one for
-/// AST vocabulary and one for model labels).
+/// Concurrency contract:
+///  * lookup(), str(), contains() and size() are lock-free and safe to
+///    call from any thread, concurrently with intern() on other threads;
+///  * intern() is safe to call concurrently from multiple threads, but
+///    the id assigned to a novel string then depends on interleaving —
+///    deterministic pipelines intern through delta overlays instead;
+///  * a delta overlay is single-owner (not itself thread-safe), but many
+///    overlays over one frozen base may run in parallel.
 class StringInterner {
 public:
-  StringInterner() {
-    // Reserve id 0 so that a default-constructed Symbol is never returned.
-    Strings.emplace_back("");
-  }
+  /// Tag type selecting the delta-overlay constructor.
+  struct DeltaTag {};
+  static constexpr DeltaTag Delta{};
 
-  /// Interns \p Str, returning its symbol. Idempotent.
-  Symbol intern(std::string_view Str) {
-    auto It = Index.find(Str);
-    if (It != Index.end())
-      return Symbol(It->second);
-    uint32_t Id = static_cast<uint32_t>(Strings.size());
-    Strings.emplace_back(Str);
-    // string_view key must point into our stable storage, not the caller's.
-    Index.emplace(Strings.back(), Id);
-    return Symbol(Id);
-  }
+  /// Provisional-symbol marker: symbols returned by a delta overlay for
+  /// strings missing from its base carry this bit over the overlay-local
+  /// id. commitDelta() maps local ids to final base ids.
+  static constexpr uint32_t ProvisionalBit = 0x80000000u;
 
-  /// \returns the symbol for \p Str if already interned, invalid otherwise.
-  Symbol lookup(std::string_view Str) const {
-    auto It = Index.find(Str);
-    if (It == Index.end())
-      return Symbol();
-    return Symbol(It->second);
-  }
+  StringInterner();
+
+  /// A delta overlay over \p Base: hits resolve to Base's (final) ids,
+  /// misses intern privately and come back provisional. \p Base must stay
+  /// alive and — for exact results — frozen while the overlay is used.
+  StringInterner(DeltaTag, const StringInterner &Base);
+
+  ~StringInterner();
+
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Interns \p Str, returning its symbol. Idempotent. On a delta
+  /// overlay the result is the base's symbol when \p Str is already
+  /// interned there, and a provisional symbol otherwise.
+  Symbol intern(std::string_view Str);
+
+  /// \returns the symbol for \p Str if already interned, invalid
+  /// otherwise. Lock-free; on a delta overlay checks base then overlay.
+  Symbol lookup(std::string_view Str) const;
 
   /// \returns the string for \p Sym. The reference stays valid for the
-  /// lifetime of the interner.
-  const std::string &str(Symbol Sym) const {
-    assert(Sym.index() < Strings.size() && "symbol from another interner?");
-    return Strings[Sym.index()];
-  }
+  /// lifetime of the interner. Lock-free; resolves provisional symbols
+  /// against the overlay's private storage.
+  const std::string &str(Symbol Sym) const;
 
-  /// Number of interned strings, including the reserved empty slot.
-  size_t size() const { return Strings.size(); }
+  /// Number of interned strings, including the reserved empty slot. On a
+  /// delta overlay this counts only overlay-local (novel) strings.
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+
+  /// Number of novel strings a commit of this overlay would append to its
+  /// base (0 for a root interner or an overlay that only saw hits).
+  size_t deltaSize() const { return BaseI ? size() - 1 : 0; }
+
+  /// \returns the base interner of a delta overlay, or nullptr.
+  const StringInterner *base() const { return BaseI; }
+
+  /// Interns every novel string of \p Overlay into this interner, in
+  /// overlay-local id order, and returns the map overlay-local id →
+  /// final id (index 0 unused, maps to 0). Committing the overlays of
+  /// contiguous shards in shard order replays the ids a serial pass over
+  /// the same inputs would have assigned — the determinism contract of
+  /// the sharded pipeline stages.
+  std::vector<uint32_t> commitDelta(const StringInterner &Overlay);
 
 private:
-  // A deque never moves elements on growth, so string_view keys into the
-  // stored strings (including SSO buffers) stay valid for the interner's
-  // lifetime. Entries are never erased.
-  std::deque<std::string> Strings;
-  std::unordered_map<std::string_view, uint32_t> Index;
+  /// Geometric string pages: page P holds PageZero << P strings, so 32
+  /// page slots cover the whole 31-bit id space while an interner that
+  /// only ever sees a handful of strings allocates one small page.
+  /// Pages never move, which is what keeps str() lock-free and the
+  /// returned references stable.
+  static constexpr uint32_t PageZero = 16; // must be a power of two
+  static constexpr size_t MaxPages = 28;
+
+  /// Open-addressing index: slot values are symbol ids (0 = empty), keys
+  /// are the id's strings. Readers probe the table published in `Table`;
+  /// the single writer (under Mutex) inserts with release stores and
+  /// republishes on growth, retiring old tables until destruction so
+  /// in-flight readers stay valid.
+  struct IndexTable {
+    size_t Mask = 0;
+    std::unique_ptr<std::atomic<uint32_t>[]> Slots;
+    explicit IndexTable(size_t Cap);
+  };
+
+  static std::pair<size_t, uint32_t> pageOf(uint32_t Id);
+
+  const std::string &localStr(uint32_t Id) const;
+  uint32_t findIn(const IndexTable *T, std::string_view Str,
+                  size_t Hash) const;
+  /// Appends \p Str with the next id; caller holds Mutex.
+  uint32_t append(std::string_view Str, size_t Hash);
+  void growLocked(size_t NeedEntries);
+
+  const StringInterner *BaseI = nullptr;
+  std::atomic<IndexTable *> Table{nullptr};
+  std::atomic<std::string *> Pages[MaxPages] = {};
+  std::atomic<uint32_t> Count{0};
+  std::vector<std::unique_ptr<IndexTable>> Retired;
+  std::mutex Mutex;
 };
 
 } // namespace pigeon

@@ -46,6 +46,8 @@ BenchRecord bench::foldSidecar(const std::string &BenchName,
         Rec.Accuracy[Name] = V.number();
       if (Name == "process.rss.peak.kb")
         Rec.RssPeakKb = static_cast<uint64_t>(V.number());
+      if (Name == "parallel.bench.cores")
+        Rec.Cores = static_cast<uint64_t>(V.number());
     }
   }
   if (const json::Value *Hists = Doc.find("histograms");
@@ -113,7 +115,8 @@ void bench::writeTrajectory(std::ostream &OS, const Trajectory &T) {
          << "\":" << jsonNumber(V);
       First = false;
     }
-    OS << "},\"rss_peak_kb\":" << Rec.RssPeakKb << "}";
+    OS << "},\"rss_peak_kb\":" << Rec.RssPeakKb
+       << ",\"cores\":" << Rec.Cores << "}";
   }
   OS << "\n]}\n";
 }
@@ -169,6 +172,8 @@ std::optional<Trajectory> bench::parseTrajectory(const json::Value &Doc) {
           Rec.Accuracy[Name] = V.number();
     if (const json::Value *Rss = B.find("rss_peak_kb"))
       Rec.RssPeakKb = static_cast<uint64_t>(Rss->numberOr(0.0));
+    if (const json::Value *Cores = B.find("cores"))
+      Rec.Cores = static_cast<uint64_t>(Cores->numberOr(0.0));
     T.Benches.push_back(std::move(Rec));
   }
   return T;
@@ -200,6 +205,23 @@ std::vector<Regression> bench::compareTrajectories(const Trajectory &Prev,
         continue;
       if (After < Before * (1.0 - Threshold))
         Out.push_back({CurRec.Bench, Metric, Before, After, After / Before});
+    }
+  }
+  return Out;
+}
+
+std::vector<Regression> bench::speedupFloor(const Trajectory &Cur,
+                                            double Floor) {
+  std::vector<Regression> Out;
+  for (const BenchRecord &Rec : Cur.Benches) {
+    if (Rec.Cores == 1)
+      continue; // One core: speedup ≈ 1.0 is the honest best case.
+    for (const auto &[Metric, Value] : Rec.Throughput) {
+      if (Metric.rfind("parallel.", 0) != 0 || !endsWith(Metric, ".speedup"))
+        continue;
+      if (!std::isfinite(Value) || Value < Floor)
+        Out.push_back({Rec.Bench, Metric, Floor, Value,
+                       Floor > 0 ? Value / Floor : 0.0});
     }
   }
   return Out;

@@ -19,12 +19,20 @@
 ///  * phases — p50/p90/p99/sum/count of every `<stage>.wall.seconds`
 ///    histogram;
 ///  * accuracy — every gauge whose name contains `accuracy`;
-///  * rss_peak_kb — the `process.rss.peak.kb` gauge when present.
+///  * rss_peak_kb — the `process.rss.peak.kb` gauge when present;
+///  * cores — the `parallel.bench.cores` gauge (CPUs the bench actually
+///    had, from sched_getaffinity) when present.
 ///
-/// The regression gate compares throughput metrics only: lower is worse,
-/// and a metric that drops below (1 - threshold) × its previous value is
-/// a regression. Phase times and RSS are reported but not gated — they
-/// are too machine-sensitive for a hard CI failure.
+/// Two gates run over throughput metrics (lower is worse; phase times
+/// and RSS are reported but not gated — too machine-sensitive):
+///  * the *trajectory* gate: a metric that drops below (1 - threshold) ×
+///    its previous value is a regression;
+///  * the *speedup floor*: any `parallel.*.speedup` metric below 1.0 in
+///    the current snapshot alone is a failure — parallelism that makes
+///    the pipeline slower than serial is a bug regardless of history.
+///    Records whose Cores == 1 are exempt (on a one-core machine every
+///    honest speedup is ≈ 1.0 and the floor would only measure noise);
+///    records that never recorded a core count are *not* exempt.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +68,9 @@ struct BenchRecord {
   std::map<std::string, PhaseStats> Phases;
   std::map<std::string, double> Accuracy;
   uint64_t RssPeakKb = 0;
+  /// CPUs the bench process was actually allowed to run on (0 = the
+  /// bench predates the gauge / didn't record it).
+  uint64_t Cores = 0;
 };
 
 /// One dated snapshot across all benches (the `BENCH_<stamp>.json` file).
@@ -100,6 +111,15 @@ struct Regression {
 std::vector<Regression> compareTrajectories(const Trajectory &Prev,
                                             const Trajectory &Cur,
                                             double Threshold);
+
+/// Absolute floor on `parallel.*.speedup` metrics in \p Cur: every such
+/// metric below \p Floor is returned as a Regression (Before = the
+/// floor, After = the measured value) — no previous snapshot needed, so
+/// a negative speedup fails even on a repo's very first bench run.
+/// Benches whose record says Cores == 1 are skipped (see file comment);
+/// Cores == 0 (unrecorded) is gated.
+std::vector<Regression> speedupFloor(const Trajectory &Cur,
+                                     double Floor = 1.0);
 
 } // namespace bench
 } // namespace pigeon

@@ -12,7 +12,9 @@
 
 #include "support/Parallel.h"
 
+#include "core/ContextsIO.h"
 #include "core/Experiments.h"
+#include "core/ModelIO.h"
 #include "datagen/Sketch.h"
 #include "support/Telemetry.h"
 
@@ -24,6 +26,7 @@
 #include <atomic>
 #include <mutex>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
@@ -74,10 +77,92 @@ TEST(ParallelPool, ChunksAreContiguousAndOrderedByIndex) {
   EXPECT_EQ(Expected, N);
 }
 
-TEST(ParallelPool, FewerItemsThanThreadsMakesOneChunkPerItem) {
+TEST(ParallelPool, ChunkCountOversubscribesForStealing) {
+  // Multi-threaded runs oversubscribe (Threads * ChunkOversubscription
+  // chunks) so fast workers steal the tail instead of idling, clamped to
+  // one chunk per item when the range is small.
   EXPECT_EQ(parallel::chunkCountFor(3, 8), 3u);
-  EXPECT_EQ(parallel::chunkCountFor(8, 3), 3u);
+  EXPECT_EQ(parallel::chunkCountFor(8, 3),
+            std::min<size_t>(8, 3 * parallel::ChunkOversubscription));
+  EXPECT_EQ(parallel::chunkCountFor(1000, 4),
+            4 * parallel::ChunkOversubscription);
   EXPECT_EQ(parallel::chunkCountFor(0, 3), 0u);
+  // Serial runs get exactly one chunk: no slicing overhead, and the
+  // chunk boundaries trivially match the whole range.
+  EXPECT_EQ(parallel::chunkCountFor(100, 1), 1u);
+}
+
+TEST(ParallelPool, PlanChunksCoversRangeContiguously) {
+  for (size_t N : {0u, 1u, 7u, 257u}) {
+    for (size_t Threads : {1u, 3u, 4u}) {
+      parallel::ChunkPlan Plan = parallel::planChunks(N, Threads);
+      SCOPED_TRACE("N=" + std::to_string(N) +
+                   " threads=" + std::to_string(Threads));
+      ASSERT_EQ(Plan.count(), parallel::chunkCountFor(N, Threads));
+      ASSERT_EQ(Plan.items(), N);
+      size_t Prev = 0;
+      for (size_t C = 0; C < Plan.count(); ++C) {
+        EXPECT_EQ(Plan.begin(C), Prev);
+        EXPECT_LE(Plan.begin(C), Plan.end(C));
+        Prev = Plan.end(C);
+      }
+      EXPECT_EQ(Prev, N);
+    }
+  }
+}
+
+TEST(ParallelPool, PlanChunksIsolatesGiantItems) {
+  // One item dominating the cost vector must not drag its whole
+  // even-split neighborhood into a straggler chunk: the plan cuts around
+  // it so everything else remains available for stealing.
+  std::vector<uint64_t> Costs(64, 1);
+  Costs[10] = 10000;
+  parallel::ChunkPlan Plan =
+      parallel::planChunks(Costs.size(), /*Threads=*/4, Costs);
+  size_t GiantChunk = Plan.count();
+  for (size_t C = 0; C < Plan.count(); ++C)
+    if (Plan.begin(C) <= 10 && 10 < Plan.end(C))
+      GiantChunk = C;
+  ASSERT_LT(GiantChunk, Plan.count());
+  // The giant sits alone; the remaining 63 unit-cost items spread over
+  // the other chunks instead of being fused onto the giant's chunk.
+  EXPECT_EQ(Plan.end(GiantChunk) - Plan.begin(GiantChunk), 1u);
+  size_t NonEmpty = 0;
+  for (size_t C = 0; C < Plan.count(); ++C)
+    NonEmpty += Plan.begin(C) < Plan.end(C);
+  EXPECT_GT(NonEmpty, Plan.count() / 2);
+}
+
+TEST(ParallelPool, PlanChunksWithoutCostsFallsBackToEvenSplit) {
+  parallel::ChunkPlan Plan = parallel::planChunks(100, /*Threads=*/2);
+  ASSERT_EQ(Plan.count(), parallel::chunkCountFor(100, 2));
+  size_t Largest = 0, Smallest = 100;
+  for (size_t C = 0; C < Plan.count(); ++C) {
+    Largest = std::max(Largest, Plan.end(C) - Plan.begin(C));
+    Smallest = std::min(Smallest, Plan.end(C) - Plan.begin(C));
+  }
+  EXPECT_LE(Largest - Smallest, 1u); // Even to within rounding.
+}
+
+TEST(ParallelPool, PlanBasedChunksSkipEmptyAndCoverAll) {
+  // A cheap prefix fused into one chunk plus a giant leaves later chunks
+  // empty; the runner must skip them and still visit every index once.
+  std::vector<uint64_t> Costs = {1, 1, 1, 1, 100};
+  parallel::ChunkPlan Plan = parallel::planChunks(Costs.size(), 2, Costs);
+  ASSERT_EQ(Plan.count(), 5u);
+  EXPECT_EQ(Plan.begin(4), Plan.end(4)); // Trailing chunk came out empty.
+  std::vector<std::atomic<int>> Hits(Costs.size());
+  parallel::parallelChunks(Plan, 4, [&](size_t, size_t Begin, size_t End) {
+    ASSERT_LT(Begin, End); // Empty chunks never reach the body.
+    for (size_t I = Begin; I < End; ++I)
+      ++Hits[I];
+  });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelPool, AvailableConcurrencyIsPositive) {
+  EXPECT_GE(parallel::availableConcurrency(), 1u);
 }
 
 TEST(ParallelPool, MapPreservesElementOrder) {
@@ -339,6 +424,218 @@ TEST(ParallelDeterminism, CrfNameExperimentIsThreadCountInvariant) {
     EXPECT_EQ(Base.NumFeatures, R.NumFeatures);
     EXPECT_EQ(Base.TrainContexts, R.TrainContexts);
     EXPECT_EQ(Base.DistinctPaths, R.DistinctPaths);
+  }
+}
+
+TEST(ParallelDeterminism, SkewedCorpusIsThreadCountInvariant) {
+  // One file ~50x the cost of its neighbors: the cost-balanced plan must
+  // isolate it without perturbing the merged result, and the skew must
+  // not degrade the run into a serial straggler chunk that changes the
+  // commit order.
+  auto Sources = testSources(Language::JavaScript);
+  std::string Giant = Sources[3].Text;
+  for (int I = 0; I < 50; ++I)
+    Sources[3].Text += Giant; // Concatenated programs stay parseable.
+  Corpus Serial = parseCorpus(Sources, Language::JavaScript, 1);
+  for (size_t Threads : {2u, 4u}) {
+    Corpus Sharded = parseCorpus(Sources, Language::JavaScript, Threads);
+    SCOPED_TRACE("threads=" + std::to_string(Threads));
+    expectSameCorpus(Serial, Sharded);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shared interner: concurrency safety and delta commits
+//===----------------------------------------------------------------------===//
+
+TEST(SharedInterner, ConcurrentInternAndReadIsSafe) {
+  // Writers intern overlapping string sets straight into one shared
+  // interner while readers chase size() and resolve every published
+  // symbol. Safety (no torn reads, no lost strings) is the contract
+  // here — under TSan this is the proof the read path is lock-free
+  // *and* race-free; id assignment order is allowed to vary.
+  StringInterner SI;
+  constexpr size_t Distinct = 1500;
+  constexpr size_t Ops = 6000;
+  auto Name = [](size_t I) { return "sym_" + std::to_string(I % Distinct); };
+
+  constexpr size_t Writers = 4;
+  std::vector<std::vector<Symbol>> Ids(Writers,
+                                       std::vector<Symbol>(Distinct));
+  std::atomic<bool> StopReaders{false};
+  std::atomic<size_t> ReaderChecks{0};
+  std::vector<std::thread> Threads;
+  for (size_t W = 0; W < Writers; ++W)
+    Threads.emplace_back([&, W] {
+      for (size_t I = 0; I < Ops; ++I) {
+        // Offset start per writer so threads collide on *different*
+        // strings at any given moment.
+        size_t K = (I + W * (Ops / Writers)) % Distinct;
+        Ids[W][K] = SI.intern(Name(K));
+      }
+    });
+  for (size_t R = 0; R < 2; ++R)
+    Threads.emplace_back([&] {
+      auto Scan = [&] {
+        size_t N = SI.size();
+        for (uint32_t I = 1; I < N; ++I)
+          if (!SI.str(Symbol::fromIndex(I)).empty())
+            ReaderChecks.fetch_add(1, std::memory_order_relaxed);
+      };
+      while (!StopReaders.load(std::memory_order_acquire))
+        Scan();
+      // One full pass after the writers quiesce, so the reader exercises
+      // (and counts) the whole table even if it was never scheduled
+      // while the writers ran — on a one-core box they may finish first.
+      Scan();
+    });
+  for (size_t W = 0; W < Writers; ++W)
+    Threads[W].join();
+  StopReaders.store(true, std::memory_order_release);
+  for (size_t T = Writers; T < Threads.size(); ++T)
+    Threads[T].join();
+
+  // Exactly the distinct strings (plus the reserved empty string at 0).
+  ASSERT_EQ(SI.size(), Distinct + 1);
+  for (size_t K = 0; K < Distinct; ++K) {
+    Symbol S = Ids[0][K];
+    ASSERT_TRUE(S.isValid());
+    EXPECT_EQ(SI.str(S), Name(K));
+    EXPECT_EQ(SI.lookup(Name(K)), S);
+    // Every writer resolved the same string to the same id.
+    for (size_t W = 1; W < Writers; ++W)
+      ASSERT_EQ(Ids[W][K], S) << "writer " << W << " string " << K;
+  }
+  EXPECT_GT(ReaderChecks.load(), 0u);
+}
+
+TEST(SharedInterner, DeltaCommitReplaysSerialFirstEncounterOrder) {
+  // Four "chunks" of strings with cross-chunk duplicates. The sharded
+  // protocol — chunk 0 warm into the base, chunks 1..3 into overlays
+  // (concurrently), ordered commits, provisional remap — must reproduce
+  // the serial interner ids exactly.
+  std::vector<std::vector<std::string>> Chunks(4);
+  for (size_t C = 0; C < 4; ++C)
+    for (size_t I = 0; I < 64; ++I) {
+      Chunks[C].push_back("shared_" + std::to_string(I % 7));
+      Chunks[C].push_back("c" + std::to_string(C) + "_" +
+                          std::to_string(I));
+      if (C > 0) // Hits against a *previous* chunk's private strings.
+        Chunks[C].push_back("c" + std::to_string(C - 1) + "_" +
+                            std::to_string(I / 2));
+    }
+
+  StringInterner Serial;
+  for (const auto &Chunk : Chunks)
+    for (const std::string &S : Chunk)
+      Serial.intern(S);
+
+  StringInterner Base;
+  for (const std::string &S : Chunks[0])
+    Base.intern(S);
+  std::vector<std::unique_ptr<StringInterner>> Overlays(4);
+  std::vector<std::vector<Symbol>> Raw(4);
+  {
+    std::vector<std::thread> Threads;
+    for (size_t C = 1; C < 4; ++C)
+      Threads.emplace_back([&, C] {
+        Overlays[C] =
+            std::make_unique<StringInterner>(StringInterner::Delta, Base);
+        for (const std::string &S : Chunks[C])
+          Raw[C].push_back(Overlays[C]->intern(S));
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  for (size_t C = 1; C < 4; ++C) {
+    std::vector<uint32_t> Map = Base.commitDelta(*Overlays[C]);
+    for (Symbol &S : Raw[C])
+      if (S.index() & StringInterner::ProvisionalBit)
+        S = Symbol::fromIndex(
+            Map[S.index() & ~StringInterner::ProvisionalBit]);
+  }
+
+  expectSameInterner(Serial, Base);
+  for (size_t C = 1; C < 4; ++C)
+    for (size_t I = 0; I < Chunks[C].size(); ++I)
+      ASSERT_EQ(Raw[C][I], Serial.lookup(Chunks[C][I]))
+          << "chunk " << C << " string " << Chunks[C][I];
+}
+
+//===----------------------------------------------------------------------===//
+// Byte identity on disk: artifacts and models
+//===----------------------------------------------------------------------===//
+
+std::string contextsBytesAt(size_t Threads) {
+  auto Sources = testSources(Language::JavaScript);
+  Corpus C = parseCorpus(Sources, Language::JavaScript, Threads);
+  CrfExperimentOptions Options;
+  Options.Extraction.MaxLength = 4;
+  Options.Extraction.MaxWidth = 3;
+  Options.TriContexts = true;
+  Options.Threads = Threads;
+  ContextsArtifact Art =
+      buildContextsArtifact(C, Task::VariableNames, Options);
+  std::ostringstream OS;
+  saveContexts(OS, Art);
+  return std::move(OS).str();
+}
+
+TEST(ParallelDeterminism, ContextsArtifactBytesAreThreadCountInvariant) {
+  // The strongest form of the contract: the *serialized* artifact —
+  // interner layout, packed path table, every context record — is
+  // byte-for-byte identical at any thread count.
+  std::string Serial = contextsBytesAt(1);
+  ASSERT_FALSE(Serial.empty());
+  size_t Hardware = parallel::hardwareConcurrency();
+  for (size_t Threads : {size_t(2), size_t(4), Hardware}) {
+    SCOPED_TRACE("threads=" + std::to_string(Threads));
+    EXPECT_TRUE(Serial == contextsBytesAt(Threads));
+  }
+}
+
+std::string modelBytesAt(size_t Threads) {
+  auto Sources = testSources(Language::JavaScript);
+  Corpus C = parseCorpus(Sources, Language::JavaScript, Threads);
+  CrfExperimentOptions Options;
+  Options.Extraction.MaxLength = 4;
+  Options.Extraction.MaxWidth = 3;
+  Options.TriContexts = true;
+  Options.Threads = Threads;
+  ContextsArtifact Art =
+      buildContextsArtifact(C, Task::VariableNames, Options);
+
+  ModelBundle Bundle;
+  Bundle.Lang = Art.Lang;
+  Bundle.TaskKind = Art.TaskKind;
+  Bundle.Extraction = Art.Extraction;
+  Bundle.Interner = std::move(Art.Interner);
+  crf::CrfConfig Config;
+  Config.Epochs = 2;
+  Bundle.Model = crf::CrfModel(Config);
+  crf::ElementSelector Selector = selectorFor(Bundle.TaskKind);
+  std::vector<crf::CrfGraph> Graphs;
+  for (const FileRecord &Rec : Art.Files) {
+    crf::CrfGraph G = buildGraphFromRecord(Rec, Selector);
+    addTriFactorsFromRecord(G, Rec, Selector, *Bundle.Interner);
+    Graphs.push_back(std::move(G));
+  }
+  Bundle.Table = std::move(Art.Table);
+  Bundle.Model.train(Graphs);
+  std::ostringstream OS;
+  saveModel(OS, Bundle);
+  return std::move(OS).str();
+}
+
+TEST(ParallelDeterminism, TrainedModelBytesAreThreadCountInvariant) {
+  // Parse → extract → assemble → train → save, end to end per thread
+  // count: the saved bundle (interner + table + CRF weights) must not
+  // leak any trace of how many workers produced it.
+  std::string Serial = modelBytesAt(1);
+  ASSERT_FALSE(Serial.empty());
+  for (size_t Threads : {size_t(2), size_t(4)}) {
+    SCOPED_TRACE("threads=" + std::to_string(Threads));
+    EXPECT_TRUE(Serial == modelBytesAt(Threads));
   }
 }
 

@@ -28,6 +28,7 @@ json::Value sidecarFor(double ParseSumSeconds, int ParseCount,
   Reg.gauge("pipeline.extract.speedup").set(3.1);
   Reg.gauge("eval.vars.accuracy").set(Accuracy);
   Reg.gauge("process.rss.peak.kb").set(123456);
+  Reg.gauge("parallel.bench.cores").set(4);
   Reg.gauge("crf.features").set(999); // neither throughput nor accuracy
   telemetry::Histogram &H =
       Reg.histogram("parse.wall.seconds", telemetry::timeBounds());
@@ -63,6 +64,9 @@ TEST(FoldSidecar, AppliesTheFoldingRules) {
   ASSERT_EQ(Rec.Accuracy.count("eval.vars.accuracy"), 1u);
   EXPECT_DOUBLE_EQ(Rec.Accuracy["eval.vars.accuracy"], 0.82);
   EXPECT_EQ(Rec.RssPeakKb, 123456u);
+  EXPECT_EQ(Rec.Cores, 4u);
+  // The cores gauge is bench metadata, not a throughput metric.
+  EXPECT_EQ(Rec.Throughput.count("parallel.bench.cores"), 0u);
   // Unrelated gauges fold nowhere.
   EXPECT_EQ(Rec.Throughput.count("crf.features"), 0u);
   EXPECT_EQ(Rec.Accuracy.count("crf.features"), 0u);
@@ -99,6 +103,7 @@ TEST(Trajectory, WriteParseRoundTrip) {
     EXPECT_EQ(Back->Benches[I].Throughput, T.Benches[I].Throughput);
     EXPECT_EQ(Back->Benches[I].Accuracy, T.Benches[I].Accuracy);
     EXPECT_EQ(Back->Benches[I].RssPeakKb, T.Benches[I].RssPeakKb);
+    EXPECT_EQ(Back->Benches[I].Cores, T.Benches[I].Cores);
     ASSERT_EQ(Back->Benches[I].Phases.size(), T.Benches[I].Phases.size());
     for (const auto &[Stage, S] : T.Benches[I].Phases) {
       const PhaseStats &B = Back->Benches[I].Phases.at(Stage);
@@ -189,4 +194,69 @@ TEST(RegressionGate, SkipsNonPositiveBaselines) {
   Trajectory After = trajectoryWith(0.0, 0.8);
   After.Benches[0].Throughput["parse.per_sec"] = 0.0;
   EXPECT_TRUE(compareTrajectories(Before, After, 0.10).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Speedup floor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Trajectory speedupTrajectory(double ParseSpeedup, double ExtractSpeedup,
+                             uint64_t Cores) {
+  Trajectory T;
+  T.Stamp = "stamp";
+  BenchRecord Rec;
+  Rec.Bench = "bench_parallel";
+  Rec.Cores = Cores;
+  Rec.Throughput["parallel.parse.speedup"] = ParseSpeedup;
+  Rec.Throughput["parallel.extract.speedup"] = ExtractSpeedup;
+  Rec.Throughput["parse.per_sec"] = 500.0; // Never floored.
+  T.Benches.push_back(Rec);
+  return T;
+}
+
+} // namespace
+
+TEST(SpeedupFloor, FailsANegativeSpeedupWithNoHistory) {
+  // The bug this PR fixes: a "parallel" run 15% *slower* than serial.
+  // The floor must catch it from the current snapshot alone — no
+  // previous trajectory to diff against.
+  std::vector<Regression> R =
+      speedupFloor(speedupTrajectory(0.85, 2.6, /*Cores=*/4));
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Bench, "bench_parallel");
+  EXPECT_EQ(R[0].Metric, "parallel.parse.speedup");
+  EXPECT_DOUBLE_EQ(R[0].Before, 1.0); // The floor itself.
+  EXPECT_DOUBLE_EQ(R[0].After, 0.85);
+}
+
+TEST(SpeedupFloor, PassesHealthySpeedups) {
+  EXPECT_TRUE(speedupFloor(speedupTrajectory(2.1, 2.8, 4)).empty());
+  // Exactly at the floor passes (strict <).
+  EXPECT_TRUE(speedupFloor(speedupTrajectory(1.0, 1.0, 4)).empty());
+}
+
+TEST(SpeedupFloor, ExemptsSingleCoreRecordsOnly) {
+  // One core: 0.9x is the honest cost of sharding, not a regression.
+  EXPECT_TRUE(speedupFloor(speedupTrajectory(0.9, 0.95, 1)).empty());
+  // No recorded core count gets no benefit of the doubt.
+  std::vector<Regression> R = speedupFloor(speedupTrajectory(0.9, 0.95, 0));
+  EXPECT_EQ(R.size(), 2u);
+}
+
+TEST(SpeedupFloor, OnlyParallelSpeedupMetricsAreFloored) {
+  // A non-parallel gauge that happens to end in .speedup, and ordinary
+  // per_sec throughput, sit outside the floor's contract.
+  Trajectory T = speedupTrajectory(2.0, 2.0, 4);
+  T.Benches[0].Throughput["cache.hit.speedup"] = 0.5;
+  T.Benches[0].Throughput["parse.per_sec"] = 0.001;
+  EXPECT_TRUE(speedupFloor(T).empty());
+}
+
+TEST(SpeedupFloor, HonorsACustomFloor) {
+  std::vector<Regression> R =
+      speedupFloor(speedupTrajectory(2.2, 2.4, 4), /*Floor=*/2.5);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_DOUBLE_EQ(R[0].Before, 2.5);
 }

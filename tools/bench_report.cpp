@@ -8,15 +8,19 @@
 /// leave behind into one dated trajectory document:
 ///
 ///   bench_report [--bench-dir DIR]... [--out-dir DIR] [--stamp S]
-///                [--threshold F] [--warn-only]
+///                [--threshold F] [--speedup-floor F] [--warn-only]
 ///
 /// Writes `BENCH_<stamp>.json` (schema pigeon.bench.v1) into the out
 /// directory, prints the throughput / phase-time / accuracy headlines,
-/// and — when an earlier BENCH_*.json exists there — diffs against the
-/// latest one. A throughput metric that lost more than the threshold
-/// (default 10%) fails the run with exit 1 so CI catches the regression;
-/// --warn-only downgrades that to a warning, and the very first run
-/// (nothing to compare against) never fails.
+/// and runs two gates:
+///  * speedup floor — any `parallel.*.speedup` metric in the *current*
+///    snapshot below the floor (default 1.0) fails the run, previous
+///    trajectory or not: parallelism slower than serial is a bug, not a
+///    regression. Single-core records are exempt.
+///  * regression — when an earlier BENCH_*.json exists in the out dir,
+///    a throughput metric that lost more than the threshold (default
+///    10%) against it fails the run.
+/// --warn-only downgrades both failures to warnings.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,10 +42,11 @@ namespace {
 
 int usage() {
   std::cerr << "usage: bench_report [--bench-dir DIR]... [--out-dir DIR]"
-               " [--stamp S] [--threshold F] [--warn-only]\n"
-               "Folds <bench>.metrics.json sidecars into BENCH_<stamp>.json"
-               " and gates on throughput regressions vs the previous"
-               " trajectory.\n";
+               " [--stamp S] [--threshold F] [--speedup-floor F]"
+               " [--warn-only]\n"
+               "Folds <bench>.metrics.json sidecars into BENCH_<stamp>.json,"
+               " fails any parallel.*.speedup below the floor, and gates"
+               " throughput regressions vs the previous trajectory.\n";
   return 2;
 }
 
@@ -94,6 +99,7 @@ int main(int argc, char **argv) {
   std::string OutDir = ".";
   std::string Stamp;
   double Threshold = 0.10;
+  double SpeedupFloor = 1.0;
   bool WarnOnly = false;
 
   std::vector<std::string> Args(argv + 1, argv + argc);
@@ -110,6 +116,8 @@ int main(int argc, char **argv) {
       Stamp = Value();
     else if (Arg == "--threshold")
       Threshold = std::atof(Value().c_str());
+    else if (Arg == "--speedup-floor")
+      SpeedupFloor = std::atof(Value().c_str());
     else if (Arg == "--warn-only")
       WarnOnly = true;
     else
@@ -187,36 +195,58 @@ int main(int argc, char **argv) {
   }
   Table.print(std::cout);
 
+  bool Failed = false;
+
+  // The absolute speedup floor gates the *current* snapshot alone, so it
+  // runs even on a repo's very first trajectory: a parallel stage that
+  // came out slower than serial is a bug today, not a regression against
+  // yesterday. (Single-core records are exempt inside speedupFloor.)
+  std::vector<bench::Regression> FloorViolations =
+      bench::speedupFloor(Cur, SpeedupFloor);
+  if (!FloorViolations.empty()) {
+    TablePrinter Bad("parallel speedups below the " + fixed(SpeedupFloor) +
+                     "x floor");
+    Bad.setHeader({"Bench", "Metric", "Floor", "Measured"});
+    for (const bench::Regression &R : FloorViolations)
+      Bad.addRow({R.Bench, R.Metric, fixed(R.Before), fixed(R.After)});
+    Bad.print(std::cerr);
+    Failed = true;
+  }
+
   if (PrevPath.empty()) {
     std::cerr << "first trajectory in " << OutDir
               << "; nothing to compare against\n";
-    return 0;
-  }
-  std::optional<json::Value> PrevDoc = json::parseFile(PrevPath);
-  std::optional<bench::Trajectory> Prev;
-  if (PrevDoc)
-    Prev = bench::parseTrajectory(*PrevDoc);
-  if (!Prev) {
-    std::cerr << "warning: " << PrevPath
-              << " is not a pigeon.bench.v1 trajectory; skipping the gate\n";
-    return 0;
+  } else {
+    std::optional<json::Value> PrevDoc = json::parseFile(PrevPath);
+    std::optional<bench::Trajectory> Prev;
+    if (PrevDoc)
+      Prev = bench::parseTrajectory(*PrevDoc);
+    if (!Prev) {
+      std::cerr << "warning: " << PrevPath
+                << " is not a pigeon.bench.v1 trajectory; skipping the"
+                   " comparison gate\n";
+    } else {
+      std::vector<bench::Regression> Regressions =
+          bench::compareTrajectories(*Prev, Cur, Threshold);
+      std::cerr << "compared against " << PrevPath << " (threshold "
+                << fixed(Threshold * 100, 0) << "%)\n";
+      if (Regressions.empty()) {
+        std::cerr << "no throughput regressions\n";
+      } else {
+        TablePrinter Bad("throughput regressions vs " +
+                         fs::path(PrevPath).filename().string());
+        Bad.setHeader({"Bench", "Metric", "Before", "After", "Ratio"});
+        for (const bench::Regression &R : Regressions)
+          Bad.addRow({R.Bench, R.Metric, fixed(R.Before), fixed(R.After),
+                      fixed(R.Ratio, 3)});
+        Bad.print(std::cerr);
+        Failed = true;
+      }
+    }
   }
 
-  std::vector<bench::Regression> Regressions =
-      bench::compareTrajectories(*Prev, Cur, Threshold);
-  std::cerr << "compared against " << PrevPath << " (threshold "
-            << fixed(Threshold * 100, 0) << "%)\n";
-  if (Regressions.empty()) {
-    std::cerr << "no throughput regressions\n";
+  if (!Failed)
     return 0;
-  }
-  TablePrinter Bad("throughput regressions vs " +
-                   fs::path(PrevPath).filename().string());
-  Bad.setHeader({"Bench", "Metric", "Before", "After", "Ratio"});
-  for (const bench::Regression &R : Regressions)
-    Bad.addRow({R.Bench, R.Metric, fixed(R.Before), fixed(R.After),
-                fixed(R.Ratio, 3)});
-  Bad.print(std::cerr);
   if (WarnOnly) {
     std::cerr << "warn-only: not failing the run\n";
     return 0;
