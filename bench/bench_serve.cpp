@@ -22,6 +22,7 @@
 #include "core/ContextsIO.h"
 #include "core/ModelIO.h"
 #include "serve/Serve.h"
+#include "serve/SlowLog.h"
 #include "support/TablePrinter.h"
 
 #include <algorithm>
@@ -196,6 +197,22 @@ int main() {
   std::snprintf(P99Buf, sizeof(P99Buf), "%.2f", ConcurrentP99);
   Out.addRow({"concurrent", std::to_string(Clients), Buf, P50Buf, P99Buf});
   Out.print(std::cout);
+
+  // Where the milliseconds went: the serve.stage.* histograms both
+  // Service instances observed into, one row per pipeline stage.
+  TablePrinter Stages("per-stage latency, all " +
+                      std::to_string(2 * Lines.size()) + " requests");
+  Stages.setHeader({"Stage", "p50 ms", "p99 ms", "Count"});
+  for (const char *Stage : serve::StageNames) {
+    auto &H = Reg.histogram("serve.stage." + std::string(Stage) + ".seconds",
+                            telemetry::timeBounds());
+    if (H.count() == 0)
+      continue;
+    std::snprintf(P50Buf, sizeof(P50Buf), "%.3f", H.percentile(0.50) * 1e3);
+    std::snprintf(P99Buf, sizeof(P99Buf), "%.3f", H.percentile(0.99) * 1e3);
+    Stages.addRow({Stage, P50Buf, P99Buf, std::to_string(H.count())});
+  }
+  Stages.print(std::cout);
 
   bench::writeBenchSidecar("bench_serve");
 

@@ -7,6 +7,7 @@
 #include "serve/Serve.h"
 
 #include "core/Experiments.h"
+#include "serve/SlowLog.h"
 #include "lang/csharp/CsParser.h"
 #include "lang/java/JavaParser.h"
 #include "lang/js/JsParser.h"
@@ -66,13 +67,23 @@ struct Decoded {
   std::string Source;
   int K = 3;
   bool Explain = false;
+  bool Timing = false; ///< Echo the stage decomposition inline.
   double DeadlineMs = -1; ///< Negative = no deadline.
 };
 
+/// Renders the stable response envelope prefix. \p Rid 0 omits the field
+/// — admission-time rejections are answered before a rid exists.
+std::string renderHead(uint64_t Rid, const std::string &IdJson) {
+  std::string Out = "{\"schema\":\"pigeon.serve.v1\",";
+  if (Rid)
+    Out += "\"rid\":" + std::to_string(Rid) + ",";
+  Out += "\"id\":" + IdJson + ",";
+  return Out;
+}
+
 std::string renderError(const std::string &IdJson, ErrorCode Code,
-                        const std::string &Message) {
-  std::string Out = "{\"schema\":\"pigeon.serve.v1\",\"id\":" + IdJson +
-                    ",\"ok\":false,\"error\":{\"code\":\"";
+                        const std::string &Message, uint64_t Rid = 0) {
+  std::string Out = renderHead(Rid, IdJson) + "\"ok\":false,\"error\":{\"code\":\"";
   Out += errorCodeName(Code);
   Out += "\",\"message\":";
   Out += telemetry::jsonString(Message);
@@ -169,84 +180,94 @@ lang::ParseResult parseAs(Language Lang, const std::string &Text,
 std::optional<std::string> decodeRequest(const std::string &Line,
                                          const core::ModelBundle &Bundle,
                                          const ServeConfig &Config,
-                                         Decoded &Out) {
+                                         uint64_t Rid, Decoded &Out) {
+  auto Err = [&](ErrorCode Code, const std::string &Message) {
+    return renderError(Out.IdJson, Code, Message, Rid);
+  };
   std::string ParseError;
   std::optional<json::Value> Doc = json::parse(Line, &ParseError);
   if (!Doc)
-    return renderError(Out.IdJson, ErrorCode::BadRequest,
-                       "malformed JSON: " + ParseError);
+    return Err(ErrorCode::BadRequest,
+               "malformed JSON: " + ParseError);
   if (!Doc->isObject())
-    return renderError(Out.IdJson, ErrorCode::BadRequest,
-                       "request must be a JSON object");
+    return Err(ErrorCode::BadRequest,
+               "request must be a JSON object");
 
   if (const json::Value *Id = Doc->find("id")) {
     if (Id->isArray() || Id->isObject())
-      return renderError(Out.IdJson, ErrorCode::BadRequest,
-                         "id must be a scalar");
+      return Err(ErrorCode::BadRequest,
+                 "id must be a scalar");
     Out.IdJson = renderIdEcho(*Id);
   }
 
   const json::Value *Lang = Doc->find("lang");
   if (!Lang || !Lang->isString())
-    return renderError(Out.IdJson, ErrorCode::BadRequest,
-                       "missing string field \"lang\"");
+    return Err(ErrorCode::BadRequest,
+               "missing string field \"lang\"");
   std::optional<Language> L = languageFromRequest(Lang->str());
   if (!L)
-    return renderError(Out.IdJson, ErrorCode::UnknownLang,
-                       "unknown language \"" + Lang->str() + "\"");
+    return Err(ErrorCode::UnknownLang,
+               "unknown language \"" + Lang->str() + "\"");
   if (*L != Bundle.Lang)
-    return renderError(Out.IdJson, ErrorCode::LangMismatch,
-                       std::string("model serves ") +
-                           lang::languageName(Bundle.Lang) + ", not " +
-                           lang::languageName(*L));
+    return Err(ErrorCode::LangMismatch,
+               std::string("model serves ") +
+               lang::languageName(Bundle.Lang) + ", not " +
+               lang::languageName(*L));
   Out.Lang = *L;
 
   if (const json::Value *Task = Doc->find("task")) {
     if (!Task->isString())
-      return renderError(Out.IdJson, ErrorCode::BadRequest,
-                         "task must be a string");
+      return Err(ErrorCode::BadRequest,
+                 "task must be a string");
     std::optional<core::Task> T = taskFromRequest(Task->str());
     if (!T)
-      return renderError(Out.IdJson, ErrorCode::UnknownTask,
-                         "unknown task \"" + Task->str() + "\"");
+      return Err(ErrorCode::UnknownTask,
+                 "unknown task \"" + Task->str() + "\"");
     if (*T != Bundle.TaskKind)
-      return renderError(Out.IdJson, ErrorCode::TaskMismatch,
-                         std::string("model serves the ") +
-                             core::taskName(Bundle.TaskKind) + " task");
+      return Err(ErrorCode::TaskMismatch,
+                 std::string("model serves the ") +
+                 core::taskName(Bundle.TaskKind) + " task");
   }
 
   const json::Value *Source = Doc->find("source");
   if (!Source || !Source->isString())
-    return renderError(Out.IdJson, ErrorCode::BadRequest,
-                       "missing string field \"source\"");
+    return Err(ErrorCode::BadRequest,
+               "missing string field \"source\"");
   if (Source->str().size() > Config.MaxSourceBytes)
-    return renderError(Out.IdJson, ErrorCode::SourceTooLarge,
-                       "source is " + std::to_string(Source->str().size()) +
-                           " bytes; limit is " +
-                           std::to_string(Config.MaxSourceBytes));
+    return Err(ErrorCode::SourceTooLarge,
+               "source is " + std::to_string(Source->str().size()) +
+               " bytes; limit is " +
+               std::to_string(Config.MaxSourceBytes));
   Out.Source = Source->str();
 
   Out.K = Config.DefaultK;
   if (const json::Value *K = Doc->find("k")) {
     if (!K->isNumber() || K->number() < 1 ||
         K->number() > static_cast<double>(Config.MaxK))
-      return renderError(Out.IdJson, ErrorCode::BadRequest,
-                         "k must be a number in [1, " +
-                             std::to_string(Config.MaxK) + "]");
+      return Err(ErrorCode::BadRequest,
+                 "k must be a number in [1, " +
+                 std::to_string(Config.MaxK) + "]");
     Out.K = static_cast<int>(K->number());
   }
 
   if (const json::Value *Explain = Doc->find("explain")) {
     if (!Explain->isBool())
-      return renderError(Out.IdJson, ErrorCode::BadRequest,
-                         "explain must be a boolean");
+      return Err(ErrorCode::BadRequest,
+                 "explain must be a boolean");
     Out.Explain = Explain->boolean();
+  }
+
+  if (const json::Value *Timing = Doc->find("timing")) {
+    if (!Timing->isBool())
+      return Err(ErrorCode::BadRequest,
+                 "timing must be a boolean");
+    Out.Timing = Timing->boolean();
   }
 
   if (const json::Value *Deadline = Doc->find("deadline_ms")) {
     if (!Deadline->isNumber() || Deadline->number() < 0)
-      return renderError(Out.IdJson, ErrorCode::BadRequest,
-                         "deadline_ms must be a non-negative number");
+      return Err(ErrorCode::BadRequest,
+                 "deadline_ms must be a non-negative number");
     Out.DeadlineMs = Deadline->number();
   }
   return std::nullopt;
@@ -256,6 +277,15 @@ std::optional<std::string> decodeRequest(const std::string &Line,
 /// default capacity, so saturation shape survives aggregation.
 std::vector<double> depthBounds() {
   return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+/// The windowed error series only needs counts and rates, not a shape:
+/// one bucket.
+std::vector<double> errorBounds() { return {1}; }
+
+/// Metric name of one pipeline stage's latency series.
+std::string stageMetricName(size_t Stage) {
+  return std::string("serve.stage.") + StageNames[Stage] + ".seconds";
 }
 
 } // namespace
@@ -277,6 +307,16 @@ Service::Service(std::unique_ptr<core::ModelBundle> Bundle,
                Config.WindowSlices, Config.WindowSliceSeconds);
   Reg.windowed("serve.queue.depth", depthBounds(), Config.WindowSlices,
                Config.WindowSliceSeconds);
+  for (size_t I = 0; I < NumStages; ++I)
+    Reg.windowed(stageMetricName(I), telemetry::timeBounds(),
+                 Config.WindowSlices, Config.WindowSliceSeconds);
+  // Errors/sec for admin:"health": every error response observes 1 here.
+  Reg.windowed("serve.responses.error", errorBounds(), Config.WindowSlices,
+               Config.WindowSliceSeconds);
+  // Flight recorder: keep the last N event records in memory even when
+  // --trace is off, for admin:"flightrec" and fatal-path dumps.
+  if (Config.FlightRecorder > 0)
+    telemetry::EventLog::global().enableRing(Config.FlightRecorder);
   Batcher = std::thread([this] { batcherLoop(); });
 }
 
@@ -303,11 +343,17 @@ void Service::submit(std::string Line, Callback Done) {
     return;
 
   auto &Reg = telemetry::MetricsRegistry::global();
+  auto CountError = [&] {
+    Reg.counter("serve.responses.error").inc();
+    Reg.windowed("serve.responses.error", errorBounds(), Config.WindowSlices,
+                 Config.WindowSliceSeconds)
+        .observe(1);
+  };
   Reg.counter("serve.requests").inc();
   std::unique_lock<std::mutex> L(Mutex);
   if (Stopping) {
     L.unlock();
-    Reg.counter("serve.responses.error").inc();
+    CountError();
     Done(renderError("null", ErrorCode::ShuttingDown,
                      "service is shutting down"));
     return;
@@ -317,7 +363,7 @@ void Service::submit(std::string Line, Callback Done) {
     // Admission-time rejection: the id is inside the line we refuse to
     // parse under load, so overloaded responses carry a null id.
     Reg.counter("serve.overloaded").inc();
-    Reg.counter("serve.responses.error").inc();
+    CountError();
     Done(renderError("null", ErrorCode::Overloaded,
                      "admission queue full (capacity " +
                          std::to_string(Config.QueueCapacity) + ")"));
@@ -328,6 +374,7 @@ void Service::submit(std::string Line, Callback Done) {
   P.Line = std::move(Line);
   P.Done = std::move(Done);
   P.Arrival = std::chrono::steady_clock::now();
+  P.DepthAtAdmit = Queue.size();
   Queue.push_back(std::move(P));
   InFlight.fetch_add(1, std::memory_order_relaxed);
   size_t Depth = Queue.size();
@@ -400,6 +447,15 @@ bool Service::tryHandleAdmin(const std::string &Line, const Callback &Done) {
       IsPaused = Paused;
       Draining = Stopping;
     }
+    // Live rates for the scraper: completed requests and errors over the
+    // sliding window, next to the p99 admin:"slo" already reports.
+    auto ReqSnap =
+        Reg.windowed("serve.request.seconds", telemetry::timeBounds(),
+                     Config.WindowSlices, Config.WindowSliceSeconds)
+            .snapshot();
+    auto ErrSnap = Reg.windowed("serve.responses.error", errorBounds(),
+                                Config.WindowSlices, Config.WindowSliceSeconds)
+                       .snapshot();
     std::string Out = Head() + "\"health\":{\"status\":\"";
     Out += Draining ? "draining" : "ok";
     Out += "\",\"lang\":" +
@@ -412,6 +468,13 @@ bool Service::tryHandleAdmin(const std::string &Line, const Callback &Done) {
            ",\"queue_depth\":" + std::to_string(Depth) +
            ",\"queue_high_water\":" + std::to_string(HighWater) +
            ",\"queue_capacity\":" + std::to_string(Config.QueueCapacity) +
+           ",\"window\":{\"seconds\":" +
+           telemetry::jsonNumber(ReqSnap.WindowSeconds) +
+           ",\"requests\":" + std::to_string(ReqSnap.Count) +
+           ",\"rate_per_sec\":" + telemetry::jsonNumber(ReqSnap.RatePerSec) +
+           ",\"errors\":" + std::to_string(ErrSnap.Count) +
+           ",\"error_rate_per_sec\":" +
+           telemetry::jsonNumber(ErrSnap.RatePerSec) + "}" +
            ",\"paused\":" + (IsPaused ? "true" : "false") +
            ",\"draining\":" + (Draining ? "true" : "false") + "}}";
     Done(std::move(Out));
@@ -467,6 +530,26 @@ bool Service::tryHandleAdmin(const std::string &Line, const Callback &Done) {
     Reg.counter("serve.admin.prom").inc();
     Done(Head() +
          "\"prom\":" + telemetry::jsonString(Reg.prometheusSnapshot()) + "}");
+    return true;
+  }
+
+  if (Verb == "flightrec") {
+    Reg.counter("serve.admin.flightrec").inc();
+    auto &Log = telemetry::EventLog::global();
+    std::vector<std::string> Lines = Log.ringSnapshot();
+    std::string Out = Head() + "\"flightrec\":{\"capacity\":" +
+                      std::to_string(Log.ringCapacity()) +
+                      ",\"total\":" + std::to_string(Log.ringTotal()) +
+                      ",\"count\":" + std::to_string(Lines.size()) +
+                      ",\"records\":[";
+    // Ring entries are complete rendered JSON objects: embed verbatim.
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += Lines[I];
+    }
+    Out += "]}}";
+    Done(std::move(Out));
     return true;
   }
 
@@ -549,6 +632,7 @@ void Service::batcherLoop() {
           break;
       }
       Batch.push_back(std::move(Queue.front()));
+      Batch.back().BatchOpen = std::chrono::steady_clock::now();
       Queue.pop_front();
     }
     telemetry::MetricsRegistry::global()
@@ -563,6 +647,11 @@ void Service::batcherLoop() {
 }
 
 void Service::processBatch(std::vector<Pending> Batch) {
+  // t_batch_seal: the straggler window closed the moment the batcher
+  // handed the batch over. Later pipeline boundaries are stamped after
+  // their stage blocks; the six consecutive differences are the stage
+  // durations and sum to each request's total latency by construction.
+  const auto TSeal = std::chrono::steady_clock::now();
   auto &Reg = telemetry::MetricsRegistry::global();
   telemetry::TraceScope BatchScope("serve.batch");
   Reg.histogram("serve.batch.size", telemetry::linearBounds(1, 32))
@@ -589,7 +678,7 @@ void Service::processBatch(std::vector<Pending> Batch) {
   auto fail = [&](Item &It, ErrorCode Code, const std::string &Message) {
     It.Failed = true;
     It.Code = Code;
-    It.Response = renderError(It.D.IdJson, Code, Message);
+    It.Response = renderError(It.D.IdJson, Code, Message, It.P.Seq);
   };
 
   // Decode + deadline check (serial; JSON decoding is cheap next to
@@ -599,7 +688,8 @@ void Service::processBatch(std::vector<Pending> Batch) {
     parallel::StageTimer Timer("serve.decode");
     auto Now = std::chrono::steady_clock::now();
     for (Item &It : Items) {
-      if (auto Error = decodeRequest(It.P.Line, *Bundle, Config, It.D)) {
+      if (auto Error =
+              decodeRequest(It.P.Line, *Bundle, Config, It.P.Seq, It.D)) {
         It.Failed = true;
         It.Response = std::move(*Error);
         continue;
@@ -639,6 +729,7 @@ void Service::processBatch(std::vector<Pending> Batch) {
         fail(It, ErrorCode::ParseFailed, "parse failed: " + Reason);
       }
   }
+  const auto TParse = std::chrono::steady_clock::now(); // t_parse_done.
 
   // Bundle-space section — the only code that touches the resident
   // interner and path table, serialized by construction (one batcher).
@@ -665,6 +756,7 @@ void Service::processBatch(std::vector<Pending> Batch) {
       Graphs.push_back(It.G);
     }
   }
+  const auto TRemap = std::chrono::steady_clock::now(); // t_remap_done.
 
   // Inference, sharded inside predictBatch.
   std::vector<std::vector<Symbol>> Preds;
@@ -672,15 +764,37 @@ void Service::processBatch(std::vector<Pending> Batch) {
     parallel::StageTimer Timer("serve.predict");
     Preds = Bundle->Model.predictBatch(Graphs);
   }
+  const auto TPredict = std::chrono::steady_clock::now(); // t_predict_done.
 
   // Render + deliver in admission order.
   parallel::StageTimer RenderTimer("serve.render");
+
+  // Per-stage latency series, resolved once per batch.
+  std::array<telemetry::Histogram *, NumStages> StageHist;
+  std::array<telemetry::WindowedHistogram *, NumStages> StageWin;
+  for (size_t S = 0; S < NumStages; ++S) {
+    StageHist[S] = &Reg.histogram(stageMetricName(S), telemetry::timeBounds());
+    StageWin[S] = &Reg.windowed(stageMetricName(S), telemetry::timeBounds(),
+                                Config.WindowSlices, Config.WindowSliceSeconds);
+  }
+
+  // Batch context for slow-request captures: who shared the batch.
+  std::vector<uint64_t> BatchRids;
+  BatchRids.reserve(Items.size());
+  for (const Item &It : Items)
+    BatchRids.push_back(It.P.Seq);
+  auto &Slow = SlowLog::global();
+  double SlowThresholdMs =
+      Config.SlowTraceMs >= 0
+          ? Config.SlowTraceMs
+          : (Config.SloP99Ms > 0 ? Config.SloP99Ms : 0.0);
+
   const StringInterner &SI = *Bundle->Interner;
   for (Item &It : Items) {
+    std::string Out;
     if (!It.Failed) {
       const std::vector<Symbol> &Pred = Preds[It.GraphIndex];
-      std::string Out = "{\"schema\":\"pigeon.serve.v1\",\"id\":" +
-                        It.D.IdJson + ",\"ok\":true,\"predictions\":[";
+      Out = renderHead(It.P.Seq, It.D.IdJson) + "\"ok\":true,\"predictions\":[";
       bool FirstNode = true;
       for (uint32_t N : It.G.Unknowns) {
         const crf::GraphNode &Node = It.G.Nodes[N];
@@ -730,13 +844,48 @@ void Service::processBatch(std::vector<Pending> Batch) {
         }
         Out += "}";
       }
-      Out += "]}";
+      Out += "]";
+    }
+
+    // t_respond: stamped once this request's predictions are rendered —
+    // the timing echo below describes a closed timeline, so the stage
+    // durations sum to total_ms exactly.
+    const auto TRespond = std::chrono::steady_clock::now();
+    auto Sec = [](std::chrono::steady_clock::time_point A,
+                  std::chrono::steady_clock::time_point B) {
+      return std::chrono::duration<double>(B - A).count();
+    };
+    const std::array<double, NumStages> StageS = {
+        Sec(It.P.Arrival, It.P.BatchOpen), // queue
+        Sec(It.P.BatchOpen, TSeal),        // seal
+        Sec(TSeal, TParse),                // parse (incl. decode)
+        Sec(TParse, TRemap),               // remap (+ extract + assemble)
+        Sec(TRemap, TPredict),             // predict
+        Sec(TPredict, TRespond),           // render
+    };
+    const double Wall = Sec(It.P.Arrival, TRespond);
+
+    if (!It.Failed) {
+      if (It.D.Timing) {
+        Out += ",\"timing\":{";
+        for (size_t S = 0; S < NumStages; ++S) {
+          Out += "\"";
+          Out += StageNames[S];
+          Out += "_ms\":" + telemetry::jsonNumber(StageS[S] * 1000.0) + ",";
+        }
+        Out += "\"total_ms\":" + telemetry::jsonNumber(Wall * 1000.0) +
+               ",\"batch_size\":" + std::to_string(Items.size()) +
+               ",\"depth_at_admit\":" + std::to_string(It.P.DepthAtAdmit) +
+               "}";
+      }
+      Out += "}";
       It.Response = std::move(Out);
     }
 
-    double Wall = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - It.P.Arrival)
-                      .count();
+    for (size_t S = 0; S < NumStages; ++S) {
+      StageHist[S]->observe(StageS[S]);
+      StageWin[S]->observe(StageS[S]);
+    }
     Reg.histogram("serve.request.seconds", telemetry::timeBounds())
         .observe(Wall);
     Reg.windowed("serve.request.seconds", telemetry::timeBounds(),
@@ -744,20 +893,52 @@ void Service::processBatch(std::vector<Pending> Batch) {
         .observe(Wall);
     Reg.counter(It.Failed ? "serve.responses.error" : "serve.responses.ok")
         .inc();
-    if (It.Failed)
+    if (It.Failed) {
       Reg.counter(std::string("serve.responses.error.") +
                   errorCodeName(It.Code))
           .inc();
+      Reg.windowed("serve.responses.error", errorBounds(),
+                   Config.WindowSlices, Config.WindowSliceSeconds)
+          .observe(1);
+    }
     auto &Log = telemetry::EventLog::global();
     if (Log.enabled())
       Log.record("serve.request",
-                 {{"id", It.D.IdJson},
+                 {{"rid", std::to_string(It.P.Seq)},
+                  {"id", It.D.IdJson},
                   {"ok", It.Failed ? "false" : "true"},
                   {"code",
                    It.Failed
                        ? telemetry::jsonString(errorCodeName(It.Code))
                        : std::string("null")},
-                  {"wall", telemetry::jsonNumber(Wall)}});
+                  {"wall", telemetry::jsonNumber(Wall)},
+                  {"queue", telemetry::jsonNumber(StageS[0])},
+                  {"seal", telemetry::jsonNumber(StageS[1])},
+                  {"parse", telemetry::jsonNumber(StageS[2])},
+                  {"remap", telemetry::jsonNumber(StageS[3])},
+                  {"predict", telemetry::jsonNumber(StageS[4])},
+                  {"render", telemetry::jsonNumber(StageS[5])},
+                  {"batch", std::to_string(Items.size())},
+                  {"depth", std::to_string(It.P.DepthAtAdmit)}});
+
+    // Tail sampling: capture the full timeline + batch context of any
+    // request slower than the threshold.
+    if (Slow.enabled() && Wall * 1000.0 > SlowThresholdMs) {
+      RequestSample Sample;
+      Sample.Rid = It.P.Seq;
+      Sample.IdJson = It.D.IdJson;
+      Sample.Ok = !It.Failed;
+      if (It.Failed)
+        Sample.Code = errorCodeName(It.Code);
+      Sample.TotalMs = Wall * 1000.0;
+      for (size_t S = 0; S < NumStages; ++S)
+        Sample.StageMs[S] = StageS[S] * 1000.0;
+      Sample.BatchSize = Items.size();
+      Sample.DepthAtAdmit = It.P.DepthAtAdmit;
+      Slow.append(renderSlowLogEntry(Sample, BatchRids, uptimeSeconds()));
+      Reg.counter("serve.slow.requests").inc();
+    }
+
     It.P.Done(std::move(It.Response));
     InFlight.fetch_sub(1, std::memory_order_relaxed);
   }

@@ -17,13 +17,22 @@
 ///
 ///   request:  {"id": <scalar, optional>, "lang": "js", "task": "vars",
 ///              "source": "...", "k": 3, "explain": false,
-///              "deadline_ms": 50}
-///   response: {"schema": "pigeon.serve.v1", "id": <echo>, "ok": true,
+///              "deadline_ms": 50, "timing": false}
+///   response: {"schema": "pigeon.serve.v1", "rid": 7, "id": <echo>,
+///              "ok": true,
 ///              "predictions": [{"element": ..., "kind": ...,
 ///                "candidates": [{"label": ..., "score": ...}, ...],
 ///                "explain": [...]}]}
-///   error:    {"schema": "pigeon.serve.v1", "id": <echo>, "ok": false,
+///   error:    {"schema": "pigeon.serve.v1", "rid": 7, "id": <echo>,
+///              "ok": false,
 ///              "error": {"code": "unknown_lang", "message": "..."}}
+///
+/// `rid` is the request id the service assigned at admission: unique
+/// across every connection of the serving process, in admission order,
+/// and the join key between a response, its `serve.request` event
+/// record, and its slow-log capture. Admission-time rejections
+/// (`overloaded`, `shutting_down`) happen before a rid is assigned and
+/// omit the field.
 ///
 /// `task` defaults to the loaded bundle's task; `k` to ServeConfig's
 /// DefaultK. A request that fails to decode or validate produces a
@@ -58,6 +67,26 @@
 /// sliding-window histograms (WindowedHistogram) so a resident server
 /// exposes live last-minute percentiles, not just since-start ones.
 ///
+/// Request lifecycle: the batcher stamps a monotonic timestamp at each
+/// pipeline boundary — t_admit, t_batch_open, t_batch_seal,
+/// t_parse_done, t_remap_done, t_predict_done, t_respond — and the six
+/// consecutive differences are the stage durations `queue` (admission
+/// queue wait), `seal` (straggler-flush wait), `parse` (decode + parse),
+/// `remap` (bundle-space remap + extract + graph assembly), `predict`,
+/// `render`. By construction they sum to the request's total latency.
+/// Each stage feeds `serve.stage.<name>.seconds` (cumulative + windowed)
+/// and rides on the `serve.request` event record; `"timing": true` in a
+/// request echoes the same decomposition inline as a `"timing"` object
+/// on the (ok) response. Requests slower than ServeConfig::SlowTraceMs
+/// (fallback: SloP99Ms) are additionally captured to the process
+/// SlowLog (see SlowLog.h) with their batch context. Responses without
+/// `"timing"` are unchanged by all of this except the `rid` field.
+///
+/// The service also enables the EventLog flight recorder (a ring of the
+/// last ServeConfig::FlightRecorder event records, captured even without
+/// `--trace`) so the admin plane and fatal-path diagnostics can always
+/// show the moments before an incident.
+///
 /// Admin protocol (schema `pigeon.admin.v1`): a request line carrying an
 /// `"admin"` field instead of `lang`/`source` is answered synchronously
 /// on the submitting thread — before admission control, so introspection
@@ -66,11 +95,15 @@
 ///
 ///   {"id": 7, "admin": "metrics"}  → full pigeon.metrics.v1 snapshot
 ///   {"admin": "health"}            → bundle identity, uptime, in-flight
-///                                    count, queue + drain state
+///                                    count, queue + drain state, plus a
+///                                    `window` object with the live
+///                                    request rate and error rate
 ///   {"admin": "slo"}               → `--slo-p99-ms` target vs. the
 ///                                    windowed p99 of serve.request.seconds
 ///   {"admin": "profile"}           → phase-profiler folded stacks
 ///   {"admin": "prom"}              → Prometheus text exposition (string)
+///   {"admin": "flightrec"}         → flight-recorder snapshot: the last
+///                                    N event records, embedded verbatim
 ///
 /// Unknown verbs answer a structured `bad_request` error under the
 /// pigeon.admin.v1 schema.
@@ -118,6 +151,15 @@ struct ServeConfig {
   /// SLO target for the windowed p99 of `serve.request.seconds`, in
   /// milliseconds; <= 0 means no target (admin:"slo" reports disabled).
   double SloP99Ms = 0;
+  /// Slow-request capture threshold in milliseconds: when the process
+  /// SlowLog is open, a request whose total latency exceeds it is
+  /// captured with its stage timeline and batch context. Negative (the
+  /// default) falls back to SloP99Ms when that is set; with neither set,
+  /// every request is captured (threshold 0 — the ring cap bounds it).
+  double SlowTraceMs = -1;
+  /// Capacity (records) of the EventLog flight-recorder ring the service
+  /// enables on construction; 0 leaves the ring untouched.
+  size_t FlightRecorder = 256;
   /// Sliding-window shape for the live serve histograms: WindowSlices
   /// ring slices of WindowSliceSeconds each (default: last minute).
   size_t WindowSlices = 6;
@@ -203,10 +245,12 @@ public:
 
 private:
   struct Pending {
-    uint64_t Seq = 0;
+    uint64_t Seq = 0; ///< The request id (rid): admission order, unique.
     std::string Line;
     Callback Done;
-    std::chrono::steady_clock::time_point Arrival;
+    std::chrono::steady_clock::time_point Arrival;   ///< t_admit.
+    std::chrono::steady_clock::time_point BatchOpen; ///< Popped into a batch.
+    size_t DepthAtAdmit = 0; ///< Queue depth seen at admission.
   };
 
   void batcherLoop();

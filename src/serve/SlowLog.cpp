@@ -1,0 +1,295 @@
+//===- SlowLog.cpp - Tail-latency forensics for pigeon serve ---------------===//
+//
+// Part of the PIGEON project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SlowLog.h"
+
+#include "support/EventLog.h"
+#include "support/TablePrinter.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pigeon;
+using namespace pigeon::serve;
+
+const std::array<const char *, NumStages> serve::StageNames = {
+    "queue", "seal", "parse", "remap", "predict", "render"};
+
+//===----------------------------------------------------------------------===//
+// Entry rendering / parsing
+//===----------------------------------------------------------------------===//
+
+std::string serve::renderSlowLogEntry(const RequestSample &S,
+                                      const std::vector<uint64_t> &BatchRids,
+                                      double UptimeSeconds) {
+  std::string Out = "{\"schema\":\"pigeon.slowlog.v1\",\"rid\":" +
+                    std::to_string(S.Rid) + ",\"id\":" + S.IdJson +
+                    ",\"ok\":" + (S.Ok ? "true" : "false") + ",\"code\":" +
+                    (S.Ok ? std::string("null") : telemetry::jsonString(S.Code)) +
+                    ",\"total_ms\":" + telemetry::jsonNumber(S.TotalMs);
+  for (size_t I = 0; I < NumStages; ++I) {
+    Out += ",\"";
+    Out += StageNames[I];
+    Out += "_ms\":";
+    Out += telemetry::jsonNumber(S.StageMs[I]);
+  }
+  Out += ",\"batch_size\":" + std::to_string(S.BatchSize) +
+         ",\"depth_at_admit\":" + std::to_string(S.DepthAtAdmit) +
+         ",\"batch_rids\":[";
+  for (size_t I = 0; I < BatchRids.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(BatchRids[I]);
+  }
+  Out += "],\"uptime_seconds\":" + telemetry::jsonNumber(UptimeSeconds) + "}";
+  return Out;
+}
+
+namespace {
+
+/// Re-renders a scalar JSON value (request-id echoes) back to text.
+std::string rerenderScalar(const json::Value &V) {
+  switch (V.kind()) {
+  case json::Value::Kind::Bool:
+    return V.boolean() ? "true" : "false";
+  case json::Value::Kind::Number:
+    return telemetry::jsonNumber(V.number());
+  case json::Value::Kind::String:
+    return telemetry::jsonString(V.str());
+  default:
+    return "null";
+  }
+}
+
+double numField(const json::Value &Doc, const char *Key, double Default) {
+  const json::Value *V = Doc.find(Key);
+  return V && V->isNumber() ? V->number() : Default;
+}
+
+} // namespace
+
+std::optional<RequestSample>
+serve::parseRequestSample(const json::Value &Doc) {
+  if (!Doc.isObject())
+    return std::nullopt;
+
+  auto Common = [&](RequestSample &S) {
+    S.Rid = static_cast<uint64_t>(numField(Doc, "rid", 0));
+    if (const json::Value *Id = Doc.find("id"))
+      S.IdJson = rerenderScalar(*Id);
+    if (const json::Value *Ok = Doc.find("ok"))
+      S.Ok = Ok->isBool() ? Ok->boolean() : true;
+    if (const json::Value *Code = Doc.find("code"))
+      if (Code->isString())
+        S.Code = Code->str();
+    S.BatchSize = static_cast<uint64_t>(numField(Doc, "batch_size", 0));
+    S.DepthAtAdmit =
+        static_cast<uint64_t>(numField(Doc, "depth_at_admit", 0));
+  };
+
+  const json::Value *Schema = Doc.find("schema");
+  if (Schema && Schema->isString() && Schema->str() == "pigeon.slowlog.v1") {
+    RequestSample S;
+    Common(S);
+    S.TotalMs = numField(Doc, "total_ms", 0);
+    for (size_t I = 0; I < NumStages; ++I)
+      S.StageMs[I] =
+          numField(Doc, (std::string(StageNames[I]) + "_ms").c_str(), 0);
+    return S;
+  }
+
+  const json::Value *Event = Doc.find("event");
+  if (Event && Event->isString() && Event->str() == "serve.request") {
+    // Event records carry seconds (the stream's native unit); batch
+    // context uses the short field names of pigeon.events.v1.
+    RequestSample S;
+    Common(S);
+    S.TotalMs = numField(Doc, "wall", 0) * 1000.0;
+    for (size_t I = 0; I < NumStages; ++I)
+      S.StageMs[I] = numField(Doc, StageNames[I], 0) * 1000.0;
+    S.BatchSize = static_cast<uint64_t>(numField(Doc, "batch", 0));
+    S.DepthAtAdmit = static_cast<uint64_t>(numField(Doc, "depth", 0));
+    return S;
+  }
+
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// SlowLog
+//===----------------------------------------------------------------------===//
+
+SlowLog &SlowLog::global() {
+  static SlowLog Instance;
+  return Instance;
+}
+
+void SlowLog::open(const std::string &OpenPath, size_t Cap) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Path = OpenPath;
+  MaxBytes = Cap;
+  CurBytes = 0;
+  Dirty = false;
+  Entries.clear();
+  Appended.store(0, std::memory_order_relaxed);
+  Evicted.store(0, std::memory_order_relaxed);
+  On.store(true, std::memory_order_release);
+}
+
+void SlowLog::close() {
+  flush();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  On.store(false, std::memory_order_release);
+  Entries.clear();
+  CurBytes = 0;
+  Path.clear();
+}
+
+void SlowLog::append(std::string Line) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  CurBytes += Line.size() + 1;
+  Entries.push_back(std::move(Line));
+  // Byte-capped ring: evict oldest first, but always keep the newest
+  // entry even when it alone exceeds the cap.
+  while (CurBytes > MaxBytes && Entries.size() > 1) {
+    CurBytes -= Entries.front().size() + 1;
+    Entries.pop_front();
+    Evicted.fetch_add(1, std::memory_order_relaxed);
+  }
+  Appended.fetch_add(1, std::memory_order_relaxed);
+  Dirty = true;
+}
+
+bool SlowLog::flush() {
+  std::string Body, Dest;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!On.load(std::memory_order_acquire) || !Dirty)
+      return true;
+    for (const std::string &E : Entries) {
+      Body += E;
+      Body += '\n';
+    }
+    Dest = Path;
+    Dirty = false;
+  }
+  return telemetry::writeFileAtomic(Dest, Body);
+}
+
+std::vector<std::string> SlowLog::lines() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return {Entries.begin(), Entries.end()};
+}
+
+//===----------------------------------------------------------------------===//
+// Report folding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample vector (the same rule
+/// bench_serve applies to its latency gauges).
+double percentileSorted(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  size_t Rank = static_cast<size_t>(
+      std::ceil(Q * static_cast<double>(Sorted.size())));
+  if (Rank == 0)
+    Rank = 1;
+  return Sorted[std::min(Rank, Sorted.size()) - 1];
+}
+
+} // namespace
+
+LatencyReport serve::foldSamples(std::vector<RequestSample> Samples,
+                                 size_t TopK) {
+  LatencyReport R;
+  R.Samples = Samples.size();
+  if (Samples.empty())
+    return R;
+
+  std::vector<double> Totals;
+  Totals.reserve(Samples.size());
+  double GrandTotal = 0;
+  std::array<std::vector<double>, NumStages> PerStage;
+  std::array<double, NumStages> StageSum{};
+  for (const RequestSample &S : Samples) {
+    Totals.push_back(S.TotalMs);
+    GrandTotal += S.TotalMs;
+    for (size_t I = 0; I < NumStages; ++I) {
+      PerStage[I].push_back(S.StageMs[I]);
+      StageSum[I] += S.StageMs[I];
+    }
+  }
+  std::sort(Totals.begin(), Totals.end());
+  R.TotalP50Ms = percentileSorted(Totals, 0.50);
+  R.TotalP99Ms = percentileSorted(Totals, 0.99);
+
+  for (size_t I = 0; I < NumStages; ++I) {
+    std::vector<double> &V = PerStage[I];
+    std::sort(V.begin(), V.end());
+    StageStats &St = R.Stages[I];
+    St.Count = V.size();
+    St.MeanMs = StageSum[I] / static_cast<double>(V.size());
+    St.P50Ms = percentileSorted(V, 0.50);
+    St.P99Ms = percentileSorted(V, 0.99);
+    St.MaxMs = V.back();
+    St.Share = GrandTotal > 0 ? StageSum[I] / GrandTotal : 0;
+  }
+
+  std::sort(Samples.begin(), Samples.end(),
+            [](const RequestSample &A, const RequestSample &B) {
+              if (A.TotalMs != B.TotalMs)
+                return A.TotalMs > B.TotalMs;
+              return A.Rid < B.Rid;
+            });
+  if (Samples.size() > TopK)
+    Samples.resize(TopK);
+  R.Slowest = std::move(Samples);
+  return R;
+}
+
+void serve::renderLatencyReport(std::ostream &OS, const LatencyReport &R) {
+  TablePrinter Decomp("latency decomposition (" + std::to_string(R.Samples) +
+                      " requests, total p50 " +
+                      TablePrinter::num(R.TotalP50Ms, 3) + " ms / p99 " +
+                      TablePrinter::num(R.TotalP99Ms, 3) + " ms)");
+  Decomp.setHeader(
+      {"stage", "p50 ms", "p99 ms", "mean ms", "max ms", "share"});
+  for (size_t I = 0; I < NumStages; ++I) {
+    const StageStats &St = R.Stages[I];
+    Decomp.addRow({StageNames[I], TablePrinter::num(St.P50Ms, 3),
+                   TablePrinter::num(St.P99Ms, 3),
+                   TablePrinter::num(St.MeanMs, 3),
+                   TablePrinter::num(St.MaxMs, 3),
+                   TablePrinter::percent(St.Share)});
+  }
+  Decomp.print(OS);
+
+  if (R.Slowest.empty())
+    return;
+  OS << "\n";
+  TablePrinter Slow("slowest requests");
+  std::vector<std::string> Header = {"rid", "id", "total ms"};
+  for (const char *Stage : StageNames)
+    Header.push_back(Stage);
+  Header.push_back("batch");
+  Header.push_back("ok");
+  Slow.setHeader(std::move(Header));
+  for (const RequestSample &S : R.Slowest) {
+    std::vector<std::string> Row = {std::to_string(S.Rid), S.IdJson,
+                                    TablePrinter::num(S.TotalMs, 3)};
+    for (size_t I = 0; I < NumStages; ++I)
+      Row.push_back(TablePrinter::num(S.StageMs[I], 3));
+    Row.push_back(std::to_string(S.BatchSize));
+    Row.push_back(S.Ok ? "yes" : S.Code.empty() ? "no" : S.Code);
+    Slow.addRow(std::move(Row));
+  }
+  Slow.print(OS);
+}

@@ -128,34 +128,36 @@ EventLog &EventLog::global() {
   return Instance;
 }
 
-bool EventLog::open(const std::string &Path) {
+bool EventLog::open(const std::string &OpenPath) {
   close();
-  auto File = std::make_unique<std::ofstream>(Path, std::ios::binary);
+  auto File = std::make_unique<std::ofstream>(OpenPath, std::ios::binary);
   if (!*File)
     return false;
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    OwnedFile = std::move(File);
-    Out = OwnedFile.get();
-    Epoch = Clock::now();
-    Records.store(0);
-    Enabled.store(true, std::memory_order_release);
-  }
-  beginStream();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  OwnedFile = std::move(File);
+  Out = OwnedFile.get();
+  Path = OpenPath;
+  Epoch = Clock::now();
+  Records.store(0);
+  SegmentBytes = 0;
+  SegmentIdx = 0;
+  Enabled.store(true, std::memory_order_release);
+  beginStreamLocked();
   return true;
 }
 
 void EventLog::attach(std::ostream &OS) {
   close();
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    OwnedFile.reset();
-    Out = &OS;
-    Epoch = Clock::now();
-    Records.store(0);
-    Enabled.store(true, std::memory_order_release);
-  }
-  beginStream();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  OwnedFile.reset();
+  Out = &OS;
+  Path.clear();
+  Epoch = Clock::now();
+  Records.store(0);
+  SegmentBytes = 0;
+  SegmentIdx = 0;
+  Enabled.store(true, std::memory_order_release);
+  beginStreamLocked();
 }
 
 void EventLog::close() {
@@ -167,6 +169,7 @@ void EventLog::close() {
   Out->flush();
   Out = nullptr;
   OwnedFile.reset();
+  Path.clear();
 }
 
 void EventLog::flush() {
@@ -176,19 +179,104 @@ void EventLog::flush() {
   Out->flush();
 }
 
-void EventLog::beginStream() {
-  writeLine("stream.begin",
-            {{"schema", jsonString("pigeon.events.v1")},
-             {"pid", std::to_string(
+void EventLog::setRotation(uint64_t MaxBytes) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RotateBytes = MaxBytes;
+}
+
+uint64_t EventLog::segmentIndex() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return SegmentIdx;
+}
+
+void EventLog::enableRing(size_t Capacity) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Ring.clear();
+  RingCap = Capacity;
+  RingCount = 0;
+  RingOn.store(Capacity > 0, std::memory_order_release);
+}
+
+void EventLog::disableRing() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RingOn.store(false, std::memory_order_release);
+  Ring.clear();
+  RingCap = 0;
+  RingCount = 0;
+}
+
+size_t EventLog::ringCapacity() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return RingCap;
+}
+
+uint64_t EventLog::ringTotal() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return RingCount;
+}
+
+std::vector<std::string> EventLog::ringSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::string> Lines;
+  Lines.reserve(Ring.size());
+  // Ring[RingCount % RingCap] is the next overwrite target, i.e. the
+  // oldest retained record once the ring has wrapped.
+  size_t Start = RingCount > Ring.size() ? RingCount % RingCap : 0;
+  for (size_t I = 0; I < Ring.size(); ++I)
+    Lines.push_back(Ring[(Start + I) % Ring.size()]);
+  return Lines;
+}
+
+bool EventLog::dumpRing(const std::string &DumpPath) const {
+  std::vector<std::string> Lines = ringSnapshot();
+  if (Lines.empty())
+    return false;
+  std::string Body;
+  for (const std::string &Line : Lines) {
+    Body += Line;
+    Body += '\n';
+  }
+  return writeFileAtomic(DumpPath, Body);
+}
+
+void EventLog::beginStreamLocked() {
+  writeLineLocked("stream.begin",
+                  {{"schema", jsonString("pigeon.events.v1")},
+                   {"pid", std::to_string(
 #if defined(__unix__) || defined(__APPLE__)
-                         static_cast<long>(getpid())
+                               static_cast<long>(getpid())
 #else
-                         0L
+                               0L
 #endif
-                             )}});
+                                   )},
+                   {"segment", std::to_string(SegmentIdx)}});
   // `records` in the trailer counts the payload lines between the two
   // frame records; the stream.begin line itself is not payload.
   Records.store(0, std::memory_order_relaxed);
+}
+
+void EventLog::rotateLocked() {
+  endStreamLocked();
+  OwnedFile->flush();
+  OwnedFile.reset();
+  Out = nullptr;
+  // One previous segment is retained, so the stream's disk footprint is
+  // bounded by roughly two caps regardless of uptime.
+  std::string Prev = Path + ".1";
+  std::remove(Prev.c_str());
+  std::rename(Path.c_str(), Prev.c_str());
+  auto File = std::make_unique<std::ofstream>(Path, std::ios::binary);
+  if (!*File) {
+    // Can't reopen (disk gone?): stream side goes quiet, the ring (if
+    // enabled) keeps recording.
+    Enabled.store(false, std::memory_order_release);
+    return;
+  }
+  OwnedFile = std::move(File);
+  Out = OwnedFile.get();
+  SegmentBytes = 0;
+  ++SegmentIdx;
+  beginStreamLocked();
 }
 
 void EventLog::endStreamLocked() {
@@ -206,17 +294,47 @@ void EventLog::endStreamLocked() {
 void EventLog::writeLine(std::string_view Event,
                          const std::vector<EventField> &Fields) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  if (!Enabled.load(std::memory_order_acquire) || !Out)
+  writeLineLocked(Event, Fields);
+}
+
+void EventLog::writeLineLocked(std::string_view Event,
+                               const std::vector<EventField> &Fields) {
+  bool StreamOn = Enabled.load(std::memory_order_acquire) && Out;
+  bool ToRing = RingOn.load(std::memory_order_acquire);
+  if (!StreamOn && !ToRing)
     return;
   char Ts[32];
   std::snprintf(Ts, sizeof(Ts), "%.6f",
                 std::chrono::duration<double>(Clock::now() - Epoch).count());
-  *Out << "{\"event\":\"" << jsonEscape(Event) << "\",\"ts\":" << Ts
-       << ",\"tid\":" << threadId();
-  for (const EventField &F : Fields)
-    *Out << ",\"" << jsonEscape(F.Key) << "\":" << F.Json;
-  *Out << "}\n";
-  Records.fetch_add(1, std::memory_order_relaxed);
+  std::string Line;
+  Line.reserve(64 + Fields.size() * 24);
+  Line += "{\"event\":\"";
+  Line += jsonEscape(Event);
+  Line += "\",\"ts\":";
+  Line += Ts;
+  Line += ",\"tid\":";
+  Line += std::to_string(threadId());
+  for (const EventField &F : Fields) {
+    Line += ",\"";
+    Line += jsonEscape(F.Key);
+    Line += "\":";
+    Line += F.Json;
+  }
+  Line += '}';
+  if (StreamOn) {
+    *Out << Line << '\n';
+    Records.fetch_add(1, std::memory_order_relaxed);
+    SegmentBytes += Line.size() + 1;
+    if (OwnedFile && RotateBytes && SegmentBytes >= RotateBytes)
+      rotateLocked();
+  }
+  if (ToRing) {
+    if (Ring.size() < RingCap)
+      Ring.push_back(std::move(Line));
+    else
+      Ring[RingCount % RingCap] = std::move(Line);
+    ++RingCount;
+  }
 }
 
 void EventLog::spanBegin(uint64_t Id, uint64_t Parent, std::string_view Name,

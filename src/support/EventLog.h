@@ -33,6 +33,25 @@
 /// until `pigeon --trace FILE` / `PIGEON_TRACE` opens it. Hot paths must
 /// check enabled() before building field vectors.
 ///
+/// Two long-running-process extensions ride on the same emit path:
+///
+///  * Segment rotation (`--trace-max-mb`): in owned-file mode the log
+///    tracks bytes written to the current segment; past the cap it writes
+///    the `stream.end` trailer, renames the segment to `<path>.1`
+///    (replacing the previous rollover, so disk stays bounded at about
+///    two segments) and reopens `<path>` with a fresh `stream.begin`
+///    carrying an incremented `segment` field. `ts` keeps counting from
+///    the original process epoch across segments.
+///
+///  * Flight recorder (`enableRing`): a bounded in-memory ring of the
+///    last N rendered records, independent of any output stream — with
+///    the ring on, records are captured even when `--trace` is not.
+///    Entries are pre-rendered lines, so keeping one costs a string move
+///    under the same single-line mutex the stream write already holds.
+///    `pigeon serve` enables it on construction; `admin:"flightrec"`
+///    snapshots it live and the CLI dumps it next to the best-effort
+///    metric flush on terminate/fatal paths.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIGEON_SUPPORT_EVENTLOG_H
@@ -96,6 +115,15 @@ public:
   /// created. Reopening an open log closes the previous stream first.
   bool open(const std::string &Path);
 
+  /// Caps owned-file segments at \p MaxBytes (0 disables rotation, the
+  /// default). When a write pushes the current segment past the cap the
+  /// log writes the segment trailer, renames the file to `<path>.1` and
+  /// starts a fresh segment at `<path>`. Attached streams never rotate.
+  void setRotation(uint64_t MaxBytes);
+
+  /// 0-based index of the current segment (increments per rotation).
+  uint64_t segmentIndex() const;
+
   /// Attaches to a caller-owned stream (tests use std::ostringstream).
   /// The caller must keep \p OS alive until close().
   void attach(std::ostream &OS);
@@ -109,8 +137,39 @@ public:
   /// log is disabled.
   void flush();
 
-  /// True once open()/attach() succeeded and close() has not run.
-  bool enabled() const { return Enabled.load(std::memory_order_acquire); }
+  /// True while any sink is live: an open()/attach() stream, or the
+  /// flight-recorder ring. Hot paths gate record construction on this.
+  bool enabled() const {
+    return Enabled.load(std::memory_order_acquire) ||
+           RingOn.load(std::memory_order_acquire);
+  }
+
+  /// Turns the flight recorder on: the last \p Capacity rendered records
+  /// are retained in memory (oldest overwritten first), whether or not a
+  /// stream is open. Re-enabling with a new capacity clears the ring.
+  void enableRing(size_t Capacity);
+
+  /// Turns the flight recorder off and drops its contents.
+  void disableRing();
+
+  /// True while the flight recorder is capturing.
+  bool ringEnabled() const { return RingOn.load(std::memory_order_acquire); }
+
+  /// Ring capacity in records (0 when disabled).
+  size_t ringCapacity() const;
+
+  /// Records pushed into the ring since enableRing (including ones
+  /// already overwritten).
+  uint64_t ringTotal() const;
+
+  /// The retained records, oldest first. Each entry is one complete JSON
+  /// object (no trailing newline), exactly as it was (or would have
+  /// been) written to the stream.
+  std::vector<std::string> ringSnapshot() const;
+
+  /// Writes the ring snapshot as JSONL to \p Path via writeFileAtomic.
+  /// \returns false when the ring is off/empty or the write fails.
+  bool dumpRing(const std::string &Path) const;
 
   /// Allocates a process-unique span id (valid ids start at 1; 0 means
   /// "no span" / top level).
@@ -132,18 +191,33 @@ public:
 
 private:
   void writeLine(std::string_view Event, const std::vector<EventField> &Fields);
-  void beginStream();
+  void writeLineLocked(std::string_view Event,
+                       const std::vector<EventField> &Fields);
+  void beginStreamLocked();
   void endStreamLocked();
+  void rotateLocked();
 
   using Clock = std::chrono::steady_clock;
 
   mutable std::mutex Mutex;
   std::atomic<bool> Enabled{false};
+  std::atomic<bool> RingOn{false};
   std::atomic<uint64_t> NextSpan{0};
   std::atomic<uint64_t> Records{0};
   std::unique_ptr<std::ofstream> OwnedFile;
   std::ostream *Out = nullptr; ///< OwnedFile.get() or an attached stream.
+  std::string Path;            ///< Owned-file path (empty when attached).
   Clock::time_point Epoch;
+
+  // Rotation state (guarded by Mutex).
+  uint64_t RotateBytes = 0;  ///< Segment cap; 0 = never rotate.
+  uint64_t SegmentBytes = 0; ///< Bytes written to the current segment.
+  uint64_t SegmentIdx = 0;
+
+  // Flight-recorder ring (guarded by Mutex; RingOn is the fast gate).
+  std::vector<std::string> Ring;
+  size_t RingCap = 0;
+  uint64_t RingCount = 0; ///< Total pushes; Ring[RingCount % RingCap] is next.
 };
 
 } // namespace telemetry

@@ -44,6 +44,8 @@ BenchRecord bench::foldSidecar(const std::string &BenchName,
         Rec.Throughput[Name] = V.number();
       if (Name.find("accuracy") != std::string::npos)
         Rec.Accuracy[Name] = V.number();
+      if (Name.find("latency_ms") != std::string::npos)
+        Rec.Latency[Name] = V.number();
       if (Name == "process.rss.peak.kb")
         Rec.RssPeakKb = static_cast<uint64_t>(V.number());
       if (Name == "parallel.bench.cores")
@@ -115,6 +117,13 @@ void bench::writeTrajectory(std::ostream &OS, const Trajectory &T) {
          << "\":" << jsonNumber(V);
       First = false;
     }
+    OS << "},\"latency\":{";
+    First = true;
+    for (const auto &[Name, V] : Rec.Latency) {
+      OS << (First ? "" : ",") << "\"" << jsonEscape(Name)
+         << "\":" << jsonNumber(V);
+      First = false;
+    }
     OS << "},\"rss_peak_kb\":" << Rec.RssPeakKb
        << ",\"cores\":" << Rec.Cores << "}";
   }
@@ -170,6 +179,10 @@ std::optional<Trajectory> bench::parseTrajectory(const json::Value &Doc) {
       for (const auto &[Name, V] : Acc->object())
         if (V.isNumber())
           Rec.Accuracy[Name] = V.number();
+    if (const json::Value *Lat = B.find("latency"); Lat && Lat->isObject())
+      for (const auto &[Name, V] : Lat->object())
+        if (V.isNumber())
+          Rec.Latency[Name] = V.number();
     if (const json::Value *Rss = B.find("rss_peak_kb"))
       Rec.RssPeakKb = static_cast<uint64_t>(Rss->numberOr(0.0));
     if (const json::Value *Cores = B.find("cores"))
@@ -206,6 +219,17 @@ std::vector<Regression> bench::compareTrajectories(const Trajectory &Prev,
       if (After < Before * (1.0 - Threshold))
         Out.push_back({CurRec.Bench, Metric, Before, After, After / Before});
     }
+    // Latency gates in the opposite direction: rising is the regression.
+    for (const auto &[Metric, After] : CurRec.Latency) {
+      auto It = PrevRec->Latency.find(Metric);
+      if (It == PrevRec->Latency.end())
+        continue;
+      double Before = It->second;
+      if (!(Before > 0) || !std::isfinite(Before) || !std::isfinite(After))
+        continue;
+      if (After > Before * (1.0 + Threshold))
+        Out.push_back({CurRec.Bench, Metric, Before, After, After / Before});
+    }
   }
   return Out;
 }
@@ -222,6 +246,23 @@ std::vector<Regression> bench::speedupFloor(const Trajectory &Cur,
       if (!std::isfinite(Value) || Value < Floor)
         Out.push_back({Rec.Bench, Metric, Floor, Value,
                        Floor > 0 ? Value / Floor : 0.0});
+    }
+  }
+  return Out;
+}
+
+std::vector<Regression> bench::latencyCeiling(const Trajectory &Cur,
+                                              double CeilingMs) {
+  std::vector<Regression> Out;
+  if (!(CeilingMs > 0))
+    return Out;
+  for (const BenchRecord &Rec : Cur.Benches) {
+    for (const auto &[Metric, Value] : Rec.Latency) {
+      if (!endsWith(Metric, ".p99") && !endsWith(Metric, ".p99.concurrent"))
+        continue;
+      if (!std::isfinite(Value) || Value > CeilingMs)
+        Out.push_back({Rec.Bench, Metric, CeilingMs, Value,
+                       Value / CeilingMs});
     }
   }
   return Out;

@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -214,4 +216,153 @@ TEST(EventLog, ConcurrentRecordsStayLineAtomic) {
     if (eventOf(V) == "tick")
       Tids.insert(static_cast<uint64_t>(V.find("tid")->number()));
   EXPECT_EQ(Tids.size(), static_cast<size_t>(Threads));
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder ring
+//===----------------------------------------------------------------------===//
+
+TEST(FlightRecorder, RingAloneEnablesTheLogAndKeepsTheLastN) {
+  EventLog Log;
+  Log.enableRing(4);
+  EXPECT_TRUE(Log.enabled()); // No stream attached, yet records flow.
+  EXPECT_TRUE(Log.ringEnabled());
+  EXPECT_EQ(Log.ringCapacity(), 4u);
+
+  for (int I = 0; I < 10; ++I)
+    Log.record("tick", {{"i", std::to_string(I)}});
+  EXPECT_EQ(Log.ringTotal(), 10u);
+
+  // Wraparound keeps exactly the last 4, oldest first.
+  std::vector<std::string> Lines = Log.ringSnapshot();
+  ASSERT_EQ(Lines.size(), 4u);
+  for (size_t I = 0; I < 4; ++I) {
+    std::optional<json::Value> V = json::parse(Lines[I]);
+    ASSERT_TRUE(V.has_value()) << Lines[I];
+    EXPECT_DOUBLE_EQ(V->find("i")->number(), static_cast<double>(6 + I));
+  }
+
+  Log.disableRing();
+  EXPECT_FALSE(Log.enabled());
+  EXPECT_TRUE(Log.ringSnapshot().empty());
+}
+
+TEST(FlightRecorder, PartialRingBeforeWraparound) {
+  EventLog Log;
+  Log.enableRing(8);
+  Log.record("a", {});
+  Log.record("b", {});
+  std::vector<std::string> Lines = Log.ringSnapshot();
+  ASSERT_EQ(Lines.size(), 2u);
+  EXPECT_NE(Lines[0].find("\"event\":\"a\""), std::string::npos);
+  EXPECT_NE(Lines[1].find("\"event\":\"b\""), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpRingWritesWellFormedJsonl) {
+  const std::string Path = ::testing::TempDir() + "flightrec_dump.jsonl";
+  EventLog Log;
+  Log.enableRing(3);
+  EXPECT_FALSE(Log.dumpRing(Path)) << "empty ring must not write a file";
+  for (int I = 0; I < 5; ++I)
+    Log.record("tick", {{"i", std::to_string(I)}});
+  ASSERT_TRUE(Log.dumpRing(Path));
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::vector<json::Value> Lines = parseLines(Buffer.str());
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_DOUBLE_EQ(Lines.front().find("i")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(Lines.back().find("i")->number(), 4.0);
+  std::remove(Path.c_str());
+}
+
+TEST(FlightRecorder, RingCapturesAlongsideAnAttachedStream) {
+  EventLog Log;
+  std::ostringstream OS;
+  Log.attach(OS);
+  Log.enableRing(16);
+  Log.record("both", {{"k", jsonString("v")}});
+  Log.close(); // Ends the stream; the ring survives.
+  ASSERT_EQ(Log.ringSnapshot().size(), 1u);
+  EXPECT_NE(Log.ringSnapshot()[0].find("\"event\":\"both\""),
+            std::string::npos);
+  EXPECT_NE(OS.str().find("\"event\":\"both\""), std::string::npos);
+  Log.disableRing();
+}
+
+//===----------------------------------------------------------------------===//
+// Segment rotation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+} // namespace
+
+TEST(EventLogRotation, RotatesIntoACappedPreviousSegment) {
+  const std::string Path = ::testing::TempDir() + "rotating_trace.jsonl";
+  std::remove(Path.c_str());
+  std::remove((Path + ".1").c_str());
+
+  EventLog Log;
+  ASSERT_TRUE(Log.open(Path));
+  Log.setRotation(2048); // Tiny cap: a few dozen records per segment.
+  EXPECT_EQ(Log.segmentIndex(), 0u);
+  for (int I = 0; I < 200; ++I)
+    Log.record("tick", {{"i", std::to_string(I)},
+                        {"pad", jsonString(std::string(32, 'x'))}});
+  EXPECT_GT(Log.segmentIndex(), 0u);
+  Log.close();
+
+  // Both segments exist, parse line-by-line, and are framed: the rotated
+  // segment ends with a stream.end trailer, the live one begins with a
+  // stream.begin carrying its segment index.
+  std::vector<json::Value> Prev = parseLines(slurp(Path + ".1"));
+  std::vector<json::Value> Live = parseLines(slurp(Path));
+  ASSERT_GE(Prev.size(), 2u);
+  ASSERT_GE(Live.size(), 2u);
+  EXPECT_EQ(eventOf(Prev.back()), "stream.end");
+  EXPECT_EQ(eventOf(Live.front()), "stream.begin");
+  EXPECT_EQ(eventOf(Live.back()), "stream.end");
+  EXPECT_GT(Live.front().find("segment")->number(), 0.0);
+
+  // The previous segment's payload stays under the cap (the trailer may
+  // straddle it); records are contiguous mod rotation — the first live
+  // payload record follows the last rotated one.
+  uint64_t LastPrev = 0, FirstLive = 0;
+  for (const json::Value &V : Prev)
+    if (eventOf(V) == "tick")
+      LastPrev = static_cast<uint64_t>(V.find("i")->number());
+  for (const json::Value &V : Live)
+    if (eventOf(V) == "tick") {
+      FirstLive = static_cast<uint64_t>(V.find("i")->number());
+      break;
+    }
+  EXPECT_EQ(FirstLive, LastPrev + 1);
+
+  std::remove(Path.c_str());
+  std::remove((Path + ".1").c_str());
+}
+
+TEST(EventLogRotation, UnrotatedStreamIsByteIdenticalToUncapped) {
+  // A cap the stream never reaches must not change the output shape.
+  const std::string Path = ::testing::TempDir() + "uncapped_trace.jsonl";
+  EventLog Log;
+  ASSERT_TRUE(Log.open(Path));
+  Log.setRotation(64 << 20);
+  for (int I = 0; I < 10; ++I)
+    Log.record("tick", {{"i", std::to_string(I)}});
+  Log.close();
+  EXPECT_EQ(Log.segmentIndex(), 0u);
+  std::vector<json::Value> Lines = parseLines(slurp(Path));
+  EXPECT_EQ(Lines.size(), 12u); // begin + 10 + end.
+  std::remove(Path.c_str());
 }

@@ -3,10 +3,14 @@
 # one malformed line, and one unknown-language request through a real
 # server process. The server must answer all three (one prediction, two
 # structured errors), keep running across the bad inputs, and exit 0 on
-# EOF. Run as: serve_cli_test.sh <path-to-pigeon-binary>.
+# EOF. Also smokes the request-tracing surface: rid echo, the "timing"
+# request flag, --trace/--slow-log/--flightrec capture files, the
+# admin:"flightrec" verb, and the trace_report folding tool.
+# Run as: serve_cli_test.sh <path-to-pigeon-binary> <path-to-trace_report>.
 set -u
 
 PIGEON="$1"
+TRACE_REPORT="$2"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -42,6 +46,63 @@ grep -q '"code":"bad_request"' "$TMP/responses" \
 grep -q '"id":3,"ok":false.*"code":"unknown_lang"' "$TMP/responses" \
   || fail "unknown language did not get an unknown_lang error"
 
+# Every admitted request — ok or error — echoes its admission-order rid
+# right after the schema field.
+grep -q '"schema":"pigeon.serve.v1","rid":1,"id":1,"ok":true' \
+  "$TMP/responses" || fail "first response does not echo rid 1"
+grep -q '"rid":3,"id":3,"ok":false' "$TMP/responses" \
+  || fail "error response does not echo its rid"
+
+# --- Request-scoped tracing over --stdio -------------------------------
+# A "timing": true request echoes its per-stage decomposition inline;
+# --trace/--slow-log/--flightrec persist the request timeline to disk
+# (threshold 0 captures every request).
+cat > "$TMP/traced_requests" <<'EOF'
+{"id":20,"lang":"js","source":"function h(z) { var twice = z + z; return twice; }","timing":true}
+{"id":21,"lang":"js","source":"function k(w) { var half = w / 2; return half; }"}
+EOF
+
+"$PIGEON" serve --model "$TMP/model.bin" --stdio \
+  --trace "$TMP/trace.jsonl" --trace-max-mb 8 \
+  --slow-log "$TMP/slow.jsonl" --slow-trace-ms 0 \
+  --flightrec "$TMP/flight.jsonl" \
+  < "$TMP/traced_requests" > "$TMP/traced_responses" 2> "$TMP/traced.err" \
+  || fail "traced serve exited nonzero: $(cat "$TMP/traced.err")"
+
+grep -q '"id":20,"ok":true.*"timing":{"queue_ms":' "$TMP/traced_responses" \
+  || fail "timing:true request did not echo a stage decomposition"
+grep -q '"total_ms":' "$TMP/traced_responses" \
+  || fail "timing echo carries no total_ms"
+grep -q '"id":21,"ok":true' "$TMP/traced_responses" \
+  || fail "second traced request did not answer"
+if grep '"id":21' "$TMP/traced_responses" | grep -q '"timing"'; then
+  fail "response without the flag must not carry a timing object"
+fi
+
+[ -s "$TMP/trace.jsonl" ] || fail "--trace wrote no event stream"
+grep -q '"event":"serve.request"' "$TMP/trace.jsonl" \
+  || fail "event stream has no serve.request records"
+[ -s "$TMP/slow.jsonl" ] || fail "--slow-log captured nothing at threshold 0"
+grep -q '"schema":"pigeon.slowlog.v1"' "$TMP/slow.jsonl" \
+  || fail "slow log entries lack the pigeon.slowlog.v1 schema"
+grep -q '"batch_rids":\[' "$TMP/slow.jsonl" \
+  || fail "slow log entries lack batch context"
+[ -s "$TMP/flight.jsonl" ] || fail "--flightrec dumped no ring"
+grep -q '"event":"serve.request"' "$TMP/flight.jsonl" \
+  || fail "flight recorder dump has no request records"
+
+# trace_report folds the event stream and the slow log into a latency
+# decomposition; mixed inputs are fine.
+"$TRACE_REPORT" "$TMP/trace.jsonl" "$TMP/slow.jsonl" > "$TMP/report.txt" \
+  2> "$TMP/report.err" \
+  || fail "trace_report failed: $(cat "$TMP/report.err")"
+grep -q 'latency decomposition' "$TMP/report.txt" \
+  || fail "trace_report printed no decomposition table"
+grep -q 'predict' "$TMP/report.txt" \
+  || fail "trace_report table lacks the predict stage"
+grep -q 'slowest requests' "$TMP/report.txt" \
+  || fail "trace_report printed no slowest-requests table"
+
 # --- Admin protocol over --stdio ---------------------------------------
 # Mixed serve + admin traffic: the admin lines answer under the
 # pigeon.admin.v1 schema, the serve line under pigeon.serve.v1, and an
@@ -52,6 +113,7 @@ cat > "$TMP/admin_requests" <<'EOF'
 {"id":12,"admin":"metrics"}
 {"id":13,"admin":"slo"}
 {"id":14,"admin":"frobnicate"}
+{"id":15,"admin":"flightrec"}
 EOF
 
 "$PIGEON" serve --model "$TMP/model.bin" --stdio --slo-p99-ms 5000 \
@@ -59,8 +121,8 @@ EOF
   < "$TMP/admin_requests" > "$TMP/admin_responses" 2> "$TMP/admin.err" \
   || fail "serve with admin traffic exited nonzero: $(cat "$TMP/admin.err")"
 
-[ "$(wc -l < "$TMP/admin_responses")" = 5 ] \
-  || fail "expected 5 admin-mix responses, got: $(cat "$TMP/admin_responses")"
+[ "$(wc -l < "$TMP/admin_responses")" = 6 ] \
+  || fail "expected 6 admin-mix responses, got: $(cat "$TMP/admin_responses")"
 
 grep -q '"schema":"pigeon.admin.v1","id":10,"ok":true,"admin":"health"' \
   "$TMP/admin_responses" || fail "admin:health did not answer"
@@ -76,6 +138,12 @@ grep -q '"admin":"slo".*"target_p99_ms":5000' "$TMP/admin_responses" \
   || fail "admin:slo does not echo the --slo-p99-ms target"
 grep -q '"schema":"pigeon.admin.v1","id":14,"ok":false.*"code":"bad_request"' \
   "$TMP/admin_responses" || fail "unknown admin verb not a bad_request"
+grep -q '"admin":"health".*"window":{"seconds":' "$TMP/admin_responses" \
+  || fail "admin:health carries no windowed request/error rates"
+grep -q '"id":15,"ok":true,"admin":"flightrec","flightrec":{"capacity":' \
+  "$TMP/admin_responses" || fail "admin:flightrec did not answer"
+grep -q '"admin":"flightrec".*"records":\[{"event":' "$TMP/admin_responses" \
+  || fail "flightrec records are empty despite earlier traffic"
 
 # --prom writes Prometheus text exposition at shutdown (and every
 # --metrics-interval tick while running).

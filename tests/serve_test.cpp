@@ -16,6 +16,8 @@
 
 #include "serve/Serve.h"
 
+#include "serve/SlowLog.h"
+
 #include "core/Experiments.h"
 #include "lang/js/JsParser.h"
 #include "support/EventLog.h"
@@ -24,9 +26,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <future>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -701,6 +706,241 @@ TEST(Serve, AdminHealthReportsDrainingAfterShutdown) {
   ASSERT_TRUE(Doc.find("ok")->boolean());
   EXPECT_EQ(Doc.find("health")->find("status")->strOr(""), "draining");
   EXPECT_TRUE(Doc.find("health")->find("draining")->boolean());
+}
+
+//===----------------------------------------------------------------------===//
+// Request-scoped tracing: rids, timing echo, slow log, flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, RidIsEchoedInAdmissionOrderOnEveryOutcome) {
+  Service S(loadBundle());
+  // Success and structured error both carry the rid, placed right after
+  // the schema so the envelope prefix is greppable.
+  std::string First = S.handleOne(requestLine(MinifiedFlag, ",\"id\":1"));
+  EXPECT_EQ(First.rfind("{\"schema\":\"pigeon.serve.v1\",\"rid\":1,", 0),
+            0u);
+  std::string Second =
+      S.handleOne("{\"lang\":\"js\",\"id\":2,\"source\":42}");
+  json::Value Doc = parsed(Second);
+  EXPECT_EQ(errorCode(Doc), "bad_request");
+  EXPECT_DOUBLE_EQ(Doc.find("rid")->numberOr(-1), 2.0);
+
+  // Rids are unique per service across connections: handleOne and the
+  // stream front end share one admission sequence.
+  std::istringstream In(requestLine(MinifiedFlag, ",\"id\":3") + "\n");
+  std::ostringstream Out;
+  serveStream(S, In, Out);
+  json::Value Streamed = parsed(Out.str());
+  EXPECT_DOUBLE_EQ(Streamed.find("rid")->numberOr(-1), 3.0);
+}
+
+TEST(Serve, AdmissionRejectionsCarryNoRid) {
+  // A request refused before admission never got a sequence number;
+  // inventing one would break the "rid = admission order" contract.
+  Service S(loadBundle());
+  S.shutdown();
+  std::string Response;
+  S.submit(requestLine(MinifiedFlag),
+           [&Response](std::string R) { Response = std::move(R); });
+  ASSERT_FALSE(Response.empty());
+  EXPECT_EQ(errorCode(parsed(Response)), "shutting_down");
+  EXPECT_EQ(Response.find("\"rid\""), std::string::npos);
+}
+
+TEST(Serve, TimingEchoDecomposesTheMeasuredLatency) {
+  Service S(loadBundle());
+  json::Value Doc = parsed(
+      S.handleOne(requestLine(MinifiedFlag, ",\"timing\":true")));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const json::Value *T = Doc.find("timing");
+  ASSERT_TRUE(T && T->isObject());
+
+  double Total = T->find("total_ms")->numberOr(-1);
+  EXPECT_GT(Total, 0.0);
+  double Sum = 0;
+  for (const char *Stage : StageNames) {
+    const json::Value *V = T->find(std::string(Stage) + "_ms");
+    ASSERT_TRUE(V && V->isNumber()) << Stage;
+    EXPECT_GE(V->number(), 0.0) << Stage;
+    Sum += V->number();
+  }
+  // The six stages partition the admit→respond interval: their sum is
+  // the total up to rendering rounding (well inside the 5% the
+  // acceptance criterion allows).
+  EXPECT_NEAR(Sum, Total, Total * 0.001);
+  EXPECT_GE(T->find("batch_size")->numberOr(0), 1.0);
+  EXPECT_GE(T->find("depth_at_admit")->numberOr(-1), 0.0);
+}
+
+TEST(Serve, TimingAbsentOrFalseLeavesTheResponseUntouched) {
+  Service S(loadBundle());
+  std::string Plain = S.handleOne(requestLine(MinifiedFlag, ",\"id\":9"));
+  EXPECT_EQ(Plain.find("\"timing\""), std::string::npos);
+  // `"timing": false` renders byte-identically to the flag being absent
+  // (same service, so the rid advances by exactly one).
+  std::string Off =
+      S.handleOne(requestLine(MinifiedFlag, ",\"id\":9,\"timing\":false"));
+  EXPECT_EQ(Off.replace(Off.find("\"rid\":2"), 7, "\"rid\":1"), Plain);
+  // A non-boolean timing flag is a bad request, like every other typed
+  // field.
+  json::Value Bad = parsed(
+      S.handleOne(requestLine(MinifiedFlag, ",\"timing\":1")));
+  EXPECT_EQ(errorCode(Bad), "bad_request");
+}
+
+TEST(Serve, SlowLogCapturesRequestsAboveTheThreshold) {
+  SlowLog &Log = SlowLog::global();
+  const std::string Path = ::testing::TempDir() + "serve_slow.jsonl";
+
+  // Threshold far above any real latency: nothing is captured.
+  {
+    Log.open(Path);
+    ServeConfig Config;
+    Config.SlowTraceMs = 60000;
+    Service S(loadBundle(), Config);
+    S.handleOne(requestLine(MinifiedFlag));
+    EXPECT_TRUE(Log.lines().empty());
+  }
+
+  // A synthetic straggler: the request sits in a paused queue for
+  // ~100 ms, far over the 20 ms threshold. The capture's stage timeline
+  // must account for the measured total — the queue stage is where the
+  // time went.
+  {
+    Log.open(Path); // Reopen: clears the previous capture state.
+    ServeConfig Config;
+    Config.SlowTraceMs = 20;
+    Service S(loadBundle(), Config);
+    S.pause();
+    std::promise<std::string> P;
+    std::future<std::string> F = P.get_future();
+    S.submit(requestLine(MinifiedFlag, ",\"id\":\"slow\""),
+             [&P](std::string R) { P.set_value(std::move(R)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    S.resume();
+    F.get();
+
+    std::vector<std::string> Lines = Log.lines();
+    ASSERT_EQ(Lines.size(), 1u);
+    json::Value Entry = parsed(Lines[0]);
+    EXPECT_EQ(Entry.find("schema")->strOr(""), "pigeon.slowlog.v1");
+    EXPECT_EQ(Entry.find("id")->strOr(""), "slow");
+    EXPECT_TRUE(Entry.find("ok")->boolean());
+    double Total = Entry.find("total_ms")->numberOr(0);
+    EXPECT_GE(Total, 100.0);
+    double Sum = 0;
+    for (const char *Stage : StageNames)
+      Sum += Entry.find(std::string(Stage) + "_ms")->numberOr(0);
+    EXPECT_NEAR(Sum, Total, Total * 0.05);
+    EXPECT_GE(Entry.find("queue_ms")->numberOr(0), 90.0);
+    ASSERT_TRUE(Entry.find("batch_rids")->isArray());
+    EXPECT_EQ(Entry.find("batch_rids")->array().size(), 1u);
+  }
+  Log.close();
+  std::remove(Path.c_str());
+}
+
+TEST(Serve, AdminFlightrecReturnsTheRecentRecords) {
+  Service S(loadBundle()); // Ctor arms the global flight recorder.
+  S.handleOne(requestLine(MinifiedFlag, ",\"id\":\"flight\""));
+  json::Value Doc = parsed(S.handleOne("{\"id\":4,\"admin\":\"flightrec\"}"));
+  EXPECT_EQ(Doc.find("schema")->strOr(""), "pigeon.admin.v1");
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const json::Value *F = Doc.find("flightrec");
+  ASSERT_TRUE(F && F->isObject());
+  EXPECT_EQ(F->find("capacity")->numberOr(-1), 256.0);
+  EXPECT_GE(F->find("count")->numberOr(-1), 1.0);
+  EXPECT_GE(F->find("total")->numberOr(-1),
+            F->find("count")->numberOr(-1));
+  const json::Value *Records = F->find("records");
+  ASSERT_TRUE(Records && Records->isArray());
+  ASSERT_FALSE(Records->array().empty());
+  bool SawRequest = false;
+  for (const json::Value &R : Records->array()) {
+    ASSERT_TRUE(R.isObject()); // Embedded verbatim, not re-escaped.
+    if (const json::Value *E = R.find("event"))
+      SawRequest |= E->strOr("") == "serve.request";
+  }
+  EXPECT_TRUE(SawRequest);
+  telemetry::EventLog::global().disableRing();
+}
+
+TEST(Serve, FlightRecorderDisabledByZeroCapacity) {
+  ServeConfig Config;
+  Config.FlightRecorder = 0;
+  Service S(loadBundle(), Config);
+  EXPECT_FALSE(telemetry::EventLog::global().ringEnabled());
+  json::Value Doc = parsed(S.handleOne("{\"admin\":\"flightrec\"}"));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  EXPECT_EQ(Doc.find("flightrec")->find("capacity")->numberOr(-1), 0.0);
+  EXPECT_TRUE(Doc.find("flightrec")->find("records")->array().empty());
+}
+
+TEST(Serve, AdminHealthReportsWindowedRates) {
+  Service S(loadBundle());
+  S.handleOne(requestLine(MinifiedFlag));
+  S.handleOne("not json either"); // One error for the error-rate window.
+  json::Value Doc = parsed(S.handleOne("{\"admin\":\"health\"}"));
+  ASSERT_TRUE(Doc.find("ok")->boolean());
+  const json::Value *W = Doc.find("health")->find("window");
+  ASSERT_TRUE(W && W->isObject());
+  EXPECT_GT(W->find("seconds")->numberOr(0), 0.0);
+  // The windows are process-global, so other tests' traffic may be in
+  // here too — lower bounds only.
+  EXPECT_GE(W->find("requests")->numberOr(-1), 2.0);
+  EXPECT_GT(W->find("rate_per_sec")->numberOr(-1), 0.0);
+  EXPECT_GE(W->find("errors")->numberOr(-1), 1.0);
+  EXPECT_GT(W->find("error_rate_per_sec")->numberOr(-1), 0.0);
+}
+
+TEST(Serve, StageHistogramsAreFedPerRequest) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Service S(loadBundle());
+  std::array<uint64_t, NumStages> Before;
+  for (size_t I = 0; I < NumStages; ++I)
+    Before[I] = Reg.histogram("serve.stage." + std::string(StageNames[I]) +
+                                  ".seconds",
+                              telemetry::timeBounds())
+                    .count();
+  S.handleOne(requestLine(MinifiedFlag));
+  for (size_t I = 0; I < NumStages; ++I)
+    EXPECT_EQ(Reg.histogram("serve.stage." + std::string(StageNames[I]) +
+                                ".seconds",
+                            telemetry::timeBounds())
+                  .count(),
+              Before[I] + 1)
+        << StageNames[I];
+}
+
+TEST(Serve, RequestEventsCarryTheStageTimeline) {
+  std::ostringstream Events;
+  telemetry::EventLog::global().attach(Events);
+  {
+    Service S(loadBundle());
+    S.handleOne(requestLine(MinifiedFlag, ",\"id\":\"staged\""));
+  }
+  telemetry::EventLog::global().close();
+
+  std::istringstream In(Events.str());
+  std::string Line;
+  bool Found = false;
+  while (std::getline(In, Line)) {
+    std::optional<json::Value> Doc = json::parse(Line);
+    if (!Doc)
+      continue;
+    std::optional<RequestSample> Sample = parseRequestSample(*Doc);
+    if (!Sample)
+      continue;
+    Found = true;
+    EXPECT_GE(Sample->Rid, 1u);
+    EXPECT_GT(Sample->TotalMs, 0.0);
+    double Sum = 0;
+    for (double Ms : Sample->StageMs)
+      Sum += Ms;
+    EXPECT_NEAR(Sum, Sample->TotalMs, Sample->TotalMs * 0.001);
+    EXPECT_GE(Sample->BatchSize, 1u);
+  }
+  EXPECT_TRUE(Found);
 }
 
 } // namespace

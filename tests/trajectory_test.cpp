@@ -27,6 +27,8 @@ json::Value sidecarFor(double ParseSumSeconds, int ParseCount,
   Reg.gauge("sgns.pairs_per_sec").set(PairsPerSec);
   Reg.gauge("pipeline.extract.speedup").set(3.1);
   Reg.gauge("eval.vars.accuracy").set(Accuracy);
+  Reg.gauge("serve.latency_ms.p99.concurrent").set(42.5);
+  Reg.gauge("serve.latency_ms.p99.single").set(30.25);
   Reg.gauge("process.rss.peak.kb").set(123456);
   Reg.gauge("parallel.bench.cores").set(4);
   Reg.gauge("crf.features").set(999); // neither throughput nor accuracy
@@ -63,6 +65,12 @@ TEST(FoldSidecar, AppliesTheFoldingRules) {
   // Accuracy gauges and the RSS gauge land in their own slots.
   ASSERT_EQ(Rec.Accuracy.count("eval.vars.accuracy"), 1u);
   EXPECT_DOUBLE_EQ(Rec.Accuracy["eval.vars.accuracy"], 0.82);
+  // latency_ms gauges fold into Latency, not Throughput — the gate
+  // direction differs.
+  ASSERT_EQ(Rec.Latency.count("serve.latency_ms.p99.concurrent"), 1u);
+  EXPECT_DOUBLE_EQ(Rec.Latency["serve.latency_ms.p99.concurrent"], 42.5);
+  EXPECT_EQ(Rec.Latency.count("serve.latency_ms.p99.single"), 1u);
+  EXPECT_EQ(Rec.Throughput.count("serve.latency_ms.p99.concurrent"), 0u);
   EXPECT_EQ(Rec.RssPeakKb, 123456u);
   EXPECT_EQ(Rec.Cores, 4u);
   // The cores gauge is bench metadata, not a throughput metric.
@@ -102,6 +110,7 @@ TEST(Trajectory, WriteParseRoundTrip) {
     EXPECT_EQ(Back->Benches[I].Bench, T.Benches[I].Bench);
     EXPECT_EQ(Back->Benches[I].Throughput, T.Benches[I].Throughput);
     EXPECT_EQ(Back->Benches[I].Accuracy, T.Benches[I].Accuracy);
+    EXPECT_EQ(Back->Benches[I].Latency, T.Benches[I].Latency);
     EXPECT_EQ(Back->Benches[I].RssPeakKb, T.Benches[I].RssPeakKb);
     EXPECT_EQ(Back->Benches[I].Cores, T.Benches[I].Cores);
     ASSERT_EQ(Back->Benches[I].Phases.size(), T.Benches[I].Phases.size());
@@ -169,7 +178,7 @@ TEST(RegressionGate, ToleratesDropsWithinThreshold) {
       compareTrajectories(Before, trajectoryWith(140.0, 0.8), 0.10).empty());
 }
 
-TEST(RegressionGate, OnlyThroughputIsGated) {
+TEST(RegressionGate, AccuracyIsNotGated) {
   // Accuracy halves, throughput holds: phases/accuracy are reported but
   // not gated (too machine- or seed-sensitive for a hard CI failure).
   Trajectory Before = trajectoryWith(100.0, 0.8);
@@ -259,4 +268,74 @@ TEST(SpeedupFloor, HonorsACustomFloor) {
       speedupFloor(speedupTrajectory(2.2, 2.4, 4), /*Floor=*/2.5);
   ASSERT_EQ(R.size(), 2u);
   EXPECT_DOUBLE_EQ(R[0].Before, 2.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Latency gates
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Trajectory latencyTrajectory(double P99Concurrent, double P99Single) {
+  Trajectory T;
+  T.Stamp = "stamp";
+  BenchRecord Rec;
+  Rec.Bench = "bench_serve";
+  Rec.Latency["serve.latency_ms.p50.concurrent"] = P99Concurrent / 2;
+  Rec.Latency["serve.latency_ms.p99.concurrent"] = P99Concurrent;
+  Rec.Latency["serve.latency_ms.p99.single"] = P99Single;
+  Rec.Throughput["serve.requests_per_sec"] = 200.0;
+  T.Benches.push_back(Rec);
+  return T;
+}
+
+} // namespace
+
+TEST(RegressionGate, FlagsALatencyIncreaseOverThreshold) {
+  // Throughput holds but tail latency gains 50% against a 10% gate —
+  // exactly the trade a throughput-only diff would wave through.
+  Trajectory Before = latencyTrajectory(100.0, 40.0);
+  Trajectory After = latencyTrajectory(150.0, 40.0);
+  std::vector<Regression> R = compareTrajectories(Before, After, 0.10);
+  ASSERT_EQ(R.size(), 2u); // p50 and p99 both moved by the same factor.
+  EXPECT_EQ(R[0].Bench, "bench_serve");
+  EXPECT_EQ(R[0].Metric, "serve.latency_ms.p50.concurrent");
+  EXPECT_EQ(R[1].Metric, "serve.latency_ms.p99.concurrent");
+  EXPECT_DOUBLE_EQ(R[1].Before, 100.0);
+  EXPECT_DOUBLE_EQ(R[1].After, 150.0);
+  EXPECT_NEAR(R[1].Ratio, 1.5, 1e-9);
+}
+
+TEST(RegressionGate, LatencyImprovementsAndSmallDriftPass) {
+  Trajectory Before = latencyTrajectory(100.0, 40.0);
+  // 5% drift under a 10% gate, and a clean improvement.
+  EXPECT_TRUE(
+      compareTrajectories(Before, latencyTrajectory(105.0, 42.0), 0.10)
+          .empty());
+  EXPECT_TRUE(
+      compareTrajectories(Before, latencyTrajectory(60.0, 20.0), 0.10)
+          .empty());
+}
+
+TEST(LatencyCeiling, FailsTailAboveTheCeilingFromOneSnapshot) {
+  std::vector<Regression> R =
+      latencyCeiling(latencyTrajectory(320.0, 50.0), /*CeilingMs=*/250.0);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Bench, "bench_serve");
+  EXPECT_EQ(R[0].Metric, "serve.latency_ms.p99.concurrent");
+  EXPECT_DOUBLE_EQ(R[0].Before, 250.0); // The ceiling itself.
+  EXPECT_DOUBLE_EQ(R[0].After, 320.0);
+  EXPECT_NEAR(R[0].Ratio, 320.0 / 250.0, 1e-9);
+}
+
+TEST(LatencyCeiling, ExemptsSingleClientAndNonTailSeries) {
+  // p99.single blows through the ceiling, p50 too: neither is gated —
+  // the ceiling is an SLO on the batched tail.
+  Trajectory T = latencyTrajectory(200.0, 900.0);
+  T.Benches[0].Latency["serve.latency_ms.p50.concurrent"] = 400.0;
+  EXPECT_TRUE(latencyCeiling(T, 250.0).empty());
+}
+
+TEST(LatencyCeiling, ZeroCeilingDisablesTheGate) {
+  EXPECT_TRUE(latencyCeiling(latencyTrajectory(5000.0, 5000.0), 0).empty());
 }

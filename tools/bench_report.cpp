@@ -8,19 +8,25 @@
 /// leave behind into one dated trajectory document:
 ///
 ///   bench_report [--bench-dir DIR]... [--out-dir DIR] [--stamp S]
-///                [--threshold F] [--speedup-floor F] [--warn-only]
+///                [--threshold F] [--speedup-floor F]
+///                [--latency-ceiling MS] [--warn-only]
 ///
 /// Writes `BENCH_<stamp>.json` (schema pigeon.bench.v1) into the out
-/// directory, prints the throughput / phase-time / accuracy headlines,
-/// and runs two gates:
+/// directory, prints the throughput / latency / phase-time / accuracy
+/// headlines, and runs three gates:
 ///  * speedup floor — any `parallel.*.speedup` metric in the *current*
 ///    snapshot below the floor (default 1.0) fails the run, previous
 ///    trajectory or not: parallelism slower than serial is a bug, not a
 ///    regression. Single-core records are exempt.
+///  * latency ceiling — when --latency-ceiling is given (0 = off, the
+///    default), any `*.p99` / `*.p99.concurrent` latency metric in the
+///    current snapshot above the ceiling (ms) fails the run; `.single`
+///    percentiles are exempt.
 ///  * regression — when an earlier BENCH_*.json exists in the out dir,
 ///    a throughput metric that lost more than the threshold (default
-///    10%) against it fails the run.
-/// --warn-only downgrades both failures to warnings.
+///    10%) against it fails the run, as does a latency metric that
+///    *gained* more than the threshold.
+/// --warn-only downgrades all failures to warnings.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,10 +49,11 @@ namespace {
 int usage() {
   std::cerr << "usage: bench_report [--bench-dir DIR]... [--out-dir DIR]"
                " [--stamp S] [--threshold F] [--speedup-floor F]"
-               " [--warn-only]\n"
+               " [--latency-ceiling MS] [--warn-only]\n"
                "Folds <bench>.metrics.json sidecars into BENCH_<stamp>.json,"
-               " fails any parallel.*.speedup below the floor, and gates"
-               " throughput regressions vs the previous trajectory.\n";
+               " fails any parallel.*.speedup below the floor or tail"
+               " latency above the ceiling, and gates throughput/latency"
+               " regressions vs the previous trajectory.\n";
   return 2;
 }
 
@@ -100,6 +107,7 @@ int main(int argc, char **argv) {
   std::string Stamp;
   double Threshold = 0.10;
   double SpeedupFloor = 1.0;
+  double LatencyCeilingMs = 0; // 0 = gate off.
   bool WarnOnly = false;
 
   std::vector<std::string> Args(argv + 1, argv + argc);
@@ -118,6 +126,8 @@ int main(int argc, char **argv) {
       Threshold = std::atof(Value().c_str());
     else if (Arg == "--speedup-floor")
       SpeedupFloor = std::atof(Value().c_str());
+    else if (Arg == "--latency-ceiling")
+      LatencyCeilingMs = std::atof(Value().c_str());
     else if (Arg == "--warn-only")
       WarnOnly = true;
     else
@@ -184,6 +194,8 @@ int main(int argc, char **argv) {
   for (const bench::BenchRecord &B : Cur.Benches) {
     for (const auto &[Name, V] : B.Throughput)
       Table.addRow({B.Bench, Name, fixed(V)});
+    for (const auto &[Name, V] : B.Latency)
+      Table.addRow({B.Bench, Name, fixed(V)});
     for (const auto &[Name, V] : B.Accuracy)
       Table.addRow({B.Bench, Name, fixed(V, 4)});
     for (const auto &[Name, P] : B.Phases)
@@ -213,6 +225,25 @@ int main(int argc, char **argv) {
     Failed = true;
   }
 
+  // The latency ceiling is the same shape of gate: absolute, current
+  // snapshot only, so a tail-latency blowup fails even the first run.
+  if (LatencyCeilingMs > 0) {
+    std::vector<bench::Regression> CeilingViolations =
+        bench::latencyCeiling(Cur, LatencyCeilingMs);
+    if (CeilingViolations.empty()) {
+      std::cerr << "tail latency within the " << fixed(LatencyCeilingMs, 0)
+                << " ms ceiling\n";
+    } else {
+      TablePrinter Bad("tail latency above the " + fixed(LatencyCeilingMs, 0) +
+                       " ms ceiling");
+      Bad.setHeader({"Bench", "Metric", "Ceiling", "Measured"});
+      for (const bench::Regression &R : CeilingViolations)
+        Bad.addRow({R.Bench, R.Metric, fixed(R.Before), fixed(R.After)});
+      Bad.print(std::cerr);
+      Failed = true;
+    }
+  }
+
   if (PrevPath.empty()) {
     std::cerr << "first trajectory in " << OutDir
               << "; nothing to compare against\n";
@@ -231,9 +262,9 @@ int main(int argc, char **argv) {
       std::cerr << "compared against " << PrevPath << " (threshold "
                 << fixed(Threshold * 100, 0) << "%)\n";
       if (Regressions.empty()) {
-        std::cerr << "no throughput regressions\n";
+        std::cerr << "no throughput or latency regressions\n";
       } else {
-        TablePrinter Bad("throughput regressions vs " +
+        TablePrinter Bad("throughput/latency regressions vs " +
                          fs::path(PrevPath).filename().string());
         Bad.setHeader({"Bench", "Metric", "Before", "After", "Ratio"});
         for (const bench::Regression &R : Regressions)

@@ -55,6 +55,7 @@
 #include "lang/js/JsParser.h"
 #include "lang/python/PyParser.h"
 #include "serve/Serve.h"
+#include "serve/SlowLog.h"
 #include "support/EventLog.h"
 #include "support/Parallel.h"
 #include "support/PhaseProfiler.h"
@@ -100,6 +101,8 @@ int usage() {
          "  pigeon serve   --model MODEL (--socket PATH | --stdio)\n"
          "                 [--batch N] [--queue N] [--slo-p99-ms MS]\n"
          "                 [--prom FILE] [--metrics-interval SECONDS]\n"
+         "                 [--slow-log FILE] [--slow-trace-ms MS]\n"
+         "                 [--flightrec FILE]\n"
          "  pigeon demo    --lang <js|java|py|cs>\n"
          "  pigeon synth   --lang <js|java|py|cs> --out DIR"
          " [--projects N] [--seed S]\n"
@@ -114,8 +117,10 @@ int usage() {
          "Every subcommand accepts --trace FILE to stream structured JSONL\n"
          "events (schema pigeon.events.v1): phase and per-chunk spans with\n"
          "wall/CPU/RSS, plus prediction-provenance records. PIGEON_TRACE\n"
-         "is the fallback. Both outputs are flushed best-effort even when\n"
-         "the tool dies on an error or unhandled exception.\n"
+         "is the fallback, and --trace-max-mb MB rotates the stream into\n"
+         "byte-capped segments (the previous segment is kept at FILE.1).\n"
+         "Both outputs are flushed best-effort even when the tool dies on\n"
+         "an error or unhandled exception.\n"
          "\n"
          "Every subcommand accepts --threads N to size the worker pool for\n"
          "the sharded parse/extract/inference stages (0 = one per core);\n"
@@ -127,8 +132,14 @@ int usage() {
          "at exit. `pigeon serve` always samples (admin:\"profile\" reads it)\n"
          "and additionally accepts --prom FILE (Prometheus text exposition,\n"
          "rewritten every --metrics-interval seconds, default 10, alongside\n"
-         "--metrics/--trace) and --slo-p99-ms MS (the admin:\"slo\" target\n"
-         "for the windowed serve.request.seconds p99).\n";
+         "--metrics/--trace), --slo-p99-ms MS (the admin:\"slo\" target\n"
+         "for the windowed serve.request.seconds p99), --slow-log FILE\n"
+         "(tail sampling: requests slower than --slow-trace-ms — falling\n"
+         "back to the SLO target — are captured with their full stage\n"
+         "timelines as pigeon.slowlog.v1 JSONL; 0 captures everything),\n"
+         "and --flightrec FILE (the in-memory flight recorder of recent\n"
+         "event records, also dumped by admin:\"flightrec\", is written\n"
+         "there at exit and on every metrics tick).\n";
   return 2;
 }
 
@@ -574,6 +585,7 @@ int cmdPredict(const std::string &ModelPath, const std::string &Path) {
 std::string DiagMetricsPath;
 std::string DiagPromPath;
 std::string DiagProfilePath;
+std::string DiagFlightRecPath;
 
 /// Set by SIGTERM/SIGINT; the serve loops poll it every 200 ms and wind
 /// down cleanly — drain in-flight requests, flush telemetry — instead of
@@ -624,6 +636,8 @@ int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
   std::thread Flusher;
   bool WantFlusher = FlushInterval > 0 &&
                      (!DiagMetricsPath.empty() || !DiagPromPath.empty() ||
+                      !DiagFlightRecPath.empty() ||
+                      serve::SlowLog::global().enabled() ||
                       telemetry::EventLog::global().enabled());
   if (WantFlusher)
     Flusher = std::thread([&] {
@@ -637,6 +651,9 @@ int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
           telemetry::writeFileAtomic(DiagPromPath,
                                      Reg.prometheusSnapshot());
         telemetry::EventLog::global().flush();
+        serve::SlowLog::global().flush();
+        if (!DiagFlightRecPath.empty())
+          telemetry::EventLog::global().dumpRing(DiagFlightRecPath);
       }
     });
 
@@ -815,9 +832,10 @@ int cmdExplain(Language Lang, const std::string &TaskName, int TopK,
 //===----------------------------------------------------------------------===//
 
 /// Best-effort flush of the --metrics snapshot, the --prom exposition,
-/// the --profile folded stacks and the --trace event stream. Safe to
-/// call more than once: every write is a whole-file atomic rewrite and
-/// EventLog::close() is idempotent. \returns false when a requested
+/// the --profile folded stacks, the --slow-log capture, the --flightrec
+/// dump and the --trace event stream. Safe to call more than once: every
+/// write is a whole-file atomic rewrite and EventLog::close() /
+/// SlowLog::close() are idempotent. \returns false when a requested
 /// metrics snapshot could not be written.
 bool flushDiagnostics() {
   bool Ok = true;
@@ -844,6 +862,15 @@ bool flushDiagnostics() {
       std::cerr << "error: cannot write profile to " << DiagProfilePath
                 << "\n";
   }
+  if (serve::SlowLog::global().enabled() &&
+      !serve::SlowLog::global().flush())
+    std::cerr << "error: cannot write the slow-request log\n";
+  serve::SlowLog::global().close();
+  // Dump the flight recorder before closing the event stream: a fatal
+  // exit is exactly when the last-N-records window matters.
+  if (!DiagFlightRecPath.empty() &&
+      telemetry::EventLog::global().dumpRing(DiagFlightRecPath))
+    std::cerr << "flight recorder dumped to " << DiagFlightRecPath << "\n";
   telemetry::EventLog::global().close();
   return Ok;
 }
@@ -860,8 +887,10 @@ int main(int argc, char **argv) {
   std::optional<Language> Lang;
   std::string ModelPath, OutPath, MetricsPath, TracePath, ContextsPath;
   std::string SocketPath, PromPath, ProfilePath;
+  std::string SlowLogPath, FlightRecPath;
   bool Stdio = false;
   double MetricsInterval = 10.0;
+  double TraceMaxMb = 0;
   serve::ServeConfig ServeOptions;
   std::string TaskName = "vars";
   int Projects = 24;
@@ -934,6 +963,32 @@ int main(int argc, char **argv) {
                      "of seconds\n";
         return 2;
       }
+    } else if (Arg == "--trace-max-mb") {
+      TraceMaxMb = std::atof(Value().c_str());
+      if (TraceMaxMb <= 0) {
+        std::cerr << "error: --trace-max-mb wants a positive size\n";
+        return 2;
+      }
+    } else if (Arg == "--slow-log") {
+      SlowLogPath = Value();
+      if (SlowLogPath.empty()) {
+        std::cerr << "error: --slow-log requires a file path\n";
+        return 2;
+      }
+    } else if (Arg == "--slow-trace-ms") {
+      std::string V = Value();
+      ServeOptions.SlowTraceMs = std::atof(V.c_str());
+      if (V.empty() || ServeOptions.SlowTraceMs < 0) {
+        std::cerr << "error: --slow-trace-ms wants a non-negative "
+                     "threshold (0 captures every request)\n";
+        return 2;
+      }
+    } else if (Arg == "--flightrec") {
+      FlightRecPath = Value();
+      if (FlightRecPath.empty()) {
+        std::cerr << "error: --flightrec requires a file path\n";
+        return 2;
+      }
     } else if (Arg == "--slo-p99-ms") {
       ServeOptions.SloP99Ms = std::atof(Value().c_str());
       if (ServeOptions.SloP99Ms <= 0) {
@@ -999,11 +1054,17 @@ int main(int argc, char **argv) {
   DiagMetricsPath = MetricsPath;
   DiagPromPath = PromPath;
   DiagProfilePath = ProfilePath;
+  DiagFlightRecPath = FlightRecPath;
+  if (TraceMaxMb > 0)
+    telemetry::EventLog::global().setRotation(
+        static_cast<uint64_t>(TraceMaxMb * 1024 * 1024));
   if (!TracePath.empty() &&
       !telemetry::EventLog::global().open(TracePath)) {
     std::cerr << "error: cannot open trace file " << TracePath << "\n";
     return 2;
   }
+  if (!SlowLogPath.empty())
+    serve::SlowLog::global().open(SlowLogPath);
   if (!ProfilePath.empty())
     telemetry::PhaseProfiler::global().start();
 
