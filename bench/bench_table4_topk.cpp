@@ -51,7 +51,8 @@ int main() {
       auto Top = Model.topKFor(*R.Tree, E, 8);
       int Rank = 1;
       for (const auto &[Label, Score] : Top)
-        Table.addRow({std::to_string(Rank++), C.Interner->str(Label),
+        Table.addRow({std::to_string(Rank++),
+                      std::string(C.Interner->str(Label)),
                       TablePrinter::num(Score, 2)});
     }
     Table.print(std::cout);
@@ -86,7 +87,7 @@ int main() {
           Words.push_back(Name);
         std::string CtxString =
             Table.render(Ctx.Path, *C.Interner) + "|" +
-            C.Interner->str(paths::endValue(T, Ctx.End));
+            std::string(C.Interner->str(paths::endValue(T, Ctx.End)));
         Pairs.push_back({It->second, CtxInterner.intern(CtxString).index()});
       }
     }

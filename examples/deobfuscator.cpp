@@ -103,8 +103,8 @@ void demo(Language Lang) {
   for (const auto &[E, Name] : Predictions) {
     if (!Name.isValid())
       continue;
-    Renames[C.Interner->str(R.Tree->element(E).Name)] =
-        C.Interner->str(Name);
+    Renames[std::string(C.Interner->str(R.Tree->element(E).Name))] =
+        std::string(C.Interner->str(Name));
   }
 
   std::cout << "== " << lang::languageName(Lang)

@@ -28,7 +28,7 @@ using pigeon::lang::Language;
 namespace {
 
 bool isApiTarget(const StringInterner &SI, const Tree &T, NodeId Id) {
-  const std::string &K = SI.str(T.node(Id).Kind);
+  std::string_view K = SI.str(T.node(Id).Kind);
   return K == "MethodCallExpr" || K == "FieldAccessExpr" ||
          K == "ObjectCreationExpr" || K == "CastExpr" ||
          K == "ArrayCreationExpr";
@@ -77,14 +77,13 @@ int main() {
           File.Tree, Target,
           extractPathsToNode(File.Tree, Target, Extraction, Table));
       std::vector<Symbol> Pred = Model.predict(G);
-      std::string Predicted =
-          Pred[G.Unknowns[0]].isValid()
-              ? C.Interner->str(Pred[G.Unknowns[0]])
-              : "<unknown>";
-      std::string Oracle = C.Interner->str(File.Tree.typeOf(Target));
+      std::string Predicted(Pred[G.Unknowns[0]].isValid()
+                                ? C.Interner->str(Pred[G.Unknowns[0]])
+                                : std::string_view("<unknown>"));
+      std::string Oracle(C.Interner->str(File.Tree.typeOf(Target)));
       Out.addRow({File.FileName,
-                  C.Interner->str(File.Tree.node(Target).Kind), Predicted,
-                  Oracle, Predicted == Oracle ? "ok" : "MISS"});
+                  std::string(C.Interner->str(File.Tree.node(Target).Kind)),
+                  Predicted, Oracle, Predicted == Oracle ? "ok" : "MISS"});
       if (++Shown >= 14)
         break;
     }

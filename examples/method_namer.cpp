@@ -60,7 +60,7 @@ int main() {
           Suggestions += ", ";
         Suggestions += TrainOnly.Interner->str(Name);
       }
-      std::string Actual = TrainOnly.Interner->str(Info.Name);
+      std::string Actual(TrainOnly.Interner->str(Info.Name));
       bool Hit = !Top.empty() &&
                  namesMatch(TrainOnly.Interner->str(Top[0].first), Actual);
       Out.addRow({Actual, Suggestions, Hit ? "ok" : ""});

@@ -58,7 +58,7 @@ int main() {
   for (const PathContext &Ctx : Contexts) {
     if (Ctx.Semi)
       continue;
-    std::string Start = ValueOf(Ctx.Start), End = ValueOf(Ctx.End);
+    std::string Start(ValueOf(Ctx.Start)), End(ValueOf(Ctx.End));
     bool IsP1 = Start == "d" && End == "d";
     bool IsP4 = Start == "d" && End == "true";
     if (IsP1 || IsP4)

@@ -21,8 +21,8 @@ using namespace pigeon::paths;
 // UnuglifyJS-style single-statement relations
 //===----------------------------------------------------------------------===//
 
-bool baselines::isBoundaryKind(const std::string &Kind) {
-  static const std::set<std::string> Boundaries = {
+bool baselines::isBoundaryKind(std::string_view Kind) {
+  static const std::set<std::string, std::less<>> Boundaries = {
       // JavaScript (UglifyJS-style).
       "Toplevel", "Block", "If", "While", "Do", "For", "ForIn", "ForOf",
       "Try", "Catch", "Finally", "Defun", "Function",
@@ -130,9 +130,9 @@ std::string nameFromTypeText(const std::string &TypeText) {
 std::string typeTextOf(const Tree &T, NodeId TypeNode) {
   const StringInterner &SI = T.interner();
   const Node &N = T.node(TypeNode);
-  const std::string &Kind = SI.str(N.Kind);
+  std::string_view Kind = SI.str(N.Kind);
   if (Kind == "PrimitiveType" || Kind == "PredefinedType")
-    return SI.str(N.Value);
+    return std::string(SI.str(N.Value));
   if (Kind == "ArrayType") {
     auto Kids = T.children(TypeNode);
     return Kids.empty() ? "values" : typeTextOf(T, Kids[0]) + "s";
@@ -141,7 +141,7 @@ std::string typeTextOf(const Tree &T, NodeId TypeNode) {
     auto Kids = T.children(TypeNode);
     if (!Kids.empty()) {
       // Last segment of the (possibly dotted) TypeName.
-      std::string Full = SI.str(T.node(Kids[0]).Value);
+      std::string Full(SI.str(T.node(Kids[0]).Value));
       size_t Dot = Full.rfind('.');
       return Dot == std::string::npos ? Full : Full.substr(Dot + 1);
     }
@@ -163,7 +163,7 @@ std::unordered_map<ElementId, std::string>
 baselines::ruleBasedJavaNames(const Tree &T) {
   const StringInterner &SI = T.interner();
   std::unordered_map<ElementId, std::string> Out;
-  auto KindOf = [&](NodeId Id) -> const std::string & {
+  auto KindOf = [&](NodeId Id) -> std::string_view {
     return SI.str(T.node(Id).Kind);
   };
 
@@ -192,7 +192,7 @@ baselines::ruleBasedJavaNames(const Tree &T) {
     if (TypeNode == InvalidNode)
       continue;
     std::string TypeText = typeTextOf(T, TypeNode);
-    const std::string &TypeKind = KindOf(TypeNode);
+    std::string_view TypeKind = KindOf(TypeNode);
     std::string Guess = (TypeKind == "PrimitiveType")
                             ? primitiveDefault(TypeText)
                             : nameFromTypeText(TypeText);
@@ -300,7 +300,7 @@ std::string SubtokenMethodNamer::predict(
 std::vector<SubtokenMethodNamer::Example>
 baselines::methodExamples(const Tree &T) {
   const StringInterner &SI = T.interner();
-  static const std::set<std::string> DefKinds = {
+  static const std::set<std::string, std::less<>> DefKinds = {
       "MethodDeclaration", "ConstructorDeclaration", "Defun", "Function",
       "FunctionDef"};
   std::vector<SubtokenMethodNamer::Example> Out;
@@ -322,7 +322,7 @@ baselines::methodExamples(const Tree &T) {
            Id < T.size() && T.node(Id).Depth > DefDepth; ++Id) {
         const Node &N = T.node(Id);
         if (Id != Occ && N.isTerminal())
-          Ex.BodyIdentifiers.push_back(SI.str(N.Value));
+          Ex.BodyIdentifiers.emplace_back(SI.str(N.Value));
       }
       Out.push_back(std::move(Ex));
       break;

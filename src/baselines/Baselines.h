@@ -31,6 +31,7 @@
 #include "paths/Paths.h"
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -52,7 +53,7 @@ filterIntraStatement(const ast::Tree &Tree,
 
 /// \returns true if \p Kind is a statement/control boundary node kind in
 /// any of the four frontends' vocabularies.
-bool isBoundaryKind(const std::string &Kind);
+bool isBoundaryKind(std::string_view Kind);
 
 //===----------------------------------------------------------------------===//
 // Token n-gram factors (the paper's "CRFs + n-grams" Java baseline)

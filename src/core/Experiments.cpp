@@ -109,7 +109,7 @@ const char *metricTaskTag(Task T) {
 /// declaration or operand; the regime the paper's type task evaluates is
 /// API-shaped expressions whose types require signature knowledge.
 bool isApiTypeTarget(const Corpus &Corpus, const Tree &T, NodeId Id) {
-  const std::string &K = Corpus.Interner->str(T.node(Id).Kind);
+  std::string_view K = Corpus.Interner->str(T.node(Id).Kind);
   return K == "MethodCallExpr" || K == "FieldAccessExpr" ||
          K == "ObjectCreationExpr" || K == "CastExpr" ||
          K == "ArrayCreationExpr";
@@ -259,8 +259,9 @@ core::runCrfNameExperiment(const Corpus &Corpus, Task Task,
   for (size_t I = 0; I < TestGraphs.size(); ++I) {
     const CrfGraph &G = TestGraphs[I];
     for (uint32_t N : G.Unknowns) {
-      const std::string &Gold = SI.str(G.Nodes[N].Gold);
-      std::string Predicted = Preds[I][N].isValid() ? SI.str(Preds[I][N]) : "";
+      std::string Gold(SI.str(G.Nodes[N].Gold));
+      std::string Predicted(Preds[I][N].isValid() ? SI.str(Preds[I][N])
+                                                  : std::string_view());
       Meter.add(Predicted, Gold);
       SubMeter.add(Predicted, Gold);
       // Misprediction provenance: with the event log open, every wrong
@@ -539,10 +540,9 @@ w2vContextsOf(const Tree &T, const ElementSelector &Selector,
         NodeId Neighbor = Leaves[static_cast<size_t>(J)];
         // A neighbouring prediction target is itself unknown at test
         // time; its node kind is all the information available.
-        std::string Value =
-            SelectedElement(Neighbor) != InvalidElement
-                ? SI.str(T.node(Neighbor).Kind)
-                : SI.str(T.node(Neighbor).Value);
+        std::string Value(SelectedElement(Neighbor) != InvalidElement
+                              ? SI.str(T.node(Neighbor).Kind)
+                              : SI.str(T.node(Neighbor).Value));
         // Original word2vec windows are position-free bags.
         Out.emplace_back(E, "tok|" + Value);
       }
@@ -559,7 +559,7 @@ w2vContextsOf(const Tree &T, const ElementSelector &Selector,
       continue;
     ElementId E = StartElem != InvalidElement ? StartElem : EndElem;
     NodeId Other = StartElem != InvalidElement ? Ctx.End : Ctx.Start;
-    std::string OtherValue = SI.str(endValue(T, Other));
+    std::string OtherValue(SI.str(endValue(T, Other)));
     std::string CtxString;
     if (Kind == W2vContexts::AstPaths) {
       const char *Dir = StartElem != InvalidElement ? ">" : "<";
@@ -635,15 +635,16 @@ core::runW2vNameExperiment(const Corpus &Corpus,
     for (ElementId E = 0; E < T.elements().size(); ++E) {
       if (!Selector(T.element(E)) || T.occurrences(E).empty())
         continue;
-      const std::string &Gold = SI.str(T.element(E).Name);
+      std::string Gold(SI.str(T.element(E).Name));
       auto It = ByElement.find(E);
       if (It == ByElement.end()) {
         Meter.addWrong();
         continue;
       }
       uint32_t Predicted = Model.predict(It->second);
-      std::string PredStr =
-          Predicted == UINT32_MAX ? "" : SI.str(Words[Predicted]);
+      std::string PredStr(Predicted == UINT32_MAX
+                              ? std::string_view()
+                              : SI.str(Words[Predicted]));
       Meter.add(PredStr, Gold);
       // Misprediction provenance for Eq. 4: each contributing context's
       // summed dot product. Contexts are strings here (not PathIds), so

@@ -10,6 +10,7 @@
 
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 using namespace pigeon;
 using namespace pigeon::core;
@@ -20,6 +21,9 @@ constexpr uint32_t BundleMagic = 0x50494742; // "PIGB"
 // Version 2: the path table is serialized as packed path bytes (tag +
 // varint symbol indices) instead of rendered strings, and the interner
 // and table use the shared varint/length-prefixed codecs (BinaryIO).
+// Version 3 is the mmap format — same magic, different loader
+// (MappedBundle.cpp); this stream reader rejects it with a pointer to
+// the mapped route.
 constexpr uint32_t BundleVersion = 2;
 
 template <typename T> void writePod(std::ostream &OS, const T &Value) {
@@ -31,6 +35,26 @@ template <typename T> bool readPod(std::istream &IS, T &Value) {
   return static_cast<bool>(IS);
 }
 
+std::string hex32(uint32_t Value) {
+  std::ostringstream OS;
+  OS << "0x" << std::hex << Value;
+  return OS.str();
+}
+
+void setDiag(LoadDiag *Diag, uint64_t Offset, std::string Error) {
+  if (!Diag)
+    return;
+  Diag->Offset = Offset;
+  Diag->Error = std::move(Error);
+}
+
+/// Current read position, for failure offsets. A failed stream reports
+/// tellg() == -1; fall back to the last known-good offset.
+uint64_t posOf(std::istream &IS, uint64_t Fallback) {
+  std::streampos P = IS.tellg();
+  return P < 0 ? Fallback : static_cast<uint64_t>(P);
+}
+
 /// Interners assign ids densely in intern order, so (re)interning the
 /// strings in index order reproduces every id.
 void writeInterner(std::ostream &OS, const StringInterner &Interner) {
@@ -40,17 +64,31 @@ void writeInterner(std::ostream &OS, const StringInterner &Interner) {
     io::writeString(OS, Interner.str(Symbol::fromIndex(I)));
 }
 
-bool readInterner(std::istream &IS, StringInterner &Interner) {
+bool readInterner(std::istream &IS, StringInterner &Interner,
+                  LoadDiag *Diag) {
+  uint64_t Start = posOf(IS, 0);
   uint64_t Size = 0;
-  if (!io::readVarint(IS, Size))
+  if (!io::readVarint(IS, Size)) {
+    setDiag(Diag, Start, "interner: truncated string count");
     return false;
+  }
   std::string Str;
   for (uint64_t I = 1; I < Size; ++I) {
-    if (!io::readString(IS, Str))
+    uint64_t At = posOf(IS, Start);
+    if (!io::readString(IS, Str)) {
+      setDiag(Diag, At, "interner: truncated string " + std::to_string(I) +
+                            " of " + std::to_string(Size - 1));
       return false;
+    }
     Symbol S = Interner.intern(Str);
-    if (S.index() != I)
-      return false; // Duplicate string: not a saved interner.
+    if (S.index() != I) {
+      // Duplicate string: not a saved interner.
+      setDiag(Diag, At,
+              "interner: string " + std::to_string(I) +
+                  " re-interned to id " + std::to_string(S.index()) +
+                  " (duplicate — not a saved interner)");
+      return false;
+    }
   }
   return true;
 }
@@ -63,16 +101,29 @@ void writePathTable(std::ostream &OS, const paths::PathTable &Table) {
     io::writeBytes(OS, Table.bytes(I));
 }
 
-bool readPathTable(std::istream &IS, paths::PathTable &Table) {
+bool readPathTable(std::istream &IS, paths::PathTable &Table,
+                   LoadDiag *Diag) {
+  uint64_t Start = posOf(IS, 0);
   uint64_t Size = 0;
-  if (!io::readVarint(IS, Size))
+  if (!io::readVarint(IS, Size)) {
+    setDiag(Diag, Start, "path table: truncated path count");
     return false;
+  }
   std::vector<uint8_t> Bytes;
   for (uint64_t I = 1; I <= Size; ++I) {
-    if (!io::readBytes(IS, Bytes))
+    uint64_t At = posOf(IS, Start);
+    if (!io::readBytes(IS, Bytes)) {
+      setDiag(Diag, At, "path table: truncated path " + std::to_string(I) +
+                            " of " + std::to_string(Size));
       return false;
-    if (Table.intern(Bytes) != I)
-      return false; // Duplicate path bytes: not a saved table.
+    }
+    if (Table.intern(Bytes) != I) {
+      // Duplicate path bytes: not a saved table.
+      setDiag(Diag, At, "path table: path " + std::to_string(I) +
+                            " re-interned to a different id (duplicate "
+                            "bytes — not a saved table)");
+      return false;
+    }
   }
   return true;
 }
@@ -93,31 +144,58 @@ void core::saveModel(std::ostream &OS, const ModelBundle &Bundle) {
   Bundle.Model.save(OS);
 }
 
-std::unique_ptr<ModelBundle> core::loadModel(std::istream &IS) {
+std::unique_ptr<ModelBundle> core::loadModel(std::istream &IS,
+                                             LoadDiag *Diag) {
   uint32_t Magic = 0, Version = 0;
-  if (!readPod(IS, Magic) || Magic != BundleMagic)
+  if (!readPod(IS, Magic)) {
+    setDiag(Diag, 0, "truncated before bundle magic: expected " +
+                         hex32(BundleMagic) + " (\"PIGB\")");
     return nullptr;
-  if (!readPod(IS, Version) || Version != BundleVersion)
+  }
+  if (Magic != BundleMagic) {
+    setDiag(Diag, 0, "bad bundle magic: expected " + hex32(BundleMagic) +
+                         " (\"PIGB\"), found " + hex32(Magic));
     return nullptr;
+  }
+  if (!readPod(IS, Version)) {
+    setDiag(Diag, 4, "truncated before bundle version: expected " +
+                         std::to_string(BundleVersion));
+    return nullptr;
+  }
+  if (Version != BundleVersion) {
+    std::string Hint =
+        Version == 3
+            ? " (a v3 mmap bundle — load it with loadModelFile / "
+              "openMappedBundle, or convert with `pigeon migrate-bundle`)"
+            : "";
+    setDiag(Diag, 4, "bundle version mismatch: expected " +
+                         std::to_string(BundleVersion) + ", found " +
+                         std::to_string(Version) + Hint);
+    return nullptr;
+  }
   auto Bundle = std::make_unique<ModelBundle>();
   Bundle->Interner = std::make_unique<StringInterner>();
   uint8_t LangByte = 0, TaskByte = 0, AbstByte = 0, Semi = 0;
   int32_t Length = 0, Width = 0;
   if (!readPod(IS, LangByte) || !readPod(IS, TaskByte) ||
       !readPod(IS, Length) ||
-      !readPod(IS, Width) || !readPod(IS, AbstByte) || !readPod(IS, Semi))
+      !readPod(IS, Width) || !readPod(IS, AbstByte) || !readPod(IS, Semi)) {
+    setDiag(Diag, 8, "truncated bundle header (lang/task/extraction)");
     return nullptr;
+  }
   Bundle->Lang = static_cast<lang::Language>(LangByte);
   Bundle->TaskKind = static_cast<Task>(TaskByte);
   Bundle->Extraction.MaxLength = Length;
   Bundle->Extraction.MaxWidth = Width;
   Bundle->Extraction.Abst = static_cast<paths::Abstraction>(AbstByte);
   Bundle->Extraction.IncludeSemiPaths = Semi != 0;
-  if (!readInterner(IS, *Bundle->Interner))
+  if (!readInterner(IS, *Bundle->Interner, Diag))
     return nullptr;
-  if (!readPathTable(IS, Bundle->Table))
+  if (!readPathTable(IS, Bundle->Table, Diag))
     return nullptr;
-  if (!Bundle->Model.load(IS))
+  if (!Bundle->Model.load(IS)) {
+    setDiag(Diag, posOf(IS, 0), "CRF section: malformed or truncated");
     return nullptr;
+  }
   return Bundle;
 }

@@ -12,6 +12,14 @@
 /// parse and predict on new files — new strings and paths intern after
 /// the saved ones, so every saved id keeps its meaning.
 ///
+/// Two on-disk formats coexist:
+///  * version 2 — the stream format (varint/length-prefixed records,
+///    this file): portable, but loading re-interns every string and
+///    path and rebuilds every hash table;
+///  * version 3 — the mmap format (MappedBundle.h): one contiguous
+///    offset-based file served in place with no deserialization.
+/// loadModelFile (MappedBundle.h) routes by sniffing the version.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIGEON_CORE_MODELIO_H
@@ -23,12 +31,29 @@
 
 #include <iosfwd>
 #include <memory>
+#include <string>
 
 namespace pigeon {
 namespace core {
 
+class MappedRegion;
+
+/// Structured failure report of a bundle load. Error spells out what was
+/// expected versus what the bytes actually held; Offset is the byte
+/// position (within the stream / mapped file) where validation failed.
+struct LoadDiag {
+  std::string Error;
+  uint64_t Offset = 0;
+};
+
 /// A self-contained trained model.
+///
+/// Mapping, when set, owns the mmap'ed file the other members read in
+/// place (frozen-view interner/table, frozen CRF arrays). It is declared
+/// first so it is destroyed last — after every member that references
+/// its pages.
 struct ModelBundle {
+  std::shared_ptr<const MappedRegion> Mapping;
   lang::Language Lang = lang::Language::JavaScript;
   std::unique_ptr<StringInterner> Interner;
   paths::PathTable Table;
@@ -37,12 +62,14 @@ struct ModelBundle {
   crf::CrfModel Model;
 };
 
-/// Writes \p Bundle to \p OS (versioned binary).
+/// Writes \p Bundle to \p OS in the version-2 stream format.
 void saveModel(std::ostream &OS, const ModelBundle &Bundle);
 
 /// Restores a bundle written by saveModel(). \returns nullptr on a
-/// malformed or version-mismatched stream.
-std::unique_ptr<ModelBundle> loadModel(std::istream &IS);
+/// malformed or version-mismatched stream; when \p Diag is non-null it
+/// receives the expected-vs-found detail and byte offset of the failure.
+std::unique_ptr<ModelBundle> loadModel(std::istream &IS,
+                                       LoadDiag *Diag = nullptr);
 
 } // namespace core
 } // namespace pigeon

@@ -47,16 +47,15 @@ private:
   // Tree helpers
   //===--------------------------------------------------------------------===//
 
-  const std::string &kindOf(NodeId Id) const {
+  std::string_view kindOf(NodeId Id) const {
     return SI.str(T.node(Id).Kind);
   }
   bool isKind(NodeId Id, std::string_view K) const { return kindOf(Id) == K; }
   bool kindStartsWith(NodeId Id, std::string_view Prefix) const {
-    const std::string &K = kindOf(Id);
-    return K.size() >= Prefix.size() &&
-           std::string_view(K).substr(0, Prefix.size()) == Prefix;
+    std::string_view K = kindOf(Id);
+    return K.substr(0, std::min(Prefix.size(), K.size())) == Prefix;
   }
-  const std::string &valueOf(NodeId Id) const {
+  std::string_view valueOf(NodeId Id) const {
     return SI.str(T.node(Id).Value);
   }
   NodeId child(NodeId Id, size_t I) const {
@@ -80,11 +79,11 @@ private:
       NodeId Name = child(Id, 0);
       if (Name == InvalidNode)
         continue;
-      const std::string &Qualified = valueOf(Name);
+      std::string_view Qualified = valueOf(Name);
       size_t Dot = Qualified.rfind('.');
       if (Dot == std::string::npos)
         continue;
-      std::string Simple = Qualified.substr(Dot + 1);
+      std::string Simple(Qualified.substr(Dot + 1));
       if (Simple == "*")
         continue; // Wildcards resolve via the classpath probe below.
       Imports[Simple] = Qualified;
@@ -102,7 +101,7 @@ private:
       if (NameNode == InvalidNode)
         continue;
       ClassDef Def;
-      std::string Simple = valueOf(NameNode);
+      std::string Simple(valueOf(NameNode));
       Def.QualifiedName = Package.empty() ? Simple : Package + "." + Simple;
       Imports[Simple] = Def.QualifiedName;
       for (NodeId Member : T.children(Id)) {
@@ -120,7 +119,7 @@ private:
               continue;
             NodeId FieldName = child(Decl, 0);
             if (FieldName != InvalidNode)
-              Def.Fields[valueOf(FieldName)] = FieldType;
+              Def.Fields[std::string(valueOf(FieldName))] = FieldType;
           }
           continue;
         }
@@ -128,7 +127,7 @@ private:
           NodeId TypeNode = child(Member, 0);
           NodeId MethodName = child(Member, 1);
           if (TypeNode != InvalidNode && MethodName != InvalidNode)
-            Def.Methods[valueOf(MethodName)] = typeNodeToString(TypeNode);
+            Def.Methods[std::string(valueOf(MethodName))] = typeNodeToString(TypeNode);
           continue;
         }
       }
@@ -139,7 +138,8 @@ private:
   }
 
   /// Resolves a (possibly simple) class name to a qualified one.
-  std::string resolveClassName(const std::string &Name) const {
+  std::string resolveClassName(std::string_view NameView) const {
+    std::string Name(NameView);
     if (Name.find('.') != std::string::npos)
       return Name;
     auto It = Imports.find(Name);
@@ -160,7 +160,7 @@ private:
     if (Id == InvalidNode)
       return "";
     if (isKind(Id, "PrimitiveType"))
-      return valueOf(Id);
+      return std::string(valueOf(Id));
     if (isKind(Id, "ArrayType"))
       return typeNodeToString(child(Id, 0)) + "[]";
     if (isKind(Id, "ClassOrInterfaceType")) {
@@ -208,7 +208,7 @@ private:
   // Environment
   //===--------------------------------------------------------------------===//
 
-  std::string lookupEnv(const std::string &Name) const {
+  std::string lookupEnv(std::string_view Name) const {
     for (auto It = Env.rbegin(); It != Env.rend(); ++It)
       if (It->first == Name)
         return It->second;
@@ -262,7 +262,7 @@ private:
   }
 
   void checkStatement(NodeId Stmt) {
-    const std::string &K = kindOf(Stmt);
+    std::string_view K = kindOf(Stmt);
     if (K == "BlockStmt") {
       size_t Mark = Env.size();
       for (NodeId Kid : T.children(Stmt))
@@ -348,7 +348,7 @@ private:
   }
 
   bool isStatementKind(NodeId Id) const {
-    const std::string &K = kindOf(Id);
+    std::string_view K = kindOf(Id);
     return K == "BlockStmt" || K == "ExpressionStmt" || K == "IfStmt" ||
            K == "WhileStmt" || K == "DoStmt" || K == "ForStmt" ||
            K == "ForEachStmt" || K == "ReturnStmt" || K == "BreakStmt" ||
@@ -387,10 +387,10 @@ private:
   std::string typeOf(NodeId Id) {
     if (Id == InvalidNode)
       return "";
-    const std::string &K = kindOf(Id);
+    std::string_view K = kindOf(Id);
 
     if (K == "IntegerLiteralExpr") {
-      const std::string &V = valueOf(Id);
+      std::string_view V = valueOf(Id);
       return !V.empty() && (V.back() == 'L' || V.back() == 'l') ? "long"
                                                                 : "int";
     }
@@ -411,7 +411,7 @@ private:
       NodeId NameNode = child(Id, 0);
       if (NameNode == InvalidNode)
         return "";
-      const std::string &Name = valueOf(NameNode);
+      std::string Name(valueOf(NameNode));
       std::string FromEnv = lookupEnv(Name);
       if (!FromEnv.empty()) {
         annotate(Id, FromEnv);
@@ -445,7 +445,7 @@ private:
         annotate(Id, "int");
         return "int";
       }
-      if (auto Field = CP.fieldType(ScopeType, valueOf(NameNode))) {
+      if (auto Field = CP.fieldType(ScopeType, std::string(valueOf(NameNode)))) {
         annotate(Id, *Field);
         return *Field;
       }
@@ -475,7 +475,7 @@ private:
         return "";
       if (Receiver.rfind("class:", 0) == 0)
         Receiver = Receiver.substr(6);
-      if (auto Ret = CP.methodReturn(Receiver, valueOf(NameNode))) {
+      if (auto Ret = CP.methodReturn(Receiver, std::string(valueOf(NameNode)))) {
         annotate(Id, *Ret);
         return *Ret;
       }
@@ -547,7 +547,7 @@ private:
     }
 
     if (K.rfind("BinaryExpr", 0) == 0) {
-      std::string Op = K.substr(10);
+      std::string Op(K.substr(10));
       auto Kids = T.children(Id);
       std::string L = Kids.size() > 0 ? typeOf(Kids[0]) : "";
       std::string R = Kids.size() > 1 ? typeOf(Kids[1]) : "";
@@ -574,7 +574,7 @@ private:
     }
 
     if (K.rfind("UnaryExpr", 0) == 0) {
-      std::string Op = K.substr(9);
+      std::string Op(K.substr(9));
       NodeId Operand = child(Id, 0);
       std::string OperandType = typeOf(Operand);
       if (Op == "!")

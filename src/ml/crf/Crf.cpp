@@ -236,6 +236,106 @@ void CrfModel::bump(uint64_t Key, double Delta) {
   Totals[Key] += static_cast<double>(Time) * Delta;
 }
 
+double CrfModel::weight(uint64_t Key) const {
+  if (IsFrozen) {
+    const uint64_t *End = FC.WeightKeys + FC.NumWeights;
+    const uint64_t *It = std::lower_bound(FC.WeightKeys, End, Key);
+    return (It != End && *It == Key) ? FC.WeightVals[It - FC.WeightKeys]
+                                     : 0.0;
+  }
+  auto It = Weights.find(Key);
+  return It == Weights.end() ? 0.0 : It->second;
+}
+
+bool CrfModel::pathPruned(paths::PathId Path) const {
+  if (IsFrozen)
+    return std::binary_search(FC.PrunedKeys, FC.PrunedKeys + FC.NumPruned,
+                              static_cast<uint64_t>(Path));
+  return PrunedPaths.count(Path) != 0;
+}
+
+CrfModel::CandRef CrfModel::findCandidates(uint64_t Ctx) const {
+  CandRef R;
+  if (IsFrozen) {
+    const uint64_t *End = FC.CandKeys + FC.NumCands;
+    const uint64_t *It = std::lower_bound(FC.CandKeys, End, Ctx);
+    if (It == End || *It != Ctx)
+      return R;
+    size_t I = static_cast<size_t>(It - FC.CandKeys);
+    R.Flat = FC.CandPairs + 2 * FC.CandOffsets[I];
+    R.N = static_cast<size_t>(FC.CandOffsets[I + 1] - FC.CandOffsets[I]);
+    return R;
+  }
+  auto It = Candidates.find(Ctx);
+  if (It == Candidates.end())
+    return R;
+  R.Vec = It->second.data();
+  R.N = It->second.size();
+  return R;
+}
+
+void CrfModel::adoptFrozen(const FrozenCrf &View) {
+  Weights.clear();
+  Totals.clear();
+  Candidates.clear();
+  PrunedPaths.clear();
+  Time = 1;
+  FC = View;
+  IsFrozen = true;
+  // The global fallback list is rank-ordered and tiny (GlobalCandidates
+  // entries); copying it keeps candidatesFor() oblivious to freezing.
+  GlobalTop.clear();
+  GlobalTop.reserve(View.NumGlobal);
+  for (uint32_t I = 0; I < View.NumGlobal; ++I)
+    GlobalTop.push_back(Symbol::fromIndex(View.GlobalTop[I]));
+}
+
+FlatCrf CrfModel::flatten() const {
+  FlatCrf F;
+  if (IsFrozen) {
+    F.WeightKeys.assign(FC.WeightKeys, FC.WeightKeys + FC.NumWeights);
+    F.WeightVals.assign(FC.WeightVals, FC.WeightVals + FC.NumWeights);
+    F.CandKeys.assign(FC.CandKeys, FC.CandKeys + FC.NumCands);
+    F.CandOffsets.assign(FC.CandOffsets, FC.CandOffsets + FC.NumCands + 1);
+    F.CandPairs.assign(FC.CandPairs,
+                       FC.CandPairs + 2 * FC.CandOffsets[FC.NumCands]);
+    F.PrunedKeys.assign(FC.PrunedKeys, FC.PrunedKeys + FC.NumPruned);
+    F.GlobalTop.assign(FC.GlobalTop, FC.GlobalTop + FC.NumGlobal);
+    return F;
+  }
+  F.WeightKeys.reserve(Weights.size());
+  for (const auto &[Key, W] : Weights)
+    F.WeightKeys.push_back(Key);
+  std::sort(F.WeightKeys.begin(), F.WeightKeys.end());
+  F.WeightVals.reserve(Weights.size());
+  for (uint64_t Key : F.WeightKeys)
+    F.WeightVals.push_back(Weights.at(Key));
+
+  F.CandKeys.reserve(Candidates.size());
+  for (const auto &[Ctx, Labels] : Candidates)
+    F.CandKeys.push_back(Ctx);
+  std::sort(F.CandKeys.begin(), F.CandKeys.end());
+  F.CandOffsets.reserve(Candidates.size() + 1);
+  F.CandOffsets.push_back(0);
+  for (uint64_t Ctx : F.CandKeys) {
+    // Per-context order is preserved exactly: votes accumulate in list
+    // order, so reordering here would perturb float sums downstream.
+    const auto &Labels = Candidates.at(Ctx);
+    for (const auto &[Label, Count] : Labels) {
+      F.CandPairs.push_back(Label.index());
+      F.CandPairs.push_back(Count);
+    }
+    F.CandOffsets.push_back(F.CandOffsets.back() + Labels.size());
+  }
+
+  F.PrunedKeys.assign(PrunedPaths.begin(), PrunedPaths.end());
+  std::sort(F.PrunedKeys.begin(), F.PrunedKeys.end());
+  F.GlobalTop.reserve(GlobalTop.size());
+  for (Symbol S : GlobalTop)
+    F.GlobalTop.push_back(S.index());
+  return F;
+}
+
 std::vector<std::pair<Symbol, double>>
 CrfModel::candidatesFor(const CrfGraph &Graph, uint32_t Node,
                         const std::vector<uint32_t> &Incident) const {
@@ -261,14 +361,14 @@ CrfModel::candidatesFor(const CrfGraph &Graph, uint32_t Node,
         continue;
       Ctx = contextKey(Fac.Path, Fac.A == Node, Graph.Nodes[Other].Gold);
     }
-    auto It = Candidates.find(Ctx);
-    if (It == Candidates.end())
+    CandRef Cand = findCandidates(Ctx);
+    if (!Cand)
       continue;
     double Total = Config.VoteSmoothing;
-    for (const auto &[Label, Count] : It->second)
-      Total += static_cast<double>(Count);
-    for (const auto &[Label, Count] : It->second)
-      Counts[Label] += static_cast<double>(Count) / Total;
+    for (size_t I = 0; I < Cand.size(); ++I)
+      Total += static_cast<double>(Cand.count(I));
+    for (size_t I = 0; I < Cand.size(); ++I)
+      Counts[Cand.label(I)] += static_cast<double>(Cand.count(I)) / Total;
   }
   std::vector<std::pair<Symbol, double>> Sorted(Counts.begin(),
                                                 Counts.end());
@@ -358,6 +458,9 @@ void CrfModel::train(const std::vector<CrfGraph> &Graphs) {
   auto &Reg = telemetry::MetricsRegistry::global();
   Reg.counter("crf.train.calls").inc();
   Reg.counter("crf.train.graphs").add(Graphs.size());
+  // Training repopulates the mutable maps; thaw a frozen model first.
+  IsFrozen = false;
+  FC = FrozenCrf();
 
   std::optional<telemetry::TraceScope> Pass;
   Pass.emplace("candidates");
@@ -596,15 +699,15 @@ NodeExplanation CrfModel::explain(const CrfGraph &Graph, uint32_t Node,
   // This label's share of one context's (smoothed) vote mass — the exact
   // per-context term candidatesFor() accumulates.
   auto VoteOf = [this, Label](uint64_t Ctx) {
-    auto It = Candidates.find(Ctx);
-    if (It == Candidates.end())
+    CandRef Cand = findCandidates(Ctx);
+    if (!Cand)
       return 0.0;
     double Total = Config.VoteSmoothing;
     uint32_t Mine = 0;
-    for (const auto &[L, Count] : It->second) {
-      Total += static_cast<double>(Count);
-      if (L == Label)
-        Mine = Count;
+    for (size_t I = 0; I < Cand.size(); ++I) {
+      Total += static_cast<double>(Cand.count(I));
+      if (Cand.label(I) == Label)
+        Mine = Cand.count(I);
     }
     return static_cast<double>(Mine) / Total;
   };
@@ -692,6 +795,35 @@ void CrfModel::save(std::ostream &OS) const {
   writePod(OS, CrfMagic);
   writePod(OS, CrfVersion);
 
+  if (IsFrozen) {
+    // A frozen model's state lives in the flat arrays; emit them in
+    // their (sorted/deterministic) stored order.
+    writePod(OS, FC.NumWeights);
+    for (uint64_t I = 0; I < FC.NumWeights; ++I) {
+      writePod(OS, FC.WeightKeys[I]);
+      writePod(OS, FC.WeightVals[I]);
+    }
+    writePod(OS, FC.NumCands);
+    for (uint64_t I = 0; I < FC.NumCands; ++I) {
+      writePod(OS, FC.CandKeys[I]);
+      uint32_t N =
+          static_cast<uint32_t>(FC.CandOffsets[I + 1] - FC.CandOffsets[I]);
+      writePod(OS, N);
+      const uint32_t *Pairs = FC.CandPairs + 2 * FC.CandOffsets[I];
+      for (uint32_t L = 0; L < N; ++L) {
+        writePod(OS, Pairs[2 * L]);
+        writePod(OS, Pairs[2 * L + 1]);
+      }
+    }
+    writePod(OS, FC.NumPruned);
+    for (uint64_t I = 0; I < FC.NumPruned; ++I)
+      writePod(OS, FC.PrunedKeys[I]);
+    writePod(OS, FC.NumGlobal);
+    for (uint32_t I = 0; I < FC.NumGlobal; ++I)
+      writePod(OS, FC.GlobalTop[I]);
+    return;
+  }
+
   writePod(OS, static_cast<uint64_t>(Weights.size()));
   for (const auto &[Key, W] : Weights) {
     writePod(OS, Key);
@@ -724,6 +856,8 @@ bool CrfModel::load(std::istream &IS) {
   PrunedPaths.clear();
   GlobalTop.clear();
   Time = 1;
+  IsFrozen = false;
+  FC = FrozenCrf();
 
   uint32_t Magic = 0, Version = 0;
   if (!readPod(IS, Magic) || Magic != CrfMagic)

@@ -164,6 +164,42 @@ struct NodeExplanation {
   std::vector<Attribution> Paths;
 };
 
+/// Flat, position-independent image of a trained model's learned state:
+/// sorted key arrays with parallel payloads, readable in place with
+/// binary search. This is exactly the representation bundle format v3
+/// lays into the file — a mapped bundle hands the section pointers to
+/// CrfModel::adoptFrozen() and serves without deserializing anything.
+/// All pointers reference memory the caller keeps alive for the model's
+/// lifetime.
+struct FrozenCrf {
+  const uint64_t *WeightKeys = nullptr; ///< Feature keys, sorted ascending.
+  const double *WeightVals = nullptr;   ///< WeightVals[I] pairs WeightKeys[I].
+  uint64_t NumWeights = 0;
+  const uint64_t *CandKeys = nullptr;    ///< Context keys, sorted ascending.
+  const uint64_t *CandOffsets = nullptr; ///< NumCands+1 entry offsets into
+                                         ///< CandPairs, [0] == 0.
+  const uint32_t *CandPairs = nullptr;   ///< (label index, count) uint32
+                                         ///< pairs, per-context order as
+                                         ///< trained (vote order matters).
+  uint64_t NumCands = 0;
+  const uint64_t *PrunedKeys = nullptr;  ///< Pruned path ids, sorted.
+  uint64_t NumPruned = 0;
+  const uint32_t *GlobalTop = nullptr;   ///< Label indices, rank order.
+  uint32_t NumGlobal = 0;
+};
+
+/// Owned flat image produced by CrfModel::flatten(): the same layout as
+/// FrozenCrf but with owning vectors — what the v3 writer serializes.
+struct FlatCrf {
+  std::vector<uint64_t> WeightKeys;
+  std::vector<double> WeightVals;
+  std::vector<uint64_t> CandKeys;
+  std::vector<uint64_t> CandOffsets;
+  std::vector<uint32_t> CandPairs;
+  std::vector<uint64_t> PrunedKeys;
+  std::vector<uint32_t> GlobalTop;
+};
+
 /// The learned model.
 class CrfModel {
 public:
@@ -213,11 +249,31 @@ public:
   /// leaves the model empty) on a malformed or version-mismatched stream.
   bool load(std::istream &IS);
 
+  /// Serves the model in place from \p View (typically sections of an
+  /// mmap'ed v3 bundle): drops the mutable maps and routes weight,
+  /// candidate and pruning lookups through binary search over the flat
+  /// arrays. Only the (tiny) global-candidate list is copied. Read APIs
+  /// produce bit-identical results to the map-backed model the image was
+  /// flattened from; train() or load() thaw the model back to maps.
+  void adoptFrozen(const FrozenCrf &View);
+
+  /// \returns the learned state as an owned flat image — sorted keys,
+  /// per-context candidate order preserved — suitable for the v3 writer.
+  /// Works on both map-backed and frozen models.
+  FlatCrf flatten() const;
+
+  /// True when the model reads from a frozen flat image (adoptFrozen).
+  bool frozen() const { return IsFrozen; }
+
   /// Number of nonzero feature weights (model size).
-  size_t numFeatures() const { return Weights.size(); }
+  size_t numFeatures() const {
+    return IsFrozen ? FC.NumWeights : Weights.size();
+  }
 
   /// Sum of training-time candidate-table entries (diagnostics).
-  size_t candidateTableSize() const { return Candidates.size(); }
+  size_t candidateTableSize() const {
+    return IsFrozen ? FC.NumCands : Candidates.size();
+  }
 
 private:
   CrfConfig Config;
@@ -229,15 +285,31 @@ private:
   std::vector<Symbol> GlobalTop;
   /// Paths whose training contexts were too impure to be informative.
   std::unordered_set<uint64_t> PrunedPaths;
+  /// Flat read-only state of a frozen model (adoptFrozen); the maps
+  /// above stay empty while IsFrozen is set.
+  FrozenCrf FC;
+  bool IsFrozen = false;
 
-  bool pathPruned(paths::PathId Path) const {
-    return PrunedPaths.count(Path) != 0;
-  }
+  /// One context's candidate list, readable uniformly over the
+  /// map-backed vector and the frozen flat pairs.
+  struct CandRef {
+    const std::pair<Symbol, uint32_t> *Vec = nullptr;
+    const uint32_t *Flat = nullptr;
+    size_t N = 0;
+    explicit operator bool() const { return Vec || Flat; }
+    size_t size() const { return N; }
+    Symbol label(size_t I) const {
+      return Vec ? Vec[I].first : Symbol::fromIndex(Flat[2 * I]);
+    }
+    uint32_t count(size_t I) const {
+      return Vec ? Vec[I].second : Flat[2 * I + 1];
+    }
+  };
+  /// \returns the candidate list of \p Ctx, or an empty ref on a miss.
+  CandRef findCandidates(uint64_t Ctx) const;
 
-  double weight(uint64_t Key) const {
-    auto It = Weights.find(Key);
-    return It == Weights.end() ? 0.0 : It->second;
-  }
+  bool pathPruned(paths::PathId Path) const;
+  double weight(uint64_t Key) const;
   void bump(uint64_t Key, double Delta);
 
   /// Candidate labels for one unknown node with their empirical vote

@@ -7,6 +7,7 @@
 #include "paths/Paths.h"
 
 #include "support/BinaryIO.h"
+#include "support/Hashing.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -97,6 +98,27 @@ PathTable::store(std::span<const uint8_t> Packed) {
     std::memcpy(Dst, Packed.data(), Packed.size());
   BlockUsed += Packed.size();
   return {Dst, Packed.size()};
+}
+
+PathId PathTable::findFrozen(std::span<const uint8_t> Packed) const {
+  if (!FV.Slots)
+    return 0;
+  uint64_t Hash = stableHashBytes(Packed.data(), Packed.size());
+  // Probe count is bounded by the table size so a hostile stored index
+  // with no empty slot terminates instead of spinning.
+  for (uint64_t I = Hash & FV.Mask, Probes = 0; Probes <= FV.Mask;
+       ++Probes, I = (I + 1) & FV.Mask) {
+    uint32_t Id = FV.Slots[I];
+    if (Id == 0)
+      return 0;
+    std::span<const uint8_t> Stored(FV.Bytes + FV.Offsets[Id - 1],
+                                    FV.Offsets[Id] - FV.Offsets[Id - 1]);
+    if (Stored.size() == Packed.size() &&
+        (Packed.empty() ||
+         std::memcmp(Stored.data(), Packed.data(), Packed.size()) == 0))
+      return Id;
+  }
+  return 0;
 }
 
 std::vector<PathId> PathTable::absorb(const PathTable &Shard) {

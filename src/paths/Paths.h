@@ -170,11 +170,29 @@ public:
   struct DeltaTag {};
   static constexpr DeltaTag Delta{};
 
+  /// Tag type selecting the frozen-view constructor.
+  struct FrozenTag {};
+  static constexpr FrozenTag Frozen{};
+
   /// Provisional-path marker: ids returned by a delta overlay for paths
   /// missing from its base carry this bit over the overlay-local id (see
   /// intern()). InvalidPath also has the bit set — always test for it
   /// first. absorb() maps local ids to final base ids.
   static constexpr PathId ProvisionalBit = 0x80000000u;
+
+  /// External storage of a frozen-view table (an mmap'ed bundle section
+  /// in practice; nothing is copied, the caller keeps the memory alive).
+  /// Offsets[I] is the arena start of path id I+1, so id Id spans
+  /// [Offsets[Id-1], Offsets[Id]). The stored index is open-addressed
+  /// linear probing over stableHashBytes, slot value 0 = empty, any
+  /// other value is the path id itself (ids start at 1).
+  struct FrozenPaths {
+    const uint8_t *Bytes = nullptr;    ///< Concatenated packed-path arena.
+    const uint64_t *Offsets = nullptr; ///< NumPaths+1 entries, [0] == 0.
+    const uint32_t *Slots = nullptr;   ///< Stored index, value = path id.
+    uint64_t Mask = 0;                 ///< Slot count - 1 (power of two).
+    uint32_t NumPaths = 0;             ///< Ids 1..NumPaths are frozen.
+  };
 
   PathTable() : Paths(1) {}
 
@@ -185,6 +203,15 @@ public:
   /// table outside parallel regions.
   PathTable(DeltaTag, const PathTable &Base) : PathTable() {
     this->Base = &Base;
+  }
+
+  /// A frozen-view table over \p View: ids 1..NumPaths serve their bytes
+  /// straight from the external arena, lookups probe the stored index
+  /// (no re-interning at load), and novel paths still intern locally
+  /// with ids continuing after the frozen range — exactly the ids a
+  /// stream-loaded table would assign.
+  PathTable(FrozenTag, const FrozenPaths &View) : PathTable() {
+    FV = View;
   }
 
   PathTable(PathTable &&) = default;
@@ -206,6 +233,8 @@ public:
   /// only — provisional overlay entries are private), InvalidPath
   /// otherwise. Read-only: safe concurrently with other readers.
   PathId lookup(std::span<const uint8_t> Packed) const {
+    if (PathId Id = findFrozen(Packed))
+      return Id;
     auto It = Index.find(viewOf(Packed));
     return It == Index.end() ? InvalidPath : It->second;
   }
@@ -217,11 +246,16 @@ public:
 
   /// The packed bytes of \p Id. Valid for the table's lifetime. On a
   /// delta overlay, provisional ids resolve against the overlay's private
-  /// arena and final ids against the base.
+  /// arena and final ids against the base; on a frozen view, frozen ids
+  /// resolve against the external arena.
   std::span<const uint8_t> bytes(PathId Id) const {
     if (Base && !(Id & ProvisionalBit))
       return Base->bytes(Id);
     Id &= ~ProvisionalBit;
+    if (Id >= 1 && Id <= FV.NumPaths)
+      return std::span<const uint8_t>(FV.Bytes + FV.Offsets[Id - 1],
+                                      FV.Offsets[Id] - FV.Offsets[Id - 1]);
+    Id -= FV.NumPaths;
     assert(Id >= 1 && Id < Paths.size() && "path from another table?");
     return Paths[Id];
   }
@@ -233,7 +267,10 @@ public:
 
   /// Number of distinct paths (§5.6 reports model size through this).
   /// On a delta overlay this counts only overlay-local (novel) paths.
-  size_t size() const { return Paths.size() - 1; }
+  size_t size() const { return FV.NumPaths + Paths.size() - 1; }
+
+  /// Number of frozen (arena-backed) paths of a frozen view, 0 otherwise.
+  uint32_t frozenCount() const { return FV.NumPaths; }
 
   /// Interns every locally-stored path of \p Shard, in shard-local id
   /// order, and returns the remap shard-id → this-table-id (index 0 is
@@ -248,16 +285,23 @@ public:
 
 private:
   PathId internLocal(std::span<const uint8_t> Packed) {
+    if (PathId Id = findFrozen(Packed))
+      return Id;
     std::string_view Key = viewOf(Packed);
     auto It = Index.find(Key);
     if (It != Index.end())
       return It->second;
     std::span<const uint8_t> Stored = store(Packed);
-    PathId Id = static_cast<PathId>(Paths.size());
+    PathId Id = FV.NumPaths + static_cast<PathId>(Paths.size());
     Paths.push_back(Stored);
     Index.emplace(viewOf(Stored), Id);
     return Id;
   }
+
+  /// Probes the stored frozen index (see FrozenPaths). \returns the
+  /// frozen id, 0 on a miss or when there is no frozen view. Implemented
+  /// in Paths.cpp (needs the stable hash).
+  PathId findFrozen(std::span<const uint8_t> Packed) const;
   static std::string_view viewOf(std::span<const uint8_t> Bytes) {
     return Bytes.empty()
                ? std::string_view()
@@ -271,6 +315,8 @@ private:
 
   /// Frozen base table of a delta overlay; nullptr for a root table.
   const PathTable *Base = nullptr;
+  /// External arena of a frozen-view table (NumPaths == 0 otherwise).
+  FrozenPaths FV;
   // Append-only chunked arena: blocks never move, so spans and the
   // string_view index keys stay valid for the table's lifetime.
   std::vector<std::unique_ptr<uint8_t[]>> Blocks;

@@ -35,6 +35,18 @@ namespace io {
 /// attempting a huge allocation.
 inline constexpr size_t MaxChunkBytes = 64u << 20;
 
+/// Overflow-checked \p A + \p B. \returns false (leaving \p Out
+/// untouched) when the sum wraps. Every section-end computation over
+/// untrusted offsets must go through this: a crafted offset near
+/// UINT64_MAX would otherwise wrap the end below the start and slip past
+/// a naive `end <= size` bounds check.
+inline bool checkedAdd(uint64_t A, uint64_t B, uint64_t &Out) {
+  if (A > UINT64_MAX - B)
+    return false;
+  Out = A + B;
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Stream codecs
 //===----------------------------------------------------------------------===//

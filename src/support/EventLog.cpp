@@ -79,6 +79,18 @@ uint64_t telemetry::peakRssKb() {
 #endif
 }
 
+uint64_t telemetry::currentRssKb() {
+#if defined(__linux__)
+  std::ifstream Status("/proc/self/status");
+  std::string Line;
+  while (std::getline(Status, Line))
+    if (Line.rfind("VmRSS:", 0) == 0)
+      return static_cast<uint64_t>(
+          std::strtoull(Line.c_str() + 6, nullptr, 10));
+#endif
+  return 0;
+}
+
 double telemetry::threadCpuSeconds() {
 #if defined(CLOCK_THREAD_CPUTIME_ID)
   struct timespec Ts;

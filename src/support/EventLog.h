@@ -90,6 +90,11 @@ std::string jsonNumber(double X);
 /// 0 when unavailable.
 uint64_t peakRssKb();
 
+/// Current resident set size of this process in KiB (/proc/self/status
+/// VmRSS); 0 when unavailable. Unlike peakRssKb this can go down, which
+/// is what makes before/after deltas around a load meaningful.
+uint64_t currentRssKb();
+
 /// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID);
 /// negative when unavailable.
 double threadCpuSeconds();

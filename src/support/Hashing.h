@@ -27,6 +27,21 @@ inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
   return Seed;
 }
 
+/// FNV-1a over raw bytes. Unlike std::hash this is *stable*: the value is
+/// pinned by the algorithm, not the standard library build, so it is safe
+/// to persist — the stored open-addressed indexes of bundle format v3
+/// (frozen interner / path table) are probed with exactly this hash by
+/// whatever binary maps them later.
+inline uint64_t stableHashBytes(const void *Data, size_t Len) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
 /// Finalizer for 64-bit hashes (MurmurHash3 fmix64).
 inline uint64_t hashFinalize(uint64_t H) {
   H ^= H >> 33;

@@ -6,6 +6,8 @@
 
 #include "support/StringInterner.h"
 
+#include "support/Hashing.h"
+
 #include <bit>
 
 using namespace pigeon;
@@ -37,6 +39,14 @@ StringInterner::StringInterner(DeltaTag, const StringInterner &Base)
   BaseI = &Base;
 }
 
+StringInterner::StringInterner(FrozenTag, const FrozenStrings &View)
+    : StringInterner() {
+  assert(View.Count >= 1 && "frozen view must cover the reserved id 0");
+  FV = View;
+  LocalBias = View.Count - 1;
+  Count.store(View.Count, std::memory_order_release);
+}
+
 StringInterner::~StringInterner() {
   delete Table.load(std::memory_order_relaxed);
   for (std::atomic<std::string *> &Page : Pages)
@@ -46,13 +56,14 @@ StringInterner::~StringInterner() {
 const std::string &StringInterner::localStr(uint32_t Id) const {
   assert(Id < Count.load(std::memory_order_acquire) &&
          "symbol from another interner?");
-  auto [P, Offset] = pageOf(Id);
+  assert((Id == 0 || Id > LocalBias) && "frozen id has no local storage");
+  auto [P, Offset] = pageOf(Id - (Id == 0 ? 0 : LocalBias));
   const std::string *Page = Pages[P].load(std::memory_order_acquire);
   assert(Page && "unpublished string page");
   return Page[Offset];
 }
 
-const std::string &StringInterner::str(Symbol Sym) const {
+std::string_view StringInterner::str(Symbol Sym) const {
   uint32_t Id = Sym.index();
   if (Id & ProvisionalBit) {
     assert(BaseI && "provisional symbol outside a delta overlay");
@@ -60,7 +71,26 @@ const std::string &StringInterner::str(Symbol Sym) const {
   }
   if (BaseI)
     return BaseI->str(Sym);
+  if (Id < FV.Count)
+    return frozenStr(Id);
   return localStr(Id);
+}
+
+uint32_t StringInterner::findFrozen(std::string_view Str) const {
+  if (!FV.Slots)
+    return 0;
+  uint64_t Hash = stableHashBytes(Str.data(), Str.size());
+  // Probe count is bounded by the table size so a hostile stored index
+  // with no empty slot terminates instead of spinning.
+  for (uint64_t I = Hash & FV.Mask, Probes = 0; Probes <= FV.Mask;
+       ++Probes, I = (I + 1) & FV.Mask) {
+    uint32_t Biased = FV.Slots[I];
+    if (Biased == 0)
+      return 0;
+    if (frozenStr(Biased - 1) == Str)
+      return Biased - 1;
+  }
+  return 0;
 }
 
 uint32_t StringInterner::findIn(const IndexTable *T, std::string_view Str,
@@ -85,6 +115,8 @@ Symbol StringInterner::lookup(std::string_view Str) const {
         findIn(Table.load(std::memory_order_acquire), Str, Hash);
     return Local ? Symbol::fromIndex(ProvisionalBit | Local) : Symbol();
   }
+  if (uint32_t Id = findFrozen(Str))
+    return Symbol::fromIndex(Id);
   return Symbol::fromIndex(
       findIn(Table.load(std::memory_order_acquire), Str, Hash));
 }
@@ -99,7 +131,9 @@ void StringInterner::growLocked(size_t NeedEntries) {
     return;
   auto Next = std::make_unique<IndexTable>(Cap);
   uint32_t N = Count.load(std::memory_order_relaxed);
-  for (uint32_t Id = 1; Id < N; ++Id) {
+  // Only locally-stored ids live in the live index; frozen ids resolve
+  // through the stored index of the external arena.
+  for (uint32_t Id = LocalBias + 1; Id < N; ++Id) {
     size_t Hash = std::hash<std::string_view>{}(localStr(Id));
     size_t I = Hash & Next->Mask;
     while (Next->Slots[I].load(std::memory_order_relaxed) != 0)
@@ -117,7 +151,7 @@ void StringInterner::growLocked(size_t NeedEntries) {
 uint32_t StringInterner::append(std::string_view Str, size_t Hash) {
   uint32_t Id = Count.load(std::memory_order_relaxed);
   assert(Id < ProvisionalBit && "interner full");
-  auto [P, Offset] = pageOf(Id);
+  auto [P, Offset] = pageOf(Id - LocalBias);
   assert(P < MaxPages && "interner full");
   std::string *Page = Pages[P].load(std::memory_order_relaxed);
   if (!Page) {
@@ -125,7 +159,7 @@ uint32_t StringInterner::append(std::string_view Str, size_t Hash) {
     Pages[P].store(Page, std::memory_order_release);
   }
   Page[Offset] = std::string(Str);
-  growLocked(size_t(Id) + 1);
+  growLocked(size_t(Id - LocalBias) + 1);
   IndexTable *T = Table.load(std::memory_order_relaxed);
   size_t I = Hash & T->Mask;
   while (T->Slots[I].load(std::memory_order_relaxed) != 0)
@@ -153,6 +187,10 @@ Symbol StringInterner::intern(std::string_view Str) {
     std::lock_guard<std::mutex> Lock(Mutex);
     return Symbol::fromIndex(ProvisionalBit | append(Str, Hash));
   }
+  // Frozen hits first: the stored index is immutable, so this path never
+  // contends with writers at all.
+  if (uint32_t Id = findFrozen(Str))
+    return Symbol::fromIndex(Id);
   // Lock-free fast path: published strings are found without the mutex.
   if (uint32_t Id = findIn(Table.load(std::memory_order_acquire), Str, Hash))
     return Symbol::fromIndex(Id);

@@ -28,6 +28,16 @@
 /// remapping — the merge cost is proportional to the number of *novel*
 /// strings, not to the corpus (see DESIGN.md §Parallelism).
 ///
+/// A third mode serves mmap'ed model bundles (format v3): a *frozen view*
+/// interner resolves ids below FrozenStrings::Count against an external
+/// arena — an offset table plus concatenated bytes, typically pages of a
+/// mapped file the interner does not own — through a stored
+/// open-addressed index probed with the stable FNV-1a hash
+/// (stableHashBytes). No strings are copied or re-hashed at load; novel
+/// strings still intern normally and take ids after the frozen range, so
+/// a mapped bundle keeps the exact "new ids follow saved ids" contract of
+/// a stream-loaded one (see DESIGN.md §Bundle format v3).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIGEON_SUPPORT_STRINGINTERNER_H
@@ -87,10 +97,33 @@ public:
   struct DeltaTag {};
   static constexpr DeltaTag Delta{};
 
+  /// Tag type selecting the frozen-view constructor.
+  struct FrozenTag {};
+  static constexpr FrozenTag Frozen{};
+
   /// Provisional-symbol marker: symbols returned by a delta overlay for
   /// strings missing from its base carry this bit over the overlay-local
   /// id. commitDelta() maps local ids to final base ids.
   static constexpr uint32_t ProvisionalBit = 0x80000000u;
+
+  /// External storage of a frozen-view interner. All pointers reference
+  /// memory the caller keeps alive for the interner's lifetime (an
+  /// mmap'ed bundle section in practice); nothing is copied.
+  ///
+  /// The stored index is an open-addressed linear-probe table: slot value
+  /// 0 is empty, any other value V names id V-1 (the +1 bias lets id
+  /// ranges that legitimately contain an interned empty string — id 0 is
+  /// *also* the reserved empty slot — coexist with the 0-is-empty
+  /// sentinel). Probing starts at stableHashBytes(str) & Mask; the writer
+  /// (ModelIO) inserts ids 1..Count-1 in id order with the same hash and
+  /// probe sequence.
+  struct FrozenStrings {
+    const char *Bytes = nullptr;       ///< Concatenated string arena.
+    const uint64_t *Offsets = nullptr; ///< Count+1 entries, Offsets[0]==0.
+    const uint32_t *Slots = nullptr;   ///< Stored index, value = id + 1.
+    uint64_t Mask = 0;                 ///< Slot count - 1 (power of two).
+    uint32_t Count = 0;                ///< Ids [0, Count) are frozen.
+  };
 
   StringInterner();
 
@@ -98,6 +131,13 @@ public:
   /// misses intern privately and come back provisional. \p Base must stay
   /// alive and — for exact results — frozen while the overlay is used.
   StringInterner(DeltaTag, const StringInterner &Base);
+
+  /// A frozen-view interner over \p View (Count must be >= 1: id 0 is
+  /// the reserved empty slot). Ids below View.Count resolve against the
+  /// external arena with zero copies; intern() still accepts novel
+  /// strings, which take ids from View.Count up exactly as they would
+  /// after a stream load.
+  StringInterner(FrozenTag, const FrozenStrings &View);
 
   ~StringInterner();
 
@@ -113,10 +153,11 @@ public:
   /// otherwise. Lock-free; on a delta overlay checks base then overlay.
   Symbol lookup(std::string_view Str) const;
 
-  /// \returns the string for \p Sym. The reference stays valid for the
-  /// lifetime of the interner. Lock-free; resolves provisional symbols
-  /// against the overlay's private storage.
-  const std::string &str(Symbol Sym) const;
+  /// \returns the string for \p Sym. The view stays valid for the
+  /// lifetime of the interner (it references an interner-owned page or,
+  /// on a frozen view, the external arena). Lock-free; resolves
+  /// provisional symbols against the overlay's private storage.
+  std::string_view str(Symbol Sym) const;
 
   /// Number of interned strings, including the reserved empty slot. On a
   /// delta overlay this counts only overlay-local (novel) strings.
@@ -128,6 +169,10 @@ public:
 
   /// \returns the base interner of a delta overlay, or nullptr.
   const StringInterner *base() const { return BaseI; }
+
+  /// Number of frozen (arena-backed) ids of a frozen-view interner, 0
+  /// otherwise.
+  uint32_t frozenCount() const { return FV.Count; }
 
   /// Interns every novel string of \p Overlay into this interner, in
   /// overlay-local id order, and returns the map overlay-local id →
@@ -160,6 +205,12 @@ private:
   static std::pair<size_t, uint32_t> pageOf(uint32_t Id);
 
   const std::string &localStr(uint32_t Id) const;
+  std::string_view frozenStr(uint32_t Id) const {
+    return std::string_view(FV.Bytes + FV.Offsets[Id],
+                            FV.Offsets[Id + 1] - FV.Offsets[Id]);
+  }
+  /// Probes the stored frozen index. \returns the frozen id, 0 on miss.
+  uint32_t findFrozen(std::string_view Str) const;
   uint32_t findIn(const IndexTable *T, std::string_view Str,
                   size_t Hash) const;
   /// Appends \p Str with the next id; caller holds Mutex.
@@ -167,6 +218,13 @@ private:
   void growLocked(size_t NeedEntries);
 
   const StringInterner *BaseI = nullptr;
+  /// External arena of a frozen-view interner (Count == 0 otherwise).
+  FrozenStrings FV;
+  /// Id of local page slot 0 minus zero — ids >= LocalBias + 1 live in
+  /// the owned pages at slot Id - LocalBias; slot 0 is the reserved
+  /// empty string. 0 for a root/overlay interner, Count - 1 for a frozen
+  /// view (whose first novel id Count lands in slot 1).
+  uint32_t LocalBias = 0;
   std::atomic<IndexTable *> Table{nullptr};
   std::atomic<std::string *> Pages[MaxPages] = {};
   std::atomic<uint32_t> Count{0};

@@ -79,8 +79,8 @@ TEST(IntraStatement, Fig3PairBecomesIndistinguishable) {
     auto Intra =
         filterIntraStatement(T, extractPathContexts(T, Config, Table));
     for (const PathContext &Ctx : Intra) {
-      const std::string &SV = SI.str(T.node(Ctx.Start).Value);
-      const std::string &EV = SI.str(T.node(Ctx.End).Value);
+      std::string SV(SI.str(T.node(Ctx.Start).Value));
+      std::string EV(SI.str(T.node(Ctx.End).Value));
       if (SV == "d")
         Set.insert(Table.render(Ctx.Path, SI) + ">" + EV);
       else if (EV == "d")
@@ -158,7 +158,7 @@ rulePredictions(std::string_view Source, StringInterner &SI) {
   auto ById = ruleBasedJavaNames(*R.Tree);
   std::unordered_map<std::string, std::string> ByName;
   for (const auto &[E, Predicted] : ById)
-    ByName[SI.str(R.Tree->element(E).Name)] = Predicted;
+    ByName[std::string(SI.str(R.Tree->element(E).Name))] = Predicted;
   return ByName;
 }
 

@@ -200,4 +200,25 @@ TEST(BinaryIOByteReader, AppendedMaxValuesRoundTrip) {
   }
 }
 
+TEST(BinaryIOCheckedAdd, SumsInRange) {
+  uint64_t Out = 0;
+  EXPECT_TRUE(io::checkedAdd(0, 0, Out));
+  EXPECT_EQ(Out, 0u);
+  EXPECT_TRUE(io::checkedAdd(UINT64_MAX - 1, 1, Out));
+  EXPECT_EQ(Out, UINT64_MAX);
+  EXPECT_TRUE(io::checkedAdd(1u << 20, 1u << 20, Out));
+  EXPECT_EQ(Out, 2u << 20);
+}
+
+TEST(BinaryIOCheckedAdd, WrapFailsAndLeavesOutUntouched) {
+  // A crafted section offset near 2^64 plus a length wraps below the
+  // start; the checked add must refuse instead of producing a sum that
+  // slips under an `end <= size` bound.
+  uint64_t Out = 42;
+  EXPECT_FALSE(io::checkedAdd(UINT64_MAX, 1, Out));
+  EXPECT_FALSE(io::checkedAdd(UINT64_MAX - 7, 64, Out));
+  EXPECT_FALSE(io::checkedAdd(UINT64_MAX / 2 + 1, UINT64_MAX / 2 + 1, Out));
+  EXPECT_EQ(Out, 42u);
+}
+
 } // namespace

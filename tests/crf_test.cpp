@@ -167,7 +167,8 @@ TEST(CrfLearning, LearnsRoleConditionedNames) {
     std::vector<Symbol> Pred = Model.predict(G);
     for (uint32_t N : G.Unknowns)
       if (SI.str(G.Nodes[N].Gold) == "d")
-        return Pred[N].isValid() ? SI.str(Pred[N]) : "";
+        return std::string(Pred[N].isValid() ? SI.str(Pred[N])
+                                               : std::string_view());
     return "";
   };
   EXPECT_EQ(PredictName(flagProgram("d")), "done");
@@ -204,7 +205,7 @@ TEST(CrfLearning, TopKContainsGoldNearTop) {
   // All three flag-style names must appear among the top candidates.
   std::set<std::string> Names;
   for (const auto &[Label, Score] : Top)
-    Names.insert(SI.str(Label));
+    Names.insert(std::string(SI.str(Label)));
   EXPECT_TRUE(Names.count("done"));
   EXPECT_TRUE(Names.count("finished"));
   EXPECT_TRUE(Names.count("stop"));
@@ -249,7 +250,8 @@ TEST(CrfLearning, DistinguishesFig3Pair) {
     std::vector<Symbol> Pred = Model.predict(G);
     for (uint32_t N : G.Unknowns)
       if (SI.str(G.Nodes[N].Gold) == "d")
-        return Pred[N].isValid() ? SI.str(Pred[N]) : "";
+        return std::string(Pred[N].isValid() ? SI.str(Pred[N])
+                                               : std::string_view());
     return "";
   };
   EXPECT_EQ(PredictName(Loop("d")), "done");
@@ -285,7 +287,7 @@ TEST(CrfLearning, MultipleUnknownsJointlyInferred) {
   std::vector<Symbol> Pred = Model.predict(G);
   std::set<std::string> Names;
   for (uint32_t N : G.Unknowns)
-    Names.insert(SI.str(Pred[N]));
+    Names.insert(std::string(SI.str(Pred[N])));
   EXPECT_TRUE(Names.count("items"));
   EXPECT_TRUE(Names.count("i"));
 }
@@ -325,7 +327,7 @@ TEST(CrfLearning, DeterministicAcrossRuns) {
     CrfGraph G = buildGraph(*R.Tree, Contexts, varSelector());
     std::vector<Symbol> Pred = Model.predict(G);
     for (uint32_t N : G.Unknowns)
-      OutNames.push_back(SI.str(Pred[N]));
+      OutNames.emplace_back(SI.str(Pred[N]));
   };
   std::vector<std::string> A, B;
   Run(A);

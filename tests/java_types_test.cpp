@@ -43,7 +43,7 @@ struct Checked {
         continue;
       Symbol Ty = T->typeOf(Id);
       if (Ty.isValid())
-        return SI.str(Ty);
+        return std::string(SI.str(Ty));
     }
     return "";
   }
@@ -58,7 +58,7 @@ struct Checked {
         continue;
       Symbol Ty = T->typeOf(Id);
       if (Ty.isValid())
-        return SI.str(Ty);
+        return std::string(SI.str(Ty));
     }
     return "";
   }

@@ -58,8 +58,9 @@ predictWith(ModelBundle &Bundle, const std::string &Source) {
   std::vector<Symbol> Pred = Bundle.Model.predict(G);
   std::map<std::string, std::string> Out;
   for (uint32_t N : G.Unknowns)
-    Out[Bundle.Interner->str(G.Nodes[N].Gold)] =
-        Pred[N].isValid() ? Bundle.Interner->str(Pred[N]) : "";
+    Out[std::string(Bundle.Interner->str(G.Nodes[N].Gold))] = std::string(
+        Pred[N].isValid() ? Bundle.Interner->str(Pred[N])
+                          : std::string_view());
   return Out;
 }
 

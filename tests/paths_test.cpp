@@ -31,7 +31,7 @@ struct Fig1 {
     EXPECT_TRUE(R.ok());
     T = std::move(R.Tree);
     for (NodeId Leaf : T->terminals()) {
-      const std::string &V = SI.str(T->node(Leaf).Value);
+      std::string_view V = SI.str(T->node(Leaf).Value);
       if (V == "d") {
         if (FirstD == InvalidNode)
           FirstD = Leaf;
@@ -581,9 +581,10 @@ TEST(Discrimination, Fig3PairDistinguishableByPathsOnly) {
   auto PathsOfD = [&](const Tree &T) {
     std::multiset<std::string> Set;
     for (const PathContext &C : extractPathContexts(T, Config, Table)) {
-      const std::string &SV = SI.str(T.node(C.Start).Value);
-      const std::string &EV =
-          T.node(C.End).isTerminal() ? SI.str(T.node(C.End).Value) : "";
+      std::string_view SV = SI.str(T.node(C.Start).Value);
+      std::string_view EV = T.node(C.End).isTerminal()
+                                ? SI.str(T.node(C.End).Value)
+                                : std::string_view();
       if (SV == "d" || EV == "d")
         Set.insert(Table.render(C.Path, SI));
     }

@@ -49,6 +49,7 @@
 
 #include "core/ContextsIO.h"
 #include "core/Experiments.h"
+#include "core/MappedBundle.h"
 #include "core/ModelIO.h"
 #include "lang/csharp/CsParser.h"
 #include "lang/java/JavaParser.h"
@@ -98,6 +99,8 @@ int usage() {
          "  pigeon eval    --model MODEL"
          " (--from-contexts CTX | --lang <js|java|py|cs> PATH...)\n"
          "  pigeon predict --model MODEL FILE\n"
+         "  pigeon migrate-bundle --in OLD --out NEW"
+         " [--bundle-format <2|3>] [--check]\n"
          "  pigeon serve   --model MODEL (--socket PATH | --stdio)\n"
          "                 [--batch N] [--queue N] [--slo-p99-ms MS]\n"
          "                 [--prom FILE] [--metrics-interval SECONDS]\n"
@@ -370,13 +373,32 @@ loadContextsFile(const std::string &Path) {
 }
 
 //===----------------------------------------------------------------------===//
+// model loading (shared by eval / predict / serve / migrate-bundle)
+//===----------------------------------------------------------------------===//
+
+/// Loads a bundle of either on-disk format — v3 maps in place, anything
+/// else takes the v2 stream loader — printing the loader's diagnostic
+/// (with its byte offset) on failure.
+std::unique_ptr<ModelBundle> loadBundleFile(const std::string &ModelPath,
+                                            bool VerifyChecksum = false) {
+  LoadDiag Diag;
+  auto Bundle = loadModelFile(ModelPath, &Diag, VerifyChecksum);
+  if (!Bundle)
+    std::cerr << "error: " << ModelPath << ": "
+              << (Diag.Error.empty() ? "not a PIGEON model" : Diag.Error)
+              << "\n";
+  return Bundle;
+}
+
+//===----------------------------------------------------------------------===//
 // train
 //===----------------------------------------------------------------------===//
 
 /// Trains and saves a bundle from an artifact (loaded or just built).
 /// Both `train` routes converge here, which is what makes them produce
 /// byte-identical bundles for the same corpus.
-int trainFromArtifact(ContextsArtifact &&Art, const std::string &OutPath) {
+int trainFromArtifact(ContextsArtifact &&Art, const std::string &OutPath,
+                      int BundleFormat) {
   ModelBundle Bundle;
   Bundle.Lang = Art.Lang;
   Bundle.TaskKind = Art.TaskKind;
@@ -409,7 +431,10 @@ int trainFromArtifact(ContextsArtifact &&Art, const std::string &OutPath) {
     return 1;
   }
   telemetry::TraceScope Phase("save");
-  saveModel(Out, Bundle);
+  if (BundleFormat == 3)
+    saveModelV3(Out, Bundle);
+  else
+    saveModel(Out, Bundle);
   Out.flush();
   if (!Out) {
     std::cerr << openError("write", OutPath) << "\n";
@@ -420,17 +445,17 @@ int trainFromArtifact(ContextsArtifact &&Art, const std::string &OutPath) {
 }
 
 int cmdTrain(Language Lang, Task TaskKind, const std::string &OutPath,
-             const std::vector<std::string> &Roots) {
+             const std::vector<std::string> &Roots, int BundleFormat) {
   auto Art =
       buildArtifactFromRoots(Lang, TaskKind, tunedExtraction(Lang, TaskKind),
                              Roots);
   if (!Art)
     return 1;
-  return trainFromArtifact(std::move(*Art), OutPath);
+  return trainFromArtifact(std::move(*Art), OutPath, BundleFormat);
 }
 
 int cmdTrainFromContexts(const std::string &ContextsPath,
-                         const std::string &OutPath) {
+                         const std::string &OutPath, int BundleFormat) {
   auto Art = loadContextsFile(ContextsPath);
   if (!Art)
     return 1;
@@ -439,7 +464,7 @@ int cmdTrainFromContexts(const std::string &ContextsPath,
                  "trains through `pigeon explain`/experiments only\n";
     return 1;
   }
-  return trainFromArtifact(std::move(*Art), OutPath);
+  return trainFromArtifact(std::move(*Art), OutPath, BundleFormat);
 }
 
 //===----------------------------------------------------------------------===//
@@ -449,20 +474,13 @@ int cmdTrainFromContexts(const std::string &ContextsPath,
 int cmdEval(const std::string &ModelPath, const std::string &ContextsPath,
             const std::optional<Language> &Lang,
             const std::vector<std::string> &Roots) {
-  std::ifstream In(ModelPath, std::ios::binary);
-  if (!In) {
-    std::cerr << openError("read", ModelPath) << "\n";
-    return 1;
-  }
   std::unique_ptr<ModelBundle> Bundle;
   {
     telemetry::TraceScope Phase("load");
-    Bundle = loadModel(In);
+    Bundle = loadBundleFile(ModelPath);
   }
-  if (!Bundle) {
-    std::cerr << "error: " << ModelPath << " is not a PIGEON model\n";
+  if (!Bundle)
     return 1;
-  }
 
   std::unique_ptr<ContextsArtifact> Art;
   if (!ContextsPath.empty()) {
@@ -517,20 +535,13 @@ int cmdEval(const std::string &ModelPath, const std::string &ContextsPath,
 //===----------------------------------------------------------------------===//
 
 int cmdPredict(const std::string &ModelPath, const std::string &Path) {
-  std::ifstream In(ModelPath, std::ios::binary);
-  if (!In) {
-    std::cerr << openError("read", ModelPath) << "\n";
-    return 1;
-  }
   std::unique_ptr<ModelBundle> Bundle;
   {
     telemetry::TraceScope Phase("load");
-    Bundle = loadModel(In);
+    Bundle = loadBundleFile(ModelPath);
   }
-  if (!Bundle) {
-    std::cerr << "error: " << ModelPath << " is not a PIGEON model\n";
+  if (!Bundle)
     return 1;
-  }
   auto Text = readFile(Path);
   if (!Text) {
     std::cerr << openError("read", Path) << "\n";
@@ -567,11 +578,110 @@ int cmdPredict(const std::string &ModelPath, const std::string &Path) {
         Node.Element != InvalidElement
             ? elementKindName(R->Tree->element(Node.Element).Kind)
             : "?";
-    Out.addRow({Bundle->Interner->str(Node.Gold), Kind,
-                Pred[N].isValid() ? Bundle->Interner->str(Pred[N]) : "?",
+    Out.addRow({std::string(Bundle->Interner->str(Node.Gold)), Kind,
+                std::string(Pred[N].isValid() ? Bundle->Interner->str(Pred[N])
+                                              : std::string_view("?")),
                 Candidates});
   }
   Out.print(std::cout);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// migrate-bundle
+//===----------------------------------------------------------------------===//
+
+/// Deterministic per-element top-3 signature of \p Bundle's predictions
+/// on \p Text: one `gold: label=score,...` line per unknown element,
+/// scores printed at full double precision. Two bundles that predict
+/// byte-identically produce byte-identical signatures.
+std::string topKSignature(ModelBundle &Bundle, const std::string &Text) {
+  auto R = parseAs(Bundle.Lang, Text, *Bundle.Interner);
+  if (!R.Tree)
+    return "<parse-failed>";
+  auto Contexts =
+      paths::extractPathContexts(*R.Tree, Bundle.Extraction, Bundle.Table);
+  crf::CrfGraph G =
+      crf::buildGraph(*R.Tree, Contexts, selectorFor(Bundle.TaskKind));
+  std::vector<Symbol> Pred = Bundle.Model.predict(G);
+  std::string Sig;
+  char Buf[64];
+  for (uint32_t N : G.Unknowns) {
+    Sig += std::string(Bundle.Interner->str(G.Nodes[N].Gold));
+    Sig += ": ";
+    for (const auto &[Label, Score] : Bundle.Model.topK(G, N, Pred, 3)) {
+      std::snprintf(Buf, sizeof(Buf), "%.17g", Score);
+      Sig += std::string(Bundle.Interner->str(Label));
+      Sig += '=';
+      Sig += Buf;
+      Sig += ',';
+    }
+    Sig += '\n';
+  }
+  return Sig;
+}
+
+int cmdMigrate(const std::string &InPath, const std::string &OutPath,
+               int BundleFormat, bool Check) {
+  std::unique_ptr<ModelBundle> Bundle =
+      loadBundleFile(InPath, /*VerifyChecksum=*/true);
+  if (!Bundle)
+    return 1;
+  bool InWasMapped = Bundle->Mapping != nullptr;
+  {
+    std::ofstream Out(OutPath, std::ios::binary);
+    if (!Out) {
+      std::cerr << openError("write", OutPath) << "\n";
+      return 1;
+    }
+    telemetry::TraceScope Phase("save");
+    if (BundleFormat == 3)
+      saveModelV3(Out, *Bundle);
+    else
+      saveModel(Out, *Bundle);
+    Out.flush();
+    if (!Out) {
+      std::cerr << openError("write", OutPath) << "\n";
+      return 1;
+    }
+  }
+  std::cerr << "migrated " << InPath << " (v" << (InWasMapped ? 3 : 2)
+            << ") -> " << OutPath << " (v" << BundleFormat << ")\n";
+  if (!Check)
+    return 0;
+
+  // --check: reload both files fresh and diff per-element top-3
+  // predictions (labels and scores) over a synthetic corpus in the
+  // bundle's language. Each bundle parses its own copy so novel interned
+  // ids cannot leak between the two.
+  telemetry::TraceScope Phase("check");
+  auto Old = loadBundleFile(InPath);
+  auto New = loadBundleFile(OutPath, /*VerifyChecksum=*/true);
+  if (!Old || !New)
+    return 1;
+  datagen::CorpusSpec Spec = datagen::defaultSpec(Old->Lang, /*Seed=*/2018);
+  Spec.NumProjects = 4;
+  std::vector<datagen::SourceFile> Files = datagen::generateCorpus(Spec);
+  size_t Mismatches = 0, Checked = 0;
+  for (const datagen::SourceFile &File : Files) {
+    std::string A = topKSignature(*Old, File.Text);
+    std::string B = topKSignature(*New, File.Text);
+    ++Checked;
+    if (A != B) {
+      ++Mismatches;
+      if (Mismatches <= 3)
+        std::cerr << "check: " << File.FileName
+                  << ": predictions differ\n  old: " << A << "  new: " << B;
+    }
+  }
+  if (Mismatches) {
+    std::cerr << "check FAILED: " << Mismatches << "/" << Checked
+              << " files differ between " << InPath << " and " << OutPath
+              << "\n";
+    return 1;
+  }
+  std::cerr << "check ok: top-3 predictions identical on " << Checked
+            << " files\n";
   return 0;
 }
 
@@ -596,20 +706,28 @@ void onServeSignal(int) { ServeStop.store(true, std::memory_order_relaxed); }
 
 int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
              bool Stdio, serve::ServeConfig Config, double FlushInterval) {
-  std::ifstream In(ModelPath, std::ios::binary);
-  if (!In) {
-    std::cerr << openError("read", ModelPath) << "\n";
-    return 1;
-  }
   std::unique_ptr<ModelBundle> Bundle;
+  uint64_t RssBeforeKb = telemetry::currentRssKb();
+  double LoadSeconds = 0;
   {
     telemetry::TraceScope Phase("load");
-    Bundle = loadModel(In);
+    Bundle = loadBundleFile(ModelPath);
+    LoadSeconds = Phase.seconds();
   }
-  if (!Bundle) {
-    std::cerr << "error: " << ModelPath << " is not a PIGEON model\n";
+  if (!Bundle)
     return 1;
-  }
+  // Load cost and residency: a v3 bundle is served from the mapping (its
+  // pages are file-backed and shared across processes), so the heap RSS
+  // delta stays near zero; a v2 bundle is deserialized onto the heap.
+  uint64_t RssAfterKb = telemetry::currentRssKb();
+  uint64_t MappedKb = Bundle->Mapping ? Bundle->Mapping->size() / 1024 : 0;
+  auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.gauge("model.load.seconds").set(LoadSeconds);
+  Reg.gauge("model.load.rss_delta.kb")
+      .set(RssAfterKb > RssBeforeKb
+               ? static_cast<double>(RssAfterKb - RssBeforeKb)
+               : 0.0);
+  Reg.gauge("model.load.mapped.kb").set(static_cast<double>(MappedKb));
 
   std::signal(SIGTERM, onServeSignal);
   std::signal(SIGINT, onServeSignal);
@@ -621,7 +739,10 @@ int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
             << lang::languageName(Service.bundle().Lang) << ", "
             << taskName(Service.bundle().TaskKind) << ", "
             << Service.bundle().Model.numFeatures() << " features), "
-            << (Stdio ? "stdio" : "socket " + SocketPath) << "\n";
+            << (Service.bundle().Mapping
+                    ? "mmap-resident " + std::to_string(MappedKb) + " KiB"
+                    : "heap-resident")
+            << ", " << (Stdio ? "stdio" : "socket " + SocketPath) << "\n";
 
   // The resident server always samples phase stacks so admin:"profile"
   // has data; batch subcommands only sample under --profile.
@@ -887,8 +1008,10 @@ int main(int argc, char **argv) {
   std::optional<Language> Lang;
   std::string ModelPath, OutPath, MetricsPath, TracePath, ContextsPath;
   std::string SocketPath, PromPath, ProfilePath;
-  std::string SlowLogPath, FlightRecPath;
+  std::string SlowLogPath, FlightRecPath, InPath;
   bool Stdio = false;
+  bool Check = false;
+  int BundleFormat = 3;
   double MetricsInterval = 10.0;
   double TraceMaxMb = 0;
   serve::ServeConfig ServeOptions;
@@ -910,6 +1033,21 @@ int main(int argc, char **argv) {
         return usage();
     } else if (Arg == "--model") {
       ModelPath = Value();
+    } else if (Arg == "--in") {
+      InPath = Value();
+      if (InPath.empty()) {
+        std::cerr << "error: --in requires a file path\n";
+        return 2;
+      }
+    } else if (Arg == "--check") {
+      Check = true;
+    } else if (Arg == "--bundle-format") {
+      std::string V = Value();
+      if (V != "2" && V != "3") {
+        std::cerr << "error: --bundle-format wants 2 (stream) or 3 (mmap)\n";
+        return 2;
+      }
+      BundleFormat = V == "2" ? 2 : 3;
     } else if (Arg == "--out") {
       OutPath = Value();
     } else if (Arg == "--from-contexts") {
@@ -1111,14 +1249,14 @@ int main(int argc, char **argv) {
         // Language, task, and extraction config come from the artifact.
         if (!Positional.empty())
           return usage();
-        RC = cmdTrainFromContexts(ContextsPath, OutPath);
+        RC = cmdTrainFromContexts(ContextsPath, OutPath, BundleFormat);
       } else {
         if (!Lang || Positional.empty())
           return usage();
         auto TaskKind = ParseTask();
         if (!TaskKind)
           return usage();
-        RC = cmdTrain(*Lang, *TaskKind, OutPath, Positional);
+        RC = cmdTrain(*Lang, *TaskKind, OutPath, Positional, BundleFormat);
       }
     } else if (Command == "eval") {
       if (ModelPath.empty())
@@ -1132,6 +1270,10 @@ int main(int argc, char **argv) {
       if (ModelPath.empty() || Positional.size() != 1)
         return usage();
       RC = cmdPredict(ModelPath, Positional[0]);
+    } else if (Command == "migrate-bundle") {
+      if (InPath.empty() || OutPath.empty() || !Positional.empty())
+        return usage();
+      RC = cmdMigrate(InPath, OutPath, BundleFormat, Check);
     } else if (Command == "serve") {
       if (ModelPath.empty() || !Positional.empty() ||
           Stdio == !SocketPath.empty())
