@@ -4,16 +4,25 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Measures the resident prediction service: requests/second for one
-/// sequential client versus several concurrent clients over the same
-/// trained bundle. The concurrent number is the one micro-batching
-/// exists for — overlapping clients coalesce into predictBatch calls
-/// and the parallel parse front-half — so the bench fails (exit 1) if
-/// concurrency does not beat the sequential client: that would mean the
-/// batching pipeline costs more than it amortizes.
+/// Measures the resident prediction service three ways over the same
+/// trained bundle:
 ///
-/// Sidecar gauges (`serve.requests_per_sec*`) feed the bench-trajectory
-/// throughput gate like every other `per_sec` metric.
+///  1. Closed loop, one sequential client (per-request floor).
+///  2. Closed loop, several concurrent clients — the number
+///     micro-batching exists for; the bench fails (exit 1) if it does
+///     not beat the sequential client.
+///  3. Open loop: a load generator submits at fixed offered rates on a
+///     schedule that never waits for responses, so queueing delay shows
+///     up in the latency numbers instead of silently throttling the
+///     client (the coordinated-omission problem closed loops have).
+///     Latency is measured from each request's *scheduled* arrival
+///     time; the highest offered rate the service sustains (achieved ≥
+///     95% of offered, ~every response ok, p99 under 150 ms) is
+///     reported as `serve.openloop.max_sustained_per_sec`.
+///
+/// Sidecar gauges (`serve.requests_per_sec*`, `serve.openloop.*`) feed
+/// the bench-trajectory throughput/latency gates like every other
+/// `per_sec` / `latency_ms` metric.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,12 +32,16 @@
 #include "core/ModelIO.h"
 #include "serve/Serve.h"
 #include "serve/SlowLog.h"
+#include "support/Parallel.h"
 #include "support/TablePrinter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -135,12 +148,120 @@ double runConcurrent(serve::Service &S, const std::vector<std::string> &Lines,
   return static_cast<double>(Lines.size()) / Wall;
 }
 
+/// One open-loop measurement at a fixed offered rate.
+struct OpenLoopPoint {
+  double OfferedRps = 0;
+  double AchievedRps = 0; ///< Ok responses per wall second.
+  double OkFraction = 0;  ///< Ok responses / submitted requests.
+  double P50Ms = 0, P99Ms = 0;
+  bool Sustained = false;
+};
+
+/// Drives a fresh Service at OfferedRps from a scheduled-arrival
+/// generator. sleep_until a request's scheduled time, submit, never
+/// wait for the response: when the service falls behind, requests pile
+/// into the queue (or bounce as overloaded) and the latency — measured
+/// from the *scheduled* time, not the possibly-late submit — records
+/// the pileup. A closed loop would instead slow its own offered rate
+/// and report flattering tails.
+OpenLoopPoint runOpenLoop(const std::string &Bytes,
+                          const std::vector<std::string> &Lines,
+                          double OfferedRps) {
+  using Clock = std::chrono::steady_clock;
+  OpenLoopPoint Point;
+  Point.OfferedRps = OfferedRps;
+  // About one second of traffic per rate point, bounded so high rates
+  // stay affordable and low rates stay statistically meaningful.
+  size_t Total = static_cast<size_t>(
+      std::min(1200.0, std::max(200.0, OfferedRps)));
+
+  serve::Service S(loadBundle(Bytes));
+  std::vector<double> LatMs(Total, -1);
+  std::vector<char> Ok(Total, 0);
+  std::atomic<size_t> Answered{0};
+
+  auto Interval = std::chrono::duration<double>(1.0 / OfferedRps);
+  auto Start = Clock::now();
+  {
+    telemetry::TraceScope Phase("serve.bench.openloop");
+    for (size_t I = 0; I < Total; ++I) {
+      auto Scheduled =
+          Start + std::chrono::duration_cast<Clock::duration>(
+                      Interval * static_cast<double>(I));
+      std::this_thread::sleep_until(Scheduled); // No-op once behind.
+      S.submit(Lines[I % Lines.size()],
+               [&LatMs, &Ok, &Answered, I, Scheduled](std::string Resp) {
+                 LatMs[I] = std::chrono::duration<double, std::milli>(
+                                Clock::now() - Scheduled)
+                                .count();
+                 Ok[I] =
+                     Resp.find("\"ok\":true") != std::string::npos ? 1 : 0;
+                 Answered.fetch_add(1, std::memory_order_relaxed);
+               });
+    }
+    S.drain(); // Every callback has run once drain returns.
+  }
+  double Wall =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  size_t OkCount = 0;
+  std::vector<double> OkLat;
+  OkLat.reserve(Total);
+  for (size_t I = 0; I < Total; ++I)
+    if (Ok[I]) {
+      ++OkCount;
+      OkLat.push_back(LatMs[I]);
+    }
+  Point.AchievedRps = static_cast<double>(OkCount) / Wall;
+  Point.OkFraction =
+      static_cast<double>(OkCount) / static_cast<double>(Total);
+  Point.P50Ms = latencyPercentile(OkLat, 0.50);
+  Point.P99Ms = latencyPercentile(OkLat, 0.99);
+  Point.Sustained = Point.AchievedRps >= 0.95 * OfferedRps &&
+                    Point.OkFraction >= 0.99 && Point.P99Ms <= 150.0;
+  return Point;
+}
+
 } // namespace
 
 int main() {
   const std::string Bytes = savedBundle();
   const std::vector<std::string> Lines = requestLines(96);
   const int Clients = 8;
+
+  // Open-loop ladder first, scaled off a quick closed-loop calibration
+  // probe: offered rates as multiples of the closed-loop concurrent
+  // number, which is machine-relative — the interesting question is how
+  // far past the closed-loop ceiling the sharded batcher can be pushed
+  // before the queue (not the clients) gives out.
+  double ProbeRps;
+  {
+    serve::ServeConfig Probe;
+    Probe.MaxBatch = Clients;
+    serve::Service S(loadBundle(Bytes), Probe);
+    std::vector<double> Ms;
+    ProbeRps = runConcurrent(S, Lines, Clients, Ms);
+  }
+  const double Multipliers[] = {0.5, 1.0, 2.0, 3.0, 4.0};
+  std::vector<OpenLoopPoint> Ladder;
+  for (double M : Multipliers)
+    Ladder.push_back(runOpenLoop(Bytes, Lines, M * ProbeRps));
+  const OpenLoopPoint *Best = nullptr;
+  for (const OpenLoopPoint &P : Ladder)
+    if (P.Sustained && (!Best || P.OfferedRps > Best->OfferedRps))
+      Best = &P;
+  // Nothing sustained: report the gentlest point so the latency gauges
+  // still describe a real measurement instead of vanishing.
+  if (!Best)
+    Best = &Ladder.front();
+
+  // The ladder deliberately drives the service deep into overload;
+  // wipe its traffic out of the registry so the stage/phase histograms
+  // below describe the closed-loop runs alone — the same semantics the
+  // committed trajectory baselines were recorded with. (The train-time
+  // spans from savedBundle() are wiped with it; the training benches
+  // own those numbers.)
+  telemetry::MetricsRegistry::global().reset();
 
   // Sequential client: flush immediately — with exactly one request in
   // flight, waiting for stragglers is pure added latency.
@@ -171,7 +292,33 @@ int main() {
   double ConcurrentP50 = latencyPercentile(ConcurrentMs, 0.50);
   double ConcurrentP99 = latencyPercentile(ConcurrentMs, 0.99);
 
+  // Worker scaling: the same closed-loop concurrent load against a
+  // single batcher worker. Only meaningful (and only emitted) with ≥2
+  // cores — on one core the "speedup" would just measure contention.
+  size_t Cores = parallel::availableConcurrency();
+  double WorkerSpeedup = 0;
+  double OneWorkerRps = 0;
+  if (Cores >= 2) {
+    serve::ServeConfig OneWorker;
+    OneWorker.MaxBatch = Clients;
+    OneWorker.Workers = 1;
+    serve::Service S(loadBundle(Bytes), OneWorker);
+    std::vector<double> Ms;
+    OneWorkerRps = runConcurrent(S, Lines, Clients, Ms);
+    if (OneWorkerRps > 0)
+      WorkerSpeedup = ConcurrentRps / OneWorkerRps;
+  }
+
   auto &Reg = telemetry::MetricsRegistry::global();
+  Reg.gauge("parallel.bench.cores").set(static_cast<double>(Cores));
+  if (WorkerSpeedup > 0)
+    Reg.gauge("serve.workers.speedup").set(WorkerSpeedup);
+  Reg.gauge("serve.openloop.max_sustained_per_sec")
+      .set(Best->Sustained ? Best->OfferedRps : 0.0);
+  Reg.gauge("serve.openloop.offered_per_sec").set(Best->OfferedRps);
+  Reg.gauge("serve.openloop.achieved_per_sec").set(Best->AchievedRps);
+  Reg.gauge("serve.openloop.latency_ms.p50").set(Best->P50Ms);
+  Reg.gauge("serve.openloop.latency_ms.p99").set(Best->P99Ms);
   Reg.gauge("serve.requests_per_sec").set(ConcurrentRps);
   Reg.gauge("serve.requests_per_sec.single").set(SingleRps);
   Reg.gauge("serve.requests_per_sec.concurrent").set(ConcurrentRps);
@@ -198,6 +345,25 @@ int main() {
   Out.addRow({"concurrent", std::to_string(Clients), Buf, P50Buf, P99Buf});
   Out.print(std::cout);
 
+  TablePrinter OpenLoop("open-loop offered-rate ladder (" +
+                        std::to_string(Cores) + " cores, " +
+                        std::to_string(parallel::hardwareConcurrency()) +
+                        " hw threads)");
+  OpenLoop.setHeader(
+      {"Offered rps", "Achieved rps", "Ok %", "p50 ms", "p99 ms",
+       "Sustained"});
+  for (const OpenLoopPoint &P : Ladder) {
+    char Off[32], Ach[32], OkPct[32];
+    std::snprintf(Off, sizeof(Off), "%.0f", P.OfferedRps);
+    std::snprintf(Ach, sizeof(Ach), "%.0f", P.AchievedRps);
+    std::snprintf(OkPct, sizeof(OkPct), "%.1f", 100.0 * P.OkFraction);
+    std::snprintf(P50Buf, sizeof(P50Buf), "%.2f", P.P50Ms);
+    std::snprintf(P99Buf, sizeof(P99Buf), "%.2f", P.P99Ms);
+    OpenLoop.addRow({Off, Ach, OkPct, P50Buf, P99Buf,
+                     P.Sustained ? "yes" : "no"});
+  }
+  OpenLoop.print(std::cout);
+
   // Where the milliseconds went: the serve.stage.* histograms both
   // Service instances observed into, one row per pipeline stage.
   TablePrinter Stages("per-stage latency, all " +
@@ -215,6 +381,26 @@ int main() {
   Stages.print(std::cout);
 
   bench::writeBenchSidecar("bench_serve");
+
+  // Multi-core acceptance floor, opt-in so single-core containers don't
+  // fail vacuously: PIGEON_BENCH_MIN_OPENLOOP_X=3 demands the open-loop
+  // max-sustained rate reach 3× the *single-worker* closed-loop
+  // concurrent number — the old single-batcher baseline, re-measured on
+  // this machine — on ≥4 cores.
+  if (const char *Env = std::getenv("PIGEON_BENCH_MIN_OPENLOOP_X")) {
+    double MinX = std::atof(Env);
+    if (MinX > 0 && Cores >= 4 && OneWorkerRps > 0) {
+      double MaxSustained = Best->Sustained ? Best->OfferedRps : 0.0;
+      if (MaxSustained < MinX * OneWorkerRps) {
+        std::fprintf(stderr,
+                     "error: open-loop max sustained rate (%.1f rps) is "
+                     "below %.1fx the single-worker concurrent rate (%.1f "
+                     "rps) on %zu cores\n",
+                     MaxSustained, MinX, OneWorkerRps, Cores);
+        return 1;
+      }
+    }
+  }
 
   if (ConcurrentRps <= SingleRps) {
     std::fprintf(stderr,

@@ -21,8 +21,12 @@
 #include <cerrno>
 #include <cstring>
 #include <future>
+#include <map>
 #include <sstream>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -317,14 +321,28 @@ Service::Service(std::unique_ptr<core::ModelBundle> Bundle,
   // --trace is off, for admin:"flightrec" and fatal-path dumps.
   if (Config.FlightRecorder > 0)
     telemetry::EventLog::global().enableRing(Config.FlightRecorder);
-  Batcher = std::thread([this] { batcherLoop(); });
+  size_t Workers =
+      this->Config.Workers ? this->Config.Workers
+                           : parallel::hardwareConcurrency();
+  Reg.gauge("serve.workers").set(static_cast<double>(Workers));
+  for (size_t W = 0; W < Workers; ++W)
+    Shards.push_back(std::make_unique<Shard>());
+  for (size_t W = 0; W < Workers; ++W)
+    Batchers.emplace_back([this, W] { batcherLoop(W); });
 }
 
 Service::~Service() { shutdown(); }
 
+size_t Service::queuedLocked() const {
+  size_t Total = 0;
+  for (const std::unique_ptr<Shard> &Sh : Shards)
+    Total += Sh->Queue.size();
+  return Total;
+}
+
 size_t Service::queueDepth() const {
   std::lock_guard<std::mutex> L(Mutex);
-  return Queue.size();
+  return queuedLocked();
 }
 
 double Service::uptimeSeconds() const {
@@ -358,7 +376,8 @@ void Service::submit(std::string Line, Callback Done) {
                      "service is shutting down"));
     return;
   }
-  if (Queue.size() >= Config.QueueCapacity) {
+  size_t Queued = queuedLocked();
+  if (Queued >= Config.QueueCapacity) {
     L.unlock();
     // Admission-time rejection: the id is inside the line we refuse to
     // parse under load, so overloaded responses carry a null id.
@@ -369,22 +388,28 @@ void Service::submit(std::string Line, Callback Done) {
                          std::to_string(Config.QueueCapacity) + ")"));
     return;
   }
+  // Shallowest shard wins (ties: lowest index). The rid stays a single
+  // global admission-order sequence; only the *processing* is sharded.
+  Shard *Target = Shards.front().get();
+  for (const std::unique_ptr<Shard> &Sh : Shards)
+    if (Sh->Queue.size() < Target->Queue.size())
+      Target = Sh.get();
   Pending P;
   P.Seq = NextSeq++;
   P.Line = std::move(Line);
   P.Done = std::move(Done);
   P.Arrival = std::chrono::steady_clock::now();
-  P.DepthAtAdmit = Queue.size();
-  Queue.push_back(std::move(P));
+  P.DepthAtAdmit = Queued;
+  Target->Queue.push_back(std::move(P));
   InFlight.fetch_add(1, std::memory_order_relaxed);
-  size_t Depth = Queue.size();
+  size_t Depth = Queued + 1;
   Reg.gauge("serve.queue.depth").set(static_cast<double>(Depth));
   if (Depth > QueueHighWater) {
     QueueHighWater = Depth;
     Reg.gauge("serve.queue.depth.max").set(static_cast<double>(Depth));
   }
   L.unlock();
-  WorkCV.notify_one();
+  Target->WorkCV.notify_one();
 }
 
 namespace {
@@ -442,7 +467,7 @@ bool Service::tryHandleAdmin(const std::string &Line, const Callback &Done) {
     bool IsPaused, Draining;
     {
       std::lock_guard<std::mutex> L(Mutex);
-      Depth = Queue.size();
+      Depth = queuedLocked();
       HighWater = QueueHighWater;
       IsPaused = Paused;
       Draining = Stopping;
@@ -568,7 +593,7 @@ std::string Service::handleOne(const std::string &Line) {
 
 void Service::drain() {
   std::unique_lock<std::mutex> L(Mutex);
-  IdleCV.wait(L, [&] { return Queue.empty() && !BatchInFlight; });
+  IdleCV.wait(L, [&] { return queuedLocked() == 0 && ActiveBatches == 0; });
 }
 
 void Service::shutdown() {
@@ -577,9 +602,11 @@ void Service::shutdown() {
     Stopping = true;
     Paused = false;
   }
-  WorkCV.notify_all();
-  if (Batcher.joinable())
-    Batcher.join();
+  for (std::unique_ptr<Shard> &Sh : Shards)
+    Sh->WorkCV.notify_all();
+  for (std::thread &T : Batchers)
+    if (T.joinable())
+      T.join();
 }
 
 void Service::pause() {
@@ -592,56 +619,59 @@ void Service::resume() {
     std::lock_guard<std::mutex> L(Mutex);
     Paused = false;
   }
-  WorkCV.notify_all();
+  for (std::unique_ptr<Shard> &Sh : Shards)
+    Sh->WorkCV.notify_all();
 }
 
-void Service::batcherLoop() {
+void Service::batcherLoop(size_t Worker) {
+  Shard &Sh = *Shards[Worker];
   std::unique_lock<std::mutex> L(Mutex);
   while (true) {
-    WorkCV.wait(L, [&] {
-      return (Stopping && Queue.empty()) || (!Paused && !Queue.empty());
+    Sh.WorkCV.wait(L, [&] {
+      return (Stopping && Sh.Queue.empty()) ||
+             (!Paused && !Sh.Queue.empty());
     });
-    if (Queue.empty())
+    if (Sh.Queue.empty())
       return; // Stopping with nothing left: clean exit.
 
-    // Per-flush depth sample: the depth seen when the batcher wakes is
-    // the saturation signal the enqueue-time gauge aliases away.
+    // Per-flush depth sample: the total depth seen when a worker wakes
+    // is the saturation signal the enqueue-time gauge aliases away.
     {
       auto &Reg = telemetry::MetricsRegistry::global();
-      double Depth = static_cast<double>(Queue.size());
+      double Depth = static_cast<double>(queuedLocked());
       Reg.histogram("serve.queue.depth.flush", depthBounds()).observe(Depth);
       Reg.windowed("serve.queue.depth", depthBounds(), Config.WindowSlices,
                    Config.WindowSliceSeconds)
           .observe(Depth);
     }
 
-    // Open a batch: take what is here, then give stragglers FlushMicros
-    // to coalesce before paying a predictBatch dispatch. The batch is
-    // in flight from this point — the straggler wait below releases the
-    // mutex while requests sit in the local Batch, and drain() must not
-    // mistake that empty queue for an idle service.
-    BatchInFlight = true;
+    // Open a batch: take what this shard holds, then give stragglers
+    // FlushMicros to coalesce before paying a predictBatch dispatch.
+    // The batch is in flight from this point — the straggler wait below
+    // releases the mutex while requests sit in the local Batch, and
+    // drain() must not mistake empty queues for an idle service.
+    ++ActiveBatches;
     auto FlushAt = std::chrono::steady_clock::now() +
                    std::chrono::microseconds(Config.FlushMicros);
     std::vector<Pending> Batch;
     while (Batch.size() < Config.MaxBatch) {
-      if (Queue.empty()) {
-        bool More = WorkCV.wait_until(
-            L, FlushAt, [&] { return !Queue.empty() || Stopping; });
-        if (!More || Queue.empty())
+      if (Sh.Queue.empty()) {
+        bool More = Sh.WorkCV.wait_until(
+            L, FlushAt, [&] { return !Sh.Queue.empty() || Stopping; });
+        if (!More || Sh.Queue.empty())
           break;
       }
-      Batch.push_back(std::move(Queue.front()));
+      Batch.push_back(std::move(Sh.Queue.front()));
       Batch.back().BatchOpen = std::chrono::steady_clock::now();
-      Queue.pop_front();
+      Sh.Queue.pop_front();
     }
     telemetry::MetricsRegistry::global()
         .gauge("serve.queue.depth")
-        .set(static_cast<double>(Queue.size()));
+        .set(static_cast<double>(queuedLocked()));
     L.unlock();
     processBatch(std::move(Batch));
     L.lock();
-    BatchInFlight = false;
+    --ActiveBatches;
     IdleCV.notify_all();
   }
 }
@@ -667,6 +697,7 @@ void Service::processBatch(std::vector<Pending> Batch) {
     ErrorCode Code = ErrorCode::BadRequest; ///< Meaningful when failed.
     bool Failed = false;
     std::unique_ptr<StringInterner> LocalSI;
+    std::unique_ptr<paths::PathTable> LocalTable;
     lang::ParseResult R;
     crf::CrfGraph G;
     size_t GraphIndex = ~size_t(0);
@@ -710,8 +741,9 @@ void Service::processBatch(std::vector<Pending> Batch) {
   // Parse on the worker pool. Each request parses against a private
   // delta overlay of the bundle interner: symbols the bundle already
   // knows resolve to their final ids lock-free, only novel strings land
-  // in the overlay. Nothing writes the bundle interner while this stage
-  // is in flight, so the overlay reads are exact.
+  // in the overlay. The resident interner is never written while
+  // serving, so overlay reads stay exact even while other batcher
+  // workers process their own batches.
   {
     parallel::StageTimer Timer("serve.parse");
     parallel::parallelFor(Items.size(), 0, [&](size_t I) {
@@ -731,27 +763,36 @@ void Service::processBatch(std::vector<Pending> Batch) {
   }
   const auto TParse = std::chrono::steady_clock::now(); // t_parse_done.
 
-  // Bundle-space section — the only code that touches the resident
-  // interner and path table, serialized by construction (one batcher).
-  // Committing each request's overlay in admission order interns its
-  // novel strings in first-encounter order, so the ids match what a
-  // direct parse into the bundle interner would have assigned (the
-  // shard-commit idiom; this is what makes served responses
-  // byte-identical to one-shot predictions). Only the novel symbols are
-  // provisional in the tree, so the fix-up walk swaps a handful of ids
-  // instead of re-interning the whole request vocabulary.
+  // Extract + assemble against per-request delta overlays of the
+  // bundle's path table — nothing here (or anywhere in the pipeline)
+  // writes the resident bundle, which is what lets N batcher workers
+  // process batches concurrently over one shared bundle. Known paths
+  // resolve to their final table ids; novel paths (and the novel
+  // symbols inside them) stay provisional in the overlay, assigned in
+  // the same first-encounter order a fresh bundle would use. Their
+  // hash-keyed features carry no trained weight either way, provisional
+  // ids sort after every trained id exactly like freshly-committed ones
+  // do, and rendering resolves ids back through strings — so responses
+  // stay byte-identical to one-shot `pigeon predict` without the serial
+  // commit the single-batcher design needed. Share-nothing items also
+  // make the stage safe to run on the pool.
   std::vector<crf::CrfGraph> Graphs;
   {
     parallel::StageTimer Timer("serve.extract");
+    parallel::parallelFor(Items.size(), 0, [&](size_t I) {
+      Item &It = Items[I];
+      if (It.Failed)
+        return;
+      It.LocalTable = std::make_unique<paths::PathTable>(
+          paths::PathTable::Delta, Bundle->Table);
+      auto Contexts = paths::extractPathContexts(
+          *It.R.Tree, Bundle->Extraction, *It.LocalTable);
+      It.G = crf::buildGraph(*It.R.Tree, Contexts,
+                             core::selectorFor(Bundle->TaskKind));
+    });
     for (Item &It : Items) {
       if (It.Failed)
         continue;
-      std::vector<uint32_t> Map = Bundle->Interner->commitDelta(*It.LocalSI);
-      It.R.Tree->remapProvisional(Map, *Bundle->Interner);
-      auto Contexts = paths::extractPathContexts(
-          *It.R.Tree, Bundle->Extraction, Bundle->Table);
-      It.G = crf::buildGraph(*It.R.Tree, Contexts,
-                             core::selectorFor(Bundle->TaskKind));
       It.GraphIndex = Graphs.size();
       Graphs.push_back(It.G);
     }
@@ -789,10 +830,13 @@ void Service::processBatch(std::vector<Pending> Batch) {
           ? Config.SlowTraceMs
           : (Config.SloP99Ms > 0 ? Config.SloP99Ms : 0.0);
 
-  const StringInterner &SI = *Bundle->Interner;
   for (Item &It : Items) {
     std::string Out;
     if (!It.Failed) {
+      // Strings resolve through the request's own overlay: bundle
+      // symbols delegate to the shared base, provisional ones to the
+      // overlay's private storage.
+      const StringInterner &SI = *It.LocalSI;
       const std::vector<Symbol> &Pred = Preds[It.GraphIndex];
       Out = renderHead(It.P.Seq, It.D.IdJson) + "\"ok\":true,\"predictions\":[";
       bool FirstNode = true;
@@ -832,7 +876,7 @@ void Service::processBatch(std::vector<Pending> Batch) {
               Out += ",";
             FirstPath = false;
             Out += "{\"path\":" +
-                   telemetry::jsonString(Bundle->Table.render(A.Path, SI)) +
+                   telemetry::jsonString(It.LocalTable->render(A.Path, SI)) +
                    ",\"neighbor\":" +
                    (A.Neighbor.isValid()
                         ? telemetry::jsonString(SI.str(A.Neighbor))
@@ -964,20 +1008,91 @@ int serve::serveStream(Service &S, std::istream &In, std::ostream &Out) {
   return 0;
 }
 
+bool serve::writeAll(int Fd, std::string_view Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not kill
+    // the process — the serve binary ignores SIGPIPE, but this library
+    // must not depend on that. Non-sockets (stdio, pipes) reject send()
+    // with ENOTSOCK; fall back to plain write() for them.
+    ssize_t W = ::send(Fd, Data.data() + Off, Data.size() - Off,
+                       MSG_NOSIGNAL);
+    if (W < 0 && errno == ENOTSOCK)
+      W = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (W > 0) {
+      Off += static_cast<size_t>(W);
+      continue;
+    }
+    // A signal landing mid-write interrupts the syscall without losing
+    // the bytes already sent — abandoning here would leave a torn frame
+    // in the newline-delimited stream. Only a real error (EPIPE,
+    // ECONNRESET, EBADF, ...) means the peer is gone.
+    if (W < 0 && errno == EINTR)
+      continue;
+    if (W == 0 || errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Non-blocking fd with a full buffer: wait for writability
+      // instead of busy-spinning; POLLERR/POLLNVAL is a dead peer.
+      struct pollfd Pfd = {Fd, POLLOUT, 0};
+      int Ready = ::poll(&Pfd, 1, /*timeout_ms=*/1000);
+      if (Ready < 0 && errno != EINTR)
+        return false;
+      if (Ready > 0 && (Pfd.revents & (POLLERR | POLLNVAL)))
+        return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Restores per-stream FIFO delivery on top of the sharded batcher:
+/// with N workers, responses complete in shard order, not admission
+/// order, but a client that pipelines requests down one stream must
+/// read its responses in the order it sent them (the single-batcher
+/// contract, and what keeps `serve --stdio` output byte-identical at
+/// any worker count). Sequence numbers are assigned at submit time on
+/// the single reader thread; deliver() buffers a completed frame until
+/// everything before it has been written. Frames are written (or, if
+/// the peer is gone, dropped by writeAll) under the same lock that
+/// orders them, so two callbacks can never race each other past the
+/// buffer.
+struct OrderedWriter {
+  std::mutex M;
+  uint64_t NextWrite = 0;
+  std::map<uint64_t, std::string> Held;
+
+  /// Returns how many frames were consumed (written or abandoned) so
+  /// the caller can balance its in-flight accounting.
+  size_t deliver(int Fd, uint64_t Seq, std::string Frame) {
+    std::lock_guard<std::mutex> L(M);
+    Held.emplace(Seq, std::move(Frame));
+    size_t Consumed = 0;
+    while (!Held.empty() && Held.begin()->first == NextWrite) {
+      // Whole frame or nothing: writeAll retries interrupted/short
+      // writes and gives up only when the peer is really gone.
+      writeAll(Fd, Held.begin()->second);
+      Held.erase(Held.begin());
+      ++NextWrite;
+      ++Consumed;
+    }
+    return Consumed;
+  }
+};
+
+} // namespace
+
 int serve::serveFdLoop(Service &S, int InFd, int OutFd,
                        const std::atomic<bool> &Stop) {
-  auto WriteMutex = std::make_shared<std::mutex>();
-  auto Write = [WriteMutex, OutFd](std::string Response) {
-    Response += '\n';
-    std::lock_guard<std::mutex> L(*WriteMutex);
-    size_t Off = 0;
-    while (Off < Response.size()) {
-      ssize_t W = ::write(OutFd, Response.data() + Off,
-                          Response.size() - Off);
-      if (W <= 0)
-        return; // Peer gone (EPIPE with SIGPIPE ignored): drop the rest.
-      Off += static_cast<size_t>(W);
-    }
+  auto Writer = std::make_shared<OrderedWriter>();
+  uint64_t SubmitSeq = 0; // Reader thread only.
+  auto Submit = [&S, &SubmitSeq, Writer, OutFd](std::string Line) {
+    const uint64_t Seq = SubmitSeq++;
+    S.submit(std::move(Line), [Writer, OutFd, Seq](std::string Response) {
+      Response += '\n';
+      Writer->deliver(OutFd, Seq, std::move(Response));
+    });
   };
 
   std::string Buffer;
@@ -1006,15 +1121,137 @@ int serve::serveFdLoop(Service &S, int InFd, int OutFd,
       std::string Line = Buffer.substr(0, Pos);
       Buffer.erase(0, Pos + 1);
       if (!Line.empty())
-        S.submit(std::move(Line), Write);
+        Submit(std::move(Line));
     }
   }
   // An unterminated final line is still a request.
   if (!Buffer.empty())
-    S.submit(std::move(Buffer), Write);
+    Submit(std::move(Buffer));
   S.drain();
   return 0;
 }
+
+namespace {
+
+/// Per-connection state of the socket multiplexer. Shared (via
+/// shared_ptr) with the response callbacks of its in-flight requests:
+/// the event loop may see the client vanish while responses are still
+/// being rendered on a batcher worker, and the fd must stay open until
+/// the last of them was written — a response is delivered whole or not
+/// at all, never as a torn frame.
+struct MuxConn {
+  int Fd = -1;
+  std::string Buffer;    ///< Partial-line accumulator (event-loop only).
+  uint64_t SubmitSeq = 0; ///< Per-connection submit order (event-loop only).
+  OrderedWriter Writer;  ///< FIFO-orders + serializes frames on Fd.
+  std::atomic<size_t> PendingWrites{0}; ///< Submitted, not yet written.
+  std::atomic<bool> ReadClosed{false};  ///< EOF or hard read error seen.
+};
+
+/// Accept + read multiplexer shared by the AF_UNIX and TCP transports:
+/// one poll() loop over the listener and every live connection instead
+/// of a thread per connection (whose handles the old accept loop only
+/// reaped at shutdown — an unbounded leak on a long-lived server).
+/// Closes the listener before returning; the caller keeps ownership of
+/// its address (socket file / port).
+int muxLoop(Service &S, int Listener, const std::atomic<bool> &Stop) {
+  auto &Reg = telemetry::MetricsRegistry::global();
+  std::vector<std::shared_ptr<MuxConn>> Conns;
+  char Chunk[4096];
+
+  auto SubmitLine = [&S](const std::shared_ptr<MuxConn> &C,
+                         std::string Line) {
+    const uint64_t Seq = C->SubmitSeq++;
+    C->PendingWrites.fetch_add(1, std::memory_order_acq_rel);
+    S.submit(std::move(Line), [C, Seq](std::string Response) {
+      Response += '\n';
+      // deliver() may flush frames buffered by earlier callbacks too;
+      // decrement once per frame actually consumed so the reaper keeps
+      // the fd open until the last buffered response is on the wire.
+      size_t Consumed = C->Writer.deliver(C->Fd, Seq, std::move(Response));
+      C->PendingWrites.fetch_sub(Consumed, std::memory_order_acq_rel);
+    });
+  };
+
+  while (!Stop.load(std::memory_order_relaxed)) {
+    std::vector<struct pollfd> Pfds;
+    std::vector<size_t> ConnAt; // Pfds[I + 1] watches Conns[ConnAt[I]].
+    Pfds.push_back({Listener, POLLIN, 0});
+    for (size_t I = 0; I < Conns.size(); ++I)
+      if (!Conns[I]->ReadClosed.load(std::memory_order_relaxed)) {
+        Pfds.push_back({Conns[I]->Fd, POLLIN, 0});
+        ConnAt.push_back(I);
+      }
+    int Ready = ::poll(Pfds.data(), static_cast<nfds_t>(Pfds.size()),
+                       /*timeout_ms=*/200);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue; // A signal landed; re-check Stop.
+      break;
+    }
+    if (Pfds[0].revents & POLLIN) {
+      int Fd = ::accept(Listener, nullptr, nullptr);
+      if (Fd >= 0) {
+        Reg.counter("serve.connections").inc();
+        // Response frames should not sit in Nagle's buffer behind a
+        // request/response round-trip; a no-op on AF_UNIX.
+        int One = 1;
+        ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+        auto C = std::make_shared<MuxConn>();
+        C->Fd = Fd;
+        Conns.push_back(std::move(C));
+      }
+    }
+    for (size_t I = 0; I < ConnAt.size(); ++I) {
+      if (!(Pfds[I + 1].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      const std::shared_ptr<MuxConn> &C = Conns[ConnAt[I]];
+      ssize_t N = ::read(C->Fd, Chunk, sizeof(Chunk));
+      if (N < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+          continue;
+        C->ReadClosed.store(true, std::memory_order_release);
+        continue;
+      }
+      if (N == 0) {
+        // EOF (possibly a half-close: the client may still be reading).
+        // An unterminated final line is still a request; responses
+        // already in flight drain before the reaper closes the fd.
+        if (!C->Buffer.empty())
+          SubmitLine(C, std::move(C->Buffer));
+        C->ReadClosed.store(true, std::memory_order_release);
+        continue;
+      }
+      C->Buffer.append(Chunk, static_cast<size_t>(N));
+      size_t Pos;
+      while ((Pos = C->Buffer.find('\n')) != std::string::npos) {
+        std::string Line = C->Buffer.substr(0, Pos);
+        C->Buffer.erase(0, Pos + 1);
+        if (!Line.empty())
+          SubmitLine(C, std::move(Line));
+      }
+    }
+    // Reap: a connection whose read side ended and whose last response
+    // was written closes *now*, not at shutdown.
+    for (auto It = Conns.begin(); It != Conns.end();)
+      if ((*It)->ReadClosed.load(std::memory_order_acquire) &&
+          (*It)->PendingWrites.load(std::memory_order_acquire) == 0) {
+        ::close((*It)->Fd);
+        It = Conns.erase(It);
+      } else {
+        ++It;
+      }
+  }
+  ::close(Listener);
+  // Stop/failure: answer everything already admitted, flush it to the
+  // surviving connections, then close them.
+  S.drain();
+  for (const std::shared_ptr<MuxConn> &C : Conns)
+    ::close(C->Fd);
+  return 0;
+}
+
+} // namespace
 
 int serve::serveSocket(Service &S, const std::string &Path,
                        const std::atomic<bool> &Stop) {
@@ -1042,33 +1279,72 @@ int serve::serveSocket(Service &S, const std::string &Path,
     ::close(Listener);
     return 1;
   }
-
-  std::vector<std::thread> Connections;
-  while (!Stop.load(std::memory_order_relaxed)) {
-    struct pollfd Pfd = {Listener, POLLIN, 0};
-    int Ready = ::poll(&Pfd, 1, /*timeout_ms=*/200);
-    if (Ready < 0) {
-      if (errno == EINTR)
-        continue;
-      break;
-    }
-    if (Ready == 0)
-      continue;
-    int Fd = ::accept(Listener, nullptr, nullptr);
-    if (Fd < 0)
-      continue;
-    telemetry::MetricsRegistry::global().counter("serve.connections").inc();
-    Connections.emplace_back([&S, &Stop, Fd] {
-      // serveFdLoop drains before returning, so every response of this
-      // connection is written before the fd closes.
-      serveFdLoop(S, Fd, Fd, Stop);
-      ::close(Fd);
-    });
-  }
-  ::close(Listener);
-  for (std::thread &T : Connections)
-    T.join();
+  int Rc = muxLoop(S, Listener, Stop);
   ::unlink(Path.c_str());
-  S.drain();
-  return 0;
+  return Rc;
+}
+
+int serve::serveTcp(Service &S, const std::string &HostPort,
+                    const std::atomic<bool> &Stop,
+                    std::atomic<int> *BoundPort) {
+  size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == HostPort.size()) {
+    std::fprintf(stderr, "error: --tcp expects HOST:PORT, got %s\n",
+                 HostPort.c_str());
+    return 1;
+  }
+  std::string Host = HostPort.substr(0, Colon);
+  std::string Port = HostPort.substr(Colon + 1);
+
+  struct addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE;
+  struct addrinfo *Infos = nullptr;
+  int Err = ::getaddrinfo(Host.empty() ? nullptr : Host.c_str(),
+                          Port.c_str(), &Hints, &Infos);
+  if (Err != 0) {
+    std::fprintf(stderr, "error: cannot resolve %s: %s\n", HostPort.c_str(),
+                 ::gai_strerror(Err));
+    return 1;
+  }
+  int Listener = -1;
+  for (struct addrinfo *AI = Infos; AI; AI = AI->ai_next) {
+    Listener = ::socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Listener < 0)
+      continue;
+    int One = 1;
+    ::setsockopt(Listener, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (::bind(Listener, AI->ai_addr, AI->ai_addrlen) == 0 &&
+        ::listen(Listener, 64) == 0)
+      break;
+    ::close(Listener);
+    Listener = -1;
+  }
+  ::freeaddrinfo(Infos);
+  if (Listener < 0) {
+    std::fprintf(stderr, "error: cannot listen on %s: %s\n",
+                 HostPort.c_str(), std::strerror(errno));
+    return 1;
+  }
+  // Resolve the actual port (":0" binds an ephemeral one) and announce
+  // it — tests and scripts discover the address from this line.
+  int PortNum = 0;
+  struct sockaddr_storage Bound;
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(Listener, reinterpret_cast<struct sockaddr *>(&Bound),
+                    &BoundLen) == 0) {
+    if (Bound.ss_family == AF_INET)
+      PortNum = ntohs(reinterpret_cast<struct sockaddr_in *>(&Bound)
+                          ->sin_port);
+    else if (Bound.ss_family == AF_INET6)
+      PortNum = ntohs(reinterpret_cast<struct sockaddr_in6 *>(&Bound)
+                          ->sin6_port);
+  }
+  if (BoundPort)
+    BoundPort->store(PortNum, std::memory_order_release);
+  std::fprintf(stderr, "pigeon serve: tcp listening on %s:%d\n",
+               Host.empty() ? "0.0.0.0" : Host.c_str(), PortNum);
+  return muxLoop(S, Listener, Stop);
 }

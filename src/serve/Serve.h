@@ -38,26 +38,33 @@
 /// DefaultK. A request that fails to decode or validate produces a
 /// structured error record and never takes the server down.
 ///
-/// Execution model: requests enter a bounded admission queue (a full
-/// queue answers `overloaded` immediately instead of blocking the
-/// reader); a batcher thread accumulates them into micro-batches —
-/// flushed when MaxBatch requests are pending or FlushMicros elapsed
-/// since the batch opened — then runs the pipeline per batch:
+/// Execution model: requests enter a bounded admission queue sharded
+/// across ServeConfig::Workers batcher workers (a full queue answers
+/// `overloaded` immediately instead of blocking the reader; admission
+/// picks the shallowest shard). Each worker accumulates its shard into
+/// micro-batches — flushed when MaxBatch requests are pending or
+/// FlushMicros elapsed since the batch opened — then runs the pipeline
+/// per batch:
 ///
 ///   decode (serial) → parse (support/Parallel pool, one private
-///   interner per request) → remap+extract+assemble (serial, the only
-///   section that touches the bundle's interner/path table) → predict
+///   interner per request) → extract+assemble (per-request delta
+///   overlays of the bundle's path table) → predict
 ///   (CrfModel::predictBatch, sharded) → render + deliver in admission
-///   order.
+///   order within the batch.
 ///
-/// The remap step replays the sharded-corpus merge idiom: parsing against
-/// a private interner keeps the parallel stage share-nothing, and
-/// re-interning local strings in first-encounter order yields exactly the
-/// ids a direct parse into the bundle interner would have assigned — so a
-/// served response is byte-identical to a one-shot prediction on the same
-/// bundle (pinned by serve_test). Per-request deadlines are enforced at
-/// decode time; a request whose deadline passed while queued answers
-/// `deadline_exceeded` without paying for parse or inference.
+/// Nothing in this pipeline writes the resident bundle: parsing and
+/// extraction intern novel strings/paths into *per-request* delta
+/// overlays that are dropped with the request, so N workers share the
+/// bundle read-only (share-nothing scaling, and a hostile stream of
+/// novel identifiers cannot grow the resident tables). The overlay
+/// assigns provisional ids in the same first-encounter order a fresh
+/// bundle would, novel features carry no trained weight either way, and
+/// rendering resolves ids back through strings — so a served response
+/// is byte-identical to a one-shot `pigeon predict` at any worker count
+/// and for any batch composition (pinned by serve_test). Per-request
+/// deadlines are enforced at decode time; a request whose deadline
+/// passed while queued answers `deadline_exceeded` without paying for
+/// parse or inference.
 ///
 /// Everything is wired into Telemetry/EventLog: `serve.requests`,
 /// `serve.batch.size`, per-phase `serve.<phase>.wall.seconds`
@@ -125,7 +132,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 namespace pigeon {
 namespace serve {
@@ -134,6 +143,9 @@ namespace serve {
 /// a couple of milliseconds of batching delay buys amortized inference
 /// without a human-visible stall.
 struct ServeConfig {
+  /// Parallel batcher workers, each with its own admission-queue shard.
+  /// 0 (the default) resolves to the hardware thread count.
+  size_t Workers = 0;
   /// Flush a batch once this many requests are pending.
   size_t MaxBatch = 16;
   /// Flush an incomplete batch this many microseconds after it opened.
@@ -187,8 +199,8 @@ const char *errorCodeName(ErrorCode Code);
 /// A resident prediction service over one loaded model bundle.
 ///
 /// Thread-safety: submit()/handleOne() may be called from any number of
-/// threads; callbacks are invoked from the batcher thread (or from the
-/// submitting thread for admission-time rejections) and must be
+/// threads; callbacks are invoked from a batcher worker thread (or from
+/// the submitting thread for admission-time rejections) and must be
 /// thread-safe themselves if they share state.
 class Service {
 public:
@@ -197,7 +209,7 @@ public:
   using Callback = std::function<void(std::string)>;
 
   /// Takes ownership of \p Bundle (loaded once, resident for the
-  /// service's lifetime) and starts the batcher thread.
+  /// service's lifetime) and starts the batcher workers.
   explicit Service(std::unique_ptr<core::ModelBundle> Bundle,
                    ServeConfig Config = ServeConfig());
   ~Service();
@@ -208,7 +220,7 @@ public:
   /// Enqueues one raw request line. Never blocks: when the admission
   /// queue is full (or the service is shutting down) \p Done is invoked
   /// synchronously with a structured `overloaded` / `shutting_down`
-  /// error; otherwise it is invoked later from the batcher thread.
+  /// error; otherwise it is invoked later from a batcher worker.
   void submit(std::string Line, Callback Done);
 
   /// submit() + wait: processes one request synchronously through the
@@ -218,23 +230,27 @@ public:
   /// Blocks until every admitted request has been answered.
   void drain();
 
-  /// drain() + stop the batcher thread. Idempotent; the destructor calls
-  /// it. Requests submitted afterwards answer `shutting_down`.
+  /// drain() + stop the batcher workers. Idempotent; the destructor
+  /// calls it. Requests submitted afterwards answer `shutting_down`.
   void shutdown();
 
-  /// Holds the batcher *before* it opens the next batch (in-flight
-  /// batches finish). While paused, requests accumulate in the admission
-  /// queue — which is how tests deterministically exercise batching,
-  /// queue-full and deadline behaviour — and a drain() waits until
-  /// someone calls resume().
+  /// Holds every batcher worker *before* it opens its next batch
+  /// (in-flight batches finish). While paused, requests accumulate in
+  /// the admission queue — which is how tests deterministically exercise
+  /// batching, queue-full and deadline behaviour — and a drain() waits
+  /// until someone calls resume().
   void pause();
   void resume();
 
-  /// The resident bundle (read-mostly; the batcher interns new symbols
-  /// and paths into it as novel sources arrive).
+  /// The resident bundle. Strictly read-only while serving: novel
+  /// symbols and paths live in per-request delta overlays, never in the
+  /// resident tables.
   const core::ModelBundle &bundle() const { return *Bundle; }
 
-  /// Requests currently waiting in the admission queue.
+  /// Resolved batcher worker count (ServeConfig::Workers, defaulted).
+  size_t workers() const { return Shards.size(); }
+
+  /// Requests currently waiting in the admission queue (all shards).
   size_t queueDepth() const;
 
   /// Requests admitted but not yet answered (queued + in-batch).
@@ -253,8 +269,20 @@ private:
     size_t DepthAtAdmit = 0; ///< Queue depth seen at admission.
   };
 
-  void batcherLoop();
+  /// One admission-queue shard, owned by one batcher worker. All shards
+  /// are guarded by the service Mutex; the per-shard condition variable
+  /// is what lets each worker sleep on (and straggler-wait on) its own
+  /// queue without thundering the whole pool awake per request.
+  struct Shard {
+    std::deque<Pending> Queue;
+    std::condition_variable WorkCV;
+  };
+
+  void batcherLoop(size_t Worker);
   void processBatch(std::vector<Pending> Batch);
+
+  /// Total requests queued across all shards. Caller holds Mutex.
+  size_t queuedLocked() const;
 
   /// Detects and answers a pigeon.admin.v1 request synchronously.
   /// \returns true when \p Line was an admin request (Done has been
@@ -267,15 +295,14 @@ private:
   std::atomic<size_t> InFlight{0};
 
   mutable std::mutex Mutex;
-  std::condition_variable WorkCV;  ///< Wakes the batcher.
   std::condition_variable IdleCV;  ///< Wakes drain() waiters.
-  std::deque<Pending> Queue;
+  std::vector<std::unique_ptr<Shard>> Shards;
   uint64_t NextSeq = 1;
-  size_t QueueHighWater = 0; ///< Deepest queue ever seen (guarded by Mutex).
+  size_t QueueHighWater = 0; ///< Deepest total queue ever seen.
+  size_t ActiveBatches = 0;  ///< Batches currently being processed.
   bool Paused = false;
   bool Stopping = false;
-  bool BatchInFlight = false;
-  std::thread Batcher;
+  std::vector<std::thread> Batchers;
 };
 
 /// Reads newline-delimited requests from \p In, writes responses to
@@ -283,20 +310,40 @@ private:
 /// exit code (0 on clean EOF). The istream front-end used by tests.
 int serveStream(Service &S, std::istream &In, std::ostream &Out);
 
+/// Writes all of \p Data to \p Fd, retrying writes interrupted by a
+/// signal (EINTR) and polling for writability on would-block (EAGAIN).
+/// \returns true once every byte landed; false only on a real error
+/// (EPIPE/ECONNRESET/...: the peer is gone). A frame is therefore
+/// either delivered whole or abandoned whole — a signal landing
+/// mid-write can never truncate a response and corrupt the
+/// newline-delimited stream (regression-pinned by serve_test).
+bool writeAll(int Fd, std::string_view Data);
+
 /// poll()-driven line loop over raw file descriptors, checking \p Stop
 /// (set by the CLI's SIGTERM/SIGINT handler) every 200 ms so a signal
 /// produces a clean drain + telemetry flush instead of an abort. Used by
-/// `pigeon serve --stdio` (fds 0/1) and per connection by serveSocket().
-/// \returns 0 on clean EOF or stop.
+/// `pigeon serve --stdio` (fds 0/1). \returns 0 on clean EOF or stop.
 int serveFdLoop(Service &S, int InFd, int OutFd,
                 const std::atomic<bool> &Stop);
 
 /// Listens on a Unix domain socket at \p Path (an existing socket file is
-/// replaced), serving each accepted connection on its own thread until
-/// \p Stop is set or the listener fails. \returns 0 on a clean stop,
-/// nonzero when the socket could not be created.
+/// replaced), multiplexing every accepted connection on one event loop
+/// (no thread per connection) until \p Stop is set or the listener
+/// fails. A connection's responses are fully written before its fd
+/// closes, even when the client half-closed first. \returns 0 on a
+/// clean stop, nonzero when the socket could not be created.
 int serveSocket(Service &S, const std::string &Path,
                 const std::atomic<bool> &Stop);
+
+/// Listens on a TCP socket at \p HostPort ("HOST:PORT"; port 0 binds an
+/// ephemeral port), sharing the framed protocol, admin plane, drain
+/// semantics and connection multiplexer with serveSocket(). The bound
+/// port is published to \p BoundPort (when given) and printed to stderr
+/// once listening. \returns 0 on a clean stop, nonzero when the address
+/// could not be bound.
+int serveTcp(Service &S, const std::string &HostPort,
+             const std::atomic<bool> &Stop,
+             std::atomic<int> *BoundPort = nullptr);
 
 } // namespace serve
 } // namespace pigeon

@@ -213,11 +213,12 @@ std::vector<Regression> bench::compareTrajectories(const Trajectory &Prev,
       auto It = PrevRec->Throughput.find(Metric);
       if (It == PrevRec->Throughput.end())
         continue;
-      // Parallel speedups measured on one core are scheduler noise around
-      // 1.0 on both sides of the diff — the same reasoning that exempts
-      // them from the absolute floor in speedupFloor().
+      // Speedups measured on one core (parallel stage speedups,
+      // serve.workers.speedup, ...) are scheduler noise around 1.0 on
+      // both sides of the diff — the same reasoning that exempts the
+      // parallel ones from the absolute floor in speedupFloor().
       if ((CurRec.Cores == 1 || PrevRec->Cores == 1) &&
-          Metric.rfind("parallel.", 0) == 0 && endsWith(Metric, ".speedup"))
+          endsWith(Metric, ".speedup"))
         continue;
       double Before = It->second;
       if (!(Before > 0) || !std::isfinite(Before) || !std::isfinite(After))

@@ -35,6 +35,14 @@
 #include <sstream>
 #include <thread>
 
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 using namespace pigeon;
@@ -941,6 +949,292 @@ TEST(Serve, RequestEventsCarryTheStageTimeline) {
     EXPECT_GE(Sample->BatchSize, 1u);
   }
   EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Write-path robustness and transports
+//===----------------------------------------------------------------------===//
+
+/// Regression for the mid-frame response drop: the old write lambda
+/// treated write() returning -1 with errno == EINTR as "peer gone" and
+/// abandoned the rest of the frame, corrupting the newline-delimited
+/// stream. writeAll must survive a storm of signals landing mid-write
+/// (no SA_RESTART, so the syscall really returns EINTR), short writes
+/// from a tiny send buffer, and EAGAIN from a non-blocking fd — and
+/// still deliver every byte in order.
+TEST(Serve, WriteAllSurvivesSignalsShortWritesAndEagain) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  int Small = 4096;
+  ::setsockopt(Fds[0], SOL_SOCKET, SO_SNDBUF, &Small, sizeof(Small));
+  // Non-blocking writer: partial sends surface as short writes and
+  // EAGAIN instead of blocking, exercising the poll-then-retry path.
+  int Flags = ::fcntl(Fds[0], F_GETFL, 0);
+  ASSERT_EQ(::fcntl(Fds[0], F_SETFL, Flags | O_NONBLOCK), 0);
+
+  struct sigaction SA, Old;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = [](int) {};
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // Deliberately no SA_RESTART: write() must see EINTR.
+  ASSERT_EQ(::sigaction(SIGUSR1, &SA, &Old), 0);
+
+  std::string Payload(1 << 20, '\0');
+  for (size_t I = 0; I < Payload.size(); ++I)
+    Payload[I] = static_cast<char>('a' + I % 26);
+
+  std::atomic<bool> WriterDone{false};
+  bool WriteOk = false;
+  std::thread Writer([&] {
+    WriteOk = writeAll(Fds[0], Payload);
+    WriterDone.store(true, std::memory_order_release);
+    ::shutdown(Fds[0], SHUT_WR); // EOF ends the reader below.
+  });
+  pthread_t Target = Writer.native_handle();
+
+  std::string Received;
+  char Buf[512];
+  while (true) {
+    if (!WriterDone.load(std::memory_order_acquire))
+      ::pthread_kill(Target, SIGUSR1);
+    ssize_t N = ::read(Fds[1], Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    Received.append(Buf, static_cast<size_t>(N));
+  }
+  Writer.join();
+  ::sigaction(SIGUSR1, &Old, nullptr);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+
+  EXPECT_TRUE(WriteOk);
+  ASSERT_EQ(Received.size(), Payload.size());
+  EXPECT_EQ(Received, Payload); // Every byte, in order — no torn frame.
+}
+
+/// The tentpole pin, mirrored on the pipeline's thread-count
+/// invariance: the sharded batcher must produce responses byte-identical
+/// to a sequential single-worker service at every worker count. Each
+/// worker parses and extracts into never-committed overlays of the
+/// read-only resident bundle, so nothing one request interns can leak
+/// into another's response.
+TEST(Serve, ResponsesByteIdenticalAtAnyWorkerCount) {
+  std::vector<std::string> Lines;
+  for (int I = 0; I < 12; ++I)
+    Lines.push_back(requestLine(
+        I % 2 ? MinifiedLoop : MinifiedFlag,
+        ",\"id\":" + std::to_string(I) +
+            (I % 3 == 0 ? ",\"explain\":true" : "")));
+
+  Service Sequential(loadBundle());
+  std::vector<std::string> Expected;
+  for (const std::string &Line : Lines)
+    Expected.push_back(Sequential.handleOne(Line));
+
+  for (size_t Workers : std::vector<size_t>{1, 2, 4, 0 /* hardware */}) {
+    ServeConfig Config;
+    Config.Workers = Workers;
+    Config.MaxBatch = 3; // Force several batches per worker.
+    Service S(loadBundle(), Config);
+    std::vector<std::string> Got(Lines.size());
+    S.pause(); // Queue everything, then let the workers race.
+    std::mutex M;
+    for (size_t I = 0; I < Lines.size(); ++I)
+      S.submit(Lines[I], [&Got, &M, I](std::string Response) {
+        std::lock_guard<std::mutex> L(M);
+        Got[I] = std::move(Response);
+      });
+    S.resume();
+    S.drain();
+    EXPECT_EQ(Got, Expected) << "workers=" << Workers;
+  }
+}
+
+/// A client that pipelines requests down one stream must read its
+/// responses in the order it sent them, even though N workers finish
+/// batches in shard order — the OrderedWriter contract. Pinned as full
+/// byte-identity of the piped output at every worker count.
+TEST(Serve, PipelinedStdioOutputByteIdenticalAtAnyWorkerCount) {
+  std::string Input;
+  for (int I = 0; I < 12; ++I)
+    Input += requestLine(I % 2 ? MinifiedLoop : MinifiedFlag,
+                         ",\"id\":" + std::to_string(I)) +
+             "\n";
+
+  auto RunLoop = [&Input](size_t Workers) {
+    ServeConfig Config;
+    Config.Workers = Workers;
+    Config.MaxBatch = 3; // Force several batches per worker.
+    Service S(loadBundle(), Config);
+    int In[2], Out[2];
+    EXPECT_EQ(0, ::pipe(In));
+    EXPECT_EQ(0, ::pipe(Out));
+    std::atomic<bool> Stop{false};
+    std::thread Loop([&S, &In, &Out, &Stop] {
+      serveFdLoop(S, In[0], Out[1], Stop);
+      ::close(Out[1]); // EOF for the reader below.
+    });
+    EXPECT_TRUE(writeAll(In[1], Input));
+    ::close(In[1]); // EOF lets the loop drain and exit.
+    std::string All;
+    char Buf[4096];
+    ssize_t N;
+    while ((N = ::read(Out[0], Buf, sizeof(Buf))) > 0)
+      All.append(Buf, static_cast<size_t>(N));
+    Loop.join();
+    ::close(In[0]);
+    ::close(Out[0]);
+    return All;
+  };
+
+  const std::string Expected = RunLoop(1);
+  EXPECT_NE(Expected.find("\"rid\":1"), std::string::npos);
+  for (size_t Workers : std::vector<size_t>{2, 4, 0 /* hardware */})
+    EXPECT_EQ(RunLoop(Workers), Expected) << "workers=" << Workers;
+}
+
+/// Reads until a full newline-terminated frame (or EOF) arrives.
+std::string readFrame(int Fd) {
+  std::string Data;
+  char Buf[4096];
+  while (Data.find('\n') == std::string::npos) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    Data.append(Buf, static_cast<size_t>(N));
+  }
+  return Data;
+}
+
+int connectUnixRetry(const std::string &Path) {
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  for (int I = 0; I < 500; ++I) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd >= 0 &&
+        ::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0)
+      return Fd;
+    if (Fd >= 0)
+      ::close(Fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+/// A client that vanishes mid-stream must not take the server (or any
+/// other connection) with it, and a half-closed connection must still
+/// receive every response in full — including one for a trailing
+/// unterminated line — before its fd closes.
+TEST(Serve, UnixSocketSurvivesAbruptDisconnectMidStream) {
+  std::string Path =
+      "/tmp/pigeon_serve_test_" + std::to_string(::getpid()) + ".sock";
+  Service S(loadBundle());
+  std::atomic<bool> Stop{false};
+  std::thread Server([&] { EXPECT_EQ(serveSocket(S, Path, Stop), 0); });
+
+  // Connection 1: submit a request, then slam the connection shut
+  // without ever reading the response.
+  int C1 = connectUnixRetry(Path);
+  ASSERT_GE(C1, 0);
+  std::string L1 = requestLine(MinifiedFlag, ",\"id\":\"gone\"") + "\n";
+  ASSERT_EQ(::write(C1, L1.data(), L1.size()),
+            static_cast<ssize_t>(L1.size()));
+  ::close(C1);
+
+  // Connection 2: half-close after an unterminated line. The mux must
+  // treat the trailing bytes as a request and deliver the whole frame
+  // before reaping the connection.
+  int C2 = connectUnixRetry(Path);
+  ASSERT_GE(C2, 0);
+  std::string L2 = requestLine(MinifiedLoop, ",\"id\":\"whole\"");
+  ASSERT_EQ(::write(C2, L2.data(), L2.size()),
+            static_cast<ssize_t>(L2.size()));
+  ::shutdown(C2, SHUT_WR);
+  std::string Frame = readFrame(C2);
+  ::close(C2);
+  ASSERT_NE(Frame.find('\n'), std::string::npos) << "torn frame: " << Frame;
+  json::Value Doc = parsed(Frame.substr(0, Frame.find('\n')));
+  EXPECT_TRUE(Doc.find("ok")->boolean());
+  EXPECT_EQ(Doc.find("id")->strOr(""), "whole");
+
+  Stop.store(true);
+  Server.join();
+}
+
+/// Same guarantees over TCP: ephemeral-port bind is discoverable via
+/// the BoundPort out-param, an abrupt disconnect is isolated, and a
+/// slow reader behind a tiny receive buffer still gets the complete
+/// frame (writeAll polls through the backpressure instead of dropping
+/// the remainder).
+TEST(Serve, TcpDeliversWholeFramesToSlowReaders) {
+  Service S(loadBundle());
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Port{0};
+  std::thread Server(
+      [&] { EXPECT_EQ(serveTcp(S, "127.0.0.1:0", Stop, &Port), 0); });
+  for (int I = 0; I < 500 && Port.load(std::memory_order_acquire) == 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_NE(Port.load(), 0);
+
+  auto ConnectTcp = [&](bool TinyRcvBuf) {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    if (TinyRcvBuf) {
+      int Small = 1; // Kernel clamps to its minimum; still forces
+                     // multiple write rounds for a multi-KB frame.
+      ::setsockopt(Fd, SOL_SOCKET, SO_RCVBUF, &Small, sizeof(Small));
+    }
+    struct sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port.load()));
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                  sizeof(Addr)) != 0) {
+      ::close(Fd);
+      return -1;
+    }
+    return Fd;
+  };
+
+  // Abrupt mid-stream disconnect first; the server must shrug it off.
+  int C1 = ConnectTcp(false);
+  ASSERT_GE(C1, 0);
+  std::string L1 = requestLine(MinifiedFlag, ",\"id\":\"gone\"") + "\n";
+  ASSERT_EQ(::write(C1, L1.data(), L1.size()),
+            static_cast<ssize_t>(L1.size()));
+  ::close(C1);
+
+  // Slow reader: ask for an explained response (a larger frame), then
+  // drain it in small sips with pauses so the server's writes back up.
+  int C2 = ConnectTcp(true);
+  ASSERT_GE(C2, 0);
+  std::string L2 =
+      requestLine(MinifiedFlag, ",\"id\":\"slow\",\"explain\":true") + "\n";
+  ASSERT_EQ(::write(C2, L2.data(), L2.size()),
+            static_cast<ssize_t>(L2.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::string Frame;
+  char Buf[64];
+  while (Frame.find('\n') == std::string::npos) {
+    ssize_t N = ::read(C2, Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    Frame.append(Buf, static_cast<size_t>(N));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::close(C2);
+  ASSERT_NE(Frame.find('\n'), std::string::npos) << "torn frame";
+  json::Value Doc = parsed(Frame.substr(0, Frame.find('\n')));
+  EXPECT_TRUE(Doc.find("ok")->boolean());
+  EXPECT_EQ(Doc.find("id")->strOr(""), "slow");
+
+  Stop.store(true);
+  Server.join();
 }
 
 } // namespace

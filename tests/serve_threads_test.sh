@@ -1,0 +1,105 @@
+#!/bin/sh
+# Regression for the connection-thread leak: the old AF_UNIX accept loop
+# spawned one std::thread per accepted connection and only joined them at
+# shutdown, so a long-lived server accumulated one handle (and stack)
+# per completed connection. The multiplexer handles every connection on
+# one event loop, so the server's thread count must stay flat no matter
+# how many sequential connections come and go.
+#
+# Run as: serve_threads_test.sh <path-to-pigeon-binary>
+set -u
+
+PIGEON="$1"
+TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -TERM "$SERVE_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+PY=$(command -v python3 || true)
+if [ -z "$PY" ]; then
+  echo "SKIP: python3 not available for socket clients" >&2
+  exit 0
+fi
+
+"$PIGEON" synth --lang js --out "$TMP/corpus" --projects 3 --seed 7 \
+  > /dev/null 2>&1 || fail "synth failed"
+"$PIGEON" train --lang js --task vars --out "$TMP/model.bin" "$TMP/corpus" \
+  > /dev/null 2>&1 || fail "train failed"
+
+SOCK="$TMP/serve.sock"
+"$PIGEON" serve --model "$TMP/model.bin" --socket "$SOCK" \
+  2> "$TMP/serve.err" &
+SERVE_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "socket never appeared: $(cat "$TMP/serve.err")"
+  sleep 0.1
+done
+
+# One round-trip connection; returns 0 on a complete response frame.
+connect_once() {
+  "$PY" - "$SOCK" <<'PYEOF'
+import json, socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall((json.dumps({"id": 1, "lang": "js",
+                       "source": "function f(x) { var y = x; return y; }"})
+           + "\n").encode())
+buf = b""
+while b"\n" not in buf:
+    d = s.recv(65536)
+    if not d:
+        break
+    buf += d
+s.close()
+doc = json.loads(buf.decode())
+sys.exit(0 if doc.get("ok") else 1)
+PYEOF
+}
+
+threads_now() {
+  awk '/^Threads:/ { print $2 }' "/proc/$SERVE_PID/status"
+}
+
+# Warm up with a few connections so every lazily-created thread (batcher
+# workers, telemetry) exists before the baseline is taken.
+n=0
+while [ "$n" -lt 3 ]; do
+  connect_once || fail "warmup connection $n failed"
+  n=$((n + 1))
+done
+BASELINE=$(threads_now)
+[ -n "$BASELINE" ] || fail "cannot read Threads from /proc/$SERVE_PID/status"
+
+# Many sequential connections. With thread-per-connection this grew the
+# count by ~one thread per connection (joined only at shutdown).
+n=0
+while [ "$n" -lt 25 ]; do
+  connect_once || fail "connection $n failed"
+  n=$((n + 1))
+done
+AFTER=$(threads_now)
+
+# Flat means flat: allow a tiny slack for transient runtime threads, but
+# nothing close to one-per-connection growth.
+GROWTH=$((AFTER - BASELINE))
+[ "$GROWTH" -le 2 ] \
+  || fail "thread count grew by $GROWTH across 25 connections ($BASELINE -> $AFTER)"
+
+kill -TERM "$SERVE_PID" || fail "server died early"
+wait "$SERVE_PID"
+RC=$?
+SERVE_PID=""
+[ "$RC" = 0 ] || fail "server exited nonzero on SIGTERM: $RC"
+
+echo "PASS: threads stayed bounded ($BASELINE -> $AFTER across 25 connections)"

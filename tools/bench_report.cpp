@@ -25,7 +25,8 @@
 ///  * regression — when an earlier BENCH_*.json exists in the out dir,
 ///    a throughput metric that lost more than the threshold (default
 ///    10%) against it fails the run, as does a latency metric that
-///    *gained* more than the threshold.
+///    *gained* more than the threshold. Any `*.speedup` metric is
+///    skipped when either snapshot was taken on one core.
 /// --warn-only downgrades all failures to warnings.
 ///
 //===----------------------------------------------------------------------===//

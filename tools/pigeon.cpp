@@ -101,7 +101,9 @@ int usage() {
          "  pigeon predict --model MODEL FILE\n"
          "  pigeon migrate-bundle --in OLD --out NEW"
          " [--bundle-format <2|3>] [--check]\n"
-         "  pigeon serve   --model MODEL (--socket PATH | --stdio)\n"
+         "  pigeon serve   --model MODEL"
+         " (--socket PATH | --tcp HOST:PORT | --stdio)\n"
+         "                 [--serve-workers N]\n"
          "                 [--batch N] [--queue N] [--slo-p99-ms MS]\n"
          "                 [--prom FILE] [--metrics-interval SECONDS]\n"
          "                 [--slow-log FILE] [--slow-trace-ms MS]\n"
@@ -705,7 +707,8 @@ std::atomic<bool> ServeStop{false};
 void onServeSignal(int) { ServeStop.store(true, std::memory_order_relaxed); }
 
 int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
-             bool Stdio, serve::ServeConfig Config, double FlushInterval) {
+             const std::string &TcpHostPort, bool Stdio,
+             serve::ServeConfig Config, double FlushInterval) {
   std::unique_ptr<ModelBundle> Bundle;
   uint64_t RssBeforeKb = telemetry::currentRssKb();
   double LoadSeconds = 0;
@@ -742,7 +745,12 @@ int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
             << (Service.bundle().Mapping
                     ? "mmap-resident " + std::to_string(MappedKb) + " KiB"
                     : "heap-resident")
-            << ", " << (Stdio ? "stdio" : "socket " + SocketPath) << "\n";
+            << ", " << Service.workers() << " worker"
+            << (Service.workers() == 1 ? "" : "s") << ", "
+            << (Stdio ? "stdio"
+                      : !TcpHostPort.empty() ? "tcp " + TcpHostPort
+                                             : "socket " + SocketPath)
+            << "\n";
 
   // The resident server always samples phase stacks so admin:"profile"
   // has data; batch subcommands only sample under --profile.
@@ -783,7 +791,9 @@ int cmdServe(const std::string &ModelPath, const std::string &SocketPath,
     telemetry::TraceScope Phase("serve");
     RC = Stdio ? serve::serveFdLoop(Service, /*InFd=*/0, /*OutFd=*/1,
                                     ServeStop)
-               : serve::serveSocket(Service, SocketPath, ServeStop);
+         : !TcpHostPort.empty()
+             ? serve::serveTcp(Service, TcpHostPort, ServeStop)
+             : serve::serveSocket(Service, SocketPath, ServeStop);
     Service.shutdown();
   }
   if (Flusher.joinable()) {
@@ -1007,7 +1017,7 @@ int main(int argc, char **argv) {
   // Shared flag parsing.
   std::optional<Language> Lang;
   std::string ModelPath, OutPath, MetricsPath, TracePath, ContextsPath;
-  std::string SocketPath, PromPath, ProfilePath;
+  std::string SocketPath, TcpHostPort, PromPath, ProfilePath;
   std::string SlowLogPath, FlightRecPath, InPath;
   bool Stdio = false;
   bool Check = false;
@@ -1080,6 +1090,21 @@ int main(int argc, char **argv) {
         std::cerr << "error: --socket requires a path\n";
         return 2;
       }
+    } else if (Arg == "--tcp") {
+      TcpHostPort = Value();
+      if (TcpHostPort.empty()) {
+        std::cerr << "error: --tcp requires HOST:PORT (\":0\" binds an "
+                     "ephemeral port)\n";
+        return 2;
+      }
+    } else if (Arg == "--serve-workers") {
+      long N = std::atol(Value().c_str());
+      if (N < 0) {
+        std::cerr << "error: --serve-workers wants a non-negative count "
+                     "(0 = one per core)\n";
+        return 2;
+      }
+      ServeOptions.Workers = static_cast<size_t>(N);
     } else if (Arg == "--stdio") {
       Stdio = true;
     } else if (Arg == "--prom") {
@@ -1275,11 +1300,12 @@ int main(int argc, char **argv) {
         return usage();
       RC = cmdMigrate(InPath, OutPath, BundleFormat, Check);
     } else if (Command == "serve") {
-      if (ModelPath.empty() || !Positional.empty() ||
-          Stdio == !SocketPath.empty())
+      int Transports = (Stdio ? 1 : 0) + (!SocketPath.empty() ? 1 : 0) +
+                       (!TcpHostPort.empty() ? 1 : 0);
+      if (ModelPath.empty() || !Positional.empty() || Transports != 1)
         return usage();
-      RC = cmdServe(ModelPath, SocketPath, Stdio, ServeOptions,
-                    MetricsInterval);
+      RC = cmdServe(ModelPath, SocketPath, TcpHostPort, Stdio,
+                    ServeOptions, MetricsInterval);
     } else if (Command == "demo") {
       if (!Lang)
         return usage();
